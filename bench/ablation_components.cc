@@ -1,0 +1,56 @@
+// Ablation: connected-component algorithms for group formation — the
+// paper's recursive DFS (Algorithm 3) versus an explicit-stack DFS versus
+// union-find, across overlap-graph densities at N = 64.
+#include <benchmark/benchmark.h>
+
+#include "graph/connected_components.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+AdjacencyMatrix RandomGraph(int n, double density, uint64_t seed) {
+  Rng rng(seed);
+  AdjacencyMatrix graph(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(density)) {
+        graph.AddEdge(i, j);
+      }
+    }
+  }
+  return graph;
+}
+
+// density per mille on the benchmark arg to keep integer args.
+void BM_ComponentsDfs(benchmark::State& state) {
+  const AdjacencyMatrix graph =
+      RandomGraph(64, static_cast<double>(state.range(0)) / 1000.0, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindComponentsDfs(graph));
+  }
+}
+BENCHMARK(BM_ComponentsDfs)->Arg(5)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_ComponentsIterative(benchmark::State& state) {
+  const AdjacencyMatrix graph =
+      RandomGraph(64, static_cast<double>(state.range(0)) / 1000.0, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindComponentsIterative(graph));
+  }
+}
+BENCHMARK(BM_ComponentsIterative)->Arg(5)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_ComponentsUnionFind(benchmark::State& state) {
+  const AdjacencyMatrix graph =
+      RandomGraph(64, static_cast<double>(state.range(0)) / 1000.0, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindComponentsUnionFind(graph));
+  }
+}
+BENCHMARK(BM_ComponentsUnionFind)->Arg(5)->Arg(20)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace geolic
+
+BENCHMARK_MAIN();

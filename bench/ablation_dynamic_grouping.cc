@@ -1,0 +1,67 @@
+// Ablation: incremental group maintenance (union-find DynamicGrouping)
+// versus full recomputation (overlap graph + DFS) on every license
+// acquisition — the maintenance question behind the paper's figure 6.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/dynamic_grouping.h"
+#include "core/overlap_graph.h"
+#include "geometry/hyper_rect.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+std::vector<HyperRect> RandomRects(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<HyperRect> rects;
+  rects.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<ConstraintRange> dims;
+    for (int d = 0; d < 4; ++d) {
+      const int64_t lo = rng.UniformInt(0, 900);
+      dims.push_back(ConstraintRange(Interval(lo, lo + rng.UniformInt(10,
+                                                                      300))));
+    }
+    rects.push_back(HyperRect(std::move(dims)));
+  }
+  return rects;
+}
+
+// Cost of maintaining groups across a full acquisition history of N
+// licenses, incrementally.
+void BM_GroupingIncremental(benchmark::State& state) {
+  const std::vector<HyperRect> rects =
+      RandomRects(static_cast<int>(state.range(0)), 99);
+  for (auto _ : state) {
+    DynamicGrouping grouping;
+    for (const HyperRect& rect : rects) {
+      GEOLIC_CHECK(grouping.AddLicense(rect).ok());
+      benchmark::DoNotOptimize(grouping.group_count());
+    }
+  }
+}
+BENCHMARK(BM_GroupingIncremental)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Same history, recomputing the overlap graph + DFS after every
+// acquisition (what a naive implementation of the paper does).
+void BM_GroupingRecompute(benchmark::State& state) {
+  const std::vector<HyperRect> rects =
+      RandomRects(static_cast<int>(state.range(0)), 99);
+  for (auto _ : state) {
+    std::vector<HyperRect> prefix;
+    for (const HyperRect& rect : rects) {
+      prefix.push_back(rect);
+      const ComponentSet components =
+          FindComponentsDfs(BuildOverlapGraphFromRects(prefix));
+      benchmark::DoNotOptimize(components.count());
+    }
+  }
+}
+BENCHMARK(BM_GroupingRecompute)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace geolic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation: periodic full offline audits vs incremental auditing. The
+// paper's authority re-validates the whole log every period
+// (Σ_k 2^{N_k} − 1 equations each time); the IncrementalAuditor
+// re-evaluates only equations whose LHS grew since the last batch.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/grouped_validator.h"
+#include "core/incremental_auditor.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace geolic;         // NOLINT
+  using namespace geolic::bench;  // NOLINT
+
+  const int n = IntFlag(argc, argv, "n", 20);
+  const int batches = IntFlag(argc, argv, "batches", 50);
+
+  Workload workload = PaperWorkload(n);
+  const auto& records = workload.log.records();
+  const size_t batch_size = records.size() / static_cast<size_t>(batches);
+
+  std::printf("# Ablation: periodic full audits vs incremental auditing "
+              "(N=%d, %zu records in %d batches)\n",
+              n, records.size(), batches);
+
+  // Strategy A: full grouped audit after every batch.
+  double full_ms = 0.0;
+  uint64_t full_equations = 0;
+  {
+    LogStore accumulated;
+    for (int b = 0; b < batches; ++b) {
+      const size_t begin = static_cast<size_t>(b) * batch_size;
+      const size_t end = b + 1 == batches
+                             ? records.size()
+                             : begin + batch_size;
+      for (size_t i = begin; i < end; ++i) {
+        GEOLIC_CHECK(accumulated.Append(records[i]).ok());
+      }
+      Stopwatch timer;
+      Result<GroupedValidationResult> audit =
+          ValidateGroupedFromLog(*workload.licenses, accumulated);
+      GEOLIC_CHECK(audit.ok());
+      full_ms += timer.ElapsedMillis();
+      full_equations += audit->report.equations_evaluated;
+    }
+  }
+
+  // Strategy B: incremental auditor.
+  double incremental_ms = 0.0;
+  uint64_t incremental_equations = 0;
+  {
+    Result<IncrementalAuditor> auditor =
+        IncrementalAuditor::Create(workload.licenses.get());
+    GEOLIC_CHECK(auditor.ok());
+    for (int b = 0; b < batches; ++b) {
+      const size_t begin = static_cast<size_t>(b) * batch_size;
+      const size_t end = b + 1 == batches
+                             ? records.size()
+                             : begin + batch_size;
+      const std::vector<LogRecord> batch(
+          records.begin() + static_cast<long>(begin),
+          records.begin() + static_cast<long>(end));
+      Stopwatch timer;
+      Result<ValidationReport> report = auditor->IngestBatch(batch);
+      GEOLIC_CHECK(report.ok());
+      incremental_ms += timer.ElapsedMillis();
+    }
+    incremental_equations = auditor->equations_evaluated_total();
+  }
+
+  std::printf("%14s  %14s  %12s\n", "strategy", "equations", "total_ms");
+  std::printf("%14s  %14llu  %12.3f\n", "full-per-batch",
+              static_cast<unsigned long long>(full_equations), full_ms);
+  std::printf("%14s  %14llu  %12.3f\n", "incremental",
+              static_cast<unsigned long long>(incremental_equations),
+              incremental_ms);
+  std::printf("# expected shape: incremental wins on time (no per-batch "
+              "tree rebuild + division) and skips equations untouched by a "
+              "batch; both wins grow with audit frequency\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation: instance-based validation backends — O(N) linear scan versus
+// R-tree candidate lookup with exact confirmation (DESIGN.md design
+// choice). At single-content scale (N ≤ 64) the linear scan usually wins;
+// the R-tree pays off on large raw catalogues, benchmarked here at the box
+// level up to 16384 entries.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/instance_validator.h"
+#include "geometry/rtree.h"
+#include "licensing/license_set.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+struct LicenseFixture {
+  explicit LicenseFixture(int n) {
+    WorkloadConfig config = PaperSweepConfig(n);
+    config.num_records = 0;
+    WorkloadGenerator generator(config);
+    Result<Workload> generated = generator.GenerateLicensesOnly();
+    GEOLIC_CHECK(generated.ok());
+    workload = std::make_unique<Workload>(*std::move(generated));
+    Rng rng(42);
+    WorkloadGenerator drawer(config);
+    for (int i = 0; i < 256; ++i) {
+      const int parent = static_cast<int>(
+          rng.UniformInt(0, workload->licenses->size() - 1));
+      queries.push_back(drawer.DrawUsageLicense(*workload, parent, &rng, i));
+    }
+  }
+  std::unique_ptr<Workload> workload;
+  std::vector<License> queries;
+};
+
+void BM_LinearInstanceLookup(benchmark::State& state) {
+  const LicenseFixture fixture(static_cast<int>(state.range(0)));
+  const LinearInstanceValidator validator(fixture.workload->licenses.get());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        validator.SatisfyingSet(fixture.queries[i % fixture.queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LinearInstanceLookup)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RtreeInstanceLookup(benchmark::State& state) {
+  const LicenseFixture fixture(static_cast<int>(state.range(0)));
+  Result<RtreeInstanceValidator> validator =
+      RtreeInstanceValidator::Build(fixture.workload->licenses.get());
+  GEOLIC_CHECK(validator.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator->SatisfyingSet(
+        fixture.queries[i % fixture.queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_RtreeInstanceLookup)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Raw catalogue scale: thousands of boxes, point-ish queries.
+struct BoxFixture {
+  explicit BoxFixture(int n) : tree(4) {
+    Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      IntervalBox box;
+      for (int d = 0; d < 4; ++d) {
+        const int64_t lo = rng.UniformInt(0, 999900);
+        box.dims.push_back(Interval(lo, lo + rng.UniformInt(10, 5000)));
+      }
+      boxes.push_back(box);
+      GEOLIC_CHECK(tree.Insert(box, i).ok());
+    }
+    for (int q = 0; q < 256; ++q) {
+      IntervalBox box;
+      for (int d = 0; d < 4; ++d) {
+        const int64_t lo = rng.UniformInt(0, 999990);
+        box.dims.push_back(Interval(lo, lo + rng.UniformInt(1, 100)));
+      }
+      queries.push_back(box);
+    }
+  }
+  Rtree tree;
+  std::vector<IntervalBox> boxes;
+  std::vector<IntervalBox> queries;
+};
+
+void BM_LinearBoxContaining(benchmark::State& state) {
+  const BoxFixture fixture(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const IntervalBox& query = fixture.queries[i % fixture.queries.size()];
+    std::vector<int64_t> hits;
+    for (size_t b = 0; b < fixture.boxes.size(); ++b) {
+      if (fixture.boxes[b].Contains(query)) {
+        hits.push_back(static_cast<int64_t>(b));
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+    ++i;
+  }
+}
+BENCHMARK(BM_LinearBoxContaining)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_RtreeBoxContaining(benchmark::State& state) {
+  const BoxFixture fixture(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.tree.FindContaining(
+        fixture.queries[i % fixture.queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_RtreeBoxContaining)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+}  // namespace
+}  // namespace geolic
+
+BENCHMARK_MAIN();

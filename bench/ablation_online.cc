@@ -1,0 +1,73 @@
+// Ablation: online (per-issuance) validation with and without grouping.
+// Section 2.1 of the paper: a new license whose satisfying set has k
+// licenses touches 2^(N−k) equations; restricting to the license's overlap
+// group shrinks that to 2^(N_g−k).
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/online_validator.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+struct OnlineFixture {
+  OnlineFixture(int n, bool use_grouping) {
+    WorkloadConfig config = PaperSweepConfig(n);
+    config.num_records = 0;
+    WorkloadGenerator generator(config);
+    Result<Workload> generated = generator.GenerateLicensesOnly();
+    GEOLIC_CHECK(generated.ok());
+    workload = std::make_unique<Workload>(*std::move(generated));
+    Result<OnlineValidator> created =
+        OnlineValidator::Create(workload->licenses.get(), use_grouping);
+    GEOLIC_CHECK(created.ok());
+    validator = std::make_unique<OnlineValidator>(*std::move(created));
+    Rng rng(77);
+    for (int i = 0; i < 512; ++i) {
+      const int parent = static_cast<int>(
+          rng.UniformInt(0, workload->licenses->size() - 1));
+      queries.push_back(
+          generator.DrawUsageLicense(*workload, parent, &rng, i));
+    }
+  }
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<OnlineValidator> validator;
+  std::vector<License> queries;
+};
+
+void RunIssueLoop(benchmark::State& state, bool use_grouping) {
+  OnlineFixture fixture(static_cast<int>(state.range(0)), use_grouping);
+  size_t i = 0;
+  uint64_t equations = 0;
+  uint64_t issues = 0;
+  for (auto _ : state) {
+    const Result<OnlineDecision> decision = fixture.validator->TryIssue(
+        fixture.queries[i % fixture.queries.size()]);
+    GEOLIC_CHECK(decision.ok());
+    equations += decision->equations_checked;
+    ++issues;
+    ++i;
+  }
+  state.counters["equations_per_issue"] =
+      benchmark::Counter(static_cast<double>(equations) /
+                         static_cast<double>(issues == 0 ? 1 : issues));
+}
+
+void BM_OnlineIssueGrouped(benchmark::State& state) {
+  RunIssueLoop(state, /*use_grouping=*/true);
+}
+BENCHMARK(BM_OnlineIssueGrouped)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_OnlineIssueBaseline(benchmark::State& state) {
+  RunIssueLoop(state, /*use_grouping=*/false);
+}
+BENCHMARK(BM_OnlineIssueBaseline)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+}  // namespace geolic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks of the validation-tree primitives: record insertion and
+// the SumSubsets traversal (the inner loop of every validation equation).
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "validation/validation_tree.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+LogStore MakeLog(int n, int records) {
+  WorkloadConfig config = PaperSweepConfig(n);
+  config.num_records = records;
+  WorkloadGenerator generator(config);
+  Result<Workload> workload = generator.Generate();
+  GEOLIC_CHECK(workload.ok());
+  return std::move(workload->log);
+}
+
+void BM_TreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LogStore log = MakeLog(n, 4096);
+  for (auto _ : state) {
+    ValidationTree tree;
+    for (const LogRecord& record : log.records()) {
+      GEOLIC_CHECK(tree.Insert(record.set, record.count).ok());
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_TreeInsert)->Arg(5)->Arg(15)->Arg(25)->Arg(35);
+
+void BM_TreeSumSubsets(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LogStore log = MakeLog(n, 8192);
+  Result<ValidationTree> tree = ValidationTree::BuildFromLog(log);
+  GEOLIC_CHECK(tree.ok());
+  Rng rng(3);
+  std::vector<LicenseMask> sets;
+  for (int i = 0; i < 512; ++i) {
+    sets.push_back((static_cast<LicenseMask>(rng.Next()) & FullMask(n)) | 1u);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->SumSubsets(sets[i % sets.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TreeSumSubsets)->Arg(5)->Arg(15)->Arg(25)->Arg(35);
+
+void BM_TreeBuildFromLog(benchmark::State& state) {
+  const LogStore log = MakeLog(static_cast<int>(state.range(0)), 16384);
+  for (auto _ : state) {
+    Result<ValidationTree> tree = ValidationTree::BuildFromLog(log);
+    GEOLIC_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeBuildFromLog)->Arg(10)->Arg(35);
+
+}  // namespace
+}  // namespace geolic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+#ifndef GEOLIC_BENCH_BENCH_UTIL_H_
+#define GEOLIC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/grouping.h"
+#include "util/check.h"
+#include "workload/workload.h"
+
+namespace geolic::bench {
+
+// Generates the paper-parameter workload for N redistribution licenses.
+inline Workload PaperWorkload(int num_licenses, uint64_t seed = 2010) {
+  WorkloadGenerator generator(PaperSweepConfig(num_licenses, seed));
+  Result<Workload> workload = generator.Generate();
+  GEOLIC_CHECK(workload.ok());
+  return *std::move(workload);
+}
+
+// Group sizes of a license set, for gain computations.
+inline std::vector<int> GroupSizes(const LicenseGrouping& grouping) {
+  std::vector<int> sizes;
+  sizes.reserve(static_cast<size_t>(grouping.group_count()));
+  for (int k = 0; k < grouping.group_count(); ++k) {
+    sizes.push_back(grouping.GroupSize(k));
+  }
+  return sizes;
+}
+
+// "3+2" style rendering of group sizes.
+inline std::string SizesToString(const std::vector<int>& sizes) {
+  std::string out;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) {
+      out += "+";
+    }
+    out += std::to_string(sizes[i]);
+  }
+  return out;
+}
+
+// Parses "--max_n=30"-style int flags from argv; returns fallback when the
+// flag is absent or malformed.
+inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atoi(arg.c_str() + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace geolic::bench
+
+#endif  // GEOLIC_BENCH_BENCH_UTIL_H_

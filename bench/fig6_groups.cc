@@ -1,0 +1,43 @@
+// Figure 6: variation of the number of groups of redistribution licenses
+// with the number of redistribution licenses N.
+//
+// The paper observes the group count fluctuating between 1 and 5 over
+// N = 1..35: adding a license can keep the count (joins one group), grow it
+// (overlaps nothing), or shrink it (bridges several groups). This harness
+// prints the series for the paper-parameter workload.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/grouping.h"
+
+int main(int argc, char** argv) {
+  using namespace geolic;         // NOLINT
+  using namespace geolic::bench;  // NOLINT
+
+  const int max_n = IntFlag(argc, argv, "max_n", 35);
+  const int seed = IntFlag(argc, argv, "seed", 2010);
+
+  std::printf("# Figure 6: number of groups vs number of redistribution "
+              "licenses\n");
+  std::printf("%4s  %8s  %s\n", "N", "groups", "group_sizes");
+  int min_groups = INT32_MAX;
+  int max_groups = 0;
+  for (int n = 1; n <= max_n; ++n) {
+    WorkloadGenerator generator(
+        PaperSweepConfig(n, static_cast<uint64_t>(seed)));
+    Result<Workload> workload = generator.GenerateLicensesOnly();
+    GEOLIC_CHECK(workload.ok());
+    const LicenseGrouping grouping =
+        LicenseGrouping::FromLicenses(*workload->licenses);
+    const std::vector<int> sizes = GroupSizes(grouping);
+    min_groups = std::min(min_groups, grouping.group_count());
+    max_groups = std::max(max_groups, grouping.group_count());
+    std::printf("%4d  %8d  %s\n", n, grouping.group_count(),
+                SizesToString(sizes).c_str());
+  }
+  std::printf("# group count ranged %d..%d (paper: 1..5)\n", min_groups,
+              max_groups);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 8: theoretical vs experimental gain.
+//
+// Theoretical gain is equation 3: G ≈ (2^N − 1) / Σ_k (2^{N_k} − 1).
+// Experimental gain is measured baseline V_T divided by proposed V_T. The
+// paper observes experimental ≥ theoretical, because each group's equations
+// traverse only that group's (smaller) tree, skipping the redundant
+// traversals of the original tree.
+#include <cstdio>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "core/gain.h"
+#include "core/grouped_validator.h"
+#include "validation/exhaustive_validator.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace geolic;         // NOLINT
+  using namespace geolic::bench;  // NOLINT
+
+  const int max_n = IntFlag(argc, argv, "max_n", 22);
+  const int step = IntFlag(argc, argv, "step", 2);
+  const int repeats = IntFlag(argc, argv, "repeats", 3);
+
+  std::printf("# Figure 8: theoretical vs experimental gain\n");
+  std::printf("%4s  %7s  %12s  %16s  %18s\n", "N", "groups",
+              "group_sizes", "theoretical_gain", "experimental_gain");
+
+  int below = 0;
+  for (int n = 2; n <= max_n; n += step) {
+    Workload workload = PaperWorkload(n);
+    const LicenseGrouping grouping =
+        LicenseGrouping::FromLicenses(*workload.licenses);
+    const std::vector<int> sizes = GroupSizes(grouping);
+    const double theoretical = TheoreticalGain(sizes);
+
+    // Median-ish: average over repeats to stabilise small-N timings.
+    double baseline_total = 0.0;
+    double proposed_total = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      Result<ValidationTree> baseline_tree =
+          ValidationTree::BuildFromLog(workload.log);
+      GEOLIC_CHECK(baseline_tree.ok());
+      Stopwatch baseline_timer;
+      Result<ValidationReport> baseline = ValidateExhaustive(
+          *baseline_tree, workload.licenses->AggregateCounts());
+      baseline_total += baseline_timer.ElapsedMicros();
+      GEOLIC_CHECK(baseline.ok());
+
+      Result<ValidationTree> grouped_tree =
+          ValidationTree::BuildFromLog(workload.log);
+      GEOLIC_CHECK(grouped_tree.ok());
+      Result<GroupedValidationResult> grouped = ValidateGroupedWithGrouping(
+          grouping, workload.licenses->AggregateCounts(),
+          *std::move(grouped_tree));
+      GEOLIC_CHECK(grouped.ok());
+      proposed_total += grouped->validation_micros;
+    }
+    const double experimental =
+        proposed_total > 0 ? baseline_total / proposed_total : 0.0;
+    if (experimental < theoretical) {
+      ++below;
+    }
+    std::printf("%4d  %7d  %12s  %16.2f  %18.2f\n", n,
+                grouping.group_count(), SizesToString(sizes).c_str(),
+                theoretical, experimental);
+  }
+  std::printf("# expected shape: experimental >= theoretical (tree division "
+              "also removes redundant traversals); points below: %d\n",
+              below);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 9: insertion time complexity — the time to insert one log record
+// into the validation tree versus the one-off time to divide the tree
+// (group identification + separation + index modification).
+//
+// The paper reports division costing only ~3-4 single-record insertions,
+// amortised over thousands of insertions, i.e. negligible construction
+// overhead versus reference [10].
+#include <cstdio>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "core/tree_division.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace geolic;         // NOLINT
+  using namespace geolic::bench;  // NOLINT
+
+  const int max_n = IntFlag(argc, argv, "max_n", 35);
+  const int step = IntFlag(argc, argv, "step", 2);
+
+  std::printf("# Figure 9: single-record insertion time vs tree division "
+              "time\n");
+  std::printf("%4s  %8s  %15s  %15s  %18s  %8s  %9s\n", "N", "records",
+              "build_tree_ms", "insert_1_us", "division_DT_us", "DT/ins",
+              "DT/CT");
+
+  for (int n = 2; n <= max_n; n += step) {
+    Workload workload = PaperWorkload(n);
+
+    // C_T: build the tree from the whole log; per-record cost follows.
+    Stopwatch build_timer;
+    Result<ValidationTree> tree = ValidationTree::BuildFromLog(workload.log);
+    const double build_ms = build_timer.ElapsedMillis();
+    GEOLIC_CHECK(tree.ok());
+    const double insert_one_us =
+        build_ms * 1000.0 / static_cast<double>(workload.log.size());
+
+    // D_T: grouping + division + reindexing, performed once.
+    Stopwatch division_timer;
+    const LicenseGrouping grouping =
+        LicenseGrouping::FromLicenses(*workload.licenses);
+    Result<DividedTrees> divided = DivideAndReindex(
+        *std::move(tree), grouping, workload.licenses->AggregateCounts());
+    const double division_us = division_timer.ElapsedMicros();
+    GEOLIC_CHECK(divided.ok());
+
+    std::printf("%4d  %8zu  %15.3f  %15.3f  %18.3f  %7.1fx  %8.2f%%\n", n,
+                workload.log.size(), build_ms, insert_one_us, division_us,
+                division_us / (insert_one_us > 0 ? insert_one_us : 1e-9),
+                100.0 * division_us / (build_ms * 1000.0));
+  }
+  std::printf("# expected shape: DT is a one-off cost amortised over "
+              "thousands of inserts — a few percent of total construction "
+              "CT. (The paper's Java baseline put DT at 3-4 single inserts; "
+              "this C++ insert is far cheaper relative to the O(N^2) overlap "
+              "graph + O(nodes) reindex inside DT, so DT/ins is larger here "
+              "while the amortised conclusion is unchanged.)\n");
+  return 0;
+}

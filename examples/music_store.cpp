@@ -1,0 +1,133 @@
+// Music-store scenario: a multi-level DRM distribution network with a
+// rights violation detected by the offline audit.
+//
+// A label (owner) licenses a track to two regional distributors; the Asia
+// distributor sub-licenses a reseller; everyone issues usage licenses to
+// consumers through online validation — except the reseller, which goes
+// rogue and over-issues past its aggregate budget. The validation
+// authority's offline grouped audit pinpoints the violated equation.
+//
+// Build & run:  ./build/examples/music_store
+#include <cstdio>
+
+#include "drm/distribution_network.h"
+#include "licensing/license_parser.h"
+
+namespace {
+
+using namespace geolic;  // NOLINT
+
+// Issues `count` play-counts to a consumer, reporting the decision.
+bool IssueUsage(DistributionNetwork* network, int distributor, int consumer,
+                const ConstraintSchema& schema, const std::string& id,
+                const std::string& period, const std::string& region,
+                int64_t count) {
+  Result<License> usage = ParseLicense(
+      "(track-42; Play; T=" + period + "; R={" + region + "}; A=" +
+          std::to_string(count) + ")",
+      schema, LicenseType::kUsage, id);
+  if (!usage.ok()) {
+    std::fprintf(stderr, "bad usage license: %s\n",
+                 usage.status().ToString().c_str());
+    return false;
+  }
+  const Result<OnlineDecision> decision =
+      network->Issue(distributor, consumer, *usage);
+  if (!decision.ok()) {
+    std::fprintf(stderr, "issue failed: %s\n",
+                 decision.status().ToString().c_str());
+    return false;
+  }
+  std::printf("  %-6s -> consumer: %4lld counts in %-9s : %s\n", id.c_str(),
+              static_cast<long long>(count), region.c_str(),
+              decision->accepted() ? "accepted" : "REJECTED");
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
+  DistributionNetwork network(&schema, "track-42", Permission::kPlay);
+
+  // Parties.
+  const int label = *network.AddOwner("HarmonyLabel");
+  const int asia = *network.AddDistributor("AsiaMusic", label);
+  const int europe = *network.AddDistributor("EuroTunes", label);
+  const int reseller = *network.AddDistributor("BudgetBeats", asia);
+  const int consumer_in = *network.AddConsumer("listener-in", asia);
+  const int consumer_eu = *network.AddConsumer("listener-eu", europe);
+  const int consumer_jp = *network.AddConsumer("listener-jp", reseller);
+
+  // Owner grants: Asia rights (10k plays, H1 2026) and Europe rights.
+  auto grant = [&](int to, const char* text, const std::string& id) {
+    Result<License> license =
+        ParseLicense(text, schema, LicenseType::kRedistribution, id);
+    GEOLIC_CHECK(license.ok());
+    GEOLIC_CHECK(network.GrantFromOwner(to, *std::move(license)).ok());
+  };
+  grant(asia,
+        "(track-42; Play; T=[2026-01-01, 2026-06-30]; R={Asia}; A=10000)",
+        "ASIA-1");
+  grant(europe,
+        "(track-42; Play; T=[2026-01-01, 2026-12-31]; R={Europe}; A=8000)",
+        "EU-1");
+
+  // AsiaMusic sub-licenses BudgetBeats for Japan with a 500-play budget.
+  Result<License> sublicense = ParseLicense(
+      "(track-42; Play; T=[2026-02-01, 2026-04-30]; R={Japan}; A=500)",
+      schema, LicenseType::kRedistribution, "ASIA-1.1");
+  GEOLIC_CHECK(sublicense.ok());
+  const Result<OnlineDecision> sub_decision =
+      network.Issue(asia, reseller, *sublicense);
+  GEOLIC_CHECK(sub_decision.ok());
+  std::printf("Sub-license ASIA-1.1 (Japan, 500 plays) to BudgetBeats: %s\n",
+              sub_decision->accepted() ? "accepted" : "REJECTED");
+
+  // Normal trade, all validated online.
+  std::printf("\nOnline-validated usage issues:\n");
+  IssueUsage(&network, asia, consumer_in, schema, "LU-A1",
+             "[2026-03-01, 2026-03-31]", "India", 3000);
+  IssueUsage(&network, europe, consumer_eu, schema, "LU-E1",
+             "[2026-05-01, 2026-05-31]", "Germany", 2500);
+  IssueUsage(&network, reseller, consumer_jp, schema, "LU-B1",
+             "[2026-03-01, 2026-03-15]", "Japan", 400);
+  // This one would blow BudgetBeats' 500 budget — online validation stops
+  // it.
+  IssueUsage(&network, reseller, consumer_jp, schema, "LU-B2",
+             "[2026-03-16, 2026-03-31]", "Japan", 200);
+
+  // BudgetBeats goes rogue: bypasses validation and over-issues anyway.
+  Result<License> rogue = ParseLicense(
+      "(track-42; Play; T=[2026-04-01, 2026-04-15]; R={Japan}; A=350)",
+      schema, LicenseType::kUsage, "LU-B3");
+  GEOLIC_CHECK(rogue.ok());
+  const Result<LicenseMask> rogue_set =
+      network.IssueUnchecked(reseller, consumer_jp, *rogue);
+  GEOLIC_CHECK(rogue_set.ok());
+  std::printf("\nBudgetBeats ROGUE issue LU-B3: 350 counts logged against "
+              "%s without validation\n",
+              MaskToString(*rogue_set).c_str());
+
+  // The validation authority audits the whole network offline.
+  const Result<NetworkAudit> audit = network.AuditAll();
+  GEOLIC_CHECK(audit.ok());
+  std::printf("\nOffline audit (paper's grouped validation):\n");
+  for (const DistributorAudit& entry : audit->distributors) {
+    std::printf("  %-12s groups=%d equations=%llu : %s",
+                entry.party_name.c_str(), entry.result.group_count,
+                static_cast<unsigned long long>(
+                    entry.result.report.equations_evaluated),
+                entry.result.report.all_valid() ? "clean\n" : "VIOLATIONS\n");
+    for (const EquationResult& violation : entry.result.report.violations) {
+      std::printf("      C<%s> = %lld > A[%s] = %lld\n",
+                  MaskToString(violation.set).c_str(),
+                  static_cast<long long>(violation.lhs),
+                  MaskToString(violation.set).c_str(),
+                  static_cast<long long>(violation.rhs));
+    }
+  }
+  std::printf("\nNetwork %s\n",
+              audit->clean() ? "is clean" : "has rights violations");
+  return audit->clean() ? 1 : 0;  // The demo *expects* to catch the rogue.
+}

@@ -1,0 +1,86 @@
+#include "core/assignment.h"
+
+#include <utility>
+
+#include "graph/max_flow.h"
+
+namespace geolic {
+
+Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
+                                               const LogStore& log) {
+  const int n = licenses.size();
+  if (n == 0) {
+    return Status::InvalidArgument("settlement needs at least one license");
+  }
+  const auto merged = log.MergedCounts();
+  for (const auto& [set, count] : merged) {
+    if (!IsSubsetOf(set, licenses.AllMask())) {
+      return Status::InvalidArgument(
+          "log references licenses outside the set: " + MaskToString(set));
+    }
+    (void)count;
+  }
+
+  // Transportation network: 0 = source; 1..S = set nodes; then licenses;
+  // last = sink.
+  const int num_sets = static_cast<int>(merged.size());
+  const int license_base = 1 + num_sets;
+  const int sink = license_base + n;
+  MaxFlow flow(sink + 1);
+
+  struct SetEdges {
+    LicenseMask set = 0;
+    std::vector<std::pair<int, int>> member_edges;  // (license, edge id).
+  };
+  std::vector<SetEdges> set_edges;
+  set_edges.reserve(merged.size());
+  int64_t total_demand = 0;
+  int set_node = 1;
+  for (const auto& [set, count] : merged) {
+    SetEdges edges;
+    edges.set = set;
+    flow.AddEdge(0, set_node, count);
+    total_demand += count;
+    for (int license : MaskToIndexes(set)) {
+      edges.member_edges.emplace_back(
+          license,
+          flow.AddEdge(set_node, license_base + license,
+                       MaxFlow::kInfinity));
+    }
+    set_edges.push_back(std::move(edges));
+    ++set_node;
+  }
+  for (int license = 0; license < n; ++license) {
+    flow.AddEdge(license_base + license, sink,
+                 licenses.at(license).aggregate_count());
+  }
+
+  GEOLIC_ASSIGN_OR_RETURN(const int64_t routed, flow.Compute(0, sink));
+  if (routed != total_demand) {
+    return Status::FailedPrecondition(
+        "log is not settleable: " + std::to_string(total_demand - routed) +
+        " counts exceed the aggregate budgets (validation equations are "
+        "violated)");
+  }
+
+  SettlementAssignment settlement;
+  settlement.charged.assign(static_cast<size_t>(n), 0);
+  for (const SetEdges& edges : set_edges) {
+    auto& rows = settlement.allocation[edges.set];
+    for (const auto& [license, edge_id] : edges.member_edges) {
+      const int64_t amount = flow.flow_on(edge_id);
+      if (amount > 0) {
+        rows.emplace_back(license, amount);
+        settlement.charged[static_cast<size_t>(license)] += amount;
+      }
+    }
+  }
+  settlement.remaining = licenses.AggregateCounts();
+  for (int license = 0; license < n; ++license) {
+    settlement.remaining[static_cast<size_t>(license)] -=
+        settlement.charged[static_cast<size_t>(license)];
+  }
+  return settlement;
+}
+
+}  // namespace geolic

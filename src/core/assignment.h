@@ -1,0 +1,42 @@
+#ifndef GEOLIC_CORE_ASSIGNMENT_H_
+#define GEOLIC_CORE_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "licensing/license_set.h"
+#include "validation/log_store.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// An explicit split of every logged set's counts across that set's member
+// licenses — the *witness* whose existence the validation equations
+// guarantee (see tests/validation/feasibility_test.cc). Equation-based
+// validation never materialises this; settlement does: when a validation
+// period closes, each issued count must be billed against one concrete
+// redistribution license.
+struct SettlementAssignment {
+  // allocation[set][license index] = counts of C[set] charged to that
+  // license. Only members of `set` appear; allocations are ≥ 0 and sum to
+  // C[set] per set.
+  std::unordered_map<LicenseMask, std::vector<std::pair<int, int64_t>>>
+      allocation;
+  // Counts charged per license (index-aligned with the license set).
+  std::vector<int64_t> charged;
+  // Remaining budget per license (aggregate − charged).
+  std::vector<int64_t> remaining;
+};
+
+// Computes a feasible settlement for `log` against `licenses` via max-flow
+// (source → sets → member licenses → sink). Fails with FAILED_PRECONDITION
+// when the log violates some validation equation — i.e. exactly when the
+// offline validators report a violation.
+Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
+                                               const LogStore& log);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_ASSIGNMENT_H_

@@ -1,0 +1,46 @@
+#include "core/capacity.h"
+
+#include <algorithm>
+
+namespace geolic {
+
+Result<CapacityQuote> RemainingCapacity(const LicenseSet& licenses,
+                                        const LicenseGrouping& grouping,
+                                        const ValidationTree& tree,
+                                        LicenseMask set) {
+  if (set == 0) {
+    return Status::InvalidArgument("capacity query needs a non-empty set");
+  }
+  if (!IsSubsetOf(set, licenses.AllMask())) {
+    return Status::InvalidArgument(
+        "set references licenses outside the license set");
+  }
+  const int group = grouping.GroupOf(LowestLicense(set));
+  const LicenseMask scope = grouping.GroupMask(group);
+  if (!IsSubsetOf(set, scope)) {
+    return Status::InvalidArgument(
+        "set spans multiple overlap groups: " + MaskToString(set));
+  }
+
+  CapacityQuote quote;
+  bool first = true;
+  const LicenseMask extension = scope & ~set;
+  LicenseMask x = 0;
+  while (true) {
+    const LicenseMask t = set | x;
+    const int64_t slack = licenses.AggregateSum(t) - tree.SumSubsets(t);
+    if (first || slack < quote.binding_slack) {
+      quote.binding_set = t;
+      quote.binding_slack = slack;
+      first = false;
+    }
+    if (x == extension) {
+      break;
+    }
+    x = (x - extension) & extension;
+  }
+  quote.remaining = std::max<int64_t>(0, quote.binding_slack);
+  return quote;
+}
+
+}  // namespace geolic

@@ -1,0 +1,62 @@
+#include "core/dynamic_grouping.h"
+
+namespace geolic {
+
+Result<int> DynamicGrouping::AddLicense(const HyperRect& rect) {
+  if (size() >= kMaxLicenses) {
+    return Status::CapacityExceeded(
+        "dynamic grouping supports at most 64 licenses");
+  }
+  if (!rects_.empty() &&
+      rect.dimensions() != rects_.front().dimensions()) {
+    return Status::InvalidArgument(
+        "license dimensionality disagrees with earlier licenses");
+  }
+  const int index = size();
+  ++groups_;  // The newcomer starts as its own group…
+  for (int other = 0; other < index; ++other) {
+    if (rect.Overlaps(rects_[static_cast<size_t>(other)])) {
+      if (union_find_.Union(index, other)) {
+        --groups_;  // …and loses one group per component it bridges.
+        ++merges_;
+      }
+    }
+  }
+  rects_.push_back(rect);
+  return index;
+}
+
+LicenseMask DynamicGrouping::GroupMaskOf(int index) const {
+  GEOLIC_CHECK(index >= 0 && index < size());
+  // UnionFind::Find is mutating (path compression); work on a copy for a
+  // const API. Cheap at N ≤ 64.
+  UnionFind scratch = union_find_;
+  const int root = scratch.Find(index);
+  LicenseMask mask = 0;
+  for (int v = 0; v < size(); ++v) {
+    if (scratch.Find(v) == root) {
+      mask |= SingletonMask(v);
+    }
+  }
+  return mask;
+}
+
+ComponentSet DynamicGrouping::Components() const {
+  UnionFind scratch = union_find_;
+  ComponentSet out;
+  out.component_of.assign(static_cast<size_t>(size()), -1);
+  std::vector<int> component_of_root(kMaxLicenses, -1);
+  for (int v = 0; v < size(); ++v) {
+    const int root = scratch.Find(v);
+    int& k = component_of_root[static_cast<size_t>(root)];
+    if (k == -1) {
+      k = static_cast<int>(out.components.size());
+      out.components.push_back(0);
+    }
+    out.components[static_cast<size_t>(k)] |= SingletonMask(v);
+    out.component_of[static_cast<size_t>(v)] = k;
+  }
+  return out;
+}
+
+}  // namespace geolic

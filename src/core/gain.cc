@@ -1,0 +1,39 @@
+#include "core/gain.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geolic {
+
+uint64_t EquationCount(int n) {
+  GEOLIC_CHECK(n >= 0 && n <= 64);
+  if (n == 64) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << n) - 1;
+}
+
+uint64_t GroupedEquationCount(const std::vector<int>& group_sizes) {
+  uint64_t total = 0;
+  for (int size : group_sizes) {
+    total += EquationCount(size);
+  }
+  return total;
+}
+
+double TheoreticalGain(const std::vector<int>& group_sizes) {
+  int n = 0;
+  double denominator = 0.0;
+  for (int size : group_sizes) {
+    GEOLIC_CHECK(size >= 0);
+    n += size;
+    denominator += std::exp2(size) - 1.0;
+  }
+  if (n == 0 || denominator == 0.0) {
+    return 1.0;
+  }
+  return (std::exp2(n) - 1.0) / denominator;
+}
+
+}  // namespace geolic

@@ -1,0 +1,23 @@
+#ifndef GEOLIC_CORE_GAIN_H_
+#define GEOLIC_CORE_GAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace geolic {
+
+// Number of validation equations for n licenses: 2^n − 1. Requires
+// 0 ≤ n ≤ 63 to stay exact in uint64 (n = 64 saturates to UINT64_MAX).
+uint64_t EquationCount(int n);
+
+// Total equations after grouping: Σ_k (2^{N_k} − 1).
+uint64_t GroupedEquationCount(const std::vector<int>& group_sizes);
+
+// The paper's equation 3: theoretical performance gain
+// G ≈ (2^N − 1) / Σ_k (2^{N_k} − 1), with N = Σ N_k. Returns 1.0 for an
+// empty grouping. Computed in double so N up to 64 is safe.
+double TheoreticalGain(const std::vector<int>& group_sizes);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_GAIN_H_

@@ -1,0 +1,110 @@
+#include "core/incremental_auditor.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace geolic {
+
+IncrementalAuditor::IncrementalAuditor(const LicenseSet* licenses,
+                                       LicenseGrouping grouping)
+    : licenses_(licenses), grouping_(std::move(grouping)) {
+  const int g = grouping_.group_count();
+  group_trees_.resize(static_cast<size_t>(g));
+  group_aggregates_.reserve(static_cast<size_t>(g));
+  const std::vector<int64_t> aggregates = licenses_->AggregateCounts();
+  for (int k = 0; k < g; ++k) {
+    Result<std::vector<int64_t>> group = grouping_.GroupAggregates(
+        k, aggregates);
+    GEOLIC_CHECK(group.ok());
+    group_aggregates_.push_back(*std::move(group));
+  }
+}
+
+Result<IncrementalAuditor> IncrementalAuditor::Create(
+    const LicenseSet* licenses) {
+  if (licenses == nullptr || licenses->empty()) {
+    return Status::InvalidArgument(
+        "incremental auditor needs at least one redistribution license");
+  }
+  return IncrementalAuditor(licenses,
+                            LicenseGrouping::FromLicenses(*licenses));
+}
+
+Result<ValidationReport> IncrementalAuditor::IngestBatch(
+    const std::vector<LogRecord>& batch) {
+  // Phase 1: insert the records and collect the distinct dirty seed sets
+  // per group (in local positions).
+  std::vector<std::unordered_set<LicenseMask>> seeds(
+      static_cast<size_t>(grouping_.group_count()));
+  for (const LogRecord& record : batch) {
+    if (record.set == 0 || record.count <= 0) {
+      return Status::InvalidArgument("malformed log record in batch");
+    }
+    if (!IsSubsetOf(record.set, licenses_->AllMask())) {
+      return Status::InvalidArgument(
+          "record references unknown license indexes: " +
+          MaskToString(record.set));
+    }
+    const int group = grouping_.GroupOf(LowestLicense(record.set));
+    GEOLIC_ASSIGN_OR_RETURN(
+        const LicenseMask local,
+        grouping_.OriginalToLocalMask(group, record.set));
+    GEOLIC_RETURN_IF_ERROR(group_trees_[static_cast<size_t>(group)].Insert(
+        local, record.count));
+    seeds[static_cast<size_t>(group)].insert(local);
+    ++records_ingested_;
+  }
+
+  // Phase 2: per group, enumerate and evaluate the dirty equations — every
+  // T within the group with T ⊇ S for some seed S, deduplicated.
+  ValidationReport report;
+  for (int k = 0; k < grouping_.group_count(); ++k) {
+    const auto& group_seeds = seeds[static_cast<size_t>(k)];
+    if (group_seeds.empty()) {
+      continue;
+    }
+    const LicenseMask group_full = FullMask(grouping_.GroupSize(k));
+    std::unordered_set<LicenseMask> dirty;
+    for (const LicenseMask seed : group_seeds) {
+      const LicenseMask extension = group_full & ~seed;
+      LicenseMask x = 0;
+      while (true) {
+        dirty.insert(seed | x);
+        if (x == extension) {
+          break;
+        }
+        x = (x - extension) & extension;
+      }
+    }
+    // Deterministic order for the report.
+    std::vector<LicenseMask> ordered(dirty.begin(), dirty.end());
+    std::sort(ordered.begin(), ordered.end());
+
+    const ValidationTree& tree = group_trees_[static_cast<size_t>(k)];
+    const std::vector<int64_t>& aggregates =
+        group_aggregates_[static_cast<size_t>(k)];
+    for (const LicenseMask set : ordered) {
+      int64_t av = 0;
+      for (int j = 0; j < grouping_.GroupSize(k); ++j) {
+        if (MaskContains(set, j)) {
+          av += aggregates[static_cast<size_t>(j)];
+        }
+      }
+      const int64_t cv = tree.SumSubsets(set, &report.nodes_visited);
+      ++report.equations_evaluated;
+      if (cv > av) {
+        report.violations.push_back(EquationResult{
+            grouping_.LocalToOriginalMask(k, set), cv, av});
+      }
+    }
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const EquationResult& a, const EquationResult& b) {
+              return a.set < b.set;
+            });
+  equations_evaluated_total_ += report.equations_evaluated;
+  return report;
+}
+
+}  // namespace geolic

@@ -1,0 +1,60 @@
+#include "core/instance_validator.h"
+
+#include <utility>
+
+namespace geolic {
+
+LinearInstanceValidator::LinearInstanceValidator(const LicenseSet* licenses)
+    : licenses_(licenses) {}
+
+LicenseMask LinearInstanceValidator::SatisfyingSet(
+    const License& issued) const {
+  LicenseMask set = 0;
+  for (int i = 0; i < licenses_->size(); ++i) {
+    if (licenses_->at(i).InstanceContains(issued)) {
+      set |= SingletonMask(i);
+    }
+  }
+  return set;
+}
+
+RtreeInstanceValidator::RtreeInstanceValidator(const LicenseSet* licenses,
+                                               Rtree index)
+    : licenses_(licenses), index_(std::move(index)) {}
+
+Result<RtreeInstanceValidator> RtreeInstanceValidator::Build(
+    const LicenseSet* licenses) {
+  if (licenses->empty()) {
+    return Status::InvalidArgument(
+        "cannot build an instance index over zero licenses");
+  }
+  const int dims = licenses->schema().dimensions();
+  if (dims == 0) {
+    return Status::InvalidArgument(
+        "instance index requires at least one constraint dimension");
+  }
+  Rtree index(dims);
+  for (int i = 0; i < licenses->size(); ++i) {
+    IntervalBox box;
+    box.dims = licenses->at(i).rect().BoundingBox();
+    GEOLIC_RETURN_IF_ERROR(index.Insert(box, i));
+  }
+  return RtreeInstanceValidator(licenses, std::move(index));
+}
+
+LicenseMask RtreeInstanceValidator::SatisfyingSet(const License& issued) const {
+  IntervalBox query;
+  query.dims = issued.rect().BoundingBox();
+  LicenseMask set = 0;
+  // Candidates whose bounding box contains the issued box; bounding boxes
+  // over-approximate category dimensions, so confirm exactly.
+  for (int64_t id : index_.FindContaining(query)) {
+    const int i = static_cast<int>(id);
+    if (licenses_->at(i).InstanceContains(issued)) {
+      set |= SingletonMask(i);
+    }
+  }
+  return set;
+}
+
+}  // namespace geolic

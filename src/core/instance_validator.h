@@ -1,0 +1,60 @@
+#ifndef GEOLIC_CORE_INSTANCE_VALIDATOR_H_
+#define GEOLIC_CORE_INSTANCE_VALIDATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "geometry/rtree.h"
+#include "licensing/license_set.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Finds, for a newly generated license, the set S of redistribution
+// licenses whose instance-based constraints it satisfies — geometrically,
+// the licenses whose hyper-rectangle completely contains the new license's
+// (paper Section 3.1). S is what gets appended to the log; an empty S means
+// the license fails instance-based validation outright (the paper's L_U^2
+// in figure 2).
+class InstanceValidator {
+ public:
+  virtual ~InstanceValidator() = default;
+
+  // Mask of redistribution licenses containing `issued`.
+  virtual LicenseMask SatisfyingSet(const License& issued) const = 0;
+};
+
+// O(N) scan over the license set. For a single content's N ≤ 64 licenses
+// this is typically fastest.
+class LinearInstanceValidator : public InstanceValidator {
+ public:
+  // `licenses` must outlive the validator.
+  explicit LinearInstanceValidator(const LicenseSet* licenses);
+
+  LicenseMask SatisfyingSet(const License& issued) const override;
+
+ private:
+  const LicenseSet* licenses_;
+};
+
+// R-tree-backed lookup: candidate licenses come from a containment query on
+// interval bounding boxes, then exact hyper-rectangle tests confirm. Pays
+// off for large catalogues; ablated against the linear scan in bench/.
+class RtreeInstanceValidator : public InstanceValidator {
+ public:
+  // Builds the index over `licenses` (which must outlive the validator).
+  static Result<RtreeInstanceValidator> Build(const LicenseSet* licenses);
+
+  LicenseMask SatisfyingSet(const License& issued) const override;
+
+ private:
+  RtreeInstanceValidator(const LicenseSet* licenses, Rtree index);
+
+  const LicenseSet* licenses_;
+  Rtree index_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_INSTANCE_VALIDATOR_H_

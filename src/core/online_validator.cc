@@ -1,0 +1,99 @@
+#include "core/online_validator.h"
+
+#include <utility>
+
+namespace geolic {
+
+OnlineValidator::OnlineValidator(const LicenseSet* licenses, bool use_grouping,
+                                 LicenseGrouping grouping)
+    : licenses_(licenses),
+      use_grouping_(use_grouping),
+      grouping_(std::move(grouping)),
+      instance_validator_(licenses) {}
+
+Result<OnlineValidator> OnlineValidator::Create(const LicenseSet* licenses,
+                                                bool use_grouping) {
+  if (licenses == nullptr || licenses->empty()) {
+    return Status::InvalidArgument(
+        "online validator needs at least one redistribution license");
+  }
+  return OnlineValidator(licenses, use_grouping,
+                         LicenseGrouping::FromLicenses(*licenses));
+}
+
+Result<OnlineValidator> OnlineValidator::CreateWithHistory(
+    const LicenseSet* licenses, bool use_grouping, const LogStore& history) {
+  GEOLIC_ASSIGN_OR_RETURN(OnlineValidator validator,
+                          Create(licenses, use_grouping));
+  for (const LogRecord& record : history.records()) {
+    if (!IsSubsetOf(record.set, licenses->AllMask())) {
+      return Status::InvalidArgument(
+          "history record references unknown license indexes");
+    }
+    GEOLIC_RETURN_IF_ERROR(validator.tree_.Insert(record.set, record.count));
+    GEOLIC_RETURN_IF_ERROR(validator.log_.Append(record));
+    ++validator.issue_sequence_;
+  }
+  return validator;
+}
+
+Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
+  if (issued.aggregate_count() <= 0) {
+    return Status::InvalidArgument(
+        "issued license must carry a positive count");
+  }
+  OnlineDecision decision;
+  decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
+  if (decision.satisfying_set == 0) {
+    return decision;  // Fails instance-based validation; nothing recorded.
+  }
+  decision.instance_valid = true;
+
+  const LicenseMask s = decision.satisfying_set;
+  const int64_t count = issued.aggregate_count();
+
+  // Scope of affected equations: the whole set S^N, or S's overlap group.
+  LicenseMask scope = licenses_->AllMask();
+  if (use_grouping_) {
+    const int group = grouping_.GroupOf(LowestLicense(s));
+    scope = grouping_.GroupMask(group);
+    GEOLIC_DCHECK(IsSubsetOf(s, scope));
+  }
+
+  // Check every equation T with S ⊆ T ⊆ scope: its LHS gains `count`.
+  decision.aggregate_valid = true;
+  const LicenseMask extension = scope & ~s;
+  LicenseMask x = 0;
+  while (true) {
+    const LicenseMask t = s | x;
+    const int64_t cv = tree_.SumSubsets(t) + count;
+    const int64_t av = licenses_->AggregateSum(t);
+    ++decision.equations_checked;
+    if (cv > av) {
+      decision.aggregate_valid = false;
+      decision.limiting = EquationResult{t, cv, av};
+      break;
+    }
+    if (x == extension) {
+      break;
+    }
+    // Enumerate subsets of `extension` ascending: next = (x − ext) & ext.
+    x = (x - extension) & extension;
+  }
+  if (!decision.aggregate_valid) {
+    return decision;
+  }
+
+  // Accepted: persist in the running tree and log.
+  GEOLIC_RETURN_IF_ERROR(tree_.Insert(s, count));
+  LogRecord record;
+  record.issued_license_id =
+      issued.id().empty() ? "LU" + std::to_string(++issue_sequence_)
+                          : issued.id();
+  record.set = s;
+  record.count = count;
+  GEOLIC_RETURN_IF_ERROR(log_.Append(std::move(record)));
+  return decision;
+}
+
+}  // namespace geolic

@@ -1,0 +1,84 @@
+#ifndef GEOLIC_CORE_ONLINE_VALIDATOR_H_
+#define GEOLIC_CORE_ONLINE_VALIDATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/grouping.h"
+#include "core/instance_validator.h"
+#include "licensing/license_set.h"
+#include "validation/log_store.h"
+#include "validation/validation_report.h"
+#include "validation/validation_tree.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Decision for one attempted license issuance.
+struct OnlineDecision {
+  // Whether the issued license lies inside at least one redistribution
+  // license (S ≠ ∅).
+  bool instance_valid = false;
+  // Whether every affected validation equation still holds with the new
+  // counts added.
+  bool aggregate_valid = false;
+  // S — the satisfying set (original license indexes).
+  LicenseMask satisfying_set = 0;
+  // When aggregate validation fails: the first violated equation, with the
+  // candidate's count already included in lhs.
+  EquationResult limiting;
+  // Equations checked for this issuance: 2^(N−k) in baseline mode,
+  // 2^(N_g−k) with grouping (paper Section 2.1's complexity discussion).
+  uint64_t equations_checked = 0;
+
+  bool accepted() const { return instance_valid && aggregate_valid; }
+};
+
+// Validates licenses one at a time, as they are generated — the "online"
+// regime the paper contrasts with offline log validation. Maintains the
+// running validation tree of accepted issuances. When a license with
+// satisfying set S (|S| = k) arrives, only equations whose set contains S
+// gain counts, so only those are checked: all T ⊇ S within the scope mask.
+// With `use_grouping` the scope is S's overlap group (licenses containing
+// the same rectangle pairwise overlap, so S always lies in one group),
+// shrinking the check from 2^(N−k) to 2^(N_g−k) equations.
+class OnlineValidator {
+ public:
+  // `licenses` must be non-empty and outlive the validator.
+  static Result<OnlineValidator> Create(const LicenseSet* licenses,
+                                        bool use_grouping = true);
+
+  // Creates a validator whose tree/log are pre-loaded with `history`
+  // (records of already-validated issuances — they are not re-checked).
+  // Used when the license set grows and the validator must be rebuilt
+  // around the new grouping without losing past issuances.
+  static Result<OnlineValidator> CreateWithHistory(const LicenseSet* licenses,
+                                                   bool use_grouping,
+                                                   const LogStore& history);
+
+  // Instance- and aggregate-validates `issued`; on acceptance records it in
+  // the internal tree and log. Never fails with a Status for an invalid
+  // license — that's a Decision, not an error.
+  Result<OnlineDecision> TryIssue(const License& issued);
+
+  // Log of accepted issuances (feedable to the offline validators).
+  const LogStore& log() const { return log_; }
+  const ValidationTree& tree() const { return tree_; }
+  const LicenseGrouping& grouping() const { return grouping_; }
+
+ private:
+  OnlineValidator(const LicenseSet* licenses, bool use_grouping,
+                  LicenseGrouping grouping);
+
+  const LicenseSet* licenses_;
+  bool use_grouping_;
+  LicenseGrouping grouping_;
+  LinearInstanceValidator instance_validator_;
+  ValidationTree tree_;
+  LogStore log_;
+  int64_t issue_sequence_ = 0;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_ONLINE_VALIDATOR_H_

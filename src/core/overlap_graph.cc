@@ -1,0 +1,33 @@
+#include "core/overlap_graph.h"
+
+namespace geolic {
+
+AdjacencyMatrix BuildOverlapGraph(const LicenseSet& licenses) {
+  const int n = licenses.size();
+  AdjacencyMatrix graph(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (licenses.at(i).OverlapsWith(licenses.at(j))) {
+        graph.AddEdge(i, j);
+      }
+    }
+  }
+  return graph;
+}
+
+AdjacencyMatrix BuildOverlapGraphFromRects(
+    const std::vector<HyperRect>& rects) {
+  const int n = static_cast<int>(rects.size());
+  AdjacencyMatrix graph(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rects[static_cast<size_t>(i)].Overlaps(
+              rects[static_cast<size_t>(j)])) {
+        graph.AddEdge(i, j);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace geolic

@@ -1,0 +1,24 @@
+#ifndef GEOLIC_CORE_OVERLAP_GRAPH_H_
+#define GEOLIC_CORE_OVERLAP_GRAPH_H_
+
+#include <vector>
+
+#include "geometry/hyper_rect.h"
+#include "graph/adjacency_matrix.h"
+#include "licensing/license_set.h"
+
+namespace geolic {
+
+// Builds the paper's overlap graph (Section 3.3): one vertex per
+// redistribution license, an edge between i and j iff the two licenses are
+// overlapping — every constraint dimension of L_D^i intersects the
+// corresponding dimension of L_D^j.
+AdjacencyMatrix BuildOverlapGraph(const LicenseSet& licenses);
+
+// Overlap graph straight from hyper-rectangles (workload generators and
+// property tests operate at this level).
+AdjacencyMatrix BuildOverlapGraphFromRects(const std::vector<HyperRect>& rects);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_OVERLAP_GRAPH_H_

@@ -1,0 +1,34 @@
+#ifndef GEOLIC_CORE_PARALLEL_VALIDATOR_H_
+#define GEOLIC_CORE_PARALLEL_VALIDATOR_H_
+
+#include <vector>
+
+#include "core/grouped_validator.h"
+#include "core/grouping.h"
+#include "licensing/license_set.h"
+#include "validation/validation_report.h"
+#include "validation/validation_tree.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Multi-threaded offline validation. The validation tree is read-only
+// during equation evaluation, so the 2^N − 1 equation range shards cleanly
+// across threads; violations are merged in ascending-set order so the
+// report is byte-identical to the sequential one.
+
+// Parallel Algorithm 2: shards i = 1..2^N − 1 across `num_threads` workers
+// (0 → one shard per hardware thread). Same report as ValidateExhaustive.
+Result<ValidationReport> ValidateExhaustiveParallel(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
+    int num_threads = 0);
+
+// Parallel grouped validation: groups are validated concurrently (one task
+// per group — groups are independent trees after division). Same result as
+// ValidateGrouped up to timing fields.
+Result<GroupedValidationResult> ValidateGroupedParallel(
+    const LicenseSet& licenses, ValidationTree tree, int num_threads = 0);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_PARALLEL_VALIDATOR_H_

@@ -1,0 +1,50 @@
+#ifndef GEOLIC_CORE_TREE_DIVISION_H_
+#define GEOLIC_CORE_TREE_DIVISION_H_
+
+#include <vector>
+
+#include "core/grouping.h"
+#include "validation/validation_tree.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// The g validation trees produced by dividing one tree along license
+// groups, with their indexes rewritten to local positions (paper
+// Algorithms 4 and 5). trees[k] uses indexes 0..N_k−1; aggregates[k] is
+// A_k in the same local order.
+struct DividedTrees {
+  std::vector<ValidationTree> trees;
+  std::vector<std::vector<int64_t>> aggregates;
+};
+
+// Paper Algorithm 4 (Separation): re-links each child of `tree`'s root under
+// the root of its group's new tree. By Corollary 1.1 no branch mixes groups,
+// so moving root children moves whole branches; no node is copied or
+// created (which is why the paper's figure 10 shows identical storage).
+// `tree` is consumed. Fails with INTERNAL if a branch does mix groups
+// (possible only if the log disagrees with the grouping, i.e. a log set
+// spans non-overlapping licenses — excluded by Theorem 1 for honest logs).
+//
+// The trees returned here still carry original license indexes; call
+// ReindexTree / DivideAndReindex to apply Algorithm 5.
+Result<std::vector<ValidationTree>> DivideValidationTree(
+    ValidationTree tree, const LicenseGrouping& grouping);
+
+// Paper Algorithm 5 (Modification): rewrites every node index of group
+// `group`'s tree from original license index to the license's position
+// within the group. Fails if a node's license is not in the group.
+Status ReindexTree(const LicenseGrouping& grouping, int group,
+                   ValidationTree* tree);
+
+// Full division pipeline: Algorithm 4, then Algorithm 5 per tree, plus the
+// per-group aggregate arrays A_k derived from `aggregates` (the full array
+// A). After this, each (trees[k], aggregates[k]) pair plugs directly into
+// ValidateExhaustive — exactly how the paper reuses Algorithm 2 per group.
+Result<DividedTrees> DivideAndReindex(ValidationTree tree,
+                                      const LicenseGrouping& grouping,
+                                      const std::vector<int64_t>& aggregates);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_CORE_TREE_DIVISION_H_

@@ -1,0 +1,129 @@
+#ifndef GEOLIC_DRM_VALIDATION_AUTHORITY_H_
+#define GEOLIC_DRM_VALIDATION_AUTHORITY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/grouped_validator.h"
+#include "core/online_validator.h"
+#include "licensing/license_set.h"
+#include "validation/log_store.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// A multi-content validation authority: the party the paper charges with
+// validating "all the newly generated licenses". It routes each license to
+// the per-(content, permission) state — a LicenseSet of registered
+// redistribution licenses plus an online validator holding the running
+// tree/log — validates issues online, runs offline grouped audits, and can
+// checkpoint its accumulated logs to disk between audit periods.
+class ValidationAuthority {
+ public:
+  // Key of one validation domain.
+  struct ContentKey {
+    std::string content;
+    Permission permission = Permission::kPlay;
+
+    friend bool operator<(const ContentKey& a, const ContentKey& b) {
+      if (a.content != b.content) {
+        return a.content < b.content;
+      }
+      return static_cast<int>(a.permission) < static_cast<int>(b.permission);
+    }
+    friend bool operator==(const ContentKey& a,
+                           const ContentKey& b) = default;
+  };
+
+  // Audit of one content/permission domain.
+  struct ContentAudit {
+    ContentKey key;
+    GroupedValidationResult result;
+  };
+
+  // Outcome of closing one domain's validation period.
+  struct PeriodClose {
+    ContentAudit audit;
+    // Set iff the audit was clean: the per-license billing of the period.
+    bool settled = false;
+    SettlementAssignment settlement;
+    // The period's log, archived out of the live validator.
+    LogStore archived_log;
+  };
+
+  // `schema` applies to every content handled by this authority and must
+  // outlive it.
+  explicit ValidationAuthority(const ConstraintSchema* schema)
+      : schema_(schema) {}
+
+  ValidationAuthority(const ValidationAuthority&) = delete;
+  ValidationAuthority& operator=(const ValidationAuthority&) = delete;
+
+  // Registers a redistribution license a distributor acquired; creates the
+  // content domain on first sight. Already-validated history is preserved
+  // across the grouping rebuild.
+  Status RegisterRedistribution(License license);
+
+  // Online-validates a newly generated license (usage or redistribution)
+  // against its content domain and records it when accepted.
+  Result<OnlineDecision> ValidateIssue(const License& issued);
+
+  // Number of content domains.
+  int domain_count() const { return static_cast<int>(domains_.size()); }
+  std::vector<ContentKey> Keys() const;
+
+  // Registered redistribution licenses / accumulated log of one domain.
+  Result<const LicenseSet*> LicensesFor(const ContentKey& key) const;
+  Result<const LogStore*> LogFor(const ContentKey& key) const;
+
+  // Offline grouped audit of one domain / all domains.
+  Result<ContentAudit> Audit(const ContentKey& key) const;
+  Result<std::vector<ContentAudit>> AuditAll() const;
+
+  // Closes the domain's validation period: audits the accumulated log,
+  // settles it to concrete licenses when clean (max-flow witness), archives
+  // the log, and resets the online validator so the licenses' full budgets
+  // are available for the next period. A dirty audit still closes the
+  // period (the report carries the violations; settlement is skipped).
+  Result<PeriodClose> ClosePeriod(const ContentKey& key);
+
+  // Checkpoints every domain's issuance log into one binary file. Licenses
+  // are not persisted — on restart the operator re-registers them (they
+  // live in the licensing backend) and calls RestoreLogs.
+  Status CheckpointLogs(const std::string& path) const;
+
+  // Restores logs from CheckpointLogs output. Every checkpointed domain
+  // must already have its redistribution licenses registered (the history
+  // replay needs the license indexes to resolve). Fails without modifying
+  // state if any domain is missing or any record is inconsistent.
+  Status RestoreLogs(const std::string& path);
+
+  // Self-contained checkpoint: registered licenses *and* issuance logs.
+  // RestoreFull rebuilds an authority from it without any prior
+  // registration; it requires this authority to be empty and leaves it
+  // untouched on failure.
+  Status CheckpointFull(const std::string& path) const;
+  Status RestoreFull(const std::string& path);
+
+ private:
+  struct Domain {
+    std::unique_ptr<LicenseSet> licenses;
+    std::unique_ptr<OnlineValidator> validator;  // Null until first license.
+  };
+
+  static ContentKey KeyOf(const License& license) {
+    return ContentKey{license.content_key(), license.permission()};
+  }
+
+  Status RebuildValidator(Domain* domain, const LogStore& history);
+
+  const ConstraintSchema* schema_;
+  std::map<ContentKey, Domain> domains_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_DRM_VALIDATION_AUTHORITY_H_

@@ -1,0 +1,150 @@
+#include "geometry/category_set.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace geolic {
+
+Status CategoryUniverse::Define(std::string_view name) {
+  return DefineInternal(name, -1);
+}
+
+Status CategoryUniverse::DefineUnder(std::string_view name,
+                                     std::string_view parent) {
+  const auto it = index_by_name_.find(std::string(parent));
+  if (it == index_by_name_.end()) {
+    return Status::NotFound("parent category not defined: " +
+                            std::string(parent));
+  }
+  return DefineInternal(name, it->second);
+}
+
+Status CategoryUniverse::DefineInternal(std::string_view name,
+                                        int parent_index) {
+  if (name.empty()) {
+    return Status::InvalidArgument("category name must be non-empty");
+  }
+  if (index_by_name_.contains(std::string(name))) {
+    return Status::AlreadyExists("category already defined: " +
+                                 std::string(name));
+  }
+  if (categories_.size() >= 64) {
+    return Status::CapacityExceeded(
+        "category universe supports at most 64 categories");
+  }
+  CategoryInfo info;
+  info.name = std::string(name);
+  info.bit = static_cast<int>(categories_.size());
+  info.parent = parent_index;
+  info.resolved = uint64_t{1} << info.bit;
+  index_by_name_[info.name] = static_cast<int>(categories_.size());
+  categories_.push_back(info);
+  // Fold the new bit into every ancestor's resolved set.
+  for (int ancestor = parent_index; ancestor != -1;
+       ancestor = categories_[static_cast<size_t>(ancestor)].parent) {
+    categories_[static_cast<size_t>(ancestor)].resolved |=
+        uint64_t{1} << info.bit;
+  }
+  return Status::Ok();
+}
+
+bool CategoryUniverse::Has(std::string_view name) const {
+  return index_by_name_.contains(std::string(name));
+}
+
+Result<CategorySet> CategoryUniverse::Resolve(std::string_view name) const {
+  const auto it = index_by_name_.find(std::string(name));
+  if (it == index_by_name_.end()) {
+    return Status::NotFound("category not defined: " + std::string(name));
+  }
+  return CategorySet(categories_[static_cast<size_t>(it->second)].resolved);
+}
+
+Result<CategorySet> CategoryUniverse::ResolveAll(
+    const std::vector<std::string>& names) const {
+  CategorySet set;
+  for (const std::string& name : names) {
+    GEOLIC_ASSIGN_OR_RETURN(const CategorySet one, Resolve(name));
+    set = set.Union(one);
+  }
+  return set;
+}
+
+CategorySet CategoryUniverse::All() const {
+  uint64_t mask = 0;
+  for (const CategoryInfo& info : categories_) {
+    mask |= uint64_t{1} << info.bit;
+  }
+  return CategorySet(mask);
+}
+
+std::string CategoryUniverse::ToString(const CategorySet& set) const {
+  // Greedy cover: repeatedly take the defined category with the largest
+  // resolved set still fully inside the remainder.
+  uint64_t remaining = set.mask();
+  std::vector<std::string> names;
+  // Categories sorted by descending resolved-set size, stable by bit.
+  std::vector<const CategoryInfo*> order;
+  order.reserve(categories_.size());
+  for (const CategoryInfo& info : categories_) {
+    order.push_back(&info);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const CategoryInfo* a, const CategoryInfo* b) {
+              const int sa = std::popcount(a->resolved);
+              const int sb = std::popcount(b->resolved);
+              if (sa != sb) {
+                return sa > sb;
+              }
+              return a->bit < b->bit;
+            });
+  for (const CategoryInfo* info : order) {
+    if (info->resolved != 0 && (info->resolved & ~remaining) == 0 &&
+        (info->resolved & remaining) != 0) {
+      names.push_back(info->name);
+      remaining &= ~info->resolved;
+    }
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    if ((remaining >> bit) & 1) {
+      names.push_back("#" + std::to_string(bit));
+    }
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += names[i];
+  }
+  out += "}";
+  return out;
+}
+
+CategoryUniverse CategoryUniverse::WorldRegions() {
+  CategoryUniverse universe;
+  struct Entry {
+    const char* name;
+    const char* parent;  // nullptr for continents.
+  };
+  static constexpr Entry kEntries[] = {
+      {"Asia", nullptr},      {"Europe", nullptr},  {"America", nullptr},
+      {"Africa", nullptr},    {"Oceania", nullptr}, {"India", "Asia"},
+      {"Japan", "Asia"},      {"China", "Asia"},    {"Singapore", "Asia"},
+      {"Germany", "Europe"},  {"France", "Europe"}, {"UK", "Europe"},
+      {"USA", "America"},     {"Canada", "America"},{"Brazil", "America"},
+      {"Egypt", "Africa"},    {"Kenya", "Africa"},  {"Australia", "Oceania"},
+      {"NewZealand", "Oceania"},
+  };
+  for (const Entry& entry : kEntries) {
+    const Status status =
+        entry.parent == nullptr
+            ? universe.Define(entry.name)
+            : universe.DefineUnder(entry.name, entry.parent);
+    GEOLIC_CHECK(status.ok());
+  }
+  return universe;
+}
+
+}  // namespace geolic

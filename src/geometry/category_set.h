@@ -1,0 +1,116 @@
+#ifndef GEOLIC_GEOMETRY_CATEGORY_SET_H_
+#define GEOLIC_GEOMETRY_CATEGORY_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geolic {
+
+// A set of categories out of a universe of at most 64, encoded as a bitmask.
+// Categorical instance-based constraints (regions, device classes, output
+// formats) are category sets: "R={Asia, Europe}" in a redistribution license,
+// "R={India}" in a usage license. Containment is subset, overlap is
+// non-empty intersection — exactly the per-dimension algebra Theorems 1 and 2
+// of the paper rely on.
+class CategorySet {
+ public:
+  // Default-constructs the empty set.
+  CategorySet() : mask_(0) {}
+  explicit CategorySet(uint64_t mask) : mask_(mask) {}
+
+  static CategorySet Empty() { return CategorySet(); }
+
+  uint64_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+  int size() const { return std::popcount(mask_); }
+
+  // True iff `other` ⊆ this.
+  bool Contains(const CategorySet& other) const {
+    return (other.mask_ & ~mask_) == 0;
+  }
+
+  // True iff the sets share a category.
+  bool Overlaps(const CategorySet& other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  CategorySet Intersect(const CategorySet& other) const {
+    return CategorySet(mask_ & other.mask_);
+  }
+  CategorySet Union(const CategorySet& other) const {
+    return CategorySet(mask_ | other.mask_);
+  }
+
+  friend bool operator==(const CategorySet& a, const CategorySet& b) {
+    return a.mask_ == b.mask_;
+  }
+
+ private:
+  uint64_t mask_;
+};
+
+// Names the categories of one constraint dimension and resolves hierarchy.
+// Categories may nest ("India" inside "Asia"): every category owns one bit,
+// and a parent's *resolved set* is its own bit plus all descendants' bits.
+// Resolving "{Asia}" therefore yields a set that contains the resolved set
+// of "{India}" — this is how Example 1's usage license with R=[India]
+// instance-validates against redistribution licenses with R=[Asia, Europe].
+class CategoryUniverse {
+ public:
+  CategoryUniverse() = default;
+
+  // Registers a top-level category. Fails with ALREADY_EXISTS on duplicate
+  // names and CAPACITY_EXCEEDED past 64 categories.
+  Status Define(std::string_view name);
+
+  // Registers a category nested inside `parent` (which must already exist).
+  Status DefineUnder(std::string_view name, std::string_view parent);
+
+  // Number of defined categories.
+  int size() const { return static_cast<int>(categories_.size()); }
+
+  // True iff `name` is a defined category.
+  bool Has(std::string_view name) const;
+
+  // Resolved set for one category: its own bit plus all descendants.
+  Result<CategorySet> Resolve(std::string_view name) const;
+
+  // Union of the resolved sets of several categories.
+  Result<CategorySet> ResolveAll(const std::vector<std::string>& names) const;
+
+  // Set containing every defined category.
+  CategorySet All() const;
+
+  // Renders a set as a minimal list of defined names, greedily preferring
+  // the broadest categories: the resolved set of {Asia} prints as "Asia",
+  // not as the list of Asian countries. Bits not reachable by any defined
+  // category render as "#<bit>".
+  std::string ToString(const CategorySet& set) const;
+
+  // Built-in universe of world regions used by examples and tests:
+  // continents Asia/Europe/America/Africa/Oceania with a few countries each.
+  static CategoryUniverse WorldRegions();
+
+ private:
+  struct CategoryInfo {
+    std::string name;
+    int bit = 0;             // Own bit position.
+    int parent = -1;         // Index into categories_, -1 for top-level.
+    uint64_t resolved = 0;   // Own bit | descendants' bits.
+  };
+
+  Status DefineInternal(std::string_view name, int parent_index);
+
+  std::vector<CategoryInfo> categories_;
+  std::unordered_map<std::string, int> index_by_name_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_GEOMETRY_CATEGORY_SET_H_

@@ -1,0 +1,30 @@
+#include "geometry/interval.h"
+
+#include <limits>
+
+namespace geolic {
+
+int64_t Interval::Length() const {
+  if (empty()) {
+    return 0;
+  }
+  const uint64_t span =
+      static_cast<uint64_t>(hi_) - static_cast<uint64_t>(lo_);
+  if (span >= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(span) + 1;
+}
+
+std::string Interval::ToString() const {
+  if (empty()) {
+    return "[]";
+  }
+  return "[" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]";
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << interval.ToString();
+}
+
+}  // namespace geolic

@@ -1,0 +1,108 @@
+#ifndef GEOLIC_GEOMETRY_INTERVAL_H_
+#define GEOLIC_GEOMETRY_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/check.h"
+
+namespace geolic {
+
+// Closed integer interval [lo, hi], or the empty interval. Instance-based
+// constraints with a natural ordering (validity periods as day numbers,
+// resolution, device-class codes, ...) are modelled as intervals; a
+// single-valued usage-license constraint is the degenerate interval [v, v].
+class Interval {
+ public:
+  // Default-constructs the empty interval.
+  Interval() : lo_(0), hi_(-1) {}
+
+  // Builds [lo, hi]. A reversed pair (lo > hi) is normalised to empty.
+  Interval(int64_t lo, int64_t hi) : lo_(lo), hi_(hi) {
+    if (lo_ > hi_) {
+      *this = Empty();
+    }
+  }
+
+  static Interval Empty() { return Interval(); }
+  static Interval Point(int64_t value) { return Interval(value, value); }
+
+  bool empty() const { return lo_ > hi_; }
+  int64_t lo() const {
+    GEOLIC_DCHECK(!empty());
+    return lo_;
+  }
+  int64_t hi() const {
+    GEOLIC_DCHECK(!empty());
+    return hi_;
+  }
+
+  // Number of integer points in the interval (0 when empty). Saturates at
+  // INT64_MAX for astronomically wide intervals.
+  int64_t Length() const;
+
+  // True iff `value` lies in [lo, hi].
+  bool Contains(int64_t value) const {
+    return !empty() && lo_ <= value && value <= hi_;
+  }
+
+  // True iff `other` ⊆ this. The empty interval is contained in everything.
+  bool Contains(const Interval& other) const {
+    if (other.empty()) {
+      return true;
+    }
+    return !empty() && lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  // True iff the intervals share at least one point.
+  bool Overlaps(const Interval& other) const {
+    if (empty() || other.empty()) {
+      return false;
+    }
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  // Set intersection.
+  Interval Intersect(const Interval& other) const {
+    if (empty() || other.empty()) {
+      return Empty();
+    }
+    return Interval(std::max(lo_, other.lo_), std::min(hi_, other.hi_));
+  }
+
+  // Smallest interval covering both (empty operands are identity).
+  Interval Hull(const Interval& other) const {
+    if (empty()) {
+      return other;
+    }
+    if (other.empty()) {
+      return *this;
+    }
+    Interval hull;
+    hull.lo_ = std::min(lo_, other.lo_);
+    hull.hi_ = std::max(hi_, other.hi_);
+    return hull;
+  }
+
+  // "[lo, hi]" or "[]".
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    if (a.empty() && b.empty()) {
+      return true;
+    }
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_GEOMETRY_INTERVAL_H_

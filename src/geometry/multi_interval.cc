@@ -1,0 +1,142 @@
+#include "geometry/multi_interval.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace geolic {
+
+MultiInterval MultiInterval::FromIntervals(std::vector<Interval> intervals) {
+  MultiInterval out;
+  // Drop empties, sort by lower endpoint, then sweep-merge.
+  intervals.erase(std::remove_if(intervals.begin(), intervals.end(),
+                                 [](const Interval& interval) {
+                                   return interval.empty();
+                                 }),
+                  intervals.end());
+  if (intervals.empty()) {
+    return out;
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.lo() != b.lo()) {
+                return a.lo() < b.lo();
+              }
+              return a.hi() < b.hi();
+            });
+  Interval current = intervals.front();
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    const Interval& next = intervals[i];
+    // Merge overlapping and integer-adjacent pieces ([1,3] + [4,6]).
+    const bool adjacent =
+        current.hi() < std::numeric_limits<int64_t>::max() &&
+        next.lo() == current.hi() + 1;
+    if (next.lo() <= current.hi() || adjacent) {
+      current = Interval(current.lo(), std::max(current.hi(), next.hi()));
+    } else {
+      out.pieces_.push_back(current);
+      current = next;
+    }
+  }
+  out.pieces_.push_back(current);
+  return out;
+}
+
+int64_t MultiInterval::TotalLength() const {
+  int64_t total = 0;
+  for (const Interval& piece : pieces_) {
+    const int64_t length = piece.Length();
+    if (total > std::numeric_limits<int64_t>::max() - length) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    total += length;
+  }
+  return total;
+}
+
+Interval MultiInterval::BoundingInterval() const {
+  if (pieces_.empty()) {
+    return Interval::Empty();
+  }
+  return Interval(pieces_.front().lo(), pieces_.back().hi());
+}
+
+bool MultiInterval::Contains(int64_t value) const {
+  // Binary search on the sorted disjoint pieces.
+  const auto it = std::partition_point(
+      pieces_.begin(), pieces_.end(),
+      [value](const Interval& piece) { return piece.hi() < value; });
+  return it != pieces_.end() && it->Contains(value);
+}
+
+bool MultiInterval::Contains(const MultiInterval& other) const {
+  // Every piece of `other` must lie within a single piece of this (pieces
+  // are maximal, so a piece spanning a gap is never contained).
+  size_t mine = 0;
+  for (const Interval& piece : other.pieces_) {
+    while (mine < pieces_.size() && pieces_[mine].hi() < piece.lo()) {
+      ++mine;
+    }
+    if (mine == pieces_.size() || !pieces_[mine].Contains(piece)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MultiInterval::Overlaps(const MultiInterval& other) const {
+  size_t a = 0;
+  size_t b = 0;
+  while (a < pieces_.size() && b < other.pieces_.size()) {
+    if (pieces_[a].Overlaps(other.pieces_[b])) {
+      return true;
+    }
+    if (pieces_[a].hi() < other.pieces_[b].hi()) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+MultiInterval MultiInterval::Intersect(const MultiInterval& other) const {
+  std::vector<Interval> result;
+  size_t a = 0;
+  size_t b = 0;
+  while (a < pieces_.size() && b < other.pieces_.size()) {
+    const Interval meet = pieces_[a].Intersect(other.pieces_[b]);
+    if (!meet.empty()) {
+      result.push_back(meet);
+    }
+    if (pieces_[a].hi() < other.pieces_[b].hi()) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  // Pieces are produced sorted and disjoint; FromIntervals normalises
+  // adjacency anyway.
+  return FromIntervals(std::move(result));
+}
+
+MultiInterval MultiInterval::Union(const MultiInterval& other) const {
+  std::vector<Interval> all = pieces_;
+  all.insert(all.end(), other.pieces_.begin(), other.pieces_.end());
+  return FromIntervals(std::move(all));
+}
+
+std::string MultiInterval::ToString() const {
+  if (pieces_.empty()) {
+    return "[]";
+  }
+  std::string out;
+  for (size_t i = 0; i < pieces_.size(); ++i) {
+    if (i > 0) {
+      out += "|";
+    }
+    out += pieces_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace geolic

@@ -1,0 +1,68 @@
+#ifndef GEOLIC_GEOMETRY_MULTI_INTERVAL_H_
+#define GEOLIC_GEOMETRY_MULTI_INTERVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/interval.h"
+
+namespace geolic {
+
+// A union of disjoint closed intervals — a non-contiguous instance-based
+// constraint range, e.g. a distribution window with blackout dates
+// ("T=[2026-01-01,2026-02-28]|[2026-04-01,2026-06-30]"). Kept normalised:
+// pieces sorted ascending, non-empty, pairwise disjoint and non-adjacent
+// (adjacent pieces [1,3],[4,6] merge to [1,6] since the domain is integer).
+//
+// All the geometric machinery of the paper only needs per-dimension
+// emptiness/containment/overlap/intersection, which unions of intervals
+// provide, so multi-intervals slot into hyper-rectangles unchanged:
+// Theorems 1 and 2 hold verbatim.
+class MultiInterval {
+ public:
+  // Constructs the empty multi-interval.
+  MultiInterval() = default;
+
+  // Normalising constructor: empty inputs are dropped, overlapping or
+  // adjacent inputs merge.
+  static MultiInterval FromIntervals(std::vector<Interval> intervals);
+
+  // Single-piece convenience.
+  static MultiInterval Of(Interval interval) {
+    return FromIntervals({interval});
+  }
+
+  bool empty() const { return pieces_.empty(); }
+  // Normalised pieces, ascending.
+  const std::vector<Interval>& pieces() const { return pieces_; }
+  int piece_count() const { return static_cast<int>(pieces_.size()); }
+
+  // Total number of integer points covered (saturating).
+  int64_t TotalLength() const;
+
+  // Smallest single interval covering everything.
+  Interval BoundingInterval() const;
+
+  bool Contains(int64_t value) const;
+  // True iff every point of `other` is covered — each of other's pieces
+  // lies inside one of this union's pieces.
+  bool Contains(const MultiInterval& other) const;
+  bool Overlaps(const MultiInterval& other) const;
+
+  MultiInterval Intersect(const MultiInterval& other) const;
+  MultiInterval Union(const MultiInterval& other) const;
+
+  // "[1, 3]|[7, 9]" or "[]".
+  std::string ToString() const;
+
+  friend bool operator==(const MultiInterval& a, const MultiInterval& b) {
+    return a.pieces_ == b.pieces_;
+  }
+
+ private:
+  std::vector<Interval> pieces_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_GEOMETRY_MULTI_INTERVAL_H_

@@ -1,0 +1,353 @@
+#include "geometry/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace geolic {
+
+bool IntervalBox::Contains(const IntervalBox& other) const {
+  if (dims.size() != other.dims.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (!dims[i].Contains(other.dims[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IntervalBox::Overlaps(const IntervalBox& other) const {
+  if (dims.size() != other.dims.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (!dims[i].Overlaps(other.dims[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void IntervalBox::Extend(const IntervalBox& other) {
+  if (dims.empty()) {
+    dims = other.dims;
+    return;
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    dims[i] = dims[i].Hull(other.dims[i]);
+  }
+}
+
+double IntervalBox::Measure() const {
+  double measure = 1.0;
+  for (const Interval& dim : dims) {
+    measure *= static_cast<double>(dim.Length());
+  }
+  return measure;
+}
+
+namespace {
+
+// Measure of `box` extended to cover `addition`, minus the original
+// measure — Guttman's least-enlargement heuristic.
+double Enlargement(const IntervalBox& box, const IntervalBox& addition) {
+  IntervalBox extended = box;
+  extended.Extend(addition);
+  return extended.Measure() - box.Measure();
+}
+
+}  // namespace
+
+Rtree::Rtree(int dimensions, int max_entries)
+    : dimensions_(dimensions),
+      max_entries_(max_entries),
+      min_entries_(std::max(2, max_entries / 2)),
+      root_(std::make_unique<Node>()) {
+  GEOLIC_CHECK(dimensions >= 1);
+  GEOLIC_CHECK(max_entries >= 4);
+}
+
+Status Rtree::Insert(const IntervalBox& box, int64_t id) {
+  if (static_cast<int>(box.dims.size()) != dimensions_) {
+    return Status::InvalidArgument("box dimensionality mismatch");
+  }
+  for (const Interval& dim : box.dims) {
+    if (dim.empty()) {
+      return Status::InvalidArgument(
+          "cannot index a box with an empty dimension");
+    }
+  }
+
+  std::vector<Node*> path;
+  Node* leaf = ChooseLeaf(root_.get(), box, &path);
+  leaf->entries.push_back(Entry{box, nullptr, id});
+  ++size_;
+
+  // Walk back up: refresh the parent's bounding box for every node on the
+  // path, splitting overflowing nodes as we go (bottom-up, so every box a
+  // split reads is already up to date).
+  Node* node = leaf;
+  size_t level = path.size();
+  while (true) {
+    std::unique_ptr<Node> sibling;
+    if (static_cast<int>(node->entries.size()) > max_entries_) {
+      sibling = SplitNode(node);
+    }
+    if (node == root_.get()) {
+      if (sibling != nullptr) {
+        // Grow a new root over the two halves.
+        auto new_root = std::make_unique<Node>();
+        new_root->leaf = false;
+        new_root->entries.push_back(
+            Entry{NodeBox(*root_), std::move(root_), 0});
+        new_root->entries.push_back(
+            Entry{NodeBox(*sibling), std::move(sibling), 0});
+        root_ = std::move(new_root);
+      }
+      break;
+    }
+    Node* parent = path[level - 1];
+    for (Entry& entry : parent->entries) {
+      if (entry.child.get() == node) {
+        entry.box = NodeBox(*node);
+        break;
+      }
+    }
+    if (sibling != nullptr) {
+      parent->entries.push_back(
+          Entry{NodeBox(*sibling), std::move(sibling), 0});
+    }
+    node = parent;
+    --level;
+  }
+  return Status::Ok();
+}
+
+Rtree::Node* Rtree::ChooseLeaf(Node* node, const IntervalBox& box,
+                               std::vector<Node*>* path) const {
+  while (!node->leaf) {
+    path->push_back(node);
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_measure = std::numeric_limits<double>::infinity();
+    for (Entry& entry : node->entries) {
+      const double enlargement = Enlargement(entry.box, box);
+      const double measure = entry.box.Measure();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && measure < best_measure)) {
+        best = &entry;
+        best_enlargement = enlargement;
+        best_measure = measure;
+      }
+    }
+    GEOLIC_DCHECK(best != nullptr);
+    node = best->child.get();
+  }
+  return node;
+}
+
+std::unique_ptr<Rtree::Node> Rtree::SplitNode(Node* node) {
+  // Guttman quadratic split: pick the pair of entries whose combined box
+  // wastes the most space as seeds, then assign the rest greedily.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      IntervalBox combined = entries[i].box;
+      combined.Extend(entries[j].box);
+      const double waste = combined.Measure() - entries[i].box.Measure() -
+                           entries[j].box.Measure();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  IntervalBox box_a = entries[seed_a].box;
+  IntervalBox box_b = entries[seed_b].box;
+  std::vector<bool> assigned(entries.size(), false);
+  node->entries.push_back(std::move(entries[seed_a]));
+  sibling->entries.push_back(std::move(entries[seed_b]));
+  assigned[seed_a] = true;
+  assigned[seed_b] = true;
+
+  size_t remaining = entries.size() - 2;
+  while (remaining > 0) {
+    // Force-assign if one side must take everything left to reach min fill.
+    const size_t need_a =
+        static_cast<size_t>(min_entries_) > node->entries.size()
+            ? static_cast<size_t>(min_entries_) - node->entries.size()
+            : 0;
+    const size_t need_b =
+        static_cast<size_t>(min_entries_) > sibling->entries.size()
+            ? static_cast<size_t>(min_entries_) - sibling->entries.size()
+            : 0;
+    const bool force_a = need_a == remaining;
+    const bool force_b = need_b == remaining;
+
+    // Pick the unassigned entry with the largest preference difference.
+    size_t pick = entries.size();
+    double best_diff = -1.0;
+    double pick_da = 0.0;
+    double pick_db = 0.0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) {
+        continue;
+      }
+      const double da = Enlargement(box_a, entries[i].box);
+      const double db = Enlargement(box_b, entries[i].box);
+      const double diff = da > db ? da - db : db - da;
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_da = da;
+        pick_db = db;
+      }
+    }
+    GEOLIC_DCHECK(pick < entries.size());
+
+    const bool to_a =
+        force_a || (!force_b && (pick_da < pick_db ||
+                                 (pick_da == pick_db &&
+                                  node->entries.size() <=
+                                      sibling->entries.size())));
+    if (to_a) {
+      box_a.Extend(entries[pick].box);
+      node->entries.push_back(std::move(entries[pick]));
+    } else {
+      box_b.Extend(entries[pick].box);
+      sibling->entries.push_back(std::move(entries[pick]));
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+  return sibling;
+}
+
+IntervalBox Rtree::NodeBox(const Node& node) {
+  IntervalBox box;
+  for (const Entry& entry : node.entries) {
+    box.Extend(entry.box);
+  }
+  return box;
+}
+
+std::vector<int64_t> Rtree::FindContaining(const IntervalBox& query) const {
+  std::vector<int64_t> out;
+  if (static_cast<int>(query.dims.size()) == dimensions_ && size_ > 0) {
+    FindContainingImpl(*root_, query, &out);
+  }
+  return out;
+}
+
+void Rtree::FindContainingImpl(const Node& node, const IntervalBox& query,
+                               std::vector<int64_t>* out) const {
+  for (const Entry& entry : node.entries) {
+    if (node.leaf) {
+      if (entry.box.Contains(query)) {
+        out->push_back(entry.id);
+      }
+    } else if (entry.box.Contains(query)) {
+      // Only subtrees whose bounding box contains the query can hold a
+      // containing entry.
+      FindContainingImpl(*entry.child, query, out);
+    }
+  }
+}
+
+std::vector<int64_t> Rtree::FindOverlapping(const IntervalBox& query) const {
+  std::vector<int64_t> out;
+  if (static_cast<int>(query.dims.size()) == dimensions_ && size_ > 0) {
+    FindOverlappingImpl(*root_, query, &out);
+  }
+  return out;
+}
+
+void Rtree::FindOverlappingImpl(const Node& node, const IntervalBox& query,
+                                std::vector<int64_t>* out) const {
+  for (const Entry& entry : node.entries) {
+    if (!entry.box.Overlaps(query)) {
+      continue;
+    }
+    if (node.leaf) {
+      out->push_back(entry.id);
+    } else {
+      FindOverlappingImpl(*entry.child, query, out);
+    }
+  }
+}
+
+int Rtree::Height() const {
+  if (size_ == 0) {
+    return 0;
+  }
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++height;
+    node = node->entries.front().child.get();
+  }
+  return height;
+}
+
+int Rtree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++depth;
+    node = node->entries.front().child.get();
+  }
+  return depth;
+}
+
+Status Rtree::CheckInvariants() const {
+  if (size_ == 0) {
+    if (!root_->entries.empty()) {
+      return Status::Internal("empty tree with root entries");
+    }
+    return Status::Ok();
+  }
+  return CheckNode(*root_, 0, LeafDepth());
+}
+
+Status Rtree::CheckNode(const Node& node, int depth, int leaf_depth) const {
+  if (node.leaf != (depth == leaf_depth)) {
+    return Status::Internal("leaves at non-uniform depth");
+  }
+  if (static_cast<int>(node.entries.size()) > max_entries_) {
+    return Status::Internal("node overflow");
+  }
+  if (&node != root_.get() &&
+      static_cast<int>(node.entries.size()) < min_entries_) {
+    return Status::Internal("node underflow");
+  }
+  for (const Entry& entry : node.entries) {
+    if (node.leaf) {
+      if (entry.child != nullptr) {
+        return Status::Internal("leaf entry with a child pointer");
+      }
+      continue;
+    }
+    if (entry.child == nullptr) {
+      return Status::Internal("internal entry without a child");
+    }
+    const IntervalBox child_box = NodeBox(*entry.child);
+    if (!(entry.box.Contains(child_box) && child_box.Contains(entry.box))) {
+      return Status::Internal("stale bounding box");
+    }
+    GEOLIC_RETURN_IF_ERROR(CheckNode(*entry.child, depth + 1, leaf_depth));
+  }
+  return Status::Ok();
+}
+
+}  // namespace geolic

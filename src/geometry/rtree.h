@@ -1,0 +1,98 @@
+#ifndef GEOLIC_GEOMETRY_RTREE_H_
+#define GEOLIC_GEOMETRY_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/interval.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Axis-aligned box over plain intervals — the spatial key of the R-tree.
+// Category dimensions enter as their bounding intervals (lossy), so R-tree
+// results are *candidates* that callers confirm with exact HyperRect tests.
+struct IntervalBox {
+  std::vector<Interval> dims;
+
+  bool Contains(const IntervalBox& other) const;
+  bool Overlaps(const IntervalBox& other) const;
+  // Grows this box to cover `other`.
+  void Extend(const IntervalBox& other);
+  // Product of dimension lengths as a double (saturating, index heuristics
+  // only).
+  double Measure() const;
+};
+
+// In-memory R-tree (Guttman, quadratic split) mapping interval boxes to
+// int64 ids. The instance validator uses it to find, for a freshly issued
+// license, the candidate redistribution licenses whose hyper-rectangle could
+// contain it — the lookup the paper performs implicitly when it computes the
+// set S for each log record. With N ≤ 64 a linear scan is also fine; the
+// R-tree exists for realistic catalogue sizes (thousands of contents ×
+// licenses) and is ablated against the linear backend in bench/.
+class Rtree {
+ public:
+  // `dimensions` must be ≥ 1; `max_entries` ≥ 4 (min fill is half of max).
+  explicit Rtree(int dimensions, int max_entries = 8);
+
+  Rtree(const Rtree&) = delete;
+  Rtree& operator=(const Rtree&) = delete;
+  Rtree(Rtree&&) noexcept = default;
+  Rtree& operator=(Rtree&&) noexcept = default;
+
+  // Inserts `box` with payload `id`. Fails on dimensionality mismatch or a
+  // box with an empty dimension.
+  Status Insert(const IntervalBox& box, int64_t id);
+
+  // Ids of entries whose box fully contains `query` (candidate containers).
+  std::vector<int64_t> FindContaining(const IntervalBox& query) const;
+
+  // Ids of entries whose box overlaps `query`.
+  std::vector<int64_t> FindOverlapping(const IntervalBox& query) const;
+
+  size_t size() const { return size_; }
+  int dimensions() const { return dimensions_; }
+
+  // Height of the tree (0 when empty, 1 for a single leaf root).
+  int Height() const;
+
+  // Verifies structural invariants (bounding boxes cover children, fill
+  // factors, uniform leaf depth). Exposed for tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    IntervalBox box;
+    std::unique_ptr<Node> child;  // Internal entries.
+    int64_t id = 0;               // Leaf entries.
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  Node* ChooseLeaf(Node* node, const IntervalBox& box,
+                   std::vector<Node*>* path) const;
+  // Splits `node` in place; returns the new sibling.
+  std::unique_ptr<Node> SplitNode(Node* node);
+  static IntervalBox NodeBox(const Node& node);
+  void FindContainingImpl(const Node& node, const IntervalBox& query,
+                          std::vector<int64_t>* out) const;
+  void FindOverlappingImpl(const Node& node, const IntervalBox& query,
+                           std::vector<int64_t>* out) const;
+  Status CheckNode(const Node& node, int depth, int leaf_depth) const;
+  int LeafDepth() const;
+
+  int dimensions_;
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_GEOMETRY_RTREE_H_

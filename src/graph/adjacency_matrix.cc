@@ -1,0 +1,38 @@
+#include "graph/adjacency_matrix.h"
+
+namespace geolic {
+
+int AdjacencyMatrix::Degree(int i) const {
+  CheckVertex(i);
+  int degree = 0;
+  for (int j = 0; j < num_vertices_; ++j) {
+    if (cells_[Cell(i, j)]) {
+      ++degree;
+    }
+  }
+  return degree;
+}
+
+int AdjacencyMatrix::EdgeCount() const {
+  int twice_edges = 0;
+  for (int i = 0; i < num_vertices_; ++i) {
+    twice_edges += Degree(i);
+  }
+  return twice_edges / 2;
+}
+
+std::string AdjacencyMatrix::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_vertices_; ++i) {
+    for (int j = 0; j < num_vertices_; ++j) {
+      if (j > 0) {
+        out += ' ';
+      }
+      out += cells_[Cell(i, j)] ? '1' : '0';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace geolic

@@ -1,0 +1,69 @@
+#ifndef GEOLIC_GRAPH_ADJACENCY_MATRIX_H_
+#define GEOLIC_GRAPH_ADJACENCY_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geolic {
+
+// Dense undirected graph over vertices 0..n-1 — the paper represents the
+// license overlap graph "using an adjacency matrix Adj of size N × N"
+// (Section 3.3). Self-loops are not stored (Adj[i][i] stays 0, matching the
+// paper's figure 3).
+class AdjacencyMatrix {
+ public:
+  explicit AdjacencyMatrix(int num_vertices)
+      : num_vertices_(num_vertices),
+        cells_(static_cast<size_t>(num_vertices) *
+                   static_cast<size_t>(num_vertices),
+               false) {
+    GEOLIC_CHECK(num_vertices >= 0);
+  }
+
+  int num_vertices() const { return num_vertices_; }
+
+  // Adds the undirected edge {i, j}. Self-loops are ignored.
+  void AddEdge(int i, int j) {
+    CheckVertex(i);
+    CheckVertex(j);
+    if (i == j) {
+      return;
+    }
+    cells_[Cell(i, j)] = true;
+    cells_[Cell(j, i)] = true;
+  }
+
+  bool HasEdge(int i, int j) const {
+    CheckVertex(i);
+    CheckVertex(j);
+    return cells_[Cell(i, j)];
+  }
+
+  // Number of neighbours of `i`.
+  int Degree(int i) const;
+
+  // Total number of undirected edges.
+  int EdgeCount() const;
+
+  // Multi-line 0/1 matrix rendering (as in the paper's figure 3).
+  std::string ToString() const;
+
+ private:
+  size_t Cell(int i, int j) const {
+    return static_cast<size_t>(i) * static_cast<size_t>(num_vertices_) +
+           static_cast<size_t>(j);
+  }
+  void CheckVertex(int v) const {
+    GEOLIC_DCHECK(v >= 0 && v < num_vertices_);
+    (void)v;
+  }
+
+  int num_vertices_;
+  std::vector<bool> cells_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_GRAPH_ADJACENCY_MATRIX_H_

@@ -1,0 +1,113 @@
+#include "graph/max_flow.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace geolic {
+
+MaxFlow::MaxFlow(int num_nodes)
+    : adjacency_(static_cast<size_t>(num_nodes)) {
+  GEOLIC_CHECK(num_nodes >= 0);
+}
+
+int MaxFlow::AddEdge(int from, int to, int64_t capacity) {
+  GEOLIC_CHECK(from >= 0 && from < num_nodes());
+  GEOLIC_CHECK(to >= 0 && to < num_nodes());
+  GEOLIC_CHECK(capacity >= 0);
+  GEOLIC_CHECK(!computed_);
+  auto& forward_list = adjacency_[static_cast<size_t>(from)];
+  auto& backward_list = adjacency_[static_cast<size_t>(to)];
+  const int forward_index = static_cast<int>(forward_list.size());
+  const int backward_index = static_cast<int>(backward_list.size()) +
+                             (from == to ? 1 : 0);
+  forward_list.push_back(Edge{to, capacity, backward_index});
+  adjacency_[static_cast<size_t>(to)].push_back(
+      Edge{from, 0, forward_index});
+  edge_handles_.emplace_back(from, forward_index);
+  original_capacity_.push_back(capacity);
+  return static_cast<int>(edge_handles_.size()) - 1;
+}
+
+bool MaxFlow::BuildLevels(int source, int sink) {
+  level_.assign(adjacency_.size(), -1);
+  std::queue<int> frontier;
+  level_[static_cast<size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (const Edge& edge : adjacency_[static_cast<size_t>(node)]) {
+      if (edge.capacity > 0 && level_[static_cast<size_t>(edge.to)] == -1) {
+        level_[static_cast<size_t>(edge.to)] =
+            level_[static_cast<size_t>(node)] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] != -1;
+}
+
+int64_t MaxFlow::Augment(int node, int sink, int64_t limit) {
+  if (node == sink) {
+    return limit;
+  }
+  auto& edges = adjacency_[static_cast<size_t>(node)];
+  for (int& index = next_edge_[static_cast<size_t>(node)];
+       index < static_cast<int>(edges.size()); ++index) {
+    Edge& edge = edges[static_cast<size_t>(index)];
+    if (edge.capacity <= 0 ||
+        level_[static_cast<size_t>(edge.to)] !=
+            level_[static_cast<size_t>(node)] + 1) {
+      continue;
+    }
+    const int64_t pushed =
+        Augment(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > 0) {
+      edge.capacity -= pushed;
+      adjacency_[static_cast<size_t>(edge.to)]
+          [static_cast<size_t>(edge.reverse_index)]
+              .capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Result<int64_t> MaxFlow::Compute(int source, int sink) {
+  if (source < 0 || source >= num_nodes() || sink < 0 ||
+      sink >= num_nodes()) {
+    return Status::OutOfRange("source/sink out of range");
+  }
+  if (source == sink) {
+    return Status::InvalidArgument("source equals sink");
+  }
+  if (computed_) {
+    return Status::FailedPrecondition("Compute may be called once");
+  }
+  computed_ = true;
+  int64_t total = 0;
+  while (BuildLevels(source, sink)) {
+    next_edge_.assign(adjacency_.size(), 0);
+    while (true) {
+      const int64_t pushed = Augment(source, sink, kInfinity);
+      if (pushed == 0) {
+        break;
+      }
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+int64_t MaxFlow::flow_on(int edge_id) const {
+  GEOLIC_CHECK(edge_id >= 0 &&
+               edge_id < static_cast<int>(edge_handles_.size()));
+  const auto& [node, index] = edge_handles_[static_cast<size_t>(edge_id)];
+  const Edge& edge =
+      adjacency_[static_cast<size_t>(node)][static_cast<size_t>(index)];
+  return original_capacity_[static_cast<size_t>(edge_id)] - edge.capacity;
+}
+
+}  // namespace geolic

@@ -1,0 +1,62 @@
+#ifndef GEOLIC_GRAPH_MAX_FLOW_H_
+#define GEOLIC_GRAPH_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geolic {
+
+// Dinic's maximum-flow algorithm on a directed graph with int64 capacities.
+//
+// In this library it backs the *feasibility* view of aggregate validation:
+// assigning issued counts to redistribution licenses is a transportation
+// problem (source → log-set nodes with demand capacity, set → member
+// licenses with ∞, license → sink with aggregate capacity). By the
+// Gale–Hoffman conditions, a feasible assignment exists iff the paper's
+// validation equations C⟨S⟩ ≤ A[S] all hold — tested in
+// tests/validation/feasibility_test.cc, which pins the reproduction to the
+// underlying combinatorics rather than just the paper's algorithms.
+class MaxFlow {
+ public:
+  // Creates a network with `num_nodes` nodes (0-based ids).
+  explicit MaxFlow(int num_nodes);
+
+  // Adds a directed edge with the given capacity (≥ 0); returns the edge
+  // id, usable with flow_on() after Compute.
+  int AddEdge(int from, int to, int64_t capacity);
+
+  // Computes the maximum flow from `source` to `sink`. May be called once.
+  Result<int64_t> Compute(int source, int sink);
+
+  // Flow routed through edge `edge_id` (valid after Compute).
+  int64_t flow_on(int edge_id) const;
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+  // Practically-infinite capacity for "uncapacitated" edges.
+  static constexpr int64_t kInfinity = int64_t{1} << 60;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;   // Remaining capacity.
+    int reverse_index;  // Index of the reverse edge in adjacency_[to].
+  };
+
+  bool BuildLevels(int source, int sink);
+  int64_t Augment(int node, int sink, int64_t limit);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  // (node, index in adjacency_[node]) per public edge id.
+  std::vector<std::pair<int, int>> edge_handles_;
+  std::vector<int64_t> original_capacity_;
+  std::vector<int> level_;
+  std::vector<int> next_edge_;
+  bool computed_ = false;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_GRAPH_MAX_FLOW_H_

@@ -1,0 +1,206 @@
+#include "licensing/constraint_schema.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/date.h"
+#include "util/str_util.h"
+
+namespace geolic {
+namespace {
+
+// Parses one interval endpoint in the dimension's format.
+Result<int64_t> ParseEndpoint(IntervalFormat format, std::string_view text) {
+  if (format == IntervalFormat::kDate) {
+    GEOLIC_ASSIGN_OR_RETURN(const Date date, Date::Parse(text));
+    return date.day_number();
+  }
+  return ParseInt64(text);
+}
+
+std::string FormatEndpoint(IntervalFormat format, int64_t value) {
+  if (format == IntervalFormat::kDate) {
+    return Date::FromDayNumber(value).ToString();
+  }
+  return std::to_string(value);
+}
+
+}  // namespace
+
+Status ConstraintSchema::AddIntervalDimension(std::string_view name,
+                                              IntervalFormat format) {
+  DimensionSpec spec;
+  spec.name = std::string(name);
+  spec.kind = DimensionKind::kInterval;
+  spec.format = format;
+  return AddDimension(std::move(spec));
+}
+
+Status ConstraintSchema::AddCategoricalDimension(std::string_view name,
+                                                 CategoryUniverse universe) {
+  DimensionSpec spec;
+  spec.name = std::string(name);
+  spec.kind = DimensionKind::kCategorical;
+  spec.universe = std::move(universe);
+  return AddDimension(std::move(spec));
+}
+
+Status ConstraintSchema::AddDimension(DimensionSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("dimension name must be non-empty");
+  }
+  for (const DimensionSpec& existing : specs_) {
+    if (existing.name == spec.name) {
+      return Status::AlreadyExists("dimension already defined: " + spec.name);
+    }
+  }
+  specs_.push_back(std::move(spec));
+  return Status::Ok();
+}
+
+Result<int> ConstraintSchema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("no dimension named " + std::string(name));
+}
+
+Result<ConstraintRange> ConstraintSchema::ParseRange(
+    int dim, std::string_view text) const {
+  if (dim < 0 || dim >= dimensions()) {
+    return Status::OutOfRange("dimension index out of range: " +
+                              std::to_string(dim));
+  }
+  const DimensionSpec& spec = specs_[static_cast<size_t>(dim)];
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return Status::ParseError("empty range for dimension " + spec.name);
+  }
+
+  if (spec.kind == DimensionKind::kCategorical) {
+    std::vector<std::string> names;
+    if (text.front() == '{' || text.front() == '[') {
+      const char close = text.front() == '{' ? '}' : ']';
+      if (text.back() != close) {
+        return Status::ParseError("unbalanced braces in categorical range: " +
+                                  std::string(text));
+      }
+      for (std::string_view piece :
+           SplitAndTrim(text.substr(1, text.size() - 2), ',')) {
+        if (!piece.empty()) {
+          names.emplace_back(piece);
+        }
+      }
+    } else {
+      names.emplace_back(text);
+    }
+    if (names.empty()) {
+      return Status::ParseError("empty category list for dimension " +
+                                spec.name);
+    }
+    GEOLIC_ASSIGN_OR_RETURN(const CategorySet set,
+                            spec.universe.ResolveAll(names));
+    return ConstraintRange(set);
+  }
+
+  // Interval dimension: "[lo, hi]", a bare single value, or a union of
+  // windows "[a, b]|[c, d]" (blackout gaps).
+  const std::vector<std::string_view> windows = SplitAndTrim(text, '|');
+  std::vector<Interval> pieces;
+  pieces.reserve(windows.size());
+  for (const std::string_view window : windows) {
+    if (window.empty()) {
+      return Status::ParseError("empty window in interval union: " +
+                                std::string(text));
+    }
+    if (window.front() == '[') {
+      if (window.back() != ']') {
+        return Status::ParseError("unbalanced brackets in interval: " +
+                                  std::string(window));
+      }
+      const std::vector<std::string_view> parts =
+          SplitAndTrim(window.substr(1, window.size() - 2), ',');
+      if (parts.size() != 2) {
+        return Status::ParseError("interval must have two endpoints: " +
+                                  std::string(window));
+      }
+      GEOLIC_ASSIGN_OR_RETURN(const int64_t lo,
+                              ParseEndpoint(spec.format, parts[0]));
+      GEOLIC_ASSIGN_OR_RETURN(const int64_t hi,
+                              ParseEndpoint(spec.format, parts[1]));
+      if (lo > hi) {
+        return Status::ParseError("interval endpoints reversed: " +
+                                  std::string(window));
+      }
+      pieces.push_back(Interval(lo, hi));
+    } else {
+      GEOLIC_ASSIGN_OR_RETURN(const int64_t value,
+                              ParseEndpoint(spec.format, window));
+      pieces.push_back(Interval::Point(value));
+    }
+  }
+  if (pieces.size() == 1) {
+    return ConstraintRange(pieces.front());
+  }
+  const MultiInterval multi = MultiInterval::FromIntervals(pieces);
+  // Normalisation may merge touching windows back into one interval.
+  if (multi.piece_count() == 1) {
+    return ConstraintRange(multi.pieces().front());
+  }
+  return ConstraintRange(multi);
+}
+
+std::string ConstraintSchema::FormatRange(int dim,
+                                          const ConstraintRange& range) const {
+  const DimensionSpec& spec = specs_[static_cast<size_t>(dim)];
+  if (range.is_categories()) {
+    return spec.universe.ToString(range.categories());
+  }
+  const MultiInterval multi = range.AsMultiInterval();
+  if (multi.empty()) {
+    return "[]";
+  }
+  std::string out;
+  for (int i = 0; i < multi.piece_count(); ++i) {
+    const Interval& piece = multi.pieces()[static_cast<size_t>(i)];
+    if (i > 0) {
+      out += "|";
+    }
+    out += "[" + FormatEndpoint(spec.format, piece.lo()) + ", " +
+           FormatEndpoint(spec.format, piece.hi()) + "]";
+  }
+  return out;
+}
+
+Status ConstraintSchema::ValidateRange(int dim,
+                                       const ConstraintRange& range) const {
+  if (dim < 0 || dim >= dimensions()) {
+    return Status::OutOfRange("dimension index out of range: " +
+                              std::to_string(dim));
+  }
+  const DimensionSpec& spec = specs_[static_cast<size_t>(dim)];
+  const bool kind_matches =
+      (spec.kind == DimensionKind::kInterval && range.is_ordered()) ||
+      (spec.kind == DimensionKind::kCategorical && range.is_categories());
+  if (!kind_matches) {
+    return Status::InvalidArgument("range kind does not match dimension " +
+                                   spec.name);
+  }
+  if (range.empty()) {
+    return Status::InvalidArgument("empty range for dimension " + spec.name);
+  }
+  return Status::Ok();
+}
+
+ConstraintSchema ConstraintSchema::PaperExampleSchema() {
+  ConstraintSchema schema;
+  GEOLIC_CHECK(schema.AddIntervalDimension("T", IntervalFormat::kDate).ok());
+  GEOLIC_CHECK(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  return schema;
+}
+
+}  // namespace geolic

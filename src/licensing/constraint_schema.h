@@ -1,0 +1,93 @@
+#ifndef GEOLIC_LICENSING_CONSTRAINT_SCHEMA_H_
+#define GEOLIC_LICENSING_CONSTRAINT_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/category_set.h"
+#include "geometry/constraint_range.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// How an interval dimension's endpoints are written in license text.
+enum class IntervalFormat : int32_t {
+  kInteger = 0,  // "Q=[100, 5000]"
+  kDate = 1,     // "T=[2009-03-10, 2009-03-20]" (stored as day numbers)
+};
+
+// The kind of one instance-based constraint dimension.
+enum class DimensionKind : int32_t {
+  kInterval = 0,
+  kCategorical = 1,
+};
+
+// Declares the M instance-based constraint dimensions all licenses of a
+// content share: dimension order, names ("T", "R", ...), kinds, and — for
+// categorical dimensions — the category universe. Every license's
+// hyper-rectangle lists its ranges in schema order, which is what makes the
+// geometric operations (containment, overlap) well-defined across licenses.
+class ConstraintSchema {
+ public:
+  ConstraintSchema() = default;
+
+  // Appends an interval dimension. Names must be unique within the schema.
+  Status AddIntervalDimension(std::string_view name,
+                              IntervalFormat format = IntervalFormat::kInteger);
+
+  // Appends a categorical dimension backed by `universe` (copied in).
+  Status AddCategoricalDimension(std::string_view name,
+                                 CategoryUniverse universe);
+
+  int dimensions() const { return static_cast<int>(specs_.size()); }
+
+  const std::string& name(int dim) const {
+    return specs_[static_cast<size_t>(dim)].name;
+  }
+  DimensionKind kind(int dim) const {
+    return specs_[static_cast<size_t>(dim)].kind;
+  }
+  IntervalFormat format(int dim) const {
+    return specs_[static_cast<size_t>(dim)].format;
+  }
+  const CategoryUniverse& universe(int dim) const {
+    return specs_[static_cast<size_t>(dim)].universe;
+  }
+
+  // Index of the dimension called `name`, or NOT_FOUND.
+  Result<int> IndexOf(std::string_view name) const;
+
+  // Parses the textual value of dimension `dim`:
+  //   interval      "[10, 20]" (or "[2009-03-10, 2009-03-20]" for kDate),
+  //                 or a single value "10" → the point interval,
+  //   categorical   "{Asia, Europe}" or a single name "India".
+  Result<ConstraintRange> ParseRange(int dim, std::string_view text) const;
+
+  // Renders a range of dimension `dim` in the same textual form.
+  std::string FormatRange(int dim, const ConstraintRange& range) const;
+
+  // Verifies `range` is usable as dimension `dim` of a license: matching
+  // kind and non-empty.
+  Status ValidateRange(int dim, const ConstraintRange& range) const;
+
+  // The schema used throughout the paper's examples: validity period
+  // T (dates) and region R (world-regions universe).
+  static ConstraintSchema PaperExampleSchema();
+
+ private:
+  struct DimensionSpec {
+    std::string name;
+    DimensionKind kind = DimensionKind::kInterval;
+    IntervalFormat format = IntervalFormat::kInteger;
+    CategoryUniverse universe;  // Meaningful for kCategorical only.
+  };
+
+  Status AddDimension(DimensionSpec spec);
+
+  std::vector<DimensionSpec> specs_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_LICENSING_CONSTRAINT_SCHEMA_H_

@@ -1,0 +1,155 @@
+#include "licensing/license.h"
+
+namespace geolic {
+
+const char* LicenseTypeName(LicenseType type) {
+  switch (type) {
+    case LicenseType::kRedistribution:
+      return "redistribution";
+    case LicenseType::kUsage:
+      return "usage";
+  }
+  return "unknown";
+}
+
+std::string License::ToString(const ConstraintSchema& schema) const {
+  std::string out = "(" + content_key_ + "; ";
+  out += PermissionName(permission_);
+  for (int dim = 0; dim < rect_.dimensions(); ++dim) {
+    out += "; ";
+    if (dim < schema.dimensions()) {
+      out += schema.name(dim);
+      out += "=";
+      out += schema.FormatRange(dim, rect_.dim(dim));
+    } else {
+      out += rect_.dim(dim).ToString();
+    }
+  }
+  out += "; A=" + std::to_string(aggregate_count_) + ")";
+  return out;
+}
+
+LicenseBuilder::LicenseBuilder(const ConstraintSchema* schema)
+    : schema_(schema),
+      ranges_(static_cast<size_t>(schema->dimensions())),
+      assigned_(static_cast<size_t>(schema->dimensions()), false) {}
+
+LicenseBuilder& LicenseBuilder::SetId(std::string id) {
+  id_ = std::move(id);
+  return *this;
+}
+
+LicenseBuilder& LicenseBuilder::SetContentKey(std::string content_key) {
+  content_key_ = std::move(content_key);
+  return *this;
+}
+
+LicenseBuilder& LicenseBuilder::SetType(LicenseType type) {
+  type_ = type;
+  return *this;
+}
+
+LicenseBuilder& LicenseBuilder::SetPermission(Permission permission) {
+  permission_ = permission;
+  return *this;
+}
+
+LicenseBuilder& LicenseBuilder::SetAggregateCount(int64_t count) {
+  aggregate_count_ = count;
+  return *this;
+}
+
+LicenseBuilder& LicenseBuilder::SetRange(std::string_view name,
+                                         ConstraintRange range) {
+  const Result<int> dim = schema_->IndexOf(name);
+  if (!dim.ok()) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = dim.status();
+    }
+    return *this;
+  }
+  const Status valid = schema_->ValidateRange(*dim, range);
+  if (!valid.ok()) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = valid;
+    }
+    return *this;
+  }
+  ranges_[static_cast<size_t>(*dim)] = std::move(range);
+  assigned_[static_cast<size_t>(*dim)] = true;
+  return *this;
+}
+
+LicenseBuilder& LicenseBuilder::SetInterval(std::string_view name, int64_t lo,
+                                            int64_t hi) {
+  return SetRange(name, ConstraintRange(Interval(lo, hi)));
+}
+
+LicenseBuilder& LicenseBuilder::SetIntervalUnion(
+    std::string_view name,
+    const std::vector<std::pair<int64_t, int64_t>>& windows) {
+  std::vector<Interval> pieces;
+  pieces.reserve(windows.size());
+  for (const auto& [lo, hi] : windows) {
+    pieces.push_back(Interval(lo, hi));
+  }
+  const MultiInterval multi = MultiInterval::FromIntervals(std::move(pieces));
+  if (multi.piece_count() == 1) {
+    return SetRange(name, ConstraintRange(multi.pieces().front()));
+  }
+  return SetRange(name, ConstraintRange(multi));
+}
+
+LicenseBuilder& LicenseBuilder::SetCategories(
+    std::string_view name, const std::vector<std::string>& categories) {
+  const Result<int> dim = schema_->IndexOf(name);
+  if (!dim.ok()) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = dim.status();
+    }
+    return *this;
+  }
+  if (schema_->kind(*dim) != DimensionKind::kCategorical) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = Status::InvalidArgument(
+          "dimension is not categorical: " + std::string(name));
+    }
+    return *this;
+  }
+  const Result<CategorySet> set =
+      schema_->universe(*dim).ResolveAll(categories);
+  if (!set.ok()) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = set.status();
+    }
+    return *this;
+  }
+  return SetRange(name, ConstraintRange(*set));
+}
+
+Result<License> LicenseBuilder::Build() const {
+  if (!deferred_error_.ok()) {
+    return deferred_error_;
+  }
+  if (id_.empty()) {
+    return Status::InvalidArgument("license id must be set");
+  }
+  if (content_key_.empty()) {
+    return Status::InvalidArgument("content key must be set");
+  }
+  if (aggregate_count_ <= 0) {
+    return Status::InvalidArgument(
+        "aggregate count must be positive, got " +
+        std::to_string(aggregate_count_));
+  }
+  for (int dim = 0; dim < schema_->dimensions(); ++dim) {
+    if (!assigned_[static_cast<size_t>(dim)]) {
+      return Status::InvalidArgument("dimension not assigned: " +
+                                     schema_->name(dim));
+    }
+  }
+  return License(id_, content_key_, type_, permission_, HyperRect(ranges_),
+                 aggregate_count_);
+}
+
+}  // namespace geolic

@@ -1,0 +1,131 @@
+#ifndef GEOLIC_LICENSING_LICENSE_H_
+#define GEOLIC_LICENSING_LICENSE_H_
+
+#include <string>
+#include <utility>
+
+#include "geometry/hyper_rect.h"
+#include "licensing/constraint_schema.h"
+#include "licensing/permission.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Whether a license authorises further distribution or end use.
+enum class LicenseType : int32_t {
+  kRedistribution = 0,  // L_D: lets a distributor generate new licenses.
+  kUsage = 1,           // L_U: lets a consumer exercise the permission.
+};
+
+const char* LicenseTypeName(LicenseType type);
+
+// One license in the paper's format (K; P; I_1..I_M; A): content key K,
+// permission P, M instance-based constraints (a hyper-rectangle in schema
+// order), and the aggregate constraint A (how many permission counts this
+// license may hand out / consume). Immutable once built; construct through
+// LicenseBuilder or ParseLicense.
+class License {
+ public:
+  License() = default;
+  License(std::string id, std::string content_key, LicenseType type,
+          Permission permission, HyperRect rect, int64_t aggregate_count)
+      : id_(std::move(id)),
+        content_key_(std::move(content_key)),
+        type_(type),
+        permission_(permission),
+        rect_(std::move(rect)),
+        aggregate_count_(aggregate_count) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& content_key() const { return content_key_; }
+  LicenseType type() const { return type_; }
+  Permission permission() const { return permission_; }
+  const HyperRect& rect() const { return rect_; }
+  int64_t aggregate_count() const { return aggregate_count_; }
+
+  // The paper's instance-based validation test: true iff `issued` asks for
+  // the same content and permission and its hyper-rectangle lies completely
+  // inside this license's hyper-rectangle.
+  bool InstanceContains(const License& issued) const {
+    return content_key_ == issued.content_key_ &&
+           permission_ == issued.permission_ &&
+           rect_.Contains(issued.rect_);
+  }
+
+  // The paper's overlap predicate (Section 3.2): all constraint dimensions
+  // of the two licenses intersect. Content/permission must match too —
+  // licenses for different contents never interact.
+  bool OverlapsWith(const License& other) const {
+    return content_key_ == other.content_key_ &&
+           permission_ == other.permission_ && rect_.Overlaps(other.rect_);
+  }
+
+  // Paper-style rendering using `schema` for dimension names/formats:
+  //   (K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)
+  std::string ToString(const ConstraintSchema& schema) const;
+
+ private:
+  std::string id_;
+  std::string content_key_;
+  LicenseType type_ = LicenseType::kUsage;
+  Permission permission_ = Permission::kPlay;
+  HyperRect rect_;
+  int64_t aggregate_count_ = 0;
+};
+
+// Fluent constructor for License with schema validation. Example:
+//
+//   LicenseBuilder builder(&schema);
+//   builder.SetId("LD1").SetContentKey("K")
+//       .SetType(LicenseType::kRedistribution)
+//       .SetPermission(Permission::kPlay)
+//       .SetRange("T", date_range)
+//       .SetCategories("R", {"Asia", "Europe"})
+//       .SetAggregateCount(2000);
+//   Result<License> license = builder.Build();
+//
+// Build fails unless every schema dimension was assigned a valid range and
+// the aggregate count is positive.
+class LicenseBuilder {
+ public:
+  // `schema` must outlive the builder.
+  explicit LicenseBuilder(const ConstraintSchema* schema);
+
+  LicenseBuilder& SetId(std::string id);
+  LicenseBuilder& SetContentKey(std::string content_key);
+  LicenseBuilder& SetType(LicenseType type);
+  LicenseBuilder& SetPermission(Permission permission);
+  LicenseBuilder& SetAggregateCount(int64_t count);
+
+  // Assigns dimension `name` (errors are deferred to Build so the fluent
+  // chain stays unbroken).
+  LicenseBuilder& SetRange(std::string_view name, ConstraintRange range);
+  // Convenience: interval dimension from endpoints.
+  LicenseBuilder& SetInterval(std::string_view name, int64_t lo, int64_t hi);
+  // Convenience: non-contiguous interval dimension from windows
+  // ({{1, 5}, {10, 20}} = [1,5] ∪ [10,20]).
+  LicenseBuilder& SetIntervalUnion(
+      std::string_view name,
+      const std::vector<std::pair<int64_t, int64_t>>& windows);
+  // Convenience: categorical dimension from names in the dimension's
+  // universe.
+  LicenseBuilder& SetCategories(std::string_view name,
+                                const std::vector<std::string>& categories);
+
+  Result<License> Build() const;
+
+ private:
+  const ConstraintSchema* schema_;
+  std::string id_;
+  std::string content_key_;
+  LicenseType type_ = LicenseType::kUsage;
+  Permission permission_ = Permission::kPlay;
+  int64_t aggregate_count_ = 0;
+  std::vector<ConstraintRange> ranges_;
+  std::vector<bool> assigned_;
+  Status deferred_error_;  // First SetRange/SetCategories error, if any.
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_LICENSING_LICENSE_H_

@@ -1,0 +1,86 @@
+#include "licensing/license_parser.h"
+
+#include <vector>
+
+#include "util/str_util.h"
+
+namespace geolic {
+
+Result<License> ParseLicense(std::string_view text,
+                             const ConstraintSchema& schema, LicenseType type,
+                             std::string id) {
+  text = StripWhitespace(text);
+  if (text.size() < 2 || text.front() != '(' || text.back() != ')') {
+    return Status::ParseError("license must be parenthesised: " +
+                              std::string(text));
+  }
+  const std::vector<std::string_view> fields =
+      SplitAndTrim(text.substr(1, text.size() - 2), ';');
+  // Content key, permission, M constraints, aggregate.
+  const size_t expected =
+      2 + static_cast<size_t>(schema.dimensions()) + 1;
+  if (fields.size() != expected) {
+    return Status::ParseError(
+        "license has " + std::to_string(fields.size()) + " fields, expected " +
+        std::to_string(expected));
+  }
+
+  const std::string content_key(fields[0]);
+  if (content_key.empty()) {
+    return Status::ParseError("empty content key");
+  }
+  GEOLIC_ASSIGN_OR_RETURN(const Permission permission,
+                          ParsePermission(fields[1]));
+
+  LicenseBuilder builder(&schema);
+  builder.SetId(std::move(id))
+      .SetContentKey(content_key)
+      .SetType(type)
+      .SetPermission(permission);
+
+  bool saw_aggregate = false;
+  std::vector<bool> saw_dimension(static_cast<size_t>(schema.dimensions()),
+                                  false);
+  for (size_t i = 2; i < fields.size(); ++i) {
+    const std::string_view field = fields[i];
+    const size_t equals = field.find('=');
+    if (equals == std::string_view::npos) {
+      return Status::ParseError("expected name=value, got: " +
+                                std::string(field));
+    }
+    const std::string_view name = StripWhitespace(field.substr(0, equals));
+    const std::string_view value = StripWhitespace(field.substr(equals + 1));
+    if (name == "A") {
+      if (saw_aggregate) {
+        return Status::ParseError("duplicate aggregate constraint");
+      }
+      if (i + 1 != fields.size()) {
+        return Status::ParseError(
+            "aggregate constraint must be the last field");
+      }
+      GEOLIC_ASSIGN_OR_RETURN(const int64_t count, ParseInt64(value));
+      builder.SetAggregateCount(count);
+      saw_aggregate = true;
+      continue;
+    }
+    GEOLIC_ASSIGN_OR_RETURN(const int dim, schema.IndexOf(name));
+    if (saw_dimension[static_cast<size_t>(dim)]) {
+      return Status::ParseError("duplicate constraint: " + std::string(name));
+    }
+    saw_dimension[static_cast<size_t>(dim)] = true;
+    GEOLIC_ASSIGN_OR_RETURN(ConstraintRange range,
+                            schema.ParseRange(dim, value));
+    builder.SetRange(name, std::move(range));
+  }
+  if (!saw_aggregate) {
+    return Status::ParseError("missing aggregate constraint (A=...)");
+  }
+  return builder.Build();
+}
+
+std::string SerializeLicense(const License& license,
+                             const ConstraintSchema& schema) {
+  return license.ToString(schema);
+}
+
+}  // namespace geolic

@@ -1,0 +1,32 @@
+#ifndef GEOLIC_LICENSING_LICENSE_PARSER_H_
+#define GEOLIC_LICENSING_LICENSE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "licensing/constraint_schema.h"
+#include "licensing/license.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Parses the paper's textual license form
+//
+//   (K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)
+//
+// against `schema`: the first field is the content key, the second the
+// permission, then one `name=value` assignment per schema dimension (any
+// order, all required), and finally the aggregate constraint `A=count`.
+// Dates also parse in the paper's DD/MM/YY style. `type` and `id` are not
+// part of the textual form and are supplied by the caller.
+Result<License> ParseLicense(std::string_view text,
+                             const ConstraintSchema& schema, LicenseType type,
+                             std::string id);
+
+// Inverse of ParseLicense (same as License::ToString with `schema`).
+std::string SerializeLicense(const License& license,
+                             const ConstraintSchema& schema);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_LICENSING_LICENSE_PARSER_H_

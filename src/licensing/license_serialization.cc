@@ -1,0 +1,155 @@
+#include "licensing/license_serialization.h"
+
+#include <istream>
+#include <ostream>
+
+namespace geolic {
+namespace {
+
+constexpr uint32_t kMaxStringSize = 1u << 16;
+constexpr uint32_t kMaxDimensions = 1u << 10;
+
+void WriteString(std::ostream* out, const std::string& text) {
+  const uint32_t size = static_cast<uint32_t>(text.size());
+  out->write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out->write(text.data(), size);
+}
+
+Result<std::string> ReadString(std::istream* in) {
+  uint32_t size = 0;
+  in->read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!*in || size > kMaxStringSize) {
+    return Status::ParseError("bad string in license blob");
+  }
+  std::string text(size, '\0');
+  in->read(text.data(), size);
+  if (!*in) {
+    return Status::ParseError("truncated string in license blob");
+  }
+  return text;
+}
+
+}  // namespace
+
+Status WriteLicenseBinary(const License& license, std::ostream* out) {
+  WriteString(out, license.id());
+  WriteString(out, license.content_key());
+  const int32_t type = static_cast<int32_t>(license.type());
+  const int32_t permission = static_cast<int32_t>(license.permission());
+  const int64_t aggregate = license.aggregate_count();
+  const uint32_t dims = static_cast<uint32_t>(license.rect().dimensions());
+  out->write(reinterpret_cast<const char*>(&type), sizeof(type));
+  out->write(reinterpret_cast<const char*>(&permission), sizeof(permission));
+  out->write(reinterpret_cast<const char*>(&aggregate), sizeof(aggregate));
+  out->write(reinterpret_cast<const char*>(&dims), sizeof(dims));
+  for (int d = 0; d < license.rect().dimensions(); ++d) {
+    const ConstraintRange& range = license.rect().dim(d);
+    uint8_t kind = 1;
+    if (range.is_interval()) {
+      kind = 0;
+    } else if (range.is_multi_interval()) {
+      kind = 2;
+    }
+    out->write(reinterpret_cast<const char*>(&kind), sizeof(kind));
+    if (range.is_interval()) {
+      const Interval& interval = range.interval();
+      // Serialise empty intervals canonically as [0, -1].
+      const int64_t lo = interval.empty() ? 0 : interval.lo();
+      const int64_t hi = interval.empty() ? -1 : interval.hi();
+      out->write(reinterpret_cast<const char*>(&lo), sizeof(lo));
+      out->write(reinterpret_cast<const char*>(&hi), sizeof(hi));
+    } else if (range.is_multi_interval()) {
+      const MultiInterval& multi = range.multi_interval();
+      const uint32_t piece_count = static_cast<uint32_t>(multi.piece_count());
+      out->write(reinterpret_cast<const char*>(&piece_count),
+                 sizeof(piece_count));
+      for (const Interval& piece : multi.pieces()) {
+        const int64_t lo = piece.lo();
+        const int64_t hi = piece.hi();
+        out->write(reinterpret_cast<const char*>(&lo), sizeof(lo));
+        out->write(reinterpret_cast<const char*>(&hi), sizeof(hi));
+      }
+    } else {
+      const uint64_t mask = range.categories().mask();
+      out->write(reinterpret_cast<const char*>(&mask), sizeof(mask));
+    }
+  }
+  if (!*out) {
+    return Status::IoError("license serialization write failed");
+  }
+  return Status::Ok();
+}
+
+Result<License> ReadLicenseBinary(std::istream* in) {
+  GEOLIC_ASSIGN_OR_RETURN(std::string id, ReadString(in));
+  GEOLIC_ASSIGN_OR_RETURN(std::string content_key, ReadString(in));
+  int32_t type = 0;
+  int32_t permission = 0;
+  int64_t aggregate = 0;
+  uint32_t dims = 0;
+  in->read(reinterpret_cast<char*>(&type), sizeof(type));
+  in->read(reinterpret_cast<char*>(&permission), sizeof(permission));
+  in->read(reinterpret_cast<char*>(&aggregate), sizeof(aggregate));
+  in->read(reinterpret_cast<char*>(&dims), sizeof(dims));
+  if (!*in) {
+    return Status::ParseError("truncated license header");
+  }
+  if (type < 0 || type > 1) {
+    return Status::ParseError("bad license type in blob");
+  }
+  if (permission < 0 || permission >= kNumPermissions) {
+    return Status::ParseError("bad permission in blob");
+  }
+  if (dims > kMaxDimensions) {
+    return Status::ParseError("implausible dimension count in blob");
+  }
+  HyperRect rect;
+  for (uint32_t d = 0; d < dims; ++d) {
+    uint8_t kind = 0;
+    in->read(reinterpret_cast<char*>(&kind), sizeof(kind));
+    if (!*in || kind > 2) {
+      return Status::ParseError("bad dimension kind in blob");
+    }
+    if (kind == 0) {
+      int64_t lo = 0;
+      int64_t hi = 0;
+      in->read(reinterpret_cast<char*>(&lo), sizeof(lo));
+      in->read(reinterpret_cast<char*>(&hi), sizeof(hi));
+      if (!*in) {
+        return Status::ParseError("truncated interval dimension");
+      }
+      rect.AddDim(ConstraintRange(Interval(lo, hi)));
+    } else if (kind == 2) {
+      uint32_t piece_count = 0;
+      in->read(reinterpret_cast<char*>(&piece_count), sizeof(piece_count));
+      if (!*in || piece_count > kMaxDimensions) {
+        return Status::ParseError("bad piece count in blob");
+      }
+      std::vector<Interval> pieces;
+      for (uint32_t p = 0; p < piece_count; ++p) {
+        int64_t lo = 0;
+        int64_t hi = 0;
+        in->read(reinterpret_cast<char*>(&lo), sizeof(lo));
+        in->read(reinterpret_cast<char*>(&hi), sizeof(hi));
+        if (!*in) {
+          return Status::ParseError("truncated multi-interval dimension");
+        }
+        pieces.push_back(Interval(lo, hi));
+      }
+      rect.AddDim(ConstraintRange(MultiInterval::FromIntervals(pieces)));
+    } else {
+      uint64_t mask = 0;
+      in->read(reinterpret_cast<char*>(&mask), sizeof(mask));
+      if (!*in) {
+        return Status::ParseError("truncated category dimension");
+      }
+      rect.AddDim(ConstraintRange(CategorySet(mask)));
+    }
+  }
+  return License(std::move(id), std::move(content_key),
+                 static_cast<LicenseType>(type),
+                 static_cast<Permission>(permission), std::move(rect),
+                 aggregate);
+}
+
+}  // namespace geolic

@@ -1,0 +1,29 @@
+#ifndef GEOLIC_LICENSING_LICENSE_SERIALIZATION_H_
+#define GEOLIC_LICENSING_LICENSE_SERIALIZATION_H_
+
+#include <iosfwd>
+
+#include "licensing/license.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Binary (de)serialization of individual licenses, schema-independent:
+// constraint ranges are stored raw (interval endpoints / category bitmask),
+// so the reader needs no ConstraintSchema. Used by checkpointing; the
+// textual form in license_parser.h remains the human-facing format.
+//
+// Layout (little-endian): id, content key (both length-prefixed), type,
+// permission, aggregate count, dimension count, then per dimension a kind
+// byte (0 = interval, 1 = categories) and its payload (two int64 endpoints
+// or one uint64 mask).
+
+// Appends one license to the stream.
+Status WriteLicenseBinary(const License& license, std::ostream* out);
+
+// Reads one license written by WriteLicenseBinary.
+Result<License> ReadLicenseBinary(std::istream* in);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_LICENSING_LICENSE_SERIALIZATION_H_

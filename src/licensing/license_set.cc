@@ -1,0 +1,68 @@
+#include "licensing/license_set.h"
+
+namespace geolic {
+
+Result<int> LicenseSet::Add(License license) {
+  if (license.type() != LicenseType::kRedistribution) {
+    return Status::InvalidArgument(
+        "only redistribution licenses belong in a LicenseSet: " +
+        license.id());
+  }
+  if (license.rect().dimensions() != schema_->dimensions()) {
+    return Status::InvalidArgument(
+        "license dimensionality disagrees with schema: " + license.id());
+  }
+  if (size() >= kMaxLicenses) {
+    return Status::CapacityExceeded(
+        "LicenseSet supports at most 64 redistribution licenses");
+  }
+  if (!licenses_.empty()) {
+    const License& first = licenses_.front();
+    if (license.content_key() != first.content_key()) {
+      return Status::InvalidArgument(
+          "content key mismatch: expected " + first.content_key() + ", got " +
+          license.content_key());
+    }
+    if (license.permission() != first.permission()) {
+      return Status::InvalidArgument("permission mismatch in license " +
+                                     license.id());
+    }
+  }
+  for (const License& existing : licenses_) {
+    if (existing.id() == license.id()) {
+      return Status::AlreadyExists("duplicate license id: " + license.id());
+    }
+  }
+  licenses_.push_back(std::move(license));
+  return size() - 1;
+}
+
+std::vector<int64_t> LicenseSet::AggregateCounts() const {
+  std::vector<int64_t> counts;
+  counts.reserve(licenses_.size());
+  for (const License& license : licenses_) {
+    counts.push_back(license.aggregate_count());
+  }
+  return counts;
+}
+
+int64_t LicenseSet::AggregateSum(LicenseMask mask) const {
+  int64_t sum = 0;
+  for (int index : MaskToIndexes(mask)) {
+    if (index < size()) {
+      sum += licenses_[static_cast<size_t>(index)].aggregate_count();
+    }
+  }
+  return sum;
+}
+
+Result<int> LicenseSet::IndexOfId(const std::string& id) const {
+  for (size_t i = 0; i < licenses_.size(); ++i) {
+    if (licenses_[i].id() == id) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("no license with id " + id);
+}
+
+}  // namespace geolic

@@ -1,0 +1,59 @@
+#ifndef GEOLIC_LICENSING_LICENSE_SET_H_
+#define GEOLIC_LICENSING_LICENSE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "licensing/constraint_schema.h"
+#include "licensing/license.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// The N redistribution licenses a distributor holds for one content and
+// permission — the paper's S^N = [L_D^1 .. L_D^N]. Licenses are addressed by
+// their 0-based index (the paper's L_D^{index+1}); sets of them are
+// LicenseMask bitmasks. Enforces a uniform content key, permission, schema
+// dimensionality, and the 64-license cap.
+class LicenseSet {
+ public:
+  // `schema` must outlive the set.
+  explicit LicenseSet(const ConstraintSchema* schema) : schema_(schema) {}
+
+  // Adds a redistribution license and returns its index. Fails if the
+  // license is not a redistribution license, disagrees with the set's
+  // content/permission/dimensionality, duplicates an existing id, or would
+  // exceed 64 licenses.
+  Result<int> Add(License license);
+
+  int size() const { return static_cast<int>(licenses_.size()); }
+  bool empty() const { return licenses_.empty(); }
+
+  const License& at(int index) const {
+    return licenses_[static_cast<size_t>(index)];
+  }
+  const std::vector<License>& licenses() const { return licenses_; }
+  const ConstraintSchema& schema() const { return *schema_; }
+
+  // Mask of all N licenses.
+  LicenseMask AllMask() const { return FullMask(size()); }
+
+  // The paper's array A: aggregate constraint count per license, by index.
+  std::vector<int64_t> AggregateCounts() const;
+
+  // Sum of aggregate counts over the licenses in `mask` — the paper's A[S],
+  // the RHS of the validation equation for S.
+  int64_t AggregateSum(LicenseMask mask) const;
+
+  // Index of the license with `id`, or NOT_FOUND.
+  Result<int> IndexOfId(const std::string& id) const;
+
+ private:
+  const ConstraintSchema* schema_;
+  std::vector<License> licenses_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_LICENSING_LICENSE_SET_H_

@@ -1,0 +1,32 @@
+#include "licensing/permission.h"
+
+#include "util/str_util.h"
+
+namespace geolic {
+namespace {
+
+constexpr const char* kNames[kNumPermissions] = {
+    "Play", "Copy", "Rip", "Print", "Stream", "Download", "Export", "Embed",
+};
+
+}  // namespace
+
+const char* PermissionName(Permission permission) {
+  const int index = static_cast<int>(permission);
+  if (index < 0 || index >= kNumPermissions) {
+    return "Unknown";
+  }
+  return kNames[index];
+}
+
+Result<Permission> ParsePermission(std::string_view text) {
+  const std::string lowered = AsciiToLower(StripWhitespace(text));
+  for (int i = 0; i < kNumPermissions; ++i) {
+    if (lowered == AsciiToLower(kNames[i])) {
+      return static_cast<Permission>(i);
+    }
+  }
+  return Status::ParseError("unknown permission: " + std::string(text));
+}
+
+}  // namespace geolic

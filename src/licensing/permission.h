@@ -1,0 +1,36 @@
+#ifndef GEOLIC_LICENSING_PERMISSION_H_
+#define GEOLIC_LICENSING_PERMISSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace geolic {
+
+// The permission P carried by a license: what the licensee may do with the
+// content (play, copy, rip, ... — the paper cites the MPEG-21/ODRL-style
+// verbs of [4][9]). Each license grants exactly one permission; a content
+// with several permissions has several licenses.
+enum class Permission : int32_t {
+  kPlay = 0,
+  kCopy = 1,
+  kRip = 2,
+  kPrint = 3,
+  kStream = 4,
+  kDownload = 5,
+  kExport = 6,
+  kEmbed = 7,
+};
+
+inline constexpr int kNumPermissions = 8;
+
+// Canonical name ("Play", "Copy", ...).
+const char* PermissionName(Permission permission);
+
+// Parses a permission name, case-insensitively.
+Result<Permission> ParsePermission(std::string_view text);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_LICENSING_PERMISSION_H_

@@ -1,0 +1,41 @@
+#include "util/bits.h"
+
+#include <string>
+
+namespace geolic {
+
+std::vector<int> MaskToIndexes(LicenseMask mask) {
+  std::vector<int> indexes;
+  indexes.reserve(static_cast<size_t>(MaskSize(mask)));
+  while (mask != 0) {
+    const int index = LowestLicense(mask);
+    indexes.push_back(index);
+    mask &= mask - 1;
+  }
+  return indexes;
+}
+
+LicenseMask IndexesToMask(const std::vector<int>& indexes) {
+  LicenseMask mask = 0;
+  for (int index : indexes) {
+    mask |= SingletonMask(index);
+  }
+  return mask;
+}
+
+std::string MaskToString(LicenseMask mask) {
+  std::string out = "{";
+  bool first = true;
+  for (int index : MaskToIndexes(mask)) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "L";
+    out += std::to_string(index + 1);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace geolic

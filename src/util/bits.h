@@ -1,0 +1,110 @@
+#ifndef GEOLIC_UTIL_BITS_H_
+#define GEOLIC_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geolic {
+
+// A set of redistribution licenses encoded as a bitmask: bit i set means the
+// i-th redistribution license (0-based internally; the paper's L_D^{i+1}) is
+// in the set. Caps the library at 64 redistribution licenses per content —
+// the paper's evaluation stops at N = 35.
+using LicenseMask = uint64_t;
+
+inline constexpr int kMaxLicenses = 64;
+
+// Number of licenses in the set.
+inline int MaskSize(LicenseMask mask) { return std::popcount(mask); }
+
+// Mask with the single license `index` (0-based). Requires index in [0, 64).
+inline LicenseMask SingletonMask(int index) {
+  GEOLIC_DCHECK(index >= 0 && index < kMaxLicenses);
+  return LicenseMask{1} << index;
+}
+
+// Mask of the full set {0, .., n-1}. Requires n in [0, 64].
+inline LicenseMask FullMask(int n) {
+  GEOLIC_DCHECK(n >= 0 && n <= kMaxLicenses);
+  if (n == 0) {
+    return 0;
+  }
+  if (n == kMaxLicenses) {
+    return ~LicenseMask{0};
+  }
+  return (LicenseMask{1} << n) - 1;
+}
+
+// True iff `subset` ⊆ `superset`.
+inline bool IsSubsetOf(LicenseMask subset, LicenseMask superset) {
+  return (subset & ~superset) == 0;
+}
+
+// True iff license `index` is in `mask`.
+inline bool MaskContains(LicenseMask mask, int index) {
+  return (mask >> index) & 1;
+}
+
+// 0-based index of the lowest license in `mask`. Requires mask != 0.
+inline int LowestLicense(LicenseMask mask) {
+  GEOLIC_DCHECK(mask != 0);
+  return std::countr_zero(mask);
+}
+
+// 0-based index of the highest license in `mask`. Requires mask != 0.
+inline int HighestLicense(LicenseMask mask) {
+  GEOLIC_DCHECK(mask != 0);
+  return 63 - std::countl_zero(mask);
+}
+
+// Ascending list of license indexes in `mask` (how the validation tree and
+// the paper's log table spell a set: {L1, L2, L4} with increasing indexes).
+std::vector<int> MaskToIndexes(LicenseMask mask);
+
+// Builds a mask from 0-based indexes. Duplicates collapse.
+LicenseMask IndexesToMask(const std::vector<int>& indexes);
+
+// Iterates every non-empty subset of `set` in the standard descending
+// submask order:
+//
+//   for (SubsetIterator it(set); !it.Done(); it.Next()) { use it.subset(); }
+//
+// Enumerates 2^|set| − 1 subsets (the null set is skipped, matching the
+// summation limits of validation equation 1).
+class SubsetIterator {
+ public:
+  explicit SubsetIterator(LicenseMask set)
+      : set_(set), subset_(set), done_(set == 0) {}
+
+  bool Done() const { return done_; }
+  LicenseMask subset() const { return subset_; }
+
+  void Next() {
+    GEOLIC_DCHECK(!done_);
+    if (subset_ == 0) {
+      done_ = true;
+      return;
+    }
+    subset_ = (subset_ - 1) & set_;
+    if (subset_ == 0) {
+      done_ = true;
+    }
+  }
+
+ private:
+  LicenseMask set_;
+  LicenseMask subset_;
+  bool done_;
+};
+
+// Renders a mask as the paper writes sets: "{L1, L2, L4}" with 1-based
+// license numbers. "{}" for the empty mask.
+std::string MaskToString(LicenseMask mask);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_BITS_H_

@@ -1,0 +1,38 @@
+#ifndef GEOLIC_UTIL_CHECK_H_
+#define GEOLIC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace geolic::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "GEOLIC_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace geolic::internal_check
+
+// Aborts on programmer error (invariant violations that indicate a bug in
+// the calling code, never data-dependent failures — those go through
+// Status). Active in all build modes.
+#define GEOLIC_CHECK(condition)                                            \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::geolic::internal_check::CheckFailed(__FILE__, __LINE__,            \
+                                            #condition);                   \
+    }                                                                      \
+  } while (false)
+
+// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define GEOLIC_DCHECK(condition) \
+  do {                           \
+  } while (false)
+#else
+#define GEOLIC_DCHECK(condition) GEOLIC_CHECK(condition)
+#endif
+
+#endif  // GEOLIC_UTIL_CHECK_H_

@@ -1,0 +1,137 @@
+#include "util/date.h"
+
+#include <cstdio>
+
+namespace geolic {
+namespace {
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms
+// (public-domain chrono date algorithms), adapted to int64.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                            // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;    // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+struct Civil {
+  int64_t year;
+  int month;
+  int day;
+};
+
+Civil CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                         // [0, 146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;    // [0, 399]
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return Civil{y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+bool ParseInt(std::string_view text, size_t begin, size_t end, int* out) {
+  if (begin >= end || end > text.size()) {
+    return false;
+  }
+  int value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool Date::IsLeapYear(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int Date::DaysInMonth(int year, int month) {
+  static constexpr int kDays[13] = {0,  31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) {
+    return 0;
+  }
+  if (month == 2 && IsLeapYear(year)) {
+    return 29;
+  }
+  return kDays[month];
+}
+
+Result<Date> Date::FromCivil(int year, int month, int day) {
+  if (year < -9999 || year > 9999) {
+    return Status::InvalidArgument("year out of range: " +
+                                   std::to_string(year));
+  }
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " +
+                                   std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return Date(DaysFromCivil(year, month, day));
+}
+
+Date Date::FromDayNumber(int64_t day_number) { return Date(day_number); }
+
+Result<Date> Date::Parse(std::string_view text) {
+  // ISO form: YYYY-MM-DD (fixed widths).
+  if (text.size() == 10 && text[4] == '-' && text[7] == '-') {
+    int year = 0;
+    int month = 0;
+    int day = 0;
+    if (ParseInt(text, 0, 4, &year) && ParseInt(text, 5, 7, &month) &&
+        ParseInt(text, 8, 10, &day)) {
+      return FromCivil(year, month, day);
+    }
+    return Status::ParseError("malformed ISO date: " + std::string(text));
+  }
+  // Paper form: DD/MM/YY, e.g. "15/03/09".
+  if (text.size() == 8 && text[2] == '/' && text[5] == '/') {
+    int day = 0;
+    int month = 0;
+    int yy = 0;
+    if (ParseInt(text, 0, 2, &day) && ParseInt(text, 3, 5, &month) &&
+        ParseInt(text, 6, 8, &yy)) {
+      const int year = yy <= 68 ? 2000 + yy : 1900 + yy;
+      return FromCivil(year, month, day);
+    }
+    return Status::ParseError("malformed DD/MM/YY date: " + std::string(text));
+  }
+  return Status::ParseError("unrecognised date format: " + std::string(text));
+}
+
+int Date::year() const {
+  return static_cast<int>(CivilFromDays(day_number_).year);
+}
+
+int Date::month() const { return CivilFromDays(day_number_).month; }
+
+int Date::day() const { return CivilFromDays(day_number_).day; }
+
+std::string Date::ToString() const {
+  const Civil c = CivilFromDays(day_number_);
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%04lld-%02d-%02d",
+                static_cast<long long>(c.year), c.month, c.day);
+  return buffer;
+}
+
+std::ostream& operator<<(std::ostream& os, Date date) {
+  return os << date.ToString();
+}
+
+}  // namespace geolic

@@ -1,0 +1,71 @@
+#ifndef GEOLIC_UTIL_DATE_H_
+#define GEOLIC_UTIL_DATE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace geolic {
+
+// Proleptic-Gregorian civil date. Licenses express validity periods as date
+// ranges ("T=[2009-03-10, 2009-03-20]"); internally a date is a day number
+// (days since 1970-01-01, negative before), so date ranges become plain
+// int64 intervals that plug into the geometry layer.
+class Date {
+ public:
+  // Default-constructs the epoch (1970-01-01).
+  Date() : day_number_(0) {}
+
+  // Builds a date from civil components. Returns INVALID_ARGUMENT for
+  // out-of-range components (month not in 1..12, day not valid for the
+  // month/year, year outside ±9999).
+  static Result<Date> FromCivil(int year, int month, int day);
+
+  // Builds a date from a day number (days since 1970-01-01).
+  static Date FromDayNumber(int64_t day_number);
+
+  // Parses "YYYY-MM-DD" or the paper's "DD/MM/YY" style ("15/03/09", years
+  // 00..68 map to 2000..2068, 69..99 to 1969..1999).
+  static Result<Date> Parse(std::string_view text);
+
+  int64_t day_number() const { return day_number_; }
+
+  int year() const;
+  int month() const;   // 1..12
+  int day() const;     // 1..31
+
+  // ISO "YYYY-MM-DD".
+  std::string ToString() const;
+
+  // Date arithmetic in whole days.
+  Date AddDays(int64_t days) const { return FromDayNumber(day_number_ + days); }
+  int64_t DaysUntil(Date other) const {
+    return other.day_number_ - day_number_;
+  }
+
+  friend bool operator==(Date a, Date b) {
+    return a.day_number_ == b.day_number_;
+  }
+  friend auto operator<=>(Date a, Date b) {
+    return a.day_number_ <=> b.day_number_;
+  }
+
+  // True iff `year` is a Gregorian leap year.
+  static bool IsLeapYear(int year);
+  // Days in `month` (1..12) of `year`; 0 for invalid months.
+  static int DaysInMonth(int year, int month);
+
+ private:
+  explicit Date(int64_t day_number) : day_number_(day_number) {}
+
+  int64_t day_number_;
+};
+
+std::ostream& operator<<(std::ostream& os, Date date);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_DATE_H_

@@ -1,0 +1,150 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace geolic {
+
+std::string JsonWriter::Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    GEOLIC_CHECK(out_.empty());  // Only one top-level value.
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    GEOLIC_CHECK(pending_key_);
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) {
+    out_ += ',';
+  }
+  has_items_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  GEOLIC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  GEOLIC_CHECK(!pending_key_);
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  GEOLIC_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view name) {
+  GEOLIC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  GEOLIC_CHECK(!pending_key_);
+  if (has_items_.back()) {
+    out_ += ',';
+  }
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no Inf/NaN.
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ += buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::Take() && {
+  GEOLIC_CHECK(stack_.empty());
+  GEOLIC_CHECK(!pending_key_);
+  return std::move(out_);
+}
+
+}  // namespace geolic

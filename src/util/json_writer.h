@@ -1,0 +1,87 @@
+#ifndef GEOLIC_UTIL_JSON_WRITER_H_
+#define GEOLIC_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geolic {
+
+// Minimal streaming JSON writer for report/stat export — no DOM, no
+// parsing, just correctly escaped output. Usage:
+//
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Key("violations");
+//   json.BeginArray();
+//   ...
+//   json.EndArray();
+//   json.EndObject();
+//   std::string out = std::move(json).Take();
+//
+// Structural misuse (e.g. a value with no pending key inside an object)
+// trips a GEOLIC_CHECK.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Emits an object key; the next value belongs to it.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key + value.
+  void KeyValue(std::string_view name, std::string_view value) {
+    Key(name);
+    String(value);
+  }
+  void KeyValue(std::string_view name, int64_t value) {
+    Key(name);
+    Int(value);
+  }
+  void KeyValue(std::string_view name, uint64_t value) {
+    Key(name);
+    UInt(value);
+  }
+  void KeyValue(std::string_view name, double value) {
+    Key(name);
+    Double(value);
+  }
+  void KeyValue(std::string_view name, bool value) {
+    Key(name);
+    Bool(value);
+  }
+
+  // Finishes and returns the document. All containers must be closed.
+  std::string Take() &&;
+
+  // Escapes `text` as JSON string contents (no surrounding quotes).
+  static std::string Escape(std::string_view text);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_JSON_WRITER_H_

@@ -1,0 +1,75 @@
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotateLeft(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  GEOLIC_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == UINT64_MAX) {
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling for an unbiased draw in [0, span].
+  const uint64_t bound = span + 1;
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t draw = Next();
+  while (draw >= limit) {
+    draw = Next();
+  }
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + draw % bound);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  GEOLIC_CHECK(n > 0);
+  return static_cast<size_t>(
+      UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+}  // namespace geolic

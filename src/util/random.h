@@ -1,0 +1,41 @@
+#ifndef GEOLIC_UTIL_RANDOM_H_
+#define GEOLIC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace geolic {
+
+// Deterministic xoshiro256** PRNG seeded via SplitMix64. All randomness in
+// the library (workload generation, simulations, property tests) flows
+// through this so every run is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator; identical seeds give identical streams.
+  void Seed(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_RANDOM_H_

@@ -1,0 +1,158 @@
+#ifndef GEOLIC_UTIL_STATUS_H_
+#define GEOLIC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace geolic {
+
+// Error categories used across the library. The library is exception-free:
+// every fallible operation reports failure through `Status` (or `Result<T>`
+// for value-returning operations).
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // Caller passed a malformed value.
+  kNotFound = 2,          // Requested entity does not exist.
+  kAlreadyExists = 3,     // Entity being created already exists.
+  kOutOfRange = 4,        // Index/size outside the supported domain.
+  kFailedPrecondition = 5,// Object not in the required state.
+  kParseError = 6,        // License/text input could not be parsed.
+  kIoError = 7,           // Filesystem read/write failure.
+  kCapacityExceeded = 8,  // A hard library limit (e.g. 64 licenses) was hit.
+  kInternal = 9,          // Invariant violation inside the library.
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-or-error result of a fallible operation. Cheap to copy when OK
+// (empty message string).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status CapacityExceeded(std::string message) {
+    return Status(StatusCode::kCapacityExceeded, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "PARSE_ERROR: unexpected token ')'".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Minimal expected-like holder: either a value of type T or a non-OK Status.
+// Mirrors the subset of absl::StatusOr the library needs.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // in functions returning Result<T> (the same convenience absl::StatusOr
+  // provides).
+  Result(const T& value) : value_(value) {}          // NOLINT
+  Result(T&& value) : value_(std::move(value)) {}    // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  // Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+// Propagates a non-OK status to the caller.
+#define GEOLIC_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::geolic::Status geolic_status_tmp_ = (expr);   \
+    if (!geolic_status_tmp_.ok()) {                 \
+      return geolic_status_tmp_;                    \
+    }                                               \
+  } while (false)
+
+#define GEOLIC_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define GEOLIC_INTERNAL_CONCAT(a, b) GEOLIC_INTERNAL_CONCAT_IMPL(a, b)
+
+#define GEOLIC_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = std::move(tmp).value()
+
+// Evaluates a Result<T> expression; assigns the value on success and
+// propagates the Status on failure.
+#define GEOLIC_ASSIGN_OR_RETURN(lhs, expr)                             \
+  GEOLIC_INTERNAL_ASSIGN_OR_RETURN(                                    \
+      GEOLIC_INTERNAL_CONCAT(geolic_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_STATUS_H_

@@ -1,0 +1,106 @@
+#include "util/str_util.h"
+
+#include <cctype>
+#include <limits>
+
+namespace geolic {
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           char delimiter) {
+  std::vector<std::string_view> pieces;
+  if (text.empty()) {
+    return pieces;
+  }
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(StripWhitespace(text.substr(start)));
+      break;
+    }
+    pieces.push_back(StripWhitespace(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out += separator;
+    }
+    out += pieces[i];
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return Status::ParseError("empty integer");
+  }
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) {
+    return Status::ParseError("sign without digits: " + std::string(text));
+  }
+  uint64_t magnitude = 0;
+  constexpr uint64_t kMaxPositive =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  const uint64_t limit = negative ? kMaxPositive + 1 : kMaxPositive;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::ParseError("non-digit in integer: " + std::string(text));
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (limit - digit) / 10) {
+      return Status::ParseError("integer overflow: " + std::string(text));
+    }
+    magnitude = magnitude * 10 + digit;
+  }
+  if (negative) {
+    return static_cast<int64_t>(~magnitude + 1);
+  }
+  return static_cast<int64_t>(magnitude);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string AsciiToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace geolic

@@ -1,0 +1,38 @@
+#ifndef GEOLIC_UTIL_STR_UTIL_H_
+#define GEOLIC_UTIL_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geolic {
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Splits on `delimiter`, trimming whitespace from each piece. Empty pieces
+// are kept ("a,,b" → {"a", "", "b"}); an empty input yields {}.
+std::vector<std::string_view> SplitAndTrim(std::string_view text,
+                                           char delimiter);
+
+// Joins pieces with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// Parses a decimal (optionally signed) int64. Rejects trailing garbage,
+// empty input, and overflow.
+Result<int64_t> ParseInt64(std::string_view text);
+
+// True iff `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// ASCII lower-casing (license keywords are matched case-insensitively).
+std::string AsciiToLower(std::string_view text);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_STR_UTIL_H_

@@ -1,0 +1,54 @@
+#ifndef GEOLIC_UTIL_THREAD_POOL_H_
+#define GEOLIC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geolic {
+
+// Fixed-size worker pool for the parallel validators. Tasks are void
+// closures; Wait() blocks until every scheduled task has finished. The pool
+// joins its workers on destruction.
+//
+// Deliberately minimal: no futures, no priorities, no work stealing — the
+// validators schedule a handful of coarse, balanced shards.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Must not be called concurrently with destruction.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // A reasonable default parallelism for this machine (hardware threads,
+  // at least 1).
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;   // Tasks popped but not yet finished.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_THREAD_POOL_H_

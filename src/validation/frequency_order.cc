@@ -1,0 +1,101 @@
+#include "validation/frequency_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "validation/exhaustive_validator.h"
+#include "util/check.h"
+
+namespace geolic {
+
+LicensePermutation::LicensePermutation(int n)
+    : to_new_(static_cast<size_t>(n)), to_old_(static_cast<size_t>(n)) {
+  GEOLIC_CHECK(n >= 0 && n <= kMaxLicenses);
+  std::iota(to_new_.begin(), to_new_.end(), 0);
+  std::iota(to_old_.begin(), to_old_.end(), 0);
+}
+
+LicensePermutation LicensePermutation::ByDescendingFrequency(
+    const LogStore& log, int n) {
+  std::vector<int64_t> frequency(static_cast<size_t>(n), 0);
+  for (const LogRecord& record : log.records()) {
+    for (int index : MaskToIndexes(record.set)) {
+      if (index < n) {
+        ++frequency[static_cast<size_t>(index)];
+      }
+    }
+  }
+  LicensePermutation permutation(n);
+  std::sort(permutation.to_old_.begin(), permutation.to_old_.end(),
+            [&frequency](int a, int b) {
+              if (frequency[static_cast<size_t>(a)] !=
+                  frequency[static_cast<size_t>(b)]) {
+                return frequency[static_cast<size_t>(a)] >
+                       frequency[static_cast<size_t>(b)];
+              }
+              return a < b;
+            });
+  for (int relabeled = 0; relabeled < n; ++relabeled) {
+    permutation.to_new_[static_cast<size_t>(
+        permutation.to_old_[static_cast<size_t>(relabeled)])] = relabeled;
+  }
+  return permutation;
+}
+
+LicenseMask LicensePermutation::MapMask(LicenseMask original) const {
+  LicenseMask mapped = 0;
+  for (LicenseMask rest = original; rest != 0; rest &= rest - 1) {
+    mapped |= SingletonMask(ToNew(LowestLicense(rest)));
+  }
+  return mapped;
+}
+
+LicenseMask LicensePermutation::UnmapMask(LicenseMask relabeled) const {
+  LicenseMask mapped = 0;
+  for (LicenseMask rest = relabeled; rest != 0; rest &= rest - 1) {
+    mapped |= SingletonMask(ToOld(LowestLicense(rest)));
+  }
+  return mapped;
+}
+
+std::vector<int64_t> LicensePermutation::MapValues(
+    const std::vector<int64_t>& values) const {
+  GEOLIC_CHECK(values.size() == to_old_.size());
+  std::vector<int64_t> mapped(values.size());
+  for (size_t relabeled = 0; relabeled < mapped.size(); ++relabeled) {
+    mapped[relabeled] = values[static_cast<size_t>(
+        to_old_[relabeled])];
+  }
+  return mapped;
+}
+
+Result<ValidationTree> BuildFrequencyOrderedTree(
+    const LogStore& log, const LicensePermutation& permutation) {
+  ValidationTree tree;
+  for (const LogRecord& record : log.records()) {
+    GEOLIC_RETURN_IF_ERROR(
+        tree.Insert(permutation.MapMask(record.set), record.count));
+  }
+  return tree;
+}
+
+Result<ValidationReport> ValidateExhaustiveFrequencyOrdered(
+    const LogStore& log, const std::vector<int64_t>& aggregates) {
+  const int n = static_cast<int>(aggregates.size());
+  if (n > kMaxLicenses) {
+    return Status::CapacityExceeded("at most 64 redistribution licenses");
+  }
+  const LicensePermutation permutation =
+      LicensePermutation::ByDescendingFrequency(log, n);
+  GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree,
+                          BuildFrequencyOrderedTree(log, permutation));
+  GEOLIC_ASSIGN_OR_RETURN(
+      ValidationReport report,
+      ValidateExhaustive(tree, permutation.MapValues(aggregates)));
+  for (EquationResult& violation : report.violations) {
+    violation.set = permutation.UnmapMask(violation.set);
+  }
+  return report;
+}
+
+}  // namespace geolic

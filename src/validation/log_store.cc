@@ -1,0 +1,193 @@
+#include "validation/log_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/str_util.h"
+
+namespace geolic {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'G', 'L', 'O', 'G', 'B', 'I', 'N', '1'};
+
+}  // namespace
+
+Status LogStore::Append(LogRecord record) {
+  if (record.set == 0) {
+    return Status::InvalidArgument(
+        "log record set must be non-empty (license " +
+        record.issued_license_id + ")");
+  }
+  if (record.count <= 0) {
+    return Status::InvalidArgument(
+        "log record count must be positive, got " +
+        std::to_string(record.count));
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+std::unordered_map<LicenseMask, int64_t> LogStore::MergedCounts() const {
+  std::unordered_map<LicenseMask, int64_t> merged;
+  for (const LogRecord& record : records_) {
+    merged[record.set] += record.count;
+  }
+  return merged;
+}
+
+int64_t LogStore::TotalCount() const {
+  int64_t total = 0;
+  for (const LogRecord& record : records_) {
+    total += record.count;
+  }
+  return total;
+}
+
+LogStore LogStore::Compacted() const {
+  const std::unordered_map<LicenseMask, int64_t> merged = MergedCounts();
+  std::vector<LicenseMask> sets;
+  sets.reserve(merged.size());
+  for (const auto& [set, count] : merged) {
+    sets.push_back(set);
+  }
+  std::sort(sets.begin(), sets.end());
+  LogStore compacted;
+  for (const LicenseMask set : sets) {
+    LogRecord record;
+    record.set = set;
+    record.count = merged.at(set);
+    GEOLIC_CHECK(compacted.Append(std::move(record)).ok());
+  }
+  return compacted;
+}
+
+Status LogStore::SaveText(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "# geolic log: id mask count\n";
+  for (const LogRecord& record : records_) {
+    char mask_hex[24];
+    std::snprintf(mask_hex, sizeof(mask_hex), "0x%" PRIx64 "", record.set);
+    out << (record.issued_license_id.empty() ? "-"
+                                             : record.issued_license_id)
+        << ' ' << mask_hex << ' ' << record.count << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<LogStore> LogStore::LoadText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  LogStore store;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    std::istringstream fields{std::string(stripped)};
+    std::string id;
+    std::string mask_text;
+    int64_t count = 0;
+    if (!(fields >> id >> mask_text >> count)) {
+      return Status::ParseError(path + ":" + std::to_string(line_number) +
+                                ": malformed log line");
+    }
+    LicenseMask mask = 0;
+    if (StartsWith(mask_text, "0x") || StartsWith(mask_text, "0X")) {
+      char* end = nullptr;
+      mask = std::strtoull(mask_text.c_str() + 2, &end, 16);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError(path + ":" + std::to_string(line_number) +
+                                  ": bad mask " + mask_text);
+      }
+    } else {
+      GEOLIC_ASSIGN_OR_RETURN(const int64_t decimal, ParseInt64(mask_text));
+      mask = static_cast<LicenseMask>(decimal);
+    }
+    LogRecord record;
+    record.issued_license_id = id == "-" ? "" : id;
+    record.set = mask;
+    record.count = count;
+    GEOLIC_RETURN_IF_ERROR(store.Append(std::move(record)));
+  }
+  return store;
+}
+
+Status LogStore::SaveBinary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const uint64_t count = records_.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const LogRecord& record : records_) {
+    out.write(reinterpret_cast<const char*>(&record.set), sizeof(record.set));
+    out.write(reinterpret_cast<const char*>(&record.count),
+              sizeof(record.count));
+    const uint32_t id_size =
+        static_cast<uint32_t>(record.issued_license_id.size());
+    out.write(reinterpret_cast<const char*>(&id_size), sizeof(id_size));
+    out.write(record.issued_license_id.data(), id_size);
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<LogStore> LogStore::LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kBinaryMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a geolic binary log: " + path);
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) {
+    return Status::ParseError("truncated header: " + path);
+  }
+  LogStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    LogRecord record;
+    uint32_t id_size = 0;
+    in.read(reinterpret_cast<char*>(&record.set), sizeof(record.set));
+    in.read(reinterpret_cast<char*>(&record.count), sizeof(record.count));
+    in.read(reinterpret_cast<char*>(&id_size), sizeof(id_size));
+    if (!in) {
+      return Status::ParseError("truncated record: " + path);
+    }
+    if (id_size > 4096) {
+      return Status::ParseError("implausible id length in: " + path);
+    }
+    record.issued_license_id.resize(id_size);
+    in.read(record.issued_license_id.data(), id_size);
+    if (!in) {
+      return Status::ParseError("truncated id: " + path);
+    }
+    GEOLIC_RETURN_IF_ERROR(store.Append(std::move(record)));
+  }
+  return store;
+}
+
+}  // namespace geolic

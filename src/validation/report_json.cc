@@ -1,0 +1,52 @@
+#include "validation/report_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace geolic {
+namespace {
+
+void WriteEquationResult(const EquationResult& result, JsonWriter* json) {
+  json->BeginObject();
+  char mask_hex[24];
+  std::snprintf(mask_hex, sizeof(mask_hex), "0x%" PRIx64 "", result.set);
+  json->KeyValue("set_mask", std::string_view(mask_hex));
+  json->Key("licenses");
+  json->BeginArray();
+  for (int index : MaskToIndexes(result.set)) {
+    json->Int(index + 1);  // 1-based, matching the paper's L_D^i.
+  }
+  json->EndArray();
+  json->KeyValue("lhs", result.lhs);
+  json->KeyValue("rhs", result.rhs);
+  json->KeyValue("excess", result.lhs - result.rhs);
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string EquationResultToJson(const EquationResult& result) {
+  JsonWriter json;
+  WriteEquationResult(result, &json);
+  return std::move(json).Take();
+}
+
+std::string ReportToJson(const ValidationReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("valid", report.all_valid());
+  json.KeyValue("equations_evaluated", report.equations_evaluated);
+  json.KeyValue("nodes_visited", report.nodes_visited);
+  json.Key("violations");
+  json.BeginArray();
+  for (const EquationResult& violation : report.violations) {
+    WriteEquationResult(violation, &json);
+  }
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+}  // namespace geolic

@@ -1,0 +1,127 @@
+#include "validation/tree_serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace geolic {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'L', 'T', 'R', 'E', 'E', '1', '\0'};
+constexpr uint64_t kMaxNodes = uint64_t{1} << 32;  // Sanity bound on load.
+
+void WriteNode(const ValidationTreeNode& node, std::ostream* out) {
+  const int32_t index = node.index;
+  const uint32_t child_count = static_cast<uint32_t>(node.children.size());
+  out->write(reinterpret_cast<const char*>(&index), sizeof(index));
+  out->write(reinterpret_cast<const char*>(&node.count), sizeof(node.count));
+  out->write(reinterpret_cast<const char*>(&child_count),
+             sizeof(child_count));
+  for (const auto& child : node.children) {
+    WriteNode(*child, out);
+  }
+}
+
+Status ReadNode(std::istream* in, ValidationTreeNode* node,
+                uint64_t* nodes_remaining) {
+  if (*nodes_remaining == 0) {
+    return Status::ParseError("tree payload exceeds declared node count");
+  }
+  --*nodes_remaining;
+  int32_t index = 0;
+  uint32_t child_count = 0;
+  in->read(reinterpret_cast<char*>(&index), sizeof(index));
+  in->read(reinterpret_cast<char*>(&node->count), sizeof(node->count));
+  in->read(reinterpret_cast<char*>(&child_count), sizeof(child_count));
+  if (!*in) {
+    return Status::ParseError("truncated tree node");
+  }
+  node->index = index;
+  // Each child consumes at least one declared node, so a child count above
+  // the remaining budget is corrupt. Growth happens via push_back — never
+  // reserve from an untrusted count (a mutated header must not drive a
+  // giant allocation).
+  if (child_count > *nodes_remaining) {
+    return Status::ParseError("implausible child count");
+  }
+  for (uint32_t i = 0; i < child_count; ++i) {
+    auto child = std::make_unique<ValidationTreeNode>();
+    GEOLIC_RETURN_IF_ERROR(ReadNode(in, child.get(), nodes_remaining));
+    node->children.push_back(std::move(child));
+  }
+  return Status::Ok();
+}
+
+uint64_t CountNodes(const ValidationTreeNode& node) {
+  uint64_t count = 1;
+  for (const auto& child : node.children) {
+    count += CountNodes(*child);
+  }
+  return count;
+}
+
+}  // namespace
+
+Status SerializeTree(const ValidationTree& tree, std::ostream* out) {
+  out->write(kMagic, sizeof(kMagic));
+  const uint64_t nodes = CountNodes(tree.root());
+  out->write(reinterpret_cast<const char*>(&nodes), sizeof(nodes));
+  WriteNode(tree.root(), out);
+  if (!*out) {
+    return Status::IoError("tree serialization write failed");
+  }
+  return Status::Ok();
+}
+
+Result<ValidationTree> DeserializeTree(std::istream* in) {
+  char magic[sizeof(kMagic)];
+  in->read(magic, sizeof(magic));
+  if (!*in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a geolic tree checkpoint");
+  }
+  uint64_t nodes = 0;
+  in->read(reinterpret_cast<char*>(&nodes), sizeof(nodes));
+  if (!*in) {
+    return Status::ParseError("truncated tree header");
+  }
+  if (nodes == 0 || nodes > kMaxNodes) {
+    return Status::ParseError("implausible node count");
+  }
+  ValidationTree tree;
+  uint64_t remaining = nodes;
+  GEOLIC_RETURN_IF_ERROR(ReadNode(in, tree.mutable_root(), &remaining));
+  if (remaining != 0) {
+    return Status::ParseError("tree payload shorter than declared");
+  }
+  if (tree.root().index != -1) {
+    return Status::ParseError("checkpoint root is not a root node");
+  }
+  // The root's count must be zero and the structure ordered; reuse the
+  // tree's own invariant checker so a corrupted checkpoint cannot produce
+  // an inconsistent validator state.
+  const Status invariants = tree.CheckInvariants();
+  if (!invariants.ok()) {
+    return Status::ParseError("checkpoint violates tree invariants: " +
+                              invariants.message());
+  }
+  return tree;
+}
+
+Status SaveTree(const ValidationTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return SerializeTree(tree, &out);
+}
+
+Result<ValidationTree> LoadTree(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return DeserializeTree(&in);
+}
+
+}  // namespace geolic

@@ -1,0 +1,34 @@
+#ifndef GEOLIC_VALIDATION_TREE_SERIALIZATION_H_
+#define GEOLIC_VALIDATION_TREE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "validation/validation_tree.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Binary persistence for validation trees, so a validation authority can
+// checkpoint the accumulated tree between offline audit runs instead of
+// replaying the whole log.
+//
+// Format (little-endian): magic "GLTREE1\0", uint64 node count, then the
+// tree in preorder as (int32 index, int64 count, uint32 child_count)
+// triples. The root is written with index −1.
+
+// Writes `tree` to `path`, overwriting.
+Status SaveTree(const ValidationTree& tree, const std::string& path);
+
+// Reads a tree written by SaveTree. Validates structure (child ordering,
+// strictly increasing path indexes) before returning.
+Result<ValidationTree> LoadTree(const std::string& path);
+
+// Stream variants (used by the file variants; exposed for embedding the
+// tree in larger checkpoint files).
+Status SerializeTree(const ValidationTree& tree, std::ostream* out);
+Result<ValidationTree> DeserializeTree(std::istream* in);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_VALIDATION_TREE_SERIALIZATION_H_

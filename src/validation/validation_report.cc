@@ -1,0 +1,39 @@
+#include "validation/validation_report.h"
+
+namespace geolic {
+
+std::string ValidationReport::ToString() const {
+  if (all_valid()) {
+    return "OK (" + std::to_string(equations_evaluated) + " equations)";
+  }
+  std::string out = std::to_string(violations.size()) + " violation(s) in " +
+                    std::to_string(equations_evaluated) + " equations:\n";
+  for (const EquationResult& violation : violations) {
+    out += "  C<" + MaskToString(violation.set) +
+           "> = " + std::to_string(violation.lhs) + " > A[" +
+           MaskToString(violation.set) +
+           "] = " + std::to_string(violation.rhs) + "\n";
+  }
+  return out;
+}
+
+std::vector<EquationResult> MinimalViolations(
+    const std::vector<EquationResult>& violations) {
+  std::vector<EquationResult> minimal;
+  for (const EquationResult& candidate : violations) {
+    bool has_smaller = false;
+    for (const EquationResult& other : violations) {
+      if (other.set != candidate.set &&
+          IsSubsetOf(other.set, candidate.set)) {
+        has_smaller = true;
+        break;
+      }
+    }
+    if (!has_smaller) {
+      minimal.push_back(candidate);
+    }
+  }
+  return minimal;
+}
+
+}  // namespace geolic

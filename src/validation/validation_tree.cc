@@ -1,0 +1,201 @@
+#include "validation/validation_tree.h"
+
+#include <algorithm>
+
+namespace geolic {
+namespace {
+
+size_t NodeCountImpl(const ValidationTreeNode& node) {
+  size_t count = node.children.size();
+  for (const auto& child : node.children) {
+    count += NodeCountImpl(*child);
+  }
+  return count;
+}
+
+int64_t TotalCountImpl(const ValidationTreeNode& node) {
+  int64_t total = node.count;
+  for (const auto& child : node.children) {
+    total += TotalCountImpl(*child);
+  }
+  return total;
+}
+
+size_t MemoryBytesImpl(const ValidationTreeNode& node) {
+  size_t bytes = sizeof(ValidationTreeNode) +
+                 node.children.capacity() *
+                     sizeof(std::unique_ptr<ValidationTreeNode>);
+  for (const auto& child : node.children) {
+    bytes += MemoryBytesImpl(*child);
+  }
+  return bytes;
+}
+
+int64_t SumSubsetsImpl(const ValidationTreeNode& node, LicenseMask set,
+                       uint64_t* nodes_visited) {
+  int64_t sum = 0;
+  for (const auto& child : node.children) {
+    if (!MaskContains(set, child->index)) {
+      continue;
+    }
+    if (nodes_visited != nullptr) {
+      ++*nodes_visited;
+    }
+    sum += child->count + SumSubsetsImpl(*child, set, nodes_visited);
+  }
+  return sum;
+}
+
+LicenseMask PresentLicensesImpl(const ValidationTreeNode& node) {
+  LicenseMask mask = 0;
+  for (const auto& child : node.children) {
+    mask |= SingletonMask(child->index) | PresentLicensesImpl(*child);
+  }
+  return mask;
+}
+
+Status CheckNode(const ValidationTreeNode& node) {
+  if (node.count < 0) {
+    return Status::Internal("negative count in validation tree");
+  }
+  int previous = node.index;
+  for (const auto& child : node.children) {
+    if (child == nullptr) {
+      return Status::Internal("null child in validation tree");
+    }
+    if (child->index <= previous) {
+      return Status::Internal(
+          "children not strictly ascending / path not increasing");
+    }
+    previous = child->index;
+    GEOLIC_RETURN_IF_ERROR(CheckNode(*child));
+  }
+  return Status::Ok();
+}
+
+void ToStringImpl(const ValidationTreeNode& node, int depth,
+                  std::string* out) {
+  for (const auto& child : node.children) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append("L" + std::to_string(child->index + 1) + ":" +
+                std::to_string(child->count) + "\n");
+    ToStringImpl(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Status ValidationTree::Insert(LicenseMask set, int64_t count) {
+  if (set == 0) {
+    return Status::InvalidArgument("cannot insert the empty set");
+  }
+  if (count <= 0) {
+    return Status::InvalidArgument("insert count must be positive, got " +
+                                   std::to_string(count));
+  }
+  ValidationTreeNode* node = root_.get();
+  LicenseMask remaining = set;
+  while (remaining != 0) {
+    const int index = LowestLicense(remaining);
+    remaining &= remaining - 1;
+    // Step 1 of Algorithm 1: scan the ordered children for the first child
+    // with child.index >= index.
+    auto it = std::lower_bound(
+        node->children.begin(), node->children.end(), index,
+        [](const std::unique_ptr<ValidationTreeNode>& child, int idx) {
+          return child->index < idx;
+        });
+    if (it == node->children.end() || (*it)->index != index) {
+      // Step 3: create the missing node in order.
+      auto child = std::make_unique<ValidationTreeNode>();
+      child->index = index;
+      it = node->children.insert(it, std::move(child));
+    }
+    node = it->get();
+  }
+  // Step 4: accumulate the count at the final node.
+  node->count += count;
+  return Status::Ok();
+}
+
+Result<ValidationTree> ValidationTree::BuildFromLog(const LogStore& store) {
+  ValidationTree tree;
+  for (const LogRecord& record : store.records()) {
+    GEOLIC_RETURN_IF_ERROR(tree.Insert(record.set, record.count));
+  }
+  return tree;
+}
+
+int64_t ValidationTree::SumSubsets(LicenseMask set,
+                                   uint64_t* nodes_visited) const {
+  return SumSubsetsImpl(*root_, set, nodes_visited);
+}
+
+int64_t ValidationTree::CountOf(LicenseMask set) const {
+  const ValidationTreeNode* node = root_.get();
+  LicenseMask remaining = set;
+  while (remaining != 0) {
+    const int index = LowestLicense(remaining);
+    remaining &= remaining - 1;
+    const ValidationTreeNode* next = nullptr;
+    for (const auto& child : node->children) {
+      if (child->index == index) {
+        next = child.get();
+        break;
+      }
+      if (child->index > index) {
+        break;
+      }
+    }
+    if (next == nullptr) {
+      return 0;
+    }
+    node = next;
+  }
+  return node->count;
+}
+
+size_t ValidationTree::NodeCount() const { return NodeCountImpl(*root_); }
+
+int64_t ValidationTree::TotalCount() const { return TotalCountImpl(*root_); }
+
+size_t ValidationTree::MemoryBytes() const { return MemoryBytesImpl(*root_); }
+
+LicenseMask ValidationTree::PresentLicenses() const {
+  return PresentLicensesImpl(*root_);
+}
+
+namespace {
+
+void ForEachSetImpl(const ValidationTreeNode& node, LicenseMask path,
+                    const std::function<void(LicenseMask, int64_t)>& fn) {
+  for (const auto& child : node.children) {
+    const LicenseMask child_path = path | SingletonMask(child->index);
+    if (child->count != 0) {
+      fn(child_path, child->count);
+    }
+    ForEachSetImpl(*child, child_path, fn);
+  }
+}
+
+}  // namespace
+
+void ValidationTree::ForEachSet(
+    const std::function<void(LicenseMask, int64_t)>& fn) const {
+  ForEachSetImpl(*root_, 0, fn);
+}
+
+Status ValidationTree::CheckInvariants() const {
+  if (root_->index != -1 || root_->count != 0) {
+    return Status::Internal("root must be index -1 with zero count");
+  }
+  return CheckNode(*root_);
+}
+
+std::string ValidationTree::ToString() const {
+  std::string out;
+  ToStringImpl(*root_, 0, &out);
+  return out;
+}
+
+}  // namespace geolic

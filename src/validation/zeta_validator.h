@@ -1,0 +1,33 @@
+#ifndef GEOLIC_VALIDATION_ZETA_VALIDATOR_H_
+#define GEOLIC_VALIDATION_ZETA_VALIDATOR_H_
+
+#include <vector>
+
+#include "validation/validation_report.h"
+#include "validation/validation_tree.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Alternative offline validator based on the subset-sum (zeta) transform.
+//
+// Where Algorithm 2 recomputes each equation's LHS by a pruned tree
+// traversal (cost ~tree nodes per equation), this validator materialises a
+// dense table lhs[S] for every S ⊆ {0..N−1}: seed lhs[S] = C[S] from the
+// tree, then one sum-over-subsets DP pass turns it into lhs[S] = C⟨S⟩ in
+// O(2^N · N) additions total. RHS values accumulate in the same pass.
+//
+// Trade-off (ablated in bench/ablation_zeta): the DP touches all 2^N cells
+// regardless of tree sparsity but with perfect locality; the traversal
+// skips empty regions but chases pointers. The DP also needs O(2^N) × 16
+// bytes of memory, so it is capped at `max_dense_n` (default 26 ≈ 1 GiB).
+//
+// Produces the identical ValidationReport (same violations in the same
+// ascending-set order; nodes_visited is 0 — no tree walks).
+Result<ValidationReport> ValidateZeta(const ValidationTree& tree,
+                                      const std::vector<int64_t>& aggregates,
+                                      int max_dense_n = 26);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_VALIDATION_ZETA_VALIDATOR_H_

@@ -1,0 +1,122 @@
+#include "workload/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/gain.h"
+#include "core/grouping.h"
+#include "core/overlap_graph.h"
+#include "util/bits.h"
+
+namespace geolic {
+
+void SampleSummary::Add(int64_t value) {
+  if (samples == 0) {
+    min = value;
+    max = value;
+    mean = static_cast<double>(value);
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+    mean += (static_cast<double>(value) - mean) /
+            static_cast<double>(samples + 1);
+  }
+  ++samples;
+}
+
+std::string SampleSummary::ToString() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "min=%lld mean=%.2f max=%lld (n=%zu)",
+                static_cast<long long>(min), mean,
+                static_cast<long long>(max), samples);
+  return buffer;
+}
+
+LogStats LogStats::Compute(const LogStore& log) {
+  LogStats stats;
+  stats.records = log.size();
+  std::unordered_set<LicenseMask> distinct;
+  int max_size = 0;
+  for (const LogRecord& record : log.records()) {
+    distinct.insert(record.set);
+    const int size = MaskSize(record.set);
+    max_size = std::max(max_size, size);
+    stats.set_size.Add(size);
+    stats.count.Add(record.count);
+  }
+  stats.distinct_sets = distinct.size();
+  stats.set_size_histogram.assign(static_cast<size_t>(max_size) + 1, 0);
+  for (const LogRecord& record : log.records()) {
+    ++stats.set_size_histogram[static_cast<size_t>(MaskSize(record.set))];
+  }
+  return stats;
+}
+
+std::string LogStats::ToString() const {
+  std::string out = "log: " + std::to_string(records) + " records, " +
+                    std::to_string(distinct_sets) + " distinct sets\n";
+  out += "  |S| " + set_size.ToString() + "\n";
+  out += "  counts " + count.ToString() + "\n";
+  out += "  |S| histogram:";
+  for (size_t k = 1; k < set_size_histogram.size(); ++k) {
+    out += " " + std::to_string(k) + ":" +
+           std::to_string(set_size_histogram[k]);
+  }
+  out += "\n";
+  return out;
+}
+
+LicensePortfolioStats LicensePortfolioStats::Compute(
+    const LicenseSet& licenses) {
+  LicensePortfolioStats stats;
+  stats.licenses = licenses.size();
+  if (licenses.empty()) {
+    return stats;
+  }
+  const AdjacencyMatrix graph = BuildOverlapGraph(licenses);
+  stats.overlap_edges = graph.EdgeCount();
+  stats.mean_degree = licenses.size() > 0
+                          ? 2.0 * stats.overlap_edges /
+                                static_cast<double>(licenses.size())
+                          : 0.0;
+  const LicenseGrouping grouping = LicenseGrouping::FromLicenses(licenses);
+  stats.groups = grouping.group_count();
+  for (int k = 0; k < grouping.group_count(); ++k) {
+    stats.group_sizes.push_back(grouping.GroupSize(k));
+  }
+  stats.exhaustive_equations = EquationCount(licenses.size());
+  stats.grouped_equations = GroupedEquationCount(stats.group_sizes);
+  stats.theoretical_gain = TheoreticalGain(stats.group_sizes);
+  return stats;
+}
+
+std::string LicensePortfolioStats::ToString() const {
+  std::string out = "portfolio: " + std::to_string(licenses) +
+                    " licenses, " + std::to_string(overlap_edges) +
+                    " overlap edges";
+  char degree[48];
+  std::snprintf(degree, sizeof(degree), " (mean degree %.2f)\n",
+                mean_degree);
+  out += degree;
+  out += "  groups: " + std::to_string(groups) + " [";
+  for (size_t i = 0; i < group_sizes.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(group_sizes[i]);
+  }
+  out += "]\n";
+  char equations[160];
+  std::snprintf(equations, sizeof(equations),
+                "  equations: %llu grouped vs %llu exhaustive "
+                "(gain %.1fx)\n",
+                static_cast<unsigned long long>(grouped_equations),
+                static_cast<unsigned long long>(exhaustive_equations),
+                theoretical_gain);
+  out += equations;
+  return out;
+}
+
+}  // namespace geolic

@@ -1,0 +1,60 @@
+#ifndef GEOLIC_WORKLOAD_STATS_H_
+#define GEOLIC_WORKLOAD_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "licensing/license_set.h"
+#include "validation/log_store.h"
+
+namespace geolic {
+
+// Min/mean/max summary of an integer sample.
+struct SampleSummary {
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  size_t samples = 0;
+
+  // Accumulating construction.
+  void Add(int64_t value);
+  // "min=10 mean=20.1 max=30 (n=4711)".
+  std::string ToString() const;
+};
+
+// Shape of an issuance log: how many records, how concentrated the sets
+// are, how the satisfying-set sizes distribute (the k in the paper's
+// 2^(N−k) complexity discussion).
+struct LogStats {
+  size_t records = 0;
+  size_t distinct_sets = 0;
+  SampleSummary set_size;   // |S| per record.
+  SampleSummary count;      // Permission counts per record.
+  // set_size_histogram[k] = records whose set has exactly k licenses
+  // (index 0 unused).
+  std::vector<size_t> set_size_histogram;
+
+  static LogStats Compute(const LogStore& log);
+  std::string ToString() const;
+};
+
+// Shape of a distributor's license portfolio: overlap structure and the
+// resulting validation-equation economics.
+struct LicensePortfolioStats {
+  int licenses = 0;
+  int overlap_edges = 0;
+  double mean_degree = 0.0;
+  int groups = 0;
+  std::vector<int> group_sizes;
+  uint64_t exhaustive_equations = 0;   // 2^N − 1.
+  uint64_t grouped_equations = 0;      // Σ (2^{N_k} − 1).
+  double theoretical_gain = 1.0;       // Paper equation 3.
+
+  static LicensePortfolioStats Compute(const LicenseSet& licenses);
+  std::string ToString() const;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_WORKLOAD_STATS_H_

@@ -1,0 +1,97 @@
+#ifndef GEOLIC_WORKLOAD_WORKLOAD_H_
+#define GEOLIC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "licensing/license_set.h"
+#include "validation/log_store.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Parameters of a synthetic validation workload. Defaults reproduce the
+// paper's evaluation setup (Section 5): 4 instance-based constraints per
+// redistribution license, aggregate counts in [5000, 20000], usage-license
+// permission counts in [10, 30], and roughly 600 log records at N = 1
+// growing to 22000 at N = 35.
+struct WorkloadConfig {
+  // N — redistribution licenses for the content. 1..64.
+  int num_licenses = 10;
+  // M — instance-based constraint dimensions (all intervals here; the
+  // paper's experiments use 4 unnamed range constraints).
+  int dimensions = 4;
+  // Spatial clusters licenses are scattered into. Clusters occupy disjoint
+  // slabs of every dimension, so licenses from different clusters never
+  // overlap; the number of overlap *groups* then fluctuates between 1 and
+  // `num_clusters` as licenses fragment or bridge within clusters — the
+  // behaviour of the paper's figure 6.
+  int num_clusters = 5;
+  // Fraction of a cluster slab a license's interval covers, drawn uniformly
+  // from [min_extent, max_extent]. Higher extents ⇒ denser overlap ⇒ fewer
+  // groups.
+  double min_extent = 0.35;
+  double max_extent = 0.9;
+  // Dimension domain: every dimension spans [0, domain_size).
+  int64_t domain_size = 1000000;
+  // Aggregate constraint counts of redistribution licenses.
+  int64_t aggregate_min = 5000;
+  int64_t aggregate_max = 20000;
+  // Permission counts of issued (usage) licenses.
+  int64_t usage_count_min = 10;
+  int64_t usage_count_max = 30;
+  // Total log records to generate.
+  int num_records = 6300;
+  // PRNG seed; identical configs generate identical workloads.
+  uint64_t seed = 42;
+
+  // Sanity-checks the parameter ranges.
+  Status Validate() const;
+};
+
+// A generated workload: the schema + redistribution licenses a distributor
+// holds, and the issuance log to validate. Heap-held so the set's pointer
+// to the schema survives moves.
+struct Workload {
+  std::unique_ptr<ConstraintSchema> schema;
+  std::unique_ptr<LicenseSet> licenses;
+  LogStore log;
+};
+
+// Deterministic generator for paper-style workloads.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  // Generates redistribution licenses and `config.num_records` issuance log
+  // records. Each record is produced the way the paper describes: draw a
+  // usage license inside a random redistribution license, compute the set S
+  // of all redistribution licenses containing it (instance validation), log
+  // (S, count).
+  Result<Workload> Generate();
+
+  // Licenses only (empty log) — for grouping/overlap experiments.
+  Result<Workload> GenerateLicensesOnly();
+
+  // Draws one usage license lying inside redistribution license `index` of
+  // `workload` (a random sub-rectangle, count in the configured range).
+  License DrawUsageLicense(const Workload& workload, int index, Rng* rng,
+                           int64_t sequence) const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+};
+
+// The paper's sweep point for N redistribution licenses: num_records
+// interpolates the stated 600 (N = 1) → 22000 (N = 35) linearly, everything
+// else at paper defaults. `seed` defaults to a fixed constant so figures
+// are reproducible.
+WorkloadConfig PaperSweepConfig(int num_licenses, uint64_t seed = 2010);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,102 @@
+#include "core/dynamic_grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "core/overlap_graph.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+using testing::RandomRect;
+using testing::Rect;
+
+TEST(DynamicGroupingTest, StartsEmpty) {
+  DynamicGrouping grouping;
+  EXPECT_EQ(grouping.size(), 0);
+  EXPECT_EQ(grouping.group_count(), 0);
+  EXPECT_EQ(grouping.merges(), 0);
+}
+
+TEST(DynamicGroupingTest, IsolatedLicensesEachOwnGroup) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{100, 110}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{200, 210}})).ok());
+  EXPECT_EQ(grouping.group_count(), 3);
+  EXPECT_EQ(grouping.merges(), 0);
+}
+
+TEST(DynamicGroupingTest, OverlapJoinsGroup) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{5, 15}})).ok());
+  EXPECT_EQ(grouping.group_count(), 1);
+  EXPECT_EQ(grouping.GroupMaskOf(0), 0b11u);
+  EXPECT_EQ(grouping.GroupMaskOf(1), 0b11u);
+}
+
+TEST(DynamicGroupingTest, BridgeLicenseMergesGroups) {
+  // The paper's figure 6 narrative: a new license connected to licenses in
+  // both existing groups collapses them into one.
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{100, 110}})).ok());
+  EXPECT_EQ(grouping.group_count(), 2);
+  ASSERT_TRUE(grouping.AddLicense(Rect({{5, 105}})).ok());  // Bridges both.
+  EXPECT_EQ(grouping.group_count(), 1);
+  EXPECT_EQ(grouping.merges(), 2);
+  EXPECT_EQ(grouping.GroupMaskOf(0), 0b111u);
+}
+
+TEST(DynamicGroupingTest, GroupCountCanStayGrowAndShrink) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());     // 1 group.
+  EXPECT_EQ(grouping.group_count(), 1);
+  ASSERT_TRUE(grouping.AddLicense(Rect({{50, 60}})).ok());    // Grows → 2.
+  EXPECT_EQ(grouping.group_count(), 2);
+  ASSERT_TRUE(grouping.AddLicense(Rect({{52, 58}})).ok());    // Stays → 2.
+  EXPECT_EQ(grouping.group_count(), 2);
+  ASSERT_TRUE(grouping.AddLicense(Rect({{5, 55}})).ok());     // Shrinks → 1.
+  EXPECT_EQ(grouping.group_count(), 1);
+}
+
+TEST(DynamicGroupingTest, RejectsDimensionMismatchAndOverflow) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  EXPECT_FALSE(grouping.AddLicense(Rect({{0, 10}, {0, 10}})).ok());
+  for (int i = 1; i < 64; ++i) {
+    ASSERT_TRUE(
+        grouping.AddLicense(Rect({{i * 100, i * 100 + 10}})).ok());
+  }
+  EXPECT_EQ(grouping.AddLicense(Rect({{9999, 10000}})).status().code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(DynamicGroupingTest, ComponentsMatchesStaticRecomputation) {
+  // Property: after every insertion, Components() equals what a full
+  // overlap-graph + DFS recomputation would produce.
+  Rng rng(515151);
+  for (int trial = 0; trial < 20; ++trial) {
+    DynamicGrouping dynamic;
+    std::vector<HyperRect> rects;
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      const HyperRect rect = RandomRect(&rng, 3, 60);
+      ASSERT_TRUE(dynamic.AddLicense(rect).ok());
+      rects.push_back(rect);
+
+      const ComponentSet expected =
+          FindComponentsDfs(BuildOverlapGraphFromRects(rects));
+      const ComponentSet actual = dynamic.Components();
+      ASSERT_EQ(actual.components, expected.components)
+          << "trial " << trial << " after " << i + 1 << " licenses";
+      ASSERT_EQ(actual.component_of, expected.component_of);
+      ASSERT_EQ(dynamic.group_count(), expected.count());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,84 @@
+#include "core/gain.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(GainTest, EquationCountFormula) {
+  EXPECT_EQ(EquationCount(0), 0u);
+  EXPECT_EQ(EquationCount(1), 1u);
+  EXPECT_EQ(EquationCount(5), 31u);
+  EXPECT_EQ(EquationCount(10), 1023u);
+  EXPECT_EQ(EquationCount(63), (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(EquationCount(64), UINT64_MAX);
+}
+
+TEST(GainTest, GroupedEquationCountSums) {
+  EXPECT_EQ(GroupedEquationCount({}), 0u);
+  EXPECT_EQ(GroupedEquationCount({3, 2}), 7u + 3u);
+  EXPECT_EQ(GroupedEquationCount({5}), 31u);
+  EXPECT_EQ(GroupedEquationCount({1, 1, 1, 1}), 4u);
+}
+
+TEST(GainTest, PaperExampleGainIs3Point1) {
+  // Section 4.2's illustration: groups (L1,L2,L4) and (L3,L5) →
+  // (2^5 − 1)/((2^3 − 1) + (2^2 − 1)) = 31/10 = 3.1.
+  EXPECT_NEAR(TheoreticalGain({3, 2}), 3.1, 1e-9);
+}
+
+TEST(GainTest, SingleGroupHasGainOne) {
+  EXPECT_DOUBLE_EQ(TheoreticalGain({7}), 1.0);
+  EXPECT_DOUBLE_EQ(TheoreticalGain({1}), 1.0);
+  EXPECT_DOUBLE_EQ(TheoreticalGain({}), 1.0);
+}
+
+TEST(GainTest, FullySplitGainIsMaximal) {
+  // m = N singleton groups → (2^N − 1)/N, the paper's stated maximum.
+  const int n = 10;
+  const std::vector<int> singletons(static_cast<size_t>(n), 1);
+  EXPECT_NEAR(TheoreticalGain(singletons),
+              (std::exp2(n) - 1.0) / static_cast<double>(n), 1e-9);
+}
+
+TEST(GainTest, GainAlwaysAtLeastOne) {
+  // The paper: "the performance gain always remains greater than or equal
+  // to 1".
+  const std::vector<std::vector<int>> cases = {
+      {1}, {2, 3}, {5, 5, 5}, {1, 9}, {10, 1, 1}, {4, 4, 4, 4}, {35}};
+  for (const auto& sizes : cases) {
+    EXPECT_GE(TheoreticalGain(sizes), 1.0);
+  }
+}
+
+TEST(GainTest, MoreBalancedSplitsGainMore) {
+  // For fixed N = 12 and g = 2, balanced {6, 6} beats skewed {11, 1}.
+  EXPECT_GT(TheoreticalGain({6, 6}), TheoreticalGain({11, 1}));
+  EXPECT_GT(TheoreticalGain({4, 4, 4}), TheoreticalGain({6, 6}));
+}
+
+TEST(GainTest, LargeNStaysFinite) {
+  const double gain = TheoreticalGain({32, 32});
+  EXPECT_TRUE(std::isfinite(gain));
+  EXPECT_NEAR(gain, std::exp2(64) / (2.0 * std::exp2(32)), 1e12);
+}
+
+TEST(GainTest, GainConsistentWithEquationCounts) {
+  for (const auto& sizes :
+       {std::vector<int>{3, 2}, std::vector<int>{5, 4, 3},
+        std::vector<int>{2, 2, 2, 2}}) {
+    int n = 0;
+    for (int s : sizes) {
+      n += s;
+    }
+    const double expected =
+        static_cast<double>(EquationCount(n)) /
+        static_cast<double>(GroupedEquationCount(sizes));
+    EXPECT_NEAR(TheoreticalGain(sizes), expected, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace geolic

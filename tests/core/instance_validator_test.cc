@@ -1,0 +1,152 @@
+#include "core/instance_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+using testing::MakeUsage;
+
+TEST(LinearInstanceValidatorTest, FindsAllContainingLicenses) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD1", {{0, 20}, {0, 20}}, 1)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD2", {{5, 25}, {5, 25}}, 1)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD3", {{50, 60}, {50, 60}}, 1))
+          .ok());
+  const LinearInstanceValidator validator(&set);
+
+  // Inside LD1 and LD2.
+  EXPECT_EQ(validator.SatisfyingSet(
+                MakeUsage(schema, "LU1", {{6, 19}, {6, 19}}, 1)),
+            0b011u);
+  // Inside LD1 only.
+  EXPECT_EQ(validator.SatisfyingSet(
+                MakeUsage(schema, "LU2", {{0, 4}, {0, 4}}, 1)),
+            0b001u);
+  // Inside none (straddles LD1's edge) — the paper's invalid L_U^2 case.
+  EXPECT_EQ(validator.SatisfyingSet(
+                MakeUsage(schema, "LU3", {{15, 30}, {0, 4}}, 1)),
+            0u);
+  // Inside LD3 only.
+  EXPECT_EQ(validator.SatisfyingSet(
+                MakeUsage(schema, "LU4", {{55, 56}, {55, 56}}, 1)),
+            0b100u);
+}
+
+TEST(RtreeInstanceValidatorTest, BuildRejectsEmptySet) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  EXPECT_FALSE(RtreeInstanceValidator::Build(&set).ok());
+}
+
+TEST(RtreeInstanceValidatorTest, MatchesLinearOnSmallSet) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD1", {{0, 20}, {0, 20}}, 1)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD2", {{5, 25}, {5, 25}}, 1)).ok());
+  const LinearInstanceValidator linear(&set);
+  const Result<RtreeInstanceValidator> rtree =
+      RtreeInstanceValidator::Build(&set);
+  ASSERT_TRUE(rtree.ok());
+  const License usage = MakeUsage(schema, "LU", {{6, 10}, {6, 10}}, 1);
+  EXPECT_EQ(rtree->SatisfyingSet(usage), linear.SatisfyingSet(usage));
+}
+
+// Property: the R-tree backend and the linear backend agree on random
+// license sets and random usage licenses, across dimensionalities.
+class InstanceBackendAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InstanceBackendAgreementTest, BackendsAgree) {
+  const int dims = GetParam();
+  const ConstraintSchema schema = IntervalSchema(dims);
+  Rng rng(86000 + static_cast<uint64_t>(dims));
+  for (int trial = 0; trial < 10; ++trial) {
+    LicenseSet set(&schema);
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::pair<int64_t, int64_t>> ranges;
+      for (int d = 0; d < dims; ++d) {
+        const int64_t lo = rng.UniformInt(0, 80);
+        ranges.push_back({lo, lo + rng.UniformInt(0, 40)});
+      }
+      ASSERT_TRUE(
+          set.Add(MakeRedistribution(schema, "LD" + std::to_string(i), ranges,
+                                     1))
+              .ok());
+    }
+    const LinearInstanceValidator linear(&set);
+    const Result<RtreeInstanceValidator> rtree =
+        RtreeInstanceValidator::Build(&set);
+    ASSERT_TRUE(rtree.ok());
+    for (int q = 0; q < 50; ++q) {
+      std::vector<std::pair<int64_t, int64_t>> ranges;
+      for (int d = 0; d < dims; ++d) {
+        const int64_t lo = rng.UniformInt(0, 110);
+        ranges.push_back({lo, lo + rng.UniformInt(0, 20)});
+      }
+      const License usage = MakeUsage(schema, "LU", ranges, 1);
+      EXPECT_EQ(rtree->SatisfyingSet(usage), linear.SatisfyingSet(usage));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, InstanceBackendAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(InstanceValidatorTest, CategoricalDimensionsHandledExactly) {
+  // Category bounding boxes over-approximate; the R-tree backend must still
+  // return exact answers after confirmation.
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("T").ok());
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  LicenseSet set(&schema);
+  const CategoryUniverse world = CategoryUniverse::WorldRegions();
+
+  auto make = [&](const std::string& id, int64_t lo, int64_t hi,
+                  const std::vector<std::string>& regions) {
+    LicenseBuilder builder(&schema);
+    builder.SetId(id)
+        .SetContentKey("K")
+        .SetType(LicenseType::kRedistribution)
+        .SetPermission(Permission::kPlay)
+        .SetAggregateCount(10)
+        .SetInterval("T", lo, hi)
+        .SetCategories("R", regions);
+    return *builder.Build();
+  };
+  ASSERT_TRUE(set.Add(make("LD1", 0, 10, {"Asia"})).ok());
+  ASSERT_TRUE(set.Add(make("LD2", 0, 10, {"Europe"})).ok());
+
+  LicenseBuilder usage_builder(&schema);
+  usage_builder.SetId("LU")
+      .SetContentKey("K")
+      .SetType(LicenseType::kUsage)
+      .SetPermission(Permission::kPlay)
+      .SetAggregateCount(1)
+      .SetInterval("T", 2, 3)
+      .SetCategories("R", {"India"});
+  const License usage = *usage_builder.Build();
+
+  const LinearInstanceValidator linear(&set);
+  const Result<RtreeInstanceValidator> rtree =
+      RtreeInstanceValidator::Build(&set);
+  ASSERT_TRUE(rtree.ok());
+  EXPECT_EQ(linear.SatisfyingSet(usage), 0b01u);  // Asia only, not Europe.
+  EXPECT_EQ(rtree->SatisfyingSet(usage), 0b01u);
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,236 @@
+#include "core/online_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+using testing::MakeUsage;
+
+// L1 [0,20] A=100, L2 [10,30] A=50, L3 [100,120] A=30 — two groups.
+LicenseSet SmallSet(const ConstraintSchema& schema) {
+  LicenseSet set(&schema);
+  GEOLIC_CHECK(
+      set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
+  GEOLIC_CHECK(
+      set.Add(MakeRedistribution(schema, "LD2", {{10, 30}}, 50)).ok());
+  GEOLIC_CHECK(
+      set.Add(MakeRedistribution(schema, "LD3", {{100, 120}}, 30)).ok());
+  return set;
+}
+
+TEST(OnlineValidatorTest, CreateRequiresLicenses) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet empty(&schema);
+  EXPECT_FALSE(OnlineValidator::Create(&empty).ok());
+  EXPECT_FALSE(OnlineValidator::Create(nullptr).ok());
+}
+
+TEST(OnlineValidatorTest, AcceptsValidIssue) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  Result<OnlineValidator> validator = OnlineValidator::Create(&set);
+  ASSERT_TRUE(validator.ok());
+  const Result<OnlineDecision> decision =
+      validator->TryIssue(MakeUsage(schema, "LU1", {{2, 5}}, 40));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->accepted());
+  EXPECT_TRUE(decision->instance_valid);
+  EXPECT_TRUE(decision->aggregate_valid);
+  EXPECT_EQ(decision->satisfying_set, 0b001u);
+  EXPECT_EQ(validator->log().size(), 1u);
+  EXPECT_EQ(validator->tree().CountOf(0b001), 40);
+}
+
+TEST(OnlineValidatorTest, RejectsInstanceInvalid) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  Result<OnlineValidator> validator = OnlineValidator::Create(&set);
+  ASSERT_TRUE(validator.ok());
+  // [25, 50] is not inside any license.
+  const Result<OnlineDecision> decision =
+      validator->TryIssue(MakeUsage(schema, "LU1", {{25, 50}}, 5));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->accepted());
+  EXPECT_FALSE(decision->instance_valid);
+  EXPECT_EQ(validator->log().size(), 0u);  // Nothing recorded.
+}
+
+TEST(OnlineValidatorTest, RejectsAggregateOverflowAndReportsEquation) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  Result<OnlineValidator> validator = OnlineValidator::Create(&set);
+  ASSERT_TRUE(validator.ok());
+  // L3's budget is 30: a 31-count usage inside L3 must be rejected.
+  const Result<OnlineDecision> decision =
+      validator->TryIssue(MakeUsage(schema, "LU1", {{105, 110}}, 31));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->instance_valid);
+  EXPECT_FALSE(decision->aggregate_valid);
+  EXPECT_FALSE(decision->accepted());
+  EXPECT_EQ(decision->limiting.set, 0b100u);
+  EXPECT_EQ(decision->limiting.lhs, 31);
+  EXPECT_EQ(decision->limiting.rhs, 30);
+  EXPECT_EQ(validator->log().size(), 0u);
+}
+
+TEST(OnlineValidatorTest, ExhaustsBudgetExactlyThenRejects) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  Result<OnlineValidator> validator = OnlineValidator::Create(&set);
+  ASSERT_TRUE(validator.ok());
+  // Three 10-count issues exhaust L3's 30.
+  for (int i = 0; i < 3; ++i) {
+    const Result<OnlineDecision> decision =
+        validator->TryIssue(MakeUsage(schema, "LU", {{101, 102}}, 10));
+    ASSERT_TRUE(decision.ok());
+    EXPECT_TRUE(decision->accepted()) << "issue " << i;
+  }
+  const Result<OnlineDecision> rejected =
+      validator->TryIssue(MakeUsage(schema, "LU", {{101, 102}}, 1));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected->accepted());
+}
+
+TEST(OnlineValidatorTest, Example1ScenarioBothLicensesValid) {
+  // The motivating scenario of the paper's Example 1: LU1 (count 800) fits
+  // {L1, L2}; LU2 (count 400) fits only {L2}. With equation-based
+  // validation both are accepted because C⟨{L2}⟩ = 400 ≤ 1000 and
+  // C⟨{L1,L2}⟩ = 1200 ≤ 3000 — no greedy license picking.
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 2000)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD2", {{10, 30}}, 1000)).ok());
+  Result<OnlineValidator> validator = OnlineValidator::Create(&set);
+  ASSERT_TRUE(validator.ok());
+
+  const Result<OnlineDecision> first =
+      validator->TryIssue(MakeUsage(schema, "LU1", {{12, 18}}, 800));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->satisfying_set, 0b11u);
+  EXPECT_TRUE(first->accepted());
+
+  const Result<OnlineDecision> second =
+      validator->TryIssue(MakeUsage(schema, "LU2", {{22, 28}}, 400));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->satisfying_set, 0b10u);
+  EXPECT_TRUE(second->accepted());
+}
+
+TEST(OnlineValidatorTest, GroupingShrinksEquationCount) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+
+  Result<OnlineValidator> grouped = OnlineValidator::Create(&set, true);
+  Result<OnlineValidator> baseline = OnlineValidator::Create(&set, false);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_TRUE(baseline.ok());
+
+  const License usage = MakeUsage(schema, "LU", {{2, 5}}, 1);
+  const Result<OnlineDecision> grouped_decision = grouped->TryIssue(usage);
+  const Result<OnlineDecision> baseline_decision = baseline->TryIssue(usage);
+  ASSERT_TRUE(grouped_decision.ok());
+  ASSERT_TRUE(baseline_decision.ok());
+  EXPECT_EQ(grouped_decision->accepted(), baseline_decision->accepted());
+  // S = {L1}, k = 1. Baseline checks 2^(3−1) = 4 equations; grouped only
+  // the group {L1, L2}: 2^(2−1) = 2.
+  EXPECT_EQ(baseline_decision->equations_checked, 4u);
+  EXPECT_EQ(grouped_decision->equations_checked, 2u);
+}
+
+TEST(OnlineValidatorTest, GroupedAndBaselineAlwaysAgree) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 60)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD2", {{10, 30}}, 40)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD3", {{100, 130}}, 25)).ok());
+  ASSERT_TRUE(
+      set.Add(MakeRedistribution(schema, "LD4", {{110, 140}}, 35)).ok());
+
+  Result<OnlineValidator> grouped = OnlineValidator::Create(&set, true);
+  Result<OnlineValidator> baseline = OnlineValidator::Create(&set, false);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_TRUE(baseline.ok());
+
+  Rng rng(2024);
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    const bool left_cluster = rng.Bernoulli(0.5);
+    const int64_t base = left_cluster ? rng.UniformInt(0, 25)
+                                      : rng.UniformInt(100, 135);
+    const int64_t lo = base;
+    const int64_t hi = base + rng.UniformInt(0, 5);
+    const License usage =
+        MakeUsage(schema, "LU", {{lo, hi}}, rng.UniformInt(1, 8));
+    const Result<OnlineDecision> a = grouped->TryIssue(usage);
+    const Result<OnlineDecision> b = baseline->TryIssue(usage);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->accepted(), b->accepted()) << "issue " << i;
+    ASSERT_EQ(a->satisfying_set, b->satisfying_set);
+    if (a->accepted()) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  // The workload is sized to exercise both outcomes.
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(grouped->log().size(), baseline->log().size());
+}
+
+TEST(OnlineValidatorTest, CreateWithHistoryPreloadsTree) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  LogStore history;
+  ASSERT_TRUE(history.Append(LogRecord{"LU1", 0b001, 90}).ok());
+  Result<OnlineValidator> validator =
+      OnlineValidator::CreateWithHistory(&set, true, history);
+  ASSERT_TRUE(validator.ok());
+  EXPECT_EQ(validator->tree().CountOf(0b001), 90);
+  EXPECT_EQ(validator->log().size(), 1u);
+  // Only 10 counts left on L1.
+  const Result<OnlineDecision> decision =
+      validator->TryIssue(MakeUsage(schema, "LU2", {{0, 5}}, 11));
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->accepted());
+}
+
+TEST(OnlineValidatorTest, CreateWithHistoryRejectsUnknownIndexes) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  LogStore history;
+  ASSERT_TRUE(history.Append(LogRecord{"LU1", SingletonMask(9), 5}).ok());
+  EXPECT_FALSE(OnlineValidator::CreateWithHistory(&set, true, history).ok());
+}
+
+TEST(OnlineValidatorTest, RejectsNonPositiveCount) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet set = SmallSet(schema);
+  Result<OnlineValidator> validator = OnlineValidator::Create(&set);
+  ASSERT_TRUE(validator.ok());
+  LicenseBuilder builder(&schema);
+  builder.SetId("LU")
+      .SetContentKey("K")
+      .SetType(LicenseType::kUsage)
+      .SetPermission(Permission::kPlay)
+      .SetAggregateCount(0)
+      .SetInterval("C1", 0, 1);
+  // Builder itself refuses a zero count, so hand-construct the license.
+  const License usage("LU", "K", LicenseType::kUsage, Permission::kPlay,
+                      testing::Rect({{0, 1}}), 0);
+  EXPECT_FALSE(validator->TryIssue(usage).ok());
+}
+
+}  // namespace
+}  // namespace geolic

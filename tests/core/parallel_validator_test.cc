@@ -1,0 +1,105 @@
+#include "core/parallel_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "validation/exhaustive_validator.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+TEST(ParallelValidatorTest, EmptyInputs) {
+  ValidationTree tree;
+  const Result<ValidationReport> report =
+      ValidateExhaustiveParallel(tree, {}, 4);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_valid());
+}
+
+TEST(ParallelValidatorTest, RejectsBadInputs) {
+  ValidationTree tree;
+  ASSERT_TRUE(tree.Insert(SingletonMask(3), 1).ok());
+  EXPECT_FALSE(ValidateExhaustiveParallel(tree, {10, 10}, 4).ok());
+  EXPECT_FALSE(
+      ValidateExhaustiveParallel(tree, std::vector<int64_t>(65, 1), 4).ok());
+}
+
+// Property: the parallel exhaustive validator produces a byte-identical
+// report to the sequential one, for every thread count.
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalenceTest, MatchesSequential) {
+  const int threads = GetParam();
+  for (int n : {1, 2, 5, 9, 13}) {
+    WorkloadConfig config = PaperSweepConfig(n, 37);
+    config.num_records = 600;
+    config.aggregate_min = 50;
+    config.aggregate_max = 600;  // Violations likely.
+    Result<Workload> workload = WorkloadGenerator(config).Generate();
+    ASSERT_TRUE(workload.ok());
+    const Result<ValidationTree> tree =
+        ValidationTree::BuildFromLog(workload->log);
+    ASSERT_TRUE(tree.ok());
+    const std::vector<int64_t> aggregates =
+        workload->licenses->AggregateCounts();
+
+    const Result<ValidationReport> sequential =
+        ValidateExhaustive(*tree, aggregates);
+    const Result<ValidationReport> parallel =
+        ValidateExhaustiveParallel(*tree, aggregates, threads);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->equations_evaluated,
+              sequential->equations_evaluated);
+    EXPECT_EQ(parallel->nodes_visited, sequential->nodes_visited);
+    ASSERT_EQ(parallel->violations.size(), sequential->violations.size());
+    for (size_t i = 0; i < parallel->violations.size(); ++i) {
+      EXPECT_EQ(parallel->violations[i].set, sequential->violations[i].set);
+      EXPECT_EQ(parallel->violations[i].lhs, sequential->violations[i].lhs);
+      EXPECT_EQ(parallel->violations[i].rhs, sequential->violations[i].rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelGroupedTest, MatchesSequentialGrouped) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    WorkloadConfig config = PaperSweepConfig(12, seed);
+    config.num_records = 900;
+    config.aggregate_min = 50;
+    config.aggregate_max = 600;
+    Result<Workload> workload = WorkloadGenerator(config).Generate();
+    ASSERT_TRUE(workload.ok());
+
+    Result<ValidationTree> tree1 =
+        ValidationTree::BuildFromLog(workload->log);
+    Result<ValidationTree> tree2 =
+        ValidationTree::BuildFromLog(workload->log);
+    ASSERT_TRUE(tree1.ok());
+    ASSERT_TRUE(tree2.ok());
+
+    const Result<GroupedValidationResult> sequential =
+        ValidateGrouped(*workload->licenses, *std::move(tree1));
+    const Result<GroupedValidationResult> parallel = ValidateGroupedParallel(
+        *workload->licenses, *std::move(tree2), 4);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->group_count, sequential->group_count);
+    EXPECT_EQ(parallel->group_sizes, sequential->group_sizes);
+    EXPECT_EQ(parallel->report.equations_evaluated,
+              sequential->report.equations_evaluated);
+    ASSERT_EQ(parallel->report.violations.size(),
+              sequential->report.violations.size());
+    for (size_t i = 0; i < parallel->report.violations.size(); ++i) {
+      EXPECT_EQ(parallel->report.violations[i].set,
+                sequential->report.violations[i].set);
+      EXPECT_EQ(parallel->report.violations[i].lhs,
+                sequential->report.violations[i].lhs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,146 @@
+#include "geometry/category_set.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(CategorySetTest, EmptySet) {
+  CategorySet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+}
+
+TEST(CategorySetTest, SetAlgebra) {
+  const CategorySet a(0b1010);
+  const CategorySet b(0b0110);
+  EXPECT_EQ(a.Intersect(b).mask(), 0b0010u);
+  EXPECT_EQ(a.Union(b).mask(), 0b1110u);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_TRUE(a.Union(b).Contains(a));
+  EXPECT_TRUE(a.Contains(CategorySet::Empty()));
+  EXPECT_FALSE(a.Overlaps(CategorySet::Empty()));
+}
+
+TEST(CategoryUniverseTest, DefineAndResolve) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("Asia").ok());
+  ASSERT_TRUE(universe.Define("Europe").ok());
+  EXPECT_EQ(universe.size(), 2);
+  EXPECT_TRUE(universe.Has("Asia"));
+  EXPECT_FALSE(universe.Has("America"));
+
+  const Result<CategorySet> asia = universe.Resolve("Asia");
+  ASSERT_TRUE(asia.ok());
+  EXPECT_EQ(asia->size(), 1);
+  EXPECT_FALSE(universe.Resolve("Mars").ok());
+}
+
+TEST(CategoryUniverseTest, RejectsDuplicatesAndEmptyNames) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("Asia").ok());
+  EXPECT_EQ(universe.Define("Asia").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(universe.Define("").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CategoryUniverseTest, CapacityIs64) {
+  CategoryUniverse universe;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(universe.Define("cat" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(universe.Define("overflow").code(),
+            StatusCode::kCapacityExceeded);
+}
+
+TEST(CategoryUniverseTest, HierarchyFoldsChildrenIntoParent) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("Asia").ok());
+  ASSERT_TRUE(universe.DefineUnder("India", "Asia").ok());
+  ASSERT_TRUE(universe.DefineUnder("Japan", "Asia").ok());
+
+  const CategorySet asia = *universe.Resolve("Asia");
+  const CategorySet india = *universe.Resolve("India");
+  const CategorySet japan = *universe.Resolve("Japan");
+  // The paper's Example 1 relies on exactly this: R=[India] must count as
+  // inside R=[Asia].
+  EXPECT_TRUE(asia.Contains(india));
+  EXPECT_TRUE(asia.Contains(japan));
+  EXPECT_FALSE(india.Contains(asia));
+  EXPECT_FALSE(india.Overlaps(japan));
+  EXPECT_TRUE(asia.Overlaps(india));
+}
+
+TEST(CategoryUniverseTest, DeepHierarchyPropagates) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("World").ok());
+  ASSERT_TRUE(universe.DefineUnder("Asia", "World").ok());
+  ASSERT_TRUE(universe.DefineUnder("India", "Asia").ok());
+  ASSERT_TRUE(universe.DefineUnder("Mumbai", "India").ok());
+  EXPECT_TRUE(universe.Resolve("World")->Contains(*universe.Resolve("Mumbai")));
+  EXPECT_TRUE(universe.Resolve("Asia")->Contains(*universe.Resolve("Mumbai")));
+  EXPECT_TRUE(universe.Resolve("India")->Contains(*universe.Resolve("Mumbai")));
+}
+
+TEST(CategoryUniverseTest, DefineUnderUnknownParentFails) {
+  CategoryUniverse universe;
+  EXPECT_EQ(universe.DefineUnder("India", "Asia").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CategoryUniverseTest, ResolveAllUnions) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("Asia").ok());
+  ASSERT_TRUE(universe.Define("Europe").ok());
+  ASSERT_TRUE(universe.DefineUnder("India", "Asia").ok());
+  const Result<CategorySet> both = universe.ResolveAll({"Asia", "Europe"});
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->Contains(*universe.Resolve("India")));
+  EXPECT_TRUE(both->Contains(*universe.Resolve("Europe")));
+  EXPECT_FALSE(universe.ResolveAll({"Asia", "Atlantis"}).ok());
+}
+
+TEST(CategoryUniverseTest, AllCoversEverything) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("A").ok());
+  ASSERT_TRUE(universe.DefineUnder("B", "A").ok());
+  ASSERT_TRUE(universe.Define("C").ok());
+  const CategorySet all = universe.All();
+  EXPECT_EQ(all.size(), 3);
+  EXPECT_TRUE(all.Contains(*universe.Resolve("A")));
+  EXPECT_TRUE(all.Contains(*universe.Resolve("C")));
+}
+
+TEST(CategoryUniverseTest, ToStringPrefersBroadCategories) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("Asia").ok());
+  ASSERT_TRUE(universe.Define("Europe").ok());
+  ASSERT_TRUE(universe.DefineUnder("India", "Asia").ok());
+  ASSERT_TRUE(universe.DefineUnder("Japan", "Asia").ok());
+
+  EXPECT_EQ(universe.ToString(*universe.Resolve("Asia")), "{Asia}");
+  EXPECT_EQ(universe.ToString(*universe.Resolve("India")), "{India}");
+  EXPECT_EQ(universe.ToString(universe.ResolveAll({"Asia", "Europe"}).value()),
+            "{Asia, Europe}");
+  EXPECT_EQ(universe.ToString(CategorySet::Empty()), "{}");
+}
+
+TEST(CategoryUniverseTest, ToStringFallsBackToBitNames) {
+  CategoryUniverse universe;
+  ASSERT_TRUE(universe.Define("A").ok());
+  // Bit 7 was never defined in this universe.
+  EXPECT_EQ(universe.ToString(CategorySet(0b10000000)), "{#7}");
+}
+
+TEST(CategoryUniverseTest, WorldRegionsPreset) {
+  const CategoryUniverse world = CategoryUniverse::WorldRegions();
+  EXPECT_TRUE(world.Has("Asia"));
+  EXPECT_TRUE(world.Has("India"));
+  EXPECT_TRUE(world.Has("USA"));
+  EXPECT_TRUE(world.Resolve("Asia")->Contains(*world.Resolve("India")));
+  EXPECT_TRUE(world.Resolve("America")->Contains(*world.Resolve("USA")));
+  EXPECT_FALSE(world.Resolve("Asia")->Overlaps(*world.Resolve("Europe")));
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,152 @@
+#include "geometry/interval.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  Interval interval;
+  EXPECT_TRUE(interval.empty());
+  EXPECT_EQ(interval.Length(), 0);
+}
+
+TEST(IntervalTest, ReversedEndpointsNormaliseToEmpty) {
+  EXPECT_TRUE(Interval(5, 3).empty());
+  EXPECT_EQ(Interval(5, 3), Interval::Empty());
+}
+
+TEST(IntervalTest, PointInterval) {
+  const Interval point = Interval::Point(7);
+  EXPECT_FALSE(point.empty());
+  EXPECT_EQ(point.lo(), 7);
+  EXPECT_EQ(point.hi(), 7);
+  EXPECT_EQ(point.Length(), 1);
+}
+
+TEST(IntervalTest, LengthIsInclusive) {
+  EXPECT_EQ(Interval(3, 7).Length(), 5);
+  EXPECT_EQ(Interval(-2, 2).Length(), 5);
+}
+
+TEST(IntervalTest, LengthSaturates) {
+  const Interval huge(std::numeric_limits<int64_t>::min(),
+                      std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(huge.Length(), std::numeric_limits<int64_t>::max());
+}
+
+TEST(IntervalTest, ContainsValue) {
+  const Interval interval(3, 7);
+  EXPECT_TRUE(interval.Contains(3));
+  EXPECT_TRUE(interval.Contains(5));
+  EXPECT_TRUE(interval.Contains(7));
+  EXPECT_FALSE(interval.Contains(2));
+  EXPECT_FALSE(interval.Contains(8));
+  EXPECT_FALSE(Interval::Empty().Contains(0));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  const Interval outer(0, 10);
+  EXPECT_TRUE(outer.Contains(Interval(0, 10)));
+  EXPECT_TRUE(outer.Contains(Interval(3, 7)));
+  EXPECT_TRUE(outer.Contains(Interval(0, 0)));
+  EXPECT_FALSE(outer.Contains(Interval(-1, 5)));
+  EXPECT_FALSE(outer.Contains(Interval(5, 11)));
+  // The empty interval is inside everything, including another empty.
+  EXPECT_TRUE(outer.Contains(Interval::Empty()));
+  EXPECT_TRUE(Interval::Empty().Contains(Interval::Empty()));
+  EXPECT_FALSE(Interval::Empty().Contains(Interval(1, 2)));
+}
+
+TEST(IntervalTest, OverlapsIsSymmetricAndTouchCounts) {
+  const Interval a(0, 5);
+  const Interval b(5, 9);
+  const Interval c(6, 9);
+  EXPECT_TRUE(a.Overlaps(b));  // Closed intervals: sharing 5 overlaps.
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(c.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(Interval::Empty()));
+  EXPECT_FALSE(Interval::Empty().Overlaps(Interval::Empty()));
+}
+
+TEST(IntervalTest, IntersectBasics) {
+  EXPECT_EQ(Interval(0, 5).Intersect(Interval(3, 9)), Interval(3, 5));
+  EXPECT_EQ(Interval(0, 5).Intersect(Interval(5, 9)), Interval(5, 5));
+  EXPECT_TRUE(Interval(0, 4).Intersect(Interval(5, 9)).empty());
+  EXPECT_TRUE(Interval(0, 4).Intersect(Interval::Empty()).empty());
+}
+
+TEST(IntervalTest, HullBasics) {
+  EXPECT_EQ(Interval(0, 2).Hull(Interval(5, 9)), Interval(0, 9));
+  EXPECT_EQ(Interval(0, 9).Hull(Interval(3, 4)), Interval(0, 9));
+  EXPECT_EQ(Interval::Empty().Hull(Interval(1, 2)), Interval(1, 2));
+  EXPECT_EQ(Interval(1, 2).Hull(Interval::Empty()), Interval(1, 2));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(3, 7).ToString(), "[3, 7]");
+  EXPECT_EQ(Interval::Empty().ToString(), "[]");
+}
+
+TEST(IntervalTest, EqualityTreatsAllEmptyAsEqual) {
+  EXPECT_EQ(Interval(5, 3), Interval(9, 1));
+  EXPECT_EQ(Interval(3, 5), Interval(3, 5));
+  EXPECT_FALSE(Interval(3, 5) == Interval(3, 6));
+}
+
+// Property: Overlaps(a, b) ⇔ Intersect(a, b) non-empty; Contains(a, b) ⇒
+// Intersect(a, b) == b. Randomised over many interval pairs.
+TEST(IntervalPropertyTest, OverlapIntersectContainsAgree) {
+  Rng rng(404);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const int64_t a_lo = rng.UniformInt(-50, 50);
+    const int64_t a_hi = rng.UniformInt(-50, 50);
+    const int64_t b_lo = rng.UniformInt(-50, 50);
+    const int64_t b_hi = rng.UniformInt(-50, 50);
+    const Interval a(a_lo, a_hi);
+    const Interval b(b_lo, b_hi);
+    const Interval meet = a.Intersect(b);
+    EXPECT_EQ(a.Overlaps(b), !meet.empty());
+    EXPECT_EQ(a.Overlaps(b), b.Overlaps(a));
+    if (a.Contains(b) && !b.empty()) {
+      EXPECT_EQ(meet, b);
+    }
+    if (!meet.empty()) {
+      EXPECT_TRUE(a.Contains(meet));
+      EXPECT_TRUE(b.Contains(meet));
+    }
+    // Hull contains both operands.
+    const Interval hull = a.Hull(b);
+    EXPECT_TRUE(hull.Contains(a));
+    EXPECT_TRUE(hull.Contains(b));
+  }
+}
+
+// Property: containment is transitive.
+TEST(IntervalPropertyTest, ContainmentTransitive) {
+  Rng rng(405);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Interval a(rng.UniformInt(-40, 0), rng.UniformInt(0, 40));
+    const Interval b(a.lo() + rng.UniformInt(0, 5),
+                     a.hi() - rng.UniformInt(0, 5));
+    if (b.empty()) {
+      continue;
+    }
+    const Interval c(b.lo() + rng.UniformInt(0, 3),
+                     b.hi() - rng.UniformInt(0, 3));
+    if (c.empty()) {
+      continue;
+    }
+    ASSERT_TRUE(a.Contains(b));
+    ASSERT_TRUE(b.Contains(c));
+    EXPECT_TRUE(a.Contains(c));
+  }
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,139 @@
+// Hyper-rectangles mixing all three dimension kinds (interval,
+// multi-interval, categorical): the paper's geometric arguments only use
+// per-dimension intersection algebra, so everything must compose.
+#include <gtest/gtest.h>
+
+#include "geometry/hyper_rect.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+HyperRect MixedRect(Interval time, std::vector<Interval> windows,
+                    uint64_t regions) {
+  HyperRect rect;
+  rect.AddDim(ConstraintRange(time));
+  rect.AddDim(
+      ConstraintRange(MultiInterval::FromIntervals(std::move(windows))));
+  rect.AddDim(ConstraintRange(CategorySet(regions)));
+  return rect;
+}
+
+TEST(MixedDimensionsTest, ContainsRequiresEveryKind) {
+  const HyperRect outer =
+      MixedRect(Interval(0, 100), {Interval(0, 10), Interval(20, 30)},
+                0b111);
+  // Inside on all three dimensions.
+  EXPECT_TRUE(outer.Contains(
+      MixedRect(Interval(5, 50), {Interval(2, 8)}, 0b010)));
+  // Fails the multi-interval dimension (spans the gap).
+  EXPECT_FALSE(outer.Contains(
+      MixedRect(Interval(5, 50), {Interval(8, 22)}, 0b010)));
+  // Fails the categorical dimension.
+  EXPECT_FALSE(outer.Contains(
+      MixedRect(Interval(5, 50), {Interval(2, 8)}, 0b1000)));
+  // Fails the plain interval dimension.
+  EXPECT_FALSE(outer.Contains(
+      MixedRect(Interval(-5, 50), {Interval(2, 8)}, 0b010)));
+}
+
+TEST(MixedDimensionsTest, OverlapRequiresEveryKind) {
+  const HyperRect a =
+      MixedRect(Interval(0, 100), {Interval(0, 10), Interval(20, 30)},
+                0b011);
+  EXPECT_TRUE(a.Overlaps(
+      MixedRect(Interval(50, 150), {Interval(25, 40)}, 0b110)));
+  // Multi-interval dimensions miss each other (gap vs gap-filler).
+  EXPECT_FALSE(a.Overlaps(
+      MixedRect(Interval(50, 150), {Interval(12, 18)}, 0b110)));
+  // Categories disjoint.
+  EXPECT_FALSE(a.Overlaps(
+      MixedRect(Interval(50, 150), {Interval(25, 40)}, 0b100)));
+}
+
+TEST(MixedDimensionsTest, IntersectAndCommonRegion) {
+  const HyperRect a =
+      MixedRect(Interval(0, 100), {Interval(0, 10), Interval(20, 30)},
+                0b011);
+  const HyperRect b =
+      MixedRect(Interval(50, 150), {Interval(5, 25)}, 0b001);
+  const Result<HyperRect> meet = a.Intersect(b);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_FALSE(meet->IsEmpty());
+  EXPECT_EQ(meet->dim(0).interval(), Interval(50, 100));
+  EXPECT_EQ(meet->dim(1).multi_interval().ToString(), "[5, 10]|[20, 25]");
+  EXPECT_EQ(meet->dim(2).categories().mask(), 0b001u);
+
+  const Result<HyperRect> region = HyperRect::CommonRegion({a, b, a});
+  ASSERT_TRUE(region.ok());
+  EXPECT_FALSE(region->IsEmpty());
+}
+
+TEST(MixedDimensionsTest, KindMismatchAcrossRectsNeverRelates) {
+  // Same dimensionality, different kinds in the same slot.
+  HyperRect ordered;
+  ordered.AddDim(ConstraintRange(Interval(0, 63)));
+  HyperRect categorical;
+  categorical.AddDim(ConstraintRange(CategorySet(0b1)));
+  EXPECT_FALSE(ordered.Contains(categorical));
+  EXPECT_FALSE(ordered.Overlaps(categorical));
+  const Result<HyperRect> meet = ordered.Intersect(categorical);
+  ASSERT_TRUE(meet.ok());
+  EXPECT_TRUE(meet->IsEmpty());
+}
+
+// Property: mixed-kind algebra matches a dense point-set model over a
+// small domain (time ∈ [0,15], window ∈ [0,15], region bit ∈ [0,3]).
+TEST(MixedDimensionsPropertyTest, MatchesDenseModel) {
+  Rng rng(13131);
+  auto random_rect = [&rng]() {
+    const int64_t t_lo = rng.UniformInt(0, 15);
+    std::vector<Interval> windows;
+    for (int i = 0; i < 2; ++i) {
+      const int64_t lo = rng.UniformInt(0, 15);
+      windows.push_back(Interval(lo, rng.UniformInt(lo, 15)));
+    }
+    return MixedRect(Interval(t_lo, rng.UniformInt(t_lo, 15)), windows,
+                     rng.Next() & 0xF);
+  };
+  // Enumerate all (t, w, r) points of the small domain.
+  auto covers = [](const HyperRect& rect, int64_t t, int64_t w, int bit) {
+    return rect.dim(0).interval().Contains(t) &&
+           rect.dim(1).AsMultiInterval().Contains(w) &&
+           ((rect.dim(2).categories().mask() >> bit) & 1) != 0;
+  };
+  for (int trial = 0; trial < 400; ++trial) {
+    const HyperRect a = random_rect();
+    const HyperRect b = random_rect();
+    bool subset = true;
+    bool overlap = false;
+    bool b_empty = true;
+    for (int64_t t = 0; t <= 15; ++t) {
+      for (int64_t w = 0; w <= 15; ++w) {
+        for (int bit = 0; bit < 4; ++bit) {
+          const bool in_a = covers(a, t, w, bit);
+          const bool in_b = covers(b, t, w, bit);
+          if (in_b) {
+            b_empty = false;
+            if (!in_a) {
+              subset = false;
+            }
+          }
+          if (in_a && in_b) {
+            overlap = true;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(a.Overlaps(b), overlap);
+    if (!b_empty) {
+      EXPECT_EQ(a.Contains(b), subset);
+    }
+    const Result<HyperRect> meet = a.Intersect(b);
+    ASSERT_TRUE(meet.ok());
+    EXPECT_EQ(!meet->IsEmpty(), overlap);
+  }
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,191 @@
+#include "geometry/multi_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/constraint_range.h"
+
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+MultiInterval Of(const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  std::vector<Interval> pieces;
+  for (const auto& [lo, hi] : pairs) {
+    pieces.push_back(Interval(lo, hi));
+  }
+  return MultiInterval::FromIntervals(std::move(pieces));
+}
+
+TEST(MultiIntervalTest, DefaultIsEmpty) {
+  MultiInterval multi;
+  EXPECT_TRUE(multi.empty());
+  EXPECT_EQ(multi.piece_count(), 0);
+  EXPECT_EQ(multi.TotalLength(), 0);
+  EXPECT_TRUE(multi.BoundingInterval().empty());
+  EXPECT_EQ(multi.ToString(), "[]");
+}
+
+TEST(MultiIntervalTest, NormalisationDropsEmptiesAndSorts) {
+  const MultiInterval multi = Of({{10, 20}, {5, 3}, {0, 2}});
+  ASSERT_EQ(multi.piece_count(), 2);
+  EXPECT_EQ(multi.pieces()[0], Interval(0, 2));
+  EXPECT_EQ(multi.pieces()[1], Interval(10, 20));
+}
+
+TEST(MultiIntervalTest, NormalisationMergesOverlapping) {
+  const MultiInterval multi = Of({{0, 5}, {3, 9}, {20, 30}});
+  ASSERT_EQ(multi.piece_count(), 2);
+  EXPECT_EQ(multi.pieces()[0], Interval(0, 9));
+  EXPECT_EQ(multi.pieces()[1], Interval(20, 30));
+}
+
+TEST(MultiIntervalTest, NormalisationMergesIntegerAdjacent) {
+  // [1,3] and [4,6] cover 1..6 without a gap over the integers.
+  const MultiInterval multi = Of({{1, 3}, {4, 6}});
+  ASSERT_EQ(multi.piece_count(), 1);
+  EXPECT_EQ(multi.pieces()[0], Interval(1, 6));
+  // [1,3] and [5,6] keep the gap at 4.
+  EXPECT_EQ(Of({{1, 3}, {5, 6}}).piece_count(), 2);
+}
+
+TEST(MultiIntervalTest, TotalLengthSumsPieces) {
+  EXPECT_EQ(Of({{0, 4}, {10, 11}}).TotalLength(), 7);
+  EXPECT_EQ(MultiInterval::Of(Interval::Point(5)).TotalLength(), 1);
+}
+
+TEST(MultiIntervalTest, BoundingIntervalSpansAll) {
+  EXPECT_EQ(Of({{0, 4}, {10, 11}}).BoundingInterval(), Interval(0, 11));
+}
+
+TEST(MultiIntervalTest, ContainsValueUsesGaps) {
+  const MultiInterval multi = Of({{0, 4}, {10, 14}});
+  EXPECT_TRUE(multi.Contains(0));
+  EXPECT_TRUE(multi.Contains(4));
+  EXPECT_FALSE(multi.Contains(5));
+  EXPECT_FALSE(multi.Contains(9));
+  EXPECT_TRUE(multi.Contains(12));
+  EXPECT_FALSE(multi.Contains(15));
+  EXPECT_FALSE(multi.Contains(-1));
+}
+
+TEST(MultiIntervalTest, ContainsMultiRespectsGaps) {
+  const MultiInterval outer = Of({{0, 10}, {20, 30}});
+  EXPECT_TRUE(outer.Contains(Of({{2, 8}})));
+  EXPECT_TRUE(outer.Contains(Of({{2, 8}, {22, 25}})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_TRUE(outer.Contains(MultiInterval()));  // Empty inside anything.
+  // A piece spanning the gap is not contained.
+  EXPECT_FALSE(outer.Contains(Of({{8, 22}})));
+  EXPECT_FALSE(outer.Contains(Of({{2, 8}, {28, 35}})));
+  EXPECT_FALSE(MultiInterval().Contains(Of({{1, 2}})));
+}
+
+TEST(MultiIntervalTest, OverlapsAcrossPieces) {
+  const MultiInterval a = Of({{0, 4}, {10, 14}});
+  EXPECT_TRUE(a.Overlaps(Of({{4, 6}})));
+  EXPECT_TRUE(a.Overlaps(Of({{6, 10}})));
+  EXPECT_FALSE(a.Overlaps(Of({{5, 9}})));
+  EXPECT_FALSE(a.Overlaps(Of({{15, 20}})));
+  EXPECT_FALSE(a.Overlaps(MultiInterval()));
+}
+
+TEST(MultiIntervalTest, IntersectProducesPiecewiseMeet) {
+  const MultiInterval a = Of({{0, 10}, {20, 30}});
+  const MultiInterval b = Of({{5, 25}});
+  const MultiInterval meet = a.Intersect(b);
+  ASSERT_EQ(meet.piece_count(), 2);
+  EXPECT_EQ(meet.pieces()[0], Interval(5, 10));
+  EXPECT_EQ(meet.pieces()[1], Interval(20, 25));
+  EXPECT_TRUE(a.Intersect(Of({{11, 19}})).empty());
+}
+
+TEST(MultiIntervalTest, UnionMergesEverything) {
+  const MultiInterval a = Of({{0, 4}, {10, 14}});
+  const MultiInterval b = Of({{5, 9}, {20, 24}});
+  const MultiInterval all = a.Union(b);
+  // [0,4] ∪ [5,9] ∪ [10,14] collapse into [0,14] (integer adjacency).
+  ASSERT_EQ(all.piece_count(), 2);
+  EXPECT_EQ(all.pieces()[0], Interval(0, 14));
+  EXPECT_EQ(all.pieces()[1], Interval(20, 24));
+}
+
+TEST(MultiIntervalTest, ToStringJoinsPieces) {
+  EXPECT_EQ(Of({{1, 3}, {7, 9}}).ToString(), "[1, 3]|[7, 9]");
+  EXPECT_EQ(Of({{1, 3}}).ToString(), "[1, 3]");
+}
+
+// Property: multi-interval algebra agrees with a dense membership bitmap
+// over a small domain.
+TEST(MultiIntervalPropertyTest, AgreesWithDenseSets) {
+  Rng rng(90210);
+  constexpr int kDomain = 60;
+  auto random_multi = [&rng]() {
+    std::vector<Interval> pieces;
+    const int n = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < n; ++i) {
+      const int64_t lo = rng.UniformInt(0, kDomain - 1);
+      pieces.push_back(Interval(lo, rng.UniformInt(lo, kDomain - 1)));
+    }
+    return MultiInterval::FromIntervals(std::move(pieces));
+  };
+  auto to_bits = [](const MultiInterval& multi) {
+    uint64_t bits = 0;
+    for (int v = 0; v < kDomain; ++v) {
+      if (multi.Contains(v)) {
+        bits |= uint64_t{1} << v;
+      }
+    }
+    return bits;
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    const MultiInterval a = random_multi();
+    const MultiInterval b = random_multi();
+    const uint64_t bits_a = to_bits(a);
+    const uint64_t bits_b = to_bits(b);
+    EXPECT_EQ(a.Contains(b), (bits_b & ~bits_a) == 0);
+    EXPECT_EQ(a.Overlaps(b), (bits_a & bits_b) != 0);
+    EXPECT_EQ(to_bits(a.Intersect(b)), bits_a & bits_b);
+    EXPECT_EQ(to_bits(a.Union(b)), bits_a | bits_b);
+    // Normalisation invariants: sorted, disjoint, non-adjacent pieces.
+    int64_t previous_hi = INT64_MIN;
+    for (const Interval& piece : a.pieces()) {
+      EXPECT_FALSE(piece.empty());
+      if (previous_hi != INT64_MIN) {
+        EXPECT_GT(piece.lo(), previous_hi + 1);
+      }
+      previous_hi = piece.hi();
+    }
+  }
+}
+
+TEST(ConstraintRangeMultiTest, OrderedKindsInteroperate) {
+  const ConstraintRange window{
+      MultiInterval::FromIntervals({Interval(0, 10), Interval(20, 30)})};
+  const ConstraintRange inside{Interval(2, 8)};
+  const ConstraintRange spanning{Interval(8, 22)};
+  EXPECT_TRUE(window.is_multi_interval());
+  EXPECT_TRUE(window.is_ordered());
+  EXPECT_TRUE(window.Contains(inside));
+  EXPECT_FALSE(window.Contains(spanning));
+  EXPECT_TRUE(window.Overlaps(spanning));
+  EXPECT_FALSE(inside.Contains(window));
+  // Intersection of interval with multi yields the piecewise meet.
+  const ConstraintRange meet = window.Intersect(spanning);
+  ASSERT_TRUE(meet.is_multi_interval());
+  EXPECT_EQ(meet.multi_interval().ToString(), "[8, 10]|[20, 22]");
+  // Categories never relate to ordered kinds.
+  const ConstraintRange cats{CategorySet(0b1)};
+  EXPECT_FALSE(window.Contains(cats));
+  EXPECT_FALSE(window.Overlaps(cats));
+  EXPECT_TRUE(window.Intersect(cats).empty());
+}
+
+TEST(ConstraintRangeMultiTest, BoundingIntervalCoversGaps) {
+  const ConstraintRange window{
+      MultiInterval::FromIntervals({Interval(5, 6), Interval(50, 60)})};
+  EXPECT_EQ(window.BoundingInterval(), Interval(5, 60));
+}
+
+}  // namespace
+}  // namespace geolic

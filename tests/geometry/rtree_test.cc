@@ -1,0 +1,160 @@
+#include "geometry/rtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+IntervalBox Box(const std::vector<std::pair<int64_t, int64_t>>& intervals) {
+  IntervalBox box;
+  for (const auto& [lo, hi] : intervals) {
+    box.dims.push_back(Interval(lo, hi));
+  }
+  return box;
+}
+
+TEST(IntervalBoxTest, ContainsAndOverlaps) {
+  const IntervalBox outer = Box({{0, 10}, {0, 10}});
+  EXPECT_TRUE(outer.Contains(Box({{2, 8}, {3, 7}})));
+  EXPECT_FALSE(outer.Contains(Box({{2, 11}, {3, 7}})));
+  EXPECT_TRUE(outer.Overlaps(Box({{10, 20}, {5, 15}})));
+  EXPECT_FALSE(outer.Overlaps(Box({{11, 20}, {5, 15}})));
+  EXPECT_FALSE(outer.Contains(Box({{1, 2}})));  // Dimensionality mismatch.
+}
+
+TEST(IntervalBoxTest, ExtendGrowsToCover) {
+  IntervalBox box = Box({{0, 5}, {0, 5}});
+  box.Extend(Box({{3, 9}, {-2, 1}}));
+  EXPECT_EQ(box.dims[0], Interval(0, 9));
+  EXPECT_EQ(box.dims[1], Interval(-2, 5));
+}
+
+TEST(IntervalBoxTest, ExtendIntoDefaultAdopts) {
+  IntervalBox box;
+  box.Extend(Box({{1, 2}, {3, 4}}));
+  ASSERT_EQ(box.dims.size(), 2u);
+  EXPECT_EQ(box.dims[0], Interval(1, 2));
+}
+
+TEST(IntervalBoxTest, Measure) {
+  EXPECT_DOUBLE_EQ(Box({{0, 9}, {0, 4}}).Measure(), 50.0);
+  EXPECT_DOUBLE_EQ(Box({{3, 3}}).Measure(), 1.0);
+}
+
+TEST(RtreeTest, EmptyTree) {
+  Rtree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.FindContaining(Box({{0, 1}, {0, 1}})).empty());
+  EXPECT_TRUE(tree.FindOverlapping(Box({{0, 1}, {0, 1}})).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RtreeTest, InsertRejectsBadBoxes) {
+  Rtree tree(2);
+  EXPECT_FALSE(tree.Insert(Box({{0, 1}}), 1).ok());          // Wrong dims.
+  EXPECT_FALSE(tree.Insert(Box({{0, 1}, {5, 3}}), 1).ok());  // Empty dim.
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RtreeTest, SingleEntryLookup) {
+  Rtree tree(2);
+  ASSERT_TRUE(tree.Insert(Box({{0, 10}, {0, 10}}), 7).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  const std::vector<int64_t> hits = tree.FindContaining(Box({{2, 3}, {4, 5}}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7);
+  EXPECT_TRUE(tree.FindContaining(Box({{2, 11}, {4, 5}})).empty());
+}
+
+TEST(RtreeTest, SplitsGrowHeightAndKeepInvariants) {
+  Rtree tree(2, 4);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t x = (i % 10) * 20;
+    const int64_t y = (i / 10) * 20;
+    ASSERT_TRUE(tree.Insert(Box({{x, x + 15}, {y, y + 15}}), i).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST(RtreeTest, FindOverlappingFindsTouchingBoxes) {
+  Rtree tree(1, 4);
+  ASSERT_TRUE(tree.Insert(Box({{0, 5}}), 1).ok());
+  ASSERT_TRUE(tree.Insert(Box({{5, 9}}), 2).ok());
+  ASSERT_TRUE(tree.Insert(Box({{10, 20}}), 3).ok());
+  std::vector<int64_t> hits = tree.FindOverlapping(Box({{5, 5}}));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(RtreeTest, DuplicateBoxesAllRetrievable) {
+  Rtree tree(2, 4);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree.Insert(Box({{0, 10}, {0, 10}}), i).ok());
+  }
+  EXPECT_EQ(tree.FindContaining(Box({{1, 2}, {1, 2}})).size(), 20u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+// Property: R-tree results match a brute-force linear scan on random boxes,
+// for both containment and overlap queries, across fanouts.
+class RtreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtreePropertyTest, MatchesLinearScan) {
+  const int max_entries = GetParam();
+  Rng rng(1234 + static_cast<uint64_t>(max_entries));
+  constexpr int kDims = 3;
+  constexpr int kBoxes = 400;
+  Rtree tree(kDims, max_entries);
+  std::vector<IntervalBox> boxes;
+  for (int i = 0; i < kBoxes; ++i) {
+    IntervalBox box;
+    for (int d = 0; d < kDims; ++d) {
+      const int64_t lo = rng.UniformInt(0, 99);
+      const int64_t hi = rng.UniformInt(lo, 99);
+      box.dims.push_back(Interval(lo, hi));
+    }
+    ASSERT_TRUE(tree.Insert(box, i).ok());
+    boxes.push_back(box);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalBox query;
+    for (int d = 0; d < kDims; ++d) {
+      const int64_t lo = rng.UniformInt(0, 99);
+      const int64_t hi = rng.UniformInt(lo, std::min<int64_t>(lo + 30, 99));
+      query.dims.push_back(Interval(lo, hi));
+    }
+    std::vector<int64_t> expected_containing;
+    std::vector<int64_t> expected_overlapping;
+    for (int i = 0; i < kBoxes; ++i) {
+      if (boxes[static_cast<size_t>(i)].Contains(query)) {
+        expected_containing.push_back(i);
+      }
+      if (boxes[static_cast<size_t>(i)].Overlaps(query)) {
+        expected_overlapping.push_back(i);
+      }
+    }
+    std::vector<int64_t> actual_containing = tree.FindContaining(query);
+    std::vector<int64_t> actual_overlapping = tree.FindOverlapping(query);
+    std::sort(actual_containing.begin(), actual_containing.end());
+    std::sort(actual_overlapping.begin(), actual_overlapping.end());
+    EXPECT_EQ(actual_containing, expected_containing);
+    EXPECT_EQ(actual_overlapping, expected_overlapping);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RtreePropertyTest,
+                         ::testing::Values(4, 8, 16));
+
+}  // namespace
+}  // namespace geolic

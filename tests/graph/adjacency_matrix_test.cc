@@ -1,0 +1,78 @@
+#include "graph/adjacency_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(AdjacencyMatrixTest, StartsEmpty) {
+  AdjacencyMatrix graph(4);
+  EXPECT_EQ(graph.num_vertices(), 4);
+  EXPECT_EQ(graph.EdgeCount(), 0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FALSE(graph.HasEdge(i, j));
+    }
+  }
+}
+
+TEST(AdjacencyMatrixTest, AddEdgeIsSymmetric) {
+  AdjacencyMatrix graph(3);
+  graph.AddEdge(0, 2);
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+  EXPECT_EQ(graph.EdgeCount(), 1);
+}
+
+TEST(AdjacencyMatrixTest, SelfLoopsIgnored) {
+  AdjacencyMatrix graph(3);
+  graph.AddEdge(1, 1);
+  EXPECT_FALSE(graph.HasEdge(1, 1));
+  EXPECT_EQ(graph.EdgeCount(), 0);
+}
+
+TEST(AdjacencyMatrixTest, DuplicateEdgesCollapse) {
+  AdjacencyMatrix graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(0, 1);
+  EXPECT_EQ(graph.EdgeCount(), 1);
+}
+
+TEST(AdjacencyMatrixTest, Degree) {
+  AdjacencyMatrix graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(1, 2);
+  EXPECT_EQ(graph.Degree(0), 3);
+  EXPECT_EQ(graph.Degree(1), 2);
+  EXPECT_EQ(graph.Degree(3), 1);
+  EXPECT_EQ(graph.EdgeCount(), 4);
+}
+
+TEST(AdjacencyMatrixTest, ZeroVertexGraph) {
+  AdjacencyMatrix graph(0);
+  EXPECT_EQ(graph.num_vertices(), 0);
+  EXPECT_EQ(graph.EdgeCount(), 0);
+  EXPECT_EQ(graph.ToString(), "");
+}
+
+TEST(AdjacencyMatrixTest, ToStringMatchesPaperFigure3) {
+  // Figure 3's adjacency matrix for the five example licenses:
+  // edges L1-L2, L1-L4, L3-L5 (0-based: 0-1, 0-3, 2-4).
+  AdjacencyMatrix graph(5);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(2, 4);
+  EXPECT_EQ(graph.ToString(),
+            "0 1 0 1 0\n"
+            "1 0 0 0 0\n"
+            "0 0 0 0 1\n"
+            "1 0 0 0 0\n"
+            "0 0 1 0 0\n");
+}
+
+}  // namespace
+}  // namespace geolic

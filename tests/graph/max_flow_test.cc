@@ -1,0 +1,112 @@
+#include "graph/max_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow flow(2);
+  const int edge = flow.AddEdge(0, 1, 7);
+  const Result<int64_t> total = flow.Compute(0, 1);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 7);
+  EXPECT_EQ(flow.flow_on(edge), 7);
+}
+
+TEST(MaxFlowTest, NoPathIsZero) {
+  MaxFlow flow(3);
+  flow.AddEdge(0, 1, 5);
+  const Result<int64_t> total = flow.Compute(0, 2);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 0);
+}
+
+TEST(MaxFlowTest, BottleneckLimits) {
+  // 0 →10→ 1 →3→ 2 →10→ 3.
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 10);
+  const int bottleneck = flow.AddEdge(1, 2, 3);
+  flow.AddEdge(2, 3, 10);
+  EXPECT_EQ(*flow.Compute(0, 3), 3);
+  EXPECT_EQ(flow.flow_on(bottleneck), 3);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 4);
+  flow.AddEdge(1, 3, 4);
+  flow.AddEdge(0, 2, 6);
+  flow.AddEdge(2, 3, 5);
+  EXPECT_EQ(*flow.Compute(0, 3), 9);
+}
+
+TEST(MaxFlowTest, ClassicDinicExample) {
+  // Requires routing through the cross edge for optimality.
+  MaxFlow flow(6);
+  flow.AddEdge(0, 1, 10);
+  flow.AddEdge(0, 2, 10);
+  flow.AddEdge(1, 2, 2);
+  flow.AddEdge(1, 3, 4);
+  flow.AddEdge(1, 4, 8);
+  flow.AddEdge(2, 4, 9);
+  flow.AddEdge(3, 5, 10);
+  flow.AddEdge(4, 3, 6);
+  flow.AddEdge(4, 5, 10);
+  EXPECT_EQ(*flow.Compute(0, 5), 19);
+}
+
+TEST(MaxFlowTest, RejectsMisuse) {
+  MaxFlow flow(2);
+  flow.AddEdge(0, 1, 1);
+  EXPECT_FALSE(flow.Compute(0, 0).ok());
+  EXPECT_FALSE(flow.Compute(0, 5).ok());
+  ASSERT_TRUE(flow.Compute(0, 1).ok());
+  EXPECT_EQ(flow.Compute(0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MaxFlowTest, FlowConservationOnRandomGraphs) {
+  Rng rng(66);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(4, 20));
+    MaxFlow flow(n);
+    struct EdgeInfo {
+      int id;
+      int from;
+      int to;
+    };
+    std::vector<EdgeInfo> edges;
+    for (int e = 0; e < 3 * n; ++e) {
+      const int from = static_cast<int>(rng.UniformInt(0, n - 1));
+      const int to = static_cast<int>(rng.UniformInt(0, n - 1));
+      if (from == to) {
+        continue;
+      }
+      edges.push_back(
+          EdgeInfo{flow.AddEdge(from, to, rng.UniformInt(0, 40)), from, to});
+    }
+    const Result<int64_t> total = flow.Compute(0, n - 1);
+    ASSERT_TRUE(total.ok());
+    EXPECT_GE(*total, 0);
+    // Conservation: net flow at every internal node is zero; net out of
+    // the source equals net into the sink equals |f|.
+    std::vector<int64_t> net(static_cast<size_t>(n), 0);
+    for (const EdgeInfo& edge : edges) {
+      const int64_t f = flow.flow_on(edge.id);
+      EXPECT_GE(f, 0);
+      net[static_cast<size_t>(edge.from)] += f;
+      net[static_cast<size_t>(edge.to)] -= f;
+    }
+    EXPECT_EQ(net[0], *total);
+    EXPECT_EQ(net[static_cast<size_t>(n - 1)], -*total);
+    for (int v = 1; v + 1 < n; ++v) {
+      EXPECT_EQ(net[static_cast<size_t>(v)], 0) << "node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,260 @@
+// Cross-module integration tests: full pipelines from license text through
+// online issuance, persistence, and offline auditing, checking that every
+// layer agrees with every other.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/grouped_validator.h"
+#include "core/incremental_auditor.h"
+#include "core/online_validator.h"
+#include "core/parallel_validator.h"
+#include "drm/validation_authority.h"
+#include "licensing/license_parser.h"
+#include "test_util.h"
+#include "validation/exhaustive_validator.h"
+#include "validation/tree_serialization.h"
+#include "validation/zeta_validator.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+std::string TempPath(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "geolic_" + info->test_suite_name() + "_" +
+         info->name() + suffix;
+}
+
+// Invariant: a log produced exclusively by online validation must pass
+// every offline validator with zero violations — the online validator only
+// admits issues that keep all equations satisfied.
+TEST(IntegrationTest, OnlineAcceptedLogAlwaysAuditsClean) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    WorkloadConfig config = PaperSweepConfig(12, seed);
+    config.num_records = 0;
+    config.aggregate_min = 100;
+    config.aggregate_max = 600;
+    WorkloadGenerator generator(config);
+    Result<Workload> workload = generator.GenerateLicensesOnly();
+    ASSERT_TRUE(workload.ok());
+
+    Result<OnlineValidator> online =
+        OnlineValidator::Create(workload->licenses.get());
+    ASSERT_TRUE(online.ok());
+    Rng rng(seed * 31337);
+    int accepted = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const int parent = static_cast<int>(
+          rng.UniformInt(0, workload->licenses->size() - 1));
+      const License usage =
+          generator.DrawUsageLicense(*workload, parent, &rng, i);
+      const Result<OnlineDecision> decision = online->TryIssue(usage);
+      ASSERT_TRUE(decision.ok());
+      if (decision->accepted()) {
+        ++accepted;
+      }
+    }
+    ASSERT_GT(accepted, 0);
+
+    // Offline: exhaustive, zeta, grouped, parallel — all clean.
+    const Result<ValidationTree> tree =
+        ValidationTree::BuildFromLog(online->log());
+    ASSERT_TRUE(tree.ok());
+    const std::vector<int64_t> aggregates =
+        workload->licenses->AggregateCounts();
+    EXPECT_TRUE(ValidateExhaustive(*tree, aggregates)->all_valid());
+    EXPECT_TRUE(ValidateZeta(*tree, aggregates)->all_valid());
+    EXPECT_TRUE(
+        ValidateExhaustiveParallel(*tree, aggregates, 4)->all_valid());
+    const Result<GroupedValidationResult> grouped =
+        ValidateGroupedFromLog(*workload->licenses, online->log());
+    ASSERT_TRUE(grouped.ok());
+    EXPECT_TRUE(grouped->report.all_valid());
+  }
+}
+
+// Invariant: persistence round trips do not change any validator verdict.
+TEST(IntegrationTest, VerdictsSurvivePersistenceRoundTrips) {
+  WorkloadConfig config = PaperSweepConfig(10, 99);
+  config.num_records = 800;
+  config.aggregate_min = 50;
+  config.aggregate_max = 400;  // Violations likely.
+  Result<Workload> workload = WorkloadGenerator(config).Generate();
+  ASSERT_TRUE(workload.ok());
+  const std::vector<int64_t> aggregates =
+      workload->licenses->AggregateCounts();
+
+  // Direct verdicts.
+  Result<ValidationTree> tree = ValidationTree::BuildFromLog(workload->log);
+  ASSERT_TRUE(tree.ok());
+  const Result<ValidationReport> direct =
+      ValidateExhaustive(*tree, aggregates);
+  ASSERT_TRUE(direct.ok());
+
+  // Log → binary file → reload → rebuild tree.
+  const std::string log_path = TempPath(".bin");
+  ASSERT_TRUE(workload->log.SaveBinary(log_path).ok());
+  const Result<LogStore> reloaded_log = LogStore::LoadBinary(log_path);
+  ASSERT_TRUE(reloaded_log.ok());
+  const Result<ValidationTree> from_log =
+      ValidationTree::BuildFromLog(*reloaded_log);
+  ASSERT_TRUE(from_log.ok());
+
+  // Tree → checkpoint → reload.
+  const std::string tree_path = TempPath(".tree");
+  ASSERT_TRUE(SaveTree(*tree, tree_path).ok());
+  const Result<ValidationTree> from_checkpoint = LoadTree(tree_path);
+  ASSERT_TRUE(from_checkpoint.ok());
+
+  // Compacted log → tree.
+  const Result<ValidationTree> from_compacted =
+      ValidationTree::BuildFromLog(workload->log.Compacted());
+  ASSERT_TRUE(from_compacted.ok());
+
+  for (const ValidationTree* variant :
+       {&*from_log, &*from_checkpoint, &*from_compacted}) {
+    const Result<ValidationReport> report =
+        ValidateExhaustive(*variant, aggregates);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->violations.size(), direct->violations.size());
+    for (size_t i = 0; i < report->violations.size(); ++i) {
+      EXPECT_EQ(report->violations[i].set, direct->violations[i].set);
+      EXPECT_EQ(report->violations[i].lhs, direct->violations[i].lhs);
+    }
+  }
+  std::remove(log_path.c_str());
+  std::remove(tree_path.c_str());
+}
+
+// Invariant: the paper-text round trip (serialize → parse) preserves every
+// validation-relevant property of a license set.
+TEST(IntegrationTest, TextRoundTripPreservesValidation) {
+  const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
+  LicenseSet original(&schema);
+  const char* texts[] = {
+      "(K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)",
+      "(K; Play; T=[2009-03-15, 2009-03-25]; R={Asia}; A=1000)",
+      "(K; Play; T=[2009-03-15, 2009-03-30]; R={America}; A=3000)",
+  };
+  for (int i = 0; i < 3; ++i) {
+    Result<License> license = ParseLicense(
+        texts[i], schema, LicenseType::kRedistribution,
+        "LD" + std::to_string(i + 1));
+    ASSERT_TRUE(license.ok());
+    ASSERT_TRUE(original.Add(*std::move(license)).ok());
+  }
+
+  LicenseSet reparsed(&schema);
+  for (int i = 0; i < 3; ++i) {
+    Result<License> license = ParseLicense(
+        original.at(i).ToString(schema), schema,
+        LicenseType::kRedistribution, original.at(i).id());
+    ASSERT_TRUE(license.ok());
+    ASSERT_TRUE(reparsed.Add(*std::move(license)).ok());
+  }
+  const LicenseGrouping grouping_a = LicenseGrouping::FromLicenses(original);
+  const LicenseGrouping grouping_b = LicenseGrouping::FromLicenses(reparsed);
+  EXPECT_EQ(grouping_a.components().components,
+            grouping_b.components().components);
+  EXPECT_EQ(original.AggregateCounts(), reparsed.AggregateCounts());
+}
+
+// Invariant: incremental auditing over an authority-style stream matches a
+// final full audit even when licenses trickle in between batches is NOT
+// supported (grouping fixed at creation) — but over a fixed license set,
+// batch-by-batch ingestion matches the one-shot grouped validator.
+TEST(IntegrationTest, IncrementalAndGroupedAgreeOnGeneratedStream) {
+  WorkloadConfig config = PaperSweepConfig(14, 7);
+  config.num_records = 1200;
+  config.aggregate_min = 80;
+  config.aggregate_max = 900;
+  Result<Workload> workload = WorkloadGenerator(config).Generate();
+  ASSERT_TRUE(workload.ok());
+
+  Result<IncrementalAuditor> auditor =
+      IncrementalAuditor::Create(workload->licenses.get());
+  ASSERT_TRUE(auditor.ok());
+  std::map<LicenseMask, EquationResult> last;
+  const auto& records = workload->log.records();
+  for (size_t i = 0; i < records.size(); i += 113) {
+    const size_t end = std::min(records.size(), i + 113);
+    const std::vector<LogRecord> batch(
+        records.begin() + static_cast<long>(i),
+        records.begin() + static_cast<long>(end));
+    const Result<ValidationReport> report = auditor->IngestBatch(batch);
+    ASSERT_TRUE(report.ok());
+    for (const EquationResult& violation : report->violations) {
+      last[violation.set] = violation;
+    }
+  }
+  const Result<GroupedValidationResult> full =
+      ValidateGroupedFromLog(*workload->licenses, workload->log);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(last.size(), full->report.violations.size());
+}
+
+// Invariant: an authority full checkpoint reproduces identical audits.
+TEST(IntegrationTest, AuthorityCheckpointPreservesAudits) {
+  const ConstraintSchema schema = testing::IntervalSchema(2);
+  ValidationAuthority authority(&schema);
+  Rng rng(4242);
+  for (int c = 0; c < 4; ++c) {
+    const std::string content = "content-" + std::to_string(c);
+    for (int i = 0; i < 6; ++i) {
+      LicenseBuilder builder(&schema);
+      const int64_t lo1 = rng.UniformInt(0, 500);
+      const int64_t lo2 = rng.UniformInt(0, 500);
+      builder.SetId(content + "-LD" + std::to_string(i))
+          .SetContentKey(content)
+          .SetType(LicenseType::kRedistribution)
+          .SetPermission(Permission::kPlay)
+          .SetAggregateCount(rng.UniformInt(100, 400))
+          .SetInterval("C1", lo1, lo1 + rng.UniformInt(50, 300))
+          .SetInterval("C2", lo2, lo2 + rng.UniformInt(50, 300));
+      ASSERT_TRUE(authority.RegisterRedistribution(*builder.Build()).ok());
+    }
+  }
+  // Issue a stream; some accepted, some rejected.
+  for (int i = 0; i < 400; ++i) {
+    const std::string content =
+        "content-" + std::to_string(rng.UniformInt(0, 3));
+    LicenseBuilder builder(&schema);
+    const int64_t lo1 = rng.UniformInt(0, 700);
+    const int64_t lo2 = rng.UniformInt(0, 700);
+    builder.SetId("U" + std::to_string(i))
+        .SetContentKey(content)
+        .SetType(LicenseType::kUsage)
+        .SetPermission(Permission::kPlay)
+        .SetAggregateCount(rng.UniformInt(1, 30))
+        .SetInterval("C1", lo1, lo1 + rng.UniformInt(0, 50))
+        .SetInterval("C2", lo2, lo2 + rng.UniformInt(0, 50));
+    const Result<OnlineDecision> decision =
+        authority.ValidateIssue(*builder.Build());
+    ASSERT_TRUE(decision.ok());
+  }
+
+  const std::string path = TempPath(".full");
+  ASSERT_TRUE(authority.CheckpointFull(path).ok());
+  ValidationAuthority restored(&schema);
+  ASSERT_TRUE(restored.RestoreFull(path).ok());
+
+  const Result<std::vector<ValidationAuthority::ContentAudit>> a =
+      authority.AuditAll();
+  const Result<std::vector<ValidationAuthority::ContentAudit>> b =
+      restored.AuditAll();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].key, (*b)[i].key);
+    EXPECT_EQ((*a)[i].result.report.violations.size(),
+              (*b)[i].result.report.violations.size());
+    EXPECT_EQ((*a)[i].result.report.equations_evaluated,
+              (*b)[i].result.report.equations_evaluated);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace geolic

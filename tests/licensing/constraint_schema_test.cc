@@ -1,0 +1,163 @@
+#include "licensing/constraint_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "util/date.h"
+
+namespace geolic {
+namespace {
+
+TEST(ConstraintSchemaTest, AddDimensionsAndIndexOf) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("T", IntervalFormat::kDate).ok());
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  ASSERT_TRUE(schema.AddIntervalDimension("Q").ok());
+  EXPECT_EQ(schema.dimensions(), 3);
+  EXPECT_EQ(*schema.IndexOf("T"), 0);
+  EXPECT_EQ(*schema.IndexOf("R"), 1);
+  EXPECT_EQ(*schema.IndexOf("Q"), 2);
+  EXPECT_FALSE(schema.IndexOf("Z").ok());
+  EXPECT_EQ(schema.kind(0), DimensionKind::kInterval);
+  EXPECT_EQ(schema.kind(1), DimensionKind::kCategorical);
+  EXPECT_EQ(schema.format(0), IntervalFormat::kDate);
+  EXPECT_EQ(schema.format(2), IntervalFormat::kInteger);
+}
+
+TEST(ConstraintSchemaTest, RejectsDuplicateAndEmptyNames) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("T").ok());
+  EXPECT_EQ(schema.AddIntervalDimension("T").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddCategoricalDimension("T", CategoryUniverse()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddIntervalDimension("").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConstraintSchemaTest, ParseIntegerInterval) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("Q").ok());
+  const Result<ConstraintRange> range = schema.ParseRange(0, "[10, 20]");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->interval(), Interval(10, 20));
+}
+
+TEST(ConstraintSchemaTest, ParseSingleValueBecomesPoint) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("Q").ok());
+  const Result<ConstraintRange> range = schema.ParseRange(0, "42");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->interval(), Interval::Point(42));
+}
+
+TEST(ConstraintSchemaTest, ParseDateInterval) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("T", IntervalFormat::kDate).ok());
+  const Result<ConstraintRange> range =
+      schema.ParseRange(0, "[2009-03-10, 2009-03-20]");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->interval().Length(), 11);
+  EXPECT_EQ(range->interval().lo(),
+            Date::FromCivil(2009, 3, 10)->day_number());
+}
+
+TEST(ConstraintSchemaTest, ParsePaperSlashDates) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("T", IntervalFormat::kDate).ok());
+  const Result<ConstraintRange> range =
+      schema.ParseRange(0, "[10/03/09, 20/03/09]");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->interval().lo(),
+            Date::FromCivil(2009, 3, 10)->day_number());
+}
+
+TEST(ConstraintSchemaTest, ParseCategoricalList) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  const Result<ConstraintRange> range =
+      schema.ParseRange(0, "{Asia, Europe}");
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(range->is_categories());
+  const CategoryUniverse world = CategoryUniverse::WorldRegions();
+  EXPECT_TRUE(range->categories().Contains(*world.Resolve("India")));
+  EXPECT_TRUE(range->categories().Contains(*world.Resolve("Germany")));
+  EXPECT_FALSE(range->categories().Contains(*world.Resolve("USA")));
+}
+
+TEST(ConstraintSchemaTest, ParseCategoricalBracketsAndSingle) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  // The paper writes R=[Asia, Europe]; both brace styles parse.
+  EXPECT_TRUE(schema.ParseRange(0, "[Asia, Europe]").ok());
+  const Result<ConstraintRange> single = schema.ParseRange(0, "India");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->categories(),
+            *CategoryUniverse::WorldRegions().Resolve("India"));
+}
+
+TEST(ConstraintSchemaTest, ParseErrors) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("Q").ok());
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  EXPECT_FALSE(schema.ParseRange(0, "").ok());
+  EXPECT_FALSE(schema.ParseRange(0, "[1").ok());
+  EXPECT_FALSE(schema.ParseRange(0, "[1, 2, 3]").ok());
+  EXPECT_FALSE(schema.ParseRange(0, "[5, 1]").ok());     // Reversed.
+  EXPECT_FALSE(schema.ParseRange(0, "[a, b]").ok());
+  EXPECT_FALSE(schema.ParseRange(1, "{Atlantis}").ok());
+  EXPECT_FALSE(schema.ParseRange(1, "{}").ok());
+  EXPECT_FALSE(schema.ParseRange(1, "{Asia").ok());
+  EXPECT_FALSE(schema.ParseRange(7, "[1, 2]").ok());     // Bad dim index.
+  EXPECT_FALSE(schema.ParseRange(-1, "[1, 2]").ok());
+}
+
+TEST(ConstraintSchemaTest, FormatRangeRoundTrips) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("T", IntervalFormat::kDate).ok());
+  ASSERT_TRUE(schema.AddIntervalDimension("Q").ok());
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  const ConstraintRange dates = *schema.ParseRange(0, "[2009-03-10, 2009-03-20]");
+  EXPECT_EQ(schema.FormatRange(0, dates), "[2009-03-10, 2009-03-20]");
+  const ConstraintRange numbers = *schema.ParseRange(1, "[3, 9]");
+  EXPECT_EQ(schema.FormatRange(1, numbers), "[3, 9]");
+  const ConstraintRange regions = *schema.ParseRange(2, "{Asia, Europe}");
+  EXPECT_EQ(schema.FormatRange(2, regions), "{Asia, Europe}");
+}
+
+TEST(ConstraintSchemaTest, ValidateRange) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("Q").ok());
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  EXPECT_TRUE(schema.ValidateRange(0, ConstraintRange(Interval(1, 2))).ok());
+  EXPECT_FALSE(
+      schema.ValidateRange(0, ConstraintRange(CategorySet(0b1))).ok());
+  EXPECT_FALSE(
+      schema.ValidateRange(1, ConstraintRange(Interval(1, 2))).ok());
+  EXPECT_FALSE(
+      schema.ValidateRange(0, ConstraintRange(Interval::Empty())).ok());
+  EXPECT_FALSE(schema.ValidateRange(5, ConstraintRange(Interval(1, 2))).ok());
+}
+
+TEST(ConstraintSchemaTest, PaperExampleSchemaShape) {
+  const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
+  EXPECT_EQ(schema.dimensions(), 2);
+  EXPECT_EQ(schema.name(0), "T");
+  EXPECT_EQ(schema.name(1), "R");
+  EXPECT_EQ(schema.kind(0), DimensionKind::kInterval);
+  EXPECT_EQ(schema.kind(1), DimensionKind::kCategorical);
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,162 @@
+#include "licensing/license_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/date.h"
+
+namespace geolic {
+namespace {
+
+class LicenseParserTest : public ::testing::Test {
+ protected:
+  LicenseParserTest() : schema_(ConstraintSchema::PaperExampleSchema()) {}
+  ConstraintSchema schema_;
+};
+
+TEST_F(LicenseParserTest, ParsesPaperStyleLicense) {
+  const Result<License> license = ParseLicense(
+      "(K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)",
+      schema_, LicenseType::kRedistribution, "LD1");
+  ASSERT_TRUE(license.ok());
+  EXPECT_EQ(license->id(), "LD1");
+  EXPECT_EQ(license->content_key(), "K");
+  EXPECT_EQ(license->permission(), Permission::kPlay);
+  EXPECT_EQ(license->type(), LicenseType::kRedistribution);
+  EXPECT_EQ(license->aggregate_count(), 2000);
+  EXPECT_EQ(license->rect().dim(0).interval().lo(),
+            Date::FromCivil(2009, 3, 10)->day_number());
+}
+
+TEST_F(LicenseParserTest, ParsesPaperSlashDatesAndBracketRegions) {
+  // Exactly the notation of the paper's Example 1.
+  const Result<License> license =
+      ParseLicense("(K; Play; T=[10/03/09, 20/03/09]; R=[Asia, Europe]; "
+                   "A=2000)",
+                   schema_, LicenseType::kRedistribution, "LD1");
+  ASSERT_TRUE(license.ok());
+  EXPECT_EQ(license->aggregate_count(), 2000);
+}
+
+TEST_F(LicenseParserTest, ConstraintOrderIsFree) {
+  const Result<License> license = ParseLicense(
+      "(K; Play; R={India}; T=[2009-03-15, 2009-03-19]; A=800)", schema_,
+      LicenseType::kUsage, "LU1");
+  ASSERT_TRUE(license.ok());
+  EXPECT_EQ(license->type(), LicenseType::kUsage);
+}
+
+TEST_F(LicenseParserTest, RoundTripsThroughSerialize) {
+  const char* text =
+      "(K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)";
+  const Result<License> license =
+      ParseLicense(text, schema_, LicenseType::kRedistribution, "LD1");
+  ASSERT_TRUE(license.ok());
+  EXPECT_EQ(SerializeLicense(*license, schema_), text);
+  // Parse the serialized form again — fixpoint.
+  const Result<License> reparsed =
+      ParseLicense(SerializeLicense(*license, schema_), schema_,
+                   LicenseType::kRedistribution, "LD1");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->rect() == license->rect());
+  EXPECT_EQ(reparsed->aggregate_count(), license->aggregate_count());
+}
+
+TEST_F(LicenseParserTest, WhitespaceTolerant) {
+  EXPECT_TRUE(ParseLicense("  ( K ;  Play ; T=[2009-03-10, 2009-03-20] ; "
+                           "R={Asia} ; A=10 )  ",
+                           schema_, LicenseType::kUsage, "LU")
+                  .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsMissingParens) {
+  EXPECT_FALSE(ParseLicense("K; Play; T=[2009-03-10, 2009-03-20]; R={Asia}; "
+                            "A=10",
+                            schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsWrongFieldCount) {
+  EXPECT_FALSE(ParseLicense("(K; Play; A=10)", schema_, LicenseType::kUsage,
+                            "LU")
+                   .ok());
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; T=[2009-03-10, 2009-03-11]; R={Asia}; "
+                   "R={Asia}; A=10)",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsUnknownPermissionOrDimension) {
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Fly; T=[2009-03-10, 2009-03-11]; R={Asia}; A=10)",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; X=[2009-03-10, 2009-03-11]; R={Asia}; A=10)",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsDuplicateConstraint) {
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; T=[2009-03-10, 2009-03-11]; "
+                   "T=[2009-03-10, 2009-03-11]; A=10)",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsMissingOrMisplacedAggregate) {
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; T=[2009-03-10, 2009-03-11]; R={Asia}; "
+                   "Q=[1, 2])",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+  // Aggregate before the last position.
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; A=10; T=[2009-03-10, 2009-03-11]; R={Asia})",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsNonNumericAggregate) {
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; T=[2009-03-10, 2009-03-11]; R={Asia}; A=lots)",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsFieldWithoutEquals) {
+  EXPECT_FALSE(ParseLicense(
+                   "(K; Play; T; R={Asia}; A=10)", schema_,
+                   LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, RejectsEmptyContentKey) {
+  EXPECT_FALSE(ParseLicense(
+                   "(; Play; T=[2009-03-10, 2009-03-11]; R={Asia}; A=10)",
+                   schema_, LicenseType::kUsage, "LU")
+                   .ok());
+}
+
+TEST_F(LicenseParserTest, AllFiveExampleLicensesParse) {
+  // The five redistribution licenses of the paper's Example 1.
+  const char* texts[] = {
+      "(K; Play; T=[10/03/09, 20/03/09]; R=[Asia, Europe]; A=2000)",
+      "(K; Play; T=[15/03/09, 25/03/09]; R=[Asia]; A=1000)",
+      "(K; Play; T=[15/03/09, 30/03/09]; R=[America]; A=3000)",
+      "(K; Play; T=[15/03/09, 15/04/09]; R=[Europe]; A=4000)",
+      "(K; Play; T=[25/03/09, 10/04/09]; R=[America]; A=2000)",
+  };
+  int64_t expected_aggregates[] = {2000, 1000, 3000, 4000, 2000};
+  for (int i = 0; i < 5; ++i) {
+    const Result<License> license =
+        ParseLicense(texts[i], schema_, LicenseType::kRedistribution,
+                     "LD" + std::to_string(i + 1));
+    ASSERT_TRUE(license.ok()) << texts[i] << ": " << license.status();
+    EXPECT_EQ(license->aggregate_count(), expected_aggregates[i]);
+  }
+}
+
+}  // namespace
+}  // namespace geolic

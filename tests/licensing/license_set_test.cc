@@ -1,0 +1,113 @@
+#include "licensing/license_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+using testing::MakeUsage;
+
+TEST(LicenseSetTest, AddAssignsSequentialIndexes) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(*set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)), 0);
+  EXPECT_EQ(*set.Add(MakeRedistribution(schema, "LD2", {{5, 15}}, 200)), 1);
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_EQ(set.at(0).id(), "LD1");
+  EXPECT_EQ(set.at(1).id(), "LD2");
+}
+
+TEST(LicenseSetTest, RejectsUsageLicense) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  const Result<int> added = set.Add(MakeUsage(schema, "LU1", {{0, 1}}, 5));
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LicenseSetTest, RejectsMismatchedContentOrPermission) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)).ok());
+
+  LicenseBuilder other_content(&schema);
+  other_content.SetId("LD2")
+      .SetContentKey("K2")
+      .SetType(LicenseType::kRedistribution)
+      .SetPermission(Permission::kPlay)
+      .SetAggregateCount(10)
+      .SetInterval("C1", 0, 1);
+  EXPECT_FALSE(set.Add(*other_content.Build()).ok());
+
+  LicenseBuilder other_permission(&schema);
+  other_permission.SetId("LD3")
+      .SetContentKey("K")
+      .SetType(LicenseType::kRedistribution)
+      .SetPermission(Permission::kCopy)
+      .SetAggregateCount(10)
+      .SetInterval("C1", 0, 1);
+  EXPECT_FALSE(set.Add(*other_permission.Build()).ok());
+}
+
+TEST(LicenseSetTest, RejectsDuplicateId) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)).ok());
+  const Result<int> duplicate =
+      set.Add(MakeRedistribution(schema, "LD1", {{5, 15}}, 200));
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LicenseSetTest, RejectsDimensionMismatch) {
+  const ConstraintSchema schema1 = IntervalSchema(1);
+  const ConstraintSchema schema2 = IntervalSchema(2);
+  LicenseSet set(&schema2);
+  EXPECT_FALSE(
+      set.Add(MakeRedistribution(schema1, "LD1", {{0, 10}}, 100)).ok());
+}
+
+TEST(LicenseSetTest, CapsAt64Licenses) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD" + std::to_string(i),
+                                           {{0, 10}}, 100))
+                    .ok());
+  }
+  const Result<int> overflow =
+      set.Add(MakeRedistribution(schema, "LD64", {{0, 10}}, 100));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(LicenseSetTest, AggregateCountsAndSums) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 2000)).ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD2", {{5, 15}}, 1000)).ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD3", {{20, 25}}, 3000)).ok());
+  EXPECT_EQ(set.AggregateCounts(), (std::vector<int64_t>{2000, 1000, 3000}));
+  // The paper's A[{L1, L2, L3}] example: 2000 + 1000 + 3000.
+  EXPECT_EQ(set.AggregateSum(0b111), 6000);
+  EXPECT_EQ(set.AggregateSum(0b101), 5000);
+  EXPECT_EQ(set.AggregateSum(0), 0);
+  EXPECT_EQ(set.AllMask(), 0b111u);
+}
+
+TEST(LicenseSetTest, IndexOfId) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)).ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD2", {{5, 15}}, 100)).ok());
+  EXPECT_EQ(*set.IndexOfId("LD2"), 1);
+  EXPECT_FALSE(set.IndexOfId("LD9").ok());
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,181 @@
+#include "licensing/license.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+using testing::MakeUsage;
+
+TEST(LicenseBuilderTest, BuildsCompleteLicense) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  LicenseBuilder builder(&schema);
+  builder.SetId("LD1")
+      .SetContentKey("K")
+      .SetType(LicenseType::kRedistribution)
+      .SetPermission(Permission::kPlay)
+      .SetInterval("C1", 0, 10)
+      .SetInterval("C2", 5, 15)
+      .SetAggregateCount(2000);
+  const Result<License> license = builder.Build();
+  ASSERT_TRUE(license.ok());
+  EXPECT_EQ(license->id(), "LD1");
+  EXPECT_EQ(license->content_key(), "K");
+  EXPECT_EQ(license->type(), LicenseType::kRedistribution);
+  EXPECT_EQ(license->permission(), Permission::kPlay);
+  EXPECT_EQ(license->aggregate_count(), 2000);
+  EXPECT_EQ(license->rect().dimensions(), 2);
+  EXPECT_EQ(license->rect().dim(0).interval(), Interval(0, 10));
+}
+
+TEST(LicenseBuilderTest, RequiresAllDimensions) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  LicenseBuilder builder(&schema);
+  builder.SetId("LD1").SetContentKey("K").SetAggregateCount(100).SetInterval(
+      "C1", 0, 10);
+  const Result<License> license = builder.Build();
+  ASSERT_FALSE(license.ok());
+  EXPECT_EQ(license.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LicenseBuilderTest, RequiresIdContentAndPositiveAggregate) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  {
+    LicenseBuilder builder(&schema);
+    builder.SetContentKey("K").SetAggregateCount(1).SetInterval("C1", 0, 1);
+    EXPECT_FALSE(builder.Build().ok());  // Missing id.
+  }
+  {
+    LicenseBuilder builder(&schema);
+    builder.SetId("L").SetAggregateCount(1).SetInterval("C1", 0, 1);
+    EXPECT_FALSE(builder.Build().ok());  // Missing content key.
+  }
+  {
+    LicenseBuilder builder(&schema);
+    builder.SetId("L").SetContentKey("K").SetInterval("C1", 0, 1);
+    EXPECT_FALSE(builder.Build().ok());  // Zero aggregate.
+  }
+  {
+    LicenseBuilder builder(&schema);
+    builder.SetId("L").SetContentKey("K").SetAggregateCount(-5).SetInterval(
+        "C1", 0, 1);
+    EXPECT_FALSE(builder.Build().ok());  // Negative aggregate.
+  }
+}
+
+TEST(LicenseBuilderTest, UnknownDimensionDefersError) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseBuilder builder(&schema);
+  builder.SetId("L").SetContentKey("K").SetAggregateCount(1);
+  builder.SetInterval("C9", 0, 1).SetInterval("C1", 0, 1);
+  const Result<License> license = builder.Build();
+  ASSERT_FALSE(license.ok());
+  EXPECT_EQ(license.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LicenseBuilderTest, EmptyRangeRejected) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseBuilder builder(&schema);
+  builder.SetId("L").SetContentKey("K").SetAggregateCount(1).SetInterval(
+      "C1", 5, 3);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(LicenseBuilderTest, SetCategoriesOnCategoricalDimension) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(
+      schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
+          .ok());
+  LicenseBuilder builder(&schema);
+  builder.SetId("L")
+      .SetContentKey("K")
+      .SetAggregateCount(10)
+      .SetCategories("R", {"Asia", "Europe"});
+  const Result<License> license = builder.Build();
+  ASSERT_TRUE(license.ok());
+  EXPECT_TRUE(license->rect().dim(0).is_categories());
+}
+
+TEST(LicenseBuilderTest, SetCategoriesOnIntervalDimensionFails) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseBuilder builder(&schema);
+  builder.SetId("L").SetContentKey("K").SetAggregateCount(10).SetCategories(
+      "C1", {"Asia"});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(LicenseTest, InstanceContainsMatchesGeometry) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  const License distribution =
+      MakeRedistribution(schema, "LD1", {{0, 10}, {0, 10}}, 1000);
+  EXPECT_TRUE(distribution.InstanceContains(
+      MakeUsage(schema, "LU1", {{2, 8}, {3, 7}}, 5)));
+  EXPECT_TRUE(distribution.InstanceContains(
+      MakeUsage(schema, "LU2", {{0, 10}, {0, 10}}, 5)));
+  EXPECT_FALSE(distribution.InstanceContains(
+      MakeUsage(schema, "LU3", {{2, 11}, {3, 7}}, 5)));
+}
+
+TEST(LicenseTest, InstanceContainsRequiresSameContentAndPermission) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const License distribution =
+      MakeRedistribution(schema, "LD1", {{0, 10}}, 1000);
+
+  LicenseBuilder other_content(&schema);
+  other_content.SetId("LU1")
+      .SetContentKey("OTHER")
+      .SetType(LicenseType::kUsage)
+      .SetPermission(Permission::kPlay)
+      .SetAggregateCount(5)
+      .SetInterval("C1", 2, 3);
+  EXPECT_FALSE(distribution.InstanceContains(*other_content.Build()));
+
+  LicenseBuilder other_permission(&schema);
+  other_permission.SetId("LU2")
+      .SetContentKey("K")
+      .SetType(LicenseType::kUsage)
+      .SetPermission(Permission::kCopy)
+      .SetAggregateCount(5)
+      .SetInterval("C1", 2, 3);
+  EXPECT_FALSE(distribution.InstanceContains(*other_permission.Build()));
+}
+
+TEST(LicenseTest, OverlapsWithMatchesGeometry) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  const License a = MakeRedistribution(schema, "A", {{0, 10}, {0, 10}}, 1);
+  const License b = MakeRedistribution(schema, "B", {{5, 15}, {5, 15}}, 1);
+  const License c = MakeRedistribution(schema, "C", {{5, 15}, {11, 20}}, 1);
+  EXPECT_TRUE(a.OverlapsWith(b));
+  EXPECT_TRUE(b.OverlapsWith(a));
+  EXPECT_FALSE(a.OverlapsWith(c));
+}
+
+TEST(LicenseTest, ToStringMatchesPaperShape) {
+  const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
+  LicenseBuilder builder(&schema);
+  builder.SetId("LD1")
+      .SetContentKey("K")
+      .SetType(LicenseType::kRedistribution)
+      .SetPermission(Permission::kPlay)
+      .SetRange("T", *schema.ParseRange(0, "[2009-03-10, 2009-03-20]"))
+      .SetCategories("R", {"Asia", "Europe"})
+      .SetAggregateCount(2000);
+  const Result<License> license = builder.Build();
+  ASSERT_TRUE(license.ok());
+  EXPECT_EQ(license->ToString(schema),
+            "(K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; "
+            "A=2000)");
+}
+
+TEST(LicenseTest, TypeNames) {
+  EXPECT_STREQ(LicenseTypeName(LicenseType::kRedistribution),
+               "redistribution");
+  EXPECT_STREQ(LicenseTypeName(LicenseType::kUsage), "usage");
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,48 @@
+#include "licensing/permission.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(PermissionTest, NamesAreStable) {
+  EXPECT_STREQ(PermissionName(Permission::kPlay), "Play");
+  EXPECT_STREQ(PermissionName(Permission::kCopy), "Copy");
+  EXPECT_STREQ(PermissionName(Permission::kRip), "Rip");
+  EXPECT_STREQ(PermissionName(Permission::kPrint), "Print");
+  EXPECT_STREQ(PermissionName(Permission::kStream), "Stream");
+  EXPECT_STREQ(PermissionName(Permission::kDownload), "Download");
+  EXPECT_STREQ(PermissionName(Permission::kExport), "Export");
+  EXPECT_STREQ(PermissionName(Permission::kEmbed), "Embed");
+}
+
+TEST(PermissionTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(*ParsePermission("Play"), Permission::kPlay);
+  EXPECT_EQ(*ParsePermission("play"), Permission::kPlay);
+  EXPECT_EQ(*ParsePermission("PLAY"), Permission::kPlay);
+  EXPECT_EQ(*ParsePermission("  copy  "), Permission::kCopy);
+}
+
+TEST(PermissionTest, ParseRoundTripsAllPermissions) {
+  for (int i = 0; i < kNumPermissions; ++i) {
+    const Permission permission = static_cast<Permission>(i);
+    const Result<Permission> parsed = ParsePermission(
+        PermissionName(permission));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, permission);
+  }
+}
+
+TEST(PermissionTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParsePermission("").ok());
+  EXPECT_FALSE(ParsePermission("fly").ok());
+  EXPECT_FALSE(ParsePermission("play2").ok());
+  EXPECT_EQ(ParsePermission("fly").status().code(), StatusCode::kParseError);
+}
+
+TEST(PermissionTest, UnknownEnumValueName) {
+  EXPECT_STREQ(PermissionName(static_cast<Permission>(99)), "Unknown");
+}
+
+}  // namespace
+}  // namespace geolic

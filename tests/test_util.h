@@ -1,0 +1,93 @@
+#ifndef GEOLIC_TESTS_TEST_UTIL_H_
+#define GEOLIC_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/hyper_rect.h"
+#include "licensing/constraint_schema.h"
+#include "licensing/license.h"
+#include "licensing/license_set.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace geolic::testing {
+
+// Schema with `dims` integer interval dimensions named C1..Cdims.
+inline ConstraintSchema IntervalSchema(int dims) {
+  ConstraintSchema schema;
+  for (int d = 0; d < dims; ++d) {
+    GEOLIC_CHECK(
+        schema.AddIntervalDimension("C" + std::to_string(d + 1)).ok());
+  }
+  return schema;
+}
+
+// Hyper-rectangle from interval endpoint pairs: {{0,10},{5,7}} → two dims.
+inline HyperRect Rect(
+    const std::vector<std::pair<int64_t, int64_t>>& intervals) {
+  std::vector<ConstraintRange> dims;
+  dims.reserve(intervals.size());
+  for (const auto& [lo, hi] : intervals) {
+    dims.push_back(ConstraintRange(Interval(lo, hi)));
+  }
+  return HyperRect(std::move(dims));
+}
+
+// Redistribution license over `schema` (interval dims) with the given
+// ranges and aggregate count.
+inline License MakeRedistribution(
+    const ConstraintSchema& schema, const std::string& id,
+    const std::vector<std::pair<int64_t, int64_t>>& intervals,
+    int64_t aggregate) {
+  LicenseBuilder builder(&schema);
+  builder.SetId(id)
+      .SetContentKey("K")
+      .SetType(LicenseType::kRedistribution)
+      .SetPermission(Permission::kPlay)
+      .SetAggregateCount(aggregate);
+  for (size_t d = 0; d < intervals.size(); ++d) {
+    builder.SetInterval("C" + std::to_string(d + 1), intervals[d].first,
+                        intervals[d].second);
+  }
+  const Result<License> license = builder.Build();
+  GEOLIC_CHECK(license.ok());
+  return *license;
+}
+
+// Usage license, same shape.
+inline License MakeUsage(
+    const ConstraintSchema& schema, const std::string& id,
+    const std::vector<std::pair<int64_t, int64_t>>& intervals,
+    int64_t count) {
+  LicenseBuilder builder(&schema);
+  builder.SetId(id)
+      .SetContentKey("K")
+      .SetType(LicenseType::kUsage)
+      .SetPermission(Permission::kPlay)
+      .SetAggregateCount(count);
+  for (size_t d = 0; d < intervals.size(); ++d) {
+    builder.SetInterval("C" + std::to_string(d + 1), intervals[d].first,
+                        intervals[d].second);
+  }
+  const Result<License> license = builder.Build();
+  GEOLIC_CHECK(license.ok());
+  return *license;
+}
+
+// Random hyper-rectangle with `dims` interval dimensions inside
+// [0, domain).
+inline HyperRect RandomRect(Rng* rng, int dims, int64_t domain) {
+  std::vector<ConstraintRange> ranges;
+  ranges.reserve(static_cast<size_t>(dims));
+  for (int d = 0; d < dims; ++d) {
+    const int64_t lo = rng->UniformInt(0, domain - 1);
+    const int64_t hi = rng->UniformInt(lo, domain - 1);
+    ranges.push_back(ConstraintRange(Interval(lo, hi)));
+  }
+  return HyperRect(std::move(ranges));
+}
+
+}  // namespace geolic::testing
+
+#endif  // GEOLIC_TESTS_TEST_UTIL_H_

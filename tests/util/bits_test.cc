@@ -1,0 +1,110 @@
+#include "util/bits.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(BitsTest, MaskSizeCountsBits) {
+  EXPECT_EQ(MaskSize(0), 0);
+  EXPECT_EQ(MaskSize(0b1), 1);
+  EXPECT_EQ(MaskSize(0b1011), 3);
+  EXPECT_EQ(MaskSize(~LicenseMask{0}), 64);
+}
+
+TEST(BitsTest, SingletonMask) {
+  EXPECT_EQ(SingletonMask(0), 1u);
+  EXPECT_EQ(SingletonMask(3), 8u);
+  EXPECT_EQ(SingletonMask(63), LicenseMask{1} << 63);
+}
+
+TEST(BitsTest, FullMask) {
+  EXPECT_EQ(FullMask(0), 0u);
+  EXPECT_EQ(FullMask(1), 0b1u);
+  EXPECT_EQ(FullMask(5), 0b11111u);
+  EXPECT_EQ(FullMask(64), ~LicenseMask{0});
+}
+
+TEST(BitsTest, SubsetRelation) {
+  EXPECT_TRUE(IsSubsetOf(0, 0));
+  EXPECT_TRUE(IsSubsetOf(0, 0b101));
+  EXPECT_TRUE(IsSubsetOf(0b100, 0b101));
+  EXPECT_TRUE(IsSubsetOf(0b101, 0b101));
+  EXPECT_FALSE(IsSubsetOf(0b10, 0b101));
+  EXPECT_FALSE(IsSubsetOf(0b111, 0b101));
+}
+
+TEST(BitsTest, MaskContains) {
+  EXPECT_TRUE(MaskContains(0b101, 0));
+  EXPECT_FALSE(MaskContains(0b101, 1));
+  EXPECT_TRUE(MaskContains(0b101, 2));
+}
+
+TEST(BitsTest, LowestAndHighest) {
+  EXPECT_EQ(LowestLicense(0b100), 2);
+  EXPECT_EQ(LowestLicense(0b101), 0);
+  EXPECT_EQ(HighestLicense(0b101), 2);
+  EXPECT_EQ(HighestLicense(SingletonMask(63)), 63);
+}
+
+TEST(BitsTest, MaskIndexRoundTrip) {
+  const std::vector<int> indexes = {0, 3, 5, 41};
+  const LicenseMask mask = IndexesToMask(indexes);
+  EXPECT_EQ(MaskToIndexes(mask), indexes);
+}
+
+TEST(BitsTest, MaskToIndexesIsAscending) {
+  const std::vector<int> indexes = MaskToIndexes(0b110101);
+  EXPECT_EQ(indexes, (std::vector<int>{0, 2, 4, 5}));
+}
+
+TEST(BitsTest, IndexesToMaskCollapsesDuplicates) {
+  EXPECT_EQ(IndexesToMask({1, 1, 1}), 0b10u);
+}
+
+TEST(SubsetIteratorTest, EmptySetHasNoSubsets) {
+  SubsetIterator it(0);
+  EXPECT_TRUE(it.Done());
+}
+
+TEST(SubsetIteratorTest, EnumeratesAllNonEmptySubsets) {
+  const LicenseMask set = 0b10110;
+  std::set<LicenseMask> seen;
+  for (SubsetIterator it(set); !it.Done(); it.Next()) {
+    EXPECT_TRUE(IsSubsetOf(it.subset(), set));
+    EXPECT_NE(it.subset(), 0u);
+    EXPECT_TRUE(seen.insert(it.subset()).second) << "duplicate subset";
+  }
+  // 2^3 - 1 = 7 non-empty subsets of a 3-element set.
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(SubsetIteratorTest, SingletonSet) {
+  SubsetIterator it(0b100);
+  ASSERT_FALSE(it.Done());
+  EXPECT_EQ(it.subset(), 0b100u);
+  it.Next();
+  EXPECT_TRUE(it.Done());
+}
+
+TEST(SubsetIteratorTest, CountMatchesFormulaForVariousSizes) {
+  for (int n = 1; n <= 10; ++n) {
+    int count = 0;
+    for (SubsetIterator it(FullMask(n)); !it.Done(); it.Next()) {
+      ++count;
+    }
+    EXPECT_EQ(count, (1 << n) - 1) << "n=" << n;
+  }
+}
+
+TEST(BitsTest, MaskToStringUsesPaperNotation) {
+  EXPECT_EQ(MaskToString(0), "{}");
+  EXPECT_EQ(MaskToString(0b1), "{L1}");
+  // Bits 0,1,3 are the paper's L1, L2, L4.
+  EXPECT_EQ(MaskToString(0b1011), "{L1, L2, L4}");
+}
+
+}  // namespace
+}  // namespace geolic

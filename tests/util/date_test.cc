@@ -1,0 +1,145 @@
+#include "util/date.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(DateTest, EpochIsDayZero) {
+  const Result<Date> epoch = Date::FromCivil(1970, 1, 1);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch->day_number(), 0);
+  EXPECT_EQ(Date().day_number(), 0);
+}
+
+TEST(DateTest, KnownDayNumbers) {
+  EXPECT_EQ(Date::FromCivil(1970, 1, 2)->day_number(), 1);
+  EXPECT_EQ(Date::FromCivil(1969, 12, 31)->day_number(), -1);
+  EXPECT_EQ(Date::FromCivil(2000, 3, 1)->day_number(), 11017);
+  EXPECT_EQ(Date::FromCivil(2009, 3, 15)->day_number(), 14318);
+}
+
+TEST(DateTest, CivilRoundTripAcrossYears) {
+  for (int year : {1900, 1970, 1999, 2000, 2008, 2009, 2100}) {
+    for (int month : {1, 2, 3, 6, 12}) {
+      for (int day : {1, 15, 28}) {
+        const Result<Date> date = Date::FromCivil(year, month, day);
+        ASSERT_TRUE(date.ok());
+        EXPECT_EQ(date->year(), year);
+        EXPECT_EQ(date->month(), month);
+        EXPECT_EQ(date->day(), day);
+      }
+    }
+  }
+}
+
+TEST(DateTest, DayNumberRoundTrip) {
+  for (int64_t day = -1000000; day <= 1000000; day += 99991) {
+    const Date date = Date::FromDayNumber(day);
+    EXPECT_EQ(date.day_number(), day);
+    const Result<Date> again =
+        Date::FromCivil(date.year(), date.month(), date.day());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->day_number(), day);
+  }
+}
+
+TEST(DateTest, RejectsInvalidComponents) {
+  EXPECT_FALSE(Date::FromCivil(2009, 0, 1).ok());
+  EXPECT_FALSE(Date::FromCivil(2009, 13, 1).ok());
+  EXPECT_FALSE(Date::FromCivil(2009, 2, 29).ok());  // 2009 not a leap year.
+  EXPECT_TRUE(Date::FromCivil(2008, 2, 29).ok());   // 2008 is.
+  EXPECT_FALSE(Date::FromCivil(2009, 4, 31).ok());
+  EXPECT_FALSE(Date::FromCivil(2009, 1, 0).ok());
+  EXPECT_FALSE(Date::FromCivil(10000, 1, 1).ok());
+  EXPECT_FALSE(Date::FromCivil(-10000, 1, 1).ok());
+}
+
+TEST(DateTest, LeapYearRules) {
+  EXPECT_TRUE(Date::IsLeapYear(2000));   // Divisible by 400.
+  EXPECT_FALSE(Date::IsLeapYear(1900));  // Divisible by 100 only.
+  EXPECT_TRUE(Date::IsLeapYear(2004));
+  EXPECT_FALSE(Date::IsLeapYear(2009));
+}
+
+TEST(DateTest, DaysInMonth) {
+  EXPECT_EQ(Date::DaysInMonth(2009, 1), 31);
+  EXPECT_EQ(Date::DaysInMonth(2009, 2), 28);
+  EXPECT_EQ(Date::DaysInMonth(2008, 2), 29);
+  EXPECT_EQ(Date::DaysInMonth(2009, 4), 30);
+  EXPECT_EQ(Date::DaysInMonth(2009, 0), 0);
+  EXPECT_EQ(Date::DaysInMonth(2009, 13), 0);
+}
+
+TEST(DateTest, ParsesIsoFormat) {
+  const Result<Date> date = Date::Parse("2009-03-15");
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(date->year(), 2009);
+  EXPECT_EQ(date->month(), 3);
+  EXPECT_EQ(date->day(), 15);
+}
+
+TEST(DateTest, ParsesPaperSlashFormat) {
+  // The paper writes validity periods like [15/03/09, 25/03/09].
+  const Result<Date> date = Date::Parse("15/03/09");
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(date->year(), 2009);
+  EXPECT_EQ(date->month(), 3);
+  EXPECT_EQ(date->day(), 15);
+}
+
+TEST(DateTest, SlashFormatCenturyWindow) {
+  EXPECT_EQ(Date::Parse("01/01/68")->year(), 2068);
+  EXPECT_EQ(Date::Parse("01/01/69")->year(), 1969);
+  EXPECT_EQ(Date::Parse("01/01/99")->year(), 1999);
+  EXPECT_EQ(Date::Parse("01/01/00")->year(), 2000);
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("2009/03/15").ok());
+  EXPECT_FALSE(Date::Parse("2009-3-15").ok());
+  EXPECT_FALSE(Date::Parse("aaaa-bb-cc").ok());
+  EXPECT_FALSE(Date::Parse("2009-13-01").ok());
+  EXPECT_FALSE(Date::Parse("32/01/09").ok());
+  EXPECT_FALSE(Date::Parse("2009-03-15X").ok());
+}
+
+TEST(DateTest, ToStringIsIso) {
+  EXPECT_EQ(Date::FromCivil(2009, 3, 5)->ToString(), "2009-03-05");
+  EXPECT_EQ(Date::FromCivil(1970, 1, 1)->ToString(), "1970-01-01");
+}
+
+TEST(DateTest, ParseToStringRoundTrip) {
+  for (const char* text : {"2009-03-10", "1999-12-31", "2020-02-29"}) {
+    const Result<Date> date = Date::Parse(text);
+    ASSERT_TRUE(date.ok());
+    EXPECT_EQ(date->ToString(), text);
+  }
+}
+
+TEST(DateTest, ArithmeticAndComparison) {
+  const Date a = *Date::FromCivil(2009, 3, 10);
+  const Date b = *Date::FromCivil(2009, 3, 20);
+  EXPECT_EQ(a.DaysUntil(b), 10);
+  EXPECT_EQ(b.DaysUntil(a), -10);
+  EXPECT_EQ(a.AddDays(10), b);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+  EXPECT_LE(a, a);
+}
+
+TEST(DateTest, AddDaysCrossesMonthAndYearBoundaries) {
+  EXPECT_EQ(Date::FromCivil(2009, 3, 31)->AddDays(1).ToString(),
+            "2009-04-01");
+  EXPECT_EQ(Date::FromCivil(2009, 12, 31)->AddDays(1).ToString(),
+            "2010-01-01");
+  EXPECT_EQ(Date::FromCivil(2008, 2, 28)->AddDays(1).ToString(),
+            "2008-02-29");
+  EXPECT_EQ(Date::FromCivil(2009, 1, 1)->AddDays(-1).ToString(),
+            "2008-12-31");
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,90 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.EndObject();
+    EXPECT_EQ(std::move(json).Take(), "{}");
+  }
+  {
+    JsonWriter json;
+    json.BeginArray();
+    json.EndArray();
+    EXPECT_EQ(std::move(json).Take(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("name", std::string_view("geolic"));
+  json.KeyValue("count", int64_t{-5});
+  json.KeyValue("big", uint64_t{18446744073709551615ULL});
+  json.KeyValue("ratio", 0.5);
+  json.KeyValue("ok", true);
+  json.Key("nothing");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(),
+            "{\"name\":\"geolic\",\"count\":-5,"
+            "\"big\":18446744073709551615,\"ratio\":0.5,\"ok\":true,"
+            "\"nothing\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows");
+  json.BeginArray();
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.BeginObject();
+  json.KeyValue("x", int64_t{3});
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(), "{\"rows\":[[1,2],{\"x\":3}]}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab"),
+            "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("плэй"), "плэй");  // UTF-8 passes through.
+}
+
+TEST(JsonWriterTest, StringValuesEscaped) {
+  JsonWriter json;
+  json.BeginArray();
+  json.String("say \"hi\"");
+  json.EndArray();
+  EXPECT_EQ(std::move(json).Take(), "[\"say \\\"hi\\\"\"]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(1.0 / 0.0);
+  json.Double(0.0 / 0.0);
+  json.Double(2.5);
+  json.EndArray();
+  EXPECT_EQ(std::move(json).Take(), "[null,null,2.5]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter json;
+  json.Int(42);
+  EXPECT_EQ(std::move(json).Take(), "42");
+}
+
+}  // namespace
+}  // namespace geolic

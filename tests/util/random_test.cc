@@ -1,0 +1,133 @@
+#include "util/random.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(rng.Next());
+  }
+  rng.Seed(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Next(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RngTest, UniformIntStaysInClosedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t value = rng.UniformInt(-5, 5);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(RngTest, UniformIntHitsAllValuesOfSmallRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.UniformInt(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(0, kBuckets - 1)];
+  }
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    // Expected 10000 per bucket; allow ±5%.
+    EXPECT_GT(counts[bucket], 9500) << "bucket " << bucket;
+    EXPECT_LT(counts[bucket], 10500) << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, UniformIntFullInt64Range) {
+  Rng rng(17);
+  // Just exercises the span == UINT64_MAX path without crashing.
+  for (int i = 0; i < 10; ++i) {
+    (void)rng.UniformInt(INT64_MIN, INT64_MAX);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.UniformDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformIndex(17), 17u);
+  }
+  EXPECT_EQ(rng.UniformIndex(1), 0u);
+}
+
+}  // namespace
+}  // namespace geolic

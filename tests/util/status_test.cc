@@ -1,0 +1,125 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::CapacityExceeded("x").code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::ParseError("bad token").ToString(),
+            "PARSE_ERROR: bad token");
+  EXPECT_EQ(Status(StatusCode::kNotFound, "").ToString(), "NOT_FOUND");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, StatusCodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCapacityExceeded),
+               "CAPACITY_EXCEEDED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> result = Status::Ok();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  const std::string moved = *std::move(result);
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+namespace helpers {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  GEOLIC_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return Status::InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GEOLIC_ASSIGN_OR_RETURN(const int half, Half(x));
+  GEOLIC_ASSIGN_OR_RETURN(const int quarter, Half(half));
+  return quarter;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chain(1).ok());
+  EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesAndAssigns) {
+  const Result<int> ok = helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(helpers::Quarter(6).ok());  // 6/2 = 3 is odd.
+  EXPECT_FALSE(helpers::Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,100 @@
+#include "util/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(StripWhitespaceTest, Basics) {
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+}
+
+TEST(SplitAndTrimTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(SplitAndTrim("", ',').empty());
+}
+
+TEST(SplitAndTrimTest, SplitsAndTrims) {
+  const auto pieces = SplitAndTrim(" a , b ,c ", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(SplitAndTrimTest, KeepsEmptyPieces) {
+  const auto pieces = SplitAndTrim("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(SplitAndTrimTest, NoDelimiterYieldsWhole) {
+  const auto pieces = SplitAndTrim("  solo  ", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "solo");
+}
+
+TEST(SplitAndTrimTest, TrailingDelimiterYieldsTrailingEmpty) {
+  const auto pieces = SplitAndTrim("a;b;", ';');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[2], "");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(ParseInt64Test, ParsesDecimal) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("+9"), 9);
+  EXPECT_EQ(*ParseInt64("  123  "), 123);
+}
+
+TEST(ParseInt64Test, ParsesExtremes) {
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ParseInt64Test, RejectsOverflow) {
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("+").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("0x1f").ok());
+  EXPECT_FALSE(ParseInt64("1 2").ok());
+}
+
+TEST(AffixTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("license", "lic"));
+  EXPECT_TRUE(StartsWith("license", ""));
+  EXPECT_FALSE(StartsWith("lic", "license"));
+  EXPECT_FALSE(StartsWith("license", "Lic"));
+}
+
+TEST(AffixTest, EndsWith) {
+  EXPECT_TRUE(EndsWith("report.txt", ".txt"));
+  EXPECT_TRUE(EndsWith("x", ""));
+  EXPECT_FALSE(EndsWith(".txt", "report.txt"));
+}
+
+TEST(AsciiToLowerTest, Basics) {
+  EXPECT_EQ(AsciiToLower("PlAy"), "play");
+  EXPECT_EQ(AsciiToLower("ABC-123"), "abc-123");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,147 @@
+#include "validation/tree_serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+std::string TempPath(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "geolic_" + info->test_suite_name() + "_" +
+         info->name() + suffix;
+}
+
+ValidationTree SampleTree() {
+  ValidationTree tree;
+  GEOLIC_CHECK(tree.Insert(0b00011, 840).ok());
+  GEOLIC_CHECK(tree.Insert(0b00010, 400).ok());
+  GEOLIC_CHECK(tree.Insert(0b01011, 30).ok());
+  GEOLIC_CHECK(tree.Insert(0b10100, 800).ok());
+  GEOLIC_CHECK(tree.Insert(0b10000, 20).ok());
+  return tree;
+}
+
+TEST(TreeSerializationTest, RoundTripsSampleTree) {
+  const ValidationTree original = SampleTree();
+  const std::string path = TempPath(".tree");
+  ASSERT_TRUE(SaveTree(original, path).ok());
+  const Result<ValidationTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ToString(), original.ToString());
+  EXPECT_EQ(loaded->NodeCount(), original.NodeCount());
+  EXPECT_EQ(loaded->TotalCount(), original.TotalCount());
+  EXPECT_TRUE(loaded->CheckInvariants().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TreeSerializationTest, RoundTripsEmptyTree) {
+  const std::string path = TempPath(".tree");
+  ASSERT_TRUE(SaveTree(ValidationTree(), path).ok());
+  const Result<ValidationTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NodeCount(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TreeSerializationTest, StreamVariants) {
+  const ValidationTree original = SampleTree();
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTree(original, &buffer).ok());
+  const Result<ValidationTree> loaded = DeserializeTree(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ToString(), original.ToString());
+}
+
+TEST(TreeSerializationTest, RejectsWrongMagic) {
+  std::stringstream buffer;
+  buffer << "GARBAGE_GARBAGE_GARBAGE";
+  EXPECT_EQ(DeserializeTree(&buffer).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(TreeSerializationTest, RejectsTruncation) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTree(SampleTree(), &buffer).ok());
+  const std::string bytes = buffer.str();
+  // Cut the payload at every prefix length; none may crash and all but the
+  // full length must fail cleanly.
+  for (size_t cut = 0; cut + 1 < bytes.size(); cut += 7) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(DeserializeTree(&truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(TreeSerializationTest, RejectsCorruptedStructure) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTree(SampleTree(), &buffer).ok());
+  std::string bytes = buffer.str();
+  // Flip the root's first child index (right after the root triple) to a
+  // large value, breaking the child-ordering invariant downstream.
+  const size_t root_child_index_offset =
+      sizeof(char) * 8 + sizeof(uint64_t) +  // magic + node count
+      sizeof(int32_t) + sizeof(int64_t) + sizeof(uint32_t);  // root triple
+  bytes[root_child_index_offset] = 60;  // L1 node index 0 → 60.
+  std::stringstream corrupted(bytes);
+  const Result<ValidationTree> loaded = DeserializeTree(&corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(TreeSerializationTest, MissingFileFails) {
+  EXPECT_EQ(LoadTree("/nonexistent/geolic.tree").status().code(),
+            StatusCode::kIoError);
+}
+
+// Property: random trees survive the round trip with identical set counts.
+TEST(TreeSerializationPropertyTest, RandomTreesRoundTrip) {
+  Rng rng(60606);
+  for (int trial = 0; trial < 20; ++trial) {
+    ValidationTree tree;
+    const int records = static_cast<int>(rng.UniformInt(1, 300));
+    for (int r = 0; r < records; ++r) {
+      const LicenseMask set =
+          (static_cast<LicenseMask>(rng.Next()) & FullMask(20)) | 1u;
+      ASSERT_TRUE(tree.Insert(set, rng.UniformInt(1, 100)).ok());
+    }
+    std::stringstream buffer;
+    ASSERT_TRUE(SerializeTree(tree, &buffer).ok());
+    const Result<ValidationTree> loaded = DeserializeTree(&buffer);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_TRUE(loaded->CheckInvariants().ok());
+    // Compare the full set→count maps.
+    std::unordered_map<LicenseMask, int64_t> expected;
+    tree.ForEachSet([&expected](LicenseMask set, int64_t count) {
+      expected[set] = count;
+    });
+    size_t seen = 0;
+    loaded->ForEachSet([&](LicenseMask set, int64_t count) {
+      ++seen;
+      auto it = expected.find(set);
+      ASSERT_NE(it, expected.end());
+      EXPECT_EQ(it->second, count);
+    });
+    EXPECT_EQ(seen, expected.size());
+  }
+}
+
+TEST(ValidationTreeTest, ForEachSetListsExactlyMergedCounts) {
+  const ValidationTree tree = SampleTree();
+  std::unordered_map<LicenseMask, int64_t> sets;
+  tree.ForEachSet([&sets](LicenseMask set, int64_t count) {
+    sets[set] = count;
+  });
+  EXPECT_EQ(sets.size(), 5u);
+  EXPECT_EQ(sets.at(0b00011), 840);
+  EXPECT_EQ(sets.at(0b10000), 20);
+  // Prefix nodes with zero count (e.g. {L1}) are not reported.
+  EXPECT_EQ(sets.find(0b00001), sets.end());
+}
+
+}  // namespace
+}  // namespace geolic

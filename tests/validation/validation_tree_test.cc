@@ -1,0 +1,197 @@
+#include "validation/validation_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "validation/exhaustive_validator.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+// The paper's Table 2 log (0-based masks).
+LogStore PaperLog() {
+  LogStore store;
+  struct Row {
+    const char* id;
+    LicenseMask set;
+    int64_t count;
+  };
+  constexpr Row kRows[] = {
+      {"LU1", 0b00011, 800}, {"LU2", 0b00010, 400}, {"LU3", 0b00011, 40},
+      {"LU4", 0b01011, 30},  {"LU5", 0b10100, 800}, {"LU6", 0b10000, 20},
+  };
+  for (const Row& row : kRows) {
+    LogRecord record;
+    record.issued_license_id = row.id;
+    record.set = row.set;
+    record.count = row.count;
+    GEOLIC_CHECK(store.Append(std::move(record)).ok());
+  }
+  return store;
+}
+
+TEST(ValidationTreeTest, EmptyTree) {
+  ValidationTree tree;
+  EXPECT_EQ(tree.NodeCount(), 0u);
+  EXPECT_EQ(tree.TotalCount(), 0);
+  EXPECT_EQ(tree.SumSubsets(FullMask(10)), 0);
+  EXPECT_EQ(tree.PresentLicenses(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(ValidationTreeTest, InsertRejectsEmptySetAndBadCount) {
+  ValidationTree tree;
+  EXPECT_FALSE(tree.Insert(0, 10).ok());
+  EXPECT_FALSE(tree.Insert(0b1, 0).ok());
+  EXPECT_FALSE(tree.Insert(0b1, -3).ok());
+}
+
+TEST(ValidationTreeTest, InsertAccumulatesCounts) {
+  ValidationTree tree;
+  ASSERT_TRUE(tree.Insert(0b11, 800).ok());
+  ASSERT_TRUE(tree.Insert(0b11, 40).ok());
+  EXPECT_EQ(tree.CountOf(0b11), 840);
+  EXPECT_EQ(tree.CountOf(0b01), 0);   // Prefix node exists, count 0.
+  EXPECT_EQ(tree.CountOf(0b10), 0);   // Absent set.
+  EXPECT_EQ(tree.NodeCount(), 2u);    // L1 → L2 chain, no duplicates.
+}
+
+TEST(ValidationTreeTest, BuildsPaperFigure1Tree) {
+  const Result<ValidationTree> tree = ValidationTree::BuildFromLog(PaperLog());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  // Figure 1: counts 840 ({L1,L2}), 400 ({L2}), 30 ({L1,L2,L4}),
+  // 800 ({L3,L5}), 20 ({L5}).
+  EXPECT_EQ(tree->CountOf(0b00011), 840);
+  EXPECT_EQ(tree->CountOf(0b00010), 400);
+  EXPECT_EQ(tree->CountOf(0b01011), 30);
+  EXPECT_EQ(tree->CountOf(0b10100), 800);
+  EXPECT_EQ(tree->CountOf(0b10000), 20);
+  // Prefix nodes carry zero counts.
+  EXPECT_EQ(tree->CountOf(0b00001), 0);
+  EXPECT_EQ(tree->CountOf(0b00100), 0);
+
+  // Tree shape: root children L1, L2, L3, L5; L1→L2→L4 chain; L3→L5.
+  // Total nodes: L1, L1.L2, L1.L2.L4, L2, L3, L3.L5, L5 = 7.
+  EXPECT_EQ(tree->NodeCount(), 7u);
+  EXPECT_EQ(tree->TotalCount(), 2090);
+  EXPECT_EQ(tree->PresentLicenses(), 0b11111u);
+}
+
+TEST(ValidationTreeTest, ToStringRendersFigure1) {
+  const Result<ValidationTree> tree = ValidationTree::BuildFromLog(PaperLog());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->ToString(),
+            "L1:0\n"
+            "  L2:840\n"
+            "    L4:30\n"
+            "L2:400\n"
+            "L3:0\n"
+            "  L5:800\n"
+            "L5:20\n");
+}
+
+TEST(ValidationTreeTest, SumSubsetsMatchesPaperEquationExamples) {
+  const Result<ValidationTree> tree = ValidationTree::BuildFromLog(PaperLog());
+  ASSERT_TRUE(tree.ok());
+  // C⟨{L1,L2}⟩ = C[{L1}] + C[{L2}] + C[{L1,L2}] = 0 + 400 + 840 = 1240.
+  EXPECT_EQ(tree->SumSubsets(0b00011), 1240);
+  // C⟨{L2}⟩ = 400.
+  EXPECT_EQ(tree->SumSubsets(0b00010), 400);
+  // C⟨{L1,L2,L4}⟩ adds the 30.
+  EXPECT_EQ(tree->SumSubsets(0b01011), 1270);
+  // C⟨{L3,L5}⟩ = 800 + 20.
+  EXPECT_EQ(tree->SumSubsets(0b10100), 820);
+  // Full set.
+  EXPECT_EQ(tree->SumSubsets(0b11111), 2090);
+  // A set missing L2 sees nothing from the {L1,L2} branch.
+  EXPECT_EQ(tree->SumSubsets(0b00001), 0);
+  EXPECT_EQ(tree->SumSubsets(0b01001), 0);
+}
+
+TEST(ValidationTreeTest, SumSubsetsReportsNodesVisited) {
+  const Result<ValidationTree> tree = ValidationTree::BuildFromLog(PaperLog());
+  ASSERT_TRUE(tree.ok());
+  uint64_t visited = 0;
+  tree->SumSubsets(0b00011, &visited);
+  // Visits L1, L1.L2, L2 (not L4, L3, L5 branches).
+  EXPECT_EQ(visited, 3u);
+  visited = 0;
+  tree->SumSubsets(0b11111, &visited);
+  EXPECT_EQ(visited, tree->NodeCount());
+}
+
+TEST(ValidationTreeTest, ChildrenStayOrderedRegardlessOfInsertOrder) {
+  ValidationTree tree;
+  ASSERT_TRUE(tree.Insert(SingletonMask(5), 1).ok());
+  ASSERT_TRUE(tree.Insert(SingletonMask(1), 1).ok());
+  ASSERT_TRUE(tree.Insert(SingletonMask(3), 1).ok());
+  ASSERT_TRUE(tree.Insert(SingletonMask(0), 1).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  const ValidationTreeNode& root = tree.root();
+  ASSERT_EQ(root.children.size(), 4u);
+  EXPECT_EQ(root.children[0]->index, 0);
+  EXPECT_EQ(root.children[1]->index, 1);
+  EXPECT_EQ(root.children[2]->index, 3);
+  EXPECT_EQ(root.children[3]->index, 5);
+}
+
+TEST(ValidationTreeTest, HighIndexLicenses) {
+  ValidationTree tree;
+  ASSERT_TRUE(tree.Insert(SingletonMask(63), 7).ok());
+  ASSERT_TRUE(tree.Insert(SingletonMask(63) | SingletonMask(0), 5).ok());
+  EXPECT_EQ(tree.CountOf(SingletonMask(63)), 7);
+  EXPECT_EQ(tree.SumSubsets(~LicenseMask{0}), 12);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(ValidationTreeTest, MemoryBytesGrowsWithNodes) {
+  ValidationTree small;
+  ASSERT_TRUE(small.Insert(0b1, 1).ok());
+  ValidationTree large;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(large.Insert(FullMask(i % 10 + 1), 1).ok());
+  }
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+// Property: for random logs, SumSubsets(S) computed by tree traversal
+// equals the brute-force sum over merged counts, for many random S.
+class TreeSumPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeSumPropertyTest, TraversalMatchesBruteForce) {
+  const int n = GetParam();
+  Rng rng(9000 + static_cast<uint64_t>(n));
+  LogStore store;
+  for (int r = 0; r < 500; ++r) {
+    LogRecord record;
+    record.set =
+        (static_cast<LicenseMask>(rng.Next()) & FullMask(n)) | SingletonMask(
+            static_cast<int>(rng.UniformInt(0, n - 1)));
+    record.count = rng.UniformInt(1, 50);
+    ASSERT_TRUE(store.Append(std::move(record)).ok());
+  }
+  const Result<ValidationTree> tree = ValidationTree::BuildFromLog(store);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(tree->TotalCount(), store.TotalCount());
+
+  const auto merged = store.MergedCounts();
+  for (int trial = 0; trial < 300; ++trial) {
+    const LicenseMask set =
+        static_cast<LicenseMask>(rng.Next()) & FullMask(n);
+    EXPECT_EQ(tree->SumSubsets(set), LhsFromMergedCounts(merged, set))
+        << "set=" << MaskToString(set);
+  }
+  // Every stored set's exact count matches.
+  for (const auto& [set, count] : merged) {
+    EXPECT_EQ(tree->CountOf(set), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LicenseCounts, TreeSumPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 20, 40, 64));
+
+}  // namespace
+}  // namespace geolic

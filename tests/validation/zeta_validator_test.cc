@@ -1,0 +1,116 @@
+#include "validation/zeta_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "validation/exhaustive_validator.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+TEST(ZetaValidatorTest, EmptyInputsAreValid) {
+  ValidationTree tree;
+  const Result<ValidationReport> report = ValidateZeta(tree, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_valid());
+  EXPECT_EQ(report->equations_evaluated, 0u);
+}
+
+TEST(ZetaValidatorTest, MatchesHandComputedExample) {
+  ValidationTree tree;
+  ASSERT_TRUE(tree.Insert(0b01, 8).ok());
+  ASSERT_TRUE(tree.Insert(0b10, 7).ok());
+  ASSERT_TRUE(tree.Insert(0b11, 6).ok());
+  const Result<ValidationReport> report = ValidateZeta(tree, {10, 10});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->equations_evaluated, 3u);
+  ASSERT_EQ(report->violations.size(), 1u);
+  EXPECT_EQ(report->violations[0].set, 0b11u);
+  EXPECT_EQ(report->violations[0].lhs, 21);
+  EXPECT_EQ(report->violations[0].rhs, 20);
+}
+
+TEST(ZetaValidatorTest, RespectsDenseCap) {
+  ValidationTree tree;
+  const Result<ValidationReport> report =
+      ValidateZeta(tree, std::vector<int64_t>(30, 10), /*max_dense_n=*/26);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(ZetaValidatorTest, RejectsTreeBeyondAggregates) {
+  ValidationTree tree;
+  ASSERT_TRUE(tree.Insert(SingletonMask(5), 1).ok());
+  EXPECT_FALSE(ValidateZeta(tree, {10, 10}).ok());
+}
+
+// Property: zeta validator reproduces the exhaustive validator exactly —
+// same equation count, same violations in the same order — on paper-style
+// workloads.
+class ZetaEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZetaEquivalenceTest, MatchesExhaustive) {
+  const int n = GetParam();
+  for (uint64_t seed : {11u, 22u}) {
+    WorkloadConfig config = PaperSweepConfig(n, seed);
+    config.num_records = 500;
+    config.aggregate_min = 50;
+    config.aggregate_max = 500;  // Tight → violations happen.
+    Result<Workload> workload = WorkloadGenerator(config).Generate();
+    ASSERT_TRUE(workload.ok());
+    const Result<ValidationTree> tree =
+        ValidationTree::BuildFromLog(workload->log);
+    ASSERT_TRUE(tree.ok());
+    const std::vector<int64_t> aggregates =
+        workload->licenses->AggregateCounts();
+
+    const Result<ValidationReport> exhaustive =
+        ValidateExhaustive(*tree, aggregates);
+    const Result<ValidationReport> zeta = ValidateZeta(*tree, aggregates);
+    ASSERT_TRUE(exhaustive.ok());
+    ASSERT_TRUE(zeta.ok());
+    EXPECT_EQ(zeta->equations_evaluated, exhaustive->equations_evaluated);
+    ASSERT_EQ(zeta->violations.size(), exhaustive->violations.size());
+    for (size_t i = 0; i < zeta->violations.size(); ++i) {
+      EXPECT_EQ(zeta->violations[i].set, exhaustive->violations[i].set);
+      EXPECT_EQ(zeta->violations[i].lhs, exhaustive->violations[i].lhs);
+      EXPECT_EQ(zeta->violations[i].rhs, exhaustive->violations[i].rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LicenseCounts, ZetaEquivalenceTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+// Property: on random dense logs too (not just geometry-consistent ones).
+TEST(ZetaValidatorPropertyTest, MatchesExhaustiveOnRandomLogs) {
+  Rng rng(808);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 14));
+    ValidationTree tree;
+    for (int r = 0; r < 200; ++r) {
+      const LicenseMask set =
+          (static_cast<LicenseMask>(rng.Next()) & FullMask(n)) |
+          SingletonMask(static_cast<int>(rng.UniformInt(0, n - 1)));
+      ASSERT_TRUE(tree.Insert(set, rng.UniformInt(1, 40)).ok());
+    }
+    std::vector<int64_t> aggregates;
+    for (int j = 0; j < n; ++j) {
+      aggregates.push_back(rng.UniformInt(100, 2000));
+    }
+    const Result<ValidationReport> exhaustive =
+        ValidateExhaustive(tree, aggregates);
+    const Result<ValidationReport> zeta = ValidateZeta(tree, aggregates);
+    ASSERT_TRUE(exhaustive.ok());
+    ASSERT_TRUE(zeta.ok());
+    ASSERT_EQ(zeta->violations.size(), exhaustive->violations.size());
+    for (size_t i = 0; i < zeta->violations.size(); ++i) {
+      EXPECT_EQ(zeta->violations[i].set, exhaustive->violations[i].set);
+      EXPECT_EQ(zeta->violations[i].lhs, exhaustive->violations[i].lhs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geolic

@@ -1,0 +1,120 @@
+#include "workload/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+
+TEST(SampleSummaryTest, AccumulatesMinMeanMax) {
+  SampleSummary summary;
+  EXPECT_EQ(summary.samples, 0u);
+  summary.Add(10);
+  summary.Add(20);
+  summary.Add(30);
+  EXPECT_EQ(summary.min, 10);
+  EXPECT_EQ(summary.max, 30);
+  EXPECT_DOUBLE_EQ(summary.mean, 20.0);
+  EXPECT_EQ(summary.samples, 3u);
+}
+
+TEST(SampleSummaryTest, SingleSample) {
+  SampleSummary summary;
+  summary.Add(-7);
+  EXPECT_EQ(summary.min, -7);
+  EXPECT_EQ(summary.max, -7);
+  EXPECT_DOUBLE_EQ(summary.mean, -7.0);
+  EXPECT_NE(summary.ToString().find("n=1"), std::string::npos);
+}
+
+TEST(LogStatsTest, ComputesHistogramAndDistincts) {
+  LogStore log;
+  ASSERT_TRUE(log.Append(LogRecord{"a", 0b001, 10}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"b", 0b011, 20}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"c", 0b011, 30}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"d", 0b111, 40}).ok());
+  const LogStats stats = LogStats::Compute(log);
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.distinct_sets, 3u);
+  EXPECT_EQ(stats.set_size.min, 1);
+  EXPECT_EQ(stats.set_size.max, 3);
+  EXPECT_EQ(stats.count.min, 10);
+  EXPECT_EQ(stats.count.max, 40);
+  ASSERT_EQ(stats.set_size_histogram.size(), 4u);
+  EXPECT_EQ(stats.set_size_histogram[1], 1u);
+  EXPECT_EQ(stats.set_size_histogram[2], 2u);
+  EXPECT_EQ(stats.set_size_histogram[3], 1u);
+  EXPECT_NE(stats.ToString().find("4 records"), std::string::npos);
+}
+
+TEST(LogStatsTest, EmptyLog) {
+  const LogStats stats = LogStats::Compute(LogStore());
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(stats.distinct_sets, 0u);
+  EXPECT_EQ(stats.set_size.samples, 0u);
+}
+
+TEST(LicensePortfolioStatsTest, PaperExampleNumbers) {
+  const ConstraintSchema schema = IntervalSchema(2);
+  LicenseSet set(&schema);
+  // The figure-2 shape: (L1,L2,L4) and (L3,L5).
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "L1", {{0, 20}, {0, 20}},
+                                         2000))
+                  .ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "L2", {{10, 30}, {5, 25}},
+                                         1000))
+                  .ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "L3",
+                                         {{100, 130}, {0, 20}}, 3000))
+                  .ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "L4", {{15, 40}, {10, 35}},
+                                         4000))
+                  .ok());
+  ASSERT_TRUE(set.Add(MakeRedistribution(schema, "L5",
+                                         {{120, 150}, {10, 30}}, 2000))
+                  .ok());
+  const LicensePortfolioStats stats = LicensePortfolioStats::Compute(set);
+  EXPECT_EQ(stats.licenses, 5);
+  EXPECT_EQ(stats.groups, 2);
+  EXPECT_EQ(stats.group_sizes, (std::vector<int>{3, 2}));
+  EXPECT_EQ(stats.exhaustive_equations, 31u);
+  EXPECT_EQ(stats.grouped_equations, 10u);
+  EXPECT_NEAR(stats.theoretical_gain, 3.1, 1e-9);
+  EXPECT_EQ(stats.overlap_edges, 4);  // L1-L2, L1-L4, L2-L4, L3-L5.
+  EXPECT_NE(stats.ToString().find("5 licenses"), std::string::npos);
+}
+
+TEST(LicensePortfolioStatsTest, EmptyPortfolio) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseSet set(&schema);
+  const LicensePortfolioStats stats = LicensePortfolioStats::Compute(set);
+  EXPECT_EQ(stats.licenses, 0);
+  EXPECT_EQ(stats.groups, 0);
+  EXPECT_EQ(stats.exhaustive_equations, 0u);
+}
+
+TEST(LicensePortfolioStatsTest, GeneratedWorkloadConsistency) {
+  WorkloadConfig config = PaperSweepConfig(20, 808);
+  config.num_records = 0;
+  const Result<Workload> workload =
+      WorkloadGenerator(config).GenerateLicensesOnly();
+  ASSERT_TRUE(workload.ok());
+  const LicensePortfolioStats stats =
+      LicensePortfolioStats::Compute(*workload->licenses);
+  EXPECT_EQ(stats.licenses, 20);
+  int total = 0;
+  for (int size : stats.group_sizes) {
+    total += size;
+  }
+  EXPECT_EQ(total, 20);
+  EXPECT_GE(stats.theoretical_gain, 1.0);
+  EXPECT_LE(stats.grouped_equations, stats.exhaustive_equations);
+}
+
+}  // namespace
+}  // namespace geolic
