@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_components.dir/ablation_components.cc.o"
+  "CMakeFiles/ablation_components.dir/ablation_components.cc.o.d"
+  "ablation_components"
+  "ablation_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_grouping.dir/ablation_dynamic_grouping.cc.o"
+  "CMakeFiles/ablation_dynamic_grouping.dir/ablation_dynamic_grouping.cc.o.d"
+  "ablation_dynamic_grouping"
+  "ablation_dynamic_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frequency_order.dir/ablation_frequency_order.cc.o"
+  "CMakeFiles/ablation_frequency_order.dir/ablation_frequency_order.cc.o.d"
+  "ablation_frequency_order"
+  "ablation_frequency_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frequency_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

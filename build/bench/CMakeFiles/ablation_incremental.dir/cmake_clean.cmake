@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incremental.dir/ablation_incremental.cc.o"
+  "CMakeFiles/ablation_incremental.dir/ablation_incremental.cc.o.d"
+  "ablation_incremental"
+  "ablation_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_instance_lookup.dir/ablation_instance_lookup.cc.o"
+  "CMakeFiles/ablation_instance_lookup.dir/ablation_instance_lookup.cc.o.d"
+  "ablation_instance_lookup"
+  "ablation_instance_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_instance_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_online.dir/ablation_online.cc.o"
+  "CMakeFiles/ablation_online.dir/ablation_online.cc.o.d"
+  "ablation_online"
+  "ablation_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

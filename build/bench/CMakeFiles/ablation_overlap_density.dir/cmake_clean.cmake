@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overlap_density.dir/ablation_overlap_density.cc.o"
+  "CMakeFiles/ablation_overlap_density.dir/ablation_overlap_density.cc.o.d"
+  "ablation_overlap_density"
+  "ablation_overlap_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlap_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_micro.dir/ablation_tree_micro.cc.o"
+  "CMakeFiles/ablation_tree_micro.dir/ablation_tree_micro.cc.o.d"
+  "ablation_tree_micro"
+  "ablation_tree_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zeta.dir/ablation_zeta.cc.o"
+  "CMakeFiles/ablation_zeta.dir/ablation_zeta.cc.o.d"
+  "ablation_zeta"
+  "ablation_zeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_storage.dir/fig10_storage.cc.o"
+  "CMakeFiles/fig10_storage.dir/fig10_storage.cc.o.d"
+  "fig10_storage"
+  "fig10_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

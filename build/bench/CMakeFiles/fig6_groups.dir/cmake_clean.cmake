@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_groups.dir/fig6_groups.cc.o"
+  "CMakeFiles/fig6_groups.dir/fig6_groups.cc.o.d"
+  "fig6_groups"
+  "fig6_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_validation_time.dir/fig7_validation_time.cc.o"
+  "CMakeFiles/fig7_validation_time.dir/fig7_validation_time.cc.o.d"
+  "fig7_validation_time"
+  "fig7_validation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_validation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

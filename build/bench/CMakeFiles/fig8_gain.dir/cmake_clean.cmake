@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gain.dir/fig8_gain.cc.o"
+  "CMakeFiles/fig8_gain.dir/fig8_gain.cc.o.d"
+  "fig8_gain"
+  "fig8_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_insertion.dir/fig9_insertion.cc.o"
+  "CMakeFiles/fig9_insertion.dir/fig9_insertion.cc.o.d"
+  "fig9_insertion"
+  "fig9_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drm_simulator.dir/drm_simulator.cpp.o"
+  "CMakeFiles/drm_simulator.dir/drm_simulator.cpp.o.d"
+  "drm_simulator"
+  "drm_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drm_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/license_audit.dir/license_audit.cpp.o"
+  "CMakeFiles/license_audit.dir/license_audit.cpp.o.d"
+  "license_audit"
+  "license_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/license_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

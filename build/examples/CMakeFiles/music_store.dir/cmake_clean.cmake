@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_store.dir/music_store.cpp.o"
+  "CMakeFiles/music_store.dir/music_store.cpp.o.d"
+  "music_store"
+  "music_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

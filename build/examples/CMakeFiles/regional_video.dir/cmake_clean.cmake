@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_video.dir/regional_video.cpp.o"
+  "CMakeFiles/regional_video.dir/regional_video.cpp.o.d"
+  "regional_video"
+  "regional_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

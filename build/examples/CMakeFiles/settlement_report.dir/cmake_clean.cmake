@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settlement_report.dir/settlement_report.cpp.o"
+  "CMakeFiles/settlement_report.dir/settlement_report.cpp.o.d"
+  "settlement_report"
+  "settlement_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settlement_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

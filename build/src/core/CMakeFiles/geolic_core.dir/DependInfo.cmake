@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cc" "src/core/CMakeFiles/geolic_core.dir/assignment.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/assignment.cc.o.d"
+  "/root/repo/src/core/capacity.cc" "src/core/CMakeFiles/geolic_core.dir/capacity.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/capacity.cc.o.d"
+  "/root/repo/src/core/dynamic_grouping.cc" "src/core/CMakeFiles/geolic_core.dir/dynamic_grouping.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/dynamic_grouping.cc.o.d"
+  "/root/repo/src/core/gain.cc" "src/core/CMakeFiles/geolic_core.dir/gain.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/gain.cc.o.d"
+  "/root/repo/src/core/greedy_validator.cc" "src/core/CMakeFiles/geolic_core.dir/greedy_validator.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/greedy_validator.cc.o.d"
+  "/root/repo/src/core/grouped_validator.cc" "src/core/CMakeFiles/geolic_core.dir/grouped_validator.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/grouped_validator.cc.o.d"
+  "/root/repo/src/core/grouping.cc" "src/core/CMakeFiles/geolic_core.dir/grouping.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/grouping.cc.o.d"
+  "/root/repo/src/core/incremental_auditor.cc" "src/core/CMakeFiles/geolic_core.dir/incremental_auditor.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/incremental_auditor.cc.o.d"
+  "/root/repo/src/core/instance_validator.cc" "src/core/CMakeFiles/geolic_core.dir/instance_validator.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/instance_validator.cc.o.d"
+  "/root/repo/src/core/online_validator.cc" "src/core/CMakeFiles/geolic_core.dir/online_validator.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/online_validator.cc.o.d"
+  "/root/repo/src/core/overlap_graph.cc" "src/core/CMakeFiles/geolic_core.dir/overlap_graph.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/overlap_graph.cc.o.d"
+  "/root/repo/src/core/parallel_validator.cc" "src/core/CMakeFiles/geolic_core.dir/parallel_validator.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/parallel_validator.cc.o.d"
+  "/root/repo/src/core/tree_division.cc" "src/core/CMakeFiles/geolic_core.dir/tree_division.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/tree_division.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/geolic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/geolic_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/licensing/CMakeFiles/geolic_licensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/geolic_validation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_core.dir/assignment.cc.o"
+  "CMakeFiles/geolic_core.dir/assignment.cc.o.d"
+  "CMakeFiles/geolic_core.dir/capacity.cc.o"
+  "CMakeFiles/geolic_core.dir/capacity.cc.o.d"
+  "CMakeFiles/geolic_core.dir/dynamic_grouping.cc.o"
+  "CMakeFiles/geolic_core.dir/dynamic_grouping.cc.o.d"
+  "CMakeFiles/geolic_core.dir/gain.cc.o"
+  "CMakeFiles/geolic_core.dir/gain.cc.o.d"
+  "CMakeFiles/geolic_core.dir/greedy_validator.cc.o"
+  "CMakeFiles/geolic_core.dir/greedy_validator.cc.o.d"
+  "CMakeFiles/geolic_core.dir/grouped_validator.cc.o"
+  "CMakeFiles/geolic_core.dir/grouped_validator.cc.o.d"
+  "CMakeFiles/geolic_core.dir/grouping.cc.o"
+  "CMakeFiles/geolic_core.dir/grouping.cc.o.d"
+  "CMakeFiles/geolic_core.dir/incremental_auditor.cc.o"
+  "CMakeFiles/geolic_core.dir/incremental_auditor.cc.o.d"
+  "CMakeFiles/geolic_core.dir/instance_validator.cc.o"
+  "CMakeFiles/geolic_core.dir/instance_validator.cc.o.d"
+  "CMakeFiles/geolic_core.dir/online_validator.cc.o"
+  "CMakeFiles/geolic_core.dir/online_validator.cc.o.d"
+  "CMakeFiles/geolic_core.dir/overlap_graph.cc.o"
+  "CMakeFiles/geolic_core.dir/overlap_graph.cc.o.d"
+  "CMakeFiles/geolic_core.dir/parallel_validator.cc.o"
+  "CMakeFiles/geolic_core.dir/parallel_validator.cc.o.d"
+  "CMakeFiles/geolic_core.dir/tree_division.cc.o"
+  "CMakeFiles/geolic_core.dir/tree_division.cc.o.d"
+  "libgeolic_core.a"
+  "libgeolic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_drm.dir/distribution_network.cc.o"
+  "CMakeFiles/geolic_drm.dir/distribution_network.cc.o.d"
+  "CMakeFiles/geolic_drm.dir/validation_authority.cc.o"
+  "CMakeFiles/geolic_drm.dir/validation_authority.cc.o.d"
+  "libgeolic_drm.a"
+  "libgeolic_drm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_drm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

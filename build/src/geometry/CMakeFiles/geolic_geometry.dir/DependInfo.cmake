@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/category_set.cc" "src/geometry/CMakeFiles/geolic_geometry.dir/category_set.cc.o" "gcc" "src/geometry/CMakeFiles/geolic_geometry.dir/category_set.cc.o.d"
+  "/root/repo/src/geometry/constraint_range.cc" "src/geometry/CMakeFiles/geolic_geometry.dir/constraint_range.cc.o" "gcc" "src/geometry/CMakeFiles/geolic_geometry.dir/constraint_range.cc.o.d"
+  "/root/repo/src/geometry/hyper_rect.cc" "src/geometry/CMakeFiles/geolic_geometry.dir/hyper_rect.cc.o" "gcc" "src/geometry/CMakeFiles/geolic_geometry.dir/hyper_rect.cc.o.d"
+  "/root/repo/src/geometry/interval.cc" "src/geometry/CMakeFiles/geolic_geometry.dir/interval.cc.o" "gcc" "src/geometry/CMakeFiles/geolic_geometry.dir/interval.cc.o.d"
+  "/root/repo/src/geometry/multi_interval.cc" "src/geometry/CMakeFiles/geolic_geometry.dir/multi_interval.cc.o" "gcc" "src/geometry/CMakeFiles/geolic_geometry.dir/multi_interval.cc.o.d"
+  "/root/repo/src/geometry/rtree.cc" "src/geometry/CMakeFiles/geolic_geometry.dir/rtree.cc.o" "gcc" "src/geometry/CMakeFiles/geolic_geometry.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_geometry.dir/category_set.cc.o"
+  "CMakeFiles/geolic_geometry.dir/category_set.cc.o.d"
+  "CMakeFiles/geolic_geometry.dir/constraint_range.cc.o"
+  "CMakeFiles/geolic_geometry.dir/constraint_range.cc.o.d"
+  "CMakeFiles/geolic_geometry.dir/hyper_rect.cc.o"
+  "CMakeFiles/geolic_geometry.dir/hyper_rect.cc.o.d"
+  "CMakeFiles/geolic_geometry.dir/interval.cc.o"
+  "CMakeFiles/geolic_geometry.dir/interval.cc.o.d"
+  "CMakeFiles/geolic_geometry.dir/multi_interval.cc.o"
+  "CMakeFiles/geolic_geometry.dir/multi_interval.cc.o.d"
+  "CMakeFiles/geolic_geometry.dir/rtree.cc.o"
+  "CMakeFiles/geolic_geometry.dir/rtree.cc.o.d"
+  "libgeolic_geometry.a"
+  "libgeolic_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency_matrix.cc" "src/graph/CMakeFiles/geolic_graph.dir/adjacency_matrix.cc.o" "gcc" "src/graph/CMakeFiles/geolic_graph.dir/adjacency_matrix.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "src/graph/CMakeFiles/geolic_graph.dir/connected_components.cc.o" "gcc" "src/graph/CMakeFiles/geolic_graph.dir/connected_components.cc.o.d"
+  "/root/repo/src/graph/max_flow.cc" "src/graph/CMakeFiles/geolic_graph.dir/max_flow.cc.o" "gcc" "src/graph/CMakeFiles/geolic_graph.dir/max_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_graph.dir/adjacency_matrix.cc.o"
+  "CMakeFiles/geolic_graph.dir/adjacency_matrix.cc.o.d"
+  "CMakeFiles/geolic_graph.dir/connected_components.cc.o"
+  "CMakeFiles/geolic_graph.dir/connected_components.cc.o.d"
+  "CMakeFiles/geolic_graph.dir/max_flow.cc.o"
+  "CMakeFiles/geolic_graph.dir/max_flow.cc.o.d"
+  "libgeolic_graph.a"
+  "libgeolic_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/licensing/constraint_schema.cc" "src/licensing/CMakeFiles/geolic_licensing.dir/constraint_schema.cc.o" "gcc" "src/licensing/CMakeFiles/geolic_licensing.dir/constraint_schema.cc.o.d"
+  "/root/repo/src/licensing/license.cc" "src/licensing/CMakeFiles/geolic_licensing.dir/license.cc.o" "gcc" "src/licensing/CMakeFiles/geolic_licensing.dir/license.cc.o.d"
+  "/root/repo/src/licensing/license_parser.cc" "src/licensing/CMakeFiles/geolic_licensing.dir/license_parser.cc.o" "gcc" "src/licensing/CMakeFiles/geolic_licensing.dir/license_parser.cc.o.d"
+  "/root/repo/src/licensing/license_serialization.cc" "src/licensing/CMakeFiles/geolic_licensing.dir/license_serialization.cc.o" "gcc" "src/licensing/CMakeFiles/geolic_licensing.dir/license_serialization.cc.o.d"
+  "/root/repo/src/licensing/license_set.cc" "src/licensing/CMakeFiles/geolic_licensing.dir/license_set.cc.o" "gcc" "src/licensing/CMakeFiles/geolic_licensing.dir/license_set.cc.o.d"
+  "/root/repo/src/licensing/permission.cc" "src/licensing/CMakeFiles/geolic_licensing.dir/permission.cc.o" "gcc" "src/licensing/CMakeFiles/geolic_licensing.dir/permission.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/geolic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_licensing.dir/constraint_schema.cc.o"
+  "CMakeFiles/geolic_licensing.dir/constraint_schema.cc.o.d"
+  "CMakeFiles/geolic_licensing.dir/license.cc.o"
+  "CMakeFiles/geolic_licensing.dir/license.cc.o.d"
+  "CMakeFiles/geolic_licensing.dir/license_parser.cc.o"
+  "CMakeFiles/geolic_licensing.dir/license_parser.cc.o.d"
+  "CMakeFiles/geolic_licensing.dir/license_serialization.cc.o"
+  "CMakeFiles/geolic_licensing.dir/license_serialization.cc.o.d"
+  "CMakeFiles/geolic_licensing.dir/license_set.cc.o"
+  "CMakeFiles/geolic_licensing.dir/license_set.cc.o.d"
+  "CMakeFiles/geolic_licensing.dir/permission.cc.o"
+  "CMakeFiles/geolic_licensing.dir/permission.cc.o.d"
+  "libgeolic_licensing.a"
+  "libgeolic_licensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_licensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

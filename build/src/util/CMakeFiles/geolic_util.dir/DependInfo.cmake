@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bits.cc" "src/util/CMakeFiles/geolic_util.dir/bits.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/bits.cc.o.d"
+  "/root/repo/src/util/date.cc" "src/util/CMakeFiles/geolic_util.dir/date.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/date.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/util/CMakeFiles/geolic_util.dir/json_writer.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/json_writer.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/geolic_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/geolic_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/status.cc.o.d"
+  "/root/repo/src/util/str_util.cc" "src/util/CMakeFiles/geolic_util.dir/str_util.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/str_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/geolic_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_util.dir/bits.cc.o"
+  "CMakeFiles/geolic_util.dir/bits.cc.o.d"
+  "CMakeFiles/geolic_util.dir/date.cc.o"
+  "CMakeFiles/geolic_util.dir/date.cc.o.d"
+  "CMakeFiles/geolic_util.dir/json_writer.cc.o"
+  "CMakeFiles/geolic_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/geolic_util.dir/random.cc.o"
+  "CMakeFiles/geolic_util.dir/random.cc.o.d"
+  "CMakeFiles/geolic_util.dir/status.cc.o"
+  "CMakeFiles/geolic_util.dir/status.cc.o.d"
+  "CMakeFiles/geolic_util.dir/str_util.cc.o"
+  "CMakeFiles/geolic_util.dir/str_util.cc.o.d"
+  "CMakeFiles/geolic_util.dir/thread_pool.cc.o"
+  "CMakeFiles/geolic_util.dir/thread_pool.cc.o.d"
+  "libgeolic_util.a"
+  "libgeolic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/exhaustive_validator.cc" "src/validation/CMakeFiles/geolic_validation.dir/exhaustive_validator.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/exhaustive_validator.cc.o.d"
+  "/root/repo/src/validation/frequency_order.cc" "src/validation/CMakeFiles/geolic_validation.dir/frequency_order.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/frequency_order.cc.o.d"
+  "/root/repo/src/validation/log_store.cc" "src/validation/CMakeFiles/geolic_validation.dir/log_store.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/log_store.cc.o.d"
+  "/root/repo/src/validation/report_json.cc" "src/validation/CMakeFiles/geolic_validation.dir/report_json.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/report_json.cc.o.d"
+  "/root/repo/src/validation/tree_serialization.cc" "src/validation/CMakeFiles/geolic_validation.dir/tree_serialization.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/tree_serialization.cc.o.d"
+  "/root/repo/src/validation/validation_report.cc" "src/validation/CMakeFiles/geolic_validation.dir/validation_report.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/validation_report.cc.o.d"
+  "/root/repo/src/validation/validation_tree.cc" "src/validation/CMakeFiles/geolic_validation.dir/validation_tree.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/validation_tree.cc.o.d"
+  "/root/repo/src/validation/zeta_validator.cc" "src/validation/CMakeFiles/geolic_validation.dir/zeta_validator.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/zeta_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

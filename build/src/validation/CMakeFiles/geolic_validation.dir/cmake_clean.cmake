@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_validation.dir/exhaustive_validator.cc.o"
+  "CMakeFiles/geolic_validation.dir/exhaustive_validator.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/frequency_order.cc.o"
+  "CMakeFiles/geolic_validation.dir/frequency_order.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/log_store.cc.o"
+  "CMakeFiles/geolic_validation.dir/log_store.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/report_json.cc.o"
+  "CMakeFiles/geolic_validation.dir/report_json.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/tree_serialization.cc.o"
+  "CMakeFiles/geolic_validation.dir/tree_serialization.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/validation_report.cc.o"
+  "CMakeFiles/geolic_validation.dir/validation_report.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/validation_tree.cc.o"
+  "CMakeFiles/geolic_validation.dir/validation_tree.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/zeta_validator.cc.o"
+  "CMakeFiles/geolic_validation.dir/zeta_validator.cc.o.d"
+  "libgeolic_validation.a"
+  "libgeolic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_workload.dir/stats.cc.o"
+  "CMakeFiles/geolic_workload.dir/stats.cc.o.d"
+  "CMakeFiles/geolic_workload.dir/workload.cc.o"
+  "CMakeFiles/geolic_workload.dir/workload.cc.o.d"
+  "libgeolic_workload.a"
+  "libgeolic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

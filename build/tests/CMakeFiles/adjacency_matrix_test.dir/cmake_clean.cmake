@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_matrix_test.dir/graph/adjacency_matrix_test.cc.o"
+  "CMakeFiles/adjacency_matrix_test.dir/graph/adjacency_matrix_test.cc.o.d"
+  "adjacency_matrix_test"
+  "adjacency_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

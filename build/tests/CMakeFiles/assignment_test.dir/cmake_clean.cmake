@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_test.dir/core/assignment_test.cc.o"
+  "CMakeFiles/assignment_test.dir/core/assignment_test.cc.o.d"
+  "assignment_test"
+  "assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bits_test.dir/util/bits_test.cc.o"
+  "CMakeFiles/bits_test.dir/util/bits_test.cc.o.d"
+  "bits_test"
+  "bits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

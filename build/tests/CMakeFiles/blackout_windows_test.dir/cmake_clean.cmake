@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackout_windows_test.dir/licensing/blackout_windows_test.cc.o"
+  "CMakeFiles/blackout_windows_test.dir/licensing/blackout_windows_test.cc.o.d"
+  "blackout_windows_test"
+  "blackout_windows_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackout_windows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_set_test.dir/geometry/category_set_test.cc.o"
+  "CMakeFiles/category_set_test.dir/geometry/category_set_test.cc.o.d"
+  "category_set_test"
+  "category_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

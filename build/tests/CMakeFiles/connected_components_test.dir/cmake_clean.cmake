@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connected_components_test.dir/graph/connected_components_test.cc.o"
+  "CMakeFiles/connected_components_test.dir/graph/connected_components_test.cc.o.d"
+  "connected_components_test"
+  "connected_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connected_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

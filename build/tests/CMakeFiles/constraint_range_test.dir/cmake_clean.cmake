@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_range_test.dir/geometry/constraint_range_test.cc.o"
+  "CMakeFiles/constraint_range_test.dir/geometry/constraint_range_test.cc.o.d"
+  "constraint_range_test"
+  "constraint_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_schema_test.dir/licensing/constraint_schema_test.cc.o"
+  "CMakeFiles/constraint_schema_test.dir/licensing/constraint_schema_test.cc.o.d"
+  "constraint_schema_test"
+  "constraint_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

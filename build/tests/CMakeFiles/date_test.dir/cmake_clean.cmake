@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_test.dir/util/date_test.cc.o"
+  "CMakeFiles/date_test.dir/util/date_test.cc.o.d"
+  "date_test"
+  "date_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

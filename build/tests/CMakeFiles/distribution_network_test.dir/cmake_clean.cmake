@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_network_test.dir/drm/distribution_network_test.cc.o"
+  "CMakeFiles/distribution_network_test.dir/drm/distribution_network_test.cc.o.d"
+  "distribution_network_test"
+  "distribution_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_grouping_test.dir/core/dynamic_grouping_test.cc.o"
+  "CMakeFiles/dynamic_grouping_test.dir/core/dynamic_grouping_test.cc.o.d"
+  "dynamic_grouping_test"
+  "dynamic_grouping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_validator_test.dir/validation/exhaustive_validator_test.cc.o"
+  "CMakeFiles/exhaustive_validator_test.dir/validation/exhaustive_validator_test.cc.o.d"
+  "exhaustive_validator_test"
+  "exhaustive_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasibility_test.dir/validation/feasibility_test.cc.o"
+  "CMakeFiles/feasibility_test.dir/validation/feasibility_test.cc.o.d"
+  "feasibility_test"
+  "feasibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_order_test.dir/validation/frequency_order_test.cc.o"
+  "CMakeFiles/frequency_order_test.dir/validation/frequency_order_test.cc.o.d"
+  "frequency_order_test"
+  "frequency_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_test.dir/core/gain_test.cc.o"
+  "CMakeFiles/gain_test.dir/core/gain_test.cc.o.d"
+  "gain_test"
+  "gain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

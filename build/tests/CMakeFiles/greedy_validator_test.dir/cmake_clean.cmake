@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_validator_test.dir/core/greedy_validator_test.cc.o"
+  "CMakeFiles/greedy_validator_test.dir/core/greedy_validator_test.cc.o.d"
+  "greedy_validator_test"
+  "greedy_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

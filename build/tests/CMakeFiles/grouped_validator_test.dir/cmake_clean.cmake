@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_validator_test.dir/core/grouped_validator_test.cc.o"
+  "CMakeFiles/grouped_validator_test.dir/core/grouped_validator_test.cc.o.d"
+  "grouped_validator_test"
+  "grouped_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_test.dir/core/grouping_test.cc.o"
+  "CMakeFiles/grouping_test.dir/core/grouping_test.cc.o.d"
+  "grouping_test"
+  "grouping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_rect_test.dir/geometry/hyper_rect_test.cc.o"
+  "CMakeFiles/hyper_rect_test.dir/geometry/hyper_rect_test.cc.o.d"
+  "hyper_rect_test"
+  "hyper_rect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_rect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

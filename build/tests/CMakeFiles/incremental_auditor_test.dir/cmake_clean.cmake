@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_auditor_test.dir/core/incremental_auditor_test.cc.o"
+  "CMakeFiles/incremental_auditor_test.dir/core/incremental_auditor_test.cc.o.d"
+  "incremental_auditor_test"
+  "incremental_auditor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_auditor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for incremental_auditor_test.
+# This may be replaced when dependencies are built.

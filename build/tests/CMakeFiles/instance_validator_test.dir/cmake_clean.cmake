@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_validator_test.dir/core/instance_validator_test.cc.o"
+  "CMakeFiles/instance_validator_test.dir/core/instance_validator_test.cc.o.d"
+  "instance_validator_test"
+  "instance_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/license_serialization_test.dir/licensing/license_serialization_test.cc.o"
+  "CMakeFiles/license_serialization_test.dir/licensing/license_serialization_test.cc.o.d"
+  "license_serialization_test"
+  "license_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/license_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/license_set_test.dir/licensing/license_set_test.cc.o"
+  "CMakeFiles/license_set_test.dir/licensing/license_set_test.cc.o.d"
+  "license_set_test"
+  "license_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/license_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/license_test.dir/licensing/license_test.cc.o"
+  "CMakeFiles/license_test.dir/licensing/license_test.cc.o.d"
+  "license_test"
+  "license_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/license_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

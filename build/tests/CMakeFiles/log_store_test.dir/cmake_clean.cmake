@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_store_test.dir/validation/log_store_test.cc.o"
+  "CMakeFiles/log_store_test.dir/validation/log_store_test.cc.o.d"
+  "log_store_test"
+  "log_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

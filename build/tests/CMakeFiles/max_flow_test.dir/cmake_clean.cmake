@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_flow_test.dir/graph/max_flow_test.cc.o"
+  "CMakeFiles/max_flow_test.dir/graph/max_flow_test.cc.o.d"
+  "max_flow_test"
+  "max_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

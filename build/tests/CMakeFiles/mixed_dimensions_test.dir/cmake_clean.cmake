@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_dimensions_test.dir/geometry/mixed_dimensions_test.cc.o"
+  "CMakeFiles/mixed_dimensions_test.dir/geometry/mixed_dimensions_test.cc.o.d"
+  "mixed_dimensions_test"
+  "mixed_dimensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_dimensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_interval_test.dir/geometry/multi_interval_test.cc.o"
+  "CMakeFiles/multi_interval_test.dir/geometry/multi_interval_test.cc.o.d"
+  "multi_interval_test"
+  "multi_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_property_test.dir/drm/network_property_test.cc.o"
+  "CMakeFiles/network_property_test.dir/drm/network_property_test.cc.o.d"
+  "network_property_test"
+  "network_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

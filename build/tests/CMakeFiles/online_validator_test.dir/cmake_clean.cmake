@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_validator_test.dir/core/online_validator_test.cc.o"
+  "CMakeFiles/online_validator_test.dir/core/online_validator_test.cc.o.d"
+  "online_validator_test"
+  "online_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_validator_test.dir/core/parallel_validator_test.cc.o"
+  "CMakeFiles/parallel_validator_test.dir/core/parallel_validator_test.cc.o.d"
+  "parallel_validator_test"
+  "parallel_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permission_test.dir/licensing/permission_test.cc.o"
+  "CMakeFiles/permission_test.dir/licensing/permission_test.cc.o.d"
+  "permission_test"
+  "permission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_json_test.dir/validation/report_json_test.cc.o"
+  "CMakeFiles/report_json_test.dir/validation/report_json_test.cc.o.d"
+  "report_json_test"
+  "report_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

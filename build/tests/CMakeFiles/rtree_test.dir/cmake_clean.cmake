@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_test.dir/geometry/rtree_test.cc.o"
+  "CMakeFiles/rtree_test.dir/geometry/rtree_test.cc.o.d"
+  "rtree_test"
+  "rtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

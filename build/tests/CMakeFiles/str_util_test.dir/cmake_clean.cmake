@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/str_util_test.dir/util/str_util_test.cc.o"
+  "CMakeFiles/str_util_test.dir/util/str_util_test.cc.o.d"
+  "str_util_test"
+  "str_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/str_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorems_property_test.dir/theorems_property_test.cc.o"
+  "CMakeFiles/theorems_property_test.dir/theorems_property_test.cc.o.d"
+  "theorems_property_test"
+  "theorems_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorems_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

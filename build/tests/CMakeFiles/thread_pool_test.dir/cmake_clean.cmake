@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_pool_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/thread_pool_test.dir/util/thread_pool_test.cc.o.d"
+  "thread_pool_test"
+  "thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_division_test.dir/core/tree_division_test.cc.o"
+  "CMakeFiles/tree_division_test.dir/core/tree_division_test.cc.o.d"
+  "tree_division_test"
+  "tree_division_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

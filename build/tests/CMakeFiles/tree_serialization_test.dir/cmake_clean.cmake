@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_serialization_test.dir/validation/tree_serialization_test.cc.o"
+  "CMakeFiles/tree_serialization_test.dir/validation/tree_serialization_test.cc.o.d"
+  "tree_serialization_test"
+  "tree_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_authority_test.dir/drm/validation_authority_test.cc.o"
+  "CMakeFiles/validation_authority_test.dir/drm/validation_authority_test.cc.o.d"
+  "validation_authority_test"
+  "validation_authority_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_authority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_report_test.dir/validation/validation_report_test.cc.o"
+  "CMakeFiles/validation_report_test.dir/validation/validation_report_test.cc.o.d"
+  "validation_report_test"
+  "validation_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_tree_test.dir/validation/validation_tree_test.cc.o"
+  "CMakeFiles/validation_tree_test.dir/validation/validation_tree_test.cc.o.d"
+  "validation_tree_test"
+  "validation_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

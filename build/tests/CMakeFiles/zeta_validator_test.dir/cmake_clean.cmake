@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeta_validator_test.dir/validation/zeta_validator_test.cc.o"
+  "CMakeFiles/zeta_validator_test.dir/validation/zeta_validator_test.cc.o.d"
+  "zeta_validator_test"
+  "zeta_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeta_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
