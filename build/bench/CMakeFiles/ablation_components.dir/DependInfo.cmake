@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/geolic_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/drm/CMakeFiles/geolic_drm.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/geolic_service.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/geolic_core.dir/DependInfo.cmake"
   "/root/repo/build/src/licensing/CMakeFiles/geolic_licensing.dir/DependInfo.cmake"
   "/root/repo/build/src/geometry/CMakeFiles/geolic_geometry.dir/DependInfo.cmake"

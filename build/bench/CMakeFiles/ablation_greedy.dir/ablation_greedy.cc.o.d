@@ -232,4 +232,5 @@ bench/CMakeFiles/ablation_greedy.dir/ablation_greedy.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/validation/validation_tree.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array
+ /usr/include/c++/12/array /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/atomic

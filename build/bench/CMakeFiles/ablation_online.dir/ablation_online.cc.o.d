@@ -234,5 +234,5 @@ bench/CMakeFiles/ablation_online.dir/ablation_online.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/validation/validation_tree.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/repo/src/util/random.h \
- /root/repo/src/workload/workload.h
+ /usr/include/c++/12/array /root/repo/src/util/metrics.h \
+ /root/repo/src/util/random.h /root/repo/src/workload/workload.h

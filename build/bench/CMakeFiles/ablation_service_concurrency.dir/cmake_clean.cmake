@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_service_concurrency.dir/ablation_service_concurrency.cc.o"
+  "CMakeFiles/ablation_service_concurrency.dir/ablation_service_concurrency.cc.o.d"
+  "ablation_service_concurrency"
+  "ablation_service_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_service_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -234,4 +234,5 @@ examples/CMakeFiles/music_store.dir/music_store.cpp.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
+ /root/repo/src/util/metrics.h /usr/include/c++/12/atomic \
  /root/repo/src/drm/party.h /root/repo/src/licensing/license_parser.h

@@ -231,5 +231,5 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/validation/log_record.h \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
- /root/repo/src/core/online_validator.h \
- /root/repo/src/licensing/license_parser.h
+ /root/repo/src/core/online_validator.h /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/atomic /root/repo/src/licensing/license_parser.h

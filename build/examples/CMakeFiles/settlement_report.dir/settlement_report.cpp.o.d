@@ -233,5 +233,6 @@ examples/CMakeFiles/settlement_report.dir/settlement_report.cpp.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
+ /root/repo/src/util/metrics.h /usr/include/c++/12/atomic \
  /root/repo/src/validation/report_json.h \
  /root/repo/src/workload/workload.h /root/repo/src/util/random.h

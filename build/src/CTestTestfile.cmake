@@ -10,5 +10,6 @@ subdirs("licensing")
 subdirs("graph")
 subdirs("validation")
 subdirs("core")
+subdirs("service")
 subdirs("workload")
 subdirs("drm")

@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/overlap_graph.cc" "src/core/CMakeFiles/geolic_core.dir/overlap_graph.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/overlap_graph.cc.o.d"
   "/root/repo/src/core/parallel_validator.cc" "src/core/CMakeFiles/geolic_core.dir/parallel_validator.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/parallel_validator.cc.o.d"
   "/root/repo/src/core/tree_division.cc" "src/core/CMakeFiles/geolic_core.dir/tree_division.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/tree_division.cc.o.d"
+  "/root/repo/src/core/validate_facade.cc" "src/core/CMakeFiles/geolic_core.dir/validate_facade.cc.o" "gcc" "src/core/CMakeFiles/geolic_core.dir/validate_facade.cc.o.d"
   )
 
 # Targets to which this target links.

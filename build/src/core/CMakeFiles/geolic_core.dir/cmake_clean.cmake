@@ -25,6 +25,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/geolic_core.dir/parallel_validator.cc.o.d"
   "CMakeFiles/geolic_core.dir/tree_division.cc.o"
   "CMakeFiles/geolic_core.dir/tree_division.cc.o.d"
+  "CMakeFiles/geolic_core.dir/validate_facade.cc.o"
+  "CMakeFiles/geolic_core.dir/validate_facade.cc.o.d"
   "libgeolic_core.a"
   "libgeolic_core.pdb"
 )

@@ -230,4 +230,10 @@ src/core/CMakeFiles/geolic_core.dir/online_validator.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/validation/validation_tree.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array
+ /usr/include/c++/12/array /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/atomic /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/geolic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/geolic_service.dir/DependInfo.cmake"
   "/root/repo/build/src/licensing/CMakeFiles/geolic_licensing.dir/DependInfo.cmake"
   "/root/repo/build/src/validation/CMakeFiles/geolic_validation.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"

@@ -233,4 +233,5 @@ src/drm/CMakeFiles/geolic_drm.dir/distribution_network.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
+ /root/repo/src/util/metrics.h /usr/include/c++/12/atomic \
  /root/repo/src/drm/party.h

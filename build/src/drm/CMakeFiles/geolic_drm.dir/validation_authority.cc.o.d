@@ -235,9 +235,14 @@ src/drm/CMakeFiles/geolic_drm.dir/validation_authority.cc.o: \
  /usr/include/c++/12/array /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/util/metrics.h /usr/include/c++/12/atomic \
+ /root/repo/src/service/issuance_service.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolic_service.dir/issuance_service.cc.o"
+  "CMakeFiles/geolic_service.dir/issuance_service.cc.o.d"
+  "libgeolic_service.a"
+  "libgeolic_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolic_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeolic_service.a"
+)

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/bits.cc" "src/util/CMakeFiles/geolic_util.dir/bits.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/bits.cc.o.d"
   "/root/repo/src/util/date.cc" "src/util/CMakeFiles/geolic_util.dir/date.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/date.cc.o.d"
   "/root/repo/src/util/json_writer.cc" "src/util/CMakeFiles/geolic_util.dir/json_writer.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/json_writer.cc.o.d"
+  "/root/repo/src/util/metrics.cc" "src/util/CMakeFiles/geolic_util.dir/metrics.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/metrics.cc.o.d"
   "/root/repo/src/util/random.cc" "src/util/CMakeFiles/geolic_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/random.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/geolic_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/status.cc.o.d"
   "/root/repo/src/util/str_util.cc" "src/util/CMakeFiles/geolic_util.dir/str_util.cc.o" "gcc" "src/util/CMakeFiles/geolic_util.dir/str_util.cc.o.d"

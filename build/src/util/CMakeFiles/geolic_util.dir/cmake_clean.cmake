@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/geolic_util.dir/date.cc.o.d"
   "CMakeFiles/geolic_util.dir/json_writer.cc.o"
   "CMakeFiles/geolic_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/geolic_util.dir/metrics.cc.o"
+  "CMakeFiles/geolic_util.dir/metrics.cc.o.d"
   "CMakeFiles/geolic_util.dir/random.cc.o"
   "CMakeFiles/geolic_util.dir/random.cc.o.d"
   "CMakeFiles/geolic_util.dir/status.cc.o"

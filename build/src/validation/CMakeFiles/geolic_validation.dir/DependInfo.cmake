@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/validation/log_store.cc" "src/validation/CMakeFiles/geolic_validation.dir/log_store.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/log_store.cc.o.d"
   "/root/repo/src/validation/report_json.cc" "src/validation/CMakeFiles/geolic_validation.dir/report_json.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/report_json.cc.o.d"
   "/root/repo/src/validation/tree_serialization.cc" "src/validation/CMakeFiles/geolic_validation.dir/tree_serialization.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/tree_serialization.cc.o.d"
+  "/root/repo/src/validation/validate.cc" "src/validation/CMakeFiles/geolic_validation.dir/validate.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/validate.cc.o.d"
   "/root/repo/src/validation/validation_report.cc" "src/validation/CMakeFiles/geolic_validation.dir/validation_report.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/validation_report.cc.o.d"
   "/root/repo/src/validation/validation_tree.cc" "src/validation/CMakeFiles/geolic_validation.dir/validation_tree.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/validation_tree.cc.o.d"
   "/root/repo/src/validation/zeta_validator.cc" "src/validation/CMakeFiles/geolic_validation.dir/zeta_validator.cc.o" "gcc" "src/validation/CMakeFiles/geolic_validation.dir/zeta_validator.cc.o.d"

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/geolic_validation.dir/report_json.cc.o.d"
   "CMakeFiles/geolic_validation.dir/tree_serialization.cc.o"
   "CMakeFiles/geolic_validation.dir/tree_serialization.cc.o.d"
+  "CMakeFiles/geolic_validation.dir/validate.cc.o"
+  "CMakeFiles/geolic_validation.dir/validate.cc.o.d"
   "CMakeFiles/geolic_validation.dir/validation_report.cc.o"
   "CMakeFiles/geolic_validation.dir/validation_report.cc.o.d"
   "CMakeFiles/geolic_validation.dir/validation_tree.cc.o"

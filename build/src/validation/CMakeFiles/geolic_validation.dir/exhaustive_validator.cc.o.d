@@ -215,4 +215,17 @@ src/validation/CMakeFiles/geolic_validation.dir/exhaustive_validator.cc.o: \
  /root/repo/src/validation/log_store.h \
  /root/repo/src/validation/log_record.h /root/repo/src/util/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/validation/validate.h \
+ /root/repo/src/licensing/license_set.h \
+ /root/repo/src/licensing/constraint_schema.h \
+ /root/repo/src/geometry/category_set.h \
+ /root/repo/src/geometry/constraint_range.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/geometry/interval.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/geometry/multi_interval.h \
+ /root/repo/src/licensing/license.h /root/repo/src/geometry/hyper_rect.h \
+ /root/repo/src/licensing/permission.h

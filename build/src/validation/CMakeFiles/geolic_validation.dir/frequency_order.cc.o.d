@@ -220,4 +220,13 @@ src/validation/CMakeFiles/geolic_validation.dir/frequency_order.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/validation/exhaustive_validator.h
+ /root/repo/src/validation/validate.h \
+ /root/repo/src/licensing/license_set.h \
+ /root/repo/src/licensing/constraint_schema.h \
+ /root/repo/src/geometry/category_set.h \
+ /root/repo/src/geometry/constraint_range.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/geometry/interval.h \
+ /root/repo/src/geometry/multi_interval.h \
+ /root/repo/src/licensing/license.h /root/repo/src/geometry/hyper_rect.h \
+ /root/repo/src/licensing/permission.h

@@ -313,5 +313,5 @@ tests/CMakeFiles/assignment_test.dir/core/assignment_test.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
- /root/repo/tests/test_util.h /root/repo/src/util/random.h \
- /root/repo/src/workload/workload.h
+ /root/repo/src/util/metrics.h /root/repo/tests/test_util.h \
+ /root/repo/src/util/random.h /root/repo/src/workload/workload.h

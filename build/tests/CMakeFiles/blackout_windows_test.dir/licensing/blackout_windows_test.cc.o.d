@@ -314,6 +314,6 @@ tests/CMakeFiles/blackout_windows_test.dir/licensing/blackout_windows_test.cc.o:
  /root/repo/src/validation/log_record.h \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/validation/validation_tree.h \
- /root/repo/src/licensing/license_parser.h \
+ /root/repo/src/util/metrics.h /root/repo/src/licensing/license_parser.h \
  /root/repo/src/licensing/license_serialization.h \
  /root/repo/tests/test_util.h /root/repo/src/util/random.h

@@ -233,6 +233,7 @@ tests/CMakeFiles/distribution_network_test.dir/drm/distribution_network_test.cc.
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
+ /root/repo/src/util/metrics.h /usr/include/c++/12/atomic \
  /root/repo/src/drm/party.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -304,7 +305,6 @@ tests/CMakeFiles/distribution_network_test.dir/drm/distribution_network_test.cc.
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

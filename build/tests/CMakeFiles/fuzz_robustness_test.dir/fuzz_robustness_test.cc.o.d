@@ -317,6 +317,9 @@ tests/CMakeFiles/fuzz_robustness_test.dir/fuzz_robustness_test.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
+ /root/repo/src/util/metrics.h /root/repo/src/service/issuance_service.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/licensing/license_parser.h \
  /root/repo/src/licensing/license_serialization.h \
  /root/repo/tests/test_util.h /root/repo/src/util/random.h \

@@ -315,5 +315,5 @@ tests/CMakeFiles/greedy_validator_test.dir/core/greedy_validator_test.cc.o: \
  /root/repo/src/validation/log_record.h \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/validation/validation_tree.h \
- /root/repo/src/licensing/license_parser.h /root/repo/tests/test_util.h \
- /root/repo/src/workload/workload.h
+ /root/repo/src/util/metrics.h /root/repo/src/licensing/license_parser.h \
+ /root/repo/tests/test_util.h /root/repo/src/workload/workload.h

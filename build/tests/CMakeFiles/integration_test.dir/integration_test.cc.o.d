@@ -316,9 +316,12 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/core/incremental_auditor.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
- /root/repo/src/core/parallel_validator.h \
+ /root/repo/src/util/metrics.h /root/repo/src/core/parallel_validator.h \
  /root/repo/src/drm/validation_authority.h \
  /root/repo/src/core/assignment.h \
+ /root/repo/src/service/issuance_service.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/licensing/license_parser.h /root/repo/tests/test_util.h \
  /root/repo/src/util/random.h \
  /root/repo/src/validation/exhaustive_validator.h \

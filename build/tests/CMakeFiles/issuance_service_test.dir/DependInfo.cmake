@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/service/issuance_service_test.cc" "tests/CMakeFiles/issuance_service_test.dir/service/issuance_service_test.cc.o" "gcc" "tests/CMakeFiles/issuance_service_test.dir/service/issuance_service_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/geolic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/drm/CMakeFiles/geolic_drm.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/geolic_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/geolic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/licensing/CMakeFiles/geolic_licensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/geolic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/geolic_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/geolic_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/geolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issuance_service_test.dir/service/issuance_service_test.cc.o"
+  "CMakeFiles/issuance_service_test.dir/service/issuance_service_test.cc.o.d"
+  "issuance_service_test"
+  "issuance_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issuance_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

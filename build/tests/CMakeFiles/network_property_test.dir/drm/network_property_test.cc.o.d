@@ -315,5 +315,5 @@ tests/CMakeFiles/network_property_test.dir/drm/network_property_test.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/online_validator.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
- /root/repo/src/drm/party.h /root/repo/tests/test_util.h \
- /root/repo/src/util/random.h
+ /root/repo/src/util/metrics.h /root/repo/src/drm/party.h \
+ /root/repo/tests/test_util.h /root/repo/src/util/random.h

@@ -231,7 +231,8 @@ tests/CMakeFiles/online_validator_test.dir/core/online_validator_test.cc.o: \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/validation/validation_tree.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/array /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/atomic /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -302,7 +303,6 @@ tests/CMakeFiles/online_validator_test.dir/core/online_validator_test.cc.o: \
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \

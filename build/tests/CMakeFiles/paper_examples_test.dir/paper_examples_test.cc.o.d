@@ -314,7 +314,7 @@ tests/CMakeFiles/paper_examples_test.dir/paper_examples_test.cc.o: \
  /root/repo/src/validation/log_record.h \
  /root/repo/src/validation/validation_report.h \
  /root/repo/src/core/instance_validator.h /root/repo/src/geometry/rtree.h \
- /root/repo/src/core/online_validator.h \
+ /root/repo/src/core/online_validator.h /root/repo/src/util/metrics.h \
  /root/repo/src/core/overlap_graph.h \
  /root/repo/src/licensing/license_parser.h \
  /root/repo/src/validation/exhaustive_validator.h

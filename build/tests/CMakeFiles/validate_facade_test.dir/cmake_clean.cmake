@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_facade_test.dir/validation/validate_facade_test.cc.o"
+  "CMakeFiles/validate_facade_test.dir/validation/validate_facade_test.cc.o.d"
+  "validate_facade_test"
+  "validate_facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

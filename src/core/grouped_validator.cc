@@ -3,10 +3,23 @@
 #include <utility>
 
 #include "validation/exhaustive_validator.h"
-#include "validation/zeta_validator.h"
+#include "validation/validate.h"
 #include "util/stopwatch.h"
 
 namespace geolic {
+namespace {
+
+GroupedValidationResult FromOutcome(ValidationOutcome outcome) {
+  GroupedValidationResult result;
+  result.report = std::move(outcome.report);
+  result.group_count = outcome.group_count;
+  result.group_sizes = std::move(outcome.group_sizes);
+  result.division_micros = outcome.division_micros;
+  result.validation_micros = outcome.validation_micros;
+  return result;
+}
+
+}  // namespace
 
 Result<GroupedValidationResult> ValidateGroupedWithGrouping(
     const LicenseGrouping& grouping, const std::vector<int64_t>& aggregates,
@@ -41,66 +54,36 @@ Result<GroupedValidationResult> ValidateGroupedWithGrouping(
   return result;
 }
 
+// The three pipeline entry points are thin wrappers over the Validate
+// facade (validation/validate.h); the grouped engine lives in
+// validate_facade.cc.
+
 Result<GroupedValidationResult> ValidateGrouped(const LicenseSet& licenses,
                                                 ValidationTree tree) {
-  Stopwatch grouping_timer;
-  const LicenseGrouping grouping = LicenseGrouping::FromLicenses(licenses);
-  const double grouping_micros = grouping_timer.ElapsedMicros();
-
-  GEOLIC_ASSIGN_OR_RETURN(
-      GroupedValidationResult result,
-      ValidateGroupedWithGrouping(grouping, licenses.AggregateCounts(),
-                                  std::move(tree)));
-  // D_T covers group identification + division (paper Section 5B).
-  result.division_micros += grouping_micros;
-  return result;
+  ValidateOptions options;
+  options.mode = ValidationMode::kGrouped;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(licenses, std::move(tree), options));
+  return FromOutcome(std::move(outcome));
 }
 
 Result<GroupedValidationResult> ValidateGroupedZeta(
     const LicenseSet& licenses, ValidationTree tree, int max_dense_n) {
-  GroupedValidationResult result;
-  Stopwatch division_timer;
-  const LicenseGrouping grouping = LicenseGrouping::FromLicenses(licenses);
-  result.group_count = grouping.group_count();
-  for (int k = 0; k < grouping.group_count(); ++k) {
-    result.group_sizes.push_back(grouping.GroupSize(k));
-  }
-  GEOLIC_ASSIGN_OR_RETURN(
-      DividedTrees divided,
-      DivideAndReindex(std::move(tree), grouping,
-                       licenses.AggregateCounts()));
-  result.division_micros = division_timer.ElapsedMicros();
-
-  Stopwatch validation_timer;
-  for (int k = 0; k < grouping.group_count(); ++k) {
-    const ValidationTree& group_tree =
-        divided.trees[static_cast<size_t>(k)];
-    const std::vector<int64_t>& group_aggregates =
-        divided.aggregates[static_cast<size_t>(k)];
-    Result<ValidationReport> group_report =
-        grouping.GroupSize(k) <= max_dense_n
-            ? ValidateZeta(group_tree, group_aggregates, max_dense_n)
-            : ValidateExhaustive(group_tree, group_aggregates);
-    if (!group_report.ok()) {
-      return group_report.status();
-    }
-    result.report.equations_evaluated += group_report->equations_evaluated;
-    result.report.nodes_visited += group_report->nodes_visited;
-    for (const EquationResult& violation : group_report->violations) {
-      EquationResult translated = violation;
-      translated.set = grouping.LocalToOriginalMask(k, violation.set);
-      result.report.violations.push_back(translated);
-    }
-  }
-  result.validation_micros = validation_timer.ElapsedMicros();
-  return result;
+  ValidateOptions options;
+  options.mode = ValidationMode::kGroupedZeta;
+  options.max_dense_n = max_dense_n;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(licenses, std::move(tree), options));
+  return FromOutcome(std::move(outcome));
 }
 
 Result<GroupedValidationResult> ValidateGroupedFromLog(
     const LicenseSet& licenses, const LogStore& log) {
-  GEOLIC_ASSIGN_OR_RETURN(ValidationTree tree,
-                          ValidationTree::BuildFromLog(log));
-  return ValidateGrouped(licenses, std::move(tree));
+  ValidateOptions options;
+  options.mode = ValidationMode::kGrouped;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(licenses, log, options));
+  return FromOutcome(std::move(outcome));
 }
 
 }  // namespace geolic

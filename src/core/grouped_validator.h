@@ -33,6 +33,11 @@ struct GroupedValidationResult {
 // tree (consumed): build the overlap grouping from `licenses`, divide the
 // tree (Algorithm 4), reindex (Algorithm 5), run Algorithm 2 per group, and
 // merge the reports. Equations evaluated total Σ_k (2^{N_k} − 1).
+//
+// Compatibility wrapper, slated for [[deprecated]]: new code should call
+// Validate(licenses, tree, {.mode = ValidationMode::kGrouped})
+// (validation/validate.h). ValidateGrouped, ValidateGroupedFromLog and
+// ValidateGroupedZeta all delegate to that facade.
 Result<GroupedValidationResult> ValidateGrouped(const LicenseSet& licenses,
                                                 ValidationTree tree);
 

@@ -2,29 +2,33 @@
 
 #include <utility>
 
+#include "util/stopwatch.h"
+
 namespace geolic {
 
-OnlineValidator::OnlineValidator(const LicenseSet* licenses, bool use_grouping,
+OnlineValidator::OnlineValidator(const LicenseSet* licenses,
+                                 OnlineValidatorOptions options,
                                  LicenseGrouping grouping)
     : licenses_(licenses),
-      use_grouping_(use_grouping),
+      options_(options),
       grouping_(std::move(grouping)),
       instance_validator_(licenses) {}
 
-Result<OnlineValidator> OnlineValidator::Create(const LicenseSet* licenses,
-                                                bool use_grouping) {
+Result<OnlineValidator> OnlineValidator::Create(
+    const LicenseSet* licenses, const OnlineValidatorOptions& options) {
   if (licenses == nullptr || licenses->empty()) {
     return Status::InvalidArgument(
         "online validator needs at least one redistribution license");
   }
-  return OnlineValidator(licenses, use_grouping,
+  return OnlineValidator(licenses, options,
                          LicenseGrouping::FromLicenses(*licenses));
 }
 
 Result<OnlineValidator> OnlineValidator::CreateWithHistory(
-    const LicenseSet* licenses, bool use_grouping, const LogStore& history) {
+    const LicenseSet* licenses, const OnlineValidatorOptions& options,
+    const LogStore& history) {
   GEOLIC_ASSIGN_OR_RETURN(OnlineValidator validator,
-                          Create(licenses, use_grouping));
+                          Create(licenses, options));
   for (const LogRecord& record : history.records()) {
     if (!IsSubsetOf(record.set, licenses->AllMask())) {
       return Status::InvalidArgument(
@@ -37,7 +41,22 @@ Result<OnlineValidator> OnlineValidator::CreateWithHistory(
   return validator;
 }
 
+Result<OnlineValidator> OnlineValidator::Create(const LicenseSet* licenses,
+                                                bool use_grouping) {
+  OnlineValidatorOptions options;
+  options.use_grouping = use_grouping;
+  return Create(licenses, options);
+}
+
+Result<OnlineValidator> OnlineValidator::CreateWithHistory(
+    const LicenseSet* licenses, bool use_grouping, const LogStore& history) {
+  OnlineValidatorOptions options;
+  options.use_grouping = use_grouping;
+  return CreateWithHistory(licenses, options, history);
+}
+
 Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
+  Stopwatch timer;
   if (issued.aggregate_count() <= 0) {
     return Status::InvalidArgument(
         "issued license must carry a positive count");
@@ -45,6 +64,9 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
   OnlineDecision decision;
   decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
   if (decision.satisfying_set == 0) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->RecordRejectedInstance(timer.ElapsedNanos());
+    }
     return decision;  // Fails instance-based validation; nothing recorded.
   }
   decision.instance_valid = true;
@@ -54,7 +76,7 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
 
   // Scope of affected equations: the whole set S^N, or S's overlap group.
   LicenseMask scope = licenses_->AllMask();
-  if (use_grouping_) {
+  if (options_.use_grouping) {
     const int group = grouping_.GroupOf(LowestLicense(s));
     scope = grouping_.GroupMask(group);
     GEOLIC_DCHECK(IsSubsetOf(s, scope));
@@ -81,6 +103,10 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
     x = (x - extension) & extension;
   }
   if (!decision.aggregate_valid) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->RecordRejectedAggregate(decision.equations_checked,
+                                                timer.ElapsedNanos());
+    }
     return decision;
   }
 
@@ -93,6 +119,10 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
   record.set = s;
   record.count = count;
   GEOLIC_RETURN_IF_ERROR(log_.Append(std::move(record)));
+  if (options_.metrics != nullptr) {
+    options_.metrics->RecordAccepted(decision.equations_checked,
+                                     timer.ElapsedNanos());
+  }
   return decision;
 }
 

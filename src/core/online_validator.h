@@ -10,6 +10,7 @@
 #include "validation/log_store.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -34,24 +35,54 @@ struct OnlineDecision {
   bool accepted() const { return instance_valid && aggregate_valid; }
 };
 
+// Knobs shared by the online validator and the service layer on top of it
+// (service/issuance_service.h), so callers configure both with one type.
+struct OnlineValidatorOptions {
+  // Scope per-issuance equation checks to S's overlap group (paper
+  // Theorem 2), shrinking 2^(N−k) checks to 2^(N_g−k). With the service
+  // layer this is also the sharding theorem: off means one global shard.
+  bool use_grouping = true;
+  // Optional sink for decision counters and latency; must outlive the
+  // validator/service. The validator records every TryIssue into it;
+  // IssuanceService uses it as its metrics block when set (and owns a
+  // private one otherwise).
+  IssuanceMetrics* metrics = nullptr;
+  // Service layer only: cap on the number of lock shards (groups are
+  // striped over min(shard_hint, group_count) mutexes). <= 0 means one
+  // shard per overlap group. Ignored by the plain OnlineValidator.
+  int shard_hint = 0;
+};
+
 // Validates licenses one at a time, as they are generated — the "online"
 // regime the paper contrasts with offline log validation. Maintains the
 // running validation tree of accepted issuances. When a license with
 // satisfying set S (|S| = k) arrives, only equations whose set contains S
 // gain counts, so only those are checked: all T ⊇ S within the scope mask.
-// With `use_grouping` the scope is S's overlap group (licenses containing
-// the same rectangle pairwise overlap, so S always lies in one group),
+// With grouping the scope is S's overlap group (licenses containing the
+// same rectangle pairwise overlap, so S always lies in one group),
 // shrinking the check from 2^(N−k) to 2^(N_g−k) equations.
+//
+// NOT thread-safe: TryIssue mutates the running tree/log. For concurrent
+// admission use service/IssuanceService, which shards this state by
+// overlap group.
 class OnlineValidator {
  public:
-  // `licenses` must be non-empty and outlive the validator.
+  // `licenses` must be non-empty and outlive the validator; so must
+  // `options.metrics` when set.
   static Result<OnlineValidator> Create(const LicenseSet* licenses,
-                                        bool use_grouping = true);
+                                        const OnlineValidatorOptions& options);
 
   // Creates a validator whose tree/log are pre-loaded with `history`
   // (records of already-validated issuances — they are not re-checked).
   // Used when the license set grows and the validator must be rebuilt
   // around the new grouping without losing past issuances.
+  static Result<OnlineValidator> CreateWithHistory(
+      const LicenseSet* licenses, const OnlineValidatorOptions& options,
+      const LogStore& history);
+
+  // Back-compat shims for the historical bool parameter.
+  static Result<OnlineValidator> Create(const LicenseSet* licenses,
+                                        bool use_grouping = true);
   static Result<OnlineValidator> CreateWithHistory(const LicenseSet* licenses,
                                                    bool use_grouping,
                                                    const LogStore& history);
@@ -67,11 +98,11 @@ class OnlineValidator {
   const LicenseGrouping& grouping() const { return grouping_; }
 
  private:
-  OnlineValidator(const LicenseSet* licenses, bool use_grouping,
+  OnlineValidator(const LicenseSet* licenses, OnlineValidatorOptions options,
                   LicenseGrouping grouping);
 
   const LicenseSet* licenses_;
-  bool use_grouping_;
+  OnlineValidatorOptions options_;
   LicenseGrouping grouping_;
   LinearInstanceValidator instance_validator_;
   ValidationTree tree_;

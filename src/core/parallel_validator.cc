@@ -1,144 +1,41 @@
 #include "core/parallel_validator.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "core/tree_division.h"
-#include "validation/exhaustive_validator.h"
-#include "util/stopwatch.h"
-#include "util/thread_pool.h"
+#include "validation/validate.h"
 
 namespace geolic {
-namespace {
 
-// Evaluates equations for sets in [begin, end] (inclusive masks) against
-// the read-only tree; appends violations to *out in ascending order.
-void EvaluateRange(const ValidationTree& tree,
-                   const std::vector<int64_t>& aggregates, LicenseMask begin,
-                   LicenseMask end, std::vector<EquationResult>* out,
-                   uint64_t* nodes_visited) {
-  const int n = static_cast<int>(aggregates.size());
-  for (LicenseMask set = begin;; ++set) {
-    int64_t av = 0;
-    for (int j = 0; j < n; ++j) {
-      if (MaskContains(set, j)) {
-        av += aggregates[static_cast<size_t>(j)];
-      }
-    }
-    const int64_t cv = tree.SumSubsets(set, nodes_visited);
-    if (cv > av) {
-      out->push_back(EquationResult{set, cv, av});
-    }
-    if (set == end) {
-      break;
-    }
-  }
-}
-
-}  // namespace
+// Both entry points are thin wrappers over the Validate facade: the
+// equation-range sharding engine lives in validation/validate.cc, the
+// group-per-task engine in core/validate_facade.cc. Reports stay
+// byte-identical to the sequential runs (shards and groups merge in
+// ascending order).
 
 Result<ValidationReport> ValidateExhaustiveParallel(
     const ValidationTree& tree, const std::vector<int64_t>& aggregates,
     int num_threads) {
-  const int n = static_cast<int>(aggregates.size());
-  if (n > kMaxLicenses) {
-    return Status::CapacityExceeded("at most 64 redistribution licenses");
-  }
-  ValidationReport report;
-  if (n == 0) {
-    return report;
-  }
-  if (!IsSubsetOf(tree.PresentLicenses(), FullMask(n))) {
-    return Status::InvalidArgument(
-        "tree references license indexes beyond the aggregate array");
-  }
-  if (num_threads <= 0) {
-    num_threads = ThreadPool::DefaultThreadCount();
-  }
-
-  const LicenseMask full = FullMask(n);
-  const uint64_t total = full;  // Number of non-empty sets = 2^n − 1.
-  const uint64_t shard_count =
-      std::min<uint64_t>(static_cast<uint64_t>(num_threads) * 4, total);
-  std::vector<std::vector<EquationResult>> shard_violations(shard_count);
-  std::vector<uint64_t> shard_nodes(shard_count, 0);
-
-  {
-    ThreadPool pool(num_threads);
-    for (uint64_t shard = 0; shard < shard_count; ++shard) {
-      // Masks 1..full split into contiguous shards.
-      const LicenseMask begin =
-          static_cast<LicenseMask>(1 + shard * total / shard_count);
-      const LicenseMask end =
-          static_cast<LicenseMask>((shard + 1) * total / shard_count);
-      pool.Schedule([&tree, &aggregates, begin, end,
-                     violations = &shard_violations[shard],
-                     nodes = &shard_nodes[shard]] {
-        EvaluateRange(tree, aggregates, begin, end, violations, nodes);
-      });
-    }
-    pool.Wait();
-  }
-
-  report.equations_evaluated = total;
-  for (uint64_t shard = 0; shard < shard_count; ++shard) {
-    report.nodes_visited += shard_nodes[shard];
-    report.violations.insert(report.violations.end(),
-                             shard_violations[shard].begin(),
-                             shard_violations[shard].end());
-  }
-  return report;
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.num_threads = num_threads <= 0 ? 0 : num_threads;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(tree, aggregates, options));
+  return std::move(outcome.report);
 }
 
 Result<GroupedValidationResult> ValidateGroupedParallel(
     const LicenseSet& licenses, ValidationTree tree, int num_threads) {
-  if (num_threads <= 0) {
-    num_threads = ThreadPool::DefaultThreadCount();
-  }
+  ValidateOptions options;
+  options.mode = ValidationMode::kGrouped;
+  options.num_threads = num_threads <= 0 ? 0 : num_threads;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(licenses, std::move(tree), options));
   GroupedValidationResult result;
-
-  Stopwatch division_timer;
-  const LicenseGrouping grouping = LicenseGrouping::FromLicenses(licenses);
-  result.group_count = grouping.group_count();
-  for (int k = 0; k < grouping.group_count(); ++k) {
-    result.group_sizes.push_back(grouping.GroupSize(k));
-  }
-  GEOLIC_ASSIGN_OR_RETURN(
-      DividedTrees divided,
-      DivideAndReindex(std::move(tree), grouping,
-                       licenses.AggregateCounts()));
-  result.division_micros = division_timer.ElapsedMicros();
-
-  Stopwatch validation_timer;
-  const int g = grouping.group_count();
-  std::vector<Result<ValidationReport>> group_reports(
-      static_cast<size_t>(g), Status::Internal("not run"));
-  {
-    ThreadPool pool(std::min(num_threads, std::max(1, g)));
-    for (int k = 0; k < g; ++k) {
-      pool.Schedule([&divided, &group_reports, k] {
-        group_reports[static_cast<size_t>(k)] =
-            ValidateExhaustive(divided.trees[static_cast<size_t>(k)],
-                               divided.aggregates[static_cast<size_t>(k)]);
-      });
-    }
-    pool.Wait();
-  }
-  for (int k = 0; k < g; ++k) {
-    Result<ValidationReport>& group_report =
-        group_reports[static_cast<size_t>(k)];
-    if (!group_report.ok()) {
-      return group_report.status();
-    }
-    result.report.equations_evaluated += group_report->equations_evaluated;
-    result.report.nodes_visited += group_report->nodes_visited;
-    for (const EquationResult& violation : group_report->violations) {
-      EquationResult translated = violation;
-      translated.set = grouping.LocalToOriginalMask(k, violation.set);
-      result.report.violations.push_back(translated);
-    }
-  }
-  result.validation_micros = validation_timer.ElapsedMicros();
+  result.report = std::move(outcome.report);
+  result.group_count = outcome.group_count;
+  result.group_sizes = std::move(outcome.group_sizes);
+  result.division_micros = outcome.division_micros;
+  result.validation_micros = outcome.validation_micros;
   return result;
 }
 

@@ -16,6 +16,10 @@ namespace geolic {
 // during equation evaluation, so the 2^N − 1 equation range shards cleanly
 // across threads; violations are merged in ascending-set order so the
 // report is byte-identical to the sequential one.
+//
+// Both entry points are compatibility wrappers slated for [[deprecated]]:
+// new code should call Validate(...) with options.num_threads set
+// (validation/validate.h); they delegate to that facade.
 
 // Parallel Algorithm 2: shards i = 1..2^N − 1 across `num_threads` workers
 // (0 → one shard per hardware thread). Same report as ValidateExhaustive.

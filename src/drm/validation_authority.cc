@@ -34,13 +34,12 @@ Result<std::string> ReadString(std::istream* in, uint32_t max_size) {
 
 }  // namespace
 
-Status ValidationAuthority::RebuildValidator(Domain* domain,
-                                             const LogStore& history) {
+Status ValidationAuthority::RebuildService(Domain* domain,
+                                           const LogStore& history) {
   GEOLIC_ASSIGN_OR_RETURN(
-      OnlineValidator rebuilt,
-      OnlineValidator::CreateWithHistory(domain->licenses.get(),
-                                         /*use_grouping=*/true, history));
-  domain->validator = std::make_unique<OnlineValidator>(std::move(rebuilt));
+      domain->service,
+      IssuanceService::CreateWithHistory(domain->licenses.get(),
+                                         OnlineValidatorOptions{}, history));
   return Status::Ok();
 }
 
@@ -65,10 +64,9 @@ Status ValidationAuthority::RegisterRedistribution(License license) {
     }
     return added.status();
   }
-  const LogStore history = domain.validator == nullptr
-                               ? LogStore()
-                               : domain.validator->log();
-  return RebuildValidator(&domain, history);
+  const LogStore history =
+      domain.service == nullptr ? LogStore() : domain.service->CollectLog();
+  return RebuildService(&domain, history);
 }
 
 Result<OnlineDecision> ValidationAuthority::ValidateIssue(
@@ -79,7 +77,22 @@ Result<OnlineDecision> ValidationAuthority::ValidateIssue(
                             "content " +
                             issued.content_key());
   }
-  return it->second.validator->TryIssue(issued);
+  return it->second.service->TryIssue(issued);
+}
+
+Result<std::vector<OnlineDecision>> ValidationAuthority::ValidateIssueBatch(
+    const ContentKey& key, const std::vector<License>& batch) {
+  const auto it = domains_.find(key);
+  if (it == domains_.end()) {
+    return Status::NotFound("unknown content domain: " + key.content);
+  }
+  for (const License& license : batch) {
+    if (KeyOf(license) != key) {
+      return Status::InvalidArgument(
+          "batch license " + license.id() + " belongs to another domain");
+    }
+  }
+  return it->second.service->TryIssueBatch(batch);
 }
 
 std::vector<ValidationAuthority::ContentKey> ValidationAuthority::Keys()
@@ -101,13 +114,21 @@ Result<const LicenseSet*> ValidationAuthority::LicensesFor(
   return static_cast<const LicenseSet*>(it->second.licenses.get());
 }
 
-Result<const LogStore*> ValidationAuthority::LogFor(
+Result<LogStore> ValidationAuthority::LogFor(const ContentKey& key) const {
+  const auto it = domains_.find(key);
+  if (it == domains_.end()) {
+    return Status::NotFound("unknown content domain: " + key.content);
+  }
+  return it->second.service->CollectLog();
+}
+
+Result<const IssuanceService*> ValidationAuthority::ServiceFor(
     const ContentKey& key) const {
   const auto it = domains_.find(key);
   if (it == domains_.end()) {
     return Status::NotFound("unknown content domain: " + key.content);
   }
-  return static_cast<const LogStore*>(&it->second.validator->log());
+  return static_cast<const IssuanceService*>(it->second.service.get());
 }
 
 Result<ValidationAuthority::ContentAudit> ValidationAuthority::Audit(
@@ -120,7 +141,7 @@ Result<ValidationAuthority::ContentAudit> ValidationAuthority::Audit(
   audit.key = key;
   GEOLIC_ASSIGN_OR_RETURN(
       audit.result, ValidateGroupedFromLog(*it->second.licenses,
-                                           it->second.validator->log()));
+                                           it->second.service->CollectLog()));
   return audit;
 }
 
@@ -144,7 +165,7 @@ Result<ValidationAuthority::PeriodClose> ValidationAuthority::ClosePeriod(
   Domain& domain = it->second;
   PeriodClose close;
   close.audit.key = key;
-  close.archived_log = domain.validator->log();
+  close.archived_log = domain.service->CollectLog();
   GEOLIC_ASSIGN_OR_RETURN(
       close.audit.result,
       ValidateGroupedFromLog(*domain.licenses, close.archived_log));
@@ -155,7 +176,7 @@ Result<ValidationAuthority::PeriodClose> ValidationAuthority::ClosePeriod(
     close.settled = true;
   }
   // Fresh period: same licenses, empty history.
-  GEOLIC_RETURN_IF_ERROR(RebuildValidator(&domain, LogStore()));
+  GEOLIC_RETURN_IF_ERROR(RebuildService(&domain, LogStore()));
   return close;
 }
 
@@ -173,7 +194,7 @@ Status ValidationAuthority::CheckpointLogs(const std::string& path) const {
     const int32_t permission = static_cast<int32_t>(key.permission);
     out.write(reinterpret_cast<const char*>(&permission),
               sizeof(permission));
-    const LogStore& log = domain.validator->log();
+    const LogStore log = domain.service->CollectLog();
     const uint64_t records = log.size();
     out.write(reinterpret_cast<const char*>(&records), sizeof(records));
     for (const LogRecord& record : log.records()) {
@@ -250,7 +271,7 @@ Status ValidationAuthority::RestoreLogs(const std::string& path) {
 
   for (auto& [key, log] : staged) {
     Domain& domain = domains_[key];
-    GEOLIC_RETURN_IF_ERROR(RebuildValidator(&domain, log));
+    GEOLIC_RETURN_IF_ERROR(RebuildService(&domain, log));
   }
   return Status::Ok();
 }
@@ -284,7 +305,7 @@ Status ValidationAuthority::CheckpointFull(const std::string& path) const {
       GEOLIC_RETURN_IF_ERROR(
           WriteLicenseBinary(domain.licenses->at(i), &out));
     }
-    const LogStore& log = domain.validator->log();
+    const LogStore log = domain.service->CollectLog();
     const uint64_t records = log.size();
     out.write(reinterpret_cast<const char*>(&records), sizeof(records));
     for (const LogRecord& record : log.records()) {
@@ -370,7 +391,7 @@ Status ValidationAuthority::RestoreFull(const std::string& path) {
       }
       GEOLIC_RETURN_IF_ERROR(log.Append(std::move(record)));
     }
-    GEOLIC_RETURN_IF_ERROR(RebuildValidator(&domain, log));
+    GEOLIC_RETURN_IF_ERROR(RebuildService(&domain, log));
     if (!staged.emplace(key, std::move(domain)).second) {
       return Status::ParseError("duplicate domain in checkpoint");
     }

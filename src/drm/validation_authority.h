@@ -10,6 +10,7 @@
 #include "core/grouped_validator.h"
 #include "core/online_validator.h"
 #include "licensing/license_set.h"
+#include "service/issuance_service.h"
 #include "validation/log_store.h"
 #include "util/status.h"
 
@@ -18,9 +19,14 @@ namespace geolic {
 // A multi-content validation authority: the party the paper charges with
 // validating "all the newly generated licenses". It routes each license to
 // the per-(content, permission) state — a LicenseSet of registered
-// redistribution licenses plus an online validator holding the running
-// tree/log — validates issues online, runs offline grouped audits, and can
-// checkpoint its accumulated logs to disk between audit periods.
+// redistribution licenses plus a sharded IssuanceService holding the
+// running tree/log — validates issues online, runs offline grouped audits,
+// and can checkpoint its accumulated logs to disk between audit periods.
+//
+// Thread-safety: ValidateIssue calls may run concurrently with each other
+// (they delegate to the lock-sharded service). Everything that mutates the
+// domain map or rebuilds services — RegisterRedistribution, ClosePeriod,
+// Restore* — must be externally serialized against all other calls.
 class ValidationAuthority {
  public:
   // Key of one validation domain.
@@ -75,9 +81,19 @@ class ValidationAuthority {
   int domain_count() const { return static_cast<int>(domains_.size()); }
   std::vector<ContentKey> Keys() const;
 
-  // Registered redistribution licenses / accumulated log of one domain.
+  // Registered redistribution licenses of one domain.
   Result<const LicenseSet*> LicensesFor(const ContentKey& key) const;
-  Result<const LogStore*> LogFor(const ContentKey& key) const;
+  // Snapshot of the domain's accumulated issuance log (by value: the live
+  // log is sharded inside the service, so there is no single object to
+  // point at). Safe while other threads issue.
+  Result<LogStore> LogFor(const ContentKey& key) const;
+  // The domain's live issuance service (metrics, batch admission).
+  Result<const IssuanceService*> ServiceFor(const ContentKey& key) const;
+
+  // Batched admission for one domain (single lock acquisition per shard
+  // touched); decisions in input order. All licenses must belong to `key`.
+  Result<std::vector<OnlineDecision>> ValidateIssueBatch(
+      const ContentKey& key, const std::vector<License>& batch);
 
   // Offline grouped audit of one domain / all domains.
   Result<ContentAudit> Audit(const ContentKey& key) const;
@@ -111,14 +127,14 @@ class ValidationAuthority {
  private:
   struct Domain {
     std::unique_ptr<LicenseSet> licenses;
-    std::unique_ptr<OnlineValidator> validator;  // Null until first license.
+    std::unique_ptr<IssuanceService> service;  // Null until first license.
   };
 
   static ContentKey KeyOf(const License& license) {
     return ContentKey{license.content_key(), license.permission()};
   }
 
-  Status RebuildValidator(Domain* domain, const LogStore& history);
+  Status RebuildService(Domain* domain, const LogStore& history);
 
   const ConstraintSchema* schema_;
   std::map<ContentKey, Domain> domains_;

@@ -1,0 +1,252 @@
+#include "service/issuance_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace geolic {
+
+IssuanceService::IssuanceService(const LicenseSet* licenses,
+                                 const OnlineValidatorOptions& options,
+                                 LicenseGrouping grouping)
+    : licenses_(licenses),
+      options_(options),
+      grouping_(std::move(grouping)),
+      instance_validator_(licenses),
+      metrics_(options.metrics != nullptr ? options.metrics : &owned_metrics_) {
+  int shard_count = 1;
+  if (options_.use_grouping) {
+    shard_count = grouping_.group_count();
+    if (options_.shard_hint > 0) {
+      shard_count = std::min(shard_count, options_.shard_hint);
+    }
+    shard_count = std::max(shard_count, 1);
+  }
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Result<std::unique_ptr<IssuanceService>> IssuanceService::Create(
+    const LicenseSet* licenses, const OnlineValidatorOptions& options) {
+  if (licenses == nullptr || licenses->empty()) {
+    return Status::InvalidArgument(
+        "issuance service needs at least one redistribution license");
+  }
+  // Not make_unique: the constructor is private.
+  return std::unique_ptr<IssuanceService>(new IssuanceService(
+      licenses, options, LicenseGrouping::FromLicenses(*licenses)));
+}
+
+Result<std::unique_ptr<IssuanceService>> IssuanceService::CreateWithHistory(
+    const LicenseSet* licenses, const OnlineValidatorOptions& options,
+    const LogStore& history) {
+  GEOLIC_ASSIGN_OR_RETURN(std::unique_ptr<IssuanceService> service,
+                          Create(licenses, options));
+  for (const LogRecord& record : history.records()) {
+    if (!IsSubsetOf(record.set, licenses->AllMask())) {
+      return Status::InvalidArgument(
+          "history record references unknown license indexes");
+    }
+    LicenseMask scope = 0;
+    size_t shard_index = 0;
+    service->RouteSet(record.set, &scope, &shard_index);
+    if (!IsSubsetOf(record.set, scope)) {
+      // Satisfying sets always lie within one overlap group (every member
+      // contains the issued rectangle, so they pairwise overlap); a record
+      // spanning groups cannot have come from a valid issuance.
+      return Status::InvalidArgument(
+          "history record spans overlap groups");
+    }
+    Shard* shard = service->shards_[shard_index].get();
+    GEOLIC_RETURN_IF_ERROR(shard->tree.Insert(record.set, record.count));
+    GEOLIC_RETURN_IF_ERROR(shard->log.Append(record));
+    service->issue_sequence_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return service;
+}
+
+size_t IssuanceService::ShardOf(int group) const {
+  return static_cast<size_t>(group) % shards_.size();
+}
+
+void IssuanceService::RouteSet(LicenseMask s, LicenseMask* scope,
+                               size_t* shard) const {
+  if (options_.use_grouping) {
+    const int group = grouping_.GroupOf(LowestLicense(s));
+    *scope = grouping_.GroupMask(group);
+    *shard = ShardOf(group);
+  } else {
+    *scope = licenses_->AllMask();
+    *shard = 0;
+  }
+}
+
+Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
+                                    LicenseMask scope,
+                                    OnlineDecision* decision) {
+  const LicenseMask s = decision->satisfying_set;
+  const int64_t count = issued.aggregate_count();
+  GEOLIC_DCHECK(IsSubsetOf(s, scope));
+
+  // Check every equation T with S ⊆ T ⊆ scope: its LHS gains `count`.
+  decision->aggregate_valid = true;
+  const LicenseMask extension = scope & ~s;
+  LicenseMask x = 0;
+  while (true) {
+    const LicenseMask t = s | x;
+    const int64_t cv = shard->tree.SumSubsets(t) + count;
+    const int64_t av = licenses_->AggregateSum(t);
+    ++decision->equations_checked;
+    if (cv > av) {
+      decision->aggregate_valid = false;
+      decision->limiting = EquationResult{t, cv, av};
+      return Status::Ok();
+    }
+    if (x == extension) {
+      break;
+    }
+    x = (x - extension) & extension;
+  }
+
+  // Accepted: persist in the shard's tree and log.
+  GEOLIC_RETURN_IF_ERROR(shard->tree.Insert(s, count));
+  LogRecord record;
+  record.issued_license_id =
+      issued.id().empty()
+          ? "LU" + std::to_string(
+                issue_sequence_.fetch_add(1, std::memory_order_relaxed) + 1)
+          : issued.id();
+  record.set = s;
+  record.count = count;
+  GEOLIC_RETURN_IF_ERROR(shard->log.Append(std::move(record)));
+  return Status::Ok();
+}
+
+Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
+  Stopwatch timer;
+  if (issued.aggregate_count() <= 0) {
+    return Status::InvalidArgument(
+        "issued license must carry a positive count");
+  }
+  OnlineDecision decision;
+  // Lock-free fast-reject: the geometry is immutable, so the satisfying-set
+  // lookup needs no shard lock.
+  decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
+  if (decision.satisfying_set == 0) {
+    metrics_->RecordRejectedInstance(timer.ElapsedNanos());
+    return decision;  // Fails instance-based validation; nothing recorded.
+  }
+  decision.instance_valid = true;
+
+  LicenseMask scope = 0;
+  size_t shard_index = 0;
+  RouteSet(decision.satisfying_set, &scope, &shard_index);
+  Shard* shard = shards_[shard_index].get();
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    GEOLIC_RETURN_IF_ERROR(AdmitLocked(shard, issued, scope, &decision));
+  }
+  if (decision.aggregate_valid) {
+    metrics_->RecordAccepted(decision.equations_checked, timer.ElapsedNanos());
+  } else {
+    metrics_->RecordRejectedAggregate(decision.equations_checked,
+                                      timer.ElapsedNanos());
+  }
+  return decision;
+}
+
+Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
+    const std::vector<License>& batch) {
+  Stopwatch timer;
+  metrics_->RecordBatch(batch.size());
+  std::vector<OnlineDecision> decisions(batch.size());
+
+  // Pass 1, lock-free: satisfying sets, instance rejects, shard routing.
+  struct Pending {
+    size_t shard;
+    size_t index;
+    LicenseMask scope;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].aggregate_count() <= 0) {
+      return Status::InvalidArgument(
+          "issued license must carry a positive count");
+    }
+    decisions[i].satisfying_set = instance_validator_.SatisfyingSet(batch[i]);
+    if (decisions[i].satisfying_set == 0) {
+      metrics_->RecordRejectedInstance(timer.ElapsedNanos());
+      continue;
+    }
+    decisions[i].instance_valid = true;
+    Pending p;
+    p.index = i;
+    RouteSet(decisions[i].satisfying_set, &p.scope, &p.shard);
+    pending.push_back(p);
+  }
+
+  // Pass 2: group by shard so each touched shard is locked once per batch.
+  // Stable sort keeps the batch's relative order within a shard, so the
+  // decisions match a sequential TryIssue loop (cross-shard order cannot
+  // matter: different shards share no equations).
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.shard < b.shard;
+                   });
+  size_t at = 0;
+  while (at < pending.size()) {
+    const size_t shard_index = pending[at].shard;
+    Shard* shard = shards_[shard_index].get();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (; at < pending.size() && pending[at].shard == shard_index; ++at) {
+      const Pending& p = pending[at];
+      GEOLIC_RETURN_IF_ERROR(
+          AdmitLocked(shard, batch[p.index], p.scope, &decisions[p.index]));
+      if (decisions[p.index].aggregate_valid) {
+        metrics_->RecordAccepted(decisions[p.index].equations_checked,
+                                 timer.ElapsedNanos());
+      } else {
+        metrics_->RecordRejectedAggregate(
+            decisions[p.index].equations_checked, timer.ElapsedNanos());
+      }
+    }
+  }
+  return decisions;
+}
+
+LogStore IssuanceService::CollectLog() const {
+  LogStore merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const LogRecord& record : shard->log.records()) {
+      // Append only fails on empty sets / nonpositive counts, which the
+      // admission path already rejected.
+      Status append_status = merged.Append(record);
+      (void)append_status;
+    }
+  }
+  return merged;
+}
+
+Result<ValidationTree> IssuanceService::CollectTree() const {
+  ValidationTree merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    Status status = Status::Ok();
+    shard->tree.ForEachSet([&](LicenseMask set, int64_t count) {
+      if (status.ok()) {
+        status = merged.Insert(set, count);
+      }
+    });
+    GEOLIC_RETURN_IF_ERROR(status);
+  }
+  return merged;
+}
+
+}  // namespace geolic

@@ -1,0 +1,129 @@
+#ifndef GEOLIC_SERVICE_ISSUANCE_SERVICE_H_
+#define GEOLIC_SERVICE_ISSUANCE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/grouping.h"
+#include "core/instance_validator.h"
+#include "core/online_validator.h"
+#include "licensing/license_set.h"
+#include "validation/log_store.h"
+#include "validation/validation_tree.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Thread-safe online admission for one (content, permission) domain — the
+// concurrent counterpart of OnlineValidator.
+//
+// The paper's grouping result doubles as a sharding theorem: licenses in
+// different overlap groups share no validation equations (Theorem 2), so
+// issuances whose satisfying sets fall in different groups can admit fully
+// in parallel with no coordination. The service therefore splits the
+// running validation tree and log into per-overlap-group shards, each
+// guarded by its own mutex; a request only ever locks the one shard its
+// satisfying set lives in.
+//
+// Concurrency contract:
+//  * TryIssue / TryIssueBatch are safe to call from any number of threads.
+//  * The instance-based fast-reject path is lock-free: the satisfying-set
+//    lookup reads only immutable state (the license geometry), so requests
+//    outside every license never contend.
+//  * CollectLog / CollectTree lock shards one at a time and return
+//    snapshots; they can run concurrently with issuance (the snapshot is a
+//    consistent prefix per shard, not a cross-shard instant).
+//  * Accessors (licenses, grouping, options, shard_count) touch immutable
+//    state only.
+//
+// Admissions are linearized per shard, so for any interleaving the final
+// tree/log equal a serial replay of the accepted set (order within a shard
+// is the shard's admission order; cross-shard order is immaterial because
+// the shards share no equations).
+class IssuanceService {
+ public:
+  // `licenses` must be non-empty and outlive the service; so must
+  // `options.metrics` when set. options.use_grouping=false degrades to a
+  // single shard covering all licenses (every admission serializes — the
+  // baseline the concurrency ablation measures against);
+  // options.shard_hint caps the number of lock shards (groups are striped
+  // over min(hint, group_count) mutexes).
+  static Result<std::unique_ptr<IssuanceService>> Create(
+      const LicenseSet* licenses, const OnlineValidatorOptions& options = {});
+
+  // Pre-loads already-validated issuances (not re-checked) into the
+  // shards, as OnlineValidator::CreateWithHistory does.
+  static Result<std::unique_ptr<IssuanceService>> CreateWithHistory(
+      const LicenseSet* licenses, const OnlineValidatorOptions& options,
+      const LogStore& history);
+
+  IssuanceService(const IssuanceService&) = delete;
+  IssuanceService& operator=(const IssuanceService&) = delete;
+
+  // Validates one issuance and records it when accepted. Identical
+  // decision semantics to OnlineValidator::TryIssue.
+  Result<OnlineDecision> TryIssue(const License& issued);
+
+  // Admits a batch, returning decisions in input order. Requests are
+  // processed shard-by-shard (one lock acquisition per shard touched, not
+  // per request); within a shard the batch's relative order is preserved,
+  // so the decisions equal a sequential TryIssue loop over the batch.
+  Result<std::vector<OnlineDecision>> TryIssueBatch(
+      const std::vector<License>& batch);
+
+  // Snapshot of all accepted issuances, shard by shard (within a shard:
+  // admission order). Feedable to the offline validators; equal as a
+  // multiset to any serial replay of the accepted set.
+  LogStore CollectLog() const;
+
+  // Snapshot of the combined validation tree (the union of the shard
+  // trees; shards share no license indexes, so this is a plain merge).
+  Result<ValidationTree> CollectTree() const;
+
+  const LicenseSet& licenses() const { return *licenses_; }
+  const LicenseGrouping& grouping() const { return grouping_; }
+  const OnlineValidatorOptions& options() const { return options_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  // Decision counters and latency histogram. Points at options.metrics
+  // when that was set, else at a service-owned block.
+  const IssuanceMetrics& metrics() const { return *metrics_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    ValidationTree tree;  // Masks in original license indexes.
+    LogStore log;
+  };
+
+  IssuanceService(const LicenseSet* licenses,
+                  const OnlineValidatorOptions& options,
+                  LicenseGrouping grouping);
+
+  // Shard that owns license group `group` (groups striped over shards).
+  size_t ShardOf(int group) const;
+  // Equation scope for satisfying set `s` (its group's mask, or the full
+  // set without grouping), plus the owning shard index.
+  void RouteSet(LicenseMask s, LicenseMask* scope, size_t* shard) const;
+  // Equation check + tree/log update for one request. Caller holds
+  // `shard.mutex`. `decision` already carries the satisfying set.
+  Status AdmitLocked(Shard* shard, const License& issued, LicenseMask scope,
+                     OnlineDecision* decision);
+
+  const LicenseSet* licenses_;
+  OnlineValidatorOptions options_;
+  LicenseGrouping grouping_;
+  LinearInstanceValidator instance_validator_;  // Immutable ⇒ lock-free.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  IssuanceMetrics owned_metrics_;
+  IssuanceMetrics* metrics_;  // == options_.metrics or &owned_metrics_.
+  std::atomic<int64_t> issue_sequence_{0};
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_SERVICE_ISSUANCE_SERVICE_H_

@@ -1,0 +1,128 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace geolic {
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) {
+    nanos = 0;
+  }
+  const uint64_t value = static_cast<uint64_t>(nanos);
+  int bucket = value == 0 ? 0 : 63 - std::countl_zero(value);
+  if (bucket >= kBuckets) {
+    bucket = kBuckets - 1;
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(value, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snapshot;
+  for (int i = 0; i < kBuckets; ++i) {
+    snapshot.counts[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  snapshot.total_count = total_count_.load(std::memory_order_relaxed);
+  snapshot.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+double LatencyHistogram::Snapshot::MeanNanos() const {
+  if (total_count == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_nanos) / static_cast<double>(total_count);
+}
+
+int64_t LatencyHistogram::Snapshot::QuantileUpperBoundNanos(double p) const {
+  if (total_count == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 1.0) {
+    p = 1.0;
+  }
+  const uint64_t rank = static_cast<uint64_t>(
+      p * static_cast<double>(total_count - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<size_t>(i)];
+    if (seen > rank) {
+      return int64_t{1} << (i + 1);
+    }
+  }
+  return int64_t{1} << kBuckets;
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "count=%llu, mean=%.0fns, p50<=%lldns, p99<=%lldns",
+                static_cast<unsigned long long>(total_count), MeanNanos(),
+                static_cast<long long>(QuantileUpperBoundNanos(0.5)),
+                static_cast<long long>(QuantileUpperBoundNanos(0.99)));
+  return buffer;
+}
+
+void IssuanceMetrics::RecordAccepted(uint64_t equations, int64_t nanos) {
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  equations_checked_.fetch_add(equations, std::memory_order_relaxed);
+  latency_.Record(nanos);
+}
+
+void IssuanceMetrics::RecordRejectedInstance(int64_t nanos) {
+  rejected_instance_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(nanos);
+}
+
+void IssuanceMetrics::RecordRejectedAggregate(uint64_t equations,
+                                              int64_t nanos) {
+  rejected_aggregate_.fetch_add(1, std::memory_order_relaxed);
+  equations_checked_.fetch_add(equations, std::memory_order_relaxed);
+  latency_.Record(nanos);
+}
+
+void IssuanceMetrics::RecordBatch(uint64_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+}
+
+IssuanceMetrics::Snapshot IssuanceMetrics::Snap() const {
+  Snapshot snapshot;
+  snapshot.accepted = accepted_.load(std::memory_order_relaxed);
+  snapshot.rejected_instance =
+      rejected_instance_.load(std::memory_order_relaxed);
+  snapshot.rejected_aggregate =
+      rejected_aggregate_.load(std::memory_order_relaxed);
+  snapshot.equations_checked =
+      equations_checked_.load(std::memory_order_relaxed);
+  snapshot.batches = batches_.load(std::memory_order_relaxed);
+  snapshot.batched_requests =
+      batched_requests_.load(std::memory_order_relaxed);
+  snapshot.latency = latency_.Snap();
+  return snapshot;
+}
+
+std::string IssuanceMetrics::Snapshot::ToString() const {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "accepted=%llu, rejected_instance=%llu, rejected_aggregate=%llu, "
+      "equations=%llu, batches=%llu (%llu reqs), latency: %s",
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(rejected_instance),
+      static_cast<unsigned long long>(rejected_aggregate),
+      static_cast<unsigned long long>(equations_checked),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batched_requests),
+      latency.ToString().c_str());
+  return buffer;
+}
+
+}  // namespace geolic

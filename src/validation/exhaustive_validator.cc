@@ -1,64 +1,30 @@
 #include "validation/exhaustive_validator.h"
 
+#include "validation/validate.h"
+
 namespace geolic {
-namespace {
 
-Result<ValidationReport> ValidateImpl(const ValidationTree& tree,
-                                      const std::vector<int64_t>& aggregates,
-                                      uint64_t max_equations) {
-  const int n = static_cast<int>(aggregates.size());
-  if (n > kMaxLicenses) {
-    return Status::CapacityExceeded("at most 64 redistribution licenses");
-  }
-  ValidationReport report;
-  if (n == 0) {
-    return report;
-  }
-  // Licenses the tree mentions must all have an aggregate entry.
-  const LicenseMask present = tree.PresentLicenses();
-  if (!IsSubsetOf(present, FullMask(n))) {
-    return Status::InvalidArgument(
-        "tree references license indexes beyond the aggregate array");
-  }
-
-  // Algorithm 2: i enumerates every non-empty subset of {0..n-1}; the bits
-  // of i select the licenses in the current equation's set.
-  const LicenseMask full = FullMask(n);
-  for (LicenseMask i = 1;; ++i) {
-    if (report.equations_evaluated >= max_equations) {
-      break;
-    }
-    // AV: sum of aggregate values of the selected licenses.
-    int64_t av = 0;
-    for (int j = 0; j < n; ++j) {
-      if (MaskContains(i, j)) {
-        av += aggregates[static_cast<size_t>(j)];
-      }
-    }
-    // CV: pruned tree traversal summing counts of all subsets of i.
-    const int64_t cv = tree.SumSubsets(i, &report.nodes_visited);
-    ++report.equations_evaluated;
-    if (cv > av) {
-      report.violations.push_back(EquationResult{i, cv, av});
-    }
-    if (i == full) {
-      break;
-    }
-  }
-  return report;
-}
-
-}  // namespace
+// Both historical entry points are thin wrappers over the Validate facade;
+// the serial Algorithm 2 engine lives in validate.cc.
 
 Result<ValidationReport> ValidateExhaustive(
     const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
-  return ValidateImpl(tree, aggregates, UINT64_MAX);
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(tree, aggregates, options));
+  return std::move(outcome.report);
 }
 
 Result<ValidationReport> ValidateExhaustiveLimited(
     const ValidationTree& tree, const std::vector<int64_t>& aggregates,
     uint64_t max_equations) {
-  return ValidateImpl(tree, aggregates, max_equations);
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.max_equations = max_equations;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(tree, aggregates, options));
+  return std::move(outcome.report);
 }
 
 int64_t LhsFromMergedCounts(

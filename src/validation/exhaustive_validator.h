@@ -20,6 +20,11 @@ namespace geolic {
 // redistribution license; N = aggregates.size(). Requires N ≤ 64 and — for
 // the 2^N enumeration to be tractable — realistically N ≲ 30; callers
 // wanting the paper's efficient method use core/GroupedValidator instead.
+//
+// Compatibility wrapper, slated for [[deprecated]]: new code should call
+// Validate(tree, aggregates, {.mode = ValidationMode::kExhaustive})
+// (validation/validate.h). Both entry points below delegate to that facade
+// and produce byte-identical reports.
 Result<ValidationReport> ValidateExhaustive(
     const ValidationTree& tree, const std::vector<int64_t>& aggregates);
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "validation/exhaustive_validator.h"
+#include "validation/validate.h"
 #include "util/check.h"
 
 namespace geolic {
@@ -81,21 +81,14 @@ Result<ValidationTree> BuildFrequencyOrderedTree(
 
 Result<ValidationReport> ValidateExhaustiveFrequencyOrdered(
     const LogStore& log, const std::vector<int64_t>& aggregates) {
-  const int n = static_cast<int>(aggregates.size());
-  if (n > kMaxLicenses) {
-    return Status::CapacityExceeded("at most 64 redistribution licenses");
-  }
-  const LicensePermutation permutation =
-      LicensePermutation::ByDescendingFrequency(log, n);
-  GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree,
-                          BuildFrequencyOrderedTree(log, permutation));
-  GEOLIC_ASSIGN_OR_RETURN(
-      ValidationReport report,
-      ValidateExhaustive(tree, permutation.MapValues(aggregates)));
-  for (EquationResult& violation : report.violations) {
-    violation.set = permutation.UnmapMask(violation.set);
-  }
-  return report;
+  // Thin wrapper over the Validate facade; the relabel–validate–unmap
+  // pipeline lives in validate.cc.
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.order = TreeOrder::kDescendingFrequency;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(log, aggregates, options));
+  return std::move(outcome.report);
 }
 
 }  // namespace geolic

@@ -59,6 +59,10 @@ Result<ValidationTree> BuildFrequencyOrderedTree(
 // are translated back to original license indexes, so the result is
 // interchangeable with ValidateExhaustive(BuildFromLog(log), aggregates)
 // up to violation order (ascending in *relabeled* masks).
+//
+// Compatibility wrapper, slated for [[deprecated]]: new code should call
+// Validate(log, aggregates, {.order = TreeOrder::kDescendingFrequency})
+// (validation/validate.h); this delegates there.
 Result<ValidationReport> ValidateExhaustiveFrequencyOrdered(
     const LogStore& log, const std::vector<int64_t>& aggregates);
 

@@ -1,0 +1,255 @@
+#include "validation/validate.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "validation/frequency_order.h"
+#include "util/thread_pool.h"
+
+namespace geolic {
+namespace {
+
+// ---- Serial exhaustive engine (Algorithm 2) --------------------------------
+
+Result<ValidationReport> ExhaustiveSerial(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
+    uint64_t max_equations) {
+  const int n = static_cast<int>(aggregates.size());
+  ValidationReport report;
+  if (n == 0) {
+    return report;
+  }
+  // i enumerates every non-empty subset of {0..n-1}; the bits of i select
+  // the licenses in the current equation's set.
+  const LicenseMask full = FullMask(n);
+  for (LicenseMask i = 1;; ++i) {
+    if (report.equations_evaluated >= max_equations) {
+      break;
+    }
+    // AV: sum of aggregate values of the selected licenses.
+    int64_t av = 0;
+    for (int j = 0; j < n; ++j) {
+      if (MaskContains(i, j)) {
+        av += aggregates[static_cast<size_t>(j)];
+      }
+    }
+    // CV: pruned tree traversal summing counts of all subsets of i.
+    const int64_t cv = tree.SumSubsets(i, &report.nodes_visited);
+    ++report.equations_evaluated;
+    if (cv > av) {
+      report.violations.push_back(EquationResult{i, cv, av});
+    }
+    if (i == full) {
+      break;
+    }
+  }
+  return report;
+}
+
+// ---- Parallel exhaustive engine (equation-range sharding) ------------------
+
+// Evaluates equations for sets in [begin, end] (inclusive masks) against
+// the read-only tree; appends violations to *out in ascending order.
+void EvaluateRange(const ValidationTree& tree,
+                   const std::vector<int64_t>& aggregates, LicenseMask begin,
+                   LicenseMask end, std::vector<EquationResult>* out,
+                   uint64_t* nodes_visited) {
+  const int n = static_cast<int>(aggregates.size());
+  for (LicenseMask set = begin;; ++set) {
+    int64_t av = 0;
+    for (int j = 0; j < n; ++j) {
+      if (MaskContains(set, j)) {
+        av += aggregates[static_cast<size_t>(j)];
+      }
+    }
+    const int64_t cv = tree.SumSubsets(set, nodes_visited);
+    if (cv > av) {
+      out->push_back(EquationResult{set, cv, av});
+    }
+    if (set == end) {
+      break;
+    }
+  }
+}
+
+Result<ValidationReport> ExhaustiveSharded(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
+    int num_threads) {
+  const int n = static_cast<int>(aggregates.size());
+  ValidationReport report;
+  if (n == 0) {
+    return report;
+  }
+  const LicenseMask full = FullMask(n);
+  const uint64_t total = full;  // Number of non-empty sets = 2^n − 1.
+  const uint64_t shard_count =
+      std::min<uint64_t>(static_cast<uint64_t>(num_threads) * 4, total);
+  std::vector<std::vector<EquationResult>> shard_violations(shard_count);
+  std::vector<uint64_t> shard_nodes(shard_count, 0);
+
+  {
+    ThreadPool pool(num_threads);
+    for (uint64_t shard = 0; shard < shard_count; ++shard) {
+      // Masks 1..full split into contiguous shards.
+      const LicenseMask begin =
+          static_cast<LicenseMask>(1 + shard * total / shard_count);
+      const LicenseMask end =
+          static_cast<LicenseMask>((shard + 1) * total / shard_count);
+      pool.Schedule([&tree, &aggregates, begin, end,
+                     violations = &shard_violations[shard],
+                     nodes = &shard_nodes[shard]] {
+        EvaluateRange(tree, aggregates, begin, end, violations, nodes);
+      });
+    }
+    pool.Wait();
+  }
+
+  report.equations_evaluated = total;
+  for (uint64_t shard = 0; shard < shard_count; ++shard) {
+    report.nodes_visited += shard_nodes[shard];
+    report.violations.insert(report.violations.end(),
+                             shard_violations[shard].begin(),
+                             shard_violations[shard].end());
+  }
+  return report;
+}
+
+// ---- Dense zeta (subset-sum DP) engine -------------------------------------
+
+Result<ValidationReport> ZetaDense(const ValidationTree& tree,
+                                   const std::vector<int64_t>& aggregates,
+                                   int max_dense_n) {
+  const int n = static_cast<int>(aggregates.size());
+  if (n > max_dense_n) {
+    return Status::CapacityExceeded(
+        "dense zeta validation capped at N = " +
+        std::to_string(max_dense_n) + ", got " + std::to_string(n));
+  }
+  ValidationReport report;
+  if (n == 0) {
+    return report;
+  }
+
+  const size_t table_size = size_t{1} << n;
+  // lhs[S] starts as the exact count C[S]; after the zeta transform it is
+  // C⟨S⟩ = Σ_{T ⊆ S} C[T].
+  std::vector<int64_t> lhs(table_size, 0);
+  tree.ForEachSet([&lhs](LicenseMask set, int64_t count) {
+    lhs[static_cast<size_t>(set)] += count;
+  });
+  for (int bit = 0; bit < n; ++bit) {
+    const size_t stride = size_t{1} << bit;
+    for (size_t set = 0; set < table_size; ++set) {
+      if (set & stride) {
+        lhs[set] += lhs[set ^ stride];
+      }
+    }
+  }
+
+  // rhs[S] via the same recurrence on a rolling basis: A[S] =
+  // A[S without lowest bit] + A[lowest bit].
+  std::vector<int64_t> rhs(table_size, 0);
+  for (size_t set = 1; set < table_size; ++set) {
+    const LicenseMask mask = static_cast<LicenseMask>(set);
+    const int lowest = LowestLicense(mask);
+    rhs[set] = rhs[set & (set - 1)] + aggregates[static_cast<size_t>(lowest)];
+  }
+
+  for (size_t set = 1; set < table_size; ++set) {
+    ++report.equations_evaluated;
+    if (lhs[set] > rhs[set]) {
+      report.violations.push_back(EquationResult{
+          static_cast<LicenseMask>(set), lhs[set], rhs[set]});
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<ValidationOutcome> Validate(const ValidationTree& tree,
+                                   const std::vector<int64_t>& aggregates,
+                                   const ValidateOptions& options) {
+  const int n = static_cast<int>(aggregates.size());
+  if (n > kMaxLicenses) {
+    return Status::CapacityExceeded("at most 64 redistribution licenses");
+  }
+  if (n == 0) {
+    return ValidationOutcome{};
+  }
+  // Licenses the tree mentions must all have an aggregate entry.
+  if (!IsSubsetOf(tree.PresentLicenses(), FullMask(n))) {
+    return Status::InvalidArgument(
+        "tree references license indexes beyond the aggregate array");
+  }
+
+  ValidationMode mode = options.mode;
+  if (mode == ValidationMode::kAuto) {
+    mode = n <= options.max_dense_n ? ValidationMode::kZeta
+                                    : ValidationMode::kExhaustive;
+  }
+
+  ValidationOutcome outcome;
+  switch (mode) {
+    case ValidationMode::kExhaustive: {
+      const int threads = options.num_threads == 0
+                              ? ThreadPool::DefaultThreadCount()
+                              : options.num_threads;
+      // The equation limit is a serial-engine notion: parallel shards
+      // cannot stop "after the first k equations" deterministically.
+      if (threads <= 1 || options.max_equations != UINT64_MAX) {
+        GEOLIC_ASSIGN_OR_RETURN(
+            outcome.report,
+            ExhaustiveSerial(tree, aggregates, options.max_equations));
+      } else {
+        GEOLIC_ASSIGN_OR_RETURN(outcome.report,
+                                ExhaustiveSharded(tree, aggregates, threads));
+      }
+      return outcome;
+    }
+    case ValidationMode::kZeta: {
+      GEOLIC_ASSIGN_OR_RETURN(
+          outcome.report, ZetaDense(tree, aggregates, options.max_dense_n));
+      return outcome;
+    }
+    case ValidationMode::kGrouped:
+    case ValidationMode::kGroupedZeta:
+      return Status::InvalidArgument(
+          "grouped validation needs the licenses' geometry; call the "
+          "LicenseSet overload of Validate");
+    case ValidationMode::kAuto:
+      break;  // Resolved above.
+  }
+  return Status::Internal("unreachable validation mode");
+}
+
+Result<ValidationOutcome> Validate(const LogStore& log,
+                                   const std::vector<int64_t>& aggregates,
+                                   const ValidateOptions& options) {
+  const int n = static_cast<int>(aggregates.size());
+  if (n > kMaxLicenses) {
+    return Status::CapacityExceeded("at most 64 redistribution licenses");
+  }
+  if (options.order == TreeOrder::kIndex) {
+    GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree,
+                            ValidationTree::BuildFromLog(log));
+    return Validate(tree, aggregates, options);
+  }
+
+  // Frequency relabeling: build the tree under the permutation, validate in
+  // relabeled space, then translate violation sets back.
+  const LicensePermutation permutation =
+      LicensePermutation::ByDescendingFrequency(log, n);
+  GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree,
+                          BuildFrequencyOrderedTree(log, permutation));
+  GEOLIC_ASSIGN_OR_RETURN(
+      ValidationOutcome outcome,
+      Validate(tree, permutation.MapValues(aggregates), options));
+  for (EquationResult& violation : outcome.report.violations) {
+    violation.set = permutation.UnmapMask(violation.set);
+  }
+  return outcome;
+}
+
+}  // namespace geolic

@@ -1,61 +1,20 @@
 #include "validation/zeta_validator.h"
 
+#include "validation/validate.h"
+
 namespace geolic {
 
+// Thin wrapper over the Validate facade; the dense subset-sum engine lives
+// in validate.cc.
 Result<ValidationReport> ValidateZeta(const ValidationTree& tree,
                                       const std::vector<int64_t>& aggregates,
                                       int max_dense_n) {
-  const int n = static_cast<int>(aggregates.size());
-  if (n > kMaxLicenses) {
-    return Status::CapacityExceeded("at most 64 redistribution licenses");
-  }
-  if (n > max_dense_n) {
-    return Status::CapacityExceeded(
-        "dense zeta validation capped at N = " +
-        std::to_string(max_dense_n) + ", got " + std::to_string(n));
-  }
-  ValidationReport report;
-  if (n == 0) {
-    return report;
-  }
-  if (!IsSubsetOf(tree.PresentLicenses(), FullMask(n))) {
-    return Status::InvalidArgument(
-        "tree references license indexes beyond the aggregate array");
-  }
-
-  const size_t table_size = size_t{1} << n;
-  // lhs[S] starts as the exact count C[S]; after the zeta transform it is
-  // C⟨S⟩ = Σ_{T ⊆ S} C[T].
-  std::vector<int64_t> lhs(table_size, 0);
-  tree.ForEachSet([&lhs](LicenseMask set, int64_t count) {
-    lhs[static_cast<size_t>(set)] += count;
-  });
-  for (int bit = 0; bit < n; ++bit) {
-    const size_t stride = size_t{1} << bit;
-    for (size_t set = 0; set < table_size; ++set) {
-      if (set & stride) {
-        lhs[set] += lhs[set ^ stride];
-      }
-    }
-  }
-
-  // rhs[S] via the same recurrence on a rolling basis: A[S] =
-  // A[S without lowest bit] + A[lowest bit].
-  std::vector<int64_t> rhs(table_size, 0);
-  for (size_t set = 1; set < table_size; ++set) {
-    const LicenseMask mask = static_cast<LicenseMask>(set);
-    const int lowest = LowestLicense(mask);
-    rhs[set] = rhs[set & (set - 1)] + aggregates[static_cast<size_t>(lowest)];
-  }
-
-  for (size_t set = 1; set < table_size; ++set) {
-    ++report.equations_evaluated;
-    if (lhs[set] > rhs[set]) {
-      report.violations.push_back(EquationResult{
-          static_cast<LicenseMask>(set), lhs[set], rhs[set]});
-    }
-  }
-  return report;
+  ValidateOptions options;
+  options.mode = ValidationMode::kZeta;
+  options.max_dense_n = max_dense_n;
+  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
+                          Validate(tree, aggregates, options));
+  return std::move(outcome.report);
 }
 
 }  // namespace geolic

@@ -24,6 +24,10 @@ namespace geolic {
 //
 // Produces the identical ValidationReport (same violations in the same
 // ascending-set order; nodes_visited is 0 — no tree walks).
+//
+// Compatibility wrapper, slated for [[deprecated]]: new code should call
+// Validate(tree, aggregates, {.mode = ValidationMode::kZeta})
+// (validation/validate.h); this delegates there.
 Result<ValidationReport> ValidateZeta(const ValidationTree& tree,
                                       const std::vector<int64_t>& aggregates,
                                       int max_dense_n = 26);

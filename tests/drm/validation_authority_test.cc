@@ -129,10 +129,10 @@ TEST(ValidationAuthorityTest, HistorySurvivesLicenseGrowth) {
       UsageFor(schema, "U2", "movie", Permission::kPlay, 0, 10, 30));
   ASSERT_TRUE(over.ok());
   EXPECT_FALSE(over->accepted());  // 80 + 30 > 100 on license A1 alone.
-  const Result<const LogStore*> log = authority.LogFor(
+  const Result<LogStore> log = authority.LogFor(
       ValidationAuthority::ContentKey{"movie", Permission::kPlay});
   ASSERT_TRUE(log.ok());
-  EXPECT_EQ((*log)->size(), 1u);
+  EXPECT_EQ(log->size(), 1u);
 }
 
 TEST(ValidationAuthorityTest, AuditAllCoversEveryDomain) {
@@ -267,7 +267,7 @@ TEST(ValidationAuthorityTest, ClosePeriodSettlesAndResets) {
   EXPECT_EQ(close->archived_log.size(), 1u);
 
   // New period: full budget again, empty live log.
-  EXPECT_EQ((*authority.LogFor(key))->size(), 0u);
+  EXPECT_EQ(authority.LogFor(key)->size(), 0u);
   EXPECT_TRUE(authority
                   .ValidateIssue(UsageFor(schema, "U3", "movie",
                                           Permission::kPlay, 0, 10, 100))
@@ -319,7 +319,7 @@ TEST(ValidationAuthorityTest, ClosePeriodWithViolationsSkipsSettlement) {
   ASSERT_EQ(close->audit.result.report.violations.size(), 1u);
   EXPECT_EQ(close->audit.result.report.violations[0].lhs, 150);
   // The period still reset.
-  EXPECT_EQ((*authority.LogFor(key))->size(), 0u);
+  EXPECT_EQ(authority.LogFor(key)->size(), 0u);
   std::remove(path.c_str());
 
   EXPECT_FALSE(authority
@@ -362,10 +362,10 @@ TEST(ValidationAuthorityTest, FullCheckpointRestoreRoundTrip) {
       ValidationAuthority::ContentKey{"movie", Permission::kPlay});
   ASSERT_TRUE(licenses.ok());
   EXPECT_EQ((*licenses)->size(), 2);
-  const Result<const LogStore*> log = restored.LogFor(
+  const Result<LogStore> log = restored.LogFor(
       ValidationAuthority::ContentKey{"movie", Permission::kPlay});
   ASSERT_TRUE(log.ok());
-  EXPECT_EQ((*log)->size(), 1u);
+  EXPECT_EQ(log->size(), 1u);
 
   // Budget state carried over: U1's 70 counts hit both A1 and A2.
   const Result<std::vector<ValidationAuthority::ContentAudit>> audits =

@@ -1,0 +1,259 @@
+#include "validation/validate.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/grouped_validator.h"
+#include "core/parallel_validator.h"
+#include "test_util.h"
+#include "validation/exhaustive_validator.h"
+#include "validation/frequency_order.h"
+#include "validation/zeta_validator.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+
+// The seven pre-facade entry points must produce byte-identical reports to
+// the Validate(...) calls they now delegate to — this pins the contract.
+
+void ExpectSameReport(const ValidationReport& a, const ValidationReport& b) {
+  EXPECT_EQ(a.equations_evaluated, b.equations_evaluated);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].set, b.violations[i].set) << i;
+    EXPECT_EQ(a.violations[i].lhs, b.violations[i].lhs) << i;
+    EXPECT_EQ(a.violations[i].rhs, b.violations[i].rhs) << i;
+  }
+}
+
+// Three overlap groups (sizes 3, 2, 1) with budgets tight enough that the
+// log below violates some equations — non-trivial reports on both paths.
+LicenseSet Licenses(const ConstraintSchema& schema) {
+  LicenseSet licenses(&schema);
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, 30)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L2", {{10, 30}}, 25)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L3", {{25, 40}}, 20)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L4", {{100, 120}}, 15)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L5", {{110, 130}}, 10)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L6", {{200, 210}}, 5)).ok());
+  return licenses;
+}
+
+LogStore Log() {
+  LogStore log;
+  const std::vector<std::pair<LicenseMask, int64_t>> records = {
+      {0b000001, 12}, {0b000011, 9},  {0b000010, 14}, {0b000110, 7},
+      {0b000100, 8},  {0b001000, 6},  {0b011000, 5},  {0b010000, 9},
+      {0b100000, 4},  {0b000011, 3},  {0b001000, 2},  {0b100000, 3},
+  };
+  int sequence = 0;
+  for (const auto& [set, count] : records) {
+    LogRecord record;
+    record.issued_license_id = "U" + std::to_string(++sequence);
+    record.set = set;
+    record.count = count;
+    EXPECT_TRUE(log.Append(record).ok());
+  }
+  return log;
+}
+
+ValidationTree Tree() {
+  Result<ValidationTree> tree = ValidationTree::BuildFromLog(Log());
+  EXPECT_TRUE(tree.ok());
+  return std::move(*tree);
+}
+
+TEST(ValidateFacadeTest, ExhaustiveWrapperIsByteIdentical) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::vector<int64_t> aggregates =
+      Licenses(schema).AggregateCounts();
+  const ValidationTree tree = Tree();
+
+  const Result<ValidationReport> old_report =
+      ValidateExhaustive(tree, aggregates);
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  const Result<ValidationOutcome> outcome =
+      Validate(tree, aggregates, options);
+  ASSERT_TRUE(old_report.ok());
+  ASSERT_TRUE(outcome.ok());
+  ExpectSameReport(*old_report, outcome->report);
+  EXPECT_FALSE(outcome->report.all_valid());  // The workload overspends.
+  EXPECT_EQ(outcome->group_count, 0);         // Ungrouped engine.
+}
+
+TEST(ValidateFacadeTest, LimitedWrapperIsByteIdentical) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::vector<int64_t> aggregates =
+      Licenses(schema).AggregateCounts();
+  const ValidationTree tree = Tree();
+
+  const Result<ValidationReport> old_report =
+      ValidateExhaustiveLimited(tree, aggregates, 17);
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.max_equations = 17;
+  const Result<ValidationOutcome> outcome =
+      Validate(tree, aggregates, options);
+  ASSERT_TRUE(old_report.ok());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(old_report->equations_evaluated, 17u);
+  ExpectSameReport(*old_report, outcome->report);
+}
+
+TEST(ValidateFacadeTest, ZetaWrapperIsByteIdentical) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::vector<int64_t> aggregates =
+      Licenses(schema).AggregateCounts();
+  const ValidationTree tree = Tree();
+
+  const Result<ValidationReport> old_report = ValidateZeta(tree, aggregates);
+  ValidateOptions options;
+  options.mode = ValidationMode::kZeta;
+  const Result<ValidationOutcome> outcome =
+      Validate(tree, aggregates, options);
+  ASSERT_TRUE(old_report.ok());
+  ASSERT_TRUE(outcome.ok());
+  ExpectSameReport(*old_report, outcome->report);
+
+  // Zeta and exhaustive agree on violations (the library-wide invariant the
+  // facade must not disturb).
+  const Result<ValidationReport> exhaustive =
+      ValidateExhaustive(tree, aggregates);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_EQ(old_report->violations.size(), exhaustive->violations.size());
+}
+
+TEST(ValidateFacadeTest, FrequencyOrderedWrapperIsByteIdentical) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::vector<int64_t> aggregates =
+      Licenses(schema).AggregateCounts();
+  const LogStore log = Log();
+
+  const Result<ValidationReport> old_report =
+      ValidateExhaustiveFrequencyOrdered(log, aggregates);
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.order = TreeOrder::kDescendingFrequency;
+  const Result<ValidationOutcome> outcome = Validate(log, aggregates, options);
+  ASSERT_TRUE(old_report.ok());
+  ASSERT_TRUE(outcome.ok());
+  ExpectSameReport(*old_report, outcome->report);
+}
+
+TEST(ValidateFacadeTest, GroupedWrappersAreByteIdentical) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = Licenses(schema);
+
+  const Result<GroupedValidationResult> old_result =
+      ValidateGrouped(licenses, Tree());
+  ValidateOptions options;
+  options.mode = ValidationMode::kGrouped;
+  const Result<ValidationOutcome> outcome =
+      Validate(licenses, Tree(), options);
+  ASSERT_TRUE(old_result.ok());
+  ASSERT_TRUE(outcome.ok());
+  ExpectSameReport(old_result->report, outcome->report);
+  EXPECT_EQ(old_result->group_count, outcome->group_count);
+  EXPECT_EQ(old_result->group_sizes, outcome->group_sizes);
+  EXPECT_EQ(outcome->group_count, 3);
+
+  const Result<GroupedValidationResult> from_log =
+      ValidateGroupedFromLog(licenses, Log());
+  const Result<ValidationOutcome> log_outcome =
+      Validate(licenses, Log(), options);
+  ASSERT_TRUE(from_log.ok());
+  ASSERT_TRUE(log_outcome.ok());
+  ExpectSameReport(from_log->report, log_outcome->report);
+
+  const Result<GroupedValidationResult> zeta =
+      ValidateGroupedZeta(licenses, Tree());
+  ValidateOptions zeta_options;
+  zeta_options.mode = ValidationMode::kGroupedZeta;
+  const Result<ValidationOutcome> zeta_outcome =
+      Validate(licenses, Tree(), zeta_options);
+  ASSERT_TRUE(zeta.ok());
+  ASSERT_TRUE(zeta_outcome.ok());
+  ExpectSameReport(zeta->report, zeta_outcome->report);
+}
+
+TEST(ValidateFacadeTest, ParallelWrappersMatchSerialReports) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = Licenses(schema);
+  const std::vector<int64_t> aggregates = licenses.AggregateCounts();
+  const ValidationTree tree = Tree();
+
+  const Result<ValidationReport> parallel =
+      ValidateExhaustiveParallel(tree, aggregates, 4);
+  const Result<ValidationReport> serial = ValidateExhaustive(tree, aggregates);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(serial.ok());
+  ExpectSameReport(*parallel, *serial);
+
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.num_threads = 4;
+  const Result<ValidationOutcome> outcome =
+      Validate(tree, aggregates, options);
+  ASSERT_TRUE(outcome.ok());
+  ExpectSameReport(outcome->report, *serial);
+
+  const Result<GroupedValidationResult> grouped_parallel =
+      ValidateGroupedParallel(licenses, Tree(), 4);
+  const Result<GroupedValidationResult> grouped =
+      ValidateGrouped(licenses, Tree());
+  ASSERT_TRUE(grouped_parallel.ok());
+  ASSERT_TRUE(grouped.ok());
+  ExpectSameReport(grouped_parallel->report, grouped->report);
+}
+
+TEST(ValidateFacadeTest, AutoModeRoutesBySize) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = Licenses(schema);
+  const std::vector<int64_t> aggregates = licenses.AggregateCounts();
+
+  // Tree overload: kAuto without geometry picks a dense ungrouped engine.
+  const Result<ValidationOutcome> ungrouped = Validate(Tree(), aggregates);
+  ASSERT_TRUE(ungrouped.ok());
+  EXPECT_EQ(ungrouped->group_count, 0);
+
+  // LicenseSet overload: kAuto runs the paper's grouped pipeline.
+  const Result<ValidationOutcome> grouped = Validate(licenses, Tree());
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->group_count, 3);
+  EXPECT_EQ(grouped->group_sizes, (std::vector<int>{3, 2, 1}));
+
+  // Both engines flag the workload; the grouped report checks only
+  // within-group equations (cross-group supersets are implied — Theorem 2),
+  // so its violation list is a subset of the exhaustive one.
+  EXPECT_FALSE(ungrouped->report.all_valid());
+  EXPECT_FALSE(grouped->report.all_valid());
+  EXPECT_LE(grouped->report.violations.size(),
+            ungrouped->report.violations.size());
+}
+
+TEST(ValidateFacadeTest, GroupedModeNeedsGeometry) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::vector<int64_t> aggregates =
+      Licenses(schema).AggregateCounts();
+  ValidateOptions options;
+  options.mode = ValidationMode::kGrouped;
+  const Result<ValidationOutcome> outcome =
+      Validate(Tree(), aggregates, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace geolic
