@@ -2,11 +2,14 @@
 #define GEOLIC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/grouping.h"
 #include "util/check.h"
+#include "util/json_writer.h"
 #include "workload/workload.h"
 
 namespace geolic::bench {
@@ -53,6 +56,69 @@ inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
   }
   return fallback;
 }
+
+// Parses "--json_out=path"-style string flags; returns fallback when the
+// flag is absent.
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+// Machine-readable bench output behind the common `--json_out=<path>` flag
+// (CI archives the file; absent flag = no-op). The document is one object:
+//   {"bench": "<name>", "rows": [ {..row..}, ... ]}
+// Each Row callback fills one object's key/value pairs via JsonWriter.
+class JsonOut {
+ public:
+  JsonOut(int argc, char** argv, const char* bench_name)
+      : path_(StringFlag(argc, argv, "json_out", "")) {
+    if (!enabled()) {
+      return;
+    }
+    json_.BeginObject();
+    json_.KeyValue("bench", bench_name);
+    json_.Key("rows");
+    json_.BeginArray();
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Row(const std::function<void(JsonWriter&)>& fill) {
+    if (!enabled()) {
+      return;
+    }
+    json_.BeginObject();
+    fill(json_);
+    json_.EndObject();
+  }
+
+  // Closes the document and writes the file; crashes the bench on I/O
+  // failure (CI must notice). Call at most once, at the end of main.
+  void Write() {
+    if (!enabled()) {
+      return;
+    }
+    json_.EndArray();
+    json_.EndObject();
+    const std::string doc = std::move(json_).Take();
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    GEOLIC_CHECK(file != nullptr);
+    GEOLIC_CHECK(std::fwrite(doc.data(), 1, doc.size(), file) == doc.size());
+    GEOLIC_CHECK(std::fclose(file) == 0);
+    std::printf("# json written to %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  JsonWriter json_;
+};
 
 }  // namespace geolic::bench
 

@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "validation/flat_tree.h"
+
 namespace geolic {
 
 IncrementalAuditor::IncrementalAuditor(const LicenseSet* licenses,
@@ -81,21 +83,27 @@ Result<ValidationReport> IncrementalAuditor::IngestBatch(
     std::vector<LicenseMask> ordered(dirty.begin(), dirty.end());
     std::sort(ordered.begin(), ordered.end());
 
-    const ValidationTree& tree = group_trees_[static_cast<size_t>(k)];
+    // The group tree just absorbed this batch's inserts and is static for
+    // the rest of the audit: compile it flat once and evaluate every dirty
+    // equation against the pruned arena form.
+    const FlatValidationTree flat =
+        FlatValidationTree::Compile(group_trees_[static_cast<size_t>(k)]);
     const std::vector<int64_t>& aggregates =
         group_aggregates_[static_cast<size_t>(k)];
-    for (const LicenseMask set : ordered) {
+    std::vector<int64_t> sums(ordered.size(), 0);
+    flat.SumSubsetsBatch(ordered, sums, &report.nodes_visited);
+    for (size_t e = 0; e < ordered.size(); ++e) {
+      const LicenseMask set = ordered[e];
       int64_t av = 0;
       for (int j = 0; j < grouping_.GroupSize(k); ++j) {
         if (MaskContains(set, j)) {
           av += aggregates[static_cast<size_t>(j)];
         }
       }
-      const int64_t cv = tree.SumSubsets(set, &report.nodes_visited);
       ++report.equations_evaluated;
-      if (cv > av) {
+      if (sums[e] > av) {
         report.violations.push_back(EquationResult{
-            grouping_.LocalToOriginalMask(k, set), cv, av});
+            grouping_.LocalToOriginalMask(k, set), sums[e], av});
       }
     }
   }

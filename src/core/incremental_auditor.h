@@ -18,7 +18,8 @@ namespace geolic {
 // newly logged sets — can change verdict, because counts only increase.
 // This auditor keeps the divided per-group trees from the previous run and
 // re-evaluates exactly those dirty equations per batch, instead of all
-// Σ_k (2^{N_k} − 1).
+// Σ_k (2^{N_k} − 1). Dirty groups are compiled into a FlatValidationTree
+// once per batch, so every dirty equation runs on the pruned arena form.
 //
 // Guarantees (tested): after ingesting the whole log in any batch split,
 // the union of reported violations equals the violations of a full

@@ -249,4 +249,9 @@ Result<ValidationTree> IssuanceService::CollectTree() const {
   return merged;
 }
 
+Result<FlatValidationTree> IssuanceService::CollectFlatTree() const {
+  GEOLIC_ASSIGN_OR_RETURN(const ValidationTree merged, CollectTree());
+  return FlatValidationTree::Compile(merged);
+}
+
 }  // namespace geolic

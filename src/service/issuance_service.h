@@ -11,6 +11,7 @@
 #include "core/instance_validator.h"
 #include "core/online_validator.h"
 #include "licensing/license_set.h"
+#include "validation/flat_tree.h"
 #include "validation/log_store.h"
 #include "validation/validation_tree.h"
 #include "util/metrics.h"
@@ -83,6 +84,12 @@ class IssuanceService {
   // Snapshot of the combined validation tree (the union of the shard
   // trees; shards share no license indexes, so this is a plain merge).
   Result<ValidationTree> CollectTree() const;
+
+  // Snapshot compiled straight into the offline hot-path form: the shards
+  // keep their mutable pointer trees for admission, but offline audits of
+  // a running service should query this flat, pruning-aware arena
+  // (validation/flat_tree.h) instead of walking pointers.
+  Result<FlatValidationTree> CollectFlatTree() const;
 
   const LicenseSet& licenses() const { return *licenses_; }
   const LicenseGrouping& grouping() const { return grouping_; }

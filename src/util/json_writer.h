@@ -48,6 +48,13 @@ class JsonWriter {
     Key(name);
     String(value);
   }
+  // Without this overload a literal value would pick the bool overload
+  // (const char* → bool is a standard conversion and outranks the
+  // user-defined conversion to string_view).
+  void KeyValue(std::string_view name, const char* value) {
+    Key(name);
+    String(value);
+  }
   void KeyValue(std::string_view name, int64_t value) {
     Key(name);
     Int(value);

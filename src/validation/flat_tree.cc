@@ -1,0 +1,253 @@
+#include "validation/flat_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace geolic {
+namespace {
+
+// Emits `node`'s children (not `node` itself) in preorder and returns
+// nothing; each emitted slot's subtree columns are filled after its own
+// children are emitted. Depth is bounded by kMaxLicenses (path indexes
+// strictly increase), so recursion is safe.
+struct Compiler {
+  std::vector<int32_t>* index;
+  std::vector<int64_t>* count;
+  std::vector<uint32_t>* subtree_end;
+  std::vector<LicenseMask>* subtree_mask;
+  std::vector<int64_t>* subtree_sum;
+
+  void EmitChildren(const ValidationTreeNode& node) {
+    for (const auto& child : node.children) {
+      const size_t slot = index->size();
+      index->push_back(child->index);
+      count->push_back(child->count);
+      subtree_end->push_back(0);   // Patched below.
+      subtree_mask->push_back(0);  // Accumulated below.
+      subtree_sum->push_back(0);
+      EmitChildren(*child);
+      (*subtree_end)[slot] = static_cast<uint32_t>(index->size());
+      LicenseMask mask = SingletonMask(child->index);
+      int64_t sum = child->count;
+      // The children of `slot` occupy [slot+1, subtree_end); hop sibling to
+      // sibling, folding their already-final subtree columns.
+      for (size_t c = slot + 1; c < index->size(); c = (*subtree_end)[c]) {
+        mask |= (*subtree_mask)[c];
+        sum += (*subtree_sum)[c];
+      }
+      (*subtree_mask)[slot] = mask;
+      (*subtree_sum)[slot] = sum;
+    }
+  }
+};
+
+}  // namespace
+
+FlatValidationTree FlatValidationTree::Compile(const ValidationTree& tree) {
+  FlatValidationTree flat;
+  const size_t nodes = tree.NodeCount();
+  flat.index_.reserve(nodes);
+  flat.count_.reserve(nodes);
+  flat.subtree_end_.reserve(nodes);
+  flat.subtree_mask_.reserve(nodes);
+  flat.subtree_sum_.reserve(nodes);
+  Compiler compiler{&flat.index_, &flat.count_, &flat.subtree_end_,
+                    &flat.subtree_mask_, &flat.subtree_sum_};
+  compiler.EmitChildren(tree.root());
+  for (size_t i = 0; i < flat.index_.size(); i = flat.subtree_end_[i]) {
+    flat.present_ |= flat.subtree_mask_[i];
+    flat.total_count_ += flat.subtree_sum_[i];
+  }
+  return flat;
+}
+
+int64_t FlatValidationTree::SumSubsets(LicenseMask set,
+                                       uint64_t* nodes_visited) const {
+  const size_t size = index_.size();
+  int64_t sum = 0;
+  uint64_t touched = 0;
+  size_t i = 0;
+  while (i < size) {
+    ++touched;
+    const LicenseMask inter = subtree_mask_[i] & set;
+    if (inter == subtree_mask_[i]) {
+      // Fully covered region: one add replaces the whole descent. Every
+      // leaf whose index is in `set` lands here too.
+      sum += subtree_sum_[i];
+      i = subtree_end_[i];
+      continue;
+    }
+    if (inter == 0) {
+      // Theorem 1, per query: nothing below overlaps `set`.
+      i = subtree_end_[i];
+      continue;
+    }
+    if (!MaskContains(set, index_[i])) {
+      // Every path through this node spells its index; off-set ⇒ the whole
+      // subtree contributes nothing (the structural ref [10] rule).
+      i = subtree_end_[i];
+      continue;
+    }
+    sum += count_[i];
+    ++i;
+  }
+  if (nodes_visited != nullptr) {
+    *nodes_visited += touched;
+  }
+  return sum;
+}
+
+int64_t FlatValidationTree::SumSubsetsNoAccel(LicenseMask set,
+                                              uint64_t* nodes_visited) const {
+  const size_t size = index_.size();
+  int64_t sum = 0;
+  uint64_t touched = 0;
+  size_t i = 0;
+  while (i < size) {
+    ++touched;
+    if (!MaskContains(set, index_[i])) {
+      i = subtree_end_[i];
+      continue;
+    }
+    sum += count_[i];
+    ++i;
+  }
+  if (nodes_visited != nullptr) {
+    *nodes_visited += touched;
+  }
+  return sum;
+}
+
+void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseMask> sets,
+                                         std::span<int64_t> sums,
+                                         uint64_t* nodes_visited) const {
+  GEOLIC_DCHECK(sums.size() >= sets.size());
+  const size_t size = index_.size();
+  uint64_t touched = 0;
+  // 64 queries share one pruned preorder pass: lane q of the `alive`
+  // bitset says query q still descends the current subtree, so each node
+  // is loaded once per chunk instead of once per query, and every pruning
+  // decision (off-set skip, Theorem-1 skip, covered-subtree summarize) is
+  // taken per lane. Sums and nodes-touched accounting are per (node,
+  // query) and therefore bit-identical to scalar SumSubsets calls,
+  // independent of how callers chunk their equations.
+  for (size_t base = 0; base < sets.size(); base += 64) {
+    const size_t chunk = std::min<size_t>(64, sets.size() - base);
+    const LicenseMask* chunk_sets = sets.data() + base;
+    int64_t* chunk_sums = sums.data() + base;
+    for (size_t q = 0; q < chunk; ++q) {
+      chunk_sums[q] = 0;
+    }
+    // member[j]: lanes whose query set contains license j.
+    uint64_t member[kMaxLicenses] = {};
+    for (size_t q = 0; q < chunk; ++q) {
+      for (LicenseMask bits = chunk_sets[q]; bits != 0; bits &= bits - 1) {
+        member[LowestLicense(bits)] |= uint64_t{1} << q;
+      }
+    }
+    // (subtree end, lanes to restore on leaving that subtree). Depth is
+    // bounded by kMaxLicenses: path indexes strictly increase.
+    std::pair<uint32_t, uint64_t> stack[kMaxLicenses + 1];
+    size_t depth = 0;
+    uint64_t alive =
+        chunk == 64 ? ~uint64_t{0} : (uint64_t{1} << chunk) - 1;
+    size_t i = 0;
+    while (i < size) {
+      while (depth > 0 && stack[depth - 1].first == i) {
+        alive = stack[--depth].second;
+      }
+      touched += static_cast<uint64_t>(std::popcount(alive));
+      const uint64_t on_path = alive & member[index_[i]];
+      if (on_path == 0) {
+        i = subtree_end_[i];
+        continue;
+      }
+      const LicenseMask mask = subtree_mask_[i];
+      const int64_t node_count = count_[i];
+      const int64_t node_sum = subtree_sum_[i];
+      uint64_t descend = 0;
+      for (uint64_t lanes = on_path; lanes != 0; lanes &= lanes - 1) {
+        const int q = std::countr_zero(lanes);
+        if ((mask & ~chunk_sets[q]) == 0) {
+          chunk_sums[q] += node_sum;  // Covered: summarize, stop here.
+        } else {
+          chunk_sums[q] += node_count;
+          descend |= uint64_t{1} << q;
+        }
+      }
+      if (descend == 0 || subtree_end_[i] == i + 1) {
+        i = subtree_end_[i];
+        continue;
+      }
+      stack[depth++] = {subtree_end_[i], alive};
+      alive = descend;
+      ++i;
+    }
+  }
+  if (nodes_visited != nullptr) {
+    *nodes_visited += touched;
+  }
+}
+
+int64_t FlatValidationTree::CountOf(LicenseMask set) const {
+  if (set == 0) {
+    return 0;  // The (virtual) root holds no count.
+  }
+  size_t begin = 0;
+  size_t end = index_.size();
+  LicenseMask remaining = set;
+  while (true) {
+    const int idx = LowestLicense(remaining);
+    remaining &= remaining - 1;
+    size_t found = end;
+    // Siblings of a level are adjacent subtrees, sorted by ascending index.
+    for (size_t i = begin; i < end; i = subtree_end_[i]) {
+      if (index_[i] >= idx) {
+        if (index_[i] == idx) {
+          found = i;
+        }
+        break;
+      }
+    }
+    if (found == end) {
+      return 0;
+    }
+    if (remaining == 0) {
+      return count_[found];
+    }
+    begin = found + 1;
+    end = subtree_end_[found];
+  }
+}
+
+size_t FlatValidationTree::MemoryBytes() const {
+  return index_.capacity() * sizeof(int32_t) +
+         count_.capacity() * sizeof(int64_t) +
+         subtree_end_.capacity() * sizeof(uint32_t) +
+         subtree_mask_.capacity() * sizeof(LicenseMask) +
+         subtree_sum_.capacity() * sizeof(int64_t);
+}
+
+void FlatValidationTree::ForEachSet(
+    const std::function<void(LicenseMask, int64_t)>& fn) const {
+  // (subtree end, path mask to restore on leaving that subtree).
+  std::vector<std::pair<uint32_t, LicenseMask>> stack;
+  LicenseMask path = 0;
+  for (size_t i = 0; i < index_.size(); ++i) {
+    while (!stack.empty() && stack.back().first == i) {
+      path = stack.back().second;
+      stack.pop_back();
+    }
+    const LicenseMask node_mask = path | SingletonMask(index_[i]);
+    if (count_[i] != 0) {
+      fn(node_mask, count_[i]);
+    }
+    if (subtree_end_[i] > i + 1) {
+      stack.emplace_back(subtree_end_[i], path);
+      path = node_mask;
+    }
+  }
+}
+
+}  // namespace geolic

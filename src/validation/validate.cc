@@ -1,47 +1,72 @@
 #include "validation/validate.h"
 
 #include <algorithm>
+#include <array>
 #include <string>
 #include <utility>
 
+#include "validation/flat_tree.h"
 #include "validation/frequency_order.h"
 #include "util/thread_pool.h"
 
 namespace geolic {
 namespace {
 
+// Equations are evaluated in batches of this many masks per
+// SumSubsetsBatch call, so the flat arena stays hot in cache across
+// consecutive equations.
+constexpr size_t kEquationBatch = 256;
+
+// AV: sum of aggregate values of the licenses selected by `set`.
+int64_t AggregateValue(const std::vector<int64_t>& aggregates,
+                       LicenseMask set) {
+  int64_t av = 0;
+  const int n = static_cast<int>(aggregates.size());
+  for (int j = 0; j < n; ++j) {
+    if (MaskContains(set, j)) {
+      av += aggregates[static_cast<size_t>(j)];
+    }
+  }
+  return av;
+}
+
 // ---- Serial exhaustive engine (Algorithm 2) --------------------------------
 
 Result<ValidationReport> ExhaustiveSerial(
-    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
+    const FlatValidationTree& tree, const std::vector<int64_t>& aggregates,
     uint64_t max_equations) {
   const int n = static_cast<int>(aggregates.size());
   ValidationReport report;
   if (n == 0) {
     return report;
   }
-  // i enumerates every non-empty subset of {0..n-1}; the bits of i select
-  // the licenses in the current equation's set.
+  // The batch enumerates every non-empty subset of {0..n-1}; the bits of a
+  // mask select the licenses in that equation's set.
   const LicenseMask full = FullMask(n);
-  for (LicenseMask i = 1;; ++i) {
-    if (report.equations_evaluated >= max_equations) {
-      break;
-    }
-    // AV: sum of aggregate values of the selected licenses.
-    int64_t av = 0;
-    for (int j = 0; j < n; ++j) {
-      if (MaskContains(i, j)) {
-        av += aggregates[static_cast<size_t>(j)];
+  std::array<LicenseMask, kEquationBatch> sets;
+  std::array<int64_t, kEquationBatch> sums;
+  LicenseMask next = 1;
+  bool exhausted = false;
+  while (!exhausted && report.equations_evaluated < max_equations) {
+    size_t batch = 0;
+    while (batch < kEquationBatch &&
+           report.equations_evaluated + batch < max_equations) {
+      sets[batch++] = next;
+      if (next == full) {
+        exhausted = true;
+        break;
       }
+      ++next;
     }
-    // CV: pruned tree traversal summing counts of all subsets of i.
-    const int64_t cv = tree.SumSubsets(i, &report.nodes_visited);
-    ++report.equations_evaluated;
-    if (cv > av) {
-      report.violations.push_back(EquationResult{i, cv, av});
-    }
-    if (i == full) {
-      break;
+    // CV for the whole batch: pruned arena scans over contiguous nodes.
+    tree.SumSubsetsBatch({sets.data(), batch}, {sums.data(), batch},
+                         &report.nodes_visited);
+    for (size_t k = 0; k < batch; ++k) {
+      const int64_t av = AggregateValue(aggregates, sets[k]);
+      ++report.equations_evaluated;
+      if (sums[k] > av) {
+        report.violations.push_back(EquationResult{sets[k], sums[k], av});
+      }
     }
   }
   return report;
@@ -51,30 +76,37 @@ Result<ValidationReport> ExhaustiveSerial(
 
 // Evaluates equations for sets in [begin, end] (inclusive masks) against
 // the read-only tree; appends violations to *out in ascending order.
-void EvaluateRange(const ValidationTree& tree,
+void EvaluateRange(const FlatValidationTree& tree,
                    const std::vector<int64_t>& aggregates, LicenseMask begin,
                    LicenseMask end, std::vector<EquationResult>* out,
                    uint64_t* nodes_visited) {
-  const int n = static_cast<int>(aggregates.size());
-  for (LicenseMask set = begin;; ++set) {
-    int64_t av = 0;
-    for (int j = 0; j < n; ++j) {
-      if (MaskContains(set, j)) {
-        av += aggregates[static_cast<size_t>(j)];
+  std::array<LicenseMask, kEquationBatch> sets;
+  std::array<int64_t, kEquationBatch> sums;
+  LicenseMask next = begin;
+  bool exhausted = false;
+  while (!exhausted) {
+    size_t batch = 0;
+    while (batch < kEquationBatch) {
+      sets[batch++] = next;
+      if (next == end) {
+        exhausted = true;
+        break;
       }
+      ++next;
     }
-    const int64_t cv = tree.SumSubsets(set, nodes_visited);
-    if (cv > av) {
-      out->push_back(EquationResult{set, cv, av});
-    }
-    if (set == end) {
-      break;
+    tree.SumSubsetsBatch({sets.data(), batch}, {sums.data(), batch},
+                         nodes_visited);
+    for (size_t k = 0; k < batch; ++k) {
+      const int64_t av = AggregateValue(aggregates, sets[k]);
+      if (sums[k] > av) {
+        out->push_back(EquationResult{sets[k], sums[k], av});
+      }
     }
   }
 }
 
 Result<ValidationReport> ExhaustiveSharded(
-    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
+    const FlatValidationTree& tree, const std::vector<int64_t>& aggregates,
     int num_threads) {
   const int n = static_cast<int>(aggregates.size());
   ValidationReport report;
@@ -117,7 +149,7 @@ Result<ValidationReport> ExhaustiveSharded(
 
 // ---- Dense zeta (subset-sum DP) engine -------------------------------------
 
-Result<ValidationReport> ZetaDense(const ValidationTree& tree,
+Result<ValidationReport> ZetaDense(const FlatValidationTree& tree,
                                    const std::vector<int64_t>& aggregates,
                                    int max_dense_n) {
   const int n = static_cast<int>(aggregates.size());
@@ -178,8 +210,10 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
   if (n == 0) {
     return ValidationOutcome{};
   }
+  // One arena compile per run; every equation below queries the flat form.
+  const FlatValidationTree flat = FlatValidationTree::Compile(tree);
   // Licenses the tree mentions must all have an aggregate entry.
-  if (!IsSubsetOf(tree.PresentLicenses(), FullMask(n))) {
+  if (!IsSubsetOf(flat.PresentLicenses(), FullMask(n))) {
     return Status::InvalidArgument(
         "tree references license indexes beyond the aggregate array");
   }
@@ -201,16 +235,16 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
       if (threads <= 1 || options.max_equations != UINT64_MAX) {
         GEOLIC_ASSIGN_OR_RETURN(
             outcome.report,
-            ExhaustiveSerial(tree, aggregates, options.max_equations));
+            ExhaustiveSerial(flat, aggregates, options.max_equations));
       } else {
         GEOLIC_ASSIGN_OR_RETURN(outcome.report,
-                                ExhaustiveSharded(tree, aggregates, threads));
+                                ExhaustiveSharded(flat, aggregates, threads));
       }
       return outcome;
     }
     case ValidationMode::kZeta: {
       GEOLIC_ASSIGN_OR_RETURN(
-          outcome.report, ZetaDense(tree, aggregates, options.max_dense_n));
+          outcome.report, ZetaDense(flat, aggregates, options.max_dense_n));
       return outcome;
     }
     case ValidationMode::kGrouped:

@@ -12,7 +12,11 @@
 
 namespace geolic {
 
-// Unified entry point for every offline aggregate-validation engine. The
+// Unified entry point for every offline aggregate-validation engine. Every
+// engine compiles the (static) pointer tree into a FlatValidationTree
+// (validation/flat_tree.h) once per run — per group in grouped modes — and
+// evaluates all equations against the flat, pruning-aware form. The
+
 // historical functions — ValidateExhaustive, ValidateExhaustiveLimited,
 // ValidateExhaustiveFrequencyOrdered, ValidateZeta, ValidateGrouped,
 // ValidateGroupedFromLog, ValidateExhaustiveParallel and

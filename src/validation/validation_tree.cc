@@ -21,6 +21,11 @@ int64_t TotalCountImpl(const ValidationTreeNode& node) {
   return total;
 }
 
+// Heap bytes of one node: its own payload plus its child-pointer vector.
+// Every node is heap-allocated (the root via the tree's unique_ptr), so
+// the per-node payload applies to the root too — excluding it undercounts
+// the figure-10 storage series by one node per tree, which matters once
+// division multiplies the number of roots.
 size_t MemoryBytesImpl(const ValidationTreeNode& node) {
   size_t bytes = sizeof(ValidationTreeNode) +
                  node.children.capacity() *

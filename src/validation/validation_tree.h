@@ -61,8 +61,9 @@ class ValidationTree {
   // Sum of all node counts (equals the log's total count).
   int64_t TotalCount() const;
 
-  // Approximate heap footprint in bytes (node payloads + child vectors);
-  // the storage metric of the paper's figure 10.
+  // Approximate heap footprint in bytes (node payloads + child vectors,
+  // root node included — every node is heap-allocated); the storage metric
+  // of the paper's figure 10.
   size_t MemoryBytes() const;
 
   // Mask of every license index present in the tree.

@@ -86,6 +86,16 @@ TEST(IssuanceServiceTest, MatchesOnlineValidatorSerially) {
   EXPECT_EQ(tree->ToString(), validator->tree().ToString());
   EXPECT_EQ((*service)->CollectLog().MergedCounts(),
             validator->log().MergedCounts());
+
+  // The offline-audit snapshot: a flat compile of the same merged tree.
+  const Result<FlatValidationTree> flat = (*service)->CollectFlatTree();
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->NodeCount(), tree->NodeCount());
+  EXPECT_EQ(flat->TotalCount(), tree->TotalCount());
+  const LicenseMask full = licenses.AllMask();
+  for (LicenseMask set = 1; set <= full; ++set) {
+    EXPECT_EQ(flat->SumSubsets(set), tree->SumSubsets(set)) << set;
+  }
 }
 
 TEST(IssuanceServiceTest, ConcurrentStressMatchesSerialReplay) {

@@ -37,6 +37,16 @@ TEST(JsonWriterTest, ObjectWithMixedValues) {
             "\"nothing\":null}");
 }
 
+// A string literal must emit as a JSON string, not ride the const char* →
+// bool standard conversion into the Bool overload.
+TEST(JsonWriterTest, KeyValueStringLiteralStaysAString) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "ablation_flat_tree");
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(), "{\"bench\":\"ablation_flat_tree\"}");
+}
+
 TEST(JsonWriterTest, NestedStructures) {
   JsonWriter json;
   json.BeginObject();

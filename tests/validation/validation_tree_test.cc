@@ -156,6 +156,19 @@ TEST(ValidationTreeTest, MemoryBytesGrowsWithNodes) {
   EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
 }
 
+TEST(ValidationTreeTest, MemoryBytesIncludesRootNode) {
+  // The root is heap-allocated like every other node; an empty tree is one
+  // node's payload, never zero. Pins the figure-10 accounting — division
+  // grows storage by exactly one root payload per extra tree.
+  const ValidationTree empty;
+  EXPECT_EQ(empty.MemoryBytes(), sizeof(ValidationTreeNode));
+  ValidationTree one;
+  ASSERT_TRUE(one.Insert(0b1, 1).ok());
+  EXPECT_GE(one.MemoryBytes(),
+            2 * sizeof(ValidationTreeNode) +
+                sizeof(std::unique_ptr<ValidationTreeNode>));
+}
+
 // Property: for random logs, SumSubsets(S) computed by tree traversal
 // equals the brute-force sum over merged counts, for many random S.
 class TreeSumPropertyTest : public ::testing::TestWithParam<int> {};
