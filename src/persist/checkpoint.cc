@@ -1,0 +1,156 @@
+#include "persist/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/crc32c.h"
+
+namespace geolic {
+namespace {
+
+// Header bytes covered by the header CRC: magic + version + kind + size.
+constexpr size_t kCoveredHeaderBytes = 8 + 4 + 4 + 8;
+
+// Sanity bound mirroring the library's scale (a 2^32-node tree is already
+// rejected downstream); also caps what a corrupt-but-CRC-colliding size
+// field could make us allocate.
+constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 33;
+
+void PutU32(std::string* out, uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+}  // namespace
+
+const char* CheckpointKindName(CheckpointKind kind) {
+  switch (kind) {
+    case CheckpointKind::kValidationTree:
+      return "validation-tree";
+    case CheckpointKind::kLogStore:
+      return "log-store";
+    case CheckpointKind::kServiceSnapshot:
+      return "service-snapshot";
+  }
+  return "unknown";
+}
+
+bool IsCheckpointMagic(const char* magic) {
+  return std::memcmp(magic, kCheckpointMagic, sizeof(kCheckpointMagic)) == 0;
+}
+
+Status WriteCheckpoint(CheckpointKind kind, std::string_view payload,
+                       std::ostream* out) {
+  std::string header(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutU32(&header, kCheckpointVersion);
+  PutU32(&header, static_cast<uint32_t>(kind));
+  PutU64(&header, payload.size());
+  PutU32(&header, Crc32c(header));
+  out->write(header.data(), static_cast<std::streamsize>(header.size()));
+  out->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const uint32_t payload_crc = Crc32c(payload);
+  out->write(reinterpret_cast<const char*>(&payload_crc),
+             sizeof(payload_crc));
+  if (!*out) {
+    return Status::IoError("checkpoint write failed");
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadCheckpointPayload(CheckpointKind expected_kind,
+                                          std::istream* in) {
+  char magic[sizeof(kCheckpointMagic)];
+  in->read(magic, sizeof(magic));
+  if (!*in || !IsCheckpointMagic(magic)) {
+    return Status::ParseError("not a geolic v2 checkpoint (bad magic)");
+  }
+  return ReadCheckpointPayloadAfterMagic(expected_kind, in);
+}
+
+Result<std::string> ReadCheckpointPayloadAfterMagic(
+    CheckpointKind expected_kind, std::istream* in) {
+  char rest[kCoveredHeaderBytes - sizeof(kCheckpointMagic)];
+  uint32_t header_crc = 0;
+  in->read(rest, sizeof(rest));
+  in->read(reinterpret_cast<char*>(&header_crc), sizeof(header_crc));
+  if (!*in) {
+    return Status::ParseError("truncated checkpoint header");
+  }
+  uint32_t computed = Crc32cExtend(0, kCheckpointMagic,
+                                   sizeof(kCheckpointMagic));
+  computed = Crc32cExtend(computed, rest, sizeof(rest));
+  if (computed != header_crc) {
+    return Status::ParseError("checkpoint header crc mismatch");
+  }
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  uint64_t payload_size = 0;
+  std::memcpy(&version, rest, sizeof(version));
+  std::memcpy(&kind, rest + 4, sizeof(kind));
+  std::memcpy(&payload_size, rest + 8, sizeof(payload_size));
+  if (version != kCheckpointVersion) {
+    return Status::ParseError("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::ParseError(
+        std::string("checkpoint kind mismatch: want ") +
+        CheckpointKindName(expected_kind) + ", file holds " +
+        CheckpointKindName(static_cast<CheckpointKind>(kind)));
+  }
+  if (payload_size > kMaxPayloadBytes) {
+    return Status::ParseError("implausible checkpoint payload size");
+  }
+  // Chunked read: a truncated file fails fast instead of first reserving
+  // the full declared size.
+  std::string payload;
+  uint64_t remaining = payload_size;
+  while (remaining > 0) {
+    const uint64_t chunk = remaining < (1u << 20) ? remaining : (1u << 20);
+    const size_t old_size = payload.size();
+    payload.resize(old_size + chunk);
+    in->read(payload.data() + old_size, static_cast<std::streamsize>(chunk));
+    if (!*in) {
+      return Status::ParseError("truncated checkpoint payload");
+    }
+    remaining -= chunk;
+  }
+  uint32_t payload_crc = 0;
+  in->read(reinterpret_cast<char*>(&payload_crc), sizeof(payload_crc));
+  if (!*in) {
+    return Status::ParseError("truncated checkpoint footer");
+  }
+  if (Crc32c(payload) != payload_crc) {
+    return Status::ParseError("checkpoint payload crc mismatch");
+  }
+  return payload;
+}
+
+Status WriteCheckpointFile(CheckpointKind kind, std::string_view payload,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return WriteCheckpoint(kind, payload, &out);
+}
+
+Result<std::string> ReadCheckpointFile(CheckpointKind expected_kind,
+                                       const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadCheckpointPayload(expected_kind, &in);
+}
+
+}  // namespace geolic

@@ -1,0 +1,69 @@
+#ifndef GEOLIC_PERSIST_CHECKPOINT_H_
+#define GEOLIC_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace geolic {
+
+// Checkpoint container format v2 — the CRC-protected envelope every geolic
+// snapshot (validation tree, log store, service snapshot) is written in.
+// The legacy formats ("GLTREE1", "GLOGBIN1") had zero corruption
+// detection: a single flipped bit in a count field loaded cleanly and
+// changed every downstream C⟨S⟩. v2 wraps the same payload bytes in a
+// checksummed frame so corruption fails loudly instead.
+//
+// Layout (little-endian):
+//   header  : magic "GLCKPT2\0" (8) | version u32 | kind u32 |
+//             payload_size u64 | header_crc u32 (CRC32C of the preceding
+//             24 header bytes)
+//   payload : payload_size bytes (kind-specific)
+//   footer  : payload_crc u32 (CRC32C of the payload)
+//
+// A reader verifies the header CRC before trusting payload_size (a mutated
+// size must not drive a giant allocation or a bogus torn-tail diagnosis)
+// and the payload CRC before handing the payload to the kind's parser.
+
+inline constexpr char kCheckpointMagic[8] =
+    {'G', 'L', 'C', 'K', 'P', 'T', '2', '\0'};
+inline constexpr uint32_t kCheckpointVersion = 2;
+
+// What the payload contains; mismatches fail the read.
+enum class CheckpointKind : uint32_t {
+  kValidationTree = 1,   // validation/tree_serialization.h body.
+  kLogStore = 2,         // validation/log_store.h record table.
+  kServiceSnapshot = 3,  // service/issuance_service.h checkpoint.
+};
+
+const char* CheckpointKindName(CheckpointKind kind);
+
+// True iff `magic` (8 bytes) is the v2 container magic — format sniffers
+// use this to route between v2 and the legacy loaders.
+bool IsCheckpointMagic(const char* magic);
+
+// Writes one framed checkpoint to `out`.
+Status WriteCheckpoint(CheckpointKind kind, std::string_view payload,
+                       std::ostream* out);
+
+// Reads a framed checkpoint, verifying magic, version, kind and both CRCs.
+Result<std::string> ReadCheckpointPayload(CheckpointKind expected_kind,
+                                          std::istream* in);
+
+// Same, for callers that already consumed (and verified) the 8-byte magic
+// while sniffing the format.
+Result<std::string> ReadCheckpointPayloadAfterMagic(
+    CheckpointKind expected_kind, std::istream* in);
+
+// File variants.
+Status WriteCheckpointFile(CheckpointKind kind, std::string_view payload,
+                           const std::string& path);
+Result<std::string> ReadCheckpointFile(CheckpointKind expected_kind,
+                                       const std::string& path);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,231 @@
+#include "persist/journal.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32c.h"
+
+namespace geolic {
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 4 + 8 + 4 + 4;  // len, seq, crcs.
+// Writer-side ids are capped like the log store's loader; with the header
+// CRC verified, any larger length is corruption, not a real frame.
+constexpr uint32_t kMaxIdBytes = 4096;
+constexpr uint32_t kMaxPayloadBytes = 8 + 8 + 4 + kMaxIdBytes;
+
+template <typename T>
+void PutScalar(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(std::string_view bytes, size_t* pos, T* value) {
+  if (bytes.size() - *pos < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+Status FrameError(uint64_t offset, const std::string& what) {
+  return Status::ParseError("journal frame at offset " +
+                            std::to_string(offset) + ": " + what);
+}
+
+}  // namespace
+
+void EncodeLogRecord(const LogRecord& record, std::string* out) {
+  PutScalar(out, record.set);
+  PutScalar(out, record.count);
+  PutScalar(out, static_cast<uint32_t>(record.issued_license_id.size()));
+  out->append(record.issued_license_id);
+}
+
+Status DecodeLogRecord(std::string_view bytes, size_t* pos,
+                       LogRecord* record) {
+  uint32_t id_len = 0;
+  if (!GetScalar(bytes, pos, &record->set) ||
+      !GetScalar(bytes, pos, &record->count) ||
+      !GetScalar(bytes, pos, &id_len)) {
+    return Status::ParseError("record fields truncated");
+  }
+  if (id_len > kMaxIdBytes || bytes.size() - *pos < id_len) {
+    return Status::ParseError("implausible record id length");
+  }
+  record->issued_license_id.assign(bytes.data() + *pos, id_len);
+  *pos += id_len;
+  if (record->set == 0) {
+    return Status::ParseError("record set is empty");
+  }
+  if (record->count <= 0) {
+    return Status::ParseError("record count is not positive");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Create(
+    std::unique_ptr<SyncFile> file, const JournalOptions& options) {
+  if (file == nullptr) {
+    return Status::InvalidArgument("journal needs a file");
+  }
+  if (options.fsync_interval < 0) {
+    return Status::InvalidArgument("fsync_interval must be >= 0");
+  }
+  auto writer = std::unique_ptr<JournalWriter>(
+      new JournalWriter(std::move(file), options));
+  // The magic is synced unconditionally so an acknowledged journal can
+  // never be mistaken for garbage: a later crash leaves, at worst, a torn
+  // frame after a valid magic.
+  GEOLIC_RETURN_IF_ERROR(writer->file_->Append(
+      std::string_view(kJournalMagic, sizeof(kJournalMagic))));
+  GEOLIC_RETURN_IF_ERROR(writer->file_->Sync());
+  return writer;
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, const JournalOptions& options) {
+  GEOLIC_ASSIGN_OR_RETURN(std::unique_ptr<PosixSyncFile> file,
+                          PosixSyncFile::Create(path));
+  return Create(std::move(file), options);
+}
+
+Status JournalWriter::Append(uint64_t seq, const LogRecord& record) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "journal writer poisoned by an earlier I/O error");
+  }
+  if (seq == 0) {
+    return Status::InvalidArgument("journal sequence numbers start at 1");
+  }
+  std::string payload;
+  EncodeLogRecord(record, &payload);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutScalar(&frame, static_cast<uint32_t>(payload.size()));
+  PutScalar(&frame, seq);
+  PutScalar(&frame, Crc32c(frame));  // Header CRC over len + seq.
+  PutScalar(&frame, Crc32c(payload));
+  frame.append(payload);
+  const Status appended = file_->Append(frame);
+  if (!appended.ok()) {
+    poisoned_ = true;
+    return appended;
+  }
+  ++frames_appended_;
+  if (options_.fsync_interval > 0 &&
+      ++frames_since_sync_ >= options_.fsync_interval) {
+    return Sync();
+  }
+  return Status::Ok();
+}
+
+Status JournalWriter::Sync() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "journal writer poisoned by an earlier I/O error");
+  }
+  const Status synced = file_->Sync();
+  if (!synced.ok()) {
+    poisoned_ = true;
+    return synced;
+  }
+  frames_since_sync_ = 0;
+  return Status::Ok();
+}
+
+Result<JournalReplay> JournalReader::Parse(std::string_view bytes) {
+  if (bytes.size() < sizeof(kJournalMagic) ||
+      std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return Status::ParseError(
+        "not a geolic journal (bad magic at offset 0)");
+  }
+  JournalReplay replay;
+  size_t pos = sizeof(kJournalMagic);
+  uint64_t previous_seq = 0;
+  bool first = true;
+  while (pos < bytes.size()) {
+    const uint64_t frame_offset = pos;
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      // Fewer bytes than a header: can only be an append cut off by a
+      // crash — frames are written whole and in order.
+      replay.torn_tail = true;
+      replay.torn_tail_offset = frame_offset;
+      break;
+    }
+    size_t cursor = pos;
+    uint32_t payload_len = 0;
+    uint64_t seq = 0;
+    uint32_t header_crc = 0;
+    uint32_t payload_crc = 0;
+    GetScalar(bytes, &cursor, &payload_len);
+    GetScalar(bytes, &cursor, &seq);
+    GetScalar(bytes, &cursor, &header_crc);
+    GetScalar(bytes, &cursor, &payload_crc);
+    if (Crc32c(bytes.substr(pos, 12)) != header_crc) {
+      return FrameError(frame_offset, "header crc mismatch");
+    }
+    // The header CRC held, so payload_len is what the writer framed — a
+    // payload running past EOF is a torn tail, not a length bit-flip.
+    if (payload_len > kMaxPayloadBytes) {
+      return FrameError(frame_offset, "implausible payload length");
+    }
+    if (bytes.size() - cursor < payload_len) {
+      replay.torn_tail = true;
+      replay.torn_tail_offset = frame_offset;
+      break;
+    }
+    const std::string_view payload = bytes.substr(cursor, payload_len);
+    cursor += payload_len;
+    if (Crc32c(payload) != payload_crc) {
+      return FrameError(frame_offset, "payload crc mismatch (seq " +
+                                          std::to_string(seq) + ")");
+    }
+    if (first) {
+      if (seq == 0) {
+        return FrameError(frame_offset, "sequence number 0");
+      }
+      first = false;
+    } else if (seq <= previous_seq) {
+      return FrameError(frame_offset,
+                        "duplicate or out-of-order frame (seq " +
+                            std::to_string(seq) + " after " +
+                            std::to_string(previous_seq) + ")");
+    } else if (seq != previous_seq + 1) {
+      return FrameError(frame_offset,
+                        "sequence gap (seq " + std::to_string(seq) +
+                            " after " + std::to_string(previous_seq) + ")");
+    }
+    previous_seq = seq;
+    JournalEntry entry;
+    entry.seq = seq;
+    size_t payload_pos = 0;
+    GEOLIC_RETURN_IF_ERROR(DecodeLogRecord(payload, &payload_pos,
+                                           &entry.record));
+    if (payload_pos != payload.size()) {
+      return FrameError(frame_offset, "trailing bytes inside frame payload");
+    }
+    replay.entries.push_back(std::move(entry));
+    pos = cursor;
+  }
+  return replay;
+}
+
+Result<JournalReplay> JournalReader::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Parse(buffer.str());
+}
+
+}  // namespace geolic

@@ -1,0 +1,126 @@
+#ifndef GEOLIC_PERSIST_JOURNAL_H_
+#define GEOLIC_PERSIST_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/sync_file.h"
+#include "validation/log_record.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Crash-safe append-only issuance journal.
+//
+// The paper's offline aggregate validation assumes the issuance log
+// survives intact between online admission and the periodic audit — a
+// distributor that loses or silently corrupts records can overissue past
+// A[S] undetected. The journal is the write-ahead side of that guarantee:
+// IssuanceService frames every accepted issuance and appends it here
+// before the admission mutates in-memory state or the decision returns.
+//
+// File layout (little-endian):
+//   magic "GLJRNL1\0" (8 bytes), then frames:
+//     payload_len u32 | seq u64 | header_crc u32 (CRC32C of the 12
+//     preceding bytes) | payload_crc u32 (CRC32C of the payload) | payload
+//   payload: set u64 | count i64 | id_len u32 | id bytes
+//
+// Recovery semantics (JournalReader):
+//  * A frame whose bytes end at EOF before completing (torn write /
+//    truncated tail) is dropped and reported via `torn_tail` — those
+//    records were never covered by an acknowledged sync.
+//  * Everything else fails loudly with the bad frame's byte offset: a
+//    header or payload CRC mismatch (bit flips — the header CRC means a
+//    flipped length field cannot masquerade as a torn tail), a duplicate
+//    or out-of-order sequence number, a gap, or a malformed record.
+//  * Never a silently wrong replay: every surviving entry was written
+//    exactly once, in order.
+
+inline constexpr char kJournalMagic[8] =
+    {'G', 'L', 'J', 'R', 'N', 'L', '1', '\0'};
+
+struct JournalOptions {
+  // Sync the underlying file after every `fsync_interval`-th appended
+  // frame: 1 = sync every append (maximum durability), k > 1 amortizes one
+  // fsync over k admissions (a crash may lose up to k-1 acknowledged
+  // frames — the "acknowledged-unsynced suffix"), 0 = never sync
+  // automatically (the OS decides; callers use Sync()).
+  int fsync_interval = 1;
+};
+
+// Appends framed records through a SyncFile. Not thread-safe — the service
+// serializes appends behind its journal mutex.
+class JournalWriter {
+ public:
+  // Takes ownership of `file`, writes and syncs the 8-byte magic.
+  static Result<std::unique_ptr<JournalWriter>> Create(
+      std::unique_ptr<SyncFile> file, const JournalOptions& options = {});
+
+  // Convenience: creates (truncating) `path` via PosixSyncFile.
+  static Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, const JournalOptions& options = {});
+
+  // Frames and appends `record` under `seq` — the caller's strictly
+  // increasing sequence counter (the reader rejects gaps, duplicates and
+  // reordering). The frame reaches the file before returning; durability
+  // follows the fsync batching option. After any I/O error the writer is
+  // poisoned and every further append fails.
+  Status Append(uint64_t seq, const LogRecord& record);
+
+  // Forces every appended frame to stable storage.
+  Status Sync();
+
+  uint64_t frames_appended() const { return frames_appended_; }
+
+  // The underlying file — for tests that inspect or fault the "disk".
+  SyncFile* file() { return file_.get(); }
+
+ private:
+  JournalWriter(std::unique_ptr<SyncFile> file, const JournalOptions& options)
+      : file_(std::move(file)), options_(options) {}
+
+  std::unique_ptr<SyncFile> file_;
+  JournalOptions options_;
+  uint64_t frames_appended_ = 0;
+  int frames_since_sync_ = 0;
+  bool poisoned_ = false;
+};
+
+// One replayed frame.
+struct JournalEntry {
+  uint64_t seq = 0;
+  LogRecord record;
+};
+
+// Result of scanning a journal.
+struct JournalReplay {
+  std::vector<JournalEntry> entries;  // In sequence order, contiguous.
+  // True when the file ends inside an incomplete final frame. The partial
+  // bytes are dropped: they can only belong to an append that crashed
+  // before its sync, i.e. the unacknowledged suffix.
+  bool torn_tail = false;
+  uint64_t torn_tail_offset = 0;  // Byte offset of the incomplete frame.
+};
+
+class JournalReader {
+ public:
+  // Parses journal bytes. Non-OK on any corruption that is not a clean
+  // torn tail; the message names the bad frame's byte offset.
+  static Result<JournalReplay> Parse(std::string_view bytes);
+
+  // Reads and parses `path`.
+  static Result<JournalReplay> ReadFile(const std::string& path);
+};
+
+// Frame encoding shared with the service checkpoint payload: appends
+// set/count/id to `out`, and the matching decoder advancing `*pos`.
+void EncodeLogRecord(const LogRecord& record, std::string* out);
+Status DecodeLogRecord(std::string_view bytes, size_t* pos,
+                       LogRecord* record);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_PERSIST_JOURNAL_H_

@@ -11,6 +11,7 @@
 #include "core/instance_validator.h"
 #include "core/online_validator.h"
 #include "licensing/license_set.h"
+#include "persist/journal.h"
 #include "validation/flat_tree.h"
 #include "validation/log_store.h"
 #include "validation/validation_tree.h"
@@ -18,6 +19,14 @@
 #include "util/status.h"
 
 namespace geolic {
+
+// What IssuanceService::Recover reconstructed the state from.
+struct RecoveryStats {
+  size_t checkpoint_records = 0;         // Records loaded from the checkpoint.
+  size_t journal_records_replayed = 0;   // Journal frames past the checkpoint.
+  size_t journal_records_skipped = 0;    // Frames the checkpoint already covers.
+  bool journal_torn_tail = false;        // Journal ended in a torn write.
+};
 
 // Thread-safe online admission for one (content, permission) domain — the
 // concurrent counterpart of OnlineValidator.
@@ -62,6 +71,21 @@ class IssuanceService {
       const LicenseSet* licenses, const OnlineValidatorOptions& options,
       const LogStore& history);
 
+  // Rebuilds a service from a crash: the newest checkpoint (may be empty —
+  // journal-only recovery) plus the journal tail past it (may be empty —
+  // checkpoint-only). Frames the checkpoint already covers are skipped; a
+  // torn final frame (crash mid-append, never acknowledged as synced) is
+  // dropped; any other journal or checkpoint corruption fails loudly with
+  // the bad frame's byte offset. The rebuilt state is verified against a
+  // serial replay of the combined record sequence before returning — the
+  // result is the exact pre-crash accepted set or an error, never silently
+  // wrong. The recovered service has no journal attached; call
+  // AttachJournal with a fresh journal file to resume durable admission.
+  static Result<std::unique_ptr<IssuanceService>> Recover(
+      const LicenseSet* licenses, const OnlineValidatorOptions& options,
+      const std::string& checkpoint_path, const std::string& journal_path,
+      RecoveryStats* stats = nullptr);
+
   IssuanceService(const IssuanceService&) = delete;
   IssuanceService& operator=(const IssuanceService&) = delete;
 
@@ -90,6 +114,35 @@ class IssuanceService {
   // a running service should query this flat, pruning-aware arena
   // (validation/flat_tree.h) instead of walking pointers.
   Result<FlatValidationTree> CollectFlatTree() const;
+
+  // Turns on write-ahead journaling: every subsequently accepted issuance
+  // is framed and appended to `journal` before the shard's in-memory state
+  // changes or the decision returns, so a crash can never have accepted an
+  // issuance the journal does not know. A journal append failure rejects
+  // the admission (error from TryIssue) and leaves all state unchanged.
+  // Must be called before issuance traffic starts (it is not synchronized
+  // against in-flight TryIssue calls); fails if a journal is already
+  // attached or frames were already written to this journal.
+  Status AttachJournal(std::unique_ptr<JournalWriter> journal);
+
+  // Forces every journaled frame to stable storage (for fsync_interval
+  // batching); no-op without a journal.
+  Status SyncJournal();
+
+  bool has_journal() const {
+    return has_journal_.load(std::memory_order_acquire);
+  }
+
+  // Sequence number of the last journaled admission (0 = none yet).
+  uint64_t journal_sequence() const;
+
+  // Atomically snapshots the full accepted set plus the journal sequence
+  // it covers into a v2 checkpoint file (persist/checkpoint.h, kind =
+  // service-snapshot). Takes every shard lock (in index order) and the
+  // journal lock, so the cut is exact: recovery from this checkpoint plus
+  // the same journal's tail reproduces the state byte-for-byte. Safe to
+  // call while issuance traffic is running.
+  Status WriteCheckpoint(const std::string& path) const;
 
   const LicenseSet& licenses() const { return *licenses_; }
   const LicenseGrouping& grouping() const { return grouping_; }
@@ -129,6 +182,15 @@ class IssuanceService {
   IssuanceMetrics owned_metrics_;
   IssuanceMetrics* metrics_;  // == options_.metrics or &owned_metrics_.
   std::atomic<int64_t> issue_sequence_{0};
+
+  // Write-ahead journal. `has_journal_` gates the accept path so services
+  // without a journal never touch `journal_mutex_` (the sharded fast path
+  // stays lock-disjoint across groups). Lock order: shard mutex(es), then
+  // journal_mutex_ — AdmitLocked and WriteCheckpoint both follow it.
+  std::atomic<bool> has_journal_{false};
+  mutable std::mutex journal_mutex_;
+  std::unique_ptr<JournalWriter> journal_;  // Guarded by journal_mutex_.
+  uint64_t journal_seq_ = 0;                // Guarded by journal_mutex_.
 };
 
 }  // namespace geolic

@@ -1,0 +1,59 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace geolic {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78u;  // Reflected 0x1EDC6F41.
+
+// Slicing-by-4 lookup tables: table[0] is the classic byte-at-a-time table,
+// tables 1..3 shift it so four input bytes fold into the CRC per iteration.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const Tables& tables = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFF] ^ tables.t[2][(crc >> 8) & 0xFF] ^
+          tables.t[1][(crc >> 16) & 0xFF] ^ tables.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p) & 0xFF];
+    ++p;
+    --size;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace geolic

@@ -1,0 +1,26 @@
+#ifndef GEOLIC_UTIL_CRC32C_H_
+#define GEOLIC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace geolic {
+
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected) — the checksum used
+// by the persist layer's journal frames and checkpoint containers. Chosen
+// over plain CRC32 for its better burst-error detection and because it is
+// the de-facto standard for storage framing (iSCSI, ext4, leveldb).
+
+// Extends `crc` (the running value returned by a previous call, or 0 for a
+// fresh computation) with `size` bytes at `data`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+// One-shot CRC32C of `data`.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_CRC32C_H_

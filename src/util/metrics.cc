@@ -39,7 +39,16 @@ double LatencyHistogram::Snapshot::MeanNanos() const {
 }
 
 int64_t LatencyHistogram::Snapshot::QuantileUpperBoundNanos(double p) const {
-  if (total_count == 0) {
+  // Rank against the snapshotted bucket sum, not total_count: Record bumps
+  // the bucket and total_count in separate relaxed RMWs, so a concurrent
+  // Snap can observe sum(counts) < total_count. A rank derived from the
+  // larger total would fall off the end of the scan and report the 2^40 ns
+  // top bucket for an otherwise microsecond-scale histogram.
+  uint64_t bucket_total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    bucket_total += counts[static_cast<size_t>(i)];
+  }
+  if (bucket_total == 0) {
     return 0;
   }
   if (p < 0.0) {
@@ -49,7 +58,7 @@ int64_t LatencyHistogram::Snapshot::QuantileUpperBoundNanos(double p) const {
     p = 1.0;
   }
   const uint64_t rank = static_cast<uint64_t>(
-      p * static_cast<double>(total_count - 1));
+      p * static_cast<double>(bucket_total - 1));
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += counts[static_cast<size_t>(i)];
@@ -57,17 +66,19 @@ int64_t LatencyHistogram::Snapshot::QuantileUpperBoundNanos(double p) const {
       return int64_t{1} << (i + 1);
     }
   }
-  return int64_t{1} << kBuckets;
+  return int64_t{1} << kBuckets;  // Unreachable: rank < bucket_total.
 }
 
 std::string LatencyHistogram::Snapshot::ToString() const {
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer),
-                "count=%llu, mean=%.0fns, p50<=%lldns, p99<=%lldns",
-                static_cast<unsigned long long>(total_count), MeanNanos(),
-                static_cast<long long>(QuantileUpperBoundNanos(0.5)),
-                static_cast<long long>(QuantileUpperBoundNanos(0.99)));
-  return buffer;
+  char mean[32];
+  std::snprintf(mean, sizeof(mean), "%.0f", MeanNanos());
+  std::string out = "count=" + std::to_string(total_count);
+  out += ", mean=";
+  out += mean;
+  out += "ns, p50<=" + std::to_string(QuantileUpperBoundNanos(0.5));
+  out += "ns, p99<=" + std::to_string(QuantileUpperBoundNanos(0.99));
+  out += "ns";
+  return out;
 }
 
 void IssuanceMetrics::RecordAccepted(uint64_t equations, int64_t nanos) {
@@ -110,19 +121,17 @@ IssuanceMetrics::Snapshot IssuanceMetrics::Snap() const {
 }
 
 std::string IssuanceMetrics::Snapshot::ToString() const {
-  char buffer[256];
-  std::snprintf(
-      buffer, sizeof(buffer),
-      "accepted=%llu, rejected_instance=%llu, rejected_aggregate=%llu, "
-      "equations=%llu, batches=%llu (%llu reqs), latency: %s",
-      static_cast<unsigned long long>(accepted),
-      static_cast<unsigned long long>(rejected_instance),
-      static_cast<unsigned long long>(rejected_aggregate),
-      static_cast<unsigned long long>(equations_checked),
-      static_cast<unsigned long long>(batches),
-      static_cast<unsigned long long>(batched_requests),
-      latency.ToString().c_str());
-  return buffer;
+  // Built by string append, not a fixed buffer: six 20-digit counters plus
+  // the embedded latency line overflow any reasonable snprintf buffer and
+  // would silently truncate the tail of the log line.
+  std::string out = "accepted=" + std::to_string(accepted);
+  out += ", rejected_instance=" + std::to_string(rejected_instance);
+  out += ", rejected_aggregate=" + std::to_string(rejected_aggregate);
+  out += ", equations=" + std::to_string(equations_checked);
+  out += ", batches=" + std::to_string(batches);
+  out += " (" + std::to_string(batched_requests) + " reqs)";
+  out += ", latency: " + latency.ToString();
+  return out;
 }
 
 }  // namespace geolic

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "persist/checkpoint.h"
 #include "util/check.h"
 #include "util/str_util.h"
 
@@ -129,23 +130,63 @@ Result<LogStore> LogStore::LoadText(const std::string& path) {
   return store;
 }
 
+void LogStore::SerializeRecords(std::ostream* out) const {
+  const uint64_t count = records_.size();
+  out->write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const LogRecord& record : records_) {
+    out->write(reinterpret_cast<const char*>(&record.set),
+               sizeof(record.set));
+    out->write(reinterpret_cast<const char*>(&record.count),
+               sizeof(record.count));
+    const uint32_t id_size =
+        static_cast<uint32_t>(record.issued_license_id.size());
+    out->write(reinterpret_cast<const char*>(&id_size), sizeof(id_size));
+    out->write(record.issued_license_id.data(), id_size);
+  }
+}
+
+Result<LogStore> LogStore::DeserializeRecords(std::istream* in) {
+  uint64_t count = 0;
+  in->read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!*in) {
+    return Status::ParseError("truncated log header");
+  }
+  LogStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    LogRecord record;
+    uint32_t id_size = 0;
+    in->read(reinterpret_cast<char*>(&record.set), sizeof(record.set));
+    in->read(reinterpret_cast<char*>(&record.count), sizeof(record.count));
+    in->read(reinterpret_cast<char*>(&id_size), sizeof(id_size));
+    if (!*in) {
+      return Status::ParseError("truncated log record");
+    }
+    if (id_size > 4096) {
+      return Status::ParseError("implausible id length in log record");
+    }
+    record.issued_license_id.resize(id_size);
+    in->read(record.issued_license_id.data(), id_size);
+    if (!*in) {
+      return Status::ParseError("truncated log record id");
+    }
+    GEOLIC_RETURN_IF_ERROR(store.Append(std::move(record)));
+  }
+  return store;
+}
+
 Status LogStore::SaveBinary(const std::string& path) const {
+  std::ostringstream body;
+  SerializeRecords(&body);
+  return WriteCheckpointFile(CheckpointKind::kLogStore, body.str(), path);
+}
+
+Status LogStore::SaveBinaryV1(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status::IoError("cannot open for writing: " + path);
   }
   out.write(kBinaryMagic, sizeof(kBinaryMagic));
-  const uint64_t count = records_.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const LogRecord& record : records_) {
-    out.write(reinterpret_cast<const char*>(&record.set), sizeof(record.set));
-    out.write(reinterpret_cast<const char*>(&record.count),
-              sizeof(record.count));
-    const uint32_t id_size =
-        static_cast<uint32_t>(record.issued_license_id.size());
-    out.write(reinterpret_cast<const char*>(&id_size), sizeof(id_size));
-    out.write(record.issued_license_id.data(), id_size);
-  }
+  SerializeRecords(&out);
   if (!out) {
     return Status::IoError("write failed: " + path);
   }
@@ -159,35 +200,24 @@ Result<LogStore> LogStore::LoadBinary(const std::string& path) {
   }
   char magic[sizeof(kBinaryMagic)];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+  if (!in) {
     return Status::ParseError("not a geolic binary log: " + path);
   }
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) {
-    return Status::ParseError("truncated header: " + path);
+  if (IsCheckpointMagic(magic)) {
+    GEOLIC_ASSIGN_OR_RETURN(
+        const std::string payload,
+        ReadCheckpointPayloadAfterMagic(CheckpointKind::kLogStore, &in));
+    std::istringstream body(payload);
+    GEOLIC_ASSIGN_OR_RETURN(LogStore store, DeserializeRecords(&body));
+    if (body.peek() != std::istringstream::traits_type::eof()) {
+      return Status::ParseError("trailing bytes after log payload: " + path);
+    }
+    return store;
   }
-  LogStore store;
-  for (uint64_t i = 0; i < count; ++i) {
-    LogRecord record;
-    uint32_t id_size = 0;
-    in.read(reinterpret_cast<char*>(&record.set), sizeof(record.set));
-    in.read(reinterpret_cast<char*>(&record.count), sizeof(record.count));
-    in.read(reinterpret_cast<char*>(&id_size), sizeof(id_size));
-    if (!in) {
-      return Status::ParseError("truncated record: " + path);
-    }
-    if (id_size > 4096) {
-      return Status::ParseError("implausible id length in: " + path);
-    }
-    record.issued_license_id.resize(id_size);
-    in.read(record.issued_license_id.data(), id_size);
-    if (!in) {
-      return Status::ParseError("truncated id: " + path);
-    }
-    GEOLIC_RETURN_IF_ERROR(store.Append(std::move(record)));
+  if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a geolic binary log: " + path);
   }
-  return store;
+  return DeserializeRecords(&in);
 }
 
 }  // namespace geolic

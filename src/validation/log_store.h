@@ -2,6 +2,7 @@
 #define GEOLIC_VALIDATION_LOG_STORE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,10 +49,22 @@ class LogStore {
   Status SaveText(const std::string& path) const;
   static Result<LogStore> LoadText(const std::string& path);
 
-  // Binary persistence: magic + version header, then fixed-layout records
-  // (little-endian, id length-prefixed).
+  // Binary persistence. Writes the record table inside the CRC-protected
+  // checkpoint-v2 container (persist/checkpoint.h, kind = log-store), so a
+  // flipped bit fails the load instead of silently changing a count.
+  // LoadBinary also accepts the legacy unchecksummed "GLOGBIN1" format.
   Status SaveBinary(const std::string& path) const;
   static Result<LogStore> LoadBinary(const std::string& path);
+
+  // Legacy v1 writer ("GLOGBIN1", no checksums), kept so tests can
+  // exercise the compatibility load path. New code must not call this.
+  Status SaveBinaryV1(const std::string& path) const;
+
+  // The raw record table (uint64 record count, then per record: set u64,
+  // count i64, id_len u32, id bytes) — the body both binary formats share,
+  // exposed for embedding in larger checkpoints (service snapshots).
+  void SerializeRecords(std::ostream* out) const;
+  static Result<LogStore> DeserializeRecords(std::istream* in);
 
  private:
   std::vector<LogRecord> records_;

@@ -5,18 +5,34 @@
 namespace geolic {
 namespace {
 
-size_t NodeCountImpl(const ValidationTreeNode& node) {
-  size_t count = node.children.size();
-  for (const auto& child : node.children) {
-    count += NodeCountImpl(*child);
+// NodeCount, TotalCount and CheckNode walk with an explicit stack: they
+// run against freshly deserialized checkpoints, where an adversarial (or
+// just deep) chain-shaped tree would overflow the call stack if the walk
+// recursed once per level.
+size_t NodeCountImpl(const ValidationTreeNode& root) {
+  size_t count = 0;
+  std::vector<const ValidationTreeNode*> stack{&root};
+  while (!stack.empty()) {
+    const ValidationTreeNode* node = stack.back();
+    stack.pop_back();
+    count += node->children.size();
+    for (const auto& child : node->children) {
+      stack.push_back(child.get());
+    }
   }
   return count;
 }
 
-int64_t TotalCountImpl(const ValidationTreeNode& node) {
-  int64_t total = node.count;
-  for (const auto& child : node.children) {
-    total += TotalCountImpl(*child);
+int64_t TotalCountImpl(const ValidationTreeNode& root) {
+  int64_t total = 0;
+  std::vector<const ValidationTreeNode*> stack{&root};
+  while (!stack.empty()) {
+    const ValidationTreeNode* node = stack.back();
+    stack.pop_back();
+    total += node->count;
+    for (const auto& child : node->children) {
+      stack.push_back(child.get());
+    }
   }
   return total;
 }
@@ -59,21 +75,26 @@ LicenseMask PresentLicensesImpl(const ValidationTreeNode& node) {
   return mask;
 }
 
-Status CheckNode(const ValidationTreeNode& node) {
-  if (node.count < 0) {
-    return Status::Internal("negative count in validation tree");
-  }
-  int previous = node.index;
-  for (const auto& child : node.children) {
-    if (child == nullptr) {
-      return Status::Internal("null child in validation tree");
+Status CheckNode(const ValidationTreeNode& root) {
+  std::vector<const ValidationTreeNode*> stack{&root};
+  while (!stack.empty()) {
+    const ValidationTreeNode* node = stack.back();
+    stack.pop_back();
+    if (node->count < 0) {
+      return Status::Internal("negative count in validation tree");
     }
-    if (child->index <= previous) {
-      return Status::Internal(
-          "children not strictly ascending / path not increasing");
+    int previous = node->index;
+    for (const auto& child : node->children) {
+      if (child == nullptr) {
+        return Status::Internal("null child in validation tree");
+      }
+      if (child->index <= previous) {
+        return Status::Internal(
+            "children not strictly ascending / path not increasing");
+      }
+      previous = child->index;
+      stack.push_back(child.get());
     }
-    previous = child->index;
-    GEOLIC_RETURN_IF_ERROR(CheckNode(*child));
   }
   return Status::Ok();
 }
@@ -88,7 +109,35 @@ void ToStringImpl(const ValidationTreeNode& node, int depth,
   }
 }
 
+// Drains a subtree iteratively — unique_ptr's natural chain destruction
+// recurses once per level and would overflow on deep chain-shaped trees.
+void DrainIteratively(std::unique_ptr<ValidationTreeNode> root) {
+  if (root == nullptr) {
+    return;
+  }
+  std::vector<std::unique_ptr<ValidationTreeNode>> pending;
+  pending.push_back(std::move(root));
+  while (!pending.empty()) {
+    std::unique_ptr<ValidationTreeNode> node = std::move(pending.back());
+    pending.pop_back();
+    for (auto& child : node->children) {
+      pending.push_back(std::move(child));
+    }
+    // `node` itself is destroyed here with an empty child list.
+  }
+}
+
 }  // namespace
+
+ValidationTree::~ValidationTree() { DrainIteratively(std::move(root_)); }
+
+ValidationTree& ValidationTree::operator=(ValidationTree&& other) noexcept {
+  if (this != &other) {
+    DrainIteratively(std::move(root_));
+    root_ = std::move(other.root_);
+  }
+  return *this;
+}
 
 Status ValidationTree::Insert(LicenseMask set, int64_t count) {
   if (set == 0) {

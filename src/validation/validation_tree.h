@@ -32,10 +32,15 @@ class ValidationTree {
  public:
   ValidationTree() : root_(std::make_unique<ValidationTreeNode>()) {}
 
+  // Iterative teardown: the natural unique_ptr chain destruction recurses
+  // once per level, and checkpoint loading must survive adversarially deep
+  // chain-shaped trees without overflowing the stack.
+  ~ValidationTree();
+
   ValidationTree(const ValidationTree&) = delete;
   ValidationTree& operator=(const ValidationTree&) = delete;
   ValidationTree(ValidationTree&&) noexcept = default;
-  ValidationTree& operator=(ValidationTree&&) noexcept = default;
+  ValidationTree& operator=(ValidationTree&& other) noexcept;
 
   // Paper Algorithm 1 (Insert): walks/creates nodes for the licenses of
   // `set` in ascending index order and adds `count` to the final node.

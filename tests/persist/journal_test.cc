@@ -1,0 +1,186 @@
+#include "persist/journal.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "persist/sync_file.h"
+
+namespace geolic {
+namespace {
+
+LogRecord Record(const std::string& id, LicenseMask set, int64_t count) {
+  LogRecord record;
+  record.issued_license_id = id;
+  record.set = set;
+  record.count = count;
+  return record;
+}
+
+TEST(JournalTest, RoundTripsFrames) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file));
+  ASSERT_TRUE(writer.ok());
+
+  ASSERT_TRUE((*writer)->Append(1, Record("LU1", 0x3, 10)).ok());
+  ASSERT_TRUE((*writer)->Append(2, Record("", 0x5, 1)).ok());
+  ASSERT_TRUE((*writer)->Append(3, Record("LU3", 0x1, 7)).ok());
+  EXPECT_EQ((*writer)->frames_appended(), 3u);
+
+  const Result<JournalReplay> replay = JournalReader::Parse(disk->contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->entries.size(), 3u);
+  EXPECT_EQ(replay->entries[0].seq, 1u);
+  EXPECT_EQ(replay->entries[0].record.issued_license_id, "LU1");
+  EXPECT_EQ(replay->entries[0].record.set, 0x3u);
+  EXPECT_EQ(replay->entries[0].record.count, 10);
+  EXPECT_EQ(replay->entries[1].record.issued_license_id, "");
+  EXPECT_EQ(replay->entries[2].seq, 3u);
+}
+
+TEST(JournalTest, EmptyJournalIsJustTheMagic) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  const Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file));
+  ASSERT_TRUE(writer.ok());  // Keeps the writer (and the disk) alive.
+  EXPECT_EQ(disk->contents().size(), sizeof(kJournalMagic));
+  // The magic is synced immediately so recovery never sees garbage.
+  EXPECT_EQ(disk->synced_size(), sizeof(kJournalMagic));
+  const Result<JournalReplay> replay = JournalReader::Parse(disk->contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->entries.empty());
+  EXPECT_FALSE(replay->torn_tail);
+}
+
+TEST(JournalTest, RejectsBadMagic) {
+  EXPECT_FALSE(JournalReader::Parse("NOTAJRNL").ok());
+  EXPECT_FALSE(JournalReader::Parse("").ok());
+}
+
+TEST(JournalTest, FsyncEveryAppendKeepsDiskSynced) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  JournalOptions options;
+  options.fsync_interval = 1;
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file), options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_TRUE((*writer)->Append(seq, Record("LU", 0x1, 1)).ok());
+    EXPECT_EQ(disk->synced_size(), disk->contents().size()) << seq;
+  }
+}
+
+TEST(JournalTest, FsyncBatchingTrailsByAtMostTheInterval) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  JournalOptions options;
+  options.fsync_interval = 4;
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file), options);
+  ASSERT_TRUE(writer.ok());
+
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE((*writer)->Append(seq, Record("LU", 0x1, 1)).ok());
+    // Not yet at the interval: only the magic is acknowledged durable.
+    EXPECT_EQ(disk->synced_size(), sizeof(kJournalMagic)) << seq;
+  }
+  ASSERT_TRUE((*writer)->Append(4, Record("LU", 0x1, 1)).ok());
+  EXPECT_EQ(disk->synced_size(), disk->contents().size());
+
+  // The synced prefix alone must always replay cleanly (a crash loses the
+  // unsynced suffix, never corrupts the acknowledged part).
+  ASSERT_TRUE((*writer)->Append(5, Record("LU", 0x1, 1)).ok());
+  const Result<JournalReplay> replay =
+      JournalReader::Parse(disk->synced_contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->entries.size(), 4u);
+}
+
+TEST(JournalTest, ManualSyncFlushesWithIntervalZero) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  JournalOptions options;
+  options.fsync_interval = 0;
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file), options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(1, Record("LU", 0x1, 1)).ok());
+  EXPECT_LT(disk->synced_size(), disk->contents().size());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ(disk->synced_size(), disk->contents().size());
+}
+
+TEST(JournalTest, RejectsSequenceZero) {
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::make_unique<InMemorySyncFile>());
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE((*writer)->Append(0, Record("LU", 0x1, 1)).ok());
+}
+
+TEST(JournalTest, ReaderRejectsGapsAndDuplicates) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(1, Record("LU1", 0x1, 1)).ok());
+  const std::string after_first = disk->contents();
+  const std::string frame1 = after_first.substr(sizeof(kJournalMagic));
+
+  // Duplicate: frame 1 appended twice.
+  {
+    const Result<JournalReplay> replay =
+        JournalReader::Parse(after_first + frame1);
+    ASSERT_FALSE(replay.ok());
+    EXPECT_NE(replay.status().message().find("duplicate"), std::string::npos)
+        << replay.status().message();
+    EXPECT_NE(replay.status().message().find("offset"), std::string::npos);
+  }
+
+  // Gap: seq jumps 1 -> 3.
+  ASSERT_TRUE((*writer)->Append(3, Record("LU3", 0x1, 1)).ok());
+  {
+    const Result<JournalReplay> replay =
+        JournalReader::Parse(disk->contents());
+    ASSERT_FALSE(replay.ok());
+    EXPECT_NE(replay.status().message().find("gap"), std::string::npos)
+        << replay.status().message();
+  }
+}
+
+TEST(JournalTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "journal_file_test.gjl";
+  {
+    Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(1, Record("LU1", 0x7, 42)).ok());
+    ASSERT_TRUE((*writer)->Append(2, Record("LU2", 0x1, 1)).ok());
+  }
+  const Result<JournalReplay> replay = JournalReader::ReadFile(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->entries.size(), 2u);
+  EXPECT_EQ(replay->entries[0].record.count, 42);
+}
+
+TEST(JournalTest, EncodeDecodeLogRecordRoundTrip) {
+  const LogRecord original = Record("LU-long-id-0123456789", 0xdeadbeef, 7);
+  std::string bytes;
+  EncodeLogRecord(original, &bytes);
+  LogRecord decoded;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeLogRecord(bytes, &pos, &decoded).ok());
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(decoded.issued_license_id, original.issued_license_id);
+  EXPECT_EQ(decoded.set, original.set);
+  EXPECT_EQ(decoded.count, original.count);
+}
+
+}  // namespace
+}  // namespace geolic

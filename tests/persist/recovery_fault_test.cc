@@ -1,0 +1,510 @@
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/faulty_file.h"
+#include "persist/journal.h"
+#include "persist/sync_file.h"
+#include "service/issuance_service.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+using testing::MakeUsage;
+
+// Three overlap groups: {L1, L2}, {L3, L4}, {L5} — the issuance-service
+// test's standard geometry, here with generous budgets so recovery
+// scenarios control acceptance themselves.
+LicenseSet ThreeGroupSet(const ConstraintSchema& schema, int64_t budget) {
+  LicenseSet licenses(&schema);
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, budget)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L2", {{10, 30}}, budget)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L3", {{100, 120}}, budget))
+          .ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L4", {{110, 130}}, budget))
+          .ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L5", {{200, 220}}, budget))
+          .ok());
+  return licenses;
+}
+
+License RequestAt(const ConstraintSchema& schema, int i) {
+  const std::string id = "U" + std::to_string(i);
+  switch (i % 3) {
+    case 0:
+      return MakeUsage(schema, id, {{12, 18}}, 1);  // Group {L1, L2}.
+    case 1:
+      return MakeUsage(schema, id, {{111, 119}}, 1);  // Group {L3, L4}.
+    default:
+      return MakeUsage(schema, id, {{205, 215}}, 1);  // Group {L5}.
+  }
+}
+
+LogRecord Record(const std::string& id, LicenseMask set, int64_t count) {
+  LogRecord record;
+  record.issued_license_id = id;
+  record.set = set;
+  record.count = count;
+  return record;
+}
+
+// Journal bytes holding `n` unit records, plus the per-frame boundaries
+// (byte offset after each frame) so tests can cut at clean frame edges.
+std::string JournalBytes(int n, std::vector<size_t>* boundaries = nullptr) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file));
+  EXPECT_TRUE(writer.ok());
+  if (boundaries != nullptr) {
+    boundaries->push_back(disk->contents().size());
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE((*writer)
+                    ->Append(static_cast<uint64_t>(i + 1),
+                             Record("LU" + std::to_string(i + 1),
+                                    static_cast<LicenseMask>((i % 3) + 1), 1))
+                    .ok());
+    if (boundaries != nullptr) {
+      boundaries->push_back(disk->contents().size());
+    }
+  }
+  return disk->contents();
+}
+
+// --- Torn writes -----------------------------------------------------------
+
+TEST(RecoveryFaultTest, TornWriteDropsOnlyTheTornFrame) {
+  // Persist 3 full frames, then tear the 4th at every possible byte count.
+  auto probe = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* probe_disk = probe.get();
+  Result<std::unique_ptr<JournalWriter>> probe_writer =
+      JournalWriter::Create(std::move(probe));
+  ASSERT_TRUE(probe_writer.ok());
+  size_t size_after_three = 0;
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    if (seq == 4) {
+      size_after_three = probe_disk->contents().size();
+    }
+    ASSERT_TRUE((*probe_writer)->Append(seq, Record("LU", 0x1, 1)).ok());
+  }
+  const size_t frame4_size = probe_disk->contents().size() - size_after_three;
+
+  for (size_t keep = 0; keep < frame4_size; ++keep) {
+    auto file = std::make_unique<InMemorySyncFile>();
+    InMemorySyncFile* disk = file.get();
+    auto faulty = std::make_unique<FaultyFile>(std::move(file));
+    FaultyFile* faults = faulty.get();
+    Result<std::unique_ptr<JournalWriter>> writer =
+        JournalWriter::Create(std::move(faulty));
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      ASSERT_TRUE((*writer)->Append(seq, Record("LU", 0x1, 1)).ok());
+    }
+    faults->TearNextAppend(keep);
+    // The torn append fails — the admission it backed was never accepted.
+    EXPECT_FALSE((*writer)->Append(4, Record("LU", 0x1, 1)).ok());
+    // And is poisoned for good: the disk is gone.
+    EXPECT_FALSE((*writer)->Append(5, Record("LU", 0x1, 1)).ok());
+
+    const Result<JournalReplay> replay =
+        JournalReader::Parse(disk->contents());
+    ASSERT_TRUE(replay.ok()) << "keep=" << keep << ": "
+                             << replay.status().message();
+    EXPECT_EQ(replay->entries.size(), 3u) << "keep=" << keep;
+    EXPECT_EQ(replay->torn_tail, keep != 0) << "keep=" << keep;
+  }
+}
+
+TEST(RecoveryFaultTest, TruncatedTailAlwaysRecoversAPrefix) {
+  // Cut the journal at EVERY byte length. Each cut either replays cleanly
+  // (a prefix of the entries, torn tail iff the cut is mid-frame) or —
+  // never — reports entries that were not written. Cuts inside the magic
+  // fail loudly instead.
+  std::vector<size_t> boundaries;
+  const std::string full = JournalBytes(6, &boundaries);
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    const Result<JournalReplay> replay =
+        JournalReader::Parse(full.substr(0, cut));
+    if (cut < sizeof(kJournalMagic)) {
+      EXPECT_FALSE(replay.ok()) << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << "cut=" << cut << ": "
+                             << replay.status().message();
+    // Entries must be exactly the frames wholly inside the cut.
+    size_t whole_frames = 0;
+    while (whole_frames + 1 < boundaries.size() &&
+           boundaries[whole_frames + 1] <= cut) {
+      ++whole_frames;
+    }
+    EXPECT_EQ(replay->entries.size(), whole_frames) << "cut=" << cut;
+    for (size_t i = 0; i < replay->entries.size(); ++i) {
+      EXPECT_EQ(replay->entries[i].seq, i + 1) << "cut=" << cut;
+    }
+    EXPECT_EQ(replay->torn_tail, cut != boundaries[whole_frames])
+        << "cut=" << cut;
+    if (replay->torn_tail) {
+      EXPECT_EQ(replay->torn_tail_offset, boundaries[whole_frames])
+          << "cut=" << cut;
+    }
+  }
+}
+
+// --- Bit flips -------------------------------------------------------------
+
+TEST(RecoveryFaultTest, EveryBitFlipFailsLoudlyWithAnOffset) {
+  const std::string full = JournalBytes(4);
+  for (size_t i = 0; i < full.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = full;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      const Result<JournalReplay> replay = JournalReader::Parse(mutated);
+      // A flip is never silently absorbed: the parse fails, and when it is
+      // past the magic the error names the bad frame's byte offset.
+      ASSERT_FALSE(replay.ok())
+          << "byte " << i << " bit " << bit << " slipped through";
+      if (i >= sizeof(kJournalMagic)) {
+        EXPECT_NE(replay.status().message().find("offset"), std::string::npos)
+            << replay.status().message();
+      }
+    }
+  }
+}
+
+TEST(RecoveryFaultTest, DuplicateFrameInsertionFailsLoudly) {
+  std::vector<size_t> boundaries;
+  const std::string full = JournalBytes(3, &boundaries);
+  // Splice a copy of frame 2 after itself: magic|f1|f2|f2|f3.
+  const std::string frame2 =
+      full.substr(boundaries[1], boundaries[2] - boundaries[1]);
+  const std::string doctored = full.substr(0, boundaries[2]) + frame2 +
+                               full.substr(boundaries[2]);
+  const Result<JournalReplay> replay = JournalReader::Parse(doctored);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("duplicate"), std::string::npos)
+      << replay.status().message();
+  EXPECT_NE(replay.status().message().find(std::to_string(boundaries[2])),
+            std::string::npos)
+      << replay.status().message();
+}
+
+TEST(RecoveryFaultTest, RandomMutationFuzzNeverSilentlyWrong) {
+  const std::string full = JournalBytes(8);
+  const Result<JournalReplay> clean = JournalReader::Parse(full);
+  ASSERT_TRUE(clean.ok());
+  Rng rng(20260806);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = full;
+    const int edits = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[at] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    if (mutated == full) {
+      continue;
+    }
+    const Result<JournalReplay> replay = JournalReader::Parse(mutated);
+    if (replay.ok()) {
+      // Only acceptable clean outcome: a prefix of the true entries (the
+      // mutation landed in the tail and reads as torn). Identical content
+      // with fewer-or-equal entries, never different records.
+      ASSERT_LE(replay->entries.size(), clean->entries.size());
+      for (size_t i = 0; i < replay->entries.size(); ++i) {
+        EXPECT_EQ(replay->entries[i].seq, clean->entries[i].seq);
+        EXPECT_EQ(replay->entries[i].record.set, clean->entries[i].record.set);
+        EXPECT_EQ(replay->entries[i].record.count,
+                  clean->entries[i].record.count);
+        EXPECT_EQ(replay->entries[i].record.issued_license_id,
+                  clean->entries[i].record.issued_license_id);
+      }
+    }
+  }
+}
+
+// --- Service wiring --------------------------------------------------------
+
+TEST(RecoveryFaultTest, ServiceJournalsEveryAcceptedIssuance) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::move(file));
+  ASSERT_TRUE(journal.ok());
+  ASSERT_FALSE((*service)->has_journal());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+  ASSERT_TRUE((*service)->has_journal());
+
+  int accepted = 0;
+  for (int i = 0; i < 30; ++i) {
+    const Result<OnlineDecision> decision =
+        (*service)->TryIssue(RequestAt(schema, i));
+    ASSERT_TRUE(decision.ok());
+    if (decision->aggregate_valid) {
+      ++accepted;
+    }
+  }
+  // An instance-invalid request must NOT hit the journal.
+  const Result<OnlineDecision> outside =
+      (*service)->TryIssue(MakeUsage(schema, "UX", {{500, 510}}, 1));
+  ASSERT_TRUE(outside.ok());
+  EXPECT_FALSE(outside->instance_valid);
+
+  EXPECT_EQ((*service)->journal_sequence(), static_cast<uint64_t>(accepted));
+  const Result<JournalReplay> replay = JournalReader::Parse(disk->contents());
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->entries.size(), static_cast<size_t>(accepted));
+
+  // The journal replay IS the accepted multiset.
+  LogStore journaled;
+  for (const JournalEntry& entry : replay->entries) {
+    ASSERT_TRUE(journaled.Append(entry.record).ok());
+  }
+  EXPECT_EQ(journaled.MergedCounts(), (*service)->CollectLog().MergedCounts());
+}
+
+TEST(RecoveryFaultTest, JournalFailureRejectsAdmissionAndLeavesStateClean) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  auto faulty = std::make_unique<FaultyFile>(
+      std::make_unique<InMemorySyncFile>());
+  FaultyFile* faults = faulty.get();
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::move(faulty));
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+
+  ASSERT_TRUE((*service)->TryIssue(RequestAt(schema, 0)).ok());
+  const std::string before = (*service)->CollectTree()->ToString();
+  const size_t log_before = (*service)->CollectLog().size();
+
+  faults->CrashNow();
+  // WAL contract: with the journal dead the admission errors out and no
+  // in-memory state may have changed.
+  const Result<OnlineDecision> denied =
+      (*service)->TryIssue(RequestAt(schema, 1));
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ((*service)->CollectTree()->ToString(), before);
+  EXPECT_EQ((*service)->CollectLog().size(), log_before);
+  EXPECT_EQ((*service)->journal_sequence(), 1u);
+}
+
+TEST(RecoveryFaultTest, RecoverFromJournalAloneMatchesSerialReplay) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const std::string journal_path =
+      ::testing::TempDir() + "recover_journal_only.gjl";
+  std::string expected_tree;
+  {
+    Result<std::unique_ptr<IssuanceService>> service =
+        IssuanceService::Create(&licenses);
+    ASSERT_TRUE(service.ok());
+    Result<std::unique_ptr<JournalWriter>> journal =
+        JournalWriter::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+    for (int i = 0; i < 24; ++i) {
+      ASSERT_TRUE((*service)->TryIssue(RequestAt(schema, i)).ok());
+    }
+    expected_tree = (*service)->CollectTree()->ToString();
+  }  // "Crash": the service object dies; only the journal file survives.
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, /*checkpoint_path=*/"",
+                               journal_path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(), expected_tree);
+  EXPECT_EQ(stats.checkpoint_records, 0u);
+  EXPECT_EQ(stats.journal_records_replayed, 24u);
+  EXPECT_EQ(stats.journal_records_skipped, 0u);
+  EXPECT_FALSE(stats.journal_torn_tail);
+}
+
+TEST(RecoveryFaultTest, RecoverFromCheckpointPlusJournalTail) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "recover_ckpt.gck";
+  const std::string journal_path = ::testing::TempDir() + "recover_tail.gjl";
+  std::string expected_tree;
+  uint64_t seq_at_checkpoint = 0;
+  {
+    Result<std::unique_ptr<IssuanceService>> service =
+        IssuanceService::Create(&licenses);
+    ASSERT_TRUE(service.ok());
+    Result<std::unique_ptr<JournalWriter>> journal =
+        JournalWriter::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE((*service)->TryIssue(RequestAt(schema, i)).ok());
+    }
+    ASSERT_TRUE((*service)->WriteCheckpoint(checkpoint_path).ok());
+    seq_at_checkpoint = (*service)->journal_sequence();
+    for (int i = 15; i < 24; ++i) {
+      ASSERT_TRUE((*service)->TryIssue(RequestAt(schema, i)).ok());
+    }
+    expected_tree = (*service)->CollectTree()->ToString();
+  }
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, checkpoint_path, journal_path,
+                               &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(), expected_tree);
+  EXPECT_EQ(stats.checkpoint_records, 15u);
+  EXPECT_EQ(stats.journal_records_skipped, seq_at_checkpoint);
+  EXPECT_EQ(stats.journal_records_replayed, 24u - seq_at_checkpoint);
+
+  // Recovery from the checkpoint ALONE yields exactly the covered prefix.
+  RecoveryStats ckpt_stats;
+  Result<std::unique_ptr<IssuanceService>> prefix =
+      IssuanceService::Recover(&licenses, {}, checkpoint_path,
+                               /*journal_path=*/"", &ckpt_stats);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(ckpt_stats.checkpoint_records, 15u);
+  EXPECT_EQ((*prefix)->CollectLog().size(), 15u);
+}
+
+TEST(RecoveryFaultTest, RecoverAfterTornFinalFrameDropsOnlyThatFrame) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  auto faulty = std::make_unique<FaultyFile>(std::move(file));
+  FaultyFile* faults = faulty.get();
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::move(faulty));
+  ASSERT_TRUE(journal.ok());
+
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*service)->TryIssue(RequestAt(schema, i)).ok());
+  }
+  const std::string tree_before_crash = (*service)->CollectTree()->ToString();
+
+  // The 11th admission tears mid-frame: the service reports an error (the
+  // issuance was NOT accepted) and the disk holds a torn tail.
+  faults->TearNextAppend(7);
+  EXPECT_FALSE((*service)->TryIssue(RequestAt(schema, 10)).ok());
+
+  const std::string journal_path = ::testing::TempDir() + "recover_torn.gjl";
+  {
+    std::ofstream out(journal_path, std::ios::binary);
+    out.write(disk->contents().data(),
+              static_cast<std::streamsize>(disk->contents().size()));
+  }
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, "", journal_path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(stats.journal_torn_tail);
+  EXPECT_EQ(stats.journal_records_replayed, 10u);
+  // Exactly the pre-crash accepted set — the torn admission is absent from
+  // both the pre-crash service state and the recovered one.
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(), tree_before_crash);
+}
+
+TEST(RecoveryFaultTest, RecoverRejectsCorruptJournalLoudly) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const std::string journal_path =
+      ::testing::TempDir() + "recover_corrupt.gjl";
+  {
+    Result<std::unique_ptr<IssuanceService>> service =
+        IssuanceService::Create(&licenses);
+    ASSERT_TRUE(service.ok());
+    Result<std::unique_ptr<JournalWriter>> journal =
+        JournalWriter::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE((*service)->TryIssue(RequestAt(schema, i)).ok());
+    }
+  }
+  // Flip one payload byte in the middle of the file.
+  std::string bytes;
+  {
+    std::ifstream in(journal_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  {
+    std::ofstream out(journal_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, "", journal_path);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("offset"), std::string::npos)
+      << recovered.status().message();
+}
+
+TEST(RecoveryFaultTest, RecoverNeedsAtLeastOneSource) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  EXPECT_FALSE(IssuanceService::Recover(&licenses, {}, "", "").ok());
+}
+
+TEST(RecoveryFaultTest, AttachJournalGuards) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE((*service)->AttachJournal(nullptr).ok());
+
+  // A journal that already carries frames is not attachable.
+  Result<std::unique_ptr<JournalWriter>> used =
+      JournalWriter::Create(std::make_unique<InMemorySyncFile>());
+  ASSERT_TRUE(used.ok());
+  ASSERT_TRUE((*used)->Append(1, Record("LU", 0x1, 1)).ok());
+  EXPECT_FALSE((*service)->AttachJournal(std::move(*used)).ok());
+
+  Result<std::unique_ptr<JournalWriter>> fresh =
+      JournalWriter::Create(std::make_unique<InMemorySyncFile>());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*fresh)).ok());
+  Result<std::unique_ptr<JournalWriter>> second =
+      JournalWriter::Create(std::make_unique<InMemorySyncFile>());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE((*service)->AttachJournal(std::move(*second)).ok());
+
+  EXPECT_TRUE((*service)->SyncJournal().ok());
+}
+
+}  // namespace
+}  // namespace geolic

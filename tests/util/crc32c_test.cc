@@ -1,0 +1,64 @@
+#include "util/crc32c.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+// Reference vectors from RFC 3720 (iSCSI), appendix B.4.
+TEST(Crc32cTest, Rfc3720Vectors) {
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) {
+    ascending[static_cast<size_t>(i)] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+
+  std::string descending(32, '\0');
+  for (int i = 0; i < 32; ++i) {
+    descending[static_cast<size_t>(i)] = static_cast<char>(31 - i);
+  }
+  EXPECT_EQ(Crc32c(descending), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data =
+      "the geolic journal frames every accepted issuance";
+  const uint32_t one_shot = Crc32c(data);
+  // Any split point must yield the same digest as the one-shot call.
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipsChangeDigest) {
+  const std::string data(64, 'a');
+  const uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = data;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(mutated), clean) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geolic

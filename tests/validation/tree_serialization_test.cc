@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -127,6 +128,177 @@ TEST(TreeSerializationPropertyTest, RandomTreesRoundTrip) {
       EXPECT_EQ(it->second, count);
     });
     EXPECT_EQ(seen, expected.size());
+  }
+}
+
+// --- Deep chains -----------------------------------------------------------
+
+// Chain-shaped tree of `depth` nodes (indexes 0..depth-1, each node the
+// sole child of the previous, count 1 at every level). Path indexes only
+// need to strictly increase, so the structure is format-legal at any
+// depth. Built and compared without ToString/ForEachSet — those walk the
+// license-mask space and are out of scope here.
+ValidationTree DeepChain(int depth) {
+  ValidationTree tree;
+  ValidationTreeNode* node = tree.mutable_root();
+  for (int level = 0; level < depth; ++level) {
+    auto child = std::make_unique<ValidationTreeNode>();
+    child->index = level;
+    child->count = 1;
+    ValidationTreeNode* child_ptr = child.get();
+    node->children.push_back(std::move(child));
+    node = child_ptr;
+  }
+  return tree;
+}
+
+// Regression: serializer, deserializer, invariant checker and destructor
+// all used to recurse once per level — a ~100k-deep chain (an adversarial
+// checkpoint, or any tree deeper than the call stack) blew the stack in
+// whichever of the four ran first. All four must be iterative.
+TEST(TreeSerializationTest, HundredThousandDeepChainRoundTrips) {
+  constexpr int kDepth = 100000;
+  std::string bytes;
+  {
+    const ValidationTree original = DeepChain(kDepth);
+    ASSERT_EQ(original.NodeCount(), static_cast<size_t>(kDepth));
+    ASSERT_EQ(original.TotalCount(), kDepth);
+    std::stringstream buffer;
+    ASSERT_TRUE(SerializeTree(original, &buffer).ok());
+    bytes = buffer.str();
+  }  // `original` destroyed here — teardown must be iterative too.
+  std::stringstream in(bytes);
+  const Result<ValidationTree> loaded = DeserializeTree(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NodeCount(), static_cast<size_t>(kDepth));
+  EXPECT_EQ(loaded->TotalCount(), kDepth);
+  // Re-serializing the loaded tree reproduces the bytes exactly.
+  std::stringstream again;
+  ASSERT_TRUE(SerializeTree(*loaded, &again).ok());
+  EXPECT_EQ(again.str(), bytes);
+}
+
+TEST(TreeSerializationTest, DeepChainMoveAssignTearsDownIteratively) {
+  ValidationTree tree = DeepChain(100000);
+  // Move-assign drops the old deep chain; the default member-wise
+  // unique_ptr teardown would recurse per level.
+  tree = DeepChain(3);
+  EXPECT_EQ(tree.NodeCount(), 3u);
+}
+
+// --- Corruption matrix -----------------------------------------------------
+
+// A flipped bit anywhere in a v2 checkpoint fails the load: header flips
+// break the header CRC, payload flips the payload CRC.
+TEST(TreeSerializationTest, V2EveryFlippedByteFailsTheLoad) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTree(SampleTree(), &buffer).ok());
+  const std::string bytes = buffer.str();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+    std::stringstream in(mutated);
+    EXPECT_FALSE(DeserializeTree(&in).ok()) << "byte " << i;
+  }
+}
+
+TEST(TreeSerializationTest, LegacyV1StillLoads) {
+  const ValidationTree original = SampleTree();
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTreeV1(original, &buffer).ok());
+  const Result<ValidationTree> loaded = DeserializeTree(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ToString(), original.ToString());
+}
+
+TEST(TreeSerializationTest, LegacyV1RejectsTruncatedHeader) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTreeV1(SampleTree(), &buffer).ok());
+  const std::string bytes = buffer.str();
+  // Cut inside the node-count field (after the magic, before the payload).
+  for (size_t cut = 0; cut < 16; ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(DeserializeTree(&truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(TreeSerializationTest, LegacyV1RejectsOverdeclaredNodeCount) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTreeV1(SampleTree(), &buffer).ok());
+  std::string bytes = buffer.str();
+  // Node count (u64 at offset 8) claims one more node than the payload
+  // holds: the reader must run out of declared payload, not over-read.
+  ++bytes[8];
+  std::stringstream in(bytes);
+  const Result<ValidationTree> loaded = DeserializeTree(&in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(TreeSerializationTest, LegacyV1RejectsChildCountOverrun) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTreeV1(SampleTree(), &buffer).ok());
+  std::string bytes = buffer.str();
+  // Root triple starts at 16 (magic 8 + count 8); its child_count is the
+  // u32 at 16 + 4 + 8. Claim far more children than declared nodes.
+  bytes[16 + 4 + 8] = static_cast<char>(0xff);
+  std::stringstream in(bytes);
+  const Result<ValidationTree> loaded = DeserializeTree(&in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+// v1's documented blindness: with no checksums, a flipped bit inside a
+// count field loads cleanly and silently corrupts every downstream C<S>.
+// This is the failure mode the v2 container exists to close.
+TEST(TreeSerializationTest, LegacyV1CannotDetectFlippedCountByte) {
+  const ValidationTree original = SampleTree();
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeTreeV1(original, &buffer).ok());
+  std::string bytes = buffer.str();
+  // First child triple at 16 + 16; its count is the i64 at +4. Flipping a
+  // low bit keeps the count positive, so no invariant trips.
+  bytes[16 + 16 + 4] = static_cast<char>(bytes[16 + 16 + 4] ^ 0x01);
+  std::stringstream in(bytes);
+  const Result<ValidationTree> loaded = DeserializeTree(&in);
+  ASSERT_TRUE(loaded.ok());  // Loads fine...
+  EXPECT_NE(loaded->ToString(), original.ToString());  // ...wrong counts.
+}
+
+// Fuzz: random byte soup and random mutations of a valid v2 document must
+// never crash the loader (run under ASan/UBSan in CI).
+TEST(TreeSerializationTest, FuzzedInputNeverCrashes) {
+  Rng rng(987654);
+  std::stringstream clean_buffer;
+  ASSERT_TRUE(SerializeTree(SampleTree(), &clean_buffer).ok());
+  const std::string clean = clean_buffer.str();
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes;
+    if (trial % 2 == 0) {
+      // Pure random soup, sometimes starting with a valid magic.
+      const size_t size = static_cast<size_t>(rng.UniformInt(0, 200));
+      bytes.resize(size);
+      for (char& c : bytes) {
+        c = static_cast<char>(rng.UniformInt(0, 255));
+      }
+      if (trial % 4 == 0 && bytes.size() >= 8) {
+        bytes.replace(0, 8, clean, 0, 8);
+      }
+    } else {
+      // Mutations of the valid document.
+      bytes = clean;
+      const int edits = 1 + static_cast<int>(rng.UniformInt(0, 4));
+      for (int e = 0; e < edits; ++e) {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+        bytes[at] = static_cast<char>(rng.UniformInt(0, 255));
+      }
+    }
+    std::stringstream in(bytes);
+    const Result<ValidationTree> loaded = DeserializeTree(&in);
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->CheckInvariants().ok());
+    }
   }
 }
 
