@@ -35,14 +35,15 @@ int main(int argc, char** argv) {
     const double plain_ms = plain_timer.ElapsedMillis();
     GEOLIC_CHECK(plain_report.ok());
 
-    const LicensePermutation permutation =
+    const Result<LicensePermutation> permutation =
         LicensePermutation::ByDescendingFrequency(workload.log, n);
+    GEOLIC_CHECK(permutation.ok());
     Result<ValidationTree> ordered =
-        BuildFrequencyOrderedTree(workload.log, permutation);
+        BuildFrequencyOrderedTree(workload.log, *permutation);
     GEOLIC_CHECK(ordered.ok());
     Stopwatch ordered_timer;
     Result<ValidationReport> ordered_report =
-        ValidateExhaustive(*ordered, permutation.MapValues(aggregates));
+        ValidateExhaustive(*ordered, permutation->MapValues(aggregates));
     const double ordered_ms = ordered_timer.ElapsedMillis();
     GEOLIC_CHECK(ordered_report.ok());
     GEOLIC_CHECK(ordered_report->violations.size() ==

@@ -13,7 +13,11 @@
 // service's metrics block.
 //
 // Usage: drm_simulator [--seed=N] [--distributors=N] [--issues=N]
-//                      [--rogues=N] [--threads=N]
+//                      [--rogues=N] [--threads=N] [--metrics_out=PATH]
+//
+// --metrics_out= writes the authority service's metrics — counters, the
+// request-latency histogram, and the per-stage trace profile — to PATH:
+// JSON when it ends in ".json", Prometheus text exposition otherwise.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -25,6 +29,8 @@
 #include "core/online_validator.h"
 #include "drm/distribution_network.h"
 #include "drm/validation_authority.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "workload/stats.h"
 #include "util/random.h"
 
@@ -38,6 +44,18 @@ int IntFlag(int argc, char** argv, const char* name, int fallback) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       return std::atoi(arg.c_str() + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
     }
   }
   return fallback;
@@ -184,7 +202,12 @@ int main(int argc, char** argv) {
   // domain holding every distributor's licenses. The Z bands never overlap
   // across distributors, so the domain splits into per-band overlap groups
   // and the sharded service validates the threads' requests in parallel.
-  ValidationAuthority authority(&schema);
+  // Full (unsampled) tracing: the simulator's load is small, and the stage
+  // profile in --metrics_out should cover every admission.
+  Tracer tracer;
+  OnlineValidatorOptions service_options;
+  service_options.tracer = &tracer;
+  ValidationAuthority authority(&schema, service_options);
   for (const int distributor : distributors) {
     const LicenseSet& received = network.ReceivedLicenses(distributor);
     for (int l = 0; l < received.size(); ++l) {
@@ -253,6 +276,15 @@ int main(int argc, char** argv) {
   std::printf("  service metrics: %s\n",
               (*service)->metrics().Snap().ToString().c_str());
   std::printf("  concurrent state == serial replay: yes\n");
+
+  const std::string metrics_out = StringFlag(argc, argv, "metrics_out", "");
+  if (!metrics_out.empty()) {
+    GEOLIC_CHECK(WriteMetricsFile((*service)->Snap(), metrics_out).ok());
+    std::printf("  metrics written to %s (%llu spans, %llu slow requests)\n",
+                metrics_out.c_str(),
+                static_cast<unsigned long long>(tracer.spans_recorded()),
+                static_cast<unsigned long long>(tracer.slow_requests()));
+  }
 
   const bool caught = !audit->clean();
   std::printf("\n%s\n", caught ? "Rights violations detected."

@@ -62,11 +62,16 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
         "issued license must carry a positive count");
   }
   OnlineDecision decision;
-  decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
+  RequestTrace trace(options_.tracer);
+  {
+    ScopedStageTimer stage(&trace, TraceStage::kInstanceCheck);
+    decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
+  }
   if (decision.satisfying_set == 0) {
     if (options_.metrics != nullptr) {
       options_.metrics->RecordRejectedInstance(timer.ElapsedNanos());
     }
+    trace.Finish(TraceOutcome::kRejectedInstance);
     return decision;  // Fails instance-based validation; nothing recorded.
   }
   decision.instance_valid = true;
@@ -84,29 +89,33 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
 
   // Check every equation T with S ⊆ T ⊆ scope: its LHS gains `count`.
   decision.aggregate_valid = true;
-  const LicenseMask extension = scope & ~s;
-  LicenseMask x = 0;
-  while (true) {
-    const LicenseMask t = s | x;
-    const int64_t cv = tree_.SumSubsets(t) + count;
-    const int64_t av = licenses_->AggregateSum(t);
-    ++decision.equations_checked;
-    if (cv > av) {
-      decision.aggregate_valid = false;
-      decision.limiting = EquationResult{t, cv, av};
-      break;
+  {
+    ScopedStageTimer stage(&trace, TraceStage::kEquationScan);
+    const LicenseMask extension = scope & ~s;
+    LicenseMask x = 0;
+    while (true) {
+      const LicenseMask t = s | x;
+      const int64_t cv = tree_.SumSubsets(t) + count;
+      const int64_t av = licenses_->AggregateSum(t);
+      ++decision.equations_checked;
+      if (cv > av) {
+        decision.aggregate_valid = false;
+        decision.limiting = EquationResult{t, cv, av};
+        break;
+      }
+      if (x == extension) {
+        break;
+      }
+      // Enumerate subsets of `extension` ascending: next = (x − ext) & ext.
+      x = (x - extension) & extension;
     }
-    if (x == extension) {
-      break;
-    }
-    // Enumerate subsets of `extension` ascending: next = (x − ext) & ext.
-    x = (x - extension) & extension;
   }
   if (!decision.aggregate_valid) {
     if (options_.metrics != nullptr) {
       options_.metrics->RecordRejectedAggregate(decision.equations_checked,
                                                 timer.ElapsedNanos());
     }
+    trace.Finish(TraceOutcome::kRejectedAggregate);
     return decision;
   }
 
@@ -123,6 +132,7 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
     options_.metrics->RecordAccepted(decision.equations_checked,
                                      timer.ElapsedNanos());
   }
+  trace.Finish(TraceOutcome::kAccepted);
   return decision;
 }
 

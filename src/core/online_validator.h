@@ -7,6 +7,7 @@
 #include "core/grouping.h"
 #include "core/instance_validator.h"
 #include "licensing/license_set.h"
+#include "obs/trace.h"
 #include "validation/log_store.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
@@ -51,6 +52,10 @@ struct OnlineValidatorOptions {
   // striped over min(shard_hint, group_count) mutexes). <= 0 means one
   // shard per overlap group. Ignored by the plain OnlineValidator.
   int shard_hint = 0;
+  // Optional span sink for per-stage request tracing (obs/trace.h); must
+  // outlive the validator/service. Null = tracing off: the scoped timers
+  // reduce to one branch and no clock reads.
+  Tracer* tracer = nullptr;
 };
 
 // Validates licenses one at a time, as they are generated — the "online"

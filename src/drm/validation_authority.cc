@@ -39,7 +39,7 @@ Status ValidationAuthority::RebuildService(Domain* domain,
   GEOLIC_ASSIGN_OR_RETURN(
       domain->service,
       IssuanceService::CreateWithHistory(domain->licenses.get(),
-                                         OnlineValidatorOptions{}, history));
+                                         service_options_, history));
   return Status::Ok();
 }
 

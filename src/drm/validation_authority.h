@@ -61,9 +61,14 @@ class ValidationAuthority {
   };
 
   // `schema` applies to every content handled by this authority and must
-  // outlive it.
-  explicit ValidationAuthority(const ConstraintSchema* schema)
-      : schema_(schema) {}
+  // outlive it. `service_options` configures every domain's
+  // IssuanceService (grouping, shard hint, and the metrics/tracer sinks —
+  // which must outlive the authority when set; note a shared metrics block
+  // or tracer aggregates across all domains).
+  explicit ValidationAuthority(const ConstraintSchema* schema,
+                               const OnlineValidatorOptions& service_options =
+                                   OnlineValidatorOptions{})
+      : schema_(schema), service_options_(service_options) {}
 
   ValidationAuthority(const ValidationAuthority&) = delete;
   ValidationAuthority& operator=(const ValidationAuthority&) = delete;
@@ -137,6 +142,7 @@ class ValidationAuthority {
   Status RebuildService(Domain* domain, const LogStore& history);
 
   const ConstraintSchema* schema_;
+  OnlineValidatorOptions service_options_;
   std::map<ContentKey, Domain> domains_;
 };
 

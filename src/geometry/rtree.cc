@@ -40,9 +40,22 @@ void IntervalBox::Extend(const IntervalBox& other) {
 }
 
 double IntervalBox::Measure() const {
+  // Saturating product. Interval::Length() saturates at INT64_MAX per
+  // dimension, so the true product of a wide box overflows double to inf
+  // from ~17 full-range dimensions on — and once two boxes both measure
+  // inf, Enlargement and the quadratic-split waste become inf − inf = NaN.
+  // NaN compares false against everything, so Guttman's least-enlargement
+  // scan would keep no best entry (null deref in ChooseLeaf) and the split
+  // seed/pick loops would fall through with out-of-range indexes. Clamping
+  // at DBL_MAX keeps every downstream difference finite; boxes tied at the
+  // cap fall to the orderings' deterministic first-wins tiebreaks.
+  constexpr double kCap = std::numeric_limits<double>::max();
   double measure = 1.0;
   for (const Interval& dim : dims) {
     measure *= static_cast<double>(dim.Length());
+    if (measure > kCap) {
+      measure = kCap;
+    }
   }
   return measure;
 }
@@ -50,7 +63,9 @@ double IntervalBox::Measure() const {
 namespace {
 
 // Measure of `box` extended to cover `addition`, minus the original
-// measure — Guttman's least-enlargement heuristic.
+// measure — Guttman's least-enlargement heuristic. Always finite: Measure
+// saturates at DBL_MAX (a saturated box reports zero enlargement, so ties
+// resolve by the callers' first-wins ordering).
 double Enlargement(const IntervalBox& box, const IntervalBox& addition) {
   IntervalBox extended = box;
   extended.Extend(addition);

@@ -1,0 +1,246 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace geolic {
+namespace {
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Index of the last non-empty bucket, or -1 when all are empty.
+int LastUsedBucket(const LatencyHistogram::Snapshot& histogram) {
+  int last = -1;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (histogram.counts[static_cast<size_t>(i)] != 0) {
+      last = i;
+    }
+  }
+  return last;
+}
+
+uint64_t BucketSum(const LatencyHistogram::Snapshot& histogram) {
+  uint64_t sum = 0;
+  for (const uint64_t count : histogram.counts) {
+    sum += count;
+  }
+  return sum;
+}
+
+// One histogram family in text form. `labels` is the rendered label set
+// without the le pair, e.g. `service="x",stage="equation_scan"`.
+//
+// The `_count` sample is the snapshotted bucket sum, not the histogram's
+// total_count word: the two are updated by separate relaxed RMWs, so a
+// snapshot taken under write load can see total_count ahead of the
+// buckets, and a cumulative +Inf bucket smaller than _count would be a
+// malformed exposition.
+void AppendTextHistogram(const std::string& name, const std::string& labels,
+                         const LatencyHistogram::Snapshot& histogram,
+                         std::string* out) {
+  const int last = LastUsedBucket(histogram);
+  uint64_t cumulative = 0;
+  for (int i = 0; i <= last; ++i) {
+    cumulative += histogram.counts[static_cast<size_t>(i)];
+    *out += name + "_bucket{" + labels + ",le=\"" +
+            std::to_string(uint64_t{1} << (i + 1)) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += name + "_bucket{" + labels + ",le=\"+Inf\"} " +
+          std::to_string(cumulative) + "\n";
+  *out += name + "_sum{" + labels + "} " +
+          std::to_string(histogram.total_nanos) + "\n";
+  *out += name + "_count{" + labels + "} " + std::to_string(cumulative) +
+          "\n";
+}
+
+void AppendJsonHistogram(const LatencyHistogram::Snapshot& histogram,
+                         JsonWriter* json) {
+  json->BeginObject();
+  json->KeyValue("count", BucketSum(histogram));
+  json->KeyValue("sum_nanos", histogram.total_nanos);
+  json->KeyValue("clamped_negative", histogram.clamped_negative);
+  json->KeyValue("p50_le_nanos",
+                 static_cast<uint64_t>(histogram.QuantileUpperBoundNanos(0.5)));
+  json->KeyValue(
+      "p99_le_nanos",
+      static_cast<uint64_t>(histogram.QuantileUpperBoundNanos(0.99)));
+  json->Key("buckets");
+  json->BeginArray();
+  const int last = LastUsedBucket(histogram);
+  for (int i = 0; i <= last; ++i) {
+    json->BeginObject();
+    json->KeyValue("le", uint64_t{1} << (i + 1));
+    json->KeyValue("count", histogram.counts[static_cast<size_t>(i)]);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const ExpositionInput& input) {
+  const std::string svc = "service=\"" + EscapeLabel(input.service) + "\"";
+  std::string out;
+
+  out += "# TYPE geolic_requests_total counter\n";
+  out += "geolic_requests_total{" + svc + ",outcome=\"accepted\"} " +
+         std::to_string(input.metrics.accepted) + "\n";
+  out += "geolic_requests_total{" + svc + ",outcome=\"rejected_instance\"} " +
+         std::to_string(input.metrics.rejected_instance) + "\n";
+  out += "geolic_requests_total{" + svc +
+         ",outcome=\"rejected_aggregate\"} " +
+         std::to_string(input.metrics.rejected_aggregate) + "\n";
+
+  out += "# TYPE geolic_equations_checked_total counter\n";
+  out += "geolic_equations_checked_total{" + svc + "} " +
+         std::to_string(input.metrics.equations_checked) + "\n";
+
+  out += "# TYPE geolic_batches_total counter\n";
+  out += "geolic_batches_total{" + svc + "} " +
+         std::to_string(input.metrics.batches) + "\n";
+  out += "# TYPE geolic_batched_requests_total counter\n";
+  out += "geolic_batched_requests_total{" + svc + "} " +
+         std::to_string(input.metrics.batched_requests) + "\n";
+
+  out += "# TYPE geolic_latency_clamped_negative_total counter\n";
+  out += "geolic_latency_clamped_negative_total{" + svc + "} " +
+         std::to_string(input.metrics.latency.clamped_negative) + "\n";
+
+  out += "# TYPE geolic_request_latency_nanos histogram\n";
+  AppendTextHistogram("geolic_request_latency_nanos", svc,
+                      input.metrics.latency, &out);
+
+  if (input.has_stages) {
+    out += "# TYPE geolic_stage_duration_nanos histogram\n";
+    for (int s = 0; s < kTraceStageCount; ++s) {
+      const std::string labels =
+          svc + ",stage=\"" +
+          TraceStageName(static_cast<TraceStage>(s)) + "\"";
+      AppendTextHistogram("geolic_stage_duration_nanos", labels,
+                          input.stages.stages[static_cast<size_t>(s)], &out);
+    }
+  }
+
+  if (input.has_journal) {
+    out += "# TYPE geolic_journal_sequence gauge\n";
+    out += "geolic_journal_sequence{" + svc + "} " +
+           std::to_string(input.journal_sequence) + "\n";
+  }
+
+  if (input.has_recovery) {
+    out += "# TYPE geolic_recovery_checkpoint_records gauge\n";
+    out += "geolic_recovery_checkpoint_records{" + svc + "} " +
+           std::to_string(input.recovery_checkpoint_records) + "\n";
+    out += "# TYPE geolic_recovery_journal_replayed gauge\n";
+    out += "geolic_recovery_journal_replayed{" + svc + "} " +
+           std::to_string(input.recovery_journal_replayed) + "\n";
+    out += "# TYPE geolic_recovery_journal_skipped gauge\n";
+    out += "geolic_recovery_journal_skipped{" + svc + "} " +
+           std::to_string(input.recovery_journal_skipped) + "\n";
+    out += "# TYPE geolic_recovery_torn_tail gauge\n";
+    out += "geolic_recovery_torn_tail{" + svc + "} " +
+           std::string(input.recovery_torn_tail ? "1" : "0") + "\n";
+  }
+
+  return out;
+}
+
+std::string RenderJson(const ExpositionInput& input) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("service", input.service);
+
+  json.Key("requests");
+  json.BeginObject();
+  json.KeyValue("accepted", input.metrics.accepted);
+  json.KeyValue("rejected_instance", input.metrics.rejected_instance);
+  json.KeyValue("rejected_aggregate", input.metrics.rejected_aggregate);
+  json.KeyValue("total", input.metrics.total_requests());
+  json.EndObject();
+
+  json.KeyValue("equations_checked", input.metrics.equations_checked);
+
+  json.Key("batches");
+  json.BeginObject();
+  json.KeyValue("count", input.metrics.batches);
+  json.KeyValue("requests", input.metrics.batched_requests);
+  json.EndObject();
+
+  json.Key("latency");
+  AppendJsonHistogram(input.metrics.latency, &json);
+
+  if (input.has_stages) {
+    json.Key("stages");
+    json.BeginObject();
+    for (int s = 0; s < kTraceStageCount; ++s) {
+      json.Key(TraceStageName(static_cast<TraceStage>(s)));
+      AppendJsonHistogram(input.stages.stages[static_cast<size_t>(s)],
+                          &json);
+    }
+    json.EndObject();
+  }
+
+  if (input.has_journal) {
+    json.Key("journal");
+    json.BeginObject();
+    json.KeyValue("sequence", input.journal_sequence);
+    json.EndObject();
+  }
+
+  if (input.has_recovery) {
+    json.Key("recovery");
+    json.BeginObject();
+    json.KeyValue("checkpoint_records", input.recovery_checkpoint_records);
+    json.KeyValue("journal_replayed", input.recovery_journal_replayed);
+    json.KeyValue("journal_skipped", input.recovery_journal_skipped);
+    json.KeyValue("torn_tail", input.recovery_torn_tail);
+    json.EndObject();
+  }
+
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+Status WriteMetricsFile(const ExpositionInput& input,
+                        const std::string& path) {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string doc =
+      json ? RenderJson(input) : RenderPrometheusText(input);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open metrics file for writing: " + path);
+  }
+  const bool wrote =
+      std::fwrite(doc.data(), 1, doc.size(), file) == doc.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    return Status::IoError("metrics file write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace geolic

@@ -1,0 +1,52 @@
+#ifndef GEOLIC_OBS_EXPOSITION_H_
+#define GEOLIC_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Everything one exposition document renders. Callers fill the sections
+// they have; the `has_*` flags gate the optional ones. This is a plain
+// data carrier so the obs layer never depends on the service layer that
+// produces the numbers.
+struct ExpositionInput {
+  // Label value stamped on every series ({service="..."}).
+  std::string service = "geolic";
+
+  IssuanceMetrics::Snapshot metrics;
+
+  bool has_stages = false;
+  StageProfile::Snapshot stages;
+
+  bool has_journal = false;
+  uint64_t journal_sequence = 0;
+
+  bool has_recovery = false;
+  uint64_t recovery_checkpoint_records = 0;
+  uint64_t recovery_journal_replayed = 0;
+  uint64_t recovery_journal_skipped = 0;
+  bool recovery_torn_tail = false;
+};
+
+// Prometheus text exposition (one `# TYPE` comment per family, then the
+// samples). Histograms render the power-of-two buckets cumulatively with
+// `le` set to each bucket's exclusive upper bound 2^(i+1) (bucket i holds
+// floor(log2(nanos)) == i), trailing empty buckets elided, then `+Inf`.
+std::string RenderPrometheusText(const ExpositionInput& input);
+
+// JSON twin of the text exposition: one object, integer-only values, so
+// the document is byte-deterministic for a given input.
+std::string RenderJson(const ExpositionInput& input);
+
+// Writes one exposition document to `path`: JSON when the path ends in
+// ".json", Prometheus text otherwise.
+Status WriteMetricsFile(const ExpositionInput& input, const std::string& path);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_OBS_EXPOSITION_H_

@@ -129,8 +129,10 @@ Status JournalWriter::Sync() {
     return Status::FailedPrecondition(
         "journal writer poisoned by an earlier I/O error");
   }
+  ScopedTracerSpan span(tracer_, TraceStage::kJournalFsync);
   const Status synced = file_->Sync();
   if (!synced.ok()) {
+    span.set_outcome(TraceOutcome::kError);
     poisoned_ = true;
     return synced;
   }

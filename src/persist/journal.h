@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "persist/sync_file.h"
 #include "validation/log_record.h"
 #include "util/status.h"
@@ -75,6 +76,10 @@ class JournalWriter {
 
   uint64_t frames_appended() const { return frames_appended_; }
 
+  // Optional span sink: every fsync (explicit Sync or the batched one
+  // inside Append) records a kJournalFsync span. Must outlive the writer.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // The underlying file — for tests that inspect or fault the "disk".
   SyncFile* file() { return file_.get(); }
 
@@ -84,6 +89,7 @@ class JournalWriter {
 
   std::unique_ptr<SyncFile> file_;
   JournalOptions options_;
+  Tracer* tracer_ = nullptr;
   uint64_t frames_appended_ = 0;
   int frames_since_sync_ = 0;
   bool poisoned_ = false;

@@ -90,29 +90,33 @@ void IssuanceService::RouteSet(LicenseMask s, LicenseMask* scope,
 
 Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
                                     LicenseMask scope,
-                                    OnlineDecision* decision) {
+                                    OnlineDecision* decision,
+                                    RequestTrace* trace) {
   const LicenseMask s = decision->satisfying_set;
   const int64_t count = issued.aggregate_count();
   GEOLIC_DCHECK(IsSubsetOf(s, scope));
 
   // Check every equation T with S ⊆ T ⊆ scope: its LHS gains `count`.
   decision->aggregate_valid = true;
-  const LicenseMask extension = scope & ~s;
-  LicenseMask x = 0;
-  while (true) {
-    const LicenseMask t = s | x;
-    const int64_t cv = shard->tree.SumSubsets(t) + count;
-    const int64_t av = licenses_->AggregateSum(t);
-    ++decision->equations_checked;
-    if (cv > av) {
-      decision->aggregate_valid = false;
-      decision->limiting = EquationResult{t, cv, av};
-      return Status::Ok();
+  {
+    ScopedStageTimer stage(trace, TraceStage::kEquationScan);
+    const LicenseMask extension = scope & ~s;
+    LicenseMask x = 0;
+    while (true) {
+      const LicenseMask t = s | x;
+      const int64_t cv = shard->tree.SumSubsets(t) + count;
+      const int64_t av = licenses_->AggregateSum(t);
+      ++decision->equations_checked;
+      if (cv > av) {
+        decision->aggregate_valid = false;
+        decision->limiting = EquationResult{t, cv, av};
+        return Status::Ok();
+      }
+      if (x == extension) {
+        break;
+      }
+      x = (x - extension) & extension;
     }
-    if (x == extension) {
-      break;
-    }
-    x = (x - extension) & extension;
   }
 
   // Accepted. Write-ahead order: the framed record reaches the journal
@@ -128,6 +132,7 @@ Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
   record.set = s;
   record.count = count;
   if (has_journal_.load(std::memory_order_acquire)) {
+    ScopedStageTimer stage(trace, TraceStage::kJournalAppend);
     std::lock_guard<std::mutex> lock(journal_mutex_);
     GEOLIC_RETURN_IF_ERROR(journal_->Append(journal_seq_ + 1, record));
     ++journal_seq_;
@@ -144,11 +149,16 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
         "issued license must carry a positive count");
   }
   OnlineDecision decision;
+  RequestTrace trace(options_.tracer);
   // Lock-free fast-reject: the geometry is immutable, so the satisfying-set
   // lookup needs no shard lock.
-  decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
+  {
+    ScopedStageTimer stage(&trace, TraceStage::kInstanceCheck);
+    decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
+  }
   if (decision.satisfying_set == 0) {
     metrics_->RecordRejectedInstance(timer.ElapsedNanos());
+    trace.Finish(TraceOutcome::kRejectedInstance);
     return decision;  // Fails instance-based validation; nothing recorded.
   }
   decision.instance_valid = true;
@@ -158,14 +168,25 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
   RouteSet(decision.satisfying_set, &scope, &shard_index);
   Shard* shard = shards_[shard_index].get();
   {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    GEOLIC_RETURN_IF_ERROR(AdmitLocked(shard, issued, scope, &decision));
+    std::unique_lock<std::mutex> lock(shard->mutex, std::defer_lock);
+    {
+      ScopedStageTimer stage(&trace, TraceStage::kShardLockWait);
+      lock.lock();
+    }
+    const Status admitted = AdmitLocked(shard, issued, scope, &decision,
+                                        &trace);
+    if (!admitted.ok()) {
+      trace.Finish(TraceOutcome::kError);
+      return admitted;
+    }
   }
   if (decision.aggregate_valid) {
     metrics_->RecordAccepted(decision.equations_checked, timer.ElapsedNanos());
+    trace.Finish(TraceOutcome::kAccepted);
   } else {
     metrics_->RecordRejectedAggregate(decision.equations_checked,
                                       timer.ElapsedNanos());
+    trace.Finish(TraceOutcome::kRejectedAggregate);
   }
   return decision;
 }
@@ -184,21 +205,27 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
   };
   std::vector<Pending> pending;
   pending.reserve(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].aggregate_count() <= 0) {
-      return Status::InvalidArgument(
-          "issued license must carry a positive count");
+  {
+    // One standalone span for the whole lock-free pass (request_id 0): the
+    // per-request work here is too fine to time individually.
+    ScopedTracerSpan pass1(options_.tracer, TraceStage::kInstanceCheck);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].aggregate_count() <= 0) {
+        return Status::InvalidArgument(
+            "issued license must carry a positive count");
+      }
+      decisions[i].satisfying_set =
+          instance_validator_.SatisfyingSet(batch[i]);
+      if (decisions[i].satisfying_set == 0) {
+        metrics_->RecordRejectedInstance(timer.ElapsedNanos());
+        continue;
+      }
+      decisions[i].instance_valid = true;
+      Pending p;
+      p.index = i;
+      RouteSet(decisions[i].satisfying_set, &p.scope, &p.shard);
+      pending.push_back(p);
     }
-    decisions[i].satisfying_set = instance_validator_.SatisfyingSet(batch[i]);
-    if (decisions[i].satisfying_set == 0) {
-      metrics_->RecordRejectedInstance(timer.ElapsedNanos());
-      continue;
-    }
-    decisions[i].instance_valid = true;
-    Pending p;
-    p.index = i;
-    RouteSet(decisions[i].satisfying_set, &p.scope, &p.shard);
-    pending.push_back(p);
   }
 
   // Pass 2: group by shard so each touched shard is locked once per batch.
@@ -213,17 +240,28 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
   while (at < pending.size()) {
     const size_t shard_index = pending[at].shard;
     Shard* shard = shards_[shard_index].get();
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::unique_lock<std::mutex> lock(shard->mutex, std::defer_lock);
+    {
+      ScopedTracerSpan wait(options_.tracer, TraceStage::kShardLockWait);
+      lock.lock();
+    }
     for (; at < pending.size() && pending[at].shard == shard_index; ++at) {
       const Pending& p = pending[at];
-      GEOLIC_RETURN_IF_ERROR(
-          AdmitLocked(shard, batch[p.index], p.scope, &decisions[p.index]));
+      RequestTrace trace(options_.tracer);
+      const Status admitted = AdmitLocked(shard, batch[p.index], p.scope,
+                                          &decisions[p.index], &trace);
+      if (!admitted.ok()) {
+        trace.Finish(TraceOutcome::kError);
+        return admitted;
+      }
       if (decisions[p.index].aggregate_valid) {
         metrics_->RecordAccepted(decisions[p.index].equations_checked,
                                  timer.ElapsedNanos());
+        trace.Finish(TraceOutcome::kAccepted);
       } else {
         metrics_->RecordRejectedAggregate(
             decisions[p.index].equations_checked, timer.ElapsedNanos());
+        trace.Finish(TraceOutcome::kRejectedAggregate);
       }
     }
   }
@@ -277,6 +315,7 @@ Status IssuanceService::AttachJournal(std::unique_ptr<JournalWriter> journal) {
     return Status::FailedPrecondition("a journal is already attached");
   }
   journal_ = std::move(journal);
+  journal_->set_tracer(options_.tracer);
   journal_seq_ = 0;
   has_journal_.store(true, std::memory_order_release);
   return Status::Ok();
@@ -295,7 +334,22 @@ uint64_t IssuanceService::journal_sequence() const {
   return journal_seq_;
 }
 
+ExpositionInput IssuanceService::Snap() const {
+  ExpositionInput input;
+  input.metrics = metrics_->Snap();
+  if (options_.tracer != nullptr) {
+    input.has_stages = true;
+    input.stages = options_.tracer->ProfileSnapshot();
+  }
+  if (has_journal()) {
+    input.has_journal = true;
+    input.journal_sequence = journal_sequence();
+  }
+  return input;
+}
+
 Status IssuanceService::WriteCheckpoint(const std::string& path) const {
+  ScopedTracerSpan span(options_.tracer, TraceStage::kCheckpointWrite);
   // Exact cut: every shard lock in index order, then the journal lock —
   // the same order AdmitLocked uses, so no admission can be half-applied
   // (journaled but not yet in its shard) while we read.
@@ -331,6 +385,7 @@ Result<std::unique_ptr<IssuanceService>> IssuanceService::Recover(
     return Status::InvalidArgument(
         "recovery needs a checkpoint path, a journal path, or both");
   }
+  ScopedTracerSpan span(options.tracer, TraceStage::kRecoveryReplay);
   RecoveryStats local;
   uint64_t covered_seq = 0;
   LogStore combined;

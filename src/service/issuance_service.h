@@ -11,6 +11,8 @@
 #include "core/instance_validator.h"
 #include "core/online_validator.h"
 #include "licensing/license_set.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
 #include "persist/journal.h"
 #include "validation/flat_tree.h"
 #include "validation/log_store.h"
@@ -153,6 +155,14 @@ class IssuanceService {
   // when that was set, else at a service-owned block.
   const IssuanceMetrics& metrics() const { return *metrics_; }
 
+  // Point-in-time observability snapshot, ready for the obs exposition
+  // renderers: decision counters + request latency, the per-stage profile
+  // when a tracer is attached (options.tracer), and the journal sequence
+  // when a journal is. Safe to call concurrently with issuance traffic.
+  // Recovery counters are per-Recover-call (RecoveryStats); callers merge
+  // them into the returned input themselves.
+  ExpositionInput Snap() const;
+
  private:
   struct Shard {
     std::mutex mutex;
@@ -170,9 +180,11 @@ class IssuanceService {
   // set without grouping), plus the owning shard index.
   void RouteSet(LicenseMask s, LicenseMask* scope, size_t* shard) const;
   // Equation check + tree/log update for one request. Caller holds
-  // `shard.mutex`. `decision` already carries the satisfying set.
+  // `shard.mutex`. `decision` already carries the satisfying set; `trace`
+  // collects the equation-scan and journal-append spans (never null — pass
+  // a RequestTrace built from a null tracer to run untraced).
   Status AdmitLocked(Shard* shard, const License& issued, LicenseMask scope,
-                     OnlineDecision* decision);
+                     OnlineDecision* decision, RequestTrace* trace);
 
   const LicenseSet* licenses_;
   OnlineValidatorOptions options_;

@@ -7,6 +7,7 @@ namespace geolic {
 
 void LatencyHistogram::Record(int64_t nanos) {
   if (nanos < 0) {
+    clamped_negative_.fetch_add(1, std::memory_order_relaxed);
     nanos = 0;
   }
   const uint64_t value = static_cast<uint64_t>(nanos);
@@ -28,6 +29,7 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   }
   snapshot.total_count = total_count_.load(std::memory_order_relaxed);
   snapshot.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  snapshot.clamped_negative = clamped_negative_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -78,6 +80,9 @@ std::string LatencyHistogram::Snapshot::ToString() const {
   out += "ns, p50<=" + std::to_string(QuantileUpperBoundNanos(0.5));
   out += "ns, p99<=" + std::to_string(QuantileUpperBoundNanos(0.99));
   out += "ns";
+  if (clamped_negative != 0) {
+    out += ", clamped_negative=" + std::to_string(clamped_negative);
+  }
   return out;
 }
 

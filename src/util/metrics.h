@@ -24,6 +24,11 @@ class LatencyHistogram {
     std::array<uint64_t, kBuckets> counts{};
     uint64_t total_count = 0;
     uint64_t total_nanos = 0;  // Sum of recorded latencies.
+    // Observations that arrived negative (cross-thread timestamp math can
+    // produce deltas < 0) and were clamped into bucket 0. They are included
+    // in counts/total_count; this counter makes the clamping observable
+    // instead of silently misfiling them.
+    uint64_t clamped_negative = 0;
 
     double MeanNanos() const;
     // Upper bound of the bucket holding the p-quantile (p in [0, 1]); the
@@ -38,6 +43,7 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> total_count_{0};
   std::atomic<uint64_t> total_nanos_{0};
+  std::atomic<uint64_t> clamped_negative_{0};
 };
 
 // Atomic metrics block for the online issuance path, shared by

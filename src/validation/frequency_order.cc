@@ -15,14 +15,21 @@ LicensePermutation::LicensePermutation(int n)
   std::iota(to_old_.begin(), to_old_.end(), 0);
 }
 
-LicensePermutation LicensePermutation::ByDescendingFrequency(
+Result<LicensePermutation> LicensePermutation::ByDescendingFrequency(
     const LogStore& log, int n) {
+  if (n < 0 || n > kMaxLicenses) {
+    return Status::InvalidArgument(
+        "license count out of range for a permutation");
+  }
   std::vector<int64_t> frequency(static_cast<size_t>(n), 0);
   for (const LogRecord& record : log.records()) {
+    if (!IsSubsetOf(record.set, FullMask(n))) {
+      return Status::InvalidArgument(
+          "log record references license indexes beyond the aggregate "
+          "array");
+    }
     for (int index : MaskToIndexes(record.set)) {
-      if (index < n) {
-        ++frequency[static_cast<size_t>(index)];
-      }
+      ++frequency[static_cast<size_t>(index)];
     }
   }
   LicensePermutation permutation(n);

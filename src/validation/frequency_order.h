@@ -25,9 +25,13 @@ class LicensePermutation {
 
   // Relabels so that the license appearing in the most log records gets
   // index 0 (descending frequency; ties by original index). Hot licenses
-  // land near the root, maximising prefix sharing.
-  static LicensePermutation ByDescendingFrequency(const LogStore& log,
-                                                  int n);
+  // land near the root, maximising prefix sharing. A log record whose set
+  // references a license index >= n is an InvalidArgument error (the same
+  // contract as validating a tree against a too-short aggregate array):
+  // silently skipping such records would relabel against undercounted
+  // frequencies and later read past the permutation's arrays.
+  static Result<LicensePermutation> ByDescendingFrequency(const LogStore& log,
+                                                          int n);
 
   int size() const { return static_cast<int>(to_new_.size()); }
   // Original index → relabeled index and back.

@@ -211,7 +211,12 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
     return ValidationOutcome{};
   }
   // One arena compile per run; every equation below queries the flat form.
-  const FlatValidationTree flat = FlatValidationTree::Compile(tree);
+  // The compile is the D_T half of this overload (the log overloads also
+  // count tree building).
+  const FlatValidationTree flat = [&] {
+    ScopedTracerSpan span(options.tracer, TraceStage::kTreeDivision);
+    return FlatValidationTree::Compile(tree);
+  }();
   // Licenses the tree mentions must all have an aggregate entry.
   if (!IsSubsetOf(flat.PresentLicenses(), FullMask(n))) {
     return Status::InvalidArgument(
@@ -225,6 +230,9 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
   }
 
   ValidationOutcome outcome;
+  // V_T: everything from here to return is equation evaluation.
+  ScopedTracerSpan engine_span(options.tracer,
+                               TraceStage::kOfflineValidation);
   switch (mode) {
     case ValidationMode::kExhaustive: {
       const int threads = options.num_threads == 0
@@ -266,20 +274,35 @@ Result<ValidationOutcome> Validate(const LogStore& log,
     return Status::CapacityExceeded("at most 64 redistribution licenses");
   }
   if (options.order == TreeOrder::kIndex) {
-    GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree,
-                            ValidationTree::BuildFromLog(log));
+    auto built = [&] {
+      ScopedTracerSpan span(options.tracer, TraceStage::kTreeDivision);
+      return ValidationTree::BuildFromLog(log);
+    }();
+    GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree, std::move(built));
     return Validate(tree, aggregates, options);
   }
 
   // Frequency relabeling: build the tree under the permutation, validate in
-  // relabeled space, then translate violation sets back.
-  const LicensePermutation permutation =
-      LicensePermutation::ByDescendingFrequency(log, n);
-  GEOLIC_ASSIGN_OR_RETURN(const ValidationTree tree,
-                          BuildFrequencyOrderedTree(log, permutation));
+  // relabeled space, then translate violation sets back. Permutation +
+  // relabeled build are D_T work, covered by one kTreeDivision span.
+  struct Prepared {
+    LicensePermutation permutation;
+    ValidationTree tree;
+  };
+  auto prepared = [&]() -> Result<Prepared> {
+    ScopedTracerSpan span(options.tracer, TraceStage::kTreeDivision);
+    GEOLIC_ASSIGN_OR_RETURN(
+        LicensePermutation permutation,
+        LicensePermutation::ByDescendingFrequency(log, n));
+    GEOLIC_ASSIGN_OR_RETURN(ValidationTree tree,
+                            BuildFrequencyOrderedTree(log, permutation));
+    return Prepared{std::move(permutation), std::move(tree)};
+  }();
+  GEOLIC_RETURN_IF_ERROR(prepared.status());
+  const LicensePermutation& permutation = prepared->permutation;
   GEOLIC_ASSIGN_OR_RETURN(
       ValidationOutcome outcome,
-      Validate(tree, permutation.MapValues(aggregates), options));
+      Validate(prepared->tree, permutation.MapValues(aggregates), options));
   for (EquationResult& violation : outcome.report.violations) {
     violation.set = permutation.UnmapMask(violation.set);
   }

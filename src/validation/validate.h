@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "licensing/license_set.h"
+#include "obs/trace.h"
 #include "validation/log_store.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
@@ -66,6 +67,10 @@ struct ValidateOptions {
   uint64_t max_equations = UINT64_MAX;
   // Dense-table cap for the zeta engine (2^n × 16 bytes of memory).
   int max_dense_n = 26;
+  // Optional span sink (obs/trace.h): tree build/compile records a
+  // kTreeDivision span (the paper's D_T), the equation engine a
+  // kOfflineValidation span (V_T). Must outlive the call. Null = off.
+  Tracer* tracer = nullptr;
 };
 
 // Superset of ValidationReport and GroupedValidationResult: ungrouped runs

@@ -1,6 +1,7 @@
 #include "geometry/rtree.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -155,6 +156,42 @@ TEST_P(RtreePropertyTest, MatchesLinearScan) {
 
 INSTANTIATE_TEST_SUITE_P(Fanouts, RtreePropertyTest,
                          ::testing::Values(4, 8, 16));
+
+TEST(RtreeTest, SurvivesSaturatedMeasuresInHighDimensions) {
+  // Regression: with 20 dimensions each saturating Interval::Length() at
+  // INT64_MAX, an unsaturated Measure() overflows double to inf, the
+  // enlargement/waste arithmetic turns into inf − inf = NaN, and the
+  // quadratic split picks an out-of-range entry (ChooseLeaf keeps no best
+  // child at all). Measure now clamps at DBL_MAX, so inserts split
+  // deterministically and queries still work.
+  constexpr int kDims = 20;
+  constexpr int kBoxes = 40;
+  const int64_t kLo = std::numeric_limits<int64_t>::min();
+  const int64_t kHi = std::numeric_limits<int64_t>::max();
+  Rtree tree(kDims, /*max_entries=*/4);
+  for (int i = 0; i < kBoxes; ++i) {
+    IntervalBox box;
+    for (int d = 0; d < kDims; ++d) {
+      // Every box nearly full-range — narrow one edge so boxes differ and
+      // containment queries have structure.
+      box.dims.push_back(d == i % kDims ? Interval(kLo + i, kHi - i)
+                                        : Interval(kLo, kHi));
+    }
+    ASSERT_TRUE(tree.Insert(box, i).ok()) << "insert " << i;
+  }
+  ASSERT_EQ(tree.size(), static_cast<size_t>(kBoxes));
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // A full-range query is contained only in the truly full-range boxes.
+  IntervalBox query;
+  for (int d = 0; d < kDims; ++d) {
+    query.dims.push_back(Interval(kLo, kHi));
+  }
+  std::vector<int64_t> containing = tree.FindContaining(query);
+  std::sort(containing.begin(), containing.end());
+  EXPECT_EQ(containing, (std::vector<int64_t>{0}));
+  EXPECT_EQ(tree.FindOverlapping(query).size(), static_cast<size_t>(kBoxes));
+}
 
 }  // namespace
 }  // namespace geolic

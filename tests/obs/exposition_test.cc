@@ -1,0 +1,271 @@
+#include "obs/exposition.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_parser_test_util.h"
+#include "obs/trace.h"
+#include "util/metrics.h"
+
+namespace geolic {
+namespace {
+
+using geolic::testing::JsonValue;
+using geolic::testing::ParseJson;
+
+// Deterministic input used by both golden tests: 8 requests, latency in
+// buckets 3 ([8,16)) and 6 ([64,128)), journal + recovery sections on.
+ExpositionInput GoldenInput() {
+  ExpositionInput input;
+  input.metrics.accepted = 5;
+  input.metrics.rejected_instance = 2;
+  input.metrics.rejected_aggregate = 1;
+  input.metrics.equations_checked = 37;
+  input.metrics.batches = 2;
+  input.metrics.batched_requests = 6;
+  input.metrics.latency.counts[3] = 7;
+  input.metrics.latency.counts[6] = 1;
+  input.metrics.latency.total_count = 8;
+  input.metrics.latency.total_nanos = 1234;
+  input.metrics.latency.clamped_negative = 1;
+  input.has_journal = true;
+  input.journal_sequence = 8;
+  input.has_recovery = true;
+  input.recovery_checkpoint_records = 3;
+  input.recovery_journal_replayed = 5;
+  input.recovery_journal_skipped = 1;
+  input.recovery_torn_tail = true;
+  return input;
+}
+
+TEST(ExpositionTest, GoldenPrometheusText) {
+  const std::string expected =
+      "# TYPE geolic_requests_total counter\n"
+      "geolic_requests_total{service=\"geolic\",outcome=\"accepted\"} 5\n"
+      "geolic_requests_total{service=\"geolic\","
+      "outcome=\"rejected_instance\"} 2\n"
+      "geolic_requests_total{service=\"geolic\","
+      "outcome=\"rejected_aggregate\"} 1\n"
+      "# TYPE geolic_equations_checked_total counter\n"
+      "geolic_equations_checked_total{service=\"geolic\"} 37\n"
+      "# TYPE geolic_batches_total counter\n"
+      "geolic_batches_total{service=\"geolic\"} 2\n"
+      "# TYPE geolic_batched_requests_total counter\n"
+      "geolic_batched_requests_total{service=\"geolic\"} 6\n"
+      "# TYPE geolic_latency_clamped_negative_total counter\n"
+      "geolic_latency_clamped_negative_total{service=\"geolic\"} 1\n"
+      "# TYPE geolic_request_latency_nanos histogram\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"2\"} 0\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"4\"} 0\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"8\"} 0\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"16\"} 7\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"32\"} 7\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"64\"} 7\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"128\"} "
+      "8\n"
+      "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"+Inf\"} "
+      "8\n"
+      "geolic_request_latency_nanos_sum{service=\"geolic\"} 1234\n"
+      "geolic_request_latency_nanos_count{service=\"geolic\"} 8\n"
+      "# TYPE geolic_journal_sequence gauge\n"
+      "geolic_journal_sequence{service=\"geolic\"} 8\n"
+      "# TYPE geolic_recovery_checkpoint_records gauge\n"
+      "geolic_recovery_checkpoint_records{service=\"geolic\"} 3\n"
+      "# TYPE geolic_recovery_journal_replayed gauge\n"
+      "geolic_recovery_journal_replayed{service=\"geolic\"} 5\n"
+      "# TYPE geolic_recovery_journal_skipped gauge\n"
+      "geolic_recovery_journal_skipped{service=\"geolic\"} 1\n"
+      "# TYPE geolic_recovery_torn_tail gauge\n"
+      "geolic_recovery_torn_tail{service=\"geolic\"} 1\n";
+  EXPECT_EQ(RenderPrometheusText(GoldenInput()), expected);
+}
+
+TEST(ExpositionTest, GoldenJson) {
+  // p50/p99 both land in bucket 3 (ranks 3 and 6 of 8, cumulative 7): the
+  // upper bound is 16 ns.
+  const std::string expected =
+      "{\"service\":\"geolic\","
+      "\"requests\":{\"accepted\":5,\"rejected_instance\":2,"
+      "\"rejected_aggregate\":1,\"total\":8},"
+      "\"equations_checked\":37,"
+      "\"batches\":{\"count\":2,\"requests\":6},"
+      "\"latency\":{\"count\":8,\"sum_nanos\":1234,\"clamped_negative\":1,"
+      "\"p50_le_nanos\":16,\"p99_le_nanos\":16,"
+      "\"buckets\":[{\"le\":2,\"count\":0},{\"le\":4,\"count\":0},"
+      "{\"le\":8,\"count\":0},{\"le\":16,\"count\":7},{\"le\":32,"
+      "\"count\":0},{\"le\":64,\"count\":0},{\"le\":128,\"count\":1}]},"
+      "\"journal\":{\"sequence\":8},"
+      "\"recovery\":{\"checkpoint_records\":3,\"journal_replayed\":5,"
+      "\"journal_skipped\":1,\"torn_tail\":true}}";
+  EXPECT_EQ(RenderJson(GoldenInput()), expected);
+}
+
+TEST(ExpositionTest, JsonRoundTripsThroughParser) {
+  ExpositionInput input = GoldenInput();
+  input.has_stages = true;
+  input.stages.stages[static_cast<size_t>(TraceStage::kEquationScan)]
+      .counts[5] = 11;
+  input.stages.stages[static_cast<size_t>(TraceStage::kEquationScan)]
+      .total_nanos = 440;
+
+  const Result<JsonValue> doc = ParseJson(RenderJson(input));
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+
+  const JsonValue* requests = doc->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->Find("accepted")->AsUInt(), 5u);
+  EXPECT_EQ(requests->Find("total")->AsUInt(), 8u);
+  EXPECT_EQ(doc->Find("equations_checked")->AsUInt(), 37u);
+
+  const JsonValue* latency = doc->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Find("count")->AsUInt(), 8u);
+  EXPECT_EQ(latency->Find("clamped_negative")->AsUInt(), 1u);
+  ASSERT_EQ(latency->Find("buckets")->array.size(), 7u);
+  EXPECT_EQ(latency->Find("buckets")->array[3].Find("count")->AsUInt(), 7u);
+
+  const JsonValue* stages = doc->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->object.size(), static_cast<size_t>(kTraceStageCount));
+  const JsonValue* scan = stages->Find("equation_scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->Find("count")->AsUInt(), 11u);
+  EXPECT_EQ(scan->Find("sum_nanos")->AsUInt(), 440u);
+  EXPECT_EQ(stages->Find("journal_fsync")->Find("count")->AsUInt(), 0u);
+
+  EXPECT_EQ(doc->Find("journal")->Find("sequence")->AsUInt(), 8u);
+  const JsonValue* recovery = doc->Find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_EQ(recovery->Find("torn_tail")->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(recovery->Find("torn_tail")->boolean);
+}
+
+TEST(ExpositionTest, ServiceLabelIsEscapedAndRoundTrips) {
+  ExpositionInput input;
+  input.service = "we\"ird\\svc\nline";
+  const std::string text = RenderPrometheusText(input);
+  EXPECT_NE(text.find("service=\"we\\\"ird\\\\svc\\nline\""),
+            std::string::npos);
+  const Result<JsonValue> doc = ParseJson(RenderJson(input));
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  EXPECT_EQ(doc->Find("service")->string, input.service);
+}
+
+TEST(ExpositionTest, WriteMetricsFileDispatchesOnSuffix) {
+  const ExpositionInput input = GoldenInput();
+  const std::string json_path = ::testing::TempDir() + "/metrics.json";
+  const std::string text_path = ::testing::TempDir() + "/metrics.prom";
+  ASSERT_TRUE(WriteMetricsFile(input, json_path).ok());
+  ASSERT_TRUE(WriteMetricsFile(input, text_path).ok());
+
+  const auto slurp = [](const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr) << path;
+    std::string out;
+    char buffer[4096];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      out.append(buffer, n);
+    }
+    std::fclose(file);
+    return out;
+  };
+  EXPECT_EQ(slurp(json_path), RenderJson(input));
+  EXPECT_EQ(slurp(text_path), RenderPrometheusText(input));
+
+  EXPECT_FALSE(
+      WriteMetricsFile(input, ::testing::TempDir() + "/no/such/dir/m.json")
+          .ok());
+}
+
+// For every rendered histogram family, the cumulative +Inf bucket must
+// equal the family's `_count` sample — Prometheus rejects expositions
+// where they disagree.
+void ExpectCountsMatchInfBuckets(const std::string& text) {
+  std::map<std::string, uint64_t> inf_buckets;
+  std::map<std::string, uint64_t> counts;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const uint64_t value =
+        std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    const size_t inf = series.find(",le=\"+Inf\"}");
+    const size_t bucket = series.find("_bucket{");
+    if (inf != std::string::npos && bucket != std::string::npos) {
+      series.resize(inf);                // Drop the le pair and brace.
+      series.replace(bucket, 8, "{");    // name_bucket{… → name{…
+      inf_buckets[series] = value;
+      continue;
+    }
+    const size_t count = series.find("_count{");
+    if (count != std::string::npos) {
+      series.pop_back();                 // Drop the closing brace.
+      series.replace(count, 7, "{");
+      counts[series] = value;
+    }
+  }
+  ASSERT_FALSE(counts.empty());
+  for (const auto& [family, count] : counts) {
+    ASSERT_TRUE(inf_buckets.count(family) != 0) << family;
+    EXPECT_EQ(inf_buckets[family], count) << family;
+  }
+}
+
+// Satellite regression: snapshots taken while writers are mid-Record used
+// to render total_count (which can lead the buckets under relaxed RMWs) as
+// `_count`, producing a malformed exposition. The rendered `_count` must
+// come from the same snapshotted buckets as the +Inf sample.
+TEST(ExpositionTest, SnapshotWhileRecordingHasNoCountSkew) {
+  IssuanceMetrics metrics;
+  Tracer tracer(TracerOptions{.slow_request_nanos = 0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&metrics, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        metrics.RecordAccepted(3, 100);
+        metrics.RecordRejectedAggregate(2, 900);
+      }
+    });
+    writers.emplace_back([&tracer, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        TraceSpan span{};
+        span.stage = TraceStage::kEquationScan;
+        span.duration_nanos = 700;
+        tracer.Record(span);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    ExpositionInput input;
+    input.metrics = metrics.Snap();
+    input.has_stages = true;
+    input.stages = tracer.ProfileSnapshot();
+    ExpectCountsMatchInfBuckets(RenderPrometheusText(input));
+    if (HasFatalFailure()) {
+      break;
+    }
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+}
+
+}  // namespace
+}  // namespace geolic

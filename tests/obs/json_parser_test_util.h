@@ -1,0 +1,303 @@
+#ifndef GEOLIC_TESTS_OBS_JSON_PARSER_TEST_UTIL_H_
+#define GEOLIC_TESTS_OBS_JSON_PARSER_TEST_UTIL_H_
+
+// Minimal recursive-descent JSON parser for round-trip tests: enough of
+// RFC 8259 to re-read everything JsonWriter emits (objects, arrays,
+// strings with its escape set, integer/float numbers, bools, null).
+// Numbers are kept verbatim as their source token so integer-only
+// documents round-trip without any float detour.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geolic::testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string number;  // Verbatim source token, e.g. "42" or "-1.5e3".
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (JsonWriter output order is deterministic).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const {
+    if (kind != Kind::kObject) {
+      return nullptr;
+    }
+    for (const auto& [name, value] : object) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  // Integer value of a kNumber token (0 on any other kind).
+  uint64_t AsUInt() const {
+    return kind == Kind::kNumber
+               ? std::strtoull(number.c_str(), nullptr, 10)
+               : 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    GEOLIC_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after top-level value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ == text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      GEOLIC_ASSIGN_OR_RETURN(value.string, ParseString());
+      return value;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      return ParseNumber();
+    }
+    JsonValue value;
+    if (ConsumeWord("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (ConsumeWord("null")) {
+      return value;  // kNull.
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseObject() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ == text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      GEOLIC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      GEOLIC_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      value.object.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      GEOLIC_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // Opening quote.
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ == text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          if (code > 0x7f) {
+            // JsonWriter only \u-escapes control characters; nothing in
+            // these tests needs non-ASCII code points.
+            return Error("non-ASCII \\u escape unsupported");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + escape + "'");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Error("malformed number");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::string(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+inline Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace geolic::testing
+
+#endif  // GEOLIC_TESTS_OBS_JSON_PARSER_TEST_UTIL_H_

@@ -71,6 +71,30 @@ TEST(LatencyHistogramTest, ConcurrentSnapshotsNeverSaturateQuantile) {
   }
 }
 
+// Regression: negative latencies (cross-thread timestamp math can go
+// backwards) were cast straight to uint64_t, landing in the 2^40 ns top
+// bucket and wrecking the mean. They must be clamped into bucket 0, still
+// counted, and surfaced through the clamped_negative counter.
+TEST(LatencyHistogramTest, NegativeNanosClampToBucketZeroAndAreCounted) {
+  LatencyHistogram histogram;
+  histogram.Record(-1);
+  histogram.Record(std::numeric_limits<int64_t>::min());
+  histogram.Record(10);  // Bucket 3: [8, 16).
+  const LatencyHistogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.total_count, 3u);
+  EXPECT_EQ(snap.total_nanos, 10u);  // Clamped observations contribute 0.
+  EXPECT_EQ(snap.clamped_negative, 2u);
+  // The clamped observations keep the quantiles in range.
+  EXPECT_EQ(snap.QuantileUpperBoundNanos(0.5), int64_t{1} << 1);
+  EXPECT_EQ(snap.QuantileUpperBoundNanos(1.0), int64_t{1} << 4);
+  // Clamping is observable in the log line, and only when it happened.
+  EXPECT_NE(snap.ToString().find("clamped_negative=2"), std::string::npos);
+  EXPECT_EQ(LatencyHistogram().Snap().ToString().find("clamped_negative"),
+            std::string::npos);
+}
+
 // Regression: ToString used a fixed 256-byte buffer; six 20-digit counters
 // plus the latency line overflowed it and truncated the output.
 TEST(IssuanceMetricsTest, ToStringSurvivesMaxMagnitudeCounters) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "validation/exhaustive_validator.h"
+#include "validation/validate.h"
 #include "util/random.h"
 #include "workload/workload.h"
 
@@ -27,45 +28,69 @@ TEST(LicensePermutationTest, OrdersByFrequencyDescending) {
   ASSERT_TRUE(log.Append(LogRecord{"a", 0b101, 1}).ok());
   ASSERT_TRUE(log.Append(LogRecord{"b", 0b100, 1}).ok());
   ASSERT_TRUE(log.Append(LogRecord{"c", 0b111, 1}).ok());
-  const LicensePermutation permutation =
+  const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
-  EXPECT_EQ(permutation.ToNew(2), 0);  // L3 hottest.
-  EXPECT_EQ(permutation.ToNew(0), 1);  // L1 next.
-  EXPECT_EQ(permutation.ToNew(1), 2);  // L2 coldest.
-  EXPECT_EQ(permutation.ToOld(0), 2);
+  ASSERT_TRUE(permutation.ok());
+  EXPECT_EQ(permutation->ToNew(2), 0);  // L3 hottest.
+  EXPECT_EQ(permutation->ToNew(0), 1);  // L1 next.
+  EXPECT_EQ(permutation->ToNew(1), 2);  // L2 coldest.
+  EXPECT_EQ(permutation->ToOld(0), 2);
 }
 
 TEST(LicensePermutationTest, TiesBreakByOriginalIndex) {
   LogStore log;
   ASSERT_TRUE(log.Append(LogRecord{"a", 0b11, 1}).ok());
-  const LicensePermutation permutation =
+  const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
-  EXPECT_EQ(permutation.ToNew(0), 0);
-  EXPECT_EQ(permutation.ToNew(1), 1);
-  EXPECT_EQ(permutation.ToNew(2), 2);  // Unseen license stays last.
+  ASSERT_TRUE(permutation.ok());
+  EXPECT_EQ(permutation->ToNew(0), 0);
+  EXPECT_EQ(permutation->ToNew(1), 1);
+  EXPECT_EQ(permutation->ToNew(2), 2);  // Unseen license stays last.
+}
+
+TEST(LicensePermutationTest, RejectsOutOfRangeLogRecords) {
+  // A record mentioning license index 4 cannot relabel a 3-license domain:
+  // silently dropping it (the old behavior) would undercount frequencies
+  // and send downstream MapMask into out-of-range array reads.
+  LogStore log;
+  ASSERT_TRUE(log.Append(LogRecord{"a", 0b011, 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"b", 0b10001, 1}).ok());
+  const Result<LicensePermutation> permutation =
+      LicensePermutation::ByDescendingFrequency(log, 3);
+  ASSERT_FALSE(permutation.ok());
+  EXPECT_EQ(permutation.status().code(), StatusCode::kInvalidArgument);
+
+  // The same contract surfaces through the Validate facade, matching the
+  // tree overload's error for inconsistent logs.
+  const Result<ValidationOutcome> outcome = Validate(
+      log, {10, 10, 10}, {.order = TreeOrder::kDescendingFrequency});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(LicensePermutationTest, MaskRoundTrip) {
   LogStore log;
   ASSERT_TRUE(log.Append(LogRecord{"a", 0b10000, 1}).ok());
-  const LicensePermutation permutation =
+  const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 5);
+  ASSERT_TRUE(permutation.ok());
   Rng rng(31);
   for (int trial = 0; trial < 200; ++trial) {
     const LicenseMask mask = rng.Next() & FullMask(5);
-    EXPECT_EQ(permutation.UnmapMask(permutation.MapMask(mask)), mask);
-    EXPECT_EQ(MaskSize(permutation.MapMask(mask)), MaskSize(mask));
+    EXPECT_EQ(permutation->UnmapMask(permutation->MapMask(mask)), mask);
+    EXPECT_EQ(MaskSize(permutation->MapMask(mask)), MaskSize(mask));
   }
 }
 
 TEST(LicensePermutationTest, MapValuesReorders) {
   LogStore log;
   ASSERT_TRUE(log.Append(LogRecord{"a", 0b100, 1}).ok());  // L3 hottest.
-  const LicensePermutation permutation =
+  const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
+  ASSERT_TRUE(permutation.ok());
   // Aggregates (10, 20, 30) in original order → relabeled order starts
   // with L3's 30.
-  EXPECT_EQ(permutation.MapValues({10, 20, 30}),
+  EXPECT_EQ(permutation->MapValues({10, 20, 30}),
             (std::vector<int64_t>{30, 10, 20}));
 }
 
@@ -130,10 +155,11 @@ TEST(FrequencyOrderedValidationTest, TreeNeverLargerThanIndexOrder) {
     }
     const Result<ValidationTree> plain = ValidationTree::BuildFromLog(log);
     ASSERT_TRUE(plain.ok());
-    const LicensePermutation permutation =
+    const Result<LicensePermutation> permutation =
         LicensePermutation::ByDescendingFrequency(log, n);
+    ASSERT_TRUE(permutation.ok());
     const Result<ValidationTree> ordered =
-        BuildFrequencyOrderedTree(log, permutation);
+        BuildFrequencyOrderedTree(log, *permutation);
     ASSERT_TRUE(ordered.ok());
     ASSERT_TRUE(ordered->CheckInvariants().ok());
     EXPECT_LE(ordered->NodeCount(), plain->NodeCount());
