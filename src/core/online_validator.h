@@ -8,6 +8,7 @@
 #include "core/instance_validator.h"
 #include "licensing/license_set.h"
 #include "obs/trace.h"
+#include "util/sim_hooks.h"
 #include "validation/log_store.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
@@ -56,6 +57,16 @@ struct OnlineValidatorOptions {
   // outlive the validator/service. Null = tracing off: the scoped timers
   // reduce to one branch and no clock reads.
   Tracer* tracer = nullptr;
+  // Simulation-only (src/sim/): cooperative yield points and virtual clock
+  // threaded through the service request path. Null (the production value)
+  // = one branch per hook point, nothing else. Must outlive the service.
+  SimHooks* sim_hooks = nullptr;
+  // Test-only accounting mutation for the simulation harness's mutation
+  // smoke mode: the service skips the final equation of every aggregate
+  // scan (the full-scope set T = scope), a deliberately planted
+  // over-issuance bug that sim_runner must catch. Never set outside
+  // tests/sim — it breaks the paper's eq. 1 guarantee by construction.
+  bool sim_skip_last_equation = false;
 };
 
 // Validates licenses one at a time, as they are generated — the "online"

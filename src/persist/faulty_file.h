@@ -1,9 +1,11 @@
 #ifndef GEOLIC_PERSIST_FAULTY_FILE_H_
 #define GEOLIC_PERSIST_FAULTY_FILE_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "persist/sync_file.h"
+#include "util/check.h"
 
 namespace geolic {
 
@@ -31,9 +33,38 @@ class FaultyFile : public SyncFile {
   // caller must treat it as possibly lost).
   void FailNextSync() { fail_next_sync_ = true; }
 
+  // Scheduled fault points (the simulation harness's knobs): the fault
+  // fires on the `appends_ahead`-th future Append (1 = the very next one),
+  // so a seed-driven schedule can place a crash at an exact journal frame
+  // boundary chosen before the workload runs.
+
+  // Tears the scheduled append after `keep_bytes` bytes, then the disk
+  // dies. keep_bytes ≥ the frame size persists the whole frame while the
+  // writer still observes a failure — the "acknowledged by the disk, never
+  // acknowledged to the caller" recovery case.
+  void ScheduleTearAppend(uint64_t appends_ahead, size_t keep_bytes) {
+    GEOLIC_DCHECK(appends_ahead >= 1);
+    tear_countdown_ = appends_ahead;
+    tear_keep_ = keep_bytes;
+  }
+
+  // The scheduled append's Sync (and every later one) fails; the append
+  // itself persists. With per-append fsync batching this is the same
+  // recovery shape as a fully-persisted torn append.
+  void ScheduleFailSyncAfterAppend(uint64_t appends_ahead) {
+    GEOLIC_DCHECK(appends_ahead >= 1);
+    sync_fail_countdown_ = appends_ahead;
+  }
+
   Status Append(std::string_view data) override {
     if (crashed_) {
       return Status::IoError("injected fault: disk is dead");
+    }
+    if (tear_countdown_ > 0 && --tear_countdown_ == 0) {
+      tear_armed_ = true;
+    }
+    if (sync_fail_countdown_ > 0 && --sync_fail_countdown_ == 0) {
+      sync_dead_ = true;
     }
     if (tear_armed_) {
       tear_armed_ = false;
@@ -48,8 +79,9 @@ class FaultyFile : public SyncFile {
   }
 
   Status Sync() override {
-    if (crashed_) {
-      return Status::IoError("injected fault: disk is dead");
+    if (crashed_ || sync_dead_) {
+      return Status::IoError(crashed_ ? "injected fault: disk is dead"
+                                      : "injected fault: fsync failed");
     }
     if (fail_next_sync_) {
       fail_next_sync_ = false;
@@ -74,6 +106,9 @@ class FaultyFile : public SyncFile {
   bool tear_armed_ = false;
   size_t tear_keep_ = 0;
   bool fail_next_sync_ = false;
+  bool sync_dead_ = false;
+  uint64_t tear_countdown_ = 0;
+  uint64_t sync_fail_countdown_ = 0;
 };
 
 }  // namespace geolic

@@ -10,6 +10,39 @@
 #include "util/stopwatch.h"
 
 namespace geolic {
+namespace {
+
+// Cooperative suspension point for the simulation harness; a no-op branch
+// in production (hooks are null). Call sites must hold no locks.
+inline void SimYield(const OnlineValidatorOptions& options,
+                     const char* point) {
+  if (options.sim_hooks != nullptr) {
+    options.sim_hooks->Yield(point);
+  }
+}
+
+// Request timer that reads the simulation's virtual clock when hooks are
+// installed (making latency metrics a deterministic function of the seed)
+// and the monotonic wall clock otherwise.
+class RequestTimer {
+ public:
+  explicit RequestTimer(SimHooks* hooks)
+      : hooks_(hooks), sim_start_(hooks != nullptr ? hooks->NowNanos() : 0) {}
+
+  int64_t ElapsedNanos() const {
+    if (hooks_ != nullptr) {
+      return static_cast<int64_t>(hooks_->NowNanos() - sim_start_);
+    }
+    return real_.ElapsedNanos();
+  }
+
+ private:
+  SimHooks* hooks_;
+  uint64_t sim_start_;
+  Stopwatch real_;
+};
+
+}  // namespace
 
 IssuanceService::IssuanceService(const LicenseSet* licenses,
                                  const OnlineValidatorOptions& options,
@@ -103,6 +136,12 @@ Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
     const LicenseMask extension = scope & ~s;
     LicenseMask x = 0;
     while (true) {
+      if (x == extension && options_.sim_skip_last_equation) {
+        // Planted bug for the simulation harness's mutation smoke mode:
+        // the full-scope equation T = scope goes unchecked, so an
+        // issuance that only that equation would reject slips through.
+        break;
+      }
       const LicenseMask t = s | x;
       const int64_t cv = shard->tree.SumSubsets(t) + count;
       const int64_t av = licenses_->AggregateSum(t);
@@ -143,7 +182,7 @@ Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
 }
 
 Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
-  Stopwatch timer;
+  RequestTimer timer(options_.sim_hooks);
   if (issued.aggregate_count() <= 0) {
     return Status::InvalidArgument(
         "issued license must carry a positive count");
@@ -162,11 +201,13 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
     return decision;  // Fails instance-based validation; nothing recorded.
   }
   decision.instance_valid = true;
+  SimYield(options_, "instance_checked");
 
   LicenseMask scope = 0;
   size_t shard_index = 0;
   RouteSet(decision.satisfying_set, &scope, &shard_index);
   Shard* shard = shards_[shard_index].get();
+  SimYield(options_, "pre_shard_lock");
   {
     std::unique_lock<std::mutex> lock(shard->mutex, std::defer_lock);
     {
@@ -193,7 +234,7 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
 
 Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
     const std::vector<License>& batch) {
-  Stopwatch timer;
+  RequestTimer timer(options_.sim_hooks);
   metrics_->RecordBatch(batch.size());
   std::vector<OnlineDecision> decisions(batch.size());
 
@@ -236,10 +277,12 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
                    [](const Pending& a, const Pending& b) {
                      return a.shard < b.shard;
                    });
+  SimYield(options_, "batch_routed");
   size_t at = 0;
   while (at < pending.size()) {
     const size_t shard_index = pending[at].shard;
     Shard* shard = shards_[shard_index].get();
+    SimYield(options_, "pre_shard_lock");
     std::unique_lock<std::mutex> lock(shard->mutex, std::defer_lock);
     {
       ScopedTracerSpan wait(options_.tracer, TraceStage::kShardLockWait);
@@ -350,6 +393,7 @@ ExpositionInput IssuanceService::Snap() const {
 
 Status IssuanceService::WriteCheckpoint(const std::string& path) const {
   ScopedTracerSpan span(options_.tracer, TraceStage::kCheckpointWrite);
+  SimYield(options_, "pre_checkpoint");
   // Exact cut: every shard lock in index order, then the journal lock —
   // the same order AdmitLocked uses, so no admission can be half-applied
   // (journaled but not yet in its shard) while we read.

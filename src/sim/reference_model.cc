@@ -1,0 +1,84 @@
+#include "sim/reference_model.h"
+
+#include <string>
+
+#include "licensing/license.h"
+
+namespace geolic {
+
+ReferenceModel::ReferenceModel(const LicenseSet* licenses)
+    : licenses_(licenses) {}
+
+ReferenceModel::Decision ReferenceModel::TryIssue(
+    const License& issued) const {
+  Decision decision;
+  // S by definition: every redistribution license containing the request.
+  for (int i = 0; i < licenses_->size(); ++i) {
+    if (licenses_->at(i).InstanceContains(issued)) {
+      decision.satisfying_set |= SingletonMask(i);
+    }
+  }
+  if (decision.satisfying_set == 0) {
+    return decision;
+  }
+  decision.instance_valid = true;
+
+  // Eq. 1 over every T ⊇ S, no scoping: accept iff all hold. Enumeration
+  // walks extensions of S in ascending numeric order, the same total order
+  // the optimized scans use, so "first violated equation" is comparable.
+  const int64_t count = issued.aggregate_count();
+  const LicenseMask extension = licenses_->AllMask() & ~decision.satisfying_set;
+  decision.aggregate_valid = true;
+  LicenseMask x = 0;
+  while (true) {
+    const LicenseMask t = decision.satisfying_set | x;
+    const int64_t lhs = SumSubsets(t) + count;
+    const int64_t rhs = licenses_->AggregateSum(t);
+    if (lhs > rhs) {
+      decision.aggregate_valid = false;
+      decision.limiting_set = t;
+      decision.limiting_lhs = lhs;
+      decision.limiting_rhs = rhs;
+      break;
+    }
+    if (x == extension) {
+      break;
+    }
+    x = (x - extension) & extension;
+  }
+  return decision;
+}
+
+void ReferenceModel::Apply(LicenseMask set, int64_t count) {
+  counts_[set] += count;
+  ++version_;
+}
+
+int64_t ReferenceModel::SumSubsets(LicenseMask t) const {
+  int64_t sum = 0;
+  for (const auto& [set, count] : counts_) {
+    if (IsSubsetOf(set, t)) {
+      sum += count;
+    }
+  }
+  return sum;
+}
+
+Status ReferenceModel::CheckInvariant() const {
+  const LicenseMask all = licenses_->AllMask();
+  // Every non-empty T ⊆ all; subset enumeration via the decrement trick.
+  LicenseMask t = all;
+  while (t != 0) {
+    const int64_t lhs = SumSubsets(t);
+    const int64_t rhs = licenses_->AggregateSum(t);
+    if (lhs > rhs) {
+      return Status::Internal("eq. 1 violated: C<mask " + std::to_string(t) +
+                              "> = " + std::to_string(lhs) + " > A[T] = " +
+                              std::to_string(rhs));
+    }
+    t = (t - 1) & all;
+  }
+  return Status::Ok();
+}
+
+}  // namespace geolic

@@ -1,0 +1,79 @@
+#ifndef GEOLIC_SIM_REFERENCE_MODEL_H_
+#define GEOLIC_SIM_REFERENCE_MODEL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "licensing/license_set.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Executable specification of online admission, straight from the paper's
+// definitions and nothing else: a map from satisfying set to issued count,
+// with every query answered by brute force. No validation tree, no
+// grouping, no pruning, no sharding — eq. 1 (`C⟨S⟩ ≤ A[S]` for every
+// subset S) evaluated literally. The simulation harness checks every
+// optimized path (geometric instance lookup, grouped equation scoping,
+// flat-tree scans, sharded admission, journal recovery) against this model
+// after every step; the two may disagree only if one of the optimization
+// layers is wrong.
+//
+// Deliberately small and slow (exponential in N): its value is being
+// obviously correct. Keep it free of anything clever.
+class ReferenceModel {
+ public:
+  // Mirror of OnlineDecision, recomputed from first principles.
+  struct Decision {
+    bool instance_valid = false;
+    bool aggregate_valid = false;
+    LicenseMask satisfying_set = 0;
+    // First violated equation in ascending-extension enumeration order
+    // (meaningful only when aggregate_valid is false).
+    LicenseMask limiting_set = 0;
+    int64_t limiting_lhs = 0;
+    int64_t limiting_rhs = 0;
+
+    bool accepted() const { return instance_valid && aggregate_valid; }
+  };
+
+  // `licenses` must outlive the model.
+  explicit ReferenceModel(const LicenseSet* licenses);
+
+  // Decides `issued` against the current counts without recording it.
+  // Definitionally: S = every redistribution license whose region contains
+  // the request; accept iff for ALL T with S ⊆ T ⊆ the full license set,
+  // C⟨T⟩ + count ≤ A[T]. (No grouping: Theorem 2 says scoping T to S's
+  // overlap group decides identically — that equivalence is exactly what
+  // conformance checking puts on trial.)
+  Decision TryIssue(const License& issued) const;
+
+  // Records an accepted issuance.
+  void Apply(LicenseMask set, int64_t count);
+
+  // C⟨T⟩: total count over every recorded set that is a subset of `t`,
+  // by linear scan of the map.
+  int64_t SumSubsets(LicenseMask t) const;
+
+  // Verifies eq. 1 for EVERY subset of the license set (2^N equations —
+  // keep N small). The safety property proper: if this ever fails after
+  // the model mirrored only service-accepted issuances, the service
+  // over-issued.
+  Status CheckInvariant() const;
+
+  // Number of Apply calls so far — lets the harness detect whether other
+  // tasks interleaved with a multi-step operation.
+  uint64_t version() const { return version_; }
+
+  const std::map<LicenseMask, int64_t>& counts() const { return counts_; }
+
+ private:
+  const LicenseSet* licenses_;
+  std::map<LicenseMask, int64_t> counts_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_SIM_REFERENCE_MODEL_H_

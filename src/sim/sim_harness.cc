@@ -1,0 +1,723 @@
+#include "sim/sim_harness.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "persist/faulty_file.h"
+#include "persist/journal.h"
+#include "persist/sync_file.h"
+#include "service/issuance_service.h"
+#include "sim/reference_model.h"
+#include "sim/sim_environment.h"
+#include "sim/sim_scheduler.h"
+#include "util/check.h"
+
+namespace geolic {
+namespace {
+
+// Largest per-request count the generator emits; the recovery diff uses it
+// to bound how big an unobserved in-flight admission can be.
+constexpr int64_t kMaxRequestCount = 3;
+
+std::string MaskText(LicenseMask mask) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(mask));
+  return buffer;
+}
+
+std::string DescribeOp(const SimOp& op) {
+  switch (op.kind) {
+    case SimOpKind::kTryIssue:
+      return "issue " + op.requests[0].id() + " count=" +
+             std::to_string(op.requests[0].aggregate_count());
+    case SimOpKind::kTryIssueBatch: {
+      std::string text = "batch[";
+      for (size_t i = 0; i < op.requests.size(); ++i) {
+        if (i > 0) {
+          text += ",";
+        }
+        text += op.requests[i].id();
+      }
+      return text + "]";
+    }
+    case SimOpKind::kWriteCheckpoint:
+      return "checkpoint";
+    case SimOpKind::kSyncJournal:
+      return "sync";
+  }
+  return "?";
+}
+
+// Everything the cooperatively scheduled tasks share. No locking: the
+// scheduler guarantees exactly one task thread runs at a time, and every
+// handoff goes through its mutex, so accesses are ordered (TSan-visibly)
+// by construction.
+struct SimState {
+  const SimWorkload* workload = nullptr;
+  IssuanceService* service = nullptr;
+  ReferenceModel model;
+  InMemorySyncFile* disk = nullptr;  // The journal's platter.
+  SimScheduler* scheduler = nullptr;
+  std::string scratch_dir;
+
+  std::string checkpoint_path;  // Latest durable checkpoint, "" = none.
+  int checkpoints_written = 0;
+
+  bool journal_error_seen = false;
+  // The admission whose journal append hit the fault: its frame may or may
+  // not have fully reached the platter, so recovery is allowed to contain
+  // exactly this one record beyond the model.
+  bool have_maybe_persisted = false;
+  LicenseMask maybe_persisted_set = 0;
+  int64_t maybe_persisted_count = 0;
+  // A batch died on the fault: the in-flight admission is unknown, so the
+  // recovery diff falls back to a bounded one-record allowance.
+  bool batch_error = false;
+  int batches_in_flight = 0;
+
+  std::string failure;  // First conformance violation; empty = clean.
+  std::vector<std::string> op_trace;
+  size_t ops_executed = 0;
+
+  explicit SimState(const LicenseSet* licenses) : model(licenses) {}
+};
+
+void Fail(SimState* state, const std::string& what) {
+  if (state->failure.empty()) {
+    state->failure = what;
+  }
+}
+
+// Compares one service decision against the reference model. `strong`
+// demands exact agreement (accept/reject and the full limiting equation);
+// the weak form — used while another task's batch is mid-flight, when the
+// model legitimately lags the service — still pins the immutable geometry
+// and requires any rejection to cite a genuinely coherent equation.
+std::string CompareDecision(const LicenseSet& licenses,
+                            const ReferenceModel& model,
+                            const License& request,
+                            const OnlineDecision& got, bool strong) {
+  const ReferenceModel::Decision want = model.TryIssue(request);
+  if (got.instance_valid != want.instance_valid ||
+      got.satisfying_set != want.satisfying_set) {
+    return "satisfying set mismatch for " + request.id() + ": service " +
+           MaskText(got.satisfying_set) + ", brute force " +
+           MaskText(want.satisfying_set);
+  }
+  if (!want.instance_valid) {
+    return "";
+  }
+  if (strong) {
+    if (got.aggregate_valid != want.aggregate_valid) {
+      return std::string("decision mismatch for ") + request.id() +
+             ": service " + (got.aggregate_valid ? "accepted" : "rejected") +
+             ", brute-force eq. 1 says " +
+             (want.aggregate_valid ? "accept" : "reject");
+    }
+    if (!want.aggregate_valid &&
+        (got.limiting.set != want.limiting_set ||
+         got.limiting.lhs != want.limiting_lhs ||
+         got.limiting.rhs != want.limiting_rhs)) {
+      return "limiting equation mismatch for " + request.id() + ": service " +
+             MaskText(got.limiting.set) + " (" +
+             std::to_string(got.limiting.lhs) + " > " +
+             std::to_string(got.limiting.rhs) + "), brute force " +
+             MaskText(want.limiting_set) + " (" +
+             std::to_string(want.limiting_lhs) + " > " +
+             std::to_string(want.limiting_rhs) + ")";
+    }
+    return "";
+  }
+  if (!got.aggregate_valid) {
+    if (got.limiting.lhs <= got.limiting.rhs) {
+      return "rejection for " + request.id() +
+             " cites a non-violated equation";
+    }
+    if (got.limiting.rhs != licenses.AggregateSum(got.limiting.set)) {
+      return "rejection for " + request.id() +
+             " cites a wrong aggregate budget for " +
+             MaskText(got.limiting.set);
+    }
+    if (!IsSubsetOf(got.satisfying_set, got.limiting.set)) {
+      return "limiting set for " + request.id() +
+             " does not contain the satisfying set";
+    }
+  }
+  return "";
+}
+
+// The service hit a journal I/O error while admitting `request`. The first
+// such error is the faulted append: that admission's frame may have fully
+// persisted even though the caller saw a failure.
+void NoteJournalError(SimState* state, const License& request) {
+  if (state->workload->fault_kind == 0) {
+    Fail(state, "journal error without a scheduled fault");
+    return;
+  }
+  if (state->journal_error_seen) {
+    return;  // Poisoned writer: nothing further reaches the platter.
+  }
+  state->journal_error_seen = true;
+  state->have_maybe_persisted = true;
+  state->maybe_persisted_set = state->model.TryIssue(request).satisfying_set;
+  state->maybe_persisted_count = request.aggregate_count();
+}
+
+// Raises the model to the service's merged log counts after a mid-batch
+// journal failure left admissions the caller could not observe. The
+// service may only ever be AHEAD of the model — a missing record means an
+// acknowledged admission vanished.
+void ReconcileModelFromServiceLog(SimState* state) {
+  const std::unordered_map<LicenseMask, int64_t> merged =
+      state->service->CollectLog().MergedCounts();
+  for (const auto& [set, count] : state->model.counts()) {
+    const auto it = merged.find(set);
+    const int64_t service_count = it == merged.end() ? 0 : it->second;
+    if (service_count < count) {
+      Fail(state, "service log lost records for set " + MaskText(set));
+      return;
+    }
+  }
+  for (const auto& [set, count] : merged) {
+    const auto it = state->model.counts().find(set);
+    const int64_t model_count =
+        it == state->model.counts().end() ? 0 : it->second;
+    if (count > model_count) {
+      state->model.Apply(set, count - model_count);
+    }
+  }
+  const Status invariant = state->model.CheckInvariant();
+  if (!invariant.ok()) {
+    Fail(state, std::string("after batch reconcile: ") + invariant.message());
+  }
+}
+
+void RunInvariantSweep(SimState* state, const char* when) {
+  const Status invariant = state->model.CheckInvariant();
+  if (!invariant.ok()) {
+    Fail(state, std::string(when) + ": " + invariant.message());
+  }
+}
+
+void ExecuteTryIssue(SimState* state, const SimOp& op) {
+  const License& request = op.requests[0];
+  const Result<OnlineDecision> got = state->service->TryIssue(request);
+  if (!got.ok()) {
+    NoteJournalError(state, request);
+    return;
+  }
+  const bool strong = state->batches_in_flight == 0;
+  const std::string mismatch = CompareDecision(
+      *state->workload->licenses, state->model, request, *got, strong);
+  if (!mismatch.empty()) {
+    Fail(state, mismatch);
+    return;
+  }
+  if (got->accepted()) {
+    state->model.Apply(got->satisfying_set, request.aggregate_count());
+  }
+  RunInvariantSweep(state, "after issue");
+}
+
+void ExecuteBatch(SimState* state, const SimOp& op) {
+  ++state->batches_in_flight;
+  const uint64_t version_before = state->model.version();
+  const Result<std::vector<OnlineDecision>> got =
+      state->service->TryIssueBatch(op.requests);
+  --state->batches_in_flight;
+  if (!got.ok()) {
+    if (state->workload->fault_kind == 0) {
+      Fail(state, "batch error without a scheduled fault");
+      return;
+    }
+    // The faulted append belongs to an unknown request inside the batch.
+    state->journal_error_seen = true;
+    state->batch_error = true;
+    ReconcileModelFromServiceLog(state);
+    return;
+  }
+  // Exact sequential semantics are checkable only when nothing else
+  // admitted during the batch: no model change, and no other batch still
+  // parked mid-flight with unobserved admissions.
+  const bool strong = state->model.version() == version_before &&
+                      state->batches_in_flight == 0;
+  for (size_t i = 0; i < op.requests.size(); ++i) {
+    const std::string mismatch =
+        CompareDecision(*state->workload->licenses, state->model,
+                        op.requests[i], (*got)[i], strong);
+    if (!mismatch.empty()) {
+      Fail(state, "batch[" + std::to_string(i) + "]: " + mismatch);
+      return;
+    }
+    if ((*got)[i].accepted()) {
+      state->model.Apply((*got)[i].satisfying_set,
+                         op.requests[i].aggregate_count());
+    }
+  }
+  RunInvariantSweep(state, "after batch");
+}
+
+void ExecuteCheckpoint(SimState* state) {
+  const std::string path =
+      state->scratch_dir + "/ckpt_" +
+      std::to_string(++state->checkpoints_written) + ".gck";
+  const Status written = state->service->WriteCheckpoint(path);
+  if (!written.ok()) {
+    Fail(state, std::string("checkpoint write failed: ") + written.message());
+    return;
+  }
+  state->checkpoint_path = path;
+}
+
+void ExecuteSync(SimState* state) {
+  const Status synced = state->service->SyncJournal();
+  if (!synced.ok() && state->workload->fault_kind == 0) {
+    Fail(state, std::string("sync failed without a scheduled fault: ") +
+                    synced.message());
+  }
+}
+
+void ExecuteOp(SimState* state, const SimOp& op) {
+  ++state->ops_executed;
+  state->op_trace.push_back(DescribeOp(op));
+  switch (op.kind) {
+    case SimOpKind::kTryIssue:
+      ExecuteTryIssue(state, op);
+      return;
+    case SimOpKind::kTryIssueBatch:
+      ExecuteBatch(state, op);
+      return;
+    case SimOpKind::kWriteCheckpoint:
+      ExecuteCheckpoint(state);
+      return;
+    case SimOpKind::kSyncJournal:
+      ExecuteSync(state);
+      return;
+  }
+}
+
+// Recovered state may exceed the model by AT MOST the one in-flight
+// admission whose journal append hit the fault; anything else — a missing
+// acknowledged record, a phantom record, more than one extra — is a
+// durability bug. Adopts the allowed extra into the model.
+void CheckRecoveredCounts(
+    SimState* state, const std::unordered_map<LicenseMask, int64_t>& recovered) {
+  std::map<LicenseMask, int64_t> extras;
+  for (const auto& [set, count] : state->model.counts()) {
+    const auto it = recovered.find(set);
+    const int64_t have = it == recovered.end() ? 0 : it->second;
+    if (have < count) {
+      Fail(state, "recovery lost acknowledged records for set " +
+                      MaskText(set) + ": " + std::to_string(have) + " < " +
+                      std::to_string(count));
+      return;
+    }
+  }
+  for (const auto& [set, count] : recovered) {
+    const auto it = state->model.counts().find(set);
+    const int64_t have =
+        it == state->model.counts().end() ? 0 : it->second;
+    if (count > have) {
+      extras[set] = count - have;
+    }
+  }
+  if (extras.empty()) {
+    return;
+  }
+  if (extras.size() > 1) {
+    Fail(state, "recovery produced " + std::to_string(extras.size()) +
+                    " phantom record sets");
+    return;
+  }
+  const auto& [extra_set, extra_count] = *extras.begin();
+  if (state->have_maybe_persisted) {
+    if (extra_set != state->maybe_persisted_set ||
+        extra_count != state->maybe_persisted_count) {
+      Fail(state, "recovery extra record " + MaskText(extra_set) + " x" +
+                      std::to_string(extra_count) +
+                      " does not match the in-flight admission " +
+                      MaskText(state->maybe_persisted_set) + " x" +
+                      std::to_string(state->maybe_persisted_count));
+      return;
+    }
+  } else if (state->batch_error) {
+    if (extra_count > kMaxRequestCount) {
+      Fail(state, "recovery extra record exceeds any single request: " +
+                      MaskText(extra_set) + " x" +
+                      std::to_string(extra_count));
+      return;
+    }
+  } else {
+    Fail(state, "phantom record after recovery: " + MaskText(extra_set) +
+                    " x" + std::to_string(extra_count));
+    return;
+  }
+  state->model.Apply(extra_set, extra_count);
+  RunInvariantSweep(state, "after adopting recovered in-flight record");
+}
+
+// Final conformance: service snapshots (log, tree, flat tree) against the
+// model, then a full crash-recovery round trip from the journal platter
+// plus the newest checkpoint, then a short single-threaded continuation on
+// the recovered service.
+void FinalChecks(SimState* state, const SimConfig& config,
+                 const OnlineValidatorOptions& options) {
+  const LicenseSet& licenses = *state->workload->licenses;
+  if (state->failure.empty() && !state->batch_error) {
+    const std::unordered_map<LicenseMask, int64_t> merged =
+        state->service->CollectLog().MergedCounts();
+    if (merged.size() != state->model.counts().size()) {
+      Fail(state, "final log has " + std::to_string(merged.size()) +
+                      " distinct sets, model has " +
+                      std::to_string(state->model.counts().size()));
+    }
+    for (const auto& [set, count] : state->model.counts()) {
+      const auto it = merged.find(set);
+      if (it == merged.end() || it->second != count) {
+        Fail(state, "final log count mismatch for set " + MaskText(set));
+        break;
+      }
+    }
+  }
+  if (state->failure.empty()) {
+    const Result<FlatValidationTree> flat = state->service->CollectFlatTree();
+    if (!flat.ok()) {
+      Fail(state, std::string("flat tree compile failed: ") +
+                      flat.status().message());
+    } else {
+      // Every equation LHS, flat pruned scan vs. brute force.
+      const LicenseMask all = licenses.AllMask();
+      LicenseMask t = all;
+      while (t != 0 && state->failure.empty()) {
+        if (flat->SumSubsets(t) != state->model.SumSubsets(t)) {
+          Fail(state, "flat tree C<S> diverges from brute force at " +
+                          MaskText(t));
+        }
+        t = (t - 1) & all;
+      }
+    }
+  }
+  RunInvariantSweep(state, "final");
+  if (!state->failure.empty()) {
+    return;
+  }
+
+  // Crash-recovery round trip: the platter contents are exactly what a
+  // recovery pass would find after the process died here.
+  const std::string journal_path = state->scratch_dir + "/journal.gjl";
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    GEOLIC_CHECK(out.good());
+    const std::string& bytes = state->disk->contents();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    GEOLIC_CHECK(out.good());
+  }
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered = IssuanceService::Recover(
+      &licenses, options, state->checkpoint_path, journal_path, &stats);
+  if (!recovered.ok()) {
+    Fail(state, std::string("recovery failed: ") +
+                    recovered.status().message());
+    return;
+  }
+  CheckRecoveredCounts(state,
+                       (*recovered)->CollectLog().MergedCounts());
+  if (!state->failure.empty()) {
+    return;
+  }
+
+  // Continuation: the recovered service must keep deciding exactly like
+  // the (now synchronized) model.
+  IssuanceService* service = recovered->get();
+  auto fresh = std::make_unique<InMemorySyncFile>();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(fresh));
+  GEOLIC_CHECK(writer.ok());
+  GEOLIC_CHECK(service->AttachJournal(std::move(*writer)).ok());
+  for (const SimOp& op : state->workload->post_recovery_ops) {
+    const License& request = op.requests[0];
+    const Result<OnlineDecision> got = service->TryIssue(request);
+    if (!got.ok()) {
+      Fail(state, std::string("post-recovery issue failed: ") +
+                      got.status().message());
+      return;
+    }
+    state->op_trace.push_back("post-recovery " + DescribeOp(op));
+    ++state->ops_executed;
+    const std::string mismatch =
+        CompareDecision(licenses, state->model, request, *got, true);
+    if (!mismatch.empty()) {
+      Fail(state, "post-recovery: " + mismatch);
+      return;
+    }
+    if (got->accepted()) {
+      state->model.Apply(got->satisfying_set, request.aggregate_count());
+    }
+  }
+  (void)config;
+}
+
+std::string MakeScratchDir(uint64_t seed) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("geolic_sim_" + std::to_string(::getpid()) + "_" +
+        std::to_string(seed) + "_" +
+        std::to_string(counter.fetch_add(1))))
+          .string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
+  SimEnvironment env(seed);
+  Rng& rng = env.workload_rng();
+  SimWorkload workload;
+
+  const int dims = static_cast<int>(rng.UniformInt(1, 2));
+  workload.schema = std::make_unique<ConstraintSchema>();
+  for (int d = 0; d < dims; ++d) {
+    GEOLIC_CHECK(workload.schema
+                     ->AddIntervalDimension("C" + std::to_string(d + 1))
+                     .ok());
+  }
+  workload.licenses = std::make_unique<LicenseSet>(workload.schema.get());
+  const int license_count = static_cast<int>(
+      rng.UniformInt(config.min_licenses, config.max_licenses));
+  constexpr int64_t kDomain = 24;
+  for (int i = 0; i < license_count; ++i) {
+    LicenseBuilder builder(workload.schema.get());
+    builder.SetId("L" + std::to_string(i + 1))
+        .SetContentKey("K")
+        .SetType(LicenseType::kRedistribution)
+        .SetPermission(Permission::kPlay)
+        .SetAggregateCount(rng.UniformInt(2, 10));
+    for (int d = 0; d < dims; ++d) {
+      const int64_t lo = rng.UniformInt(0, kDomain - 6);
+      const int64_t hi = lo + rng.UniformInt(3, 10);
+      builder.SetInterval("C" + std::to_string(d + 1), lo, hi);
+    }
+    const Result<License> license = builder.Build();
+    GEOLIC_CHECK(license.ok());
+    GEOLIC_CHECK(workload.licenses->Add(*license).ok());
+  }
+
+  int request_counter = 0;
+  const auto make_request = [&]() {
+    LicenseBuilder builder(workload.schema.get());
+    builder.SetId("U" + std::to_string(++request_counter))
+        .SetContentKey("K")
+        .SetType(LicenseType::kUsage)
+        .SetPermission(Permission::kPlay)
+        .SetAggregateCount(rng.UniformInt(1, kMaxRequestCount));
+    if (rng.Bernoulli(0.15)) {
+      // Anywhere in the domain: often instance-invalid — the lock-free
+      // fast-reject path.
+      for (int d = 0; d < dims; ++d) {
+        const int64_t lo = rng.UniformInt(0, kDomain - 1);
+        builder.SetInterval("C" + std::to_string(d + 1), lo,
+                            lo + rng.UniformInt(0, 4));
+      }
+    } else {
+      // A sub-rectangle of one license, so the satisfying set is
+      // non-empty and the aggregate path runs.
+      const int target =
+          static_cast<int>(rng.UniformIndex(
+              static_cast<size_t>(workload.licenses->size())));
+      const License& inside = workload.licenses->at(target);
+      for (int d = 0; d < dims; ++d) {
+        const Interval& range = inside.rect().dim(d).interval();
+        const int64_t lo = rng.UniformInt(range.lo(), range.hi());
+        const int64_t hi = rng.UniformInt(lo, range.hi());
+        builder.SetInterval("C" + std::to_string(d + 1), lo, hi);
+      }
+    }
+    const Result<License> license = builder.Build();
+    GEOLIC_CHECK(license.ok());
+    return *license;
+  };
+
+  const int clients = static_cast<int>(
+      rng.UniformInt(config.min_clients, config.max_clients));
+  workload.client_ops.resize(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    const int ops = static_cast<int>(rng.UniformInt(
+        config.min_ops_per_client, config.max_ops_per_client));
+    for (int i = 0; i < ops; ++i) {
+      SimOp op;
+      const double kind = rng.UniformDouble();
+      if (kind < 0.72) {
+        op.kind = SimOpKind::kTryIssue;
+        op.requests.push_back(make_request());
+      } else if (kind < 0.84) {
+        op.kind = SimOpKind::kTryIssueBatch;
+        const int batch = static_cast<int>(rng.UniformInt(2, 4));
+        for (int b = 0; b < batch; ++b) {
+          op.requests.push_back(make_request());
+        }
+      } else if (kind < 0.92) {
+        op.kind = SimOpKind::kWriteCheckpoint;
+      } else {
+        op.kind = SimOpKind::kSyncJournal;
+      }
+      workload.client_ops[static_cast<size_t>(c)].push_back(std::move(op));
+    }
+  }
+
+  if (config.force_fault || rng.Bernoulli(config.fault_probability)) {
+    workload.fault_kind = static_cast<int>(rng.UniformInt(1, 2));
+    workload.fault_append = static_cast<uint64_t>(rng.UniformInt(1, 12));
+    workload.fault_keep_bytes =
+        static_cast<size_t>(rng.UniformInt(0, 64));
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    SimOp op;
+    op.kind = SimOpKind::kTryIssue;
+    op.requests.push_back(make_request());
+    workload.post_recovery_ops.push_back(std::move(op));
+  }
+  return workload;
+}
+
+SimResult RunWorkload(const SimWorkload& workload, uint64_t seed,
+                      const SimConfig& config, const SimOpMask* enabled) {
+  SimResult result;
+  result.seed = seed;
+
+  SimEnvironment env(seed);
+  SimScheduler scheduler(&env);
+
+  OnlineValidatorOptions options;
+  options.use_grouping = true;
+  options.sim_hooks = &scheduler;
+  options.sim_skip_last_equation = config.inject_equation_skip;
+
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(workload.licenses.get(), options);
+  GEOLIC_CHECK(service.ok());
+
+  SimState state(workload.licenses.get());
+  state.workload = &workload;
+  state.service = service->get();
+  state.scheduler = &scheduler;
+  state.scratch_dir = MakeScratchDir(seed);
+
+  auto platter = std::make_unique<InMemorySyncFile>();
+  state.disk = platter.get();
+  auto faulty = std::make_unique<FaultyFile>(std::move(platter));
+  FaultyFile* fault = faulty.get();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(faulty));
+  GEOLIC_CHECK(writer.ok());
+  GEOLIC_CHECK((*service)->AttachJournal(std::move(*writer)).ok());
+  // Scheduled after the magic write, so the countdown counts record
+  // frames: fault_append = 1 tears the first journaled admission.
+  if (workload.fault_kind == 1) {
+    fault->ScheduleTearAppend(workload.fault_append,
+                              workload.fault_keep_bytes);
+  } else if (workload.fault_kind == 2) {
+    fault->ScheduleFailSyncAfterAppend(workload.fault_append);
+  }
+
+  for (size_t c = 0; c < workload.client_ops.size(); ++c) {
+    const std::vector<SimOp>* ops = &workload.client_ops[c];
+    const std::vector<bool>* mask =
+        enabled != nullptr ? &(*enabled)[c] : nullptr;
+    scheduler.AddTask("client" + std::to_string(c),
+                      [&state, ops, mask] {
+                        for (size_t i = 0; i < ops->size(); ++i) {
+                          state.scheduler->Yield("op_boundary");
+                          if (!state.failure.empty()) {
+                            return;
+                          }
+                          if (mask != nullptr && !(*mask)[i]) {
+                            continue;
+                          }
+                          ExecuteOp(&state, (*ops)[i]);
+                        }
+                      });
+  }
+  scheduler.Run();
+
+  if (state.failure.empty()) {
+    FinalChecks(&state, config, options);
+  }
+
+  std::error_code discard;
+  std::filesystem::remove_all(state.scratch_dir, discard);
+
+  result.ok = state.failure.empty();
+  result.failure = state.failure;
+  result.op_trace = std::move(state.op_trace);
+  result.ops_executed = state.ops_executed;
+  return result;
+}
+
+SimResult RunSimulation(uint64_t seed, const SimConfig& config) {
+  const SimWorkload workload = GenerateWorkload(seed, config);
+  return RunWorkload(workload, seed, config, nullptr);
+}
+
+ShrinkOutcome ShrinkFailure(uint64_t seed, const SimConfig& config) {
+  const SimWorkload workload = GenerateWorkload(seed, config);
+  ShrinkOutcome outcome;
+  SimOpMask mask;
+  for (const std::vector<SimOp>& ops : workload.client_ops) {
+    mask.emplace_back(ops.size(), true);
+    outcome.original_ops += ops.size();
+  }
+  SimResult current = RunWorkload(workload, seed, config, &mask);
+  ++outcome.runs_used;
+  outcome.failure = current.failure;
+  if (current.ok) {
+    return outcome;  // Caller contract violated; nothing to shrink.
+  }
+  // Greedy 1-minimal pass: keep dropping single ops while the run still
+  // fails (any failure — the minimal trace may surface a crisper symptom
+  // of the same bug).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t c = 0; c < mask.size(); ++c) {
+      for (size_t i = 0; i < mask[c].size(); ++i) {
+        if (!mask[c][i]) {
+          continue;
+        }
+        mask[c][i] = false;
+        const SimResult attempt = RunWorkload(workload, seed, config, &mask);
+        ++outcome.runs_used;
+        if (attempt.ok) {
+          mask[c][i] = true;  // Needed for the failure; keep it.
+        } else {
+          outcome.failure = attempt.failure;
+          progress = true;
+        }
+      }
+    }
+  }
+  for (size_t c = 0; c < mask.size(); ++c) {
+    for (size_t i = 0; i < mask[c].size(); ++i) {
+      if (mask[c][i]) {
+        outcome.minimal_ops.push_back(
+            "client" + std::to_string(c) + "#" + std::to_string(i) + " " +
+            DescribeOp(workload.client_ops[c][i]));
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace geolic

@@ -1,0 +1,102 @@
+#include "sim/sim_scheduler.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace geolic {
+namespace {
+
+// Which task slot the current thread belongs to; null on threads the
+// scheduler did not spawn (harness setup/teardown code), where Yield is a
+// no-op.
+thread_local void* current_task = nullptr;
+
+}  // namespace
+
+SimScheduler::~SimScheduler() {
+  // Run joins every thread; an unrun scheduler never started any.
+  for (const std::unique_ptr<Task>& task : tasks_) {
+    GEOLIC_CHECK(!task->thread.joinable());
+  }
+}
+
+void SimScheduler::AddTask(std::string name, std::function<void()> body) {
+  GEOLIC_CHECK(!ran_);
+  auto task = std::make_unique<Task>();
+  task->name = std::move(name);
+  task->body = std::move(body);
+  tasks_.push_back(std::move(task));
+}
+
+void SimScheduler::Yield(const char* point) {
+  Task* self = static_cast<Task*>(current_task);
+  if (self == nullptr) {
+    return;  // Not a scheduled task thread (setup/recovery phase code).
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].get() == self) {
+      steps_.push_back({static_cast<int>(i), point});
+      break;
+    }
+  }
+  self->state = TaskState::kParked;
+  cv_.notify_all();
+  cv_.wait(lock, [self] { return self->state == TaskState::kGranted; });
+}
+
+void SimScheduler::Run() {
+  GEOLIC_CHECK(!ran_);
+  ran_ = true;
+  if (tasks_.empty()) {
+    return;
+  }
+  // Every thread starts parked, waiting for its first grant; the token is
+  // handed out by the chooser loop below, so exactly one task thread runs
+  // between scheduling decisions.
+  for (const std::unique_ptr<Task>& task : tasks_) {
+    Task* t = task.get();
+    t->thread = std::thread([this, t] {
+      current_task = t;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [t] { return t->state == TaskState::kGranted; });
+      }
+      t->body();
+      std::lock_guard<std::mutex> lock(mutex_);
+      t->state = TaskState::kFinished;
+      cv_.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    std::vector<size_t> runnable;
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i]->state == TaskState::kParked) {
+        runnable.push_back(i);
+      }
+    }
+    if (runnable.empty()) {
+      break;  // Everything finished.
+    }
+    const size_t pick =
+        runnable[env_->schedule_rng().UniformIndex(runnable.size())];
+    Task* chosen = tasks_[pick].get();
+    chosen->state = TaskState::kGranted;
+    cv_.notify_all();
+    // Wait until the granted task parks at its next yield point or
+    // finishes — the single-token invariant.
+    cv_.wait(lock, [chosen] { return chosen->state != TaskState::kGranted; });
+    if (chosen->state == TaskState::kFinished) {
+      steps_.push_back({static_cast<int>(pick), "finish"});
+    }
+  }
+  lock.unlock();
+  for (const std::unique_ptr<Task>& task : tasks_) {
+    task->thread.join();
+  }
+}
+
+}  // namespace geolic

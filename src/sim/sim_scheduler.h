@@ -1,0 +1,88 @@
+#ifndef GEOLIC_SIM_SIM_SCHEDULER_H_
+#define GEOLIC_SIM_SIM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sim_environment.h"
+#include "util/sim_hooks.h"
+
+namespace geolic {
+
+// One scheduling decision: which task ran, and the yield point (or
+// lifecycle event) that ended its segment.
+struct SchedulerStep {
+  int task = -1;
+  std::string point;  // Yield point name, "start", or "finish".
+};
+
+// Deterministic cooperative scheduler, FoundationDB-style: tasks run on
+// real threads, but exactly one thread holds the run token at any moment,
+// and every handoff happens at a named yield point. The next runnable task
+// is drawn from the environment's schedule RNG, so the full interleaving
+// is a pure function of the seed — re-running with the same seed replays
+// the same interleaving, byte for byte.
+//
+// Tasks reach yield points two ways: the harness calls Yield between
+// operations, and the service under test calls it at the lock-free seams
+// of its request path (OnlineValidatorOptions::sim_hooks). Because only
+// yield-free segments hold locks, a parked task never owns a mutex and the
+// single-token design cannot deadlock.
+//
+// The scheduler is also the SimHooks implementation handed to the service:
+// Yield parks the calling task thread; NowNanos reads the virtual clock.
+// Calls from threads the scheduler did not spawn (e.g. harness code
+// running before or after Run) fall through: Yield is a no-op, NowNanos
+// still ticks the clock.
+class SimScheduler : public SimHooks {
+ public:
+  explicit SimScheduler(SimEnvironment* env) : env_(env) {}
+  ~SimScheduler() override;
+
+  SimScheduler(const SimScheduler&) = delete;
+  SimScheduler& operator=(const SimScheduler&) = delete;
+
+  // Registers a task before Run. `body` executes on a dedicated thread,
+  // suspended/resumed at yield points.
+  void AddTask(std::string name, std::function<void()> body);
+
+  // Runs every task to completion, interleaving at yield points in
+  // seed-determined order. Must be called at most once.
+  void Run();
+
+  // SimHooks:
+  void Yield(const char* point) override;
+  uint64_t NowNanos() override { return env_->NowNanos(); }
+
+  // The interleaving that ran, for failure traces.
+  const std::vector<SchedulerStep>& steps() const { return steps_; }
+  const std::string& task_name(int task) const { return tasks_[static_cast<size_t>(task)]->name; }
+
+ private:
+  enum class TaskState { kParked, kGranted, kFinished };
+
+  struct Task {
+    std::string name;
+    std::function<void()> body;
+    std::thread thread;
+    TaskState state = TaskState::kParked;
+  };
+
+  SimEnvironment* env_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<SchedulerStep> steps_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool ran_ = false;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_SIM_SIM_SCHEDULER_H_

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "persist/checkpoint.h"
@@ -145,11 +146,31 @@ void LogStore::SerializeRecords(std::ostream* out) const {
   }
 }
 
-Result<LogStore> LogStore::DeserializeRecords(std::istream* in) {
+namespace {
+
+// Smallest possible serialized record: set (u64) + count (i64) + id_len
+// (u32) with an empty id — the divisor for the file-size-derived cap on a
+// legacy file's declared record total.
+constexpr uint64_t kMinRecordBytes =
+    sizeof(uint64_t) + sizeof(int64_t) + sizeof(uint32_t);
+
+// No real log approaches this per-record count; a value beyond it is
+// corruption (e.g. a flipped high byte), not data.
+constexpr int64_t kMaxPlausibleRecordCount = int64_t{1} << 40;
+
+Result<LogStore> DeserializeRecordsCapped(std::istream* in,
+                                          uint64_t max_records,
+                                          int64_t max_record_count) {
   uint64_t count = 0;
   in->read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!*in) {
     return Status::ParseError("truncated log header");
+  }
+  if (count > max_records) {
+    return Status::ParseError(
+        "implausible record total " + std::to_string(count) +
+        ": the file can hold at most " + std::to_string(max_records) +
+        " records");
   }
   LogStore store;
   for (uint64_t i = 0; i < count; ++i) {
@@ -164,6 +185,11 @@ Result<LogStore> LogStore::DeserializeRecords(std::istream* in) {
     if (id_size > 4096) {
       return Status::ParseError("implausible id length in log record");
     }
+    if (record.count > max_record_count) {
+      return Status::ParseError(
+          "implausible count " + std::to_string(record.count) +
+          " in log record " + std::to_string(i));
+    }
     record.issued_license_id.resize(id_size);
     in->read(record.issued_license_id.data(), id_size);
     if (!*in) {
@@ -172,6 +198,13 @@ Result<LogStore> LogStore::DeserializeRecords(std::istream* in) {
     GEOLIC_RETURN_IF_ERROR(store.Append(std::move(record)));
   }
   return store;
+}
+
+}  // namespace
+
+Result<LogStore> LogStore::DeserializeRecords(std::istream* in) {
+  return DeserializeRecordsCapped(in, std::numeric_limits<uint64_t>::max(),
+                                  std::numeric_limits<int64_t>::max());
 }
 
 Status LogStore::SaveBinary(const std::string& path) const {
@@ -217,7 +250,25 @@ Result<LogStore> LogStore::LoadBinary(const std::string& path) {
   if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
     return Status::ParseError("not a geolic binary log: " + path);
   }
-  return DeserializeRecords(&in);
+  // Legacy v1 carries no checksums, so corruption is detectable only by
+  // plausibility: cap the declared record total by what the file could
+  // physically hold and every per-record count by a sanity bound, so a
+  // flipped high byte fails the load instead of silently inflating C⟨S⟩.
+  // Low-bit flips remain invisible in v1 — that is why v2 wraps the same
+  // record body in the CRC-checked checkpoint container.
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  in.seekg(static_cast<std::streamoff>(sizeof(kBinaryMagic)), std::ios::beg);
+  if (end < 0 || !in) {
+    return Status::IoError("cannot size binary log: " + path);
+  }
+  const uint64_t body_bytes =
+      static_cast<uint64_t>(end) - sizeof(kBinaryMagic);
+  const uint64_t max_records =
+      body_bytes < sizeof(uint64_t)
+          ? 0
+          : (body_bytes - sizeof(uint64_t)) / kMinRecordBytes;
+  return DeserializeRecordsCapped(&in, max_records, kMaxPlausibleRecordCount);
 }
 
 }  // namespace geolic

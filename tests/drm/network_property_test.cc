@@ -19,7 +19,7 @@ class NetworkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(NetworkPropertyTest, AuditFlagsExactlyTheGuilty) {
   const uint64_t seed = GetParam();
-  Rng rng(seed);
+  Rng rng(testing::TestSeed(seed));
   const ConstraintSchema schema = IntervalSchema(1);
   DistributionNetwork network(&schema, "K", Permission::kPlay);
   const int owner = *network.AddOwner("owner");

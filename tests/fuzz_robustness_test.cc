@@ -47,7 +47,7 @@ std::string RandomLicenseText(Rng* rng) {
 
 TEST(FuzzRobustnessTest, LicenseParserSurvivesGarbage) {
   const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
-  Rng rng(1);
+  Rng rng(testing::TestSeed(1));
   for (int i = 0; i < 5000; ++i) {
     const std::string text = RandomLicenseText(&rng);
     const Result<License> license =
@@ -65,7 +65,7 @@ TEST(FuzzRobustnessTest, LicenseParserSurvivesMutatedValidInput) {
   const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
   const std::string valid =
       "(K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)";
-  Rng rng(2);
+  Rng rng(testing::TestSeed(2));
   for (int i = 0; i < 5000; ++i) {
     std::string mutated = valid;
     const int mutations = static_cast<int>(rng.UniformInt(1, 4));
@@ -78,7 +78,7 @@ TEST(FuzzRobustnessTest, LicenseParserSurvivesMutatedValidInput) {
 }
 
 TEST(FuzzRobustnessTest, LogTextLoaderSurvivesGarbage) {
-  Rng rng(3);
+  Rng rng(testing::TestSeed(3));
   const std::string path = TempPath(".log");
   for (int i = 0; i < 300; ++i) {
     {
@@ -92,7 +92,7 @@ TEST(FuzzRobustnessTest, LogTextLoaderSurvivesGarbage) {
 
 TEST(FuzzRobustnessTest, LogBinaryLoaderSurvivesMutations) {
   LogStore store;
-  Rng rng(4);
+  Rng rng(testing::TestSeed(4));
   for (int i = 0; i < 50; ++i) {
     GEOLIC_CHECK(store
                      .Append(LogRecord{"LU" + std::to_string(i),
@@ -132,7 +132,7 @@ TEST(FuzzRobustnessTest, LogBinaryLoaderSurvivesMutations) {
 
 TEST(FuzzRobustnessTest, TreeCheckpointLoaderSurvivesMutations) {
   ValidationTree tree;
-  Rng rng(5);
+  Rng rng(testing::TestSeed(5));
   for (int i = 0; i < 100; ++i) {
     GEOLIC_CHECK(
         tree.Insert((rng.Next() | 1) & FullMask(25), rng.UniformInt(1, 50))
@@ -159,7 +159,7 @@ TEST(FuzzRobustnessTest, TreeCheckpointLoaderSurvivesMutations) {
 }
 
 TEST(FuzzRobustnessTest, LicenseBlobReaderSurvivesRandomBytes) {
-  Rng rng(6);
+  Rng rng(testing::TestSeed(6));
   for (int i = 0; i < 2000; ++i) {
     std::stringstream stream(
         RandomBytes(&rng, static_cast<size_t>(rng.UniformInt(0, 200))));
@@ -169,7 +169,7 @@ TEST(FuzzRobustnessTest, LicenseBlobReaderSurvivesRandomBytes) {
 
 TEST(FuzzRobustnessTest, AuthorityRestoreSurvivesRandomBytes) {
   const ConstraintSchema schema = testing::IntervalSchema(1);
-  Rng rng(7);
+  Rng rng(testing::TestSeed(7));
   const std::string path = TempPath(".ckpt");
   for (int i = 0; i < 200; ++i) {
     {

@@ -208,7 +208,7 @@ TEST(RecoveryFaultTest, RandomMutationFuzzNeverSilentlyWrong) {
   const std::string full = JournalBytes(8);
   const Result<JournalReplay> clean = JournalReader::Parse(full);
   ASSERT_TRUE(clean.ok());
-  Rng rng(20260806);
+  Rng rng(testing::TestSeed(20260806));
   for (int trial = 0; trial < 2000; ++trial) {
     std::string mutated = full;
     const int edits = 1 + static_cast<int>(rng.UniformInt(0, 3));

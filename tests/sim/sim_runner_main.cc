@@ -1,0 +1,142 @@
+// Seed-sweeping driver for the deterministic simulation harness.
+//
+//   sim_runner --seeds=1000            sweep seeds 1..1000, fail on first bug
+//   sim_runner --seed=42               replay exactly one seed (the repro)
+//   sim_runner --mutation_smoke        plant the equation-skip bug and
+//                                      verify the harness CATCHES it within
+//                                      the seed budget (--seeds, default 200)
+//   sim_runner --start_seed=N          shift the sweep window
+//
+// Every failure is reported with the one command that reproduces it.
+// Exit codes: 0 = pass, 1 = conformance failure (or, in mutation smoke
+// mode, planted bug NOT caught), 2 = bad usage.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/sim_harness.h"
+
+namespace {
+
+bool ParseUint(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg + len + 1, &end, 0);
+  if (end == arg + len + 1 || *end != '\0') {
+    std::fprintf(stderr, "sim_runner: cannot parse %s\n", arg);
+    std::exit(2);
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+void PrintFailure(const geolic::SimResult& result,
+                  const geolic::SimConfig& config) {
+  std::printf("FAILED seed=%" PRIu64 "\n", result.seed);
+  std::printf("  failure: %s\n", result.failure.c_str());
+  std::printf("  ops executed: %zu\n", result.ops_executed);
+  std::printf("  shrinking...\n");
+  const geolic::ShrinkOutcome shrunk =
+      geolic::ShrinkFailure(result.seed, config);
+  std::printf("  minimal failing trace (%zu of %zu ops, %zu runs):\n",
+              shrunk.minimal_ops.size(), shrunk.original_ops,
+              shrunk.runs_used);
+  for (const std::string& op : shrunk.minimal_ops) {
+    std::printf("    %s\n", op.c_str());
+  }
+  std::printf("  minimal failure: %s\n", shrunk.failure.c_str());
+  std::printf("repro: sim_runner --seed=%" PRIu64 "\n", result.seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 0;
+  uint64_t start_seed = 1;
+  uint64_t single_seed = 0;
+  bool have_single = false;
+  bool mutation_smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseUint(arg, "--seeds", &seeds) ||
+        ParseUint(arg, "--start_seed", &start_seed)) {
+      continue;
+    }
+    if (ParseUint(arg, "--seed", &single_seed)) {
+      have_single = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--mutation_smoke") == 0) {
+      mutation_smoke = true;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "sim_runner: unknown flag %s\n"
+                 "usage: sim_runner [--seeds=N] [--seed=S] [--start_seed=B] "
+                 "[--mutation_smoke]\n",
+                 arg);
+    return 2;
+  }
+
+  geolic::SimConfig config;
+  config.inject_equation_skip = mutation_smoke;
+
+  if (have_single) {
+    const geolic::SimResult result = geolic::RunSimulation(single_seed, config);
+    if (result.ok) {
+      std::printf("seed %" PRIu64 " OK (%zu ops)\n", result.seed,
+                  result.ops_executed);
+      return 0;
+    }
+    PrintFailure(result, config);
+    std::printf("  full trace:\n");
+    for (const std::string& op : result.op_trace) {
+      std::printf("    %s\n", op.c_str());
+    }
+    return 1;
+  }
+
+  if (mutation_smoke) {
+    // The harness is on trial: a correct harness must catch the planted
+    // accounting bug within the budget.
+    const uint64_t budget = seeds == 0 ? 200 : seeds;
+    for (uint64_t s = start_seed; s < start_seed + budget; ++s) {
+      const geolic::SimResult result = geolic::RunSimulation(s, config);
+      if (!result.ok) {
+        std::printf("mutation smoke OK: planted equation-skip bug caught at "
+                    "seed %" PRIu64 " (%" PRIu64 " seeds tried)\n",
+                    s, s - start_seed + 1);
+        std::printf("  failure: %s\n", result.failure.c_str());
+        return 0;
+      }
+    }
+    std::printf("mutation smoke FAILED: planted bug not caught in %" PRIu64
+                " seeds — the harness has lost its teeth\n",
+                budget);
+    return 1;
+  }
+
+  const uint64_t sweep = seeds == 0 ? 100 : seeds;
+  for (uint64_t s = start_seed; s < start_seed + sweep; ++s) {
+    const geolic::SimResult result = geolic::RunSimulation(s, config);
+    if (!result.ok) {
+      PrintFailure(result, config);
+      return 1;
+    }
+    if ((s - start_seed + 1) % 100 == 0) {
+      std::printf("  ... %" PRIu64 "/%" PRIu64 " seeds clean\n",
+                  s - start_seed + 1, sweep);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("OK: %" PRIu64 " seeds clean (start_seed=%" PRIu64 ")\n", sweep,
+              start_seed);
+  return 0;
+}

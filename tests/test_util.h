@@ -1,6 +1,9 @@
 #ifndef GEOLIC_TESTS_TEST_UTIL_H_
 #define GEOLIC_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,30 @@
 #include "util/random.h"
 
 namespace geolic::testing {
+
+// Seed for randomized tests: `default_seed` unless the GEOLIC_TEST_SEED
+// environment variable overrides it (parsed with base auto-detection, so
+// both 123 and 0x7b work). Always logs the seed in effect, so any failure
+// report carries the line needed to reproduce it:
+//   GEOLIC_TEST_SEED=<seed> ctest -R <test> --output-on-failure
+inline uint64_t TestSeed(uint64_t default_seed) {
+  uint64_t seed = default_seed;
+  const char* env = std::getenv("GEOLIC_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      seed = static_cast<uint64_t>(parsed);
+    } else {
+      std::fprintf(stderr,
+                   "[ seed ] ignoring unparseable GEOLIC_TEST_SEED=\"%s\"\n",
+                   env);
+    }
+  }
+  std::fprintf(stderr, "[ seed ] using seed %llu (override: GEOLIC_TEST_SEED)\n",
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
 
 // Schema with `dims` integer interval dimensions named C1..Cdims.
 inline ConstraintSchema IntervalSchema(int dims) {

@@ -45,8 +45,9 @@ class TheoremsPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TheoremsPropertyTest, Theorem1NoCommonRegionMeansZeroCount) {
   const int n = GetParam();
-  GeneratedCase generated = Generate(n, 1000 + static_cast<uint64_t>(n));
-  Rng rng(5 + static_cast<uint64_t>(n));
+  GeneratedCase generated =
+      Generate(n, testing::TestSeed(1000) + static_cast<uint64_t>(n));
+  Rng rng(testing::TestSeed(5) + static_cast<uint64_t>(n));
   const auto merged = generated.workload->log.MergedCounts();
   for (int trial = 0; trial < 500; ++trial) {
     LicenseMask set = static_cast<LicenseMask>(rng.Next()) & FullMask(n);
@@ -71,7 +72,8 @@ TEST_P(TheoremsPropertyTest, Theorem1NoCommonRegionMeansZeroCount) {
 
 TEST_P(TheoremsPropertyTest, Corollary11GroupMixingSetsNeverLogged) {
   const int n = GetParam();
-  GeneratedCase generated = Generate(n, 2000 + static_cast<uint64_t>(n));
+  GeneratedCase generated =
+      Generate(n, testing::TestSeed(2000) + static_cast<uint64_t>(n));
   if (generated.grouping.group_count() < 2) {
     GTEST_SKIP() << "workload produced a single group";
   }
@@ -84,9 +86,10 @@ TEST_P(TheoremsPropertyTest, Corollary11GroupMixingSetsNeverLogged) {
 
 TEST_P(TheoremsPropertyTest, Theorem2EquationDecomposesAcrossGroups) {
   const int n = GetParam();
-  GeneratedCase generated = Generate(n, 3000 + static_cast<uint64_t>(n));
+  GeneratedCase generated =
+      Generate(n, testing::TestSeed(3000) + static_cast<uint64_t>(n));
   const LicenseGrouping& grouping = generated.grouping;
-  Rng rng(17 + static_cast<uint64_t>(n));
+  Rng rng(testing::TestSeed(17) + static_cast<uint64_t>(n));
   for (int trial = 0; trial < 300; ++trial) {
     const LicenseMask s =
         static_cast<LicenseMask>(rng.Next()) & FullMask(n);
@@ -112,7 +115,8 @@ TEST_P(TheoremsPropertyTest, Theorem2EquationDecomposesAcrossGroups) {
 
 TEST_P(TheoremsPropertyTest, Section41NoBranchCrossesGroups) {
   const int n = GetParam();
-  GeneratedCase generated = Generate(n, 4000 + static_cast<uint64_t>(n));
+  GeneratedCase generated =
+      Generate(n, testing::TestSeed(4000) + static_cast<uint64_t>(n));
   const LicenseGrouping& grouping = generated.grouping;
   // Every node's path-set (reported by ForEachSet plus implied prefixes)
   // stays within one group. ForEachSet only reports counted nodes; prefix
@@ -129,13 +133,13 @@ TEST_P(TheoremsPropertyTest, SatisfyingSetsAreAlwaysPairwiseOverlapping) {
   // Foundation for "S always lies in one group": all licenses containing
   // the same usage rectangle mutually overlap (they share that region).
   const int n = GetParam();
-  WorkloadConfig config = PaperSweepConfig(n, 5000);
+  WorkloadConfig config = PaperSweepConfig(n, testing::TestSeed(5000));
   config.num_records = 0;
   WorkloadGenerator generator(config);
   Result<Workload> workload = generator.GenerateLicensesOnly();
   ASSERT_TRUE(workload.ok());
   const LinearInstanceValidator validator(workload->licenses.get());
-  Rng rng(23);
+  Rng rng(testing::TestSeed(23));
   for (int trial = 0; trial < 200; ++trial) {
     const int parent = static_cast<int>(
         rng.UniformInt(0, workload->licenses->size() - 1));

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
 #include "util/random.h"
 #include "validation/exhaustive_validator.h"
 #include "validation/validation_tree.h"
@@ -80,7 +81,7 @@ TEST(FlatTreeTest, PaperExampleMatchesPointerTree) {
 // The tentpole equivalence fuzz: over 1k random logs, the flat compile
 // must agree with the pointer tree on every query surface.
 TEST(FlatTreeTest, FuzzMatchesPointerTree) {
-  Rng rng(20260806);
+  Rng rng(testing::TestSeed(20260806));
   for (int trial = 0; trial < 1000; ++trial) {
     const int n = static_cast<int>(rng.UniformInt(1, 16));
     const int records = static_cast<int>(rng.UniformInt(0, 40));
@@ -108,7 +109,7 @@ TEST(FlatTreeTest, FuzzMatchesPointerTree) {
 
 TEST(FlatTreeTest, FuzzMatchesMergedCountsReference) {
   // Independent oracle: LHS from merged log counts, not the pointer tree.
-  Rng rng(77);
+  Rng rng(testing::TestSeed(77));
   for (int trial = 0; trial < 50; ++trial) {
     const int n = static_cast<int>(rng.UniformInt(1, 12));
     ValidationTree tree;
@@ -133,7 +134,7 @@ TEST(FlatTreeTest, FuzzMatchesMergedCountsReference) {
 }
 
 TEST(FlatTreeTest, BatchMatchesScalar) {
-  Rng rng(11);
+  Rng rng(testing::TestSeed(11));
   const ValidationTree tree = RandomTree(&rng, 12, 200);
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
   std::vector<LicenseMask> sets;
@@ -151,7 +152,7 @@ TEST(FlatTreeTest, BatchMatchesScalar) {
 }
 
 TEST(FlatTreeTest, ForEachSetMatchesPointerTree) {
-  Rng rng(5);
+  Rng rng(testing::TestSeed(5));
   const ValidationTree tree = RandomTree(&rng, 14, 300);
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
   std::vector<std::pair<LicenseMask, int64_t>> from_tree;
@@ -166,7 +167,7 @@ TEST(FlatTreeTest, ForEachSetMatchesPointerTree) {
 }
 
 TEST(FlatTreeTest, CoveredSubtreePruningTouchesFewerNodes) {
-  Rng rng(13);
+  Rng rng(testing::TestSeed(13));
   const ValidationTree tree = RandomTree(&rng, 16, 2000);
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
   // On the full set every top-level subtree is wholly covered, so the
