@@ -1,26 +1,34 @@
 // Ablation: the equation hot path across tree layouts. Every offline
-// validator reduces to SumSubsets calls; this harness evaluates all
-// 2^N − 1 validation equations against
+// validator reduces to SumSubsets calls; this harness evaluates a fixed
+// equation list against
 //   * pointer  — the recursive ref [10] walk over heap-scattered nodes,
 //   * flat     — the same descent rule on the preorder arena (layout win),
 //   * pruned   — the arena plus subtree_mask/subtree_sum accelerators
 //                (Theorem-1 skips + covered-subtree summarization),
 //   * batch    — pruned, issued through SumSubsetsBatch as the validators
 //                do (cache-resident arena across consecutive equations),
-// sweeping N, log size, and overlap density. Before timing, every engine
-// is checked equation-by-equation against the pointer tree — the bench
+// sweeping N, log size, and overlap density. For N ≤ 20 the list is all
+// 2^N − 1 dense equations; for wide N (128/256/1024 — the multi-word
+// LicenseSet path) equations are enumerated per overlap group, the way the
+// grouped validators issue them. Before timing, every engine is checked
+// equation-by-equation against the pointer tree, and SumSubsetsBatch
+// against the forced word-sliced SumSubsetsBatchWideReference — the bench
 // aborts on any mismatch.
 //
 // The default workload is the figure-7 shape at N=16 with dense overlap
 // (single cluster, high extents): the acceptance row printed last. Tiny CI
-// runs: --max_n=10 --records=1500. Machine-readable: --json_out=<path>.
+// runs: --max_n=10 --records=1500 --max_wide_n=128. Release smoke:
+// --max_wide_n=256. --max_wide_n=0 disables the wide sweep.
+// Machine-readable: --json_out=<path>.
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "graph/connected_components.h"
 #include "util/stopwatch.h"
 #include "validation/flat_tree.h"
 #include "validation/validation_tree.h"
@@ -30,11 +38,13 @@ namespace {
 using namespace geolic;         // NOLINT
 using namespace geolic::bench;  // NOLINT
 
-// Figure-7-style workload with a single overlap arena; `extent` sets the
-// overlap density, `records` the log size (0 = paper interpolation).
-LogStore DenseLog(int n, int records, double extent, uint64_t seed = 2010) {
+// Figure-7-style workload; `clusters` spreads licenses into that many
+// disjoint overlap arenas (1 = the dense figure-7 shape), `extent` sets
+// the overlap density, `records` the log size (0 = paper interpolation).
+LogStore DenseLog(int n, int records, double extent, uint64_t seed = 2010,
+                  int clusters = 1) {
   WorkloadConfig config = PaperSweepConfig(n, seed);
-  config.num_clusters = 1;
+  config.num_clusters = clusters;
   config.min_extent = extent * 0.6;
   config.max_extent = extent;
   if (records > 0) {
@@ -46,6 +56,69 @@ LogStore DenseLog(int n, int records, double extent, uint64_t seed = 2010) {
   return std::move(workload->log);
 }
 
+// All 2^n - 1 equations, ascending — the exhaustive validator's dense
+// order. Only sane for small n.
+std::vector<LicenseSet> DenseEquations(int n) {
+  GEOLIC_CHECK(n >= 1 && n <= 20);
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  std::vector<LicenseSet> equations;
+  equations.reserve(full);
+  for (uint64_t word = 1; word <= full; ++word) {
+    equations.push_back(LicenseSet::FromWord(word));
+  }
+  return equations;
+}
+
+// Wide-N equation list: overlap groups are recovered from license
+// co-occurrence in the log (union-find over each record's set — the same
+// partition the grouped validators work from), then every equation of each
+// group with ≤ `cap_bits` licenses is enumerated. Oversized groups fall
+// back to their distinct logged sets plus the group-wide equation, and are
+// counted in `*capped_groups` — the row prints how many were truncated.
+std::vector<LicenseSet> GroupEquations(const LogStore& log, int n,
+                                       int cap_bits, int* capped_groups,
+                                       int* group_count) {
+  UnionFind uf(n);
+  std::vector<bool> present(static_cast<size_t>(n), false);
+  for (const LogRecord& record : log.records()) {
+    const int anchor = record.set.Lowest();
+    for (const int index : record.set.ToIndexes()) {
+      present[static_cast<size_t>(index)] = true;
+      uf.Union(anchor, index);
+    }
+  }
+  std::vector<LicenseSet> groups(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (present[static_cast<size_t>(i)]) {
+      groups[static_cast<size_t>(uf.Find(i))] |= LicenseSet::Singleton(i);
+    }
+  }
+  const auto merged = log.MergedCounts();
+  std::vector<LicenseSet> equations;
+  *capped_groups = 0;
+  *group_count = 0;
+  for (const LicenseSet& group : groups) {
+    if (group.Empty()) {
+      continue;
+    }
+    ++*group_count;
+    if (group.Size() <= cap_bits) {
+      for (SubsetIterator it(group); !it.Done(); it.Next()) {
+        equations.push_back(it.subset());
+      }
+    } else {
+      ++*capped_groups;
+      for (const auto& [set, count] : merged) {
+        if (set.IsSubsetOf(group)) {
+          equations.push_back(set);
+        }
+      }
+      equations.push_back(group);
+    }
+  }
+  return equations;
+}
+
 struct EngineTiming {
   double millis = 0.0;
   int64_t checksum = 0;
@@ -53,40 +126,27 @@ struct EngineTiming {
 };
 
 template <typename Eval>
-EngineTiming TimeAllEquations(int n, Eval&& eval) {
-  const LicenseMask full = FullMask(n);
+EngineTiming TimeEquations(std::span<const LicenseSet> equations,
+                           Eval&& eval) {
   EngineTiming timing;
   Stopwatch timer;
-  for (LicenseMask set = 1;; ++set) {
+  for (const LicenseSet& set : equations) {
     timing.checksum += eval(set, &timing.nodes);
-    if (set == full) {
-      break;
-    }
   }
   timing.millis = timer.ElapsedMillis();
   return timing;
 }
 
-EngineTiming TimeBatched(int n, const FlatValidationTree& flat) {
+EngineTiming TimeBatched(std::span<const LicenseSet> equations,
+                         const FlatValidationTree& flat) {
   constexpr size_t kBatch = 256;
-  const LicenseMask full = FullMask(n);
-  EngineTiming timing;
-  LicenseMask sets[kBatch];
   int64_t sums[kBatch];
+  EngineTiming timing;
   Stopwatch timer;
-  LicenseMask next = 1;
-  bool exhausted = false;
-  while (!exhausted) {
-    size_t batch = 0;
-    while (batch < kBatch) {
-      sets[batch++] = next;
-      if (next == full) {
-        exhausted = true;
-        break;
-      }
-      ++next;
-    }
-    flat.SumSubsetsBatch({sets, batch}, {sums, batch}, &timing.nodes);
+  for (size_t i = 0; i < equations.size(); i += kBatch) {
+    const size_t batch = std::min(kBatch, equations.size() - i);
+    flat.SumSubsetsBatch(equations.subspan(i, batch), {sums, batch},
+                         &timing.nodes);
     for (size_t k = 0; k < batch; ++k) {
       timing.checksum += sums[k];
     }
@@ -107,7 +167,7 @@ struct RowResult {
 
 // Verifies equivalence equation-by-equation, then times each engine.
 RowResult RunRow(const char* label, int n, const LogStore& log,
-                 JsonOut* json) {
+                 std::span<const LicenseSet> equations, JsonOut* json) {
   Result<ValidationTree> tree = ValidationTree::BuildFromLog(log);
   GEOLIC_CHECK(tree.ok());
   const FlatValidationTree flat = FlatValidationTree::Compile(*tree);
@@ -115,31 +175,35 @@ RowResult RunRow(const char* label, int n, const LogStore& log,
   GEOLIC_CHECK(flat.TotalCount() == tree->TotalCount());
   GEOLIC_CHECK(flat.PresentLicenses() == tree->PresentLicenses());
 
-  // Equivalence sweep (untimed): every engine, every equation.
-  const LicenseMask full = FullMask(n);
-  for (LicenseMask set = 1;; ++set) {
-    const int64_t reference = tree->SumSubsets(set);
-    GEOLIC_CHECK(flat.SumSubsetsNoAccel(set) == reference);
-    GEOLIC_CHECK(flat.SumSubsets(set) == reference);
-    if (set == full) {
-      break;
-    }
+  // Equivalence sweep (untimed): every engine, every equation, and the
+  // inline fast path against the forced word-sliced reference.
+  std::vector<int64_t> batch_sums(equations.size());
+  std::vector<int64_t> wide_sums(equations.size());
+  flat.SumSubsetsBatch(equations, batch_sums);
+  flat.SumSubsetsBatchWideReference(equations, wide_sums);
+  for (size_t i = 0; i < equations.size(); ++i) {
+    const int64_t reference = tree->SumSubsets(equations[i]);
+    GEOLIC_CHECK(flat.SumSubsetsNoAccel(equations[i]) == reference);
+    GEOLIC_CHECK(flat.SumSubsets(equations[i]) == reference);
+    GEOLIC_CHECK(flat.SumSubsetsWideReference(equations[i]) == reference);
+    GEOLIC_CHECK(batch_sums[i] == reference);
+    GEOLIC_CHECK(wide_sums[i] == reference);
   }
 
   RowResult row;
-  const EngineTiming pointer =
-      TimeAllEquations(n, [&tree](LicenseMask set, uint64_t* nodes) {
+  const EngineTiming pointer = TimeEquations(
+      equations, [&tree](const LicenseSet& set, uint64_t* nodes) {
         return tree->SumSubsets(set, nodes);
       });
-  const EngineTiming no_accel =
-      TimeAllEquations(n, [&flat](LicenseMask set, uint64_t* nodes) {
+  const EngineTiming no_accel = TimeEquations(
+      equations, [&flat](const LicenseSet& set, uint64_t* nodes) {
         return flat.SumSubsetsNoAccel(set, nodes);
       });
-  const EngineTiming pruned =
-      TimeAllEquations(n, [&flat](LicenseMask set, uint64_t* nodes) {
+  const EngineTiming pruned = TimeEquations(
+      equations, [&flat](const LicenseSet& set, uint64_t* nodes) {
         return flat.SumSubsets(set, nodes);
       });
-  const EngineTiming batched = TimeBatched(n, flat);
+  const EngineTiming batched = TimeBatched(equations, flat);
   GEOLIC_CHECK(pointer.checksum == no_accel.checksum);
   GEOLIC_CHECK(pointer.checksum == pruned.checksum);
   GEOLIC_CHECK(pointer.checksum == batched.checksum);
@@ -153,10 +217,10 @@ RowResult RunRow(const char* label, int n, const LogStore& log,
   row.pruned_speedup =
       batched.millis > 0 ? pointer.millis / batched.millis : 0.0;
 
-  std::printf("%-18s %3d %8zu %9zu  %9.2f %9.2f %9.2f %9.2f  %7.2fx  "
+  std::printf("%-18s %4d %8zu %9zu %9zu  %9.2f %9.2f %9.2f %9.2f  %7.2fx  "
               "%12llu %12llu\n",
-              label, n, log.size(), flat.NodeCount(), pointer.millis,
-              no_accel.millis, pruned.millis, batched.millis,
+              label, n, log.size(), flat.NodeCount(), equations.size(),
+              pointer.millis, no_accel.millis, pruned.millis, batched.millis,
               row.pruned_speedup,
               static_cast<unsigned long long>(pointer.nodes),
               static_cast<unsigned long long>(pruned.nodes));
@@ -166,6 +230,7 @@ RowResult RunRow(const char* label, int n, const LogStore& log,
       out.KeyValue("n", static_cast<int64_t>(n));
       out.KeyValue("records", static_cast<uint64_t>(log.size()));
       out.KeyValue("tree_nodes", static_cast<uint64_t>(flat.NodeCount()));
+      out.KeyValue("equations", static_cast<uint64_t>(equations.size()));
       out.KeyValue("pointer_ms", pointer.millis);
       out.KeyValue("flat_ms", no_accel.millis);
       out.KeyValue("pruned_ms", pruned.millis);
@@ -184,19 +249,20 @@ RowResult RunRow(const char* label, int n, const LogStore& log,
 int main(int argc, char** argv) {
   const int max_n = IntFlag(argc, argv, "max_n", 16);
   const int records = IntFlag(argc, argv, "records", 0);
+  const int max_wide_n = IntFlag(argc, argv, "max_wide_n", 1024);
   JsonOut json(argc, argv, "ablation_flat_tree");
 
   std::printf("# Ablation: pointer vs flat vs flat+pruned equation "
-              "evaluation (all 2^N-1 equations per row)\n");
-  std::printf("%-18s %3s %8s %9s  %9s %9s %9s %9s  %8s  %12s %12s\n",
-              "sweep", "N", "records", "nodes", "ptr_ms", "flat_ms",
-              "prune_ms", "batch_ms", "speedup", "ptr_visits",
+              "evaluation (dense 2^N-1 for N<=20, per-group beyond)\n");
+  std::printf("%-18s %4s %8s %9s %9s  %9s %9s %9s %9s  %8s  %12s %12s\n",
+              "sweep", "N", "records", "nodes", "equations", "ptr_ms",
+              "flat_ms", "prune_ms", "batch_ms", "speedup", "ptr_visits",
               "prune_visits");
 
   // N sweep at dense overlap (the figure-7 x-axis).
   for (int n = 8; n <= max_n; n += 4) {
     const LogStore log = DenseLog(n, records, 0.95);
-    RunRow("n_sweep", n, log, &json);
+    RunRow("n_sweep", n, log, DenseEquations(n), &json);
   }
 
   // Log-size sweep at the densest setting.
@@ -204,7 +270,7 @@ int main(int argc, char** argv) {
   for (const int size : {2000, 10000, 30000}) {
     const LogStore log = DenseLog(focus_n, records > 0 ? records : size,
                                   0.95, 3000 + static_cast<uint64_t>(size));
-    RunRow("log_sweep", focus_n, log, &json);
+    RunRow("log_sweep", focus_n, log, DenseEquations(focus_n), &json);
     if (records > 0) {
       break;  // Tiny CI runs pin the log size; one row is enough.
     }
@@ -215,13 +281,39 @@ int main(int argc, char** argv) {
   // the win lives.
   for (const double extent : {0.2, 0.5, 0.95}) {
     const LogStore log = DenseLog(focus_n, records, extent);
-    RunRow("density_sweep", focus_n, log, &json);
+    RunRow("density_sweep", focus_n, log, DenseEquations(focus_n), &json);
+  }
+
+  // Wide-N group sweep: the multi-word LicenseSet path. Licenses scatter
+  // into ~N/8 overlap arenas, equations are enumerated per recovered
+  // group — the shape the grouped validators issue at scale.
+  constexpr int kGroupCapBits = 12;
+  for (const int n : {128, 256, 1024}) {
+    if (n > max_wide_n) {
+      continue;
+    }
+    const LogStore log =
+        DenseLog(n, records > 0 ? records : 4000, 0.9, 7000, n / 8);
+    int capped = 0;
+    int group_count = 0;
+    const std::vector<LicenseSet> equations =
+        GroupEquations(log, n, kGroupCapBits, &capped, &group_count);
+    char label[32];
+    std::snprintf(label, sizeof(label), "wide_group_n%d", n);
+    RunRow(label, n, log, equations, &json);
+    if (capped > 0) {
+      std::printf("#   wide_group_n%d: %d of %d groups exceeded %d licenses;"
+                  " truncated to logged sets + group equation\n",
+                  n, capped, group_count, kGroupCapBits);
+    }
   }
 
   // The acceptance row: figure-7-style default (N=16 capped by --max_n,
   // dense overlap, paper-interpolated log size).
   const LogStore log = DenseLog(focus_n, records, 0.95);
-  const RowResult row = RunRow("default_n16_dense", focus_n, log, &json);
+  const RowResult row =
+      RunRow("default_n16_dense", focus_n, log, DenseEquations(focus_n),
+             &json);
   std::printf("# default workload: flat+pruned (batch) is %.2fx the pointer "
               "tree (acceptance floor: 2x); equivalence checks: PASS\n",
               row.pruned_speedup);

@@ -6,9 +6,27 @@
 #include <utility>
 
 #include "bench/bench_util.h"
-#include "validation/exhaustive_validator.h"
 #include "validation/frequency_order.h"
+#include "validation/validate.h"
 #include "util/stopwatch.h"
+
+namespace geolic {
+namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+}  // namespace
+}  // namespace geolic
 
 int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
@@ -31,7 +49,7 @@ int main(int argc, char** argv) {
     GEOLIC_CHECK(plain.ok());
     Stopwatch plain_timer;
     Result<ValidationReport> plain_report =
-        ValidateExhaustive(*plain, aggregates);
+        RunExhaustive(*plain, aggregates);
     const double plain_ms = plain_timer.ElapsedMillis();
     GEOLIC_CHECK(plain_report.ok());
 
@@ -43,7 +61,7 @@ int main(int argc, char** argv) {
     GEOLIC_CHECK(ordered.ok());
     Stopwatch ordered_timer;
     Result<ValidationReport> ordered_report =
-        ValidateExhaustive(*ordered, permutation->MapValues(aggregates));
+        RunExhaustive(*ordered, permutation->MapValues(aggregates));
     const double ordered_ms = ordered_timer.ElapsedMillis();
     GEOLIC_CHECK(ordered_report.ok());
     GEOLIC_CHECK(ordered_report->violations.size() ==

@@ -10,7 +10,7 @@
 
 #include "core/instance_validator.h"
 #include "geometry/rtree.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "util/random.h"
 #include "workload/workload.h"
 

@@ -17,7 +17,7 @@
 #include "bench/bench_util.h"
 #include "licensing/constraint_schema.h"
 #include "licensing/license.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "persist/journal.h"
 #include "service/issuance_service.h"
 #include "util/stopwatch.h"
@@ -27,8 +27,8 @@ namespace {
 using namespace geolic;  // NOLINT
 
 // `groups` disjoint clusters of two overlapping licenses each.
-LicenseSet MakeGroupedSet(const ConstraintSchema& schema, int groups) {
-  LicenseSet licenses(&schema);
+LicenseCatalog MakeGroupedSet(const ConstraintSchema& schema, int groups) {
+  LicenseCatalog licenses(&schema);
   for (int g = 0; g < groups; ++g) {
     const int64_t base = 1000 * g;
     for (int member = 0; member < 2; ++member) {
@@ -66,7 +66,7 @@ std::vector<License> MakeRequests(const ConstraintSchema& schema, int groups,
 LogRecord RecordFor(int i) {
   LogRecord record;
   record.issued_license_id = "LU" + std::to_string(i + 1);
-  record.set = static_cast<LicenseMask>((i % 3) + 1);
+  record.set = LicenseSet::FromWord(static_cast<uint64_t>(i % 3 + 1));
   record.count = 1;
   return record;
 }
@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
   // "crash", then rebuild from (journal only) vs (checkpoint + tail).
   ConstraintSchema schema;
   GEOLIC_CHECK(schema.AddIntervalDimension("C1").ok());
-  const LicenseSet licenses = MakeGroupedSet(schema, groups);
+  const LicenseCatalog licenses = MakeGroupedSet(schema, groups);
   const std::vector<License> requests =
       MakeRequests(schema, groups, records);
   const std::string journal_path = dir + "/geolic_bench_journal.gjl";

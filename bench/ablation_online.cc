@@ -22,8 +22,10 @@ struct OnlineFixture {
     Result<Workload> generated = generator.GenerateLicensesOnly();
     GEOLIC_CHECK(generated.ok());
     workload = std::make_unique<Workload>(*std::move(generated));
+    OnlineValidatorOptions options;
+    options.use_grouping = use_grouping;
     Result<OnlineValidator> created =
-        OnlineValidator::Create(workload->licenses.get(), use_grouping);
+        OnlineValidator::Create(workload->licenses.get(), options);
     GEOLIC_CHECK(created.ok());
     validator = std::make_unique<OnlineValidator>(*std::move(created));
     Rng rng(77);

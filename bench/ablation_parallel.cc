@@ -7,11 +7,29 @@
 #include <cstdio>
 #include <utility>
 
+#include "validation/validate.h"
 #include "bench/bench_util.h"
 #include "core/parallel_validator.h"
-#include "validation/exhaustive_validator.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+
+namespace geolic {
+namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+}  // namespace
+}  // namespace geolic
 
 int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
@@ -37,7 +55,7 @@ int main(int argc, char** argv) {
 
     Stopwatch seq_timer;
     Result<ValidationReport> sequential =
-        ValidateExhaustive(*tree, aggregates);
+        RunExhaustive(*tree, aggregates);
     const double seq_ms = seq_timer.ElapsedMillis();
     GEOLIC_CHECK(sequential.ok());
 

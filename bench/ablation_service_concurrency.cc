@@ -22,7 +22,7 @@
 #include "core/online_validator.h"
 #include "licensing/constraint_schema.h"
 #include "licensing/license.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
 #include "service/issuance_service.h"
@@ -34,8 +34,8 @@ namespace {
 using namespace geolic;  // NOLINT
 
 // `groups` disjoint clusters of two overlapping licenses each, far apart.
-LicenseSet MakeGroupedSet(const ConstraintSchema& schema, int groups) {
-  LicenseSet licenses(&schema);
+LicenseCatalog MakeGroupedSet(const ConstraintSchema& schema, int groups) {
+  LicenseCatalog licenses(&schema);
   for (int g = 0; g < groups; ++g) {
     const int64_t base = 1000 * g;
     for (int member = 0; member < 2; ++member) {
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
 
   ConstraintSchema schema;
   GEOLIC_CHECK(schema.AddIntervalDimension("C1").ok());
-  const LicenseSet licenses = MakeGroupedSet(schema, groups);
+  const LicenseCatalog licenses = MakeGroupedSet(schema, groups);
   const std::vector<License> requests =
       MakeRequests(schema, groups, request_count);
 

@@ -42,9 +42,10 @@ void BM_TreeSumSubsets(benchmark::State& state) {
   Result<ValidationTree> tree = ValidationTree::BuildFromLog(log);
   GEOLIC_CHECK(tree.ok());
   Rng rng(3);
-  std::vector<LicenseMask> sets;
+  std::vector<LicenseSet> sets;
   for (int i = 0; i < 512; ++i) {
-    sets.push_back((static_cast<LicenseMask>(rng.Next()) & FullMask(n)) | 1u);
+    sets.push_back((LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n)) |
+        LicenseSet::Singleton(0));
   }
   size_t i = 0;
   for (auto _ : state) {

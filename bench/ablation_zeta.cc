@@ -5,10 +5,38 @@
 #include <cstdio>
 #include <utility>
 
+#include "validation/validate.h"
 #include "bench/bench_util.h"
-#include "validation/exhaustive_validator.h"
-#include "validation/zeta_validator.h"
 #include "util/stopwatch.h"
+
+namespace geolic {
+namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+Result<ValidationReport> RunZeta(const ValidationTree& tree,
+                                 const std::vector<int64_t>& aggregates,
+                                 int max_dense_n = 26) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kZeta;
+  options.max_dense_n = max_dense_n;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+}  // namespace
+}  // namespace geolic
 
 int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
@@ -30,12 +58,12 @@ int main(int argc, char** argv) {
         workload.licenses->AggregateCounts();
 
     Stopwatch traversal_timer;
-    Result<ValidationReport> traversal = ValidateExhaustive(*tree, aggregates);
+    Result<ValidationReport> traversal = RunExhaustive(*tree, aggregates);
     const double traversal_ms = traversal_timer.ElapsedMillis();
     GEOLIC_CHECK(traversal.ok());
 
     Stopwatch zeta_timer;
-    Result<ValidationReport> zeta = ValidateZeta(*tree, aggregates);
+    Result<ValidationReport> zeta = RunZeta(*tree, aggregates);
     const double zeta_ms = zeta_timer.ElapsedMillis();
     GEOLIC_CHECK(zeta.ok());
     GEOLIC_CHECK(zeta->violations.size() == traversal->violations.size());

@@ -8,11 +8,29 @@
 #include <cstdio>
 #include <utility>
 
+#include "validation/validate.h"
 #include "bench/bench_util.h"
 #include "core/gain.h"
 #include "core/grouped_validator.h"
-#include "validation/exhaustive_validator.h"
 #include "util/stopwatch.h"
+
+namespace geolic {
+namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+}  // namespace
+}  // namespace geolic
 
 int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
@@ -42,7 +60,7 @@ int main(int argc, char** argv) {
           ValidationTree::BuildFromLog(workload.log);
       GEOLIC_CHECK(baseline_tree.ok());
       Stopwatch baseline_timer;
-      Result<ValidationReport> baseline = ValidateExhaustive(
+      Result<ValidationReport> baseline = RunExhaustive(
           *baseline_tree, workload.licenses->AggregateCounts());
       baseline_total += baseline_timer.ElapsedMicros();
       GEOLIC_CHECK(baseline.ok());

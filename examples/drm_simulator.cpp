@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
   int rogues_landed = 0;
   for (int r = 0; r < num_rogues; ++r) {
     const size_t d = rng.UniformIndex(distributors.size());
-    const LicenseSet& received = network.ReceivedLicenses(distributors[d]);
+    const LicenseCatalog& received = network.ReceivedLicenses(distributors[d]);
     const License& target =
         received.at(static_cast<int>(rng.UniformIndex(
             static_cast<size_t>(received.size()))));
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
       for (const EquationResult& violation :
            entry.result.report.violations) {
         std::printf("    C<%s> = %lld > %lld\n",
-                    MaskToString(violation.set).c_str(),
+                    (violation.set).ToString().c_str(),
                     static_cast<long long>(violation.lhs),
                     static_cast<long long>(violation.rhs));
       }
@@ -209,7 +209,7 @@ int main(int argc, char** argv) {
   service_options.tracer = &tracer;
   ValidationAuthority authority(&schema, service_options);
   for (const int distributor : distributors) {
-    const LicenseSet& received = network.ReceivedLicenses(distributor);
+    const LicenseCatalog& received = network.ReceivedLicenses(distributor);
     for (int l = 0; l < received.size(); ++l) {
       GEOLIC_CHECK(authority.RegisterRedistribution(received.at(l)).ok());
     }
@@ -258,11 +258,11 @@ int main(int argc, char** argv) {
   GEOLIC_CHECK(service.ok());
   // The concurrent tree must equal a single-threaded replay of what was
   // accepted — the sharding theorem at work.
-  const Result<const LicenseSet*> domain_licenses = authority.LicensesFor(key);
+  const Result<const LicenseCatalog*> domain_licenses = authority.LicensesFor(key);
   GEOLIC_CHECK(domain_licenses.ok());
   const LogStore concurrent_log = (*service)->CollectLog();
   const Result<OnlineValidator> replay = OnlineValidator::CreateWithHistory(
-      *domain_licenses, /*use_grouping=*/true, concurrent_log);
+      *domain_licenses, OnlineValidatorOptions(), concurrent_log);
   GEOLIC_CHECK(replay.ok());
   const Result<ValidationTree> concurrent_tree = (*service)->CollectTree();
   GEOLIC_CHECK(concurrent_tree.ok());

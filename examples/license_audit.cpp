@@ -30,7 +30,7 @@ using namespace geolic;  // NOLINT
 
 // Loads "schema:" + license lines; fills `schema` first, then licenses.
 Status LoadLicenseFile(const std::string& path, ConstraintSchema* schema,
-                       std::unique_ptr<LicenseSet>* licenses) {
+                       std::unique_ptr<LicenseCatalog>* licenses) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open license file: " + path);
@@ -55,7 +55,7 @@ Status LoadLicenseFile(const std::string& path, ConstraintSchema* schema,
         }
       }
       schema_seen = true;
-      *licenses = std::make_unique<LicenseSet>(schema);
+      *licenses = std::make_unique<LicenseCatalog>(schema);
       continue;
     }
     if (!schema_seen) {
@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
   }
 
   ConstraintSchema schema;
-  std::unique_ptr<LicenseSet> licenses;
+  std::unique_ptr<LicenseCatalog> licenses;
   const Status loaded = LoadLicenseFile(license_path, &schema, &licenses);
   if (!loaded.ok()) {
     std::fprintf(stderr, "license file: %s\n", loaded.ToString().c_str());

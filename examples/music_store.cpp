@@ -102,12 +102,12 @@ int main() {
       "(track-42; Play; T=[2026-04-01, 2026-04-15]; R={Japan}; A=350)",
       schema, LicenseType::kUsage, "LU-B3");
   GEOLIC_CHECK(rogue.ok());
-  const Result<LicenseMask> rogue_set =
+  const Result<LicenseSet> rogue_set =
       network.IssueUnchecked(reseller, consumer_jp, *rogue);
   GEOLIC_CHECK(rogue_set.ok());
   std::printf("\nBudgetBeats ROGUE issue LU-B3: 350 counts logged against "
               "%s without validation\n",
-              MaskToString(*rogue_set).c_str());
+              (*rogue_set).ToString().c_str());
 
   // The validation authority audits the whole network offline.
   const Result<NetworkAudit> audit = network.AuditAll();
@@ -121,9 +121,9 @@ int main() {
                 entry.result.report.all_valid() ? "clean\n" : "VIOLATIONS\n");
     for (const EquationResult& violation : entry.result.report.violations) {
       std::printf("      C<%s> = %lld > A[%s] = %lld\n",
-                  MaskToString(violation.set).c_str(),
+                  (violation.set).ToString().c_str(),
                   static_cast<long long>(violation.lhs),
-                  MaskToString(violation.set).c_str(),
+                  (violation.set).ToString().c_str(),
                   static_cast<long long>(violation.rhs));
     }
   }

@@ -24,7 +24,7 @@ int main() {
 
   // 1. The distributor's five redistribution licenses (paper Example 1).
   const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
-  LicenseSet licenses(&schema);
+  LicenseCatalog licenses(&schema);
   const char* license_texts[] = {
       "(K; Play; T=[10/03/09, 20/03/09]; R=[Asia, Europe]; A=2000)",
       "(K; Play; T=[15/03/09, 25/03/09]; R=[Asia]; A=1000)",
@@ -63,9 +63,9 @@ int main() {
   }
   std::printf("\nInstance-based validation (geometric containment):\n");
   std::printf("  LU1 satisfies %s\n",
-              MaskToString(instance_validator.SatisfyingSet(*lu1)).c_str());
+              instance_validator.SatisfyingSet(*lu1).ToString().c_str());
   std::printf("  LU2 satisfies %s\n",
-              MaskToString(instance_validator.SatisfyingSet(*lu2)).c_str());
+              instance_validator.SatisfyingSet(*lu2).ToString().c_str());
 
   // 3. Online aggregate validation with validation equations: both usage
   //    licenses are valid (a random pick of L_D^2 for LU1 would have
@@ -88,15 +88,15 @@ int main() {
   LogStore log;
   struct Row {
     const char* id;
-    LicenseMask set;
+    uint64_t mask;
     int64_t count;
   };
-  constexpr Row kTable2[] = {
+  const Row kTable2[] = {
       {"LU1", 0b00011, 800}, {"LU2", 0b00010, 400}, {"LU3", 0b00011, 40},
       {"LU4", 0b01011, 30},  {"LU5", 0b10100, 800}, {"LU6", 0b10000, 20},
   };
   for (const Row& row : kTable2) {
-    if (!log.Append(LogRecord{row.id, row.set, row.count}).ok()) {
+    if (!log.Append(LogRecord{row.id, LicenseSet::FromWord(row.mask), row.count}).ok()) {
       return 1;
     }
   }
@@ -112,7 +112,7 @@ int main() {
   std::printf("\nOverlap groups:\n");
   for (int k = 0; k < grouping.group_count(); ++k) {
     std::printf("  group %d: %s\n", k + 1,
-                MaskToString(grouping.GroupMask(k)).c_str());
+                grouping.GroupMask(k).ToString().c_str());
   }
   Result<GroupedValidationResult> result =
       ValidateGrouped(licenses, *std::move(tree));

@@ -11,11 +11,29 @@
 #include <cstdio>
 #include <utility>
 
+#include "validation/validate.h"
 #include "core/gain.h"
 #include "core/grouped_validator.h"
-#include "validation/exhaustive_validator.h"
 #include "workload/workload.h"
 #include "util/stopwatch.h"
+
+namespace geolic {
+namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+}  // namespace
+}  // namespace geolic
 
 int main() {
   using namespace geolic;  // NOLINT
@@ -61,7 +79,7 @@ int main() {
     return 1;
   }
   Stopwatch baseline_timer;
-  Result<ValidationReport> baseline = ValidateExhaustive(
+  Result<ValidationReport> baseline = RunExhaustive(
       *baseline_tree, workload->licenses->AggregateCounts());
   const double baseline_ms = baseline_timer.ElapsedMillis();
   if (!baseline.ok()) {
@@ -110,7 +128,7 @@ int main() {
   // group-internal equations; print whichever the grouped run found.
   for (const EquationResult& violation : grouped->report.violations) {
     std::printf("  violated: C<%s> = %lld > %lld\n",
-                MaskToString(violation.set).c_str(),
+                (violation.set).ToString().c_str(),
                 static_cast<long long>(violation.lhs),
                 static_cast<long long>(violation.rhs));
   }

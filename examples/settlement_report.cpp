@@ -62,14 +62,14 @@ int main() {
   for (int i = 0; i < workload->licenses->size(); ++i) {
     const Result<CapacityQuote> quote =
         RemainingCapacity(*workload->licenses, online->grouping(),
-                          online->tree(), SingletonMask(i));
+                          online->tree(), LicenseSet::Singleton(i));
     if (!quote.ok()) {
       return 1;
     }
     std::printf("  L%-2d: %6lld more counts (binding equation %s, slack "
                 "%lld)\n",
                 i + 1, static_cast<long long>(quote->remaining),
-                MaskToString(quote->binding_set).c_str(),
+                (quote->binding_set).ToString().c_str(),
                 static_cast<long long>(quote->binding_slack));
   }
 
@@ -96,7 +96,7 @@ int main() {
     if (rows.size() < 2) {
       continue;
     }
-    std::printf("  C[%s] split:", MaskToString(set).c_str());
+    std::printf("  C[%s] split:", (set).ToString().c_str());
     for (const auto& [license, amount] : rows) {
       std::printf(" L%d:%lld", license + 1,
                   static_cast<long long>(amount));

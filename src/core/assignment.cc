@@ -6,7 +6,7 @@
 
 namespace geolic {
 
-Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
+Result<SettlementAssignment> ComputeSettlement(const LicenseCatalog& licenses,
                                                const LogStore& log) {
   const int n = licenses.size();
   if (n == 0) {
@@ -14,9 +14,9 @@ Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
   }
   const auto merged = log.MergedCounts();
   for (const auto& [set, count] : merged) {
-    if (!IsSubsetOf(set, licenses.AllMask())) {
+    if (!set.IsSubsetOf(licenses.AllMask())) {
       return Status::InvalidArgument(
-          "log references licenses outside the set: " + MaskToString(set));
+          "log references licenses outside the set: " + (set).ToString());
     }
     (void)count;
   }
@@ -29,7 +29,7 @@ Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
   MaxFlow flow(sink + 1);
 
   struct SetEdges {
-    LicenseMask set = 0;
+    LicenseSet set;
     std::vector<std::pair<int, int>> member_edges;  // (license, edge id).
   };
   std::vector<SetEdges> set_edges;
@@ -41,7 +41,7 @@ Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
     edges.set = set;
     flow.AddEdge(0, set_node, count);
     total_demand += count;
-    for (int license : MaskToIndexes(set)) {
+    for (int license : (set).ToIndexes()) {
       edges.member_edges.emplace_back(
           license,
           flow.AddEdge(set_node, license_base + license,

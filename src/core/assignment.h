@@ -5,9 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/log_store.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -22,7 +22,7 @@ struct SettlementAssignment {
   // allocation[set][license index] = counts of C[set] charged to that
   // license. Only members of `set` appear; allocations are ≥ 0 and sum to
   // C[set] per set.
-  std::unordered_map<LicenseMask, std::vector<std::pair<int, int64_t>>>
+  std::unordered_map<LicenseSet, std::vector<std::pair<int, int64_t>>>
       allocation;
   // Counts charged per license (index-aligned with the license set).
   std::vector<int64_t> charged;
@@ -34,7 +34,7 @@ struct SettlementAssignment {
 // (source → sets → member licenses → sink). Fails with FAILED_PRECONDITION
 // when the log violates some validation equation — i.e. exactly when the
 // offline validators report a violation.
-Result<SettlementAssignment> ComputeSettlement(const LicenseSet& licenses,
+Result<SettlementAssignment> ComputeSettlement(const LicenseCatalog& licenses,
                                                const LogStore& log);
 
 }  // namespace geolic

@@ -4,40 +4,34 @@
 
 namespace geolic {
 
-Result<CapacityQuote> RemainingCapacity(const LicenseSet& licenses,
+Result<CapacityQuote> RemainingCapacity(const LicenseCatalog& licenses,
                                         const LicenseGrouping& grouping,
                                         const ValidationTree& tree,
-                                        LicenseMask set) {
-  if (set == 0) {
+                                        const LicenseSet& set) {
+  if (set.Empty()) {
     return Status::InvalidArgument("capacity query needs a non-empty set");
   }
-  if (!IsSubsetOf(set, licenses.AllMask())) {
+  if (!set.IsSubsetOf(licenses.AllMask())) {
     return Status::InvalidArgument(
         "set references licenses outside the license set");
   }
-  const int group = grouping.GroupOf(LowestLicense(set));
-  const LicenseMask scope = grouping.GroupMask(group);
-  if (!IsSubsetOf(set, scope)) {
+  const int group = grouping.GroupOf(set.Lowest());
+  const LicenseSet scope = grouping.GroupMask(group);
+  if (!set.IsSubsetOf(scope)) {
     return Status::InvalidArgument(
-        "set spans multiple overlap groups: " + MaskToString(set));
+        "set spans multiple overlap groups: " + set.ToString());
   }
 
   CapacityQuote quote;
   bool first = true;
-  const LicenseMask extension = scope & ~set;
-  LicenseMask x = 0;
-  while (true) {
-    const LicenseMask t = set | x;
+  for (AscendingSubsetIterator it(scope - set); !it.Done(); it.Next()) {
+    const LicenseSet t = set | it.subset();
     const int64_t slack = licenses.AggregateSum(t) - tree.SumSubsets(t);
     if (first || slack < quote.binding_slack) {
       quote.binding_set = t;
       quote.binding_slack = slack;
       first = false;
     }
-    if (x == extension) {
-      break;
-    }
-    x = (x - extension) & extension;
   }
   quote.remaining = std::max<int64_t>(0, quote.binding_slack);
   return quote;

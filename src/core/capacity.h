@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "core/grouping.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/validation_tree.h"
 #include "util/status.h"
 
@@ -24,7 +24,7 @@ struct CapacityQuote {
   // already tight or violated; never negative).
   int64_t remaining = 0;
   // The binding equation's set and slack.
-  LicenseMask binding_set = 0;
+  LicenseSet binding_set;
   int64_t binding_slack = 0;  // May be negative if already violated.
 };
 
@@ -33,10 +33,10 @@ struct CapacityQuote {
 // members all lie in one overlap group of `grouping` (always true for
 // geometrically derived satisfying sets). Cost: 2^(N_g − |S|) equation
 // evaluations.
-Result<CapacityQuote> RemainingCapacity(const LicenseSet& licenses,
+Result<CapacityQuote> RemainingCapacity(const LicenseCatalog& licenses,
                                         const LicenseGrouping& grouping,
                                         const ValidationTree& tree,
-                                        LicenseMask set);
+                                        const LicenseSet& set);
 
 }  // namespace geolic
 

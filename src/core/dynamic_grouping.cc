@@ -3,9 +3,10 @@
 namespace geolic {
 
 Result<int> DynamicGrouping::AddLicense(const HyperRect& rect) {
-  if (size() >= kMaxLicenses) {
+  if (size() >= kMaxLicensesLarge) {
     return Status::CapacityExceeded(
-        "dynamic grouping supports at most 64 licenses");
+        "dynamic grouping supports at most " +
+        std::to_string(kMaxLicensesLarge) + " licenses");
   }
   if (!rects_.empty() &&
       rect.dimensions() != rects_.front().dimensions()) {
@@ -26,16 +27,16 @@ Result<int> DynamicGrouping::AddLicense(const HyperRect& rect) {
   return index;
 }
 
-LicenseMask DynamicGrouping::GroupMaskOf(int index) const {
+LicenseSet DynamicGrouping::GroupMaskOf(int index) const {
   GEOLIC_CHECK(index >= 0 && index < size());
   // UnionFind::Find is mutating (path compression); work on a copy for a
-  // const API. Cheap at N ≤ 64.
+  // const API. Cheap at N ≤ kMaxLicensesLarge.
   UnionFind scratch = union_find_;
   const int root = scratch.Find(index);
-  LicenseMask mask = 0;
+  LicenseSet mask;
   for (int v = 0; v < size(); ++v) {
     if (scratch.Find(v) == root) {
-      mask |= SingletonMask(v);
+      mask |= LicenseSet::Singleton(v);
     }
   }
   return mask;
@@ -45,15 +46,15 @@ ComponentSet DynamicGrouping::Components() const {
   UnionFind scratch = union_find_;
   ComponentSet out;
   out.component_of.assign(static_cast<size_t>(size()), -1);
-  std::vector<int> component_of_root(kMaxLicenses, -1);
+  std::vector<int> component_of_root(kMaxLicensesLarge, -1);
   for (int v = 0; v < size(); ++v) {
     const int root = scratch.Find(v);
     int& k = component_of_root[static_cast<size_t>(root)];
     if (k == -1) {
       k = static_cast<int>(out.components.size());
-      out.components.push_back(0);
+      out.components.push_back(LicenseSet());
     }
-    out.components[static_cast<size_t>(k)] |= SingletonMask(v);
+    out.components[static_cast<size_t>(k)] |= LicenseSet::Singleton(v);
     out.component_of[static_cast<size_t>(v)] = k;
   }
   return out;

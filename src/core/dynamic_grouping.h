@@ -5,7 +5,7 @@
 
 #include "geometry/hyper_rect.h"
 #include "graph/connected_components.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -23,7 +23,7 @@ namespace geolic {
 // validation period; a period reset starts a fresh grouping).
 class DynamicGrouping {
  public:
-  DynamicGrouping() : union_find_(kMaxLicenses) {}
+  DynamicGrouping() : union_find_(kMaxLicensesLarge) {}
 
   // Registers the next license's hyper-rectangle; returns its index.
   // The number of overlap tests performed equals the current size.
@@ -35,7 +35,7 @@ class DynamicGrouping {
   int group_count() const { return groups_; }
 
   // Mask of the group containing license `index`.
-  LicenseMask GroupMaskOf(int index) const;
+  LicenseSet GroupMaskOf(int index) const;
 
   // All groups, ordered by smallest member — identical to what
   // FindComponentsDfs would produce on the full overlap graph.

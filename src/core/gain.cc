@@ -3,13 +3,14 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
 uint64_t EquationCount(int n) {
-  GEOLIC_CHECK(n >= 0 && n <= 64);
-  if (n == 64) {
-    return UINT64_MAX;
+  GEOLIC_CHECK(n >= 0 && n <= kMaxLicensesLarge);
+  if (n >= 64) {
+    return UINT64_MAX;  // 2^n - 1 overflows uint64; saturate.
   }
   return (uint64_t{1} << n) - 1;
 }

@@ -7,7 +7,8 @@
 namespace geolic {
 
 // Number of validation equations for n licenses: 2^n − 1. Requires
-// 0 ≤ n ≤ 63 to stay exact in uint64 (n = 64 saturates to UINT64_MAX).
+// 0 ≤ n ≤ kMaxLicensesLarge; exact below n = 64, saturating to
+// UINT64_MAX from there up.
 uint64_t EquationCount(int n);
 
 // Total equations after grouping: Σ_k (2^{N_k} − 1).

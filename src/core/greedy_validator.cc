@@ -16,7 +16,7 @@ const char* GreedyPolicyName(GreedyPolicy policy) {
   return "unknown";
 }
 
-GreedyOnlineValidator::GreedyOnlineValidator(const LicenseSet* licenses,
+GreedyOnlineValidator::GreedyOnlineValidator(const LicenseCatalog* licenses,
                                              GreedyPolicy policy,
                                              uint64_t seed)
     : licenses_(licenses),
@@ -26,7 +26,7 @@ GreedyOnlineValidator::GreedyOnlineValidator(const LicenseSet* licenses,
       remaining_(licenses->AggregateCounts()) {}
 
 Result<GreedyOnlineValidator> GreedyOnlineValidator::Create(
-    const LicenseSet* licenses, GreedyPolicy policy, uint64_t seed) {
+    const LicenseCatalog* licenses, GreedyPolicy policy, uint64_t seed) {
   if (licenses == nullptr || licenses->empty()) {
     return Status::InvalidArgument(
         "greedy validator needs at least one redistribution license");
@@ -42,7 +42,7 @@ Result<GreedyDecision> GreedyOnlineValidator::TryIssue(
   }
   GreedyDecision decision;
   decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
-  if (decision.satisfying_set == 0) {
+  if (decision.satisfying_set.Empty()) {
     return decision;
   }
   decision.instance_valid = true;
@@ -50,7 +50,7 @@ Result<GreedyDecision> GreedyOnlineValidator::TryIssue(
 
   // Candidates with enough remaining budget.
   std::vector<int> candidates;
-  for (int index : MaskToIndexes(decision.satisfying_set)) {
+  for (int index : (decision.satisfying_set).ToIndexes()) {
     if (remaining_[static_cast<size_t>(index)] >= count) {
       candidates.push_back(index);
     }

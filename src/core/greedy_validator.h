@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/instance_validator.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -26,7 +26,7 @@ const char* GreedyPolicyName(GreedyPolicy policy);
 struct GreedyDecision {
   bool instance_valid = false;
   bool accepted = false;
-  LicenseMask satisfying_set = 0;
+  LicenseSet satisfying_set;
   // License charged on acceptance (-1 otherwise).
   int charged_license = -1;
 };
@@ -43,7 +43,7 @@ class GreedyOnlineValidator {
  public:
   // `licenses` must be non-empty and outlive the validator. `seed` drives
   // the kRandom policy.
-  static Result<GreedyOnlineValidator> Create(const LicenseSet* licenses,
+  static Result<GreedyOnlineValidator> Create(const LicenseCatalog* licenses,
                                               GreedyPolicy policy,
                                               uint64_t seed = 1);
 
@@ -56,10 +56,10 @@ class GreedyOnlineValidator {
   int64_t accepted_counts() const { return accepted_counts_; }
 
  private:
-  GreedyOnlineValidator(const LicenseSet* licenses, GreedyPolicy policy,
+  GreedyOnlineValidator(const LicenseCatalog* licenses, GreedyPolicy policy,
                         uint64_t seed);
 
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
   GreedyPolicy policy_;
   Rng rng_;
   LinearInstanceValidator instance_validator_;

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "validation/exhaustive_validator.h"
 #include "validation/validate.h"
 #include "util/stopwatch.h"
 
@@ -38,10 +37,13 @@ Result<GroupedValidationResult> ValidateGroupedWithGrouping(
 
   Stopwatch validation_timer;
   for (int k = 0; k < grouping.group_count(); ++k) {
+    ValidateOptions engine;
+    engine.mode = ValidationMode::kExhaustive;
     GEOLIC_ASSIGN_OR_RETURN(
-        const ValidationReport group_report,
-        ValidateExhaustive(divided.trees[static_cast<size_t>(k)],
-                           divided.aggregates[static_cast<size_t>(k)]));
+        ValidationOutcome group_outcome,
+        Validate(divided.trees[static_cast<size_t>(k)],
+                 divided.aggregates[static_cast<size_t>(k)], engine));
+    const ValidationReport& group_report = group_outcome.report;
     result.report.equations_evaluated += group_report.equations_evaluated;
     result.report.nodes_visited += group_report.nodes_visited;
     for (const EquationResult& violation : group_report.violations) {
@@ -58,7 +60,7 @@ Result<GroupedValidationResult> ValidateGroupedWithGrouping(
 // facade (validation/validate.h); the grouped engine lives in
 // validate_facade.cc.
 
-Result<GroupedValidationResult> ValidateGrouped(const LicenseSet& licenses,
+Result<GroupedValidationResult> ValidateGrouped(const LicenseCatalog& licenses,
                                                 ValidationTree tree) {
   ValidateOptions options;
   options.mode = ValidationMode::kGrouped;
@@ -68,7 +70,7 @@ Result<GroupedValidationResult> ValidateGrouped(const LicenseSet& licenses,
 }
 
 Result<GroupedValidationResult> ValidateGroupedZeta(
-    const LicenseSet& licenses, ValidationTree tree, int max_dense_n) {
+    const LicenseCatalog& licenses, ValidationTree tree, int max_dense_n) {
   ValidateOptions options;
   options.mode = ValidationMode::kGroupedZeta;
   options.max_dense_n = max_dense_n;
@@ -78,7 +80,7 @@ Result<GroupedValidationResult> ValidateGroupedZeta(
 }
 
 Result<GroupedValidationResult> ValidateGroupedFromLog(
-    const LicenseSet& licenses, const LogStore& log) {
+    const LicenseCatalog& licenses, const LogStore& log) {
   ValidateOptions options;
   options.mode = ValidationMode::kGrouped;
   GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,

@@ -6,7 +6,7 @@
 
 #include "core/grouping.h"
 #include "core/tree_division.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/log_store.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
@@ -38,13 +38,13 @@ struct GroupedValidationResult {
 // Validate(licenses, tree, {.mode = ValidationMode::kGrouped})
 // (validation/validate.h). ValidateGrouped, ValidateGroupedFromLog and
 // ValidateGroupedZeta all delegate to that facade.
-Result<GroupedValidationResult> ValidateGrouped(const LicenseSet& licenses,
+Result<GroupedValidationResult> ValidateGrouped(const LicenseCatalog& licenses,
                                                 ValidationTree tree);
 
 // Convenience: builds the tree from `log` first (construction time is not
 // included in the returned timings; the paper reports C_T separately).
 Result<GroupedValidationResult> ValidateGroupedFromLog(
-    const LicenseSet& licenses, const LogStore& log);
+    const LicenseCatalog& licenses, const LogStore& log);
 
 // Variant taking a precomputed grouping and aggregate array — used by the
 // benches to time division and validation against externally generated
@@ -60,7 +60,7 @@ Result<GroupedValidationResult> ValidateGroupedWithGrouping(
 // original indexes); groups larger than `max_dense_n` fall back to the
 // traversal engine. Ablated in bench/ablation_zeta.
 Result<GroupedValidationResult> ValidateGroupedZeta(
-    const LicenseSet& licenses, ValidationTree tree, int max_dense_n = 26);
+    const LicenseCatalog& licenses, ValidationTree tree, int max_dense_n = 26);
 
 }  // namespace geolic
 

@@ -6,7 +6,7 @@
 
 namespace geolic {
 
-LicenseGrouping LicenseGrouping::FromLicenses(const LicenseSet& licenses) {
+LicenseGrouping LicenseGrouping::FromLicenses(const LicenseCatalog& licenses) {
   return LicenseGrouping(FindComponentsDfs(BuildOverlapGraph(licenses)));
 }
 
@@ -28,39 +28,38 @@ LicenseGrouping::LicenseGrouping(ComponentSet components)
     // Algorithm 5 walks j = 1..N and assigns positions p = 1, 2, ... to the
     // group's members in ascending original-index order; MaskToIndexes
     // yields exactly that order.
-    members_[k] = MaskToIndexes(components_.components[k]);
+    members_[k] = (components_.components[k]).ToIndexes();
     for (size_t p = 0; p < members_[k].size(); ++p) {
       position_[static_cast<size_t>(members_[k][p])] = static_cast<int>(p);
     }
   }
 }
 
-LicenseMask LicenseGrouping::LocalToOriginalMask(int group,
-                                                 LicenseMask local) const {
+LicenseSet LicenseGrouping::LocalToOriginalMask(int group,
+                                                 LicenseSet local) const {
   const std::vector<int>& members = members_[static_cast<size_t>(group)];
-  LicenseMask original = 0;
-  for (LicenseMask rest = local; rest != 0; rest &= rest - 1) {
-    const int position = LowestLicense(rest);
+  LicenseSet original;
+  for (int position : local.Indexes()) {
     GEOLIC_DCHECK(position < static_cast<int>(members.size()));
-    original |= SingletonMask(members[static_cast<size_t>(position)]);
+    original |= LicenseSet::Singleton(members[static_cast<size_t>(position)]);
   }
   return original;
 }
 
-Result<LicenseMask> LicenseGrouping::OriginalToLocalMask(
-    int group, LicenseMask mask) const {
+Result<LicenseSet> LicenseGrouping::OriginalToLocalMask(
+    int group, LicenseSet mask) const {
   if (group < 0 || group >= group_count()) {
     return Status::OutOfRange("group index out of range: " +
                               std::to_string(group));
   }
-  if (!IsSubsetOf(mask, GroupMask(group))) {
-    return Status::InvalidArgument("mask " + MaskToString(mask) +
+  if (!mask.IsSubsetOf(GroupMask(group))) {
+    return Status::InvalidArgument("mask " + (mask).ToString() +
                                    " is not contained in group " +
                                    std::to_string(group));
   }
-  LicenseMask local = 0;
-  for (LicenseMask rest = mask; rest != 0; rest &= rest - 1) {
-    local |= SingletonMask(PositionOf(LowestLicense(rest)));
+  LicenseSet local;
+  for (int index : mask.Indexes()) {
+    local |= LicenseSet::Singleton(PositionOf(index));
   }
   return local;
 }

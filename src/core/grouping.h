@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "graph/connected_components.h"
-#include "licensing/license_set.h"
-#include "util/bits.h"
+#include "licensing/license_catalog.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -19,7 +19,7 @@ class LicenseGrouping {
  public:
   // Groups `licenses` by geometric overlap (builds the overlap graph and
   // runs Algorithm 3's DFS).
-  static LicenseGrouping FromLicenses(const LicenseSet& licenses);
+  static LicenseGrouping FromLicenses(const LicenseCatalog& licenses);
 
   // Groups raw hyper-rectangles.
   static LicenseGrouping FromRects(const std::vector<HyperRect>& rects);
@@ -38,7 +38,7 @@ class LicenseGrouping {
   // N_k — licenses in group k.
   int GroupSize(int group) const { return components_.SizeOf(group); }
   // Mask of the licenses in group k (original indexes).
-  LicenseMask GroupMask(int group) const {
+  LicenseSet GroupMask(int group) const {
     return components_.components[static_cast<size_t>(group)];
   }
   // Group of license `index`.
@@ -57,11 +57,11 @@ class LicenseGrouping {
 
   // Translates a mask over group `group`'s local positions back to original
   // license indexes.
-  LicenseMask LocalToOriginalMask(int group, LicenseMask local) const;
+  LicenseSet LocalToOriginalMask(int group, LicenseSet local) const;
 
   // Translates a mask of original indexes (which must all lie in `group`)
   // to local positions.
-  Result<LicenseMask> OriginalToLocalMask(int group, LicenseMask mask) const;
+  Result<LicenseSet> OriginalToLocalMask(int group, LicenseSet mask) const;
 
   // Algorithm 5's A_k: per-group aggregate array in local position order,
   // derived from the full array A (A[j] = aggregate of license j).

@@ -8,7 +8,7 @@
 
 namespace geolic {
 
-IncrementalAuditor::IncrementalAuditor(const LicenseSet* licenses,
+IncrementalAuditor::IncrementalAuditor(const LicenseCatalog* licenses,
                                        LicenseGrouping grouping)
     : licenses_(licenses), grouping_(std::move(grouping)) {
   const int g = grouping_.group_count();
@@ -24,7 +24,7 @@ IncrementalAuditor::IncrementalAuditor(const LicenseSet* licenses,
 }
 
 Result<IncrementalAuditor> IncrementalAuditor::Create(
-    const LicenseSet* licenses) {
+    const LicenseCatalog* licenses) {
   if (licenses == nullptr || licenses->empty()) {
     return Status::InvalidArgument(
         "incremental auditor needs at least one redistribution license");
@@ -37,20 +37,20 @@ Result<ValidationReport> IncrementalAuditor::IngestBatch(
     const std::vector<LogRecord>& batch) {
   // Phase 1: insert the records and collect the distinct dirty seed sets
   // per group (in local positions).
-  std::vector<std::unordered_set<LicenseMask>> seeds(
+  std::vector<std::unordered_set<LicenseSet>> seeds(
       static_cast<size_t>(grouping_.group_count()));
   for (const LogRecord& record : batch) {
-    if (record.set == 0 || record.count <= 0) {
+    if (record.set.Empty() || record.count <= 0) {
       return Status::InvalidArgument("malformed log record in batch");
     }
-    if (!IsSubsetOf(record.set, licenses_->AllMask())) {
+    if (!record.set.IsSubsetOf(licenses_->AllMask())) {
       return Status::InvalidArgument(
           "record references unknown license indexes: " +
-          MaskToString(record.set));
+          (record.set).ToString());
     }
-    const int group = grouping_.GroupOf(LowestLicense(record.set));
+    const int group = grouping_.GroupOf((record.set).Lowest());
     GEOLIC_ASSIGN_OR_RETURN(
-        const LicenseMask local,
+        const LicenseSet local,
         grouping_.OriginalToLocalMask(group, record.set));
     GEOLIC_RETURN_IF_ERROR(group_trees_[static_cast<size_t>(group)].Insert(
         local, record.count));
@@ -66,21 +66,16 @@ Result<ValidationReport> IncrementalAuditor::IngestBatch(
     if (group_seeds.empty()) {
       continue;
     }
-    const LicenseMask group_full = FullMask(grouping_.GroupSize(k));
-    std::unordered_set<LicenseMask> dirty;
-    for (const LicenseMask seed : group_seeds) {
-      const LicenseMask extension = group_full & ~seed;
-      LicenseMask x = 0;
-      while (true) {
-        dirty.insert(seed | x);
-        if (x == extension) {
-          break;
-        }
-        x = (x - extension) & extension;
+    const LicenseSet group_full = LicenseSet::Full(grouping_.GroupSize(k));
+    std::unordered_set<LicenseSet> dirty;
+    for (const LicenseSet& seed : group_seeds) {
+      for (AscendingSubsetIterator it(group_full - seed); !it.Done();
+           it.Next()) {
+        dirty.insert(seed | it.subset());
       }
     }
     // Deterministic order for the report.
-    std::vector<LicenseMask> ordered(dirty.begin(), dirty.end());
+    std::vector<LicenseSet> ordered(dirty.begin(), dirty.end());
     std::sort(ordered.begin(), ordered.end());
 
     // The group tree just absorbed this batch's inserts and is static for
@@ -93,10 +88,10 @@ Result<ValidationReport> IncrementalAuditor::IngestBatch(
     std::vector<int64_t> sums(ordered.size(), 0);
     flat.SumSubsetsBatch(ordered, sums, &report.nodes_visited);
     for (size_t e = 0; e < ordered.size(); ++e) {
-      const LicenseMask set = ordered[e];
+      const LicenseSet set = ordered[e];
       int64_t av = 0;
       for (int j = 0; j < grouping_.GroupSize(k); ++j) {
-        if (MaskContains(set, j)) {
+        if ((set).Contains(j)) {
           av += aggregates[static_cast<size_t>(j)];
         }
       }

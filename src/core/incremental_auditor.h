@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/grouping.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/log_record.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
@@ -29,7 +29,7 @@ class IncrementalAuditor {
  public:
   // The grouping is fixed at creation (a fresh auditor is built when the
   // license set changes, like the online validator).
-  static Result<IncrementalAuditor> Create(const LicenseSet* licenses);
+  static Result<IncrementalAuditor> Create(const LicenseCatalog* licenses);
 
   // Ingests a batch of new log records and re-validates the affected
   // equations. The returned report's `equations_evaluated` counts only the
@@ -47,9 +47,9 @@ class IncrementalAuditor {
   const LicenseGrouping& grouping() const { return grouping_; }
 
  private:
-  IncrementalAuditor(const LicenseSet* licenses, LicenseGrouping grouping);
+  IncrementalAuditor(const LicenseCatalog* licenses, LicenseGrouping grouping);
 
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
   LicenseGrouping grouping_;
   // One tree per group, node indexes in group-local positions.
   std::vector<ValidationTree> group_trees_;

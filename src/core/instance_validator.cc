@@ -4,26 +4,26 @@
 
 namespace geolic {
 
-LinearInstanceValidator::LinearInstanceValidator(const LicenseSet* licenses)
+LinearInstanceValidator::LinearInstanceValidator(const LicenseCatalog* licenses)
     : licenses_(licenses) {}
 
-LicenseMask LinearInstanceValidator::SatisfyingSet(
+LicenseSet LinearInstanceValidator::SatisfyingSet(
     const License& issued) const {
-  LicenseMask set = 0;
+  LicenseSet set;
   for (int i = 0; i < licenses_->size(); ++i) {
     if (licenses_->at(i).InstanceContains(issued)) {
-      set |= SingletonMask(i);
+      set |= LicenseSet::Singleton(i);
     }
   }
   return set;
 }
 
-RtreeInstanceValidator::RtreeInstanceValidator(const LicenseSet* licenses,
+RtreeInstanceValidator::RtreeInstanceValidator(const LicenseCatalog* licenses,
                                                Rtree index)
     : licenses_(licenses), index_(std::move(index)) {}
 
 Result<RtreeInstanceValidator> RtreeInstanceValidator::Build(
-    const LicenseSet* licenses) {
+    const LicenseCatalog* licenses) {
   if (licenses->empty()) {
     return Status::InvalidArgument(
         "cannot build an instance index over zero licenses");
@@ -42,16 +42,16 @@ Result<RtreeInstanceValidator> RtreeInstanceValidator::Build(
   return RtreeInstanceValidator(licenses, std::move(index));
 }
 
-LicenseMask RtreeInstanceValidator::SatisfyingSet(const License& issued) const {
+LicenseSet RtreeInstanceValidator::SatisfyingSet(const License& issued) const {
   IntervalBox query;
   query.dims = issued.rect().BoundingBox();
-  LicenseMask set = 0;
+  LicenseSet set;
   // Candidates whose bounding box contains the issued box; bounding boxes
   // over-approximate category dimensions, so confirm exactly.
   for (int64_t id : index_.FindContaining(query)) {
     const int i = static_cast<int>(id);
     if (licenses_->at(i).InstanceContains(issued)) {
-      set |= SingletonMask(i);
+      set |= LicenseSet::Singleton(i);
     }
   }
   return set;

@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "geometry/rtree.h"
-#include "licensing/license_set.h"
-#include "util/bits.h"
+#include "licensing/license_catalog.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -22,7 +22,7 @@ class InstanceValidator {
   virtual ~InstanceValidator() = default;
 
   // Mask of redistribution licenses containing `issued`.
-  virtual LicenseMask SatisfyingSet(const License& issued) const = 0;
+  virtual LicenseSet SatisfyingSet(const License& issued) const = 0;
 };
 
 // O(N) scan over the license set. For a single content's N ≤ 64 licenses
@@ -30,12 +30,12 @@ class InstanceValidator {
 class LinearInstanceValidator : public InstanceValidator {
  public:
   // `licenses` must outlive the validator.
-  explicit LinearInstanceValidator(const LicenseSet* licenses);
+  explicit LinearInstanceValidator(const LicenseCatalog* licenses);
 
-  LicenseMask SatisfyingSet(const License& issued) const override;
+  LicenseSet SatisfyingSet(const License& issued) const override;
 
  private:
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
 };
 
 // R-tree-backed lookup: candidate licenses come from a containment query on
@@ -44,14 +44,14 @@ class LinearInstanceValidator : public InstanceValidator {
 class RtreeInstanceValidator : public InstanceValidator {
  public:
   // Builds the index over `licenses` (which must outlive the validator).
-  static Result<RtreeInstanceValidator> Build(const LicenseSet* licenses);
+  static Result<RtreeInstanceValidator> Build(const LicenseCatalog* licenses);
 
-  LicenseMask SatisfyingSet(const License& issued) const override;
+  LicenseSet SatisfyingSet(const License& issued) const override;
 
  private:
-  RtreeInstanceValidator(const LicenseSet* licenses, Rtree index);
+  RtreeInstanceValidator(const LicenseCatalog* licenses, Rtree index);
 
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
   Rtree index_;
 };
 

@@ -6,7 +6,7 @@
 
 namespace geolic {
 
-OnlineValidator::OnlineValidator(const LicenseSet* licenses,
+OnlineValidator::OnlineValidator(const LicenseCatalog* licenses,
                                  OnlineValidatorOptions options,
                                  LicenseGrouping grouping)
     : licenses_(licenses),
@@ -15,7 +15,7 @@ OnlineValidator::OnlineValidator(const LicenseSet* licenses,
       instance_validator_(licenses) {}
 
 Result<OnlineValidator> OnlineValidator::Create(
-    const LicenseSet* licenses, const OnlineValidatorOptions& options) {
+    const LicenseCatalog* licenses, const OnlineValidatorOptions& options) {
   if (licenses == nullptr || licenses->empty()) {
     return Status::InvalidArgument(
         "online validator needs at least one redistribution license");
@@ -25,12 +25,12 @@ Result<OnlineValidator> OnlineValidator::Create(
 }
 
 Result<OnlineValidator> OnlineValidator::CreateWithHistory(
-    const LicenseSet* licenses, const OnlineValidatorOptions& options,
+    const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
     const LogStore& history) {
   GEOLIC_ASSIGN_OR_RETURN(OnlineValidator validator,
                           Create(licenses, options));
   for (const LogRecord& record : history.records()) {
-    if (!IsSubsetOf(record.set, licenses->AllMask())) {
+    if (!record.set.IsSubsetOf(licenses->AllMask())) {
       return Status::InvalidArgument(
           "history record references unknown license indexes");
     }
@@ -41,19 +41,6 @@ Result<OnlineValidator> OnlineValidator::CreateWithHistory(
   return validator;
 }
 
-Result<OnlineValidator> OnlineValidator::Create(const LicenseSet* licenses,
-                                                bool use_grouping) {
-  OnlineValidatorOptions options;
-  options.use_grouping = use_grouping;
-  return Create(licenses, options);
-}
-
-Result<OnlineValidator> OnlineValidator::CreateWithHistory(
-    const LicenseSet* licenses, bool use_grouping, const LogStore& history) {
-  OnlineValidatorOptions options;
-  options.use_grouping = use_grouping;
-  return CreateWithHistory(licenses, options, history);
-}
 
 Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
   Stopwatch timer;
@@ -67,7 +54,7 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
     ScopedStageTimer stage(&trace, TraceStage::kInstanceCheck);
     decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
   }
-  if (decision.satisfying_set == 0) {
+  if (decision.satisfying_set.Empty()) {
     if (options_.metrics != nullptr) {
       options_.metrics->RecordRejectedInstance(timer.ElapsedNanos());
     }
@@ -76,25 +63,25 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
   }
   decision.instance_valid = true;
 
-  const LicenseMask s = decision.satisfying_set;
+  const LicenseSet s = decision.satisfying_set;
   const int64_t count = issued.aggregate_count();
 
   // Scope of affected equations: the whole set S^N, or S's overlap group.
-  LicenseMask scope = licenses_->AllMask();
+  LicenseSet scope = licenses_->AllMask();
   if (options_.use_grouping) {
-    const int group = grouping_.GroupOf(LowestLicense(s));
+    const int group = grouping_.GroupOf((s).Lowest());
     scope = grouping_.GroupMask(group);
-    GEOLIC_DCHECK(IsSubsetOf(s, scope));
+    GEOLIC_DCHECK((s).IsSubsetOf(scope));
   }
 
   // Check every equation T with S ⊆ T ⊆ scope: its LHS gains `count`.
   decision.aggregate_valid = true;
   {
     ScopedStageTimer stage(&trace, TraceStage::kEquationScan);
-    const LicenseMask extension = scope & ~s;
-    LicenseMask x = 0;
-    while (true) {
-      const LicenseMask t = s | x;
+    // Enumerate every T with S ⊆ T ⊆ scope by extending S with each subset
+    // of scope − S, ascending.
+    for (AscendingSubsetIterator it(scope - s); !it.Done(); it.Next()) {
+      const LicenseSet t = s | it.subset();
       const int64_t cv = tree_.SumSubsets(t) + count;
       const int64_t av = licenses_->AggregateSum(t);
       ++decision.equations_checked;
@@ -103,11 +90,6 @@ Result<OnlineDecision> OnlineValidator::TryIssue(const License& issued) {
         decision.limiting = EquationResult{t, cv, av};
         break;
       }
-      if (x == extension) {
-        break;
-      }
-      // Enumerate subsets of `extension` ascending: next = (x − ext) & ext.
-      x = (x - extension) & extension;
     }
   }
   if (!decision.aggregate_valid) {

@@ -6,7 +6,7 @@
 
 #include "core/grouping.h"
 #include "core/instance_validator.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "obs/trace.h"
 #include "util/sim_hooks.h"
 #include "validation/log_store.h"
@@ -26,7 +26,7 @@ struct OnlineDecision {
   // counts added.
   bool aggregate_valid = false;
   // S — the satisfying set (original license indexes).
-  LicenseMask satisfying_set = 0;
+  LicenseSet satisfying_set;
   // When aggregate validation fails: the first violated equation, with the
   // candidate's count already included in lhs.
   EquationResult limiting;
@@ -85,23 +85,17 @@ class OnlineValidator {
  public:
   // `licenses` must be non-empty and outlive the validator; so must
   // `options.metrics` when set.
-  static Result<OnlineValidator> Create(const LicenseSet* licenses,
-                                        const OnlineValidatorOptions& options);
+  static Result<OnlineValidator> Create(
+      const LicenseCatalog* licenses,
+      const OnlineValidatorOptions& options = OnlineValidatorOptions());
 
   // Creates a validator whose tree/log are pre-loaded with `history`
   // (records of already-validated issuances — they are not re-checked).
   // Used when the license set grows and the validator must be rebuilt
   // around the new grouping without losing past issuances.
   static Result<OnlineValidator> CreateWithHistory(
-      const LicenseSet* licenses, const OnlineValidatorOptions& options,
+      const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
       const LogStore& history);
-
-  // Back-compat shims for the historical bool parameter.
-  static Result<OnlineValidator> Create(const LicenseSet* licenses,
-                                        bool use_grouping = true);
-  static Result<OnlineValidator> CreateWithHistory(const LicenseSet* licenses,
-                                                   bool use_grouping,
-                                                   const LogStore& history);
 
   // Instance- and aggregate-validates `issued`; on acceptance records it in
   // the internal tree and log. Never fails with a Status for an invalid
@@ -114,10 +108,10 @@ class OnlineValidator {
   const LicenseGrouping& grouping() const { return grouping_; }
 
  private:
-  OnlineValidator(const LicenseSet* licenses, OnlineValidatorOptions options,
+  OnlineValidator(const LicenseCatalog* licenses, OnlineValidatorOptions options,
                   LicenseGrouping grouping);
 
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
   OnlineValidatorOptions options_;
   LicenseGrouping grouping_;
   LinearInstanceValidator instance_validator_;

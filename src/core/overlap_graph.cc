@@ -2,7 +2,7 @@
 
 namespace geolic {
 
-AdjacencyMatrix BuildOverlapGraph(const LicenseSet& licenses) {
+AdjacencyMatrix BuildOverlapGraph(const LicenseCatalog& licenses) {
   const int n = licenses.size();
   AdjacencyMatrix graph(n);
   for (int i = 0; i < n; ++i) {

@@ -5,7 +5,7 @@
 
 #include "geometry/hyper_rect.h"
 #include "graph/adjacency_matrix.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 
 namespace geolic {
 
@@ -13,7 +13,7 @@ namespace geolic {
 // redistribution license, an edge between i and j iff the two licenses are
 // overlapping — every constraint dimension of L_D^i intersects the
 // corresponding dimension of L_D^j.
-AdjacencyMatrix BuildOverlapGraph(const LicenseSet& licenses);
+AdjacencyMatrix BuildOverlapGraph(const LicenseCatalog& licenses);
 
 // Overlap graph straight from hyper-rectangles (workload generators and
 // property tests operate at this level).

@@ -24,7 +24,7 @@ Result<ValidationReport> ValidateExhaustiveParallel(
 }
 
 Result<GroupedValidationResult> ValidateGroupedParallel(
-    const LicenseSet& licenses, ValidationTree tree, int num_threads) {
+    const LicenseCatalog& licenses, ValidationTree tree, int num_threads) {
   ValidateOptions options;
   options.mode = ValidationMode::kGrouped;
   options.num_threads = num_threads <= 0 ? 0 : num_threads;

@@ -5,7 +5,7 @@
 
 #include "core/grouped_validator.h"
 #include "core/grouping.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/validation_report.h"
 #include "validation/validation_tree.h"
 #include "util/status.h"
@@ -31,7 +31,7 @@ Result<ValidationReport> ValidateExhaustiveParallel(
 // per group — groups are independent trees after division). Same result as
 // ValidateGrouped up to timing fields.
 Result<GroupedValidationResult> ValidateGroupedParallel(
-    const LicenseSet& licenses, ValidationTree tree, int num_threads = 0);
+    const LicenseCatalog& licenses, ValidationTree tree, int num_threads = 0);
 
 }  // namespace geolic
 

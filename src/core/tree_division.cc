@@ -7,9 +7,9 @@ namespace {
 
 // Verifies the whole branch under `node` stays inside `group_mask`
 // (Corollary 1.1 guarantees this for logs consistent with the geometry).
-bool BranchWithin(const ValidationTreeNode& node, LicenseMask group_mask) {
+bool BranchWithin(const ValidationTreeNode& node, LicenseSet group_mask) {
   for (const auto& child : node.children) {
-    if (!MaskContains(group_mask, child->index) ||
+    if (!(group_mask).Contains(child->index) ||
         !BranchWithin(*child, group_mask)) {
       return false;
     }

@@ -1,4 +1,4 @@
-// Implements the LicenseSet overloads of the Validate facade
+// Implements the LicenseCatalog overloads of the Validate facade
 // (validation/validate.h). They live in geolic_core because the grouped
 // modes dispatch into grouping and tree division; the tree/log overloads
 // are in validation/validate.cc.
@@ -8,9 +8,7 @@
 
 #include "core/grouping.h"
 #include "core/tree_division.h"
-#include "validation/exhaustive_validator.h"
 #include "validation/validate.h"
-#include "validation/zeta_validator.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -20,7 +18,7 @@ namespace {
 // The grouped pipeline: grouping + division (D_T), then per-group equation
 // evaluation (V_T) — serially or with one task per group. With
 // `zeta_per_group`, groups up to max_dense_n use the dense engine.
-Result<ValidationOutcome> RunGrouped(const LicenseSet& licenses,
+Result<ValidationOutcome> RunGrouped(const LicenseCatalog& licenses,
                                      ValidationTree tree, bool zeta_per_group,
                                      int max_dense_n, int num_threads) {
   ValidationOutcome outcome;
@@ -42,10 +40,15 @@ Result<ValidationOutcome> RunGrouped(const LicenseSet& licenses,
     const ValidationTree& group_tree = divided.trees[static_cast<size_t>(k)];
     const std::vector<int64_t>& group_aggregates =
         divided.aggregates[static_cast<size_t>(k)];
-    if (zeta_per_group && grouping.GroupSize(k) <= max_dense_n) {
-      return ValidateZeta(group_tree, group_aggregates, max_dense_n);
-    }
-    return ValidateExhaustive(group_tree, group_aggregates);
+    ValidateOptions engine;
+    engine.mode = (zeta_per_group && grouping.GroupSize(k) <= max_dense_n)
+                      ? ValidationMode::kZeta
+                      : ValidationMode::kExhaustive;
+    engine.max_dense_n = max_dense_n;
+    Result<ValidationOutcome> group_outcome =
+        Validate(group_tree, group_aggregates, engine);
+    if (!group_outcome.ok()) return group_outcome.status();
+    return std::move(group_outcome->report);
   };
 
   Stopwatch validation_timer;
@@ -87,7 +90,7 @@ Result<ValidationOutcome> RunGrouped(const LicenseSet& licenses,
 
 }  // namespace
 
-Result<ValidationOutcome> Validate(const LicenseSet& licenses,
+Result<ValidationOutcome> Validate(const LicenseCatalog& licenses,
                                    ValidationTree tree,
                                    const ValidateOptions& options) {
   ValidationMode mode = options.mode == ValidationMode::kAuto
@@ -106,7 +109,7 @@ Result<ValidationOutcome> Validate(const LicenseSet& licenses,
                     options.max_dense_n, threads);
 }
 
-Result<ValidationOutcome> Validate(const LicenseSet& licenses,
+Result<ValidationOutcome> Validate(const LicenseCatalog& licenses,
                                    const LogStore& log,
                                    const ValidateOptions& options) {
   ValidationMode mode = options.mode == ValidationMode::kAuto

@@ -55,7 +55,7 @@ Result<int> DistributionNetwork::AddDistributor(std::string name, int parent) {
   parties_.push_back(party);
 
   auto state = std::make_unique<DistributorState>();
-  state->received = std::make_unique<LicenseSet>(schema_);
+  state->received = std::make_unique<LicenseCatalog>(schema_);
   states_.push_back(std::move(state));
   return party.id;
 }
@@ -128,7 +128,7 @@ Status DistributionNetwork::ReceiveRedistribution(int recipient,
   GEOLIC_ASSIGN_OR_RETURN(
       OnlineValidator rebuilt,
       OnlineValidator::CreateWithHistory(state->received.get(),
-                                         /*use_grouping=*/true, history));
+                                         OnlineValidatorOptions(), history));
   state->validator =
       std::make_unique<OnlineValidator>(std::move(rebuilt));
   return Status::Ok();
@@ -179,7 +179,7 @@ Result<OnlineDecision> DistributionNetwork::Issue(int issuer, int recipient,
   return decision;
 }
 
-Result<LicenseMask> DistributionNetwork::IssueUnchecked(
+Result<LicenseSet> DistributionNetwork::IssueUnchecked(
     int issuer, int recipient, const License& license) {
   GEOLIC_ASSIGN_OR_RETURN(DistributorState * state,
                           MutableDistributorState(issuer));
@@ -188,8 +188,8 @@ Result<LicenseMask> DistributionNetwork::IssueUnchecked(
   }
   (void)recipient;  // Rogue issues bypass recipient checks by design.
   const LinearInstanceValidator instance_validator(state->received.get());
-  const LicenseMask set = instance_validator.SatisfyingSet(license);
-  if (set == 0) {
+  const LicenseSet set = instance_validator.SatisfyingSet(license);
+  if (set.Empty()) {
     return Status::InvalidArgument(
         "license fails instance-based validation against every received "
         "redistribution license");
@@ -205,12 +205,12 @@ Result<LicenseMask> DistributionNetwork::IssueUnchecked(
   GEOLIC_ASSIGN_OR_RETURN(
       OnlineValidator rebuilt,
       OnlineValidator::CreateWithHistory(state->received.get(),
-                                         /*use_grouping=*/true, history));
+                                         OnlineValidatorOptions(), history));
   state->validator = std::make_unique<OnlineValidator>(std::move(rebuilt));
   return set;
 }
 
-const LicenseSet& DistributionNetwork::ReceivedLicenses(int party_id) const {
+const LicenseCatalog& DistributionNetwork::ReceivedLicenses(int party_id) const {
   GEOLIC_CHECK(party_id >= 0 && party_id < party_count());
   const auto& state = states_[static_cast<size_t>(party_id)];
   GEOLIC_CHECK(state != nullptr);

@@ -8,7 +8,7 @@
 #include "core/grouped_validator.h"
 #include "core/online_validator.h"
 #include "drm/party.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/log_store.h"
 #include "util/status.h"
 
@@ -86,11 +86,11 @@ class DistributionNetwork {
   // set S; fails if even instance validation fails (such a license can
   // never be attributed to a redistribution license and is rejected on
   // sight per Section 3.1).
-  Result<LicenseMask> IssueUnchecked(int issuer, int recipient,
+  Result<LicenseSet> IssueUnchecked(int issuer, int recipient,
                                      const License& license);
 
   // Redistribution licenses received by a party (empty set for consumers).
-  const LicenseSet& ReceivedLicenses(int party_id) const;
+  const LicenseCatalog& ReceivedLicenses(int party_id) const;
   // Issuance log of a distributor.
   const LogStore& IssuanceLog(int party_id) const;
 
@@ -102,7 +102,7 @@ class DistributionNetwork {
 
  private:
   struct DistributorState {
-    std::unique_ptr<LicenseSet> received;
+    std::unique_ptr<LicenseCatalog> received;
     std::unique_ptr<OnlineValidator> validator;  // Null until first grant.
   };
 

@@ -55,7 +55,7 @@ Status ValidationAuthority::RegisterRedistribution(License license) {
   const ContentKey key = KeyOf(license);
   Domain& domain = domains_[key];
   if (domain.licenses == nullptr) {
-    domain.licenses = std::make_unique<LicenseSet>(schema_);
+    domain.licenses = std::make_unique<LicenseCatalog>(schema_);
   }
   const Result<int> added = domain.licenses->Add(std::move(license));
   if (!added.ok()) {
@@ -105,13 +105,13 @@ std::vector<ValidationAuthority::ContentKey> ValidationAuthority::Keys()
   return keys;
 }
 
-Result<const LicenseSet*> ValidationAuthority::LicensesFor(
+Result<const LicenseCatalog*> ValidationAuthority::LicensesFor(
     const ContentKey& key) const {
   const auto it = domains_.find(key);
   if (it == domains_.end()) {
     return Status::NotFound("unknown content domain: " + key.content);
   }
-  return static_cast<const LicenseSet*>(it->second.licenses.get());
+  return static_cast<const LicenseCatalog*>(it->second.licenses.get());
 }
 
 Result<LogStore> ValidationAuthority::LogFor(const ContentKey& key) const {
@@ -257,11 +257,11 @@ Status ValidationAuthority::RestoreLogs(const std::string& path) {
       return Status::FailedPrecondition(
           "checkpoint references unregistered content: " + key.content);
     }
-    LicenseMask mentioned = 0;
+    LicenseSet mentioned;
     for (const LogRecord& record : log.records()) {
       mentioned |= record.set;
     }
-    if (!IsSubsetOf(mentioned, it->second.licenses->AllMask())) {
+    if (!mentioned.IsSubsetOf(it->second.licenses->AllMask())) {
       return Status::FailedPrecondition(
           "checkpoint log references unknown license indexes for " +
           key.content);
@@ -352,13 +352,13 @@ Status ValidationAuthority::RestoreFull(const std::string& path) {
     in.read(reinterpret_cast<char*>(&permission), sizeof(permission));
     in.read(reinterpret_cast<char*>(&license_count), sizeof(license_count));
     if (!in || permission < 0 || permission >= kNumPermissions ||
-        license_count > static_cast<uint32_t>(kMaxLicenses)) {
+        license_count > static_cast<uint32_t>(kMaxLicensesLarge)) {
       return Status::ParseError("bad domain header in checkpoint");
     }
     const ContentKey key{std::move(content),
                          static_cast<Permission>(permission)};
     Domain domain;
-    domain.licenses = std::make_unique<LicenseSet>(schema_);
+    domain.licenses = std::make_unique<LicenseCatalog>(schema_);
     for (uint32_t i = 0; i < license_count; ++i) {
       GEOLIC_ASSIGN_OR_RETURN(License license, ReadLicenseBinary(&in));
       if (license.rect().dimensions() != schema_->dimensions()) {
@@ -385,7 +385,7 @@ Status ValidationAuthority::RestoreFull(const std::string& path) {
       }
       GEOLIC_ASSIGN_OR_RETURN(record.issued_license_id,
                               ReadString(&in, 1u << 12));
-      if (!IsSubsetOf(record.set, domain.licenses->AllMask())) {
+      if (!record.set.IsSubsetOf(domain.licenses->AllMask())) {
         return Status::ParseError(
             "checkpoint record references unknown license indexes");
       }

@@ -9,7 +9,7 @@
 #include "core/assignment.h"
 #include "core/grouped_validator.h"
 #include "core/online_validator.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "service/issuance_service.h"
 #include "validation/log_store.h"
 #include "util/status.h"
@@ -18,7 +18,7 @@ namespace geolic {
 
 // A multi-content validation authority: the party the paper charges with
 // validating "all the newly generated licenses". It routes each license to
-// the per-(content, permission) state — a LicenseSet of registered
+// the per-(content, permission) state — a LicenseCatalog of registered
 // redistribution licenses plus a sharded IssuanceService holding the
 // running tree/log — validates issues online, runs offline grouped audits,
 // and can checkpoint its accumulated logs to disk between audit periods.
@@ -87,7 +87,7 @@ class ValidationAuthority {
   std::vector<ContentKey> Keys() const;
 
   // Registered redistribution licenses of one domain.
-  Result<const LicenseSet*> LicensesFor(const ContentKey& key) const;
+  Result<const LicenseCatalog*> LicensesFor(const ContentKey& key) const;
   // Snapshot of the domain's accumulated issuance log (by value: the live
   // log is sharded inside the service, so there is no single object to
   // point at). Safe while other threads issue.
@@ -131,7 +131,7 @@ class ValidationAuthority {
 
  private:
   struct Domain {
-    std::unique_ptr<LicenseSet> licenses;
+    std::unique_ptr<LicenseCatalog> licenses;
     std::unique_ptr<IssuanceService> service;  // Null until first license.
   };
 

@@ -17,7 +17,7 @@ namespace {
 // iterative-DFS and union-find implementations cross-check this in tests.
 void DepthFirst(const AdjacencyMatrix& graph, int i, int k,
                 std::vector<int>* visited, ComponentSet* out) {
-  out->components[static_cast<size_t>(k)] |= SingletonMask(i);
+  out->components[static_cast<size_t>(k)] |= LicenseSet::Singleton(i);
   out->component_of[static_cast<size_t>(i)] = k;
   (*visited)[static_cast<size_t>(i)] = 1;
   for (int j = 0; j < graph.num_vertices(); ++j) {
@@ -31,14 +31,14 @@ void DepthFirst(const AdjacencyMatrix& graph, int i, int k,
 
 ComponentSet FindComponentsDfs(const AdjacencyMatrix& graph) {
   const int n = graph.num_vertices();
-  GEOLIC_CHECK(n <= kMaxLicenses);
+  GEOLIC_CHECK(n <= kMaxLicensesLarge);
   ComponentSet out;
   out.component_of.assign(static_cast<size_t>(n), -1);
   std::vector<int> visited(static_cast<size_t>(n), 0);
   int g = 0;
   for (int i = 0; i < n; ++i) {
     if (visited[static_cast<size_t>(i)] == 0) {
-      out.components.push_back(0);
+      out.components.push_back(LicenseSet());
       DepthFirst(graph, i, g, &visited, &out);
       ++g;
     }
@@ -48,7 +48,7 @@ ComponentSet FindComponentsDfs(const AdjacencyMatrix& graph) {
 
 ComponentSet FindComponentsIterative(const AdjacencyMatrix& graph) {
   const int n = graph.num_vertices();
-  GEOLIC_CHECK(n <= kMaxLicenses);
+  GEOLIC_CHECK(n <= kMaxLicensesLarge);
   ComponentSet out;
   out.component_of.assign(static_cast<size_t>(n), -1);
   std::vector<bool> visited(static_cast<size_t>(n), false);
@@ -58,13 +58,13 @@ ComponentSet FindComponentsIterative(const AdjacencyMatrix& graph) {
       continue;
     }
     const int k = static_cast<int>(out.components.size());
-    out.components.push_back(0);
+    out.components.push_back(LicenseSet());
     stack.push_back(start);
     visited[static_cast<size_t>(start)] = true;
     while (!stack.empty()) {
       const int v = stack.back();
       stack.pop_back();
-      out.components[static_cast<size_t>(k)] |= SingletonMask(v);
+      out.components[static_cast<size_t>(k)] |= LicenseSet::Singleton(v);
       out.component_of[static_cast<size_t>(v)] = k;
       for (int j = 0; j < n; ++j) {
         if (graph.HasEdge(v, j) && !visited[static_cast<size_t>(j)]) {
@@ -118,7 +118,7 @@ bool UnionFind::Union(int a, int b) {
 
 ComponentSet FindComponentsUnionFind(const AdjacencyMatrix& graph) {
   const int n = graph.num_vertices();
-  GEOLIC_CHECK(n <= kMaxLicenses);
+  GEOLIC_CHECK(n <= kMaxLicensesLarge);
   UnionFind uf(n);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
@@ -136,9 +136,9 @@ ComponentSet FindComponentsUnionFind(const AdjacencyMatrix& graph) {
     int& k = component_of_root[static_cast<size_t>(root)];
     if (k == -1) {
       k = static_cast<int>(out.components.size());
-      out.components.push_back(0);
+      out.components.push_back(LicenseSet());
     }
-    out.components[static_cast<size_t>(k)] |= SingletonMask(v);
+    out.components[static_cast<size_t>(k)] |= LicenseSet::Singleton(v);
     out.component_of[static_cast<size_t>(v)] = k;
   }
   return out;

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "graph/adjacency_matrix.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
@@ -14,13 +14,13 @@ namespace geolic {
 // vertex 0, etc.).
 struct ComponentSet {
   // Bitmask of vertices per component; size = number of components g.
-  std::vector<LicenseMask> components;
+  std::vector<LicenseSet> components;
   // Component index of each vertex; size = number of vertices.
   std::vector<int> component_of;
 
   int count() const { return static_cast<int>(components.size()); }
   int SizeOf(int component) const {
-    return MaskSize(components[static_cast<size_t>(component)]);
+    return components[static_cast<size_t>(component)].Size();
   }
 };
 

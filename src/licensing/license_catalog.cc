@@ -1,20 +1,21 @@
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 
 namespace geolic {
 
-Result<int> LicenseSet::Add(License license) {
+Result<int> LicenseCatalog::Add(License license) {
   if (license.type() != LicenseType::kRedistribution) {
     return Status::InvalidArgument(
-        "only redistribution licenses belong in a LicenseSet: " +
+        "only redistribution licenses belong in a LicenseCatalog: " +
         license.id());
   }
   if (license.rect().dimensions() != schema_->dimensions()) {
     return Status::InvalidArgument(
         "license dimensionality disagrees with schema: " + license.id());
   }
-  if (size() >= kMaxLicenses) {
+  if (size() >= kMaxLicensesLarge) {
     return Status::CapacityExceeded(
-        "LicenseSet supports at most 64 redistribution licenses");
+        "LicenseCatalog supports at most " +
+        std::to_string(kMaxLicensesLarge) + " redistribution licenses");
   }
   if (!licenses_.empty()) {
     const License& first = licenses_.front();
@@ -37,7 +38,7 @@ Result<int> LicenseSet::Add(License license) {
   return size() - 1;
 }
 
-std::vector<int64_t> LicenseSet::AggregateCounts() const {
+std::vector<int64_t> LicenseCatalog::AggregateCounts() const {
   std::vector<int64_t> counts;
   counts.reserve(licenses_.size());
   for (const License& license : licenses_) {
@@ -46,9 +47,9 @@ std::vector<int64_t> LicenseSet::AggregateCounts() const {
   return counts;
 }
 
-int64_t LicenseSet::AggregateSum(LicenseMask mask) const {
+int64_t LicenseCatalog::AggregateSum(const LicenseSet& mask) const {
   int64_t sum = 0;
-  for (int index : MaskToIndexes(mask)) {
+  for (int index : mask.Indexes()) {
     if (index < size()) {
       sum += licenses_[static_cast<size_t>(index)].aggregate_count();
     }
@@ -56,7 +57,7 @@ int64_t LicenseSet::AggregateSum(LicenseMask mask) const {
   return sum;
 }
 
-Result<int> LicenseSet::IndexOfId(const std::string& id) const {
+Result<int> LicenseCatalog::IndexOfId(const std::string& id) const {
   for (size_t i = 0; i < licenses_.size(); ++i) {
     if (licenses_[i].id() == id) {
       return static_cast<int>(i);

@@ -1,12 +1,12 @@
-#ifndef GEOLIC_LICENSING_LICENSE_SET_H_
-#define GEOLIC_LICENSING_LICENSE_SET_H_
+#ifndef GEOLIC_LICENSING_LICENSE_CATALOG_H_
+#define GEOLIC_LICENSING_LICENSE_CATALOG_H_
 
 #include <string>
 #include <vector>
 
 #include "licensing/constraint_schema.h"
 #include "licensing/license.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -14,17 +14,17 @@ namespace geolic {
 // The N redistribution licenses a distributor holds for one content and
 // permission — the paper's S^N = [L_D^1 .. L_D^N]. Licenses are addressed by
 // their 0-based index (the paper's L_D^{index+1}); sets of them are
-// LicenseMask bitmasks. Enforces a uniform content key, permission, schema
-// dimensionality, and the 64-license cap.
-class LicenseSet {
+// LicenseSet bitsets. Enforces a uniform content key, permission, schema
+// dimensionality, and the kMaxLicensesLarge cap.
+class LicenseCatalog {
  public:
   // `schema` must outlive the set.
-  explicit LicenseSet(const ConstraintSchema* schema) : schema_(schema) {}
+  explicit LicenseCatalog(const ConstraintSchema* schema) : schema_(schema) {}
 
   // Adds a redistribution license and returns its index. Fails if the
   // license is not a redistribution license, disagrees with the set's
   // content/permission/dimensionality, duplicates an existing id, or would
-  // exceed 64 licenses.
+  // exceed kMaxLicensesLarge licenses.
   Result<int> Add(License license);
 
   int size() const { return static_cast<int>(licenses_.size()); }
@@ -37,14 +37,14 @@ class LicenseSet {
   const ConstraintSchema& schema() const { return *schema_; }
 
   // Mask of all N licenses.
-  LicenseMask AllMask() const { return FullMask(size()); }
+  LicenseSet AllMask() const { return LicenseSet::Full(size()); }
 
   // The paper's array A: aggregate constraint count per license, by index.
   std::vector<int64_t> AggregateCounts() const;
 
   // Sum of aggregate counts over the licenses in `mask` — the paper's A[S],
   // the RHS of the validation equation for S.
-  int64_t AggregateSum(LicenseMask mask) const;
+  int64_t AggregateSum(const LicenseSet& mask) const;
 
   // Index of the license with `id`, or NOT_FOUND.
   Result<int> IndexOfId(const std::string& id) const;
@@ -56,4 +56,4 @@ class LicenseSet {
 
 }  // namespace geolic
 
-#endif  // GEOLIC_LICENSING_LICENSE_SET_H_
+#endif  // GEOLIC_LICENSING_LICENSE_CATALOG_H_

@@ -13,7 +13,8 @@ constexpr size_t kFrameHeaderBytes = 4 + 8 + 4 + 4;  // len, seq, crcs.
 // Writer-side ids are capped like the log store's loader; with the header
 // CRC verified, any larger length is corruption, not a real frame.
 constexpr uint32_t kMaxIdBytes = 4096;
-constexpr uint32_t kMaxPayloadBytes = 8 + 8 + 4 + kMaxIdBytes;
+constexpr uint32_t kMaxPayloadBytes =
+    8 + 4 + 8 * static_cast<uint32_t>(kMaxLicenseWords) + 8 + 4 + kMaxIdBytes;
 
 template <typename T>
 void PutScalar(std::string* out, T value) {
@@ -40,7 +41,19 @@ Status FrameError(uint64_t offset, const std::string& what) {
 }  // namespace
 
 void EncodeLogRecord(const LogRecord& record, std::string* out) {
-  PutScalar(out, record.set);
+  // v3 set encoding, byte-identical to v2 for inline (single-word) sets:
+  // a record's set is never empty, so the u64 value 0 never occurs as a
+  // valid v2 set word — it doubles as the wide-set escape, followed by an
+  // explicit word count and the little-endian word span.
+  if (record.set.WordCount() == 1) {
+    PutScalar(out, record.set.AsWord());
+  } else {
+    PutScalar(out, uint64_t{0});
+    PutScalar(out, static_cast<uint32_t>(record.set.WordCount()));
+    for (int w = 0; w < record.set.WordCount(); ++w) {
+      PutScalar(out, record.set.Word(w));
+    }
+  }
   PutScalar(out, record.count);
   PutScalar(out, static_cast<uint32_t>(record.issued_license_id.size()));
   out->append(record.issued_license_id);
@@ -48,9 +61,37 @@ void EncodeLogRecord(const LogRecord& record, std::string* out) {
 
 Status DecodeLogRecord(std::string_view bytes, size_t* pos,
                        LogRecord* record) {
+  uint64_t first_word = 0;
+  if (!GetScalar(bytes, pos, &first_word)) {
+    return Status::ParseError("record fields truncated");
+  }
+  if (first_word != 0) {
+    record->set = LicenseSet::FromWord(first_word);
+  } else {
+    // Wide-set escape (see EncodeLogRecord). The decoded set must be
+    // canonical — a trailing zero word or a width of 1 would make encode ∘
+    // decode non-idempotent, so both are corruption.
+    uint32_t word_count = 0;
+    if (!GetScalar(bytes, pos, &word_count)) {
+      return Status::ParseError("record fields truncated");
+    }
+    if (word_count < 2 ||
+        word_count > static_cast<uint32_t>(kMaxLicenseWords)) {
+      return Status::ParseError("implausible set word count");
+    }
+    uint64_t words[kMaxLicenseWords];
+    for (uint32_t w = 0; w < word_count; ++w) {
+      if (!GetScalar(bytes, pos, &words[w])) {
+        return Status::ParseError("record fields truncated");
+      }
+    }
+    if (words[word_count - 1] == 0) {
+      return Status::ParseError("non-canonical wide set");
+    }
+    record->set = LicenseSet::FromWords({words, word_count});
+  }
   uint32_t id_len = 0;
-  if (!GetScalar(bytes, pos, &record->set) ||
-      !GetScalar(bytes, pos, &record->count) ||
+  if (!GetScalar(bytes, pos, &record->count) ||
       !GetScalar(bytes, pos, &id_len)) {
     return Status::ParseError("record fields truncated");
   }
@@ -59,7 +100,7 @@ Status DecodeLogRecord(std::string_view bytes, size_t* pos,
   }
   record->issued_license_id.assign(bytes.data() + *pos, id_len);
   *pos += id_len;
-  if (record->set == 0) {
+  if (record->set.Empty()) {
     return Status::ParseError("record set is empty");
   }
   if (record->count <= 0) {

@@ -44,7 +44,7 @@ class RequestTimer {
 
 }  // namespace
 
-IssuanceService::IssuanceService(const LicenseSet* licenses,
+IssuanceService::IssuanceService(const LicenseCatalog* licenses,
                                  const OnlineValidatorOptions& options,
                                  LicenseGrouping grouping)
     : licenses_(licenses),
@@ -67,7 +67,7 @@ IssuanceService::IssuanceService(const LicenseSet* licenses,
 }
 
 Result<std::unique_ptr<IssuanceService>> IssuanceService::Create(
-    const LicenseSet* licenses, const OnlineValidatorOptions& options) {
+    const LicenseCatalog* licenses, const OnlineValidatorOptions& options) {
   if (licenses == nullptr || licenses->empty()) {
     return Status::InvalidArgument(
         "issuance service needs at least one redistribution license");
@@ -78,19 +78,19 @@ Result<std::unique_ptr<IssuanceService>> IssuanceService::Create(
 }
 
 Result<std::unique_ptr<IssuanceService>> IssuanceService::CreateWithHistory(
-    const LicenseSet* licenses, const OnlineValidatorOptions& options,
+    const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
     const LogStore& history) {
   GEOLIC_ASSIGN_OR_RETURN(std::unique_ptr<IssuanceService> service,
                           Create(licenses, options));
   for (const LogRecord& record : history.records()) {
-    if (!IsSubsetOf(record.set, licenses->AllMask())) {
+    if (!record.set.IsSubsetOf(licenses->AllMask())) {
       return Status::InvalidArgument(
           "history record references unknown license indexes");
     }
-    LicenseMask scope = 0;
+    LicenseSet scope;
     size_t shard_index = 0;
     service->RouteSet(record.set, &scope, &shard_index);
-    if (!IsSubsetOf(record.set, scope)) {
+    if (!(record.set).IsSubsetOf(scope)) {
       // Satisfying sets always lie within one overlap group (every member
       // contains the issued rectangle, so they pairwise overlap); a record
       // spanning groups cannot have come from a valid issuance.
@@ -109,10 +109,10 @@ size_t IssuanceService::ShardOf(int group) const {
   return static_cast<size_t>(group) % shards_.size();
 }
 
-void IssuanceService::RouteSet(LicenseMask s, LicenseMask* scope,
+void IssuanceService::RouteSet(LicenseSet s, LicenseSet* scope,
                                size_t* shard) const {
   if (options_.use_grouping) {
-    const int group = grouping_.GroupOf(LowestLicense(s));
+    const int group = grouping_.GroupOf((s).Lowest());
     *scope = grouping_.GroupMask(group);
     *shard = ShardOf(group);
   } else {
@@ -122,27 +122,25 @@ void IssuanceService::RouteSet(LicenseMask s, LicenseMask* scope,
 }
 
 Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
-                                    LicenseMask scope,
+                                    LicenseSet scope,
                                     OnlineDecision* decision,
                                     RequestTrace* trace) {
-  const LicenseMask s = decision->satisfying_set;
+  const LicenseSet s = decision->satisfying_set;
   const int64_t count = issued.aggregate_count();
-  GEOLIC_DCHECK(IsSubsetOf(s, scope));
+  GEOLIC_DCHECK((s).IsSubsetOf(scope));
 
   // Check every equation T with S ⊆ T ⊆ scope: its LHS gains `count`.
   decision->aggregate_valid = true;
   {
     ScopedStageTimer stage(trace, TraceStage::kEquationScan);
-    const LicenseMask extension = scope & ~s;
-    LicenseMask x = 0;
-    while (true) {
-      if (x == extension && options_.sim_skip_last_equation) {
+    for (AscendingSubsetIterator it(scope - s); !it.Done(); it.Next()) {
+      if (it.AtLast() && options_.sim_skip_last_equation) {
         // Planted bug for the simulation harness's mutation smoke mode:
         // the full-scope equation T = scope goes unchecked, so an
         // issuance that only that equation would reject slips through.
         break;
       }
-      const LicenseMask t = s | x;
+      const LicenseSet t = s | it.subset();
       const int64_t cv = shard->tree.SumSubsets(t) + count;
       const int64_t av = licenses_->AggregateSum(t);
       ++decision->equations_checked;
@@ -151,10 +149,6 @@ Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
         decision->limiting = EquationResult{t, cv, av};
         return Status::Ok();
       }
-      if (x == extension) {
-        break;
-      }
-      x = (x - extension) & extension;
     }
   }
 
@@ -195,7 +189,7 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
     ScopedStageTimer stage(&trace, TraceStage::kInstanceCheck);
     decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
   }
-  if (decision.satisfying_set == 0) {
+  if (decision.satisfying_set.Empty()) {
     metrics_->RecordRejectedInstance(timer.ElapsedNanos());
     trace.Finish(TraceOutcome::kRejectedInstance);
     return decision;  // Fails instance-based validation; nothing recorded.
@@ -203,7 +197,7 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
   decision.instance_valid = true;
   SimYield(options_, "instance_checked");
 
-  LicenseMask scope = 0;
+  LicenseSet scope;
   size_t shard_index = 0;
   RouteSet(decision.satisfying_set, &scope, &shard_index);
   Shard* shard = shards_[shard_index].get();
@@ -242,7 +236,7 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
   struct Pending {
     size_t shard;
     size_t index;
-    LicenseMask scope;
+    LicenseSet scope;
   };
   std::vector<Pending> pending;
   pending.reserve(batch.size());
@@ -257,7 +251,7 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
       }
       decisions[i].satisfying_set =
           instance_validator_.SatisfyingSet(batch[i]);
-      if (decisions[i].satisfying_set == 0) {
+      if (decisions[i].satisfying_set.Empty()) {
         metrics_->RecordRejectedInstance(timer.ElapsedNanos());
         continue;
       }
@@ -330,7 +324,7 @@ Result<ValidationTree> IssuanceService::CollectTree() const {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     Status status = Status::Ok();
-    shard->tree.ForEachSet([&](LicenseMask set, int64_t count) {
+    shard->tree.ForEachSet([&](LicenseSet set, int64_t count) {
       if (status.ok()) {
         status = merged.Insert(set, count);
       }
@@ -422,7 +416,7 @@ Status IssuanceService::WriteCheckpoint(const std::string& path) const {
 }
 
 Result<std::unique_ptr<IssuanceService>> IssuanceService::Recover(
-    const LicenseSet* licenses, const OnlineValidatorOptions& options,
+    const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
     const std::string& checkpoint_path, const std::string& journal_path,
     RecoveryStats* stats) {
   if (checkpoint_path.empty() && journal_path.empty()) {

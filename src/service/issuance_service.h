@@ -10,7 +10,7 @@
 #include "core/grouping.h"
 #include "core/instance_validator.h"
 #include "core/online_validator.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "obs/exposition.h"
 #include "obs/trace.h"
 #include "persist/journal.h"
@@ -65,12 +65,12 @@ class IssuanceService {
   // options.shard_hint caps the number of lock shards (groups are striped
   // over min(hint, group_count) mutexes).
   static Result<std::unique_ptr<IssuanceService>> Create(
-      const LicenseSet* licenses, const OnlineValidatorOptions& options = {});
+      const LicenseCatalog* licenses, const OnlineValidatorOptions& options = {});
 
   // Pre-loads already-validated issuances (not re-checked) into the
   // shards, as OnlineValidator::CreateWithHistory does.
   static Result<std::unique_ptr<IssuanceService>> CreateWithHistory(
-      const LicenseSet* licenses, const OnlineValidatorOptions& options,
+      const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
       const LogStore& history);
 
   // Rebuilds a service from a crash: the newest checkpoint (may be empty —
@@ -84,7 +84,7 @@ class IssuanceService {
   // wrong. The recovered service has no journal attached; call
   // AttachJournal with a fresh journal file to resume durable admission.
   static Result<std::unique_ptr<IssuanceService>> Recover(
-      const LicenseSet* licenses, const OnlineValidatorOptions& options,
+      const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
       const std::string& checkpoint_path, const std::string& journal_path,
       RecoveryStats* stats = nullptr);
 
@@ -146,7 +146,7 @@ class IssuanceService {
   // call while issuance traffic is running.
   Status WriteCheckpoint(const std::string& path) const;
 
-  const LicenseSet& licenses() const { return *licenses_; }
+  const LicenseCatalog& licenses() const { return *licenses_; }
   const LicenseGrouping& grouping() const { return grouping_; }
   const OnlineValidatorOptions& options() const { return options_; }
   int shard_count() const { return static_cast<int>(shards_.size()); }
@@ -170,7 +170,7 @@ class IssuanceService {
     LogStore log;
   };
 
-  IssuanceService(const LicenseSet* licenses,
+  IssuanceService(const LicenseCatalog* licenses,
                   const OnlineValidatorOptions& options,
                   LicenseGrouping grouping);
 
@@ -178,15 +178,15 @@ class IssuanceService {
   size_t ShardOf(int group) const;
   // Equation scope for satisfying set `s` (its group's mask, or the full
   // set without grouping), plus the owning shard index.
-  void RouteSet(LicenseMask s, LicenseMask* scope, size_t* shard) const;
+  void RouteSet(LicenseSet s, LicenseSet* scope, size_t* shard) const;
   // Equation check + tree/log update for one request. Caller holds
   // `shard.mutex`. `decision` already carries the satisfying set; `trace`
   // collects the equation-scan and journal-append spans (never null — pass
   // a RequestTrace built from a null tracer to run untraced).
-  Status AdmitLocked(Shard* shard, const License& issued, LicenseMask scope,
+  Status AdmitLocked(Shard* shard, const License& issued, LicenseSet scope,
                      OnlineDecision* decision, RequestTrace* trace);
 
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
   OnlineValidatorOptions options_;
   LicenseGrouping grouping_;
   LinearInstanceValidator instance_validator_;  // Immutable ⇒ lock-free.

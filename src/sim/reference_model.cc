@@ -1,13 +1,66 @@
 #include "sim/reference_model.h"
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "licensing/license.h"
+#include "util/check.h"
 
 namespace geolic {
 
-ReferenceModel::ReferenceModel(const LicenseSet* licenses)
-    : licenses_(licenses) {}
+// Factoring lemma (why scoping equation checks to one geometric overlap
+// component is still the literal brute force, not an optimization on
+// trial): every recorded set lies inside a single component, so for any T
+// the sum C<T> splits as sum_c C<T ∩ c> and the budget A[T] as
+// sum_c A[T ∩ c]. If every within-component equation holds, every
+// cross-component equation is a sum of satisfied inequalities; and a
+// violated T implies its projection onto the new issuance's component is a
+// violated within-component equation that ascending enumeration reaches
+// first (it is a numerically smaller subset of T). Hence both the verdict
+// and the first-violation witness are unchanged — only the enumeration
+// domain shrinks from 2^N to 2^{component size}.
+ReferenceModel::ReferenceModel(const LicenseCatalog* licenses)
+    : licenses_(licenses) {
+  // Union-find over pairwise rectangle overlap, transcribed directly.
+  const int n = licenses_->size();
+  std::vector<int> parent(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    parent[static_cast<size_t>(i)] = i;
+  }
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (licenses_->at(i).rect().Overlaps(licenses_->at(j).rect())) {
+        parent[static_cast<size_t>(find(i))] = find(j);
+      }
+    }
+  }
+  std::map<int, LicenseSet> by_root;
+  for (int i = 0; i < n; ++i) {
+    by_root[find(i)] |= LicenseSet::Singleton(i);
+  }
+  for (const auto& [root, component] : by_root) {
+    components_.push_back(component);
+  }
+}
+
+LicenseSet ReferenceModel::ComponentOf(const LicenseSet& set) const {
+  for (const LicenseSet& component : components_) {
+    if (set.Intersects(component)) {
+      // A satisfying set never spans components.
+      GEOLIC_CHECK(set.IsSubsetOf(component));
+      return component;
+    }
+  }
+  GEOLIC_CHECK(false);  // set must be non-empty and within the catalog.
+  return LicenseSet();
+}
 
 ReferenceModel::Decision ReferenceModel::TryIssue(
     const License& issued) const {
@@ -15,10 +68,10 @@ ReferenceModel::Decision ReferenceModel::TryIssue(
   // S by definition: every redistribution license containing the request.
   for (int i = 0; i < licenses_->size(); ++i) {
     if (licenses_->at(i).InstanceContains(issued)) {
-      decision.satisfying_set |= SingletonMask(i);
+      decision.satisfying_set |= LicenseSet::Singleton(i);
     }
   }
-  if (decision.satisfying_set == 0) {
+  if (decision.satisfying_set.Empty()) {
     return decision;
   }
   decision.instance_valid = true;
@@ -27,11 +80,11 @@ ReferenceModel::Decision ReferenceModel::TryIssue(
   // walks extensions of S in ascending numeric order, the same total order
   // the optimized scans use, so "first violated equation" is comparable.
   const int64_t count = issued.aggregate_count();
-  const LicenseMask extension = licenses_->AllMask() & ~decision.satisfying_set;
   decision.aggregate_valid = true;
-  LicenseMask x = 0;
-  while (true) {
-    const LicenseMask t = decision.satisfying_set | x;
+  for (AscendingSubsetIterator it(ComponentOf(decision.satisfying_set) -
+                                  decision.satisfying_set);
+       !it.Done(); it.Next()) {
+    const LicenseSet t = decision.satisfying_set | it.subset();
     const int64_t lhs = SumSubsets(t) + count;
     const int64_t rhs = licenses_->AggregateSum(t);
     if (lhs > rhs) {
@@ -41,23 +94,19 @@ ReferenceModel::Decision ReferenceModel::TryIssue(
       decision.limiting_rhs = rhs;
       break;
     }
-    if (x == extension) {
-      break;
-    }
-    x = (x - extension) & extension;
   }
   return decision;
 }
 
-void ReferenceModel::Apply(LicenseMask set, int64_t count) {
+void ReferenceModel::Apply(const LicenseSet& set, int64_t count) {
   counts_[set] += count;
   ++version_;
 }
 
-int64_t ReferenceModel::SumSubsets(LicenseMask t) const {
+int64_t ReferenceModel::SumSubsets(const LicenseSet& t) const {
   int64_t sum = 0;
   for (const auto& [set, count] : counts_) {
-    if (IsSubsetOf(set, t)) {
+    if (set.IsSubsetOf(t)) {
       sum += count;
     }
   }
@@ -65,18 +114,19 @@ int64_t ReferenceModel::SumSubsets(LicenseMask t) const {
 }
 
 Status ReferenceModel::CheckInvariant() const {
-  const LicenseMask all = licenses_->AllMask();
-  // Every non-empty T ⊆ all; subset enumeration via the decrement trick.
-  LicenseMask t = all;
-  while (t != 0) {
-    const int64_t lhs = SumSubsets(t);
-    const int64_t rhs = licenses_->AggregateSum(t);
-    if (lhs > rhs) {
-      return Status::Internal("eq. 1 violated: C<mask " + std::to_string(t) +
-                              "> = " + std::to_string(lhs) + " > A[T] = " +
-                              std::to_string(rhs));
+  // Every non-empty within-component T; cross-component equations follow
+  // by the factoring lemma above.
+  for (const LicenseSet& component : components_) {
+    for (SubsetIterator it(component); !it.Done(); it.Next()) {
+      const LicenseSet t = it.subset();
+      const int64_t lhs = SumSubsets(t);
+      const int64_t rhs = licenses_->AggregateSum(t);
+      if (lhs > rhs) {
+        return Status::Internal("eq. 1 violated: C<" + t.ToHex() +
+                                "> = " + std::to_string(lhs) + " > A[T] = " +
+                                std::to_string(rhs));
+      }
     }
-    t = (t - 1) & all;
   }
   return Status::Ok();
 }

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
-#include "licensing/license_set.h"
-#include "util/bits.h"
+#include "licensing/license_catalog.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -28,18 +29,21 @@ class ReferenceModel {
   struct Decision {
     bool instance_valid = false;
     bool aggregate_valid = false;
-    LicenseMask satisfying_set = 0;
+    LicenseSet satisfying_set;
     // First violated equation in ascending-extension enumeration order
     // (meaningful only when aggregate_valid is false).
-    LicenseMask limiting_set = 0;
+    LicenseSet limiting_set;
     int64_t limiting_lhs = 0;
     int64_t limiting_rhs = 0;
 
     bool accepted() const { return instance_valid && aggregate_valid; }
   };
 
-  // `licenses` must outlive the model.
-  explicit ReferenceModel(const LicenseSet* licenses);
+  // `licenses` must outlive the model. Overlap components of the license
+  // geometry are computed here once, from first principles (pairwise
+  // rectangle overlap + union-find) — deliberately NOT from the production
+  // grouping code, whose equivalence is among the things on trial.
+  explicit ReferenceModel(const LicenseCatalog* licenses);
 
   // Decides `issued` against the current counts without recording it.
   // Definitionally: S = every redistribution license whose region contains
@@ -50,11 +54,11 @@ class ReferenceModel {
   Decision TryIssue(const License& issued) const;
 
   // Records an accepted issuance.
-  void Apply(LicenseMask set, int64_t count);
+  void Apply(const LicenseSet& set, int64_t count);
 
   // C⟨T⟩: total count over every recorded set that is a subset of `t`,
   // by linear scan of the map.
-  int64_t SumSubsets(LicenseMask t) const;
+  int64_t SumSubsets(const LicenseSet& t) const;
 
   // Verifies eq. 1 for EVERY subset of the license set (2^N equations —
   // keep N small). The safety property proper: if this ever fails after
@@ -66,11 +70,25 @@ class ReferenceModel {
   // tasks interleaved with a multi-step operation.
   uint64_t version() const { return version_; }
 
-  const std::map<LicenseMask, int64_t>& counts() const { return counts_; }
+  const std::map<LicenseSet, int64_t>& counts() const { return counts_; }
+
+  // The geometric overlap components (disjoint, covering all licenses).
+  // Exposed so exhaustive external sweeps can factor the same way the
+  // model's own enumeration does.
+  const std::vector<LicenseSet>& components() const { return components_; }
 
  private:
-  const LicenseSet* licenses_;
-  std::map<LicenseMask, int64_t> counts_;
+  // The overlap component containing `set` (every satisfying set lies in
+  // one component: its licenses all contain the request, so they pairwise
+  // overlap).
+  LicenseSet ComponentOf(const LicenseSet& set) const;
+
+  const LicenseCatalog* licenses_;
+  // Geometric overlap components; equation enumeration factors across
+  // them (see the lemma in reference_model.cc), which is what keeps the
+  // brute force feasible past a few dozen licenses.
+  std::vector<LicenseSet> components_;
+  std::map<LicenseSet, int64_t> counts_;
   uint64_t version_ = 0;
 };
 

@@ -28,12 +28,7 @@ namespace {
 // to bound how big an unobserved in-flight admission can be.
 constexpr int64_t kMaxRequestCount = 3;
 
-std::string MaskText(LicenseMask mask) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "0x%llx",
-                static_cast<unsigned long long>(mask));
-  return buffer;
-}
+std::string MaskText(const LicenseSet& mask) { return mask.ToHex(); }
 
 std::string DescribeOp(const SimOp& op) {
   switch (op.kind) {
@@ -78,7 +73,7 @@ struct SimState {
   // not have fully reached the platter, so recovery is allowed to contain
   // exactly this one record beyond the model.
   bool have_maybe_persisted = false;
-  LicenseMask maybe_persisted_set = 0;
+  LicenseSet maybe_persisted_set;
   int64_t maybe_persisted_count = 0;
   // A batch died on the fault: the in-flight admission is unknown, so the
   // recovery diff falls back to a bounded one-record allowance.
@@ -89,7 +84,7 @@ struct SimState {
   std::vector<std::string> op_trace;
   size_t ops_executed = 0;
 
-  explicit SimState(const LicenseSet* licenses) : model(licenses) {}
+  explicit SimState(const LicenseCatalog* licenses) : model(licenses) {}
 };
 
 void Fail(SimState* state, const std::string& what) {
@@ -103,7 +98,7 @@ void Fail(SimState* state, const std::string& what) {
 // the weak form — used while another task's batch is mid-flight, when the
 // model legitimately lags the service — still pins the immutable geometry
 // and requires any rejection to cite a genuinely coherent equation.
-std::string CompareDecision(const LicenseSet& licenses,
+std::string CompareDecision(const LicenseCatalog& licenses,
                             const ReferenceModel& model,
                             const License& request,
                             const OnlineDecision& got, bool strong) {
@@ -148,7 +143,7 @@ std::string CompareDecision(const LicenseSet& licenses,
              " cites a wrong aggregate budget for " +
              MaskText(got.limiting.set);
     }
-    if (!IsSubsetOf(got.satisfying_set, got.limiting.set)) {
+    if (!(got.satisfying_set).IsSubsetOf(got.limiting.set)) {
       return "limiting set for " + request.id() +
              " does not contain the satisfying set";
     }
@@ -178,7 +173,7 @@ void NoteJournalError(SimState* state, const License& request) {
 // service may only ever be AHEAD of the model — a missing record means an
 // acknowledged admission vanished.
 void ReconcileModelFromServiceLog(SimState* state) {
-  const std::unordered_map<LicenseMask, int64_t> merged =
+  const std::unordered_map<LicenseSet, int64_t> merged =
       state->service->CollectLog().MergedCounts();
   for (const auto& [set, count] : state->model.counts()) {
     const auto it = merged.find(set);
@@ -311,8 +306,8 @@ void ExecuteOp(SimState* state, const SimOp& op) {
 // acknowledged record, a phantom record, more than one extra — is a
 // durability bug. Adopts the allowed extra into the model.
 void CheckRecoveredCounts(
-    SimState* state, const std::unordered_map<LicenseMask, int64_t>& recovered) {
-  std::map<LicenseMask, int64_t> extras;
+    SimState* state, const std::unordered_map<LicenseSet, int64_t>& recovered) {
+  std::map<LicenseSet, int64_t> extras;
   for (const auto& [set, count] : state->model.counts()) {
     const auto it = recovered.find(set);
     const int64_t have = it == recovered.end() ? 0 : it->second;
@@ -372,9 +367,9 @@ void CheckRecoveredCounts(
 // the recovered service.
 void FinalChecks(SimState* state, const SimConfig& config,
                  const OnlineValidatorOptions& options) {
-  const LicenseSet& licenses = *state->workload->licenses;
+  const LicenseCatalog& licenses = *state->workload->licenses;
   if (state->failure.empty() && !state->batch_error) {
-    const std::unordered_map<LicenseMask, int64_t> merged =
+    const std::unordered_map<LicenseSet, int64_t> merged =
         state->service->CollectLog().MergedCounts();
     if (merged.size() != state->model.counts().size()) {
       Fail(state, "final log has " + std::to_string(merged.size()) +
@@ -395,15 +390,39 @@ void FinalChecks(SimState* state, const SimConfig& config,
       Fail(state, std::string("flat tree compile failed: ") +
                       flat.status().message());
     } else {
-      // Every equation LHS, flat pruned scan vs. brute force.
-      const LicenseMask all = licenses.AllMask();
-      LicenseMask t = all;
-      while (t != 0 && state->failure.empty()) {
-        if (flat->SumSubsets(t) != state->model.SumSubsets(t)) {
-          Fail(state, "flat tree C<S> diverges from brute force at " +
-                          MaskText(t));
+      // Every equation LHS, flat pruned scan vs. brute force. Recorded
+      // sets lie within one overlap component, so C<T> factors across
+      // components; sweeping each component exhaustively covers every
+      // distinct per-component sum (2^slab per slab instead of 2^N).
+      const std::vector<LicenseSet>& components = state->model.components();
+      for (const LicenseSet& component : components) {
+        for (SubsetIterator it(component); !it.Done() && state->failure.empty();
+             it.Next()) {
+          const LicenseSet t = it.subset();
+          if (flat->SumSubsets(t) != state->model.SumSubsets(t)) {
+            Fail(state, "flat tree C<S> diverges from brute force at " +
+                            MaskText(t));
+          }
         }
-        t = (t - 1) & all;
+      }
+      // Cross-component probes: full pairwise unions and the all-mask,
+      // so the factored path through the flat tree is exercised on
+      // spanning equations too (bounded: O(components^2) probes).
+      if (state->failure.empty()) {
+        std::vector<LicenseSet> spanning;
+        for (size_t a = 0; a < components.size(); ++a) {
+          for (size_t b = a + 1; b < components.size(); ++b) {
+            spanning.push_back(components[a] | components[b]);
+          }
+        }
+        spanning.push_back(licenses.AllMask());
+        for (const LicenseSet& t : spanning) {
+          if (flat->SumSubsets(t) != state->model.SumSubsets(t)) {
+            Fail(state, "flat tree C<S> diverges from brute force at " +
+                            MaskText(t));
+            break;
+          }
+        }
       }
     }
   }
@@ -493,11 +512,17 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
                      ->AddIntervalDimension("C" + std::to_string(d + 1))
                      .ok());
   }
-  workload.licenses = std::make_unique<LicenseSet>(workload.schema.get());
+  workload.licenses = std::make_unique<LicenseCatalog>(workload.schema.get());
   const int license_count = static_cast<int>(
       rng.UniformInt(config.min_licenses, config.max_licenses));
   constexpr int64_t kDomain = 24;
+  // Slabs are 2*kDomain apart so a license's interval (max hi offset
+  // kDomain - 6 + 10 = 28) can never reach the next slab: components stay
+  // within one slab by construction.
+  constexpr int64_t kSlabStride = 2 * kDomain;
+  const int slabs = config.cluster_slabs < 1 ? 1 : config.cluster_slabs;
   for (int i = 0; i < license_count; ++i) {
+    const int64_t slab_lo = (i % slabs) * kSlabStride;
     LicenseBuilder builder(workload.schema.get());
     builder.SetId("L" + std::to_string(i + 1))
         .SetContentKey("K")
@@ -505,7 +530,7 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
         .SetPermission(Permission::kPlay)
         .SetAggregateCount(rng.UniformInt(2, 10));
     for (int d = 0; d < dims; ++d) {
-      const int64_t lo = rng.UniformInt(0, kDomain - 6);
+      const int64_t lo = slab_lo + rng.UniformInt(0, kDomain - 6);
       const int64_t hi = lo + rng.UniformInt(3, 10);
       builder.SetInterval("C" + std::to_string(d + 1), lo, hi);
     }
@@ -523,10 +548,12 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
         .SetPermission(Permission::kPlay)
         .SetAggregateCount(rng.UniformInt(1, kMaxRequestCount));
     if (rng.Bernoulli(0.15)) {
-      // Anywhere in the domain: often instance-invalid — the lock-free
+      // Anywhere in a random slab: often instance-invalid — the lock-free
       // fast-reject path.
+      const int64_t slab_lo =
+          rng.UniformInt(0, static_cast<int64_t>(slabs) - 1) * kSlabStride;
       for (int d = 0; d < dims; ++d) {
-        const int64_t lo = rng.UniformInt(0, kDomain - 1);
+        const int64_t lo = slab_lo + rng.UniformInt(0, kDomain - 1);
         builder.SetInterval("C" + std::to_string(d + 1), lo,
                             lo + rng.UniformInt(0, 4));
       }

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "licensing/license.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 
 namespace geolic {
 
@@ -29,6 +29,11 @@ struct SimConfig {
   // service under test (OnlineValidatorOptions::sim_skip_last_equation).
   // The harness itself is unchanged — a correct harness must now FAIL.
   bool inject_equation_skip = false;
+  // Wide-N mode: scatter licenses round-robin into this many disjoint
+  // domain slabs (1 = the legacy single-arena shape). Overlap components
+  // then stay slab-sized, which keeps the brute-force reference feasible
+  // with licenses in the hundreds (multi-word LicenseSet territory).
+  int cluster_slabs = 1;
 };
 
 // One client-visible operation against the service.
@@ -51,7 +56,7 @@ struct SimOp {
 // keep internal pointers stable across moves.
 struct SimWorkload {
   std::unique_ptr<ConstraintSchema> schema;
-  std::unique_ptr<LicenseSet> licenses;
+  std::unique_ptr<LicenseCatalog> licenses;
   std::vector<std::vector<SimOp>> client_ops;
   // Fault schedule (fault_kind 0 = none, 1 = torn append, 2 = fsync
   // failure after an append).

@@ -1,109 +1,79 @@
 #ifndef GEOLIC_UTIL_BITS_H_
 #define GEOLIC_UTIL_BITS_H_
 
-#include <bit>
-#include <cstdint>
+// DEPRECATION SHIM — scheduled for deletion after the next PR (target:
+// 2026-09). The bare `LicenseMask = uint64_t` bitmask API grew into the
+// value-type LicenseSet (util/license_set.h): a small-size-optimized
+// multi-word bitset whose inline-word representation is bit-identical to
+// the old masks for indexes < 64, and which spills past the historical
+// 64-license ceiling up to kMaxLicensesLarge.
+//
+// Every free function below forwards to the equivalent LicenseSet member
+// and is annotated [[deprecated]] so out-of-tree/bench code migrates on a
+// clean compile signal. See API.md for the old-name → new-member table.
+// New code must include util/license_set.h directly.
+
 #include <string>
 #include <vector>
 
-#include "util/check.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
-// A set of redistribution licenses encoded as a bitmask: bit i set means the
-// i-th redistribution license (0-based internally; the paper's L_D^{i+1}) is
-// in the set. Caps the library at 64 redistribution licenses per content —
-// the paper's evaluation stops at N = 35.
-using LicenseMask = uint64_t;
+// The historical mask typedef. LicenseSet's inline word IS the old
+// representation; the alias keeps old spellings compiling while they last.
+using LicenseMask [[deprecated("spell it LicenseSet")]] = LicenseSet;
 
-inline constexpr int kMaxLicenses = 64;
+// The historical 64-license ceiling — now only the inline fast-path width.
+// Capacity checks should compare against kMaxLicensesLarge.
+[[deprecated("use kMaxLicensesInline (fast path) or kMaxLicensesLarge "
+             "(capacity)")]] inline constexpr int kMaxLicenses =
+    kMaxLicensesInline;
 
-// Number of licenses in the set.
-inline int MaskSize(LicenseMask mask) { return std::popcount(mask); }
+[[deprecated("use LicenseSet::Size()")]]
+inline int MaskSize(const LicenseSet& mask) { return mask.Size(); }
 
-// Mask with the single license `index` (0-based). Requires index in [0, 64).
-inline LicenseMask SingletonMask(int index) {
-  GEOLIC_DCHECK(index >= 0 && index < kMaxLicenses);
-  return LicenseMask{1} << index;
+[[deprecated("use LicenseSet::Singleton(index)")]]
+inline LicenseSet SingletonMask(int index) {
+  return LicenseSet::Singleton(index);
 }
 
-// Mask of the full set {0, .., n-1}. Requires n in [0, 64].
-inline LicenseMask FullMask(int n) {
-  GEOLIC_DCHECK(n >= 0 && n <= kMaxLicenses);
-  if (n == 0) {
-    return 0;
-  }
-  if (n == kMaxLicenses) {
-    return ~LicenseMask{0};
-  }
-  return (LicenseMask{1} << n) - 1;
+[[deprecated("use LicenseSet::Full(n)")]]
+inline LicenseSet FullMask(int n) { return LicenseSet::Full(n); }
+
+[[deprecated("use subset.IsSubsetOf(superset)")]]
+inline bool IsSubsetOf(const LicenseSet& subset, const LicenseSet& superset) {
+  return subset.IsSubsetOf(superset);
 }
 
-// True iff `subset` ⊆ `superset`.
-inline bool IsSubsetOf(LicenseMask subset, LicenseMask superset) {
-  return (subset & ~superset) == 0;
+[[deprecated("use LicenseSet::Contains(index)")]]
+inline bool MaskContains(const LicenseSet& mask, int index) {
+  return mask.Contains(index);
 }
 
-// True iff license `index` is in `mask`.
-inline bool MaskContains(LicenseMask mask, int index) {
-  return (mask >> index) & 1;
+[[deprecated("use LicenseSet::Lowest()")]]
+inline int LowestLicense(const LicenseSet& mask) { return mask.Lowest(); }
+
+[[deprecated("use LicenseSet::Highest()")]]
+inline int HighestLicense(const LicenseSet& mask) { return mask.Highest(); }
+
+[[deprecated("use LicenseSet::ToIndexes()")]]
+inline std::vector<int> MaskToIndexes(const LicenseSet& mask) {
+  return mask.ToIndexes();
 }
 
-// 0-based index of the lowest license in `mask`. Requires mask != 0.
-inline int LowestLicense(LicenseMask mask) {
-  GEOLIC_DCHECK(mask != 0);
-  return std::countr_zero(mask);
+[[deprecated("use LicenseSet::FromIndexes(indexes)")]]
+inline LicenseSet IndexesToMask(const std::vector<int>& indexes) {
+  return LicenseSet::FromIndexes(indexes);
 }
 
-// 0-based index of the highest license in `mask`. Requires mask != 0.
-inline int HighestLicense(LicenseMask mask) {
-  GEOLIC_DCHECK(mask != 0);
-  return 63 - std::countl_zero(mask);
+[[deprecated("use LicenseSet::ToString()")]]
+inline std::string MaskToString(const LicenseSet& mask) {
+  return mask.ToString();
 }
 
-// Ascending list of license indexes in `mask` (how the validation tree and
-// the paper's log table spell a set: {L1, L2, L4} with increasing indexes).
-std::vector<int> MaskToIndexes(LicenseMask mask);
-
-// Builds a mask from 0-based indexes. Duplicates collapse.
-LicenseMask IndexesToMask(const std::vector<int>& indexes);
-
-// Iterates every non-empty subset of `set` in the standard descending
-// submask order:
-//
-//   for (SubsetIterator it(set); !it.Done(); it.Next()) { use it.subset(); }
-//
-// Enumerates 2^|set| − 1 subsets (the null set is skipped, matching the
-// summation limits of validation equation 1).
-class SubsetIterator {
- public:
-  explicit SubsetIterator(LicenseMask set)
-      : set_(set), subset_(set), done_(set == 0) {}
-
-  bool Done() const { return done_; }
-  LicenseMask subset() const { return subset_; }
-
-  void Next() {
-    GEOLIC_DCHECK(!done_);
-    if (subset_ == 0) {
-      done_ = true;
-      return;
-    }
-    subset_ = (subset_ - 1) & set_;
-    if (subset_ == 0) {
-      done_ = true;
-    }
-  }
-
- private:
-  LicenseMask set_;
-  LicenseMask subset_;
-  bool done_;
-};
-
-// Renders a mask as the paper writes sets: "{L1, L2, L4}" with 1-based
-// license numbers. "{}" for the empty mask.
-std::string MaskToString(LicenseMask mask);
+// SubsetIterator moved to util/license_set.h unchanged in name and
+// semantics; including this shim keeps it visible.
 
 }  // namespace geolic
 

@@ -1,38 +1,13 @@
 #include "validation/exhaustive_validator.h"
 
-#include "validation/validate.h"
-
 namespace geolic {
 
-// Both historical entry points are thin wrappers over the Validate facade;
-// the serial Algorithm 2 engine lives in validate.cc.
-
-Result<ValidationReport> ValidateExhaustive(
-    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
-  ValidateOptions options;
-  options.mode = ValidationMode::kExhaustive;
-  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
-                          Validate(tree, aggregates, options));
-  return std::move(outcome.report);
-}
-
-Result<ValidationReport> ValidateExhaustiveLimited(
-    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
-    uint64_t max_equations) {
-  ValidateOptions options;
-  options.mode = ValidationMode::kExhaustive;
-  options.max_equations = max_equations;
-  GEOLIC_ASSIGN_OR_RETURN(ValidationOutcome outcome,
-                          Validate(tree, aggregates, options));
-  return std::move(outcome.report);
-}
-
 int64_t LhsFromMergedCounts(
-    const std::unordered_map<LicenseMask, int64_t>& merged_counts,
-    LicenseMask set) {
+    const std::unordered_map<LicenseSet, int64_t>& merged_counts,
+    const LicenseSet& set) {
   int64_t sum = 0;
   for (const auto& [mask, count] : merged_counts) {
-    if (IsSubsetOf(mask, set)) {
+    if (mask.IsSubsetOf(set)) {
       sum += count;
     }
   }

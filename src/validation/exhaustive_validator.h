@@ -3,46 +3,29 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <vector>
 
-#include "validation/validation_report.h"
-#include "validation/validation_tree.h"
-#include "util/status.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
-// The baseline offline aggregate validator of reference [10] (the paper's
-// Algorithm 2): for every i = 1 .. 2^N − 1, interpret i as a set S of
-// redistribution licenses, compute CV = C⟨S⟩ from the validation tree and
-// AV = A[S] from the aggregate array, and flag S when CV > AV.
+// The baseline offline validators that used to live here
+// (ValidateExhaustive, ValidateExhaustiveLimited, and ValidateZeta from
+// the former zeta_validator.h) are folded into the Validate facade:
 //
-// `aggregates[j]` is the aggregate constraint count of the j-th (0-based)
-// redistribution license; N = aggregates.size(). Requires N ≤ 64 and — for
-// the 2^N enumeration to be tractable — realistically N ≲ 30; callers
-// wanting the paper's efficient method use core/GroupedValidator instead.
+//   Validate(tree, aggregates, {.mode = ValidationMode::kExhaustive})
+//   Validate(tree, aggregates, {.mode = ValidationMode::kZeta})
 //
-// Compatibility wrapper, slated for [[deprecated]]: new code should call
-// Validate(tree, aggregates, {.mode = ValidationMode::kExhaustive})
-// (validation/validate.h). Both entry points below delegate to that facade
-// and produce byte-identical reports.
-Result<ValidationReport> ValidateExhaustive(
-    const ValidationTree& tree, const std::vector<int64_t>& aggregates);
-
-// Like ValidateExhaustive, but stops after `max_equations` equations
-// (report.equations_evaluated tells how far it got). Benchmarks use this to
-// bound baseline runtime at large N; a partial run never reports
-// `all_valid` semantics beyond the equations it evaluated.
-Result<ValidationReport> ValidateExhaustiveLimited(
-    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
-    uint64_t max_equations);
+// with options.max_equations / options.max_dense_n replacing the extra
+// parameters. See validation/validate.h. Only the reference LHS evaluator
+// below remains.
 
 // Reference implementation of a single equation's LHS, straight from merged
 // log counts: Σ counts over keys that are subsets of `set`. O(#distinct
 // sets) per call; used by tests to pin down the tree traversal and by the
 // online validator.
 int64_t LhsFromMergedCounts(
-    const std::unordered_map<LicenseMask, int64_t>& merged_counts,
-    LicenseMask set);
+    const std::unordered_map<LicenseSet, int64_t>& merged_counts,
+    const LicenseSet& set);
 
 }  // namespace geolic
 

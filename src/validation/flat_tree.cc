@@ -9,13 +9,13 @@ namespace {
 
 // Emits `node`'s children (not `node` itself) in preorder and returns
 // nothing; each emitted slot's subtree columns are filled after its own
-// children are emitted. Depth is bounded by kMaxLicenses (path indexes
+// children are emitted. Depth is bounded by kMaxLicensesLarge (path indexes
 // strictly increase), so recursion is safe.
 struct Compiler {
   std::vector<int32_t>* index;
   std::vector<int64_t>* count;
   std::vector<uint32_t>* subtree_end;
-  std::vector<LicenseMask>* subtree_mask;
+  std::vector<LicenseSet>* subtree_mask;
   std::vector<int64_t>* subtree_sum;
 
   void EmitChildren(const ValidationTreeNode& node) {
@@ -23,12 +23,12 @@ struct Compiler {
       const size_t slot = index->size();
       index->push_back(child->index);
       count->push_back(child->count);
-      subtree_end->push_back(0);   // Patched below.
-      subtree_mask->push_back(0);  // Accumulated below.
+      subtree_end->push_back(0);  // Patched below.
+      subtree_mask->push_back(LicenseSet());  // Accumulated below.
       subtree_sum->push_back(0);
       EmitChildren(*child);
       (*subtree_end)[slot] = static_cast<uint32_t>(index->size());
-      LicenseMask mask = SingletonMask(child->index);
+      LicenseSet mask = LicenseSet::Singleton(child->index);
       int64_t sum = child->count;
       // The children of `slot` occupy [slot+1, subtree_end); hop sibling to
       // sibling, folding their already-final subtree columns.
@@ -50,40 +50,74 @@ FlatValidationTree FlatValidationTree::Compile(const ValidationTree& tree) {
   flat.index_.reserve(nodes);
   flat.count_.reserve(nodes);
   flat.subtree_end_.reserve(nodes);
-  flat.subtree_mask_.reserve(nodes);
   flat.subtree_sum_.reserve(nodes);
-  Compiler compiler{&flat.index_, &flat.count_, &flat.subtree_end_,
-                    &flat.subtree_mask_, &flat.subtree_sum_};
+  std::vector<LicenseSet> masks;
+  masks.reserve(nodes);
+  Compiler compiler{&flat.index_, &flat.count_, &flat.subtree_end_, &masks,
+                    &flat.subtree_sum_};
   compiler.EmitChildren(tree.root());
   for (size_t i = 0; i < flat.index_.size(); i = flat.subtree_end_[i]) {
-    flat.present_ |= flat.subtree_mask_[i];
+    flat.present_ |= masks[i];
     flat.total_count_ += flat.subtree_sum_[i];
+  }
+  // Slice the masks into a contiguous word arena at the compile-wide width.
+  // present_ is the union of every subtree mask, so its word count bounds
+  // them all; a tree confined to indexes < 64 keeps the stride at 1 and the
+  // arena is exactly the historical u64 column.
+  flat.mask_words_ = static_cast<uint32_t>(flat.present_.WordCount());
+  flat.subtree_mask_words_.assign(masks.size() * flat.mask_words_, 0);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    for (uint32_t w = 0; w < flat.mask_words_; ++w) {
+      flat.subtree_mask_words_[i * flat.mask_words_ + w] =
+          masks[i].Word(static_cast<int>(w));
+    }
   }
   return flat;
 }
 
-int64_t FlatValidationTree::SumSubsets(LicenseMask set,
-                                       uint64_t* nodes_visited) const {
+template <bool kSingleWord>
+int64_t FlatValidationTree::SumSubsetsImpl(const LicenseSet& set,
+                                           uint64_t* nodes_visited) const {
   const size_t size = index_.size();
+  const uint32_t words = kSingleWord ? 1 : mask_words_;
+  uint64_t set_words[kMaxLicenseWords];
+  for (uint32_t w = 0; w < words; ++w) {
+    set_words[w] = set.Word(static_cast<int>(w));
+  }
   int64_t sum = 0;
   uint64_t touched = 0;
   size_t i = 0;
   while (i < size) {
     ++touched;
-    const LicenseMask inter = subtree_mask_[i] & set;
-    if (inter == subtree_mask_[i]) {
+    const uint64_t* mask = &subtree_mask_words_[i * words];
+    bool covered;
+    bool empty;
+    if constexpr (kSingleWord) {
+      const uint64_t inter = mask[0] & set_words[0];
+      covered = inter == mask[0];
+      empty = inter == 0;
+    } else {
+      covered = true;
+      empty = true;
+      for (uint32_t w = 0; w < words; ++w) {
+        const uint64_t inter = mask[w] & set_words[w];
+        covered = covered && inter == mask[w];
+        empty = empty && inter == 0;
+      }
+    }
+    if (covered) {
       // Fully covered region: one add replaces the whole descent. Every
       // leaf whose index is in `set` lands here too.
       sum += subtree_sum_[i];
       i = subtree_end_[i];
       continue;
     }
-    if (inter == 0) {
+    if (empty) {
       // Theorem 1, per query: nothing below overlaps `set`.
       i = subtree_end_[i];
       continue;
     }
-    if (!MaskContains(set, index_[i])) {
+    if (!set.Contains(index_[i])) {
       // Every path through this node spells its index; off-set ⇒ the whole
       // subtree contributes nothing (the structural ref [10] rule).
       i = subtree_end_[i];
@@ -98,7 +132,18 @@ int64_t FlatValidationTree::SumSubsets(LicenseMask set,
   return sum;
 }
 
-int64_t FlatValidationTree::SumSubsetsNoAccel(LicenseMask set,
+int64_t FlatValidationTree::SumSubsets(const LicenseSet& set,
+                                       uint64_t* nodes_visited) const {
+  return mask_words_ == 1 ? SumSubsetsImpl<true>(set, nodes_visited)
+                          : SumSubsetsImpl<false>(set, nodes_visited);
+}
+
+int64_t FlatValidationTree::SumSubsetsWideReference(
+    const LicenseSet& set, uint64_t* nodes_visited) const {
+  return SumSubsetsImpl<false>(set, nodes_visited);
+}
+
+int64_t FlatValidationTree::SumSubsetsNoAccel(const LicenseSet& set,
                                               uint64_t* nodes_visited) const {
   const size_t size = index_.size();
   int64_t sum = 0;
@@ -106,7 +151,7 @@ int64_t FlatValidationTree::SumSubsetsNoAccel(LicenseMask set,
   size_t i = 0;
   while (i < size) {
     ++touched;
-    if (!MaskContains(set, index_[i])) {
+    if (!set.Contains(index_[i])) {
       i = subtree_end_[i];
       continue;
     }
@@ -119,11 +164,13 @@ int64_t FlatValidationTree::SumSubsetsNoAccel(LicenseMask set,
   return sum;
 }
 
-void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseMask> sets,
-                                         std::span<int64_t> sums,
-                                         uint64_t* nodes_visited) const {
+template <bool kSingleWord>
+void FlatValidationTree::SumSubsetsBatchImpl(std::span<const LicenseSet> sets,
+                                             std::span<int64_t> sums,
+                                             uint64_t* nodes_visited) const {
   GEOLIC_DCHECK(sums.size() >= sets.size());
   const size_t size = index_.size();
+  const uint32_t words = kSingleWord ? 1 : mask_words_;
   uint64_t touched = 0;
   // 64 queries share one pruned preorder pass: lane q of the `alive`
   // bitset says query q still descends the current subtree, so each node
@@ -134,24 +181,35 @@ void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseMask> sets,
   // independent of how callers chunk their equations.
   for (size_t base = 0; base < sets.size(); base += 64) {
     const size_t chunk = std::min<size_t>(64, sets.size() - base);
-    const LicenseMask* chunk_sets = sets.data() + base;
+    const LicenseSet* chunk_sets = sets.data() + base;
     int64_t* chunk_sums = sums.data() + base;
     for (size_t q = 0; q < chunk; ++q) {
       chunk_sums[q] = 0;
     }
-    // member[j]: lanes whose query set contains license j.
-    uint64_t member[kMaxLicenses] = {};
+    // qwords[q * words + w]: query q's set, zero-extended to the compile's
+    // mask width so per-word tests never index past a narrow query.
+    constexpr size_t kQueryWordSlots =
+        64u * (kSingleWord ? 1u : static_cast<size_t>(kMaxLicenseWords));
+    uint64_t qwords[kQueryWordSlots];
     for (size_t q = 0; q < chunk; ++q) {
-      for (LicenseMask bits = chunk_sets[q]; bits != 0; bits &= bits - 1) {
-        member[LowestLicense(bits)] |= uint64_t{1} << q;
+      for (uint32_t w = 0; w < words; ++w) {
+        qwords[q * words + w] = chunk_sets[q].Word(static_cast<int>(w));
+      }
+    }
+    // member[j]: lanes whose query set contains license j.
+    uint64_t member[kMaxLicensesLarge] = {};
+    for (size_t q = 0; q < chunk; ++q) {
+      for (int idx : chunk_sets[q].Indexes()) {
+        member[static_cast<size_t>(idx)] |= uint64_t{1} << q;
       }
     }
     // (subtree end, lanes to restore on leaving that subtree). Depth is
-    // bounded by kMaxLicenses: path indexes strictly increase.
-    std::pair<uint32_t, uint64_t> stack[kMaxLicenses + 1];
+    // bounded by kMaxLicensesLarge (path indexes strictly increase), so
+    // the frame array tops out at ~16 KiB of stack — fine for the worker
+    // threads this runs on; revisit before raising kMaxLicensesLarge.
+    std::pair<uint32_t, uint64_t> stack[kMaxLicensesLarge + 1];
     size_t depth = 0;
-    uint64_t alive =
-        chunk == 64 ? ~uint64_t{0} : (uint64_t{1} << chunk) - 1;
+    uint64_t alive = chunk == 64 ? ~uint64_t{0} : (uint64_t{1} << chunk) - 1;
     size_t i = 0;
     while (i < size) {
       while (depth > 0 && stack[depth - 1].first == i) {
@@ -163,13 +221,23 @@ void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseMask> sets,
         i = subtree_end_[i];
         continue;
       }
-      const LicenseMask mask = subtree_mask_[i];
+      const uint64_t* mask = &subtree_mask_words_[i * words];
       const int64_t node_count = count_[i];
       const int64_t node_sum = subtree_sum_[i];
       uint64_t descend = 0;
       for (uint64_t lanes = on_path; lanes != 0; lanes &= lanes - 1) {
         const int q = std::countr_zero(lanes);
-        if ((mask & ~chunk_sets[q]) == 0) {
+        bool covered;
+        if constexpr (kSingleWord) {
+          covered = (mask[0] & ~qwords[q]) == 0;
+        } else {
+          covered = true;
+          const uint64_t* qw = &qwords[static_cast<uint32_t>(q) * words];
+          for (uint32_t w = 0; w < words; ++w) {
+            covered = covered && (mask[w] & ~qw[w]) == 0;
+          }
+        }
+        if (covered) {
           chunk_sums[q] += node_sum;  // Covered: summarize, stop here.
         } else {
           chunk_sums[q] += node_count;
@@ -190,16 +258,32 @@ void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseMask> sets,
   }
 }
 
-int64_t FlatValidationTree::CountOf(LicenseMask set) const {
-  if (set == 0) {
+void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseSet> sets,
+                                         std::span<int64_t> sums,
+                                         uint64_t* nodes_visited) const {
+  if (mask_words_ == 1) {
+    SumSubsetsBatchImpl<true>(sets, sums, nodes_visited);
+  } else {
+    SumSubsetsBatchImpl<false>(sets, sums, nodes_visited);
+  }
+}
+
+void FlatValidationTree::SumSubsetsBatchWideReference(
+    std::span<const LicenseSet> sets, std::span<int64_t> sums,
+    uint64_t* nodes_visited) const {
+  SumSubsetsBatchImpl<false>(sets, sums, nodes_visited);
+}
+
+int64_t FlatValidationTree::CountOf(const LicenseSet& set) const {
+  if (set.Empty()) {
     return 0;  // The (virtual) root holds no count.
   }
   size_t begin = 0;
   size_t end = index_.size();
-  LicenseMask remaining = set;
+  LicenseSet remaining = set;
   while (true) {
-    const int idx = LowestLicense(remaining);
-    remaining &= remaining - 1;
+    const int idx = remaining.Lowest();
+    remaining.RemoveLowest();
     size_t found = end;
     // Siblings of a level are adjacent subtrees, sorted by ascending index.
     for (size_t i = begin; i < end; i = subtree_end_[i]) {
@@ -213,7 +297,7 @@ int64_t FlatValidationTree::CountOf(LicenseMask set) const {
     if (found == end) {
       return 0;
     }
-    if (remaining == 0) {
+    if (remaining.Empty()) {
       return count_[found];
     }
     begin = found + 1;
@@ -225,21 +309,21 @@ size_t FlatValidationTree::MemoryBytes() const {
   return index_.capacity() * sizeof(int32_t) +
          count_.capacity() * sizeof(int64_t) +
          subtree_end_.capacity() * sizeof(uint32_t) +
-         subtree_mask_.capacity() * sizeof(LicenseMask) +
+         subtree_mask_words_.capacity() * sizeof(uint64_t) +
          subtree_sum_.capacity() * sizeof(int64_t);
 }
 
 void FlatValidationTree::ForEachSet(
-    const std::function<void(LicenseMask, int64_t)>& fn) const {
+    const std::function<void(const LicenseSet&, int64_t)>& fn) const {
   // (subtree end, path mask to restore on leaving that subtree).
-  std::vector<std::pair<uint32_t, LicenseMask>> stack;
-  LicenseMask path = 0;
+  std::vector<std::pair<uint32_t, LicenseSet>> stack;
+  LicenseSet path;
   for (size_t i = 0; i < index_.size(); ++i) {
     while (!stack.empty() && stack.back().first == i) {
       path = stack.back().second;
       stack.pop_back();
     }
-    const LicenseMask node_mask = path | SingletonMask(index_[i]);
+    const LicenseSet node_mask = path | LicenseSet::Singleton(index_[i]);
     if (count_[i] != 0) {
       fn(node_mask, count_[i]);
     }

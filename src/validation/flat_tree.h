@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "validation/validation_tree.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
@@ -25,15 +25,21 @@ namespace geolic {
 //   subtree_end_  one past the node's last descendant — [i, subtree_end_[i])
 //                 is the node's whole subtree, so a subtree skip is `i =
 //                 subtree_end_[i]`
-//   subtree_mask_ node's index ∪ every license index below it
+//   subtree_mask_words_  node's index ∪ every license index below it,
+//                 word-sliced: slot i's mask is the mask_words_ u64 words at
+//                 [i * mask_words_, (i+1) * mask_words_), zero-padded to the
+//                 compile-wide width. mask_words_ == 1 whenever every present
+//                 license index is < 64, and the scan then takes a
+//                 single-word fast path identical to the historical u64
+//                 column.
 //   subtree_sum_  node's count + every count below it
 //
 // The two precomputed columns turn the ref [10] descent into a pruned scan:
 //
-//   * subtree_mask_[i] & set == 0  ⇒ no node below i can lie inside `set`
+//   * subtree_mask[i] & set == 0  ⇒ no node below i can lie inside `set`
 //     (the per-query form of Theorem 1: no overlap ⇒ contributes nothing)
 //     — skip the subtree after reading one cache line.
-//   * subtree_mask_[i] ⊆ set  ⇒ every path through i stays inside `set` —
+//   * subtree_mask[i] ⊆ set  ⇒ every path through i stays inside `set` —
 //     add subtree_sum_[i] and skip, one add for a whole covered region.
 //
 // `nodes_visited` semantics differ from the pointer tree by design: the
@@ -57,12 +63,13 @@ class FlatValidationTree {
   // equal to ValidationTree::SumSubsets on the compiled-from tree. If
   // `nodes_visited` is non-null, the number of nodes touched after pruning
   // is added to it.
-  int64_t SumSubsets(LicenseMask set, uint64_t* nodes_visited = nullptr) const;
+  int64_t SumSubsets(const LicenseSet& set,
+                     uint64_t* nodes_visited = nullptr) const;
 
   // Ablation baseline: the same contiguous scan with only the structural
   // ref [10] rule (skip a subtree when the node's index ∉ set), no
   // mask/sum accelerators. Isolates layout gains from pruning gains.
-  int64_t SumSubsetsNoAccel(LicenseMask set,
+  int64_t SumSubsetsNoAccel(const LicenseSet& set,
                             uint64_t* nodes_visited = nullptr) const;
 
   // Evaluates one equation per entry of `sets` (sums[i] = SumSubsets(
@@ -72,12 +79,22 @@ class FlatValidationTree {
   // the exhaustive and grouped validator loops. Results and nodes-visited
   // accounting are bit-identical to per-query SumSubsets calls regardless
   // of how callers chunk. `sums` must have at least sets.size() entries.
-  void SumSubsetsBatch(std::span<const LicenseMask> sets,
+  void SumSubsetsBatch(std::span<const LicenseSet> sets,
                        std::span<int64_t> sums,
                        uint64_t* nodes_visited = nullptr) const;
 
+  // Equivalence-gating references: the generic word-sliced implementations,
+  // forced even when the compile is single-word. Bit-identical to
+  // SumSubsets/SumSubsetsBatch by construction; tests run both paths over
+  // the same equations to gate the inline fast path against the wide one.
+  int64_t SumSubsetsWideReference(const LicenseSet& set,
+                                  uint64_t* nodes_visited = nullptr) const;
+  void SumSubsetsBatchWideReference(std::span<const LicenseSet> sets,
+                                    std::span<int64_t> sums,
+                                    uint64_t* nodes_visited = nullptr) const;
+
   // Exact count stored for `set` (0 if the set never appeared in the log).
-  int64_t CountOf(LicenseMask set) const;
+  int64_t CountOf(const LicenseSet& set) const;
 
   // Number of nodes (the pointer tree's NodeCount, root excluded).
   size_t NodeCount() const { return index_.size(); }
@@ -86,7 +103,10 @@ class FlatValidationTree {
   int64_t TotalCount() const { return total_count_; }
 
   // Mask of every license index present in the tree.
-  LicenseMask PresentLicenses() const { return present_; }
+  LicenseSet PresentLicenses() const { return present_; }
+
+  // Words per sliced subtree mask (1 unless some present index is ≥ 64).
+  int MaskWords() const { return static_cast<int>(mask_words_); }
 
   // Exact heap footprint of the five columns — the flat-layout entry of
   // the figure-10 storage comparison.
@@ -94,16 +114,25 @@ class FlatValidationTree {
 
   // Invokes `fn(set, count)` for every node with a non-zero count, in
   // preorder — same visit order and values as the pointer tree.
-  void ForEachSet(const std::function<void(LicenseMask, int64_t)>& fn) const;
+  void ForEachSet(
+      const std::function<void(const LicenseSet&, int64_t)>& fn) const;
 
  private:
+  template <bool kSingleWord>
+  int64_t SumSubsetsImpl(const LicenseSet& set, uint64_t* nodes_visited) const;
+  template <bool kSingleWord>
+  void SumSubsetsBatchImpl(std::span<const LicenseSet> sets,
+                           std::span<int64_t> sums,
+                           uint64_t* nodes_visited) const;
+
   std::vector<int32_t> index_;
   std::vector<int64_t> count_;
   std::vector<uint32_t> subtree_end_;
-  std::vector<LicenseMask> subtree_mask_;
+  std::vector<uint64_t> subtree_mask_words_;  // NodeCount() × mask_words_.
   std::vector<int64_t> subtree_sum_;
+  uint32_t mask_words_ = 1;
   int64_t total_count_ = 0;
-  LicenseMask present_ = 0;
+  LicenseSet present_;
 };
 
 }  // namespace geolic

@@ -10,25 +10,25 @@ namespace geolic {
 
 LicensePermutation::LicensePermutation(int n)
     : to_new_(static_cast<size_t>(n)), to_old_(static_cast<size_t>(n)) {
-  GEOLIC_CHECK(n >= 0 && n <= kMaxLicenses);
+  GEOLIC_CHECK(n >= 0 && n <= kMaxLicensesLarge);
   std::iota(to_new_.begin(), to_new_.end(), 0);
   std::iota(to_old_.begin(), to_old_.end(), 0);
 }
 
 Result<LicensePermutation> LicensePermutation::ByDescendingFrequency(
     const LogStore& log, int n) {
-  if (n < 0 || n > kMaxLicenses) {
+  if (n < 0 || n > kMaxLicensesLarge) {
     return Status::InvalidArgument(
         "license count out of range for a permutation");
   }
   std::vector<int64_t> frequency(static_cast<size_t>(n), 0);
   for (const LogRecord& record : log.records()) {
-    if (!IsSubsetOf(record.set, FullMask(n))) {
+    if (!record.set.IsSubsetOf(LicenseSet::Full(n))) {
       return Status::InvalidArgument(
           "log record references license indexes beyond the aggregate "
           "array");
     }
-    for (int index : MaskToIndexes(record.set)) {
+    for (int index : (record.set).ToIndexes()) {
       ++frequency[static_cast<size_t>(index)];
     }
   }
@@ -49,18 +49,18 @@ Result<LicensePermutation> LicensePermutation::ByDescendingFrequency(
   return permutation;
 }
 
-LicenseMask LicensePermutation::MapMask(LicenseMask original) const {
-  LicenseMask mapped = 0;
-  for (LicenseMask rest = original; rest != 0; rest &= rest - 1) {
-    mapped |= SingletonMask(ToNew(LowestLicense(rest)));
+LicenseSet LicensePermutation::MapMask(const LicenseSet& original) const {
+  LicenseSet mapped;
+  for (int index : original.Indexes()) {
+    mapped |= LicenseSet::Singleton(ToNew(index));
   }
   return mapped;
 }
 
-LicenseMask LicensePermutation::UnmapMask(LicenseMask relabeled) const {
-  LicenseMask mapped = 0;
-  for (LicenseMask rest = relabeled; rest != 0; rest &= rest - 1) {
-    mapped |= SingletonMask(ToOld(LowestLicense(rest)));
+LicenseSet LicensePermutation::UnmapMask(const LicenseSet& relabeled) const {
+  LicenseSet mapped;
+  for (int index : relabeled.Indexes()) {
+    mapped |= LicenseSet::Singleton(ToOld(index));
   }
   return mapped;
 }

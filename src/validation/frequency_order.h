@@ -43,8 +43,8 @@ class LicensePermutation {
   }
 
   // Mask translation (bit i of the input becomes bit ToNew(i) / ToOld(i)).
-  LicenseMask MapMask(LicenseMask original) const;
-  LicenseMask UnmapMask(LicenseMask relabeled) const;
+  LicenseSet MapMask(const LicenseSet& original) const;
+  LicenseSet UnmapMask(const LicenseSet& relabeled) const;
 
   // Reorders an index-aligned vector (e.g. the aggregate array A) into
   // relabeled order.

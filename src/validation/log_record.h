@@ -4,18 +4,18 @@
 #include <cstdint>
 #include <string>
 
-#include "util/bits.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
 // One row of the paper's log (Table 2): when a license is issued, the
 // validation authority records the set S of redistribution licenses whose
-// instance-based constraints the issued license satisfies (a LicenseMask)
+// instance-based constraints the issued license satisfies (a LicenseSet)
 // and the issued license's permission count. Aggregate validation runs
 // offline over these records.
 struct LogRecord {
   std::string issued_license_id;  // e.g. "LU1"; optional, may be empty.
-  LicenseMask set = 0;            // S — must be non-empty for a valid issue.
+  LicenseSet set;                 // S — must be non-empty for a valid issue.
   int64_t count = 0;              // Permission counts in the issued license.
 
   friend bool operator==(const LogRecord& a, const LogRecord& b) {

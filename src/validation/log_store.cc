@@ -21,7 +21,7 @@ constexpr char kBinaryMagic[8] = {'G', 'L', 'O', 'G', 'B', 'I', 'N', '1'};
 }  // namespace
 
 Status LogStore::Append(LogRecord record) {
-  if (record.set == 0) {
+  if (record.set.Empty()) {
     return Status::InvalidArgument(
         "log record set must be non-empty (license " +
         record.issued_license_id + ")");
@@ -35,8 +35,8 @@ Status LogStore::Append(LogRecord record) {
   return Status::Ok();
 }
 
-std::unordered_map<LicenseMask, int64_t> LogStore::MergedCounts() const {
-  std::unordered_map<LicenseMask, int64_t> merged;
+std::unordered_map<LicenseSet, int64_t> LogStore::MergedCounts() const {
+  std::unordered_map<LicenseSet, int64_t> merged;
   for (const LogRecord& record : records_) {
     merged[record.set] += record.count;
   }
@@ -52,15 +52,15 @@ int64_t LogStore::TotalCount() const {
 }
 
 LogStore LogStore::Compacted() const {
-  const std::unordered_map<LicenseMask, int64_t> merged = MergedCounts();
-  std::vector<LicenseMask> sets;
+  const std::unordered_map<LicenseSet, int64_t> merged = MergedCounts();
+  std::vector<LicenseSet> sets;
   sets.reserve(merged.size());
   for (const auto& [set, count] : merged) {
     sets.push_back(set);
   }
   std::sort(sets.begin(), sets.end());
   LogStore compacted;
-  for (const LicenseMask set : sets) {
+  for (const LicenseSet& set : sets) {
     LogRecord record;
     record.set = set;
     record.count = merged.at(set);
@@ -76,11 +76,9 @@ Status LogStore::SaveText(const std::string& path) const {
   }
   out << "# geolic log: id mask count\n";
   for (const LogRecord& record : records_) {
-    char mask_hex[24];
-    std::snprintf(mask_hex, sizeof(mask_hex), "0x%" PRIx64 "", record.set);
     out << (record.issued_license_id.empty() ? "-"
                                              : record.issued_license_id)
-        << ' ' << mask_hex << ' ' << record.count << '\n';
+        << ' ' << record.set.ToHex() << ' ' << record.count << '\n';
   }
   if (!out) {
     return Status::IoError("write failed: " + path);
@@ -110,17 +108,15 @@ Result<LogStore> LogStore::LoadText(const std::string& path) {
       return Status::ParseError(path + ":" + std::to_string(line_number) +
                                 ": malformed log line");
     }
-    LicenseMask mask = 0;
+    LicenseSet mask;
     if (StartsWith(mask_text, "0x") || StartsWith(mask_text, "0X")) {
-      char* end = nullptr;
-      mask = std::strtoull(mask_text.c_str() + 2, &end, 16);
-      if (end == nullptr || *end != '\0') {
+      if (!LicenseSet::FromHex(mask_text, &mask)) {
         return Status::ParseError(path + ":" + std::to_string(line_number) +
                                   ": bad mask " + mask_text);
       }
     } else {
       GEOLIC_ASSIGN_OR_RETURN(const int64_t decimal, ParseInt64(mask_text));
-      mask = static_cast<LicenseMask>(decimal);
+      mask = LicenseSet::FromWord(static_cast<uint64_t>(decimal));
     }
     LogRecord record;
     record.issued_license_id = id == "-" ? "" : id;
@@ -135,8 +131,25 @@ void LogStore::SerializeRecords(std::ostream* out) const {
   const uint64_t count = records_.size();
   out->write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const LogRecord& record : records_) {
-    out->write(reinterpret_cast<const char*>(&record.set),
-               sizeof(record.set));
+    // v3 set encoding, byte-identical to v2 for inline (single-word) sets:
+    // sets are non-empty in every stored record, so a u64 value of 0 never
+    // occurs in the v2 slot and doubles as the wide-set escape, followed by
+    // an explicit word count and the word span (see persist/journal.cc).
+    if (record.set.WordCount() == 1) {
+      const uint64_t word = record.set.AsWord();
+      out->write(reinterpret_cast<const char*>(&word), sizeof(word));
+    } else {
+      const uint64_t escape = 0;
+      out->write(reinterpret_cast<const char*>(&escape), sizeof(escape));
+      const uint32_t word_count =
+          static_cast<uint32_t>(record.set.WordCount());
+      out->write(reinterpret_cast<const char*>(&word_count),
+                 sizeof(word_count));
+      for (int w = 0; w < record.set.WordCount(); ++w) {
+        const uint64_t word = record.set.Word(w);
+        out->write(reinterpret_cast<const char*>(&word), sizeof(word));
+      }
+    }
     out->write(reinterpret_cast<const char*>(&record.count),
                sizeof(record.count));
     const uint32_t id_size =
@@ -176,7 +189,34 @@ Result<LogStore> DeserializeRecordsCapped(std::istream* in,
   for (uint64_t i = 0; i < count; ++i) {
     LogRecord record;
     uint32_t id_size = 0;
-    in->read(reinterpret_cast<char*>(&record.set), sizeof(record.set));
+    uint64_t first_word = 0;
+    in->read(reinterpret_cast<char*>(&first_word), sizeof(first_word));
+    if (!*in) {
+      return Status::ParseError("truncated log record");
+    }
+    if (first_word != 0) {
+      record.set = LicenseSet::FromWord(first_word);
+    } else {
+      // Wide-set escape (see SerializeRecords). A declared width of 1 or a
+      // zero top word would make the encoding non-canonical — corruption.
+      uint32_t word_count = 0;
+      in->read(reinterpret_cast<char*>(&word_count), sizeof(word_count));
+      if (!*in || word_count < 2 ||
+          word_count > static_cast<uint32_t>(kMaxLicenseWords)) {
+        return Status::ParseError("implausible set word count in log record");
+      }
+      uint64_t words[kMaxLicenseWords];
+      for (uint32_t w = 0; w < word_count; ++w) {
+        in->read(reinterpret_cast<char*>(&words[w]), sizeof(words[w]));
+      }
+      if (!*in) {
+        return Status::ParseError("truncated log record");
+      }
+      if (words[word_count - 1] == 0) {
+        return Status::ParseError("non-canonical wide set in log record");
+      }
+      record.set = LicenseSet::FromWords({words, word_count});
+    }
     in->read(reinterpret_cast<char*>(&record.count), sizeof(record.count));
     in->read(reinterpret_cast<char*>(&id_size), sizeof(id_size));
     if (!*in) {

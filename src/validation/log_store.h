@@ -32,7 +32,7 @@ class LogStore {
 
   // Sum of counts grouped by exact set — C[S] for every S present in the
   // log. The reference the validation tree is checked against in tests.
-  std::unordered_map<LicenseMask, int64_t> MergedCounts() const;
+  std::unordered_map<LicenseSet, int64_t> MergedCounts() const;
 
   // Sum of all counts in the store.
   int64_t TotalCount() const;

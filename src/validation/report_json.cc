@@ -1,7 +1,5 @@
 #include "validation/report_json.h"
 
-#include <cinttypes>
-#include <cstdio>
 
 #include "util/json_writer.h"
 
@@ -10,12 +8,10 @@ namespace {
 
 void WriteEquationResult(const EquationResult& result, JsonWriter* json) {
   json->BeginObject();
-  char mask_hex[24];
-  std::snprintf(mask_hex, sizeof(mask_hex), "0x%" PRIx64 "", result.set);
-  json->KeyValue("set_mask", std::string_view(mask_hex));
+  json->KeyValue("set_mask", result.set.ToHex());
   json->Key("licenses");
   json->BeginArray();
-  for (int index : MaskToIndexes(result.set)) {
+  for (int index : result.set.Indexes()) {
     json->Int(index + 1);  // 1-based, matching the paper's L_D^i.
   }
   json->EndArray();

@@ -93,6 +93,13 @@ Status ReadTreeBody(std::istream* in, ValidationTree* tree) {
     if (!*in) {
       return Status::ParseError("truncated tree node");
     }
+    // Root carries -1; everything below that is corrupt. No upper bound:
+    // the format is legal at any strictly-increasing index depth (deep
+    // chains), and mask-space consumers enforce kMaxLicensesLarge
+    // themselves.
+    if (index < -1) {
+      return Status::ParseError("negative license index");
+    }
     node->index = index;
     // Each child consumes at least one declared node, so a child count
     // above the remaining budget is corrupt. Growth happens via push_back

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <string>
 #include <utility>
 
@@ -19,15 +20,20 @@ constexpr size_t kEquationBatch = 256;
 
 // AV: sum of aggregate values of the licenses selected by `set`.
 int64_t AggregateValue(const std::vector<int64_t>& aggregates,
-                       LicenseMask set) {
+                       const LicenseSet& set) {
   int64_t av = 0;
-  const int n = static_cast<int>(aggregates.size());
-  for (int j = 0; j < n; ++j) {
-    if (MaskContains(set, j)) {
-      av += aggregates[static_cast<size_t>(j)];
-    }
+  for (int j : set.Indexes()) {
+    av += aggregates[static_cast<size_t>(j)];
   }
   return av;
+}
+
+// Dense equation enumeration walks every non-empty subset of {0..n-1} as an
+// incrementing integer, so the exhaustive and zeta engines are inherently
+// single-word; 2^n is infeasible long before n reaches 64 anyway. Wider
+// universes go through the grouped modes, which enumerate per group.
+uint64_t FullWord(int n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
 }
 
 // ---- Serial exhaustive engine (Algorithm 2) --------------------------------
@@ -42,16 +48,16 @@ Result<ValidationReport> ExhaustiveSerial(
   }
   // The batch enumerates every non-empty subset of {0..n-1}; the bits of a
   // mask select the licenses in that equation's set.
-  const LicenseMask full = FullMask(n);
-  std::array<LicenseMask, kEquationBatch> sets;
+  const uint64_t full = FullWord(n);
+  std::array<LicenseSet, kEquationBatch> sets;
   std::array<int64_t, kEquationBatch> sums;
-  LicenseMask next = 1;
+  uint64_t next = 1;
   bool exhausted = false;
   while (!exhausted && report.equations_evaluated < max_equations) {
     size_t batch = 0;
     while (batch < kEquationBatch &&
            report.equations_evaluated + batch < max_equations) {
-      sets[batch++] = next;
+      sets[batch++] = LicenseSet::FromWord(next);
       if (next == full) {
         exhausted = true;
         break;
@@ -77,17 +83,17 @@ Result<ValidationReport> ExhaustiveSerial(
 // Evaluates equations for sets in [begin, end] (inclusive masks) against
 // the read-only tree; appends violations to *out in ascending order.
 void EvaluateRange(const FlatValidationTree& tree,
-                   const std::vector<int64_t>& aggregates, LicenseMask begin,
-                   LicenseMask end, std::vector<EquationResult>* out,
+                   const std::vector<int64_t>& aggregates, uint64_t begin,
+                   uint64_t end, std::vector<EquationResult>* out,
                    uint64_t* nodes_visited) {
-  std::array<LicenseMask, kEquationBatch> sets;
+  std::array<LicenseSet, kEquationBatch> sets;
   std::array<int64_t, kEquationBatch> sums;
-  LicenseMask next = begin;
+  uint64_t next = begin;
   bool exhausted = false;
   while (!exhausted) {
     size_t batch = 0;
     while (batch < kEquationBatch) {
-      sets[batch++] = next;
+      sets[batch++] = LicenseSet::FromWord(next);
       if (next == end) {
         exhausted = true;
         break;
@@ -113,8 +119,7 @@ Result<ValidationReport> ExhaustiveSharded(
   if (n == 0) {
     return report;
   }
-  const LicenseMask full = FullMask(n);
-  const uint64_t total = full;  // Number of non-empty sets = 2^n − 1.
+  const uint64_t total = FullWord(n);  // Number of non-empty sets = 2^n − 1.
   const uint64_t shard_count =
       std::min<uint64_t>(static_cast<uint64_t>(num_threads) * 4, total);
   std::vector<std::vector<EquationResult>> shard_violations(shard_count);
@@ -124,10 +129,8 @@ Result<ValidationReport> ExhaustiveSharded(
     ThreadPool pool(num_threads);
     for (uint64_t shard = 0; shard < shard_count; ++shard) {
       // Masks 1..full split into contiguous shards.
-      const LicenseMask begin =
-          static_cast<LicenseMask>(1 + shard * total / shard_count);
-      const LicenseMask end =
-          static_cast<LicenseMask>((shard + 1) * total / shard_count);
+      const uint64_t begin = 1 + shard * total / shard_count;
+      const uint64_t end = (shard + 1) * total / shard_count;
       pool.Schedule([&tree, &aggregates, begin, end,
                      violations = &shard_violations[shard],
                      nodes = &shard_nodes[shard]] {
@@ -167,8 +170,8 @@ Result<ValidationReport> ZetaDense(const FlatValidationTree& tree,
   // lhs[S] starts as the exact count C[S]; after the zeta transform it is
   // C⟨S⟩ = Σ_{T ⊆ S} C[T].
   std::vector<int64_t> lhs(table_size, 0);
-  tree.ForEachSet([&lhs](LicenseMask set, int64_t count) {
-    lhs[static_cast<size_t>(set)] += count;
+  tree.ForEachSet([&lhs](const LicenseSet& set, int64_t count) {
+    lhs[static_cast<size_t>(set.AsWord())] += count;
   });
   for (int bit = 0; bit < n; ++bit) {
     const size_t stride = size_t{1} << bit;
@@ -183,8 +186,7 @@ Result<ValidationReport> ZetaDense(const FlatValidationTree& tree,
   // A[S without lowest bit] + A[lowest bit].
   std::vector<int64_t> rhs(table_size, 0);
   for (size_t set = 1; set < table_size; ++set) {
-    const LicenseMask mask = static_cast<LicenseMask>(set);
-    const int lowest = LowestLicense(mask);
+    const int lowest = std::countr_zero(set);
     rhs[set] = rhs[set & (set - 1)] + aggregates[static_cast<size_t>(lowest)];
   }
 
@@ -192,7 +194,8 @@ Result<ValidationReport> ZetaDense(const FlatValidationTree& tree,
     ++report.equations_evaluated;
     if (lhs[set] > rhs[set]) {
       report.violations.push_back(EquationResult{
-          static_cast<LicenseMask>(set), lhs[set], rhs[set]});
+          LicenseSet::FromWord(static_cast<uint64_t>(set)), lhs[set],
+          rhs[set]});
     }
   }
   return report;
@@ -204,8 +207,10 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
                                    const std::vector<int64_t>& aggregates,
                                    const ValidateOptions& options) {
   const int n = static_cast<int>(aggregates.size());
-  if (n > kMaxLicenses) {
-    return Status::CapacityExceeded("at most 64 redistribution licenses");
+  if (n > kMaxLicensesLarge) {
+    return Status::CapacityExceeded(
+        "at most " + std::to_string(kMaxLicensesLarge) +
+        " redistribution licenses");
   }
   if (n == 0) {
     return ValidationOutcome{};
@@ -218,7 +223,7 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
     return FlatValidationTree::Compile(tree);
   }();
   // Licenses the tree mentions must all have an aggregate entry.
-  if (!IsSubsetOf(flat.PresentLicenses(), FullMask(n))) {
+  if (!flat.PresentLicenses().IsSubsetOf(LicenseSet::Full(n))) {
     return Status::InvalidArgument(
         "tree references license indexes beyond the aggregate array");
   }
@@ -227,6 +232,16 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
   if (mode == ValidationMode::kAuto) {
     mode = n <= options.max_dense_n ? ValidationMode::kZeta
                                     : ValidationMode::kExhaustive;
+  }
+  if (n > kMaxLicensesInline &&
+      (mode == ValidationMode::kExhaustive || mode == ValidationMode::kZeta)) {
+    // Both ungrouped engines enumerate all 2^N − 1 equations as a dense
+    // integer range — infeasible and unrepresentable past 64 licenses.
+    // Wider universes must be grouped first (per-group enumeration).
+    return Status::CapacityExceeded(
+        "ungrouped validation enumerates 2^N equations and is capped at " +
+        std::to_string(kMaxLicensesInline) +
+        " licenses; use a grouped mode for wider universes");
   }
 
   ValidationOutcome outcome;
@@ -259,7 +274,7 @@ Result<ValidationOutcome> Validate(const ValidationTree& tree,
     case ValidationMode::kGroupedZeta:
       return Status::InvalidArgument(
           "grouped validation needs the licenses' geometry; call the "
-          "LicenseSet overload of Validate");
+          "LicenseCatalog overload of Validate");
     case ValidationMode::kAuto:
       break;  // Resolved above.
   }
@@ -270,8 +285,10 @@ Result<ValidationOutcome> Validate(const LogStore& log,
                                    const std::vector<int64_t>& aggregates,
                                    const ValidateOptions& options) {
   const int n = static_cast<int>(aggregates.size());
-  if (n > kMaxLicenses) {
-    return Status::CapacityExceeded("at most 64 redistribution licenses");
+  if (n > kMaxLicensesLarge) {
+    return Status::CapacityExceeded(
+        "at most " + std::to_string(kMaxLicensesLarge) +
+        " redistribution licenses");
   }
   if (options.order == TreeOrder::kIndex) {
     auto built = [&] {

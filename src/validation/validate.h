@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "obs/trace.h"
 #include "validation/log_store.h"
 #include "validation/validation_report.h"
@@ -31,7 +31,7 @@ namespace geolic {
 
 // Which equation-evaluation engine to run.
 enum class ValidationMode {
-  // Pick for the input: grouped when a LicenseSet is available, otherwise
+  // Pick for the input: grouped when a LicenseCatalog is available, otherwise
   // zeta for N ≤ max_dense_n and exhaustive beyond it.
   kAuto,
   // Algorithm 2: all 2^N − 1 equations by pruned tree traversal.
@@ -40,10 +40,10 @@ enum class ValidationMode {
   // max_dense_n). Identical report to kExhaustive.
   kZeta,
   // The paper's pipeline: grouping + tree division + Algorithm 2 per group.
-  // Requires a LicenseSet overload.
+  // Requires a LicenseCatalog overload.
   kGrouped,
   // Grouped with the dense engine per group (groups above max_dense_n fall
-  // back to traversal). Requires a LicenseSet overload.
+  // back to traversal). Requires a LicenseCatalog overload.
   kGroupedZeta,
 };
 
@@ -85,7 +85,7 @@ struct ValidationOutcome {
 
 // Validates a pre-built tree against the aggregate array (N =
 // aggregates.size()). Grouped modes are rejected — grouping needs the
-// licenses' geometry; use a LicenseSet overload.
+// licenses' geometry; use a LicenseCatalog overload.
 Result<ValidationOutcome> Validate(const ValidationTree& tree,
                                    const std::vector<int64_t>& aggregates,
                                    const ValidateOptions& options = {});
@@ -101,13 +101,13 @@ Result<ValidationOutcome> Validate(const LogStore& log,
 // Validates a tree against a license set; grouped modes derive the overlap
 // grouping from the licenses' geometry. The tree is consumed (division
 // splices its nodes). Implemented in geolic_core.
-Result<ValidationOutcome> Validate(const LicenseSet& licenses,
+Result<ValidationOutcome> Validate(const LicenseCatalog& licenses,
                                    ValidationTree tree,
                                    const ValidateOptions& options = {});
 
 // Builds the tree from `log`, then validates against the license set.
 // Implemented in geolic_core.
-Result<ValidationOutcome> Validate(const LicenseSet& licenses,
+Result<ValidationOutcome> Validate(const LicenseCatalog& licenses,
                                    const LogStore& log,
                                    const ValidateOptions& options = {});
 

@@ -9,9 +9,9 @@ std::string ValidationReport::ToString() const {
   std::string out = std::to_string(violations.size()) + " violation(s) in " +
                     std::to_string(equations_evaluated) + " equations:\n";
   for (const EquationResult& violation : violations) {
-    out += "  C<" + MaskToString(violation.set) +
+    out += "  C<" + (violation.set).ToString() +
            "> = " + std::to_string(violation.lhs) + " > A[" +
-           MaskToString(violation.set) +
+           (violation.set).ToString() +
            "] = " + std::to_string(violation.rhs) + "\n";
   }
   return out;
@@ -24,7 +24,7 @@ std::vector<EquationResult> MinimalViolations(
     bool has_smaller = false;
     for (const EquationResult& other : violations) {
       if (other.set != candidate.set &&
-          IsSubsetOf(other.set, candidate.set)) {
+          (other.set).IsSubsetOf(candidate.set)) {
         has_smaller = true;
         break;
       }

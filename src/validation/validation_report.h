@@ -5,13 +5,13 @@
 #include <string>
 #include <vector>
 
-#include "util/bits.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
 // Outcome of one validation equation C⟨S⟩ ≤ A[S].
 struct EquationResult {
-  LicenseMask set = 0;  // S, in original (pre-division) license indexes.
+  LicenseSet set;  // S, in original (pre-division) license indexes.
   int64_t lhs = 0;      // C⟨S⟩ — issued counts attributable to S.
   int64_t rhs = 0;      // A[S] — aggregate budget of S.
 

@@ -52,11 +52,11 @@ size_t MemoryBytesImpl(const ValidationTreeNode& node) {
   return bytes;
 }
 
-int64_t SumSubsetsImpl(const ValidationTreeNode& node, LicenseMask set,
+int64_t SumSubsetsImpl(const ValidationTreeNode& node, const LicenseSet& set,
                        uint64_t* nodes_visited) {
   int64_t sum = 0;
   for (const auto& child : node.children) {
-    if (!MaskContains(set, child->index)) {
+    if (!set.Contains(child->index)) {
       continue;
     }
     if (nodes_visited != nullptr) {
@@ -67,10 +67,10 @@ int64_t SumSubsetsImpl(const ValidationTreeNode& node, LicenseMask set,
   return sum;
 }
 
-LicenseMask PresentLicensesImpl(const ValidationTreeNode& node) {
-  LicenseMask mask = 0;
+LicenseSet PresentLicensesImpl(const ValidationTreeNode& node) {
+  LicenseSet mask;
   for (const auto& child : node.children) {
-    mask |= SingletonMask(child->index) | PresentLicensesImpl(*child);
+    mask |= LicenseSet::Singleton(child->index) | PresentLicensesImpl(*child);
   }
   return mask;
 }
@@ -139,8 +139,8 @@ ValidationTree& ValidationTree::operator=(ValidationTree&& other) noexcept {
   return *this;
 }
 
-Status ValidationTree::Insert(LicenseMask set, int64_t count) {
-  if (set == 0) {
+Status ValidationTree::Insert(const LicenseSet& set, int64_t count) {
+  if (set.Empty()) {
     return Status::InvalidArgument("cannot insert the empty set");
   }
   if (count <= 0) {
@@ -148,10 +148,7 @@ Status ValidationTree::Insert(LicenseMask set, int64_t count) {
                                    std::to_string(count));
   }
   ValidationTreeNode* node = root_.get();
-  LicenseMask remaining = set;
-  while (remaining != 0) {
-    const int index = LowestLicense(remaining);
-    remaining &= remaining - 1;
+  for (const int index : set.Indexes()) {
     // Step 1 of Algorithm 1: scan the ordered children for the first child
     // with child.index >= index.
     auto it = std::lower_bound(
@@ -180,17 +177,14 @@ Result<ValidationTree> ValidationTree::BuildFromLog(const LogStore& store) {
   return tree;
 }
 
-int64_t ValidationTree::SumSubsets(LicenseMask set,
+int64_t ValidationTree::SumSubsets(const LicenseSet& set,
                                    uint64_t* nodes_visited) const {
   return SumSubsetsImpl(*root_, set, nodes_visited);
 }
 
-int64_t ValidationTree::CountOf(LicenseMask set) const {
+int64_t ValidationTree::CountOf(const LicenseSet& set) const {
   const ValidationTreeNode* node = root_.get();
-  LicenseMask remaining = set;
-  while (remaining != 0) {
-    const int index = LowestLicense(remaining);
-    remaining &= remaining - 1;
+  for (const int index : set.Indexes()) {
     const ValidationTreeNode* next = nullptr;
     for (const auto& child : node->children) {
       if (child->index == index) {
@@ -215,16 +209,16 @@ int64_t ValidationTree::TotalCount() const { return TotalCountImpl(*root_); }
 
 size_t ValidationTree::MemoryBytes() const { return MemoryBytesImpl(*root_); }
 
-LicenseMask ValidationTree::PresentLicenses() const {
+LicenseSet ValidationTree::PresentLicenses() const {
   return PresentLicensesImpl(*root_);
 }
 
 namespace {
 
-void ForEachSetImpl(const ValidationTreeNode& node, LicenseMask path,
-                    const std::function<void(LicenseMask, int64_t)>& fn) {
+void ForEachSetImpl(const ValidationTreeNode& node, const LicenseSet& path,
+                    const std::function<void(const LicenseSet&, int64_t)>& fn) {
   for (const auto& child : node.children) {
-    const LicenseMask child_path = path | SingletonMask(child->index);
+    const LicenseSet child_path = path | LicenseSet::Singleton(child->index);
     if (child->count != 0) {
       fn(child_path, child->count);
     }
@@ -235,8 +229,8 @@ void ForEachSetImpl(const ValidationTreeNode& node, LicenseMask path,
 }  // namespace
 
 void ValidationTree::ForEachSet(
-    const std::function<void(LicenseMask, int64_t)>& fn) const {
-  ForEachSetImpl(*root_, 0, fn);
+    const std::function<void(const LicenseSet&, int64_t)>& fn) const {
+  ForEachSetImpl(*root_, LicenseSet(), fn);
 }
 
 Status ValidationTree::CheckInvariants() const {

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "validation/log_store.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 #include "util/status.h"
 
 namespace geolic {
@@ -45,7 +45,7 @@ class ValidationTree {
   // Paper Algorithm 1 (Insert): walks/creates nodes for the licenses of
   // `set` in ascending index order and adds `count` to the final node.
   // Fails on an empty set or non-positive count.
-  Status Insert(LicenseMask set, int64_t count);
+  Status Insert(const LicenseSet& set, int64_t count);
 
   // Builds a tree from every record in `store`.
   static Result<ValidationTree> BuildFromLog(const LogStore& store);
@@ -55,10 +55,11 @@ class ValidationTree {
   // ref [10] traversal — descend only into children whose index ∈ set, sum
   // every visited node's count. If `nodes_visited` is non-null, the number
   // of nodes touched is added to it (benchmarks report this).
-  int64_t SumSubsets(LicenseMask set, uint64_t* nodes_visited = nullptr) const;
+  int64_t SumSubsets(const LicenseSet& set,
+                     uint64_t* nodes_visited = nullptr) const;
 
   // Exact count stored for `set` (0 if the set never appeared in the log).
-  int64_t CountOf(LicenseMask set) const;
+  int64_t CountOf(const LicenseSet& set) const;
 
   // Number of nodes excluding the root.
   size_t NodeCount() const;
@@ -72,13 +73,13 @@ class ValidationTree {
   size_t MemoryBytes() const;
 
   // Mask of every license index present in the tree.
-  LicenseMask PresentLicenses() const;
+  LicenseSet PresentLicenses() const;
 
   // Invokes `fn(set, count)` for every node with a non-zero count, where
   // `set` is the mask spelled by the node's path. Equivalent to iterating
   // the merged log counts. Order is tree preorder.
   void ForEachSet(
-      const std::function<void(LicenseMask, int64_t)>& fn) const;
+      const std::function<void(const LicenseSet&, int64_t)>& fn) const;
 
   // Verifies structural invariants: children sorted strictly ascending,
   // path indexes strictly increasing, non-negative counts.

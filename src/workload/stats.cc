@@ -7,7 +7,7 @@
 #include "core/gain.h"
 #include "core/grouping.h"
 #include "core/overlap_graph.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 
 namespace geolic {
 
@@ -37,11 +37,11 @@ std::string SampleSummary::ToString() const {
 LogStats LogStats::Compute(const LogStore& log) {
   LogStats stats;
   stats.records = log.size();
-  std::unordered_set<LicenseMask> distinct;
+  std::unordered_set<LicenseSet> distinct;
   int max_size = 0;
   for (const LogRecord& record : log.records()) {
     distinct.insert(record.set);
-    const int size = MaskSize(record.set);
+    const int size = (record.set).Size();
     max_size = std::max(max_size, size);
     stats.set_size.Add(size);
     stats.count.Add(record.count);
@@ -49,7 +49,7 @@ LogStats LogStats::Compute(const LogStore& log) {
   stats.distinct_sets = distinct.size();
   stats.set_size_histogram.assign(static_cast<size_t>(max_size) + 1, 0);
   for (const LogRecord& record : log.records()) {
-    ++stats.set_size_histogram[static_cast<size_t>(MaskSize(record.set))];
+    ++stats.set_size_histogram[static_cast<size_t>((record.set).Size())];
   }
   return stats;
 }
@@ -69,7 +69,7 @@ std::string LogStats::ToString() const {
 }
 
 LicensePortfolioStats LicensePortfolioStats::Compute(
-    const LicenseSet& licenses) {
+    const LicenseCatalog& licenses) {
   LicensePortfolioStats stats;
   stats.licenses = licenses.size();
   if (licenses.empty()) {

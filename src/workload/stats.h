@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/log_store.h"
 
 namespace geolic {
@@ -51,7 +51,7 @@ struct LicensePortfolioStats {
   uint64_t grouped_equations = 0;      // Σ (2^{N_k} − 1).
   double theoretical_gain = 1.0;       // Paper equation 3.
 
-  static LicensePortfolioStats Compute(const LicenseSet& licenses);
+  static LicensePortfolioStats Compute(const LicenseCatalog& licenses);
   std::string ToString() const;
 };
 

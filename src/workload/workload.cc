@@ -8,9 +8,11 @@
 namespace geolic {
 
 Status WorkloadConfig::Validate() const {
-  if (num_licenses < 1 || num_licenses > kMaxLicenses) {
-    return Status::InvalidArgument("num_licenses must be in [1, 64], got " +
-                                   std::to_string(num_licenses));
+  if (num_licenses < 1 || num_licenses > kMaxLicensesLarge) {
+    return Status::InvalidArgument(
+        "num_licenses must be in [1, " +
+        std::to_string(kMaxLicensesLarge) + "], got " +
+        std::to_string(num_licenses));
   }
   if (dimensions < 1) {
     return Status::InvalidArgument("dimensions must be >= 1");
@@ -50,7 +52,7 @@ Result<Workload> WorkloadGenerator::GenerateLicensesOnly() {
     GEOLIC_RETURN_IF_ERROR(
         workload.schema->AddIntervalDimension("C" + std::to_string(d + 1)));
   }
-  workload.licenses = std::make_unique<LicenseSet>(workload.schema.get());
+  workload.licenses = std::make_unique<LicenseCatalog>(workload.schema.get());
 
   // Each cluster owns the slab [cluster * width, cluster * width + usable)
   // of every dimension; a one-unit gap keeps slabs disjoint so licenses in
@@ -119,9 +121,9 @@ Result<Workload> WorkloadGenerator::Generate() {
     const int parent =
         static_cast<int>(rng.UniformInt(0, config_.num_licenses - 1));
     const License usage = DrawUsageLicense(workload, parent, &rng, r + 1);
-    const LicenseMask set = instance_validator.SatisfyingSet(usage);
+    const LicenseSet set = instance_validator.SatisfyingSet(usage);
     // The drawn rectangle lies inside `parent`, so S is never empty.
-    GEOLIC_CHECK(MaskContains(set, parent));
+    GEOLIC_CHECK((set).Contains(parent));
     LogRecord record;
     record.issued_license_id = usage.id();
     record.set = set;

@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "validation/log_store.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -56,7 +56,7 @@ struct WorkloadConfig {
 // to the schema survives moves.
 struct Workload {
   std::unique_ptr<ConstraintSchema> schema;
-  std::unique_ptr<LicenseSet> licenses;
+  std::unique_ptr<LicenseCatalog> licenses;
   LogStore log;
 };
 

@@ -15,14 +15,14 @@ using testing::MakeRedistribution;
 
 TEST(SettlementTest, SplitsSharedSetAcrossLicenses) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD2", {{10, 30}}, 100)).ok());
   LogStore log;
   // 150 counts against {L1,L2}: cannot fit in one license, must split.
-  ASSERT_TRUE(log.Append(LogRecord{"U", 0b11, 150}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"U", testing::Mask(0b11), 150}).ok());
   const Result<SettlementAssignment> settlement =
       ComputeSettlement(set, log);
   ASSERT_TRUE(settlement.ok());
@@ -30,7 +30,7 @@ TEST(SettlementTest, SplitsSharedSetAcrossLicenses) {
   EXPECT_LE(settlement->charged[0], 100);
   EXPECT_LE(settlement->charged[1], 100);
   EXPECT_EQ(settlement->remaining[0], 100 - settlement->charged[0]);
-  const auto& rows = settlement->allocation.at(0b11);
+  const auto& rows = settlement->allocation.at(testing::Mask(0b11));
   int64_t allocated = 0;
   for (const auto& [license, amount] : rows) {
     EXPECT_TRUE(license == 0 || license == 1);
@@ -44,14 +44,14 @@ TEST(SettlementTest, PaperExample1Settles) {
   // LU1 (800, {L1,L2}) and LU2 (400, {L2}) settle — the split a greedy
   // charger can miss.
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 30}}, 2000)).ok());
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD2", {{10, 40}}, 1000)).ok());
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"LU1", 0b11, 800}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"LU2", 0b10, 400}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"LU1", testing::Mask(0b11), 800}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"LU2", testing::Mask(0b10), 400}).ok());
   const Result<SettlementAssignment> settlement =
       ComputeSettlement(set, log);
   ASSERT_TRUE(settlement.ok());
@@ -61,11 +61,11 @@ TEST(SettlementTest, PaperExample1Settles) {
 
 TEST(SettlementTest, InfeasibleLogFails) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"U", 0b1, 130}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"U", testing::Mask(0b1), 130}).ok());
   const Result<SettlementAssignment> settlement =
       ComputeSettlement(set, log);
   ASSERT_FALSE(settlement.ok());
@@ -74,7 +74,7 @@ TEST(SettlementTest, InfeasibleLogFails) {
 
 TEST(SettlementTest, EmptyLogSettlesToNothing) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   const Result<SettlementAssignment> settlement =
@@ -110,7 +110,7 @@ TEST(SettlementPropertyTest, SettleableIffValid) {
     for (const auto& [set, rows] : settlement->allocation) {
       int64_t sum = 0;
       for (const auto& [license, amount] : rows) {
-        EXPECT_TRUE(MaskContains(set, license));
+        EXPECT_TRUE((set).Contains(license));
         EXPECT_GT(amount, 0);
         sum += amount;
       }

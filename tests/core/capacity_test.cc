@@ -15,7 +15,7 @@ using testing::MakeUsage;
 
 TEST(CapacityTest, FreshSetQuotesFullBudget) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   ASSERT_TRUE(
@@ -23,16 +23,16 @@ TEST(CapacityTest, FreshSetQuotesFullBudget) {
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(set);
   ValidationTree tree;
   const Result<CapacityQuote> quote =
-      RemainingCapacity(set, grouping, tree, 0b01);
+      RemainingCapacity(set, grouping, tree, testing::Mask(0b01));
   ASSERT_TRUE(quote.ok());
   // Binding equation for {L1}: A=100 (the pair equation has slack 150).
   EXPECT_EQ(quote->remaining, 100);
-  EXPECT_EQ(quote->binding_set, 0b01u);
+  EXPECT_EQ(quote->binding_set, testing::Mask(0b01));
 }
 
 TEST(CapacityTest, SharedBudgetBinds) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   ASSERT_TRUE(
@@ -41,25 +41,25 @@ TEST(CapacityTest, SharedBudgetBinds) {
   ValidationTree tree;
   // 120 already issued against {L1,L2}: pair equation slack = 150−120=30,
   // {L1} equation slack stays 100 (the 120 isn't attributable to L1 only).
-  ASSERT_TRUE(tree.Insert(0b11, 120).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b11), 120).ok());
   const Result<CapacityQuote> quote =
-      RemainingCapacity(set, grouping, tree, 0b01);
+      RemainingCapacity(set, grouping, tree, testing::Mask(0b01));
   ASSERT_TRUE(quote.ok());
   EXPECT_EQ(quote->remaining, 30);
-  EXPECT_EQ(quote->binding_set, 0b11u);
+  EXPECT_EQ(quote->binding_set, testing::Mask(0b11));
   EXPECT_EQ(quote->binding_slack, 30);
 }
 
 TEST(CapacityTest, ViolatedEquationQuotesZero) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(set);
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b1, 130).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b1), 130).ok());
   const Result<CapacityQuote> quote =
-      RemainingCapacity(set, grouping, tree, 0b1);
+      RemainingCapacity(set, grouping, tree, testing::Mask(0b1));
   ASSERT_TRUE(quote.ok());
   EXPECT_EQ(quote->remaining, 0);
   EXPECT_EQ(quote->binding_slack, -30);
@@ -67,18 +67,18 @@ TEST(CapacityTest, ViolatedEquationQuotesZero) {
 
 TEST(CapacityTest, RejectsBadSets) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD2", {{100, 120}}, 50)).ok());
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(set);
   ValidationTree tree;
-  EXPECT_FALSE(RemainingCapacity(set, grouping, tree, 0).ok());
+  EXPECT_FALSE(RemainingCapacity(set, grouping, tree, testing::Mask(0)).ok());
   EXPECT_FALSE(
-      RemainingCapacity(set, grouping, tree, SingletonMask(9)).ok());
+      RemainingCapacity(set, grouping, tree, LicenseSet::Singleton(9)).ok());
   // {L1, L2} spans the two (disjoint) groups.
-  EXPECT_FALSE(RemainingCapacity(set, grouping, tree, 0b11).ok());
+  EXPECT_FALSE(RemainingCapacity(set, grouping, tree, testing::Mask(0b11)).ok());
 }
 
 // Property: the quote is exactly the acceptance threshold of the online
@@ -114,8 +114,8 @@ TEST(CapacityPropertyTest, QuoteMatchesOnlineAcceptanceBoundary) {
           rng.UniformInt(0, workload->licenses->size() - 1));
       const License probe =
           generator.DrawUsageLicense(*workload, parent, &rng, 10000 + trial);
-      const LicenseMask set = instance.SatisfyingSet(probe);
-      ASSERT_NE(set, 0u);
+      const LicenseSet set = instance.SatisfyingSet(probe);
+      ASSERT_FALSE(set.Empty());
       const Result<CapacityQuote> quote = RemainingCapacity(
           *workload->licenses, online->grouping(), online->tree(), set);
       ASSERT_TRUE(quote.ok());
@@ -129,14 +129,14 @@ TEST(CapacityPropertyTest, QuoteMatchesOnlineAcceptanceBoundary) {
       // …probe without committing: use a scratch validator seeded with the
       // same history.
       Result<OnlineValidator> scratch = OnlineValidator::CreateWithHistory(
-          workload->licenses.get(), true, online->log());
+          workload->licenses.get(), OnlineValidatorOptions(), online->log());
       ASSERT_TRUE(scratch.ok());
       EXPECT_TRUE(scratch->TryIssue(at_boundary)->accepted());
       License past_boundary(probe.id(), probe.content_key(), probe.type(),
                             probe.permission(), probe.rect(),
                             quote->remaining + 1);
       Result<OnlineValidator> scratch2 = OnlineValidator::CreateWithHistory(
-          workload->licenses.get(), true, online->log());
+          workload->licenses.get(), OnlineValidatorOptions(), online->log());
       ASSERT_TRUE(scratch2.ok());
       EXPECT_FALSE(scratch2->TryIssue(past_boundary)->accepted());
     }
@@ -145,17 +145,17 @@ TEST(CapacityPropertyTest, QuoteMatchesOnlineAcceptanceBoundary) {
 
 TEST(MinimalViolationsTest, FiltersSupersetViolations) {
   const std::vector<EquationResult> violations = {
-      {0b001, 50, 40}, {0b011, 90, 80}, {0b100, 20, 10}, {0b110, 60, 50}};
+      {testing::Mask(0b001), 50, 40}, {testing::Mask(0b011), 90, 80}, {testing::Mask(0b100), 20, 10}, {testing::Mask(0b110), 60, 50}};
   const std::vector<EquationResult> minimal =
       MinimalViolations(violations);
   ASSERT_EQ(minimal.size(), 2u);
-  EXPECT_EQ(minimal[0].set, 0b001u);  // {L1,L2} dropped (⊇ {L1}).
-  EXPECT_EQ(minimal[1].set, 0b100u);  // {L2,L3} dropped (⊇ {L3}).
+  EXPECT_EQ(minimal[0].set, testing::Mask(0b001));  // {L1,L2} dropped (⊇ {L1}).
+  EXPECT_EQ(minimal[1].set, testing::Mask(0b100));  // {L2,L3} dropped (⊇ {L3}).
 }
 
 TEST(MinimalViolationsTest, IncomparableSetsAllKept) {
   const std::vector<EquationResult> violations = {
-      {0b011, 90, 80}, {0b110, 60, 50}};
+      {testing::Mask(0b011), 90, 80}, {testing::Mask(0b110), 60, 50}};
   EXPECT_EQ(MinimalViolations(violations).size(), 2u);
   EXPECT_TRUE(MinimalViolations({}).empty());
 }

@@ -33,8 +33,8 @@ TEST(DynamicGroupingTest, OverlapJoinsGroup) {
   ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
   ASSERT_TRUE(grouping.AddLicense(Rect({{5, 15}})).ok());
   EXPECT_EQ(grouping.group_count(), 1);
-  EXPECT_EQ(grouping.GroupMaskOf(0), 0b11u);
-  EXPECT_EQ(grouping.GroupMaskOf(1), 0b11u);
+  EXPECT_EQ(grouping.GroupMaskOf(0), testing::Mask(0b11));
+  EXPECT_EQ(grouping.GroupMaskOf(1), testing::Mask(0b11));
 }
 
 TEST(DynamicGroupingTest, BridgeLicenseMergesGroups) {
@@ -47,7 +47,7 @@ TEST(DynamicGroupingTest, BridgeLicenseMergesGroups) {
   ASSERT_TRUE(grouping.AddLicense(Rect({{5, 105}})).ok());  // Bridges both.
   EXPECT_EQ(grouping.group_count(), 1);
   EXPECT_EQ(grouping.merges(), 2);
-  EXPECT_EQ(grouping.GroupMaskOf(0), 0b111u);
+  EXPECT_EQ(grouping.GroupMaskOf(0), testing::Mask(0b111));
 }
 
 TEST(DynamicGroupingTest, GroupCountCanStayGrowAndShrink) {
@@ -66,11 +66,15 @@ TEST(DynamicGroupingTest, RejectsDimensionMismatchAndOverflow) {
   DynamicGrouping grouping;
   ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
   EXPECT_FALSE(grouping.AddLicense(Rect({{0, 10}, {0, 10}})).ok());
-  for (int i = 1; i < 64; ++i) {
+  for (int i = 1; i < kMaxLicensesLarge; ++i) {
     ASSERT_TRUE(
         grouping.AddLicense(Rect({{i * 100, i * 100 + 10}})).ok());
   }
-  EXPECT_EQ(grouping.AddLicense(Rect({{9999, 10000}})).status().code(),
+  EXPECT_EQ(grouping
+                .AddLicense(Rect({{kMaxLicensesLarge * 100,
+                                   kMaxLicensesLarge * 100 + 10}}))
+                .status()
+                .code(),
             StatusCode::kCapacityExceeded);
 }
 

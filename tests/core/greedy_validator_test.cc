@@ -25,14 +25,14 @@ TEST(GreedyValidatorTest, PolicyNames) {
 
 TEST(GreedyValidatorTest, CreateRequiresLicenses) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet empty(&schema);
+  LicenseCatalog empty(&schema);
   EXPECT_FALSE(
       GreedyOnlineValidator::Create(&empty, GreedyPolicy::kFirst).ok());
 }
 
 TEST(GreedyValidatorTest, ChargesChosenLicense) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   ASSERT_TRUE(
@@ -44,7 +44,7 @@ TEST(GreedyValidatorTest, ChargesChosenLicense) {
       validator->TryIssue(MakeUsage(schema, "U", {{12, 18}}, 30));
   ASSERT_TRUE(decision.ok());
   EXPECT_TRUE(decision->accepted);
-  EXPECT_EQ(decision->satisfying_set, 0b11u);
+  EXPECT_EQ(decision->satisfying_set, testing::Mask(0b11));
   EXPECT_EQ(decision->charged_license, 0);  // kFirst picks LD1.
   EXPECT_EQ(validator->remaining()[0], 70);
   EXPECT_EQ(validator->remaining()[1], 50);
@@ -55,7 +55,7 @@ TEST(GreedyValidatorTest, RejectsWhenNoSingleLicenseFits) {
   // every greedy policy even though 80 ≤ 120 combined — greedy charges ONE
   // license.
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 60)).ok());
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD2", {{0, 20}}, 60)).ok());
@@ -86,7 +86,7 @@ TEST(GreedyValidatorTest, PaperExample1Trap) {
   // The exact narrative of Example 1: greedy charging L_D^2 for LU1 leaves
   // 200 and wrongly rejects LU2 (400); equation-based accepts both.
   const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(*ParseLicense(
                       "(K; Play; T=[10/03/09, 20/03/09]; R=[Asia, Europe]; "
                       "A=2000)",

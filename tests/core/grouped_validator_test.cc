@@ -1,3 +1,4 @@
+#include "validation/validate.h"
 #include "core/grouped_validator.h"
 
 #include <algorithm>
@@ -6,18 +7,29 @@
 
 #include "core/gain.h"
 #include "test_util.h"
-#include "validation/exhaustive_validator.h"
 #include "workload/workload.h"
 
 namespace geolic {
 namespace {
 
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
 using testing::IntervalSchema;
 using testing::MakeRedistribution;
 
 // Two disjoint clusters of licenses with a shared-budget structure.
-LicenseSet TwoClusterSet(const ConstraintSchema& schema) {
-  LicenseSet set(&schema);
+LicenseCatalog TwoClusterSet(const ConstraintSchema& schema) {
+  LicenseCatalog set(&schema);
   GEOLIC_CHECK(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   GEOLIC_CHECK(
@@ -29,10 +41,10 @@ LicenseSet TwoClusterSet(const ConstraintSchema& schema) {
 
 TEST(GroupedValidatorTest, CleanLogValidates) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoClusterSet(schema);
+  const LicenseCatalog set = TwoClusterSet(schema);
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b011, 50).ok());
-  ASSERT_TRUE(tree.Insert(0b100, 70).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b011), 50).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b100), 70).ok());
   const Result<GroupedValidationResult> result =
       ValidateGrouped(set, std::move(tree));
   ASSERT_TRUE(result.ok());
@@ -45,25 +57,25 @@ TEST(GroupedValidatorTest, CleanLogValidates) {
 
 TEST(GroupedValidatorTest, ViolationReportedInOriginalIndexes) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoClusterSet(schema);
+  const LicenseCatalog set = TwoClusterSet(schema);
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b100, 150).ok());  // L3 over its 100 budget.
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b100), 150).ok());  // L3 over its 100 budget.
   const Result<GroupedValidationResult> result =
       ValidateGrouped(set, std::move(tree));
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->report.violations.size(), 1u);
   // L3 is local index 0 of group 1; the report must say original L3.
-  EXPECT_EQ(result->report.violations[0].set, 0b100u);
+  EXPECT_EQ(result->report.violations[0].set, testing::Mask(0b100));
   EXPECT_EQ(result->report.violations[0].lhs, 150);
   EXPECT_EQ(result->report.violations[0].rhs, 100);
 }
 
 TEST(GroupedValidatorTest, FromLogConvenience) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoClusterSet(schema);
+  const LicenseCatalog set = TwoClusterSet(schema);
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"LU1", 0b011, 60}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"LU2", 0b001, 50}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"LU1", testing::Mask(0b011), 60}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"LU2", testing::Mask(0b001), 50}).ok());
   const Result<GroupedValidationResult> result =
       ValidateGroupedFromLog(set, log);
   ASSERT_TRUE(result.ok());
@@ -73,7 +85,7 @@ TEST(GroupedValidatorTest, FromLogConvenience) {
 
 TEST(GroupedValidatorTest, TimingFieldsPopulated) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoClusterSet(schema);
+  const LicenseCatalog set = TwoClusterSet(schema);
   const Result<GroupedValidationResult> result =
       ValidateGrouped(set, ValidationTree());
   ASSERT_TRUE(result.ok());
@@ -138,7 +150,7 @@ TEST_P(EquivalencePropertyTest, GroupedMatchesBaseline) {
     const Result<ValidationTree> baseline_tree =
         ValidationTree::BuildFromLog(workload->log);
     ASSERT_TRUE(baseline_tree.ok());
-    const Result<ValidationReport> baseline = ValidateExhaustive(
+    const Result<ValidationReport> baseline = RunExhaustive(
         *baseline_tree, workload->licenses->AggregateCounts());
     ASSERT_TRUE(baseline.ok());
 
@@ -160,8 +172,8 @@ TEST_P(EquivalencePropertyTest, GroupedMatchesBaseline) {
         LicenseGrouping::FromLicenses(*workload->licenses);
     std::vector<EquationResult> baseline_in_group;
     for (const EquationResult& violation : baseline->violations) {
-      const int group = grouping.GroupOf(LowestLicense(violation.set));
-      if (IsSubsetOf(violation.set, grouping.GroupMask(group))) {
+      const int group = grouping.GroupOf((violation.set).Lowest());
+      if (violation.set.IsSubsetOf(grouping.GroupMask(group))) {
         baseline_in_group.push_back(violation);
       }
     }
@@ -187,13 +199,13 @@ TEST_P(EquivalencePropertyTest, GroupedMatchesBaseline) {
     for (const EquationResult& violation : baseline->violations) {
       bool explained = false;
       for (const EquationResult& group_violation : grouped_violations) {
-        if (IsSubsetOf(group_violation.set, violation.set)) {
+        if ((group_violation.set).IsSubsetOf(violation.set)) {
           explained = true;
           break;
         }
       }
       EXPECT_TRUE(explained) << "unexplained baseline violation "
-                             << MaskToString(violation.set);
+                             << (violation.set).ToString();
     }
 
     // Equation-count bookkeeping matches the gain formula inputs.

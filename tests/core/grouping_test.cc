@@ -15,8 +15,8 @@ using testing::Rect;
 // License set shaped like the paper's figure 2 in one interval dimension
 // per axis: L1, L2, L4 mutually linked through overlaps, L3-L5 linked,
 // no cross links.
-LicenseSet Figure2Set(const ConstraintSchema& schema) {
-  LicenseSet set(&schema);
+LicenseCatalog Figure2Set(const ConstraintSchema& schema) {
+  LicenseCatalog set(&schema);
   GEOLIC_CHECK(set.Add(MakeRedistribution(schema, "LD1", {{0, 20}, {0, 20}},
                                           2000))
                    .ok());
@@ -37,7 +37,7 @@ LicenseSet Figure2Set(const ConstraintSchema& schema) {
 
 TEST(OverlapGraphTest, BuildsEdgesFromGeometry) {
   const ConstraintSchema schema = IntervalSchema(2);
-  const LicenseSet set = Figure2Set(schema);
+  const LicenseCatalog set = Figure2Set(schema);
   const AdjacencyMatrix graph = BuildOverlapGraph(set);
   EXPECT_TRUE(graph.HasEdge(0, 1));   // L1-L2.
   EXPECT_TRUE(graph.HasEdge(0, 3));   // L1-L4.
@@ -50,7 +50,7 @@ TEST(OverlapGraphTest, BuildsEdgesFromGeometry) {
 
 TEST(OverlapGraphTest, FromRectsMatchesFromLicenses) {
   const ConstraintSchema schema = IntervalSchema(2);
-  const LicenseSet set = Figure2Set(schema);
+  const LicenseCatalog set = Figure2Set(schema);
   std::vector<HyperRect> rects;
   for (int i = 0; i < set.size(); ++i) {
     rects.push_back(set.at(i).rect());
@@ -66,12 +66,12 @@ TEST(OverlapGraphTest, FromRectsMatchesFromLicenses) {
 
 TEST(LicenseGroupingTest, GroupsFigure2IntoTwo) {
   const ConstraintSchema schema = IntervalSchema(2);
-  const LicenseSet set = Figure2Set(schema);
+  const LicenseCatalog set = Figure2Set(schema);
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(set);
   ASSERT_EQ(grouping.group_count(), 2);
   EXPECT_EQ(grouping.num_licenses(), 5);
-  EXPECT_EQ(grouping.GroupMask(0), 0b01011u);  // {L1, L2, L4}.
-  EXPECT_EQ(grouping.GroupMask(1), 0b10100u);  // {L3, L5}.
+  EXPECT_EQ(grouping.GroupMask(0), testing::Mask(0b01011));  // {L1, L2, L4}.
+  EXPECT_EQ(grouping.GroupMask(1), testing::Mask(0b10100));  // {L3, L5}.
   EXPECT_EQ(grouping.GroupSize(0), 3);
   EXPECT_EQ(grouping.GroupSize(1), 2);
   EXPECT_EQ(grouping.GroupOf(0), 0);
@@ -101,19 +101,19 @@ TEST(LicenseGroupingTest, MaskTranslation) {
   const LicenseGrouping grouping =
       LicenseGrouping::FromLicenses(Figure2Set(schema));
   // Local {pos0, pos2} of group 0 = original {L1, L4}.
-  EXPECT_EQ(grouping.LocalToOriginalMask(0, 0b101), 0b01001u);
-  EXPECT_EQ(grouping.LocalToOriginalMask(1, 0b11), 0b10100u);
+  EXPECT_EQ(grouping.LocalToOriginalMask(0, testing::Mask(0b101)), testing::Mask(0b01001));
+  EXPECT_EQ(grouping.LocalToOriginalMask(1, testing::Mask(0b11)), testing::Mask(0b10100));
   // Inverse.
-  EXPECT_EQ(*grouping.OriginalToLocalMask(0, 0b01001), 0b101u);
-  EXPECT_EQ(*grouping.OriginalToLocalMask(1, 0b10100), 0b11u);
+  EXPECT_EQ(*grouping.OriginalToLocalMask(0, testing::Mask(0b01001)), testing::Mask(0b101));
+  EXPECT_EQ(*grouping.OriginalToLocalMask(1, testing::Mask(0b10100)), testing::Mask(0b11));
   // Original mask crossing groups is rejected.
-  EXPECT_FALSE(grouping.OriginalToLocalMask(0, 0b00101).ok());
-  EXPECT_FALSE(grouping.OriginalToLocalMask(5, 0b1).ok());
+  EXPECT_FALSE(grouping.OriginalToLocalMask(0, testing::Mask(0b00101)).ok());
+  EXPECT_FALSE(grouping.OriginalToLocalMask(5, testing::Mask(0b1)).ok());
 }
 
 TEST(LicenseGroupingTest, GroupAggregatesFollowsLocalOrder) {
   const ConstraintSchema schema = IntervalSchema(2);
-  const LicenseSet set = Figure2Set(schema);
+  const LicenseCatalog set = Figure2Set(schema);
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(set);
   const std::vector<int64_t> aggregates = set.AggregateCounts();
   // Group 0 = {L1, L2, L4} → A_1 = (2000, 1000, 4000).
@@ -128,7 +128,7 @@ TEST(LicenseGroupingTest, GroupAggregatesFollowsLocalOrder) {
 
 TEST(LicenseGroupingTest, SingleLicense) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 10)).ok());
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(set);
   EXPECT_EQ(grouping.group_count(), 1);
@@ -138,7 +138,7 @@ TEST(LicenseGroupingTest, SingleLicense) {
 
 TEST(LicenseGroupingTest, AllDisjointLicensesEachOwnGroup) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   for (int i = 0; i < 6; ++i) {
     ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD" + std::to_string(i),
                                            {{i * 100, i * 100 + 50}}, 10))
@@ -157,8 +157,8 @@ TEST(LicenseGroupingTest, FromRects) {
       Rect({{0, 10}}), Rect({{5, 15}}), Rect({{100, 110}})};
   const LicenseGrouping grouping = LicenseGrouping::FromRects(rects);
   EXPECT_EQ(grouping.group_count(), 2);
-  EXPECT_EQ(grouping.GroupMask(0), 0b011u);
-  EXPECT_EQ(grouping.GroupMask(1), 0b100u);
+  EXPECT_EQ(grouping.GroupMask(0), testing::Mask(0b011));
+  EXPECT_EQ(grouping.GroupMask(1), testing::Mask(0b100));
 }
 
 }  // namespace

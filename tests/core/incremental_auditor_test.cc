@@ -14,8 +14,8 @@ namespace {
 using testing::IntervalSchema;
 using testing::MakeRedistribution;
 
-LicenseSet TwoGroupSet(const ConstraintSchema& schema) {
-  LicenseSet set(&schema);
+LicenseCatalog TwoGroupSet(const ConstraintSchema& schema) {
+  LicenseCatalog set(&schema);
   GEOLIC_CHECK(set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   GEOLIC_CHECK(
       set.Add(MakeRedistribution(schema, "LD2", {{10, 30}}, 80)).ok());
@@ -26,18 +26,18 @@ LicenseSet TwoGroupSet(const ConstraintSchema& schema) {
 
 TEST(IncrementalAuditorTest, CreateRequiresLicenses) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet empty(&schema);
+  LicenseCatalog empty(&schema);
   EXPECT_FALSE(IncrementalAuditor::Create(&empty).ok());
   EXPECT_FALSE(IncrementalAuditor::Create(nullptr).ok());
 }
 
 TEST(IncrementalAuditorTest, CleanBatchReportsNoViolations) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoGroupSet(schema);
+  const LicenseCatalog set = TwoGroupSet(schema);
   Result<IncrementalAuditor> auditor = IncrementalAuditor::Create(&set);
   ASSERT_TRUE(auditor.ok());
   const Result<ValidationReport> report = auditor->IngestBatch(
-      {LogRecord{"LU1", 0b011, 50}, LogRecord{"LU2", 0b100, 30}});
+      {LogRecord{"LU1", testing::Mask(0b011), 50}, LogRecord{"LU2", testing::Mask(0b100), 30}});
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->all_valid());
   // Dirty equations: supersets of {L1,L2} within group {L1,L2} → 1;
@@ -48,29 +48,29 @@ TEST(IncrementalAuditorTest, CleanBatchReportsNoViolations) {
 
 TEST(IncrementalAuditorTest, DetectsViolationInBatch) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoGroupSet(schema);
+  const LicenseCatalog set = TwoGroupSet(schema);
   Result<IncrementalAuditor> auditor = IncrementalAuditor::Create(&set);
   ASSERT_TRUE(auditor.ok());
-  ASSERT_TRUE(auditor->IngestBatch({LogRecord{"LU1", 0b100, 40}}).ok());
+  ASSERT_TRUE(auditor->IngestBatch({LogRecord{"LU1", testing::Mask(0b100), 40}}).ok());
   const Result<ValidationReport> report =
-      auditor->IngestBatch({LogRecord{"LU2", 0b100, 20}});
+      auditor->IngestBatch({LogRecord{"LU2", testing::Mask(0b100), 20}});
   ASSERT_TRUE(report.ok());
   ASSERT_EQ(report->violations.size(), 1u);
-  EXPECT_EQ(report->violations[0].set, 0b100u);
+  EXPECT_EQ(report->violations[0].set, testing::Mask(0b100));
   EXPECT_EQ(report->violations[0].lhs, 60);
   EXPECT_EQ(report->violations[0].rhs, 50);
 }
 
 TEST(IncrementalAuditorTest, DirtySeedDeduplication) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoGroupSet(schema);
+  const LicenseCatalog set = TwoGroupSet(schema);
   Result<IncrementalAuditor> auditor = IncrementalAuditor::Create(&set);
   ASSERT_TRUE(auditor.ok());
   // Ten records with the same set → the dirty set is still just the two
   // supersets of {L1} within group {L1,L2}.
   std::vector<LogRecord> batch;
   for (int i = 0; i < 10; ++i) {
-    batch.push_back(LogRecord{"LU", 0b001, 1});
+    batch.push_back(LogRecord{"LU", testing::Mask(0b001), 1});
   }
   const Result<ValidationReport> report = auditor->IngestBatch(batch);
   ASSERT_TRUE(report.ok());
@@ -79,13 +79,13 @@ TEST(IncrementalAuditorTest, DirtySeedDeduplication) {
 
 TEST(IncrementalAuditorTest, RejectsMalformedRecords) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = TwoGroupSet(schema);
+  const LicenseCatalog set = TwoGroupSet(schema);
   Result<IncrementalAuditor> auditor = IncrementalAuditor::Create(&set);
   ASSERT_TRUE(auditor.ok());
-  EXPECT_FALSE(auditor->IngestBatch({LogRecord{"LU", 0, 5}}).ok());
-  EXPECT_FALSE(auditor->IngestBatch({LogRecord{"LU", 0b1, 0}}).ok());
+  EXPECT_FALSE(auditor->IngestBatch({LogRecord{"LU", testing::Mask(0), 5}}).ok());
+  EXPECT_FALSE(auditor->IngestBatch({LogRecord{"LU", testing::Mask(0b1), 0}}).ok());
   EXPECT_FALSE(
-      auditor->IngestBatch({LogRecord{"LU", SingletonMask(40), 5}}).ok());
+      auditor->IngestBatch({LogRecord{"LU", LicenseSet::Singleton(40), 5}}).ok());
 }
 
 // Property: over any batch split of a generated log, the cumulative
@@ -106,7 +106,7 @@ TEST_P(IncrementalEquivalenceTest, CumulativeMatchesFullAudit) {
       IncrementalAuditor::Create(workload->licenses.get());
   ASSERT_TRUE(auditor.ok());
 
-  std::map<LicenseMask, EquationResult> last_reported;
+  std::map<LicenseSet, EquationResult> last_reported;
   const auto& records = workload->log.records();
   for (size_t start = 0; start < records.size();
        start += static_cast<size_t>(batch_size)) {
@@ -131,7 +131,7 @@ TEST_P(IncrementalEquivalenceTest, CumulativeMatchesFullAudit) {
   for (const EquationResult& violation : full->report.violations) {
     const auto it = last_reported.find(violation.set);
     ASSERT_NE(it, last_reported.end())
-        << "missing " << MaskToString(violation.set);
+        << "missing " << (violation.set).ToString();
     EXPECT_EQ(it->second.lhs, violation.lhs);
     EXPECT_EQ(it->second.rhs, violation.rhs);
   }

@@ -14,7 +14,7 @@ using testing::MakeUsage;
 
 TEST(LinearInstanceValidatorTest, FindsAllContainingLicenses) {
   const ConstraintSchema schema = IntervalSchema(2);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}, {0, 20}}, 1)).ok());
   ASSERT_TRUE(
@@ -27,30 +27,30 @@ TEST(LinearInstanceValidatorTest, FindsAllContainingLicenses) {
   // Inside LD1 and LD2.
   EXPECT_EQ(validator.SatisfyingSet(
                 MakeUsage(schema, "LU1", {{6, 19}, {6, 19}}, 1)),
-            0b011u);
+            testing::Mask(0b011));
   // Inside LD1 only.
   EXPECT_EQ(validator.SatisfyingSet(
                 MakeUsage(schema, "LU2", {{0, 4}, {0, 4}}, 1)),
-            0b001u);
+            testing::Mask(0b001));
   // Inside none (straddles LD1's edge) — the paper's invalid L_U^2 case.
   EXPECT_EQ(validator.SatisfyingSet(
                 MakeUsage(schema, "LU3", {{15, 30}, {0, 4}}, 1)),
-            0u);
+            testing::Mask(0));
   // Inside LD3 only.
   EXPECT_EQ(validator.SatisfyingSet(
                 MakeUsage(schema, "LU4", {{55, 56}, {55, 56}}, 1)),
-            0b100u);
+            testing::Mask(0b100));
 }
 
 TEST(RtreeInstanceValidatorTest, BuildRejectsEmptySet) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   EXPECT_FALSE(RtreeInstanceValidator::Build(&set).ok());
 }
 
 TEST(RtreeInstanceValidatorTest, MatchesLinearOnSmallSet) {
   const ConstraintSchema schema = IntervalSchema(2);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}, {0, 20}}, 1)).ok());
   ASSERT_TRUE(
@@ -72,7 +72,7 @@ TEST_P(InstanceBackendAgreementTest, BackendsAgree) {
   const ConstraintSchema schema = IntervalSchema(dims);
   Rng rng(86000 + static_cast<uint64_t>(dims));
   for (int trial = 0; trial < 10; ++trial) {
-    LicenseSet set(&schema);
+    LicenseCatalog set(&schema);
     const int n = static_cast<int>(rng.UniformInt(1, 40));
     for (int i = 0; i < n; ++i) {
       std::vector<std::pair<int64_t, int64_t>> ranges;
@@ -112,7 +112,7 @@ TEST(InstanceValidatorTest, CategoricalDimensionsHandledExactly) {
   ASSERT_TRUE(
       schema.AddCategoricalDimension("R", CategoryUniverse::WorldRegions())
           .ok());
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   const CategoryUniverse world = CategoryUniverse::WorldRegions();
 
   auto make = [&](const std::string& id, int64_t lo, int64_t hi,
@@ -144,8 +144,8 @@ TEST(InstanceValidatorTest, CategoricalDimensionsHandledExactly) {
   const Result<RtreeInstanceValidator> rtree =
       RtreeInstanceValidator::Build(&set);
   ASSERT_TRUE(rtree.ok());
-  EXPECT_EQ(linear.SatisfyingSet(usage), 0b01u);  // Asia only, not Europe.
-  EXPECT_EQ(rtree->SatisfyingSet(usage), 0b01u);
+  EXPECT_EQ(linear.SatisfyingSet(usage), testing::Mask(0b01));  // Asia only, not Europe.
+  EXPECT_EQ(rtree->SatisfyingSet(usage), testing::Mask(0b01));
 }
 
 }  // namespace

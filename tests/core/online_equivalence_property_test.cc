@@ -12,9 +12,9 @@
 #include "gtest/gtest.h"
 #include "core/online_validator.h"
 #include "licensing/license.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "test_util.h"
-#include "util/bits.h"
+#include "util/license_set.h"
 #include "util/random.h"
 #include "validation/flat_tree.h"
 #include "validation/validation_tree.h"
@@ -28,7 +28,7 @@ constexpr int64_t kDomain = 24;
 
 struct Workload {
   std::unique_ptr<ConstraintSchema> schema;
-  std::unique_ptr<LicenseSet> licenses;
+  std::unique_ptr<LicenseCatalog> licenses;
   std::vector<License> requests;
 };
 
@@ -41,7 +41,7 @@ Workload Generate(uint64_t seed) {
     GEOLIC_CHECK(
         w.schema->AddIntervalDimension("C" + std::to_string(d + 1)).ok());
   }
-  w.licenses = std::make_unique<LicenseSet>(w.schema.get());
+  w.licenses = std::make_unique<LicenseCatalog>(w.schema.get());
   const int license_count = static_cast<int>(rng.UniformInt(3, 8));
   for (int i = 0; i < license_count; ++i) {
     LicenseBuilder builder(w.schema.get());
@@ -98,27 +98,26 @@ Workload Generate(uint64_t seed) {
 // arena compiler and its pruned scans as a decision procedure.
 class FlatTreeOracle {
  public:
-  explicit FlatTreeOracle(const LicenseSet* licenses) : licenses_(licenses) {}
+  explicit FlatTreeOracle(const LicenseCatalog* licenses) : licenses_(licenses) {}
 
   OnlineDecision TryIssue(const License& issued) {
     OnlineDecision decision;
     for (int i = 0; i < licenses_->size(); ++i) {
       if (licenses_->at(i).InstanceContains(issued)) {
-        decision.satisfying_set |= SingletonMask(i);
+        decision.satisfying_set |= LicenseSet::Singleton(i);
       }
     }
-    if (decision.satisfying_set == 0) {
+    if (decision.satisfying_set.Empty()) {
       return decision;
     }
     decision.instance_valid = true;
     decision.aggregate_valid = true;
     const FlatValidationTree flat = FlatValidationTree::Compile(tree_);
     const int64_t count = issued.aggregate_count();
-    const LicenseMask extension =
-        licenses_->AllMask() & ~decision.satisfying_set;
-    LicenseMask x = 0;
-    while (true) {
-      const LicenseMask t = decision.satisfying_set | x;
+    const LicenseSet extension =
+        licenses_->AllMask() - decision.satisfying_set;
+    for (AscendingSubsetIterator it(extension); !it.Done(); it.Next()) {
+      const LicenseSet t = decision.satisfying_set | it.subset();
       ++decision.equations_checked;
       const int64_t lhs = flat.SumSubsets(t) + count;
       const int64_t rhs = licenses_->AggregateSum(t);
@@ -129,10 +128,6 @@ class FlatTreeOracle {
         decision.limiting.rhs = rhs;
         break;
       }
-      if (x == extension) {
-        break;
-      }
-      x = (x - extension) & extension;
     }
     if (decision.aggregate_valid) {
       GEOLIC_CHECK(tree_.Insert(decision.satisfying_set, count).ok());
@@ -141,16 +136,16 @@ class FlatTreeOracle {
   }
 
  private:
-  const LicenseSet* licenses_;
+  const LicenseCatalog* licenses_;
   ValidationTree tree_;
 };
 
 std::string Describe(const OnlineDecision& d) {
   std::string text = d.instance_valid ? "instance-valid " : "instance-invalid ";
   text += d.aggregate_valid ? "accepted" : "rejected";
-  text += " S=" + std::to_string(d.satisfying_set);
+  text += " S=" + d.satisfying_set.ToHex();
   if (d.instance_valid && !d.aggregate_valid) {
-    text += " limiting T=" + std::to_string(d.limiting.set) + " (" +
+    text += " limiting T=" + d.limiting.set.ToHex() + " (" +
             std::to_string(d.limiting.lhs) + " > " +
             std::to_string(d.limiting.rhs) + ")";
   }

@@ -7,13 +7,19 @@
 namespace geolic {
 namespace {
 
+OnlineValidatorOptions Grouped(bool use_grouping) {
+  OnlineValidatorOptions options;
+  options.use_grouping = use_grouping;
+  return options;
+}
+
 using testing::IntervalSchema;
 using testing::MakeRedistribution;
 using testing::MakeUsage;
 
 // L1 [0,20] A=100, L2 [10,30] A=50, L3 [100,120] A=30 — two groups.
-LicenseSet SmallSet(const ConstraintSchema& schema) {
-  LicenseSet set(&schema);
+LicenseCatalog SmallSet(const ConstraintSchema& schema) {
+  LicenseCatalog set(&schema);
   GEOLIC_CHECK(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 100)).ok());
   GEOLIC_CHECK(
@@ -25,14 +31,14 @@ LicenseSet SmallSet(const ConstraintSchema& schema) {
 
 TEST(OnlineValidatorTest, CreateRequiresLicenses) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet empty(&schema);
+  LicenseCatalog empty(&schema);
   EXPECT_FALSE(OnlineValidator::Create(&empty).ok());
   EXPECT_FALSE(OnlineValidator::Create(nullptr).ok());
 }
 
 TEST(OnlineValidatorTest, AcceptsValidIssue) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   Result<OnlineValidator> validator = OnlineValidator::Create(&set);
   ASSERT_TRUE(validator.ok());
   const Result<OnlineDecision> decision =
@@ -41,14 +47,14 @@ TEST(OnlineValidatorTest, AcceptsValidIssue) {
   EXPECT_TRUE(decision->accepted());
   EXPECT_TRUE(decision->instance_valid);
   EXPECT_TRUE(decision->aggregate_valid);
-  EXPECT_EQ(decision->satisfying_set, 0b001u);
+  EXPECT_EQ(decision->satisfying_set, testing::Mask(0b001));
   EXPECT_EQ(validator->log().size(), 1u);
-  EXPECT_EQ(validator->tree().CountOf(0b001), 40);
+  EXPECT_EQ(validator->tree().CountOf(testing::Mask(0b001)), 40);
 }
 
 TEST(OnlineValidatorTest, RejectsInstanceInvalid) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   Result<OnlineValidator> validator = OnlineValidator::Create(&set);
   ASSERT_TRUE(validator.ok());
   // [25, 50] is not inside any license.
@@ -62,7 +68,7 @@ TEST(OnlineValidatorTest, RejectsInstanceInvalid) {
 
 TEST(OnlineValidatorTest, RejectsAggregateOverflowAndReportsEquation) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   Result<OnlineValidator> validator = OnlineValidator::Create(&set);
   ASSERT_TRUE(validator.ok());
   // L3's budget is 30: a 31-count usage inside L3 must be rejected.
@@ -72,7 +78,7 @@ TEST(OnlineValidatorTest, RejectsAggregateOverflowAndReportsEquation) {
   EXPECT_TRUE(decision->instance_valid);
   EXPECT_FALSE(decision->aggregate_valid);
   EXPECT_FALSE(decision->accepted());
-  EXPECT_EQ(decision->limiting.set, 0b100u);
+  EXPECT_EQ(decision->limiting.set, testing::Mask(0b100));
   EXPECT_EQ(decision->limiting.lhs, 31);
   EXPECT_EQ(decision->limiting.rhs, 30);
   EXPECT_EQ(validator->log().size(), 0u);
@@ -80,7 +86,7 @@ TEST(OnlineValidatorTest, RejectsAggregateOverflowAndReportsEquation) {
 
 TEST(OnlineValidatorTest, ExhaustsBudgetExactlyThenRejects) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   Result<OnlineValidator> validator = OnlineValidator::Create(&set);
   ASSERT_TRUE(validator.ok());
   // Three 10-count issues exhaust L3's 30.
@@ -102,7 +108,7 @@ TEST(OnlineValidatorTest, Example1ScenarioBothLicensesValid) {
   // validation both are accepted because C⟨{L2}⟩ = 400 ≤ 1000 and
   // C⟨{L1,L2}⟩ = 1200 ≤ 3000 — no greedy license picking.
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 2000)).ok());
   ASSERT_TRUE(
@@ -113,22 +119,22 @@ TEST(OnlineValidatorTest, Example1ScenarioBothLicensesValid) {
   const Result<OnlineDecision> first =
       validator->TryIssue(MakeUsage(schema, "LU1", {{12, 18}}, 800));
   ASSERT_TRUE(first.ok());
-  EXPECT_EQ(first->satisfying_set, 0b11u);
+  EXPECT_EQ(first->satisfying_set, testing::Mask(0b11));
   EXPECT_TRUE(first->accepted());
 
   const Result<OnlineDecision> second =
       validator->TryIssue(MakeUsage(schema, "LU2", {{22, 28}}, 400));
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(second->satisfying_set, 0b10u);
+  EXPECT_EQ(second->satisfying_set, testing::Mask(0b10));
   EXPECT_TRUE(second->accepted());
 }
 
 TEST(OnlineValidatorTest, GroupingShrinksEquationCount) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
 
-  Result<OnlineValidator> grouped = OnlineValidator::Create(&set, true);
-  Result<OnlineValidator> baseline = OnlineValidator::Create(&set, false);
+  Result<OnlineValidator> grouped = OnlineValidator::Create(&set, Grouped(true));
+  Result<OnlineValidator> baseline = OnlineValidator::Create(&set, Grouped(false));
   ASSERT_TRUE(grouped.ok());
   ASSERT_TRUE(baseline.ok());
 
@@ -146,7 +152,7 @@ TEST(OnlineValidatorTest, GroupingShrinksEquationCount) {
 
 TEST(OnlineValidatorTest, GroupedAndBaselineAlwaysAgree) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 20}}, 60)).ok());
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD2", {{10, 30}}, 40)).ok());
@@ -155,8 +161,8 @@ TEST(OnlineValidatorTest, GroupedAndBaselineAlwaysAgree) {
   ASSERT_TRUE(
       set.Add(MakeRedistribution(schema, "LD4", {{110, 140}}, 35)).ok());
 
-  Result<OnlineValidator> grouped = OnlineValidator::Create(&set, true);
-  Result<OnlineValidator> baseline = OnlineValidator::Create(&set, false);
+  Result<OnlineValidator> grouped = OnlineValidator::Create(&set, Grouped(true));
+  Result<OnlineValidator> baseline = OnlineValidator::Create(&set, Grouped(false));
   ASSERT_TRUE(grouped.ok());
   ASSERT_TRUE(baseline.ok());
 
@@ -191,13 +197,13 @@ TEST(OnlineValidatorTest, GroupedAndBaselineAlwaysAgree) {
 
 TEST(OnlineValidatorTest, CreateWithHistoryPreloadsTree) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   LogStore history;
-  ASSERT_TRUE(history.Append(LogRecord{"LU1", 0b001, 90}).ok());
+  ASSERT_TRUE(history.Append(LogRecord{"LU1", testing::Mask(0b001), 90}).ok());
   Result<OnlineValidator> validator =
-      OnlineValidator::CreateWithHistory(&set, true, history);
+      OnlineValidator::CreateWithHistory(&set, Grouped(true), history);
   ASSERT_TRUE(validator.ok());
-  EXPECT_EQ(validator->tree().CountOf(0b001), 90);
+  EXPECT_EQ(validator->tree().CountOf(testing::Mask(0b001)), 90);
   EXPECT_EQ(validator->log().size(), 1u);
   // Only 10 counts left on L1.
   const Result<OnlineDecision> decision =
@@ -208,15 +214,15 @@ TEST(OnlineValidatorTest, CreateWithHistoryPreloadsTree) {
 
 TEST(OnlineValidatorTest, CreateWithHistoryRejectsUnknownIndexes) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   LogStore history;
-  ASSERT_TRUE(history.Append(LogRecord{"LU1", SingletonMask(9), 5}).ok());
-  EXPECT_FALSE(OnlineValidator::CreateWithHistory(&set, true, history).ok());
+  ASSERT_TRUE(history.Append(LogRecord{"LU1", LicenseSet::Singleton(9), 5}).ok());
+  EXPECT_FALSE(OnlineValidator::CreateWithHistory(&set, Grouped(true), history).ok());
 }
 
 TEST(OnlineValidatorTest, RejectsNonPositiveCount) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet set = SmallSet(schema);
+  const LicenseCatalog set = SmallSet(schema);
   Result<OnlineValidator> validator = OnlineValidator::Create(&set);
   ASSERT_TRUE(validator.ok());
   LicenseBuilder builder(&schema);

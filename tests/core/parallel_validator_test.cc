@@ -1,12 +1,24 @@
+#include "validation/validate.h"
 #include "core/parallel_validator.h"
 
 #include <gtest/gtest.h>
 
-#include "validation/exhaustive_validator.h"
 #include "workload/workload.h"
 
 namespace geolic {
 namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
 
 TEST(ParallelValidatorTest, EmptyInputs) {
   ValidationTree tree;
@@ -18,7 +30,7 @@ TEST(ParallelValidatorTest, EmptyInputs) {
 
 TEST(ParallelValidatorTest, RejectsBadInputs) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(SingletonMask(3), 1).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(3), 1).ok());
   EXPECT_FALSE(ValidateExhaustiveParallel(tree, {10, 10}, 4).ok());
   EXPECT_FALSE(
       ValidateExhaustiveParallel(tree, std::vector<int64_t>(65, 1), 4).ok());
@@ -44,7 +56,7 @@ TEST_P(ParallelEquivalenceTest, MatchesSequential) {
         workload->licenses->AggregateCounts();
 
     const Result<ValidationReport> sequential =
-        ValidateExhaustive(*tree, aggregates);
+        RunExhaustive(*tree, aggregates);
     const Result<ValidationReport> parallel =
         ValidateExhaustiveParallel(*tree, aggregates, threads);
     ASSERT_TRUE(sequential.ok());

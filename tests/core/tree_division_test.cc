@@ -3,15 +3,30 @@
 #include <gtest/gtest.h>
 
 #include "validation/exhaustive_validator.h"
+#include "validation/validate.h"
 #include "util/random.h"
+
+#include "test_util.h"
 
 namespace geolic {
 namespace {
 
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
 // Components {L1, L2, L4} and {L3, L5} (the paper's figure 2 groups).
 LicenseGrouping PaperGrouping() {
   ComponentSet components;
-  components.components = {0b01011, 0b10100};
+  components.components = {testing::Mask(0b01011), testing::Mask(0b10100)};
   components.component_of = {0, 0, 1, 0, 1};
   return LicenseGrouping::FromComponents(std::move(components));
 }
@@ -19,11 +34,11 @@ LicenseGrouping PaperGrouping() {
 // The paper's figure 1 validation tree.
 ValidationTree PaperTree() {
   ValidationTree tree;
-  GEOLIC_CHECK(tree.Insert(0b00011, 840).ok());
-  GEOLIC_CHECK(tree.Insert(0b00010, 400).ok());
-  GEOLIC_CHECK(tree.Insert(0b01011, 30).ok());
-  GEOLIC_CHECK(tree.Insert(0b10100, 800).ok());
-  GEOLIC_CHECK(tree.Insert(0b10000, 20).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b00011), 840).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b00010), 400).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b01011), 30).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b10100), 800).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b10000), 20).ok());
   return tree;
 }
 
@@ -37,16 +52,16 @@ TEST(TreeDivisionTest, DividesPaperTreeIntoFigure4) {
   // First tree: branches L1→L2(840)→L4(30) and L2(400); still original
   // indexes (figure 4, before modification).
   const ValidationTree& first = (*parts)[0];
-  EXPECT_EQ(first.CountOf(0b00011), 840);
-  EXPECT_EQ(first.CountOf(0b00010), 400);
-  EXPECT_EQ(first.CountOf(0b01011), 30);
+  EXPECT_EQ(first.CountOf(testing::Mask(0b00011)), 840);
+  EXPECT_EQ(first.CountOf(testing::Mask(0b00010)), 400);
+  EXPECT_EQ(first.CountOf(testing::Mask(0b01011)), 30);
   EXPECT_EQ(first.NodeCount(), 4u);
   EXPECT_TRUE(first.CheckInvariants().ok());
 
   // Second tree: L3→L5(800) and L5(20).
   const ValidationTree& second = (*parts)[1];
-  EXPECT_EQ(second.CountOf(0b10100), 800);
-  EXPECT_EQ(second.CountOf(0b10000), 20);
+  EXPECT_EQ(second.CountOf(testing::Mask(0b10100)), 800);
+  EXPECT_EQ(second.CountOf(testing::Mask(0b10000)), 20);
   EXPECT_EQ(second.NodeCount(), 3u);
   EXPECT_TRUE(second.CheckInvariants().ok());
 }
@@ -78,9 +93,9 @@ TEST(TreeDivisionTest, ReindexProducesFigure5) {
   ASSERT_TRUE(ReindexTree(grouping, 1, &(*parts)[1]).ok());
   // Figure 5: indexes 3 and 5 become 1 and 2 (0-based 0 and 1 here).
   const ValidationTree& second = (*parts)[1];
-  EXPECT_EQ(second.CountOf(0b01), 0);    // L3 → local L1, prefix node.
-  EXPECT_EQ(second.CountOf(0b11), 800);  // {L3,L5} → local {L1,L2}.
-  EXPECT_EQ(second.CountOf(0b10), 20);   // {L5} → local {L2}.
+  EXPECT_EQ(second.CountOf(testing::Mask(0b01)), 0);    // L3 → local L1, prefix node.
+  EXPECT_EQ(second.CountOf(testing::Mask(0b11)), 800);  // {L3,L5} → local {L1,L2}.
+  EXPECT_EQ(second.CountOf(testing::Mask(0b10)), 20);   // {L5} → local {L2}.
   EXPECT_TRUE(second.CheckInvariants().ok());
 }
 
@@ -96,12 +111,12 @@ TEST(TreeDivisionTest, DivideAndReindexProducesValidatableParts) {
 
   // Each (tree, A_k) pair plugs into Algorithm 2.
   const Result<ValidationReport> first =
-      ValidateExhaustive(divided->trees[0], divided->aggregates[0]);
+      RunExhaustive(divided->trees[0], divided->aggregates[0]);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->equations_evaluated, 7u);  // 2^3 - 1.
   EXPECT_TRUE(first->all_valid());
   const Result<ValidationReport> second =
-      ValidateExhaustive(divided->trees[1], divided->aggregates[1]);
+      RunExhaustive(divided->trees[1], divided->aggregates[1]);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->equations_evaluated, 3u);  // 2^2 - 1.
   EXPECT_TRUE(second->all_valid());
@@ -111,7 +126,7 @@ TEST(TreeDivisionTest, RejectsBranchSpanningGroups) {
   // A log set {L1, L3} crosses the two groups — impossible for honest logs
   // (Theorem 1) and rejected by division.
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b00101, 10).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b00101), 10).ok());
   const Result<std::vector<ValidationTree>> parts =
       DivideValidationTree(std::move(tree), PaperGrouping());
   ASSERT_FALSE(parts.ok());
@@ -120,7 +135,7 @@ TEST(TreeDivisionTest, RejectsBranchSpanningGroups) {
 
 TEST(TreeDivisionTest, RejectsUnknownLicenseIndex) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(SingletonMask(9), 10).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(9), 10).ok());
   const Result<std::vector<ValidationTree>> parts =
       DivideValidationTree(std::move(tree), PaperGrouping());
   EXPECT_FALSE(parts.ok());
@@ -151,7 +166,7 @@ TEST(TreeDivisionPropertyTest, LhsPreservedUnderDivision) {
     const int g = static_cast<int>(rng.UniformInt(1, 4));
     ComponentSet components;
     components.component_of.resize(n);
-    components.components.assign(static_cast<size_t>(g), 0);
+    components.components.assign(static_cast<size_t>(g), LicenseSet());
     // Ensure group k is entered at its smallest vertex in ascending order:
     // assign randomly then renumber by smallest member.
     std::vector<int> assignment(n);
@@ -168,12 +183,12 @@ TEST(TreeDivisionPropertyTest, LhsPreservedUnderDivision) {
         target = next++;
       }
     }
-    components.components.assign(static_cast<size_t>(next), 0);
+    components.components.assign(static_cast<size_t>(next), LicenseSet());
     for (int v = 0; v < n; ++v) {
       const int k = renumber[static_cast<size_t>(
           assignment[static_cast<size_t>(v)])];
       components.component_of[static_cast<size_t>(v)] = k;
-      components.components[static_cast<size_t>(k)] |= SingletonMask(v);
+      components.components[static_cast<size_t>(k)] |= LicenseSet::Singleton(v);
     }
     const LicenseGrouping grouping =
         LicenseGrouping::FromComponents(components);
@@ -184,10 +199,10 @@ TEST(TreeDivisionPropertyTest, LhsPreservedUnderDivision) {
     for (int r = 0; r < 200; ++r) {
       const int k = static_cast<int>(
           rng.UniformInt(0, grouping.group_count() - 1));
-      const LicenseMask group_mask = grouping.GroupMask(k);
-      LicenseMask set = static_cast<LicenseMask>(rng.Next()) & group_mask;
-      if (set == 0) {
-        set = SingletonMask(LowestLicense(group_mask));
+      const LicenseSet group_mask = grouping.GroupMask(k);
+      LicenseSet set = LicenseSet::FromWord(rng.Next()) & group_mask;
+      if (set.Empty()) {
+        set = LicenseSet::Singleton((group_mask).Lowest());
       }
       const int64_t count = rng.UniformInt(1, 30);
       ASSERT_TRUE(tree.Insert(set, count).ok());
@@ -207,8 +222,10 @@ TEST(TreeDivisionPropertyTest, LhsPreservedUnderDivision) {
       // For every subset of the group's local mask, the divided tree's LHS
       // equals the brute-force LHS over original-index merged counts.
       const int nk = grouping.GroupSize(k);
-      for (LicenseMask local = 1; local <= FullMask(nk); ++local) {
-        const LicenseMask original =
+      for (uint64_t local_word = 1;
+           local_word <= ((uint64_t{1} << nk) - 1); ++local_word) {
+        const LicenseSet local = LicenseSet::FromWord(local_word);
+        const LicenseSet original =
             grouping.LocalToOriginalMask(k, local);
         EXPECT_EQ(part.SumSubsets(local),
                   LhsFromMergedCounts(merged, original));

@@ -209,16 +209,16 @@ TEST_F(DistributionNetworkTest, RogueIssueDetectedByAudit) {
                                                          {{0, 50}}, 100))
                   .ok());
   // Rogue: 150 counts against a 100 budget, bypassing online validation.
-  const Result<LicenseMask> rogue_set = network_.IssueUnchecked(
+  const Result<LicenseSet> rogue_set = network_.IssueUnchecked(
       d1, consumer, MakeUsage(schema_, "LUX", {{0, 10}}, 150));
   ASSERT_TRUE(rogue_set.ok());
-  EXPECT_EQ(*rogue_set, 0b1u);
+  EXPECT_EQ(*rogue_set, testing::Mask(0b1));
 
   const Result<DistributorAudit> audit = network_.AuditDistributor(d1);
   ASSERT_TRUE(audit.ok());
   EXPECT_FALSE(audit->result.report.all_valid());
   ASSERT_EQ(audit->result.report.violations.size(), 1u);
-  EXPECT_EQ(audit->result.report.violations[0].set, 0b1u);
+  EXPECT_EQ(audit->result.report.violations[0].set, testing::Mask(0b1));
   EXPECT_EQ(audit->result.report.violations[0].lhs, 150);
   EXPECT_EQ(audit->result.report.violations[0].rhs, 100);
 

@@ -56,7 +56,7 @@ TEST_P(NetworkPropertyTest, AuditFlagsExactlyTheGuilty) {
                                  false);
   for (int i = 0; i < 400; ++i) {
     const size_t d = rng.UniformIndex(distributors.size());
-    const LicenseSet& received = network.ReceivedLicenses(distributors[d]);
+    const LicenseCatalog& received = network.ReceivedLicenses(distributors[d]);
     const License& target = received.at(
         static_cast<int>(rng.UniformIndex(
             static_cast<size_t>(received.size()))));
@@ -67,7 +67,7 @@ TEST_P(NetworkPropertyTest, AuditFlagsExactlyTheGuilty) {
     const License usage = MakeUsage(
         schema, "u" + std::to_string(i), {{lo, hi}}, count);
     if (rng.Bernoulli(0.03)) {
-      const Result<LicenseMask> rogue =
+      const Result<LicenseSet> rogue =
           network.IssueUnchecked(distributors[d], consumers[d], usage);
       if (rogue.ok()) {
         rogue_landed[d] = true;

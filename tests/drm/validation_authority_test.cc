@@ -278,7 +278,7 @@ TEST(ValidationAuthorityTest, ClosePeriodSettlesAndResets) {
 // used to inject an over-budget (rogue) history that online validation
 // would never admit.
 void WriteLogCheckpoint(const std::string& path, const std::string& content,
-                        LicenseMask set, int64_t count) {
+                        LicenseSet set, int64_t count) {
   std::ofstream out(path, std::ios::binary);
   out.write("GLAUTH1\0", 8);
   const uint32_t domains = 1;
@@ -307,7 +307,7 @@ TEST(ValidationAuthorityTest, ClosePeriodWithViolationsSkipsSettlement) {
                   .ok());
   // Inject a rogue 150-count history against the 100 budget.
   const std::string path = TempPath(".ckpt");
-  WriteLogCheckpoint(path, "movie", 0b1, 150);
+  WriteLogCheckpoint(path, "movie", testing::Mask(0b1), 150);
   ASSERT_TRUE(authority.RestoreLogs(path).ok());
 
   const ValidationAuthority::ContentKey key{"movie", Permission::kPlay};
@@ -358,7 +358,7 @@ TEST(ValidationAuthorityTest, FullCheckpointRestoreRoundTrip) {
   ValidationAuthority restored(&schema);
   ASSERT_TRUE(restored.RestoreFull(path).ok());
   EXPECT_EQ(restored.domain_count(), 2);
-  const Result<const LicenseSet*> licenses = restored.LicensesFor(
+  const Result<const LicenseCatalog*> licenses = restored.LicensesFor(
       ValidationAuthority::ContentKey{"movie", Permission::kPlay});
   ASSERT_TRUE(licenses.ok());
   EXPECT_EQ((*licenses)->size(), 2);

@@ -96,7 +96,7 @@ TEST(FuzzRobustnessTest, LogBinaryLoaderSurvivesMutations) {
   for (int i = 0; i < 50; ++i) {
     GEOLIC_CHECK(store
                      .Append(LogRecord{"LU" + std::to_string(i),
-                                       (rng.Next() | 1) & FullMask(30),
+                                       LicenseSet::FromWord(rng.Next() | 1) & LicenseSet::Full(30),
                                        rng.UniformInt(1, 100)})
                      .ok());
   }
@@ -122,7 +122,7 @@ TEST(FuzzRobustnessTest, LogBinaryLoaderSurvivesMutations) {
     if (loaded.ok()) {
       // If it loads, every record must satisfy the store invariants.
       for (const LogRecord& record : loaded->records()) {
-        EXPECT_NE(record.set, 0u);
+        EXPECT_NE(record.set, testing::Mask(0));
         EXPECT_GT(record.count, 0);
       }
     }
@@ -135,7 +135,7 @@ TEST(FuzzRobustnessTest, TreeCheckpointLoaderSurvivesMutations) {
   Rng rng(testing::TestSeed(5));
   for (int i = 0; i < 100; ++i) {
     GEOLIC_CHECK(
-        tree.Insert((rng.Next() | 1) & FullMask(25), rng.UniformInt(1, 50))
+        tree.Insert(LicenseSet::FromWord(rng.Next() | 1) & LicenseSet::Full(25), rng.UniformInt(1, 50))
             .ok());
   }
   std::stringstream buffer;

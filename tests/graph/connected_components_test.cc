@@ -20,7 +20,7 @@ TEST(ConnectedComponentsTest, IsolatedVerticesEachOwnComponent) {
   for (int v = 0; v < 4; ++v) {
     EXPECT_EQ(components.component_of[static_cast<size_t>(v)], v);
     EXPECT_EQ(components.components[static_cast<size_t>(v)],
-              SingletonMask(v));
+              LicenseSet::Singleton(v));
     EXPECT_EQ(components.SizeOf(v), 1);
   }
 }
@@ -34,7 +34,7 @@ TEST(ConnectedComponentsTest, FullyConnectedIsOneComponent) {
   }
   const ComponentSet components = FindComponentsDfs(graph);
   EXPECT_EQ(components.count(), 1);
-  EXPECT_EQ(components.components[0], FullMask(5));
+  EXPECT_EQ(components.components[0], LicenseSet::Full(5));
   EXPECT_EQ(components.SizeOf(0), 5);
 }
 
@@ -47,8 +47,8 @@ TEST(ConnectedComponentsTest, PaperFigure3Groups) {
   graph.AddEdge(2, 4);
   const ComponentSet components = FindComponentsDfs(graph);
   ASSERT_EQ(components.count(), 2);
-  EXPECT_EQ(components.components[0], 0b01011u);  // {L1, L2, L4}
-  EXPECT_EQ(components.components[1], 0b10100u);  // {L3, L5}
+  EXPECT_EQ(components.components[0], LicenseSet::FromWord(0b01011));  // {L1, L2, L4}
+  EXPECT_EQ(components.components[1], LicenseSet::FromWord(0b10100));  // {L3, L5}
   EXPECT_EQ(components.SizeOf(0), 3);
   EXPECT_EQ(components.SizeOf(1), 2);
   EXPECT_EQ(components.component_of, (std::vector<int>{0, 0, 1, 0, 1}));
@@ -71,7 +71,7 @@ TEST(ConnectedComponentsTest, IndirectConnectionViaLowerIndex) {
   graph.AddEdge(2, 1);
   const ComponentSet components = FindComponentsDfs(graph);
   EXPECT_EQ(components.count(), 1);
-  EXPECT_EQ(components.components[0], 0b111u);
+  EXPECT_EQ(components.components[0], LicenseSet::FromWord(0b111));
 }
 
 TEST(ConnectedComponentsTest, ComponentsOrderedBySmallestVertex) {
@@ -80,10 +80,10 @@ TEST(ConnectedComponentsTest, ComponentsOrderedBySmallestVertex) {
   graph.AddEdge(1, 2);
   const ComponentSet components = FindComponentsDfs(graph);
   ASSERT_EQ(components.count(), 4);
-  EXPECT_EQ(components.components[0], SingletonMask(0));
-  EXPECT_EQ(components.components[1], 0b000110u);  // {1, 2}
-  EXPECT_EQ(components.components[2], 0b101000u);  // {3, 5}
-  EXPECT_EQ(components.components[3], SingletonMask(4));
+  EXPECT_EQ(components.components[0], LicenseSet::Singleton(0));
+  EXPECT_EQ(components.components[1], LicenseSet::FromWord(0b000110));  // {1, 2}
+  EXPECT_EQ(components.components[2], LicenseSet::FromWord(0b101000));  // {3, 5}
+  EXPECT_EQ(components.components[3], LicenseSet::Singleton(4));
 }
 
 // Property: the paper-faithful recursive DFS, the iterative DFS, and
@@ -113,12 +113,12 @@ TEST_P(ComponentsAgreementTest, AllThreeImplementationsAgree) {
     EXPECT_EQ(dfs.component_of, union_find.component_of);
 
     // Structural sanity: components partition the vertex set.
-    LicenseMask all = 0;
-    for (const LicenseMask component : dfs.components) {
-      EXPECT_EQ(all & component, 0u) << "components overlap";
+    LicenseSet all;
+    for (const LicenseSet& component : dfs.components) {
+      EXPECT_TRUE((all & component).Empty()) << "components overlap";
       all |= component;
     }
-    EXPECT_EQ(all, FullMask(n));
+    EXPECT_EQ(all, LicenseSet::Full(n));
   }
 }
 

@@ -12,13 +12,35 @@
 #include "drm/validation_authority.h"
 #include "licensing/license_parser.h"
 #include "test_util.h"
-#include "validation/exhaustive_validator.h"
 #include "validation/tree_serialization.h"
-#include "validation/zeta_validator.h"
+#include "validation/validate.h"
 #include "workload/workload.h"
 
 namespace geolic {
 namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+Result<ValidationReport> RunZeta(const ValidationTree& tree,
+                                 const std::vector<int64_t>& aggregates,
+                                 int max_dense_n = 26) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kZeta;
+  options.max_dense_n = max_dense_n;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
 
 std::string TempPath(const std::string& suffix) {
   const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
@@ -63,8 +85,8 @@ TEST(IntegrationTest, OnlineAcceptedLogAlwaysAuditsClean) {
     ASSERT_TRUE(tree.ok());
     const std::vector<int64_t> aggregates =
         workload->licenses->AggregateCounts();
-    EXPECT_TRUE(ValidateExhaustive(*tree, aggregates)->all_valid());
-    EXPECT_TRUE(ValidateZeta(*tree, aggregates)->all_valid());
+    EXPECT_TRUE(RunExhaustive(*tree, aggregates)->all_valid());
+    EXPECT_TRUE(RunZeta(*tree, aggregates)->all_valid());
     EXPECT_TRUE(
         ValidateExhaustiveParallel(*tree, aggregates, 4)->all_valid());
     const Result<GroupedValidationResult> grouped =
@@ -89,7 +111,7 @@ TEST(IntegrationTest, VerdictsSurvivePersistenceRoundTrips) {
   Result<ValidationTree> tree = ValidationTree::BuildFromLog(workload->log);
   ASSERT_TRUE(tree.ok());
   const Result<ValidationReport> direct =
-      ValidateExhaustive(*tree, aggregates);
+      RunExhaustive(*tree, aggregates);
   ASSERT_TRUE(direct.ok());
 
   // Log → binary file → reload → rebuild tree.
@@ -115,7 +137,7 @@ TEST(IntegrationTest, VerdictsSurvivePersistenceRoundTrips) {
   for (const ValidationTree* variant :
        {&*from_log, &*from_checkpoint, &*from_compacted}) {
     const Result<ValidationReport> report =
-        ValidateExhaustive(*variant, aggregates);
+        RunExhaustive(*variant, aggregates);
     ASSERT_TRUE(report.ok());
     ASSERT_EQ(report->violations.size(), direct->violations.size());
     for (size_t i = 0; i < report->violations.size(); ++i) {
@@ -131,7 +153,7 @@ TEST(IntegrationTest, VerdictsSurvivePersistenceRoundTrips) {
 // validation-relevant property of a license set.
 TEST(IntegrationTest, TextRoundTripPreservesValidation) {
   const ConstraintSchema schema = ConstraintSchema::PaperExampleSchema();
-  LicenseSet original(&schema);
+  LicenseCatalog original(&schema);
   const char* texts[] = {
       "(K; Play; T=[2009-03-10, 2009-03-20]; R={Asia, Europe}; A=2000)",
       "(K; Play; T=[2009-03-15, 2009-03-25]; R={Asia}; A=1000)",
@@ -145,7 +167,7 @@ TEST(IntegrationTest, TextRoundTripPreservesValidation) {
     ASSERT_TRUE(original.Add(*std::move(license)).ok());
   }
 
-  LicenseSet reparsed(&schema);
+  LicenseCatalog reparsed(&schema);
   for (int i = 0; i < 3; ++i) {
     Result<License> license = ParseLicense(
         original.at(i).ToString(schema), schema,
@@ -175,7 +197,7 @@ TEST(IntegrationTest, IncrementalAndGroupedAgreeOnGeneratedStream) {
   Result<IncrementalAuditor> auditor =
       IncrementalAuditor::Create(workload->licenses.get());
   ASSERT_TRUE(auditor.ok());
-  std::map<LicenseMask, EquationResult> last;
+  std::map<LicenseSet, EquationResult> last;
   const auto& records = workload->log.records();
   for (size_t i = 0; i < records.size(); i += 113) {
     const size_t end = std::min(records.size(), i + 113);

@@ -85,7 +85,7 @@ TEST(BlackoutWindowsTest, BuilderIntervalUnion) {
 
 TEST(BlackoutWindowsTest, InstanceValidationRespectsBlackout) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   LicenseBuilder builder(&schema);
   builder.SetId("LD1")
       .SetContentKey("K")
@@ -98,21 +98,21 @@ TEST(BlackoutWindowsTest, InstanceValidationRespectsBlackout) {
 
   // Inside the first window.
   EXPECT_EQ(validator.SatisfyingSet(MakeUsage(schema, "U1", {{2, 8}}, 1)),
-            0b1u);
+            testing::Mask(0b1));
   // Inside the second window.
   EXPECT_EQ(validator.SatisfyingSet(MakeUsage(schema, "U2", {{22, 30}}, 1)),
-            0b1u);
+            testing::Mask(0b1));
   // Spanning the blackout gap: NOT contained.
   EXPECT_EQ(validator.SatisfyingSet(MakeUsage(schema, "U3", {{8, 22}}, 1)),
-            0u);
+            testing::Mask(0));
   // Entirely inside the gap: not contained.
   EXPECT_EQ(validator.SatisfyingSet(MakeUsage(schema, "U4", {{12, 18}}, 1)),
-            0u);
+            testing::Mask(0));
 }
 
 TEST(BlackoutWindowsTest, OverlapGroupingSeesThroughGaps) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   LicenseBuilder window_builder(&schema);
   window_builder.SetId("LD1")
       .SetContentKey("K")
@@ -150,7 +150,7 @@ TEST(BlackoutWindowsTest, OverlapGroupingSeesThroughGaps) {
 
 TEST(BlackoutWindowsTest, OnlineValidationWithWindows) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   LicenseBuilder builder(&schema);
   builder.SetId("LD1")
       .SetContentKey("K")

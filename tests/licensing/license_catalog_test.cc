@@ -1,4 +1,4 @@
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 
 #include <gtest/gtest.h>
 
@@ -11,9 +11,9 @@ using testing::IntervalSchema;
 using testing::MakeRedistribution;
 using testing::MakeUsage;
 
-TEST(LicenseSetTest, AddAssignsSequentialIndexes) {
+TEST(LicenseCatalogTest, AddAssignsSequentialIndexes) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   EXPECT_TRUE(set.empty());
   EXPECT_EQ(*set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)), 0);
   EXPECT_EQ(*set.Add(MakeRedistribution(schema, "LD2", {{5, 15}}, 200)), 1);
@@ -22,17 +22,17 @@ TEST(LicenseSetTest, AddAssignsSequentialIndexes) {
   EXPECT_EQ(set.at(1).id(), "LD2");
 }
 
-TEST(LicenseSetTest, RejectsUsageLicense) {
+TEST(LicenseCatalogTest, RejectsUsageLicense) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   const Result<int> added = set.Add(MakeUsage(schema, "LU1", {{0, 1}}, 5));
   ASSERT_FALSE(added.ok());
   EXPECT_EQ(added.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(LicenseSetTest, RejectsMismatchedContentOrPermission) {
+TEST(LicenseCatalogTest, RejectsMismatchedContentOrPermission) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)).ok());
 
   LicenseBuilder other_content(&schema);
@@ -54,9 +54,9 @@ TEST(LicenseSetTest, RejectsMismatchedContentOrPermission) {
   EXPECT_FALSE(set.Add(*other_permission.Build()).ok());
 }
 
-TEST(LicenseSetTest, RejectsDuplicateId) {
+TEST(LicenseCatalogTest, RejectsDuplicateId) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)).ok());
   const Result<int> duplicate =
       set.Add(MakeRedistribution(schema, "LD1", {{5, 15}}, 200));
@@ -64,45 +64,45 @@ TEST(LicenseSetTest, RejectsDuplicateId) {
   EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
 }
 
-TEST(LicenseSetTest, RejectsDimensionMismatch) {
+TEST(LicenseCatalogTest, RejectsDimensionMismatch) {
   const ConstraintSchema schema1 = IntervalSchema(1);
   const ConstraintSchema schema2 = IntervalSchema(2);
-  LicenseSet set(&schema2);
+  LicenseCatalog set(&schema2);
   EXPECT_FALSE(
       set.Add(MakeRedistribution(schema1, "LD1", {{0, 10}}, 100)).ok());
 }
 
-TEST(LicenseSetTest, CapsAt64Licenses) {
+TEST(LicenseCatalogTest, CapsAtMaxLicensesLarge) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
-  for (int i = 0; i < 64; ++i) {
+  LicenseCatalog set(&schema);
+  for (int i = 0; i < kMaxLicensesLarge; ++i) {
     ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD" + std::to_string(i),
                                            {{0, 10}}, 100))
                     .ok());
   }
-  const Result<int> overflow =
-      set.Add(MakeRedistribution(schema, "LD64", {{0, 10}}, 100));
+  const Result<int> overflow = set.Add(MakeRedistribution(
+      schema, "LD" + std::to_string(kMaxLicensesLarge), {{0, 10}}, 100));
   ASSERT_FALSE(overflow.ok());
   EXPECT_EQ(overflow.status().code(), StatusCode::kCapacityExceeded);
 }
 
-TEST(LicenseSetTest, AggregateCountsAndSums) {
+TEST(LicenseCatalogTest, AggregateCountsAndSums) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 2000)).ok());
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD2", {{5, 15}}, 1000)).ok());
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD3", {{20, 25}}, 3000)).ok());
   EXPECT_EQ(set.AggregateCounts(), (std::vector<int64_t>{2000, 1000, 3000}));
   // The paper's A[{L1, L2, L3}] example: 2000 + 1000 + 3000.
-  EXPECT_EQ(set.AggregateSum(0b111), 6000);
-  EXPECT_EQ(set.AggregateSum(0b101), 5000);
-  EXPECT_EQ(set.AggregateSum(0), 0);
-  EXPECT_EQ(set.AllMask(), 0b111u);
+  EXPECT_EQ(set.AggregateSum(testing::Mask(0b111)), 6000);
+  EXPECT_EQ(set.AggregateSum(testing::Mask(0b101)), 5000);
+  EXPECT_EQ(set.AggregateSum(testing::Mask(0)), 0);
+  EXPECT_EQ(set.AllMask(), testing::Mask(0b111));
 }
 
-TEST(LicenseSetTest, IndexOfId) {
+TEST(LicenseCatalogTest, IndexOfId) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD1", {{0, 10}}, 100)).ok());
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "LD2", {{5, 15}}, 100)).ok());
   EXPECT_EQ(*set.IndexOfId("LD2"), 1);

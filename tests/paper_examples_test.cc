@@ -11,16 +11,30 @@
 #include "core/online_validator.h"
 #include "core/overlap_graph.h"
 #include "licensing/license_parser.h"
-#include "validation/exhaustive_validator.h"
 #include "validation/validation_tree.h"
+#include "validation/validate.h"
+
+#include "test_util.h"
 
 namespace geolic {
 namespace {
 
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
 class PaperExamplesTest : public ::testing::Test {
  protected:
   PaperExamplesTest() : schema_(ConstraintSchema::PaperExampleSchema()) {
-    licenses_ = std::make_unique<LicenseSet>(&schema_);
+    licenses_ = std::make_unique<LicenseCatalog>(&schema_);
     const char* texts[] = {
         "(K; Play; T=[10/03/09, 20/03/09]; R=[Asia, Europe]; A=2000)",
         "(K; Play; T=[15/03/09, 25/03/09]; R=[Asia]; A=1000)",
@@ -53,31 +67,34 @@ class PaperExamplesTest : public ::testing::Test {
     LogStore log;
     struct Row {
       const char* id;
-      LicenseMask set;
+      uint64_t mask;
       int64_t count;
     };
-    constexpr Row kRows[] = {
+    const Row kRows[] = {
         {"LU1", 0b00011, 800}, {"LU2", 0b00010, 400}, {"LU3", 0b00011, 40},
         {"LU4", 0b01011, 30},  {"LU5", 0b10100, 800}, {"LU6", 0b10000, 20},
     };
     for (const Row& row : kRows) {
-      GEOLIC_CHECK(log.Append(LogRecord{row.id, row.set, row.count}).ok());
+      GEOLIC_CHECK(
+          log.Append(
+                 LogRecord{row.id, LicenseSet::FromWord(row.mask), row.count})
+              .ok());
     }
     return log;
   }
 
   ConstraintSchema schema_;
-  std::unique_ptr<LicenseSet> licenses_;
+  std::unique_ptr<LicenseCatalog> licenses_;
 };
 
 TEST_F(PaperExamplesTest, Example1InstanceValidation) {
   const LinearInstanceValidator validator(licenses_.get());
   // "L_U^1 satisfies all instance based constraints for L_D^1 and L_D^2."
   const License lu1 = Usage("LU1", "[15/03/09, 19/03/09]", "India", 800);
-  EXPECT_EQ(validator.SatisfyingSet(lu1), 0b00011u);
+  EXPECT_EQ(validator.SatisfyingSet(lu1), testing::Mask(0b00011));
   // "L_U^2 satisfies all the instance based constraints only for L_D^2."
   const License lu2 = Usage("LU2", "[21/03/09, 24/03/09]", "Japan", 400);
-  EXPECT_EQ(validator.SatisfyingSet(lu2), 0b00010u);
+  EXPECT_EQ(validator.SatisfyingSet(lu2), testing::Mask(0b00010));
 }
 
 TEST_F(PaperExamplesTest, Example1BothLicensesValidUnderEquationValidation) {
@@ -101,16 +118,16 @@ TEST_F(PaperExamplesTest, Table2SetCountsAfterLU6) {
   // "the value of C[{L1,L2}], C[{L2}], C[{L1,L2,L4}], C[{L3,L5}] and
   // C[{L5}] will be 840, 400, 30, 800 and 20 respectively."
   const auto merged = Table2Log().MergedCounts();
-  EXPECT_EQ(merged.at(0b00011), 840);
-  EXPECT_EQ(merged.at(0b00010), 400);
-  EXPECT_EQ(merged.at(0b01011), 30);
-  EXPECT_EQ(merged.at(0b10100), 800);
-  EXPECT_EQ(merged.at(0b10000), 20);
+  EXPECT_EQ(merged.at(testing::Mask(0b00011)), 840);
+  EXPECT_EQ(merged.at(testing::Mask(0b00010)), 400);
+  EXPECT_EQ(merged.at(testing::Mask(0b01011)), 30);
+  EXPECT_EQ(merged.at(testing::Mask(0b10100)), 800);
+  EXPECT_EQ(merged.at(testing::Mask(0b10000)), 20);
 }
 
 TEST_F(PaperExamplesTest, AggregateSumExample) {
   // "A[{L1, L2, L3}] ... will be 2000 + 1000 + 3000 = 6000."
-  EXPECT_EQ(licenses_->AggregateSum(0b00111), 6000);
+  EXPECT_EQ(licenses_->AggregateSum(testing::Mask(0b00111)), 6000);
 }
 
 TEST_F(PaperExamplesTest, FiveLicensesNeed31Equations) {
@@ -121,7 +138,7 @@ TEST_F(PaperExamplesTest, FiveLicensesNeed31Equations) {
       ValidationTree::BuildFromLog(Table2Log());
   ASSERT_TRUE(tree.ok());
   const Result<ValidationReport> report =
-      ValidateExhaustive(*tree, licenses_->AggregateCounts());
+      RunExhaustive(*tree, licenses_->AggregateCounts());
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->equations_evaluated, 31u);
   EXPECT_TRUE(report->all_valid());
@@ -129,7 +146,7 @@ TEST_F(PaperExamplesTest, FiveLicensesNeed31Equations) {
 
 TEST_F(PaperExamplesTest, Example2EquationExpansion) {
   // Equation for {L2, L3, L4}: Σ of C over its 7 non-empty subsets ≤ 8000.
-  const LicenseMask set = 0b01110;
+  const LicenseSet set = testing::Mask(0b01110);
   const auto merged = Table2Log().MergedCounts();
   int64_t direct = 0;
   int subsets = 0;
@@ -164,8 +181,8 @@ TEST_F(PaperExamplesTest, Figure3OverlapGraphAndGroups) {
 
   const LicenseGrouping grouping = LicenseGrouping::FromLicenses(*licenses_);
   ASSERT_EQ(grouping.group_count(), 2);
-  EXPECT_EQ(grouping.GroupMask(0), 0b01011u);  // Group 1: (L1, L2, L4).
-  EXPECT_EQ(grouping.GroupMask(1), 0b10100u);  // Group 2: (L3, L5).
+  EXPECT_EQ(grouping.GroupMask(0), testing::Mask(0b01011));  // Group 1: (L1, L2, L4).
+  EXPECT_EQ(grouping.GroupMask(1), testing::Mask(0b10100));  // Group 2: (L3, L5).
 }
 
 TEST_F(PaperExamplesTest, Theorem1NoCommonRegionMeansZeroCount) {
@@ -178,7 +195,7 @@ TEST_F(PaperExamplesTest, Theorem1NoCommonRegionMeansZeroCount) {
   // And indeed no log record can carry that set: any usage license inside
   // all three would need a region in Asia∩America.
   const auto merged = Table2Log().MergedCounts();
-  EXPECT_EQ(merged.find(0b00111), merged.end());
+  EXPECT_EQ(merged.find(testing::Mask(0b00111)), merged.end());
 }
 
 TEST_F(PaperExamplesTest, Theorem2EquationDecomposition) {
@@ -187,9 +204,9 @@ TEST_F(PaperExamplesTest, Theorem2EquationDecomposition) {
   const Result<ValidationTree> tree =
       ValidationTree::BuildFromLog(Table2Log());
   ASSERT_TRUE(tree.ok());
-  const LicenseMask s = 0b11111;
-  const LicenseMask s1 = 0b01011;
-  const LicenseMask s2 = 0b10100;
+  const LicenseSet s = testing::Mask(0b11111);
+  const LicenseSet s1 = testing::Mask(0b01011);
+  const LicenseSet s2 = testing::Mask(0b10100);
   EXPECT_EQ(tree->SumSubsets(s), tree->SumSubsets(s1) + tree->SumSubsets(s2));
   EXPECT_EQ(licenses_->AggregateSum(s),
             licenses_->AggregateSum(s1) + licenses_->AggregateSum(s2));
@@ -207,13 +224,13 @@ TEST_F(PaperExamplesTest, Figures4And5DivisionAndModification) {
   // Figure 5, first tree (indexes already 1..3): branches
   // L1→L2(840)→L3(30)... in local indexes {L1→0, L2→1, L4→2}.
   const ValidationTree& first = divided->trees[0];
-  EXPECT_EQ(first.CountOf(0b011), 840);
-  EXPECT_EQ(first.CountOf(0b010), 400);
-  EXPECT_EQ(first.CountOf(0b111), 30);
+  EXPECT_EQ(first.CountOf(testing::Mask(0b011)), 840);
+  EXPECT_EQ(first.CountOf(testing::Mask(0b010)), 400);
+  EXPECT_EQ(first.CountOf(testing::Mask(0b111)), 30);
   // Figure 5, second tree: indexes 3, 5 → 1, 2.
   const ValidationTree& second = divided->trees[1];
-  EXPECT_EQ(second.CountOf(0b11), 800);
-  EXPECT_EQ(second.CountOf(0b10), 20);
+  EXPECT_EQ(second.CountOf(testing::Mask(0b11)), 800);
+  EXPECT_EQ(second.CountOf(testing::Mask(0b10)), 20);
   // A_1 = (2000, 1000, 4000), A_2 = (3000, 2000).
   EXPECT_EQ(divided->aggregates[0],
             (std::vector<int64_t>{2000, 1000, 4000}));
@@ -245,7 +262,7 @@ TEST_F(PaperExamplesTest, Figure2InvalidUsageLicense) {
   const LinearInstanceValidator validator(licenses_.get());
   // Africa is outside every example license's regions.
   const License stray = Usage("LUX", "[15/03/09, 19/03/09]", "Egypt", 10);
-  EXPECT_EQ(validator.SatisfyingSet(stray), 0u);
+  EXPECT_TRUE(validator.SatisfyingSet(stray).Empty());
 }
 
 }  // namespace

@@ -8,10 +8,13 @@
 
 #include "persist/sync_file.h"
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
 
-LogRecord Record(const std::string& id, LicenseMask set, int64_t count) {
+LogRecord Record(const std::string& id, uint64_t mask, int64_t count) {
+  const LicenseSet set = LicenseSet::FromWord(mask);
   LogRecord record;
   record.issued_license_id = id;
   record.set = set;
@@ -37,7 +40,7 @@ TEST(JournalTest, RoundTripsFrames) {
   ASSERT_EQ(replay->entries.size(), 3u);
   EXPECT_EQ(replay->entries[0].seq, 1u);
   EXPECT_EQ(replay->entries[0].record.issued_license_id, "LU1");
-  EXPECT_EQ(replay->entries[0].record.set, 0x3u);
+  EXPECT_EQ(replay->entries[0].record.set, testing::Mask(0x3));
   EXPECT_EQ(replay->entries[0].record.count, 10);
   EXPECT_EQ(replay->entries[1].record.issued_license_id, "");
   EXPECT_EQ(replay->entries[2].seq, 3u);

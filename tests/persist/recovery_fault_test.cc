@@ -25,8 +25,8 @@ using testing::MakeUsage;
 // Three overlap groups: {L1, L2}, {L3, L4}, {L5} — the issuance-service
 // test's standard geometry, here with generous budgets so recovery
 // scenarios control acceptance themselves.
-LicenseSet ThreeGroupSet(const ConstraintSchema& schema, int64_t budget) {
-  LicenseSet licenses(&schema);
+LicenseCatalog ThreeGroupSet(const ConstraintSchema& schema, int64_t budget) {
+  LicenseCatalog licenses(&schema);
   EXPECT_TRUE(
       licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, budget)).ok());
   EXPECT_TRUE(
@@ -55,7 +55,8 @@ License RequestAt(const ConstraintSchema& schema, int i) {
   }
 }
 
-LogRecord Record(const std::string& id, LicenseMask set, int64_t count) {
+LogRecord Record(const std::string& id, uint64_t mask, int64_t count) {
+  const LicenseSet set = LicenseSet::FromWord(mask);
   LogRecord record;
   record.issued_license_id = id;
   record.set = set;
@@ -78,7 +79,7 @@ std::string JournalBytes(int n, std::vector<size_t>* boundaries = nullptr) {
     EXPECT_TRUE((*writer)
                     ->Append(static_cast<uint64_t>(i + 1),
                              Record("LU" + std::to_string(i + 1),
-                                    static_cast<LicenseMask>((i % 3) + 1), 1))
+                                    static_cast<uint64_t>(i % 3 + 1), 1))
                     .ok());
     if (boundaries != nullptr) {
       boundaries->push_back(disk->contents().size());
@@ -242,7 +243,7 @@ TEST(RecoveryFaultTest, RandomMutationFuzzNeverSilentlyWrong) {
 
 TEST(RecoveryFaultTest, ServiceJournalsEveryAcceptedIssuance) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(&licenses);
   ASSERT_TRUE(service.ok());
@@ -286,7 +287,7 @@ TEST(RecoveryFaultTest, ServiceJournalsEveryAcceptedIssuance) {
 
 TEST(RecoveryFaultTest, JournalFailureRejectsAdmissionAndLeavesStateClean) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(&licenses);
   ASSERT_TRUE(service.ok());
@@ -316,7 +317,7 @@ TEST(RecoveryFaultTest, JournalFailureRejectsAdmissionAndLeavesStateClean) {
 
 TEST(RecoveryFaultTest, RecoverFromJournalAloneMatchesSerialReplay) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   const std::string journal_path =
       ::testing::TempDir() + "recover_journal_only.gjl";
   std::string expected_tree;
@@ -348,7 +349,7 @@ TEST(RecoveryFaultTest, RecoverFromJournalAloneMatchesSerialReplay) {
 
 TEST(RecoveryFaultTest, RecoverFromCheckpointPlusJournalTail) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   const std::string checkpoint_path =
       ::testing::TempDir() + "recover_ckpt.gck";
   const std::string journal_path = ::testing::TempDir() + "recover_tail.gjl";
@@ -395,7 +396,7 @@ TEST(RecoveryFaultTest, RecoverFromCheckpointPlusJournalTail) {
 
 TEST(RecoveryFaultTest, RecoverAfterTornFinalFrameDropsOnlyThatFrame) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
 
   auto file = std::make_unique<InMemorySyncFile>();
   InMemorySyncFile* disk = file.get();
@@ -438,7 +439,7 @@ TEST(RecoveryFaultTest, RecoverAfterTornFinalFrameDropsOnlyThatFrame) {
 
 TEST(RecoveryFaultTest, RecoverRejectsCorruptJournalLoudly) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   const std::string journal_path =
       ::testing::TempDir() + "recover_corrupt.gjl";
   {
@@ -475,13 +476,13 @@ TEST(RecoveryFaultTest, RecoverRejectsCorruptJournalLoudly) {
 
 TEST(RecoveryFaultTest, RecoverNeedsAtLeastOneSource) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   EXPECT_FALSE(IssuanceService::Recover(&licenses, {}, "", "").ok());
 }
 
 TEST(RecoveryFaultTest, AttachJournalGuards) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 100);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(&licenses);
   ASSERT_TRUE(service.ok());

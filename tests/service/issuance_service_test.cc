@@ -18,8 +18,8 @@ using testing::MakeRedistribution;
 using testing::MakeUsage;
 
 // Three overlap groups: {L1, L2}, {L3, L4}, {L5}.
-LicenseSet ThreeGroupSet(const ConstraintSchema& schema, int64_t budget) {
-  LicenseSet licenses(&schema);
+LicenseCatalog ThreeGroupSet(const ConstraintSchema& schema, int64_t budget) {
+  LicenseCatalog licenses(&schema);
   EXPECT_TRUE(
       licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, budget)).ok());
   EXPECT_TRUE(
@@ -54,7 +54,7 @@ License RequestAt(const ConstraintSchema& schema, int i) {
 
 TEST(IssuanceServiceTest, MatchesOnlineValidatorSerially) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 5);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 5);
 
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(&licenses);
@@ -92,8 +92,9 @@ TEST(IssuanceServiceTest, MatchesOnlineValidatorSerially) {
   ASSERT_TRUE(flat.ok());
   EXPECT_EQ(flat->NodeCount(), tree->NodeCount());
   EXPECT_EQ(flat->TotalCount(), tree->TotalCount());
-  const LicenseMask full = licenses.AllMask();
-  for (LicenseMask set = 1; set <= full; ++set) {
+  const uint64_t full = licenses.AllMask().AsWord();
+  for (uint64_t word = 1; word <= full; ++word) {
+    const LicenseSet set = LicenseSet::FromWord(word);
     EXPECT_EQ(flat->SumSubsets(set), tree->SumSubsets(set)) << set;
   }
 }
@@ -103,7 +104,7 @@ TEST(IssuanceServiceTest, ConcurrentStressMatchesSerialReplay) {
   // Tight budgets. Requests hit satisfying set {L1,L2} / {L3,L4} / {L5}, so
   // the binding equation's budget is 50 / 50 / 25; each group sees
   // 8×20 = 160 unit requests and saturates under any interleaving.
-  const LicenseSet licenses = ThreeGroupSet(schema, 25);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 25);
 
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(&licenses);
@@ -140,7 +141,7 @@ TEST(IssuanceServiceTest, ConcurrentStressMatchesSerialReplay) {
 
   // The final tree/log equal a single-threaded replay of the accepted log.
   Result<OnlineValidator> rebuilt = OnlineValidator::CreateWithHistory(
-      &licenses, /*use_grouping=*/true, log);
+      &licenses, OnlineValidatorOptions(), log);
   ASSERT_TRUE(rebuilt.ok());
   const Result<ValidationTree> tree = (*service)->CollectTree();
   ASSERT_TRUE(tree.ok());
@@ -150,7 +151,7 @@ TEST(IssuanceServiceTest, ConcurrentStressMatchesSerialReplay) {
 
 TEST(IssuanceServiceTest, BatchMatchesSequentialIssue) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 7);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 7);
 
   Result<std::unique_ptr<IssuanceService>> batched =
       IssuanceService::Create(&licenses);
@@ -189,7 +190,7 @@ TEST(IssuanceServiceTest, BatchMatchesSequentialIssue) {
 
 TEST(IssuanceServiceTest, ShardHintCapsLockShards) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 4);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 4);
 
   OnlineValidatorOptions options;
   options.shard_hint = 2;
@@ -208,7 +209,7 @@ TEST(IssuanceServiceTest, ShardHintCapsLockShards) {
 
 TEST(IssuanceServiceTest, UngroupedDegradesToSingleShard) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 4);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 4);
 
   OnlineValidatorOptions options;
   options.use_grouping = false;
@@ -226,12 +227,12 @@ TEST(IssuanceServiceTest, UngroupedDegradesToSingleShard) {
 
 TEST(IssuanceServiceTest, CreateWithHistoryContinuesBudgets) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 3);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 3);
 
   LogStore history;
   LogRecord spent;
   spent.issued_license_id = "H1";
-  spent.set = LicenseMask{0b11};  // {L1, L2}.
+  spent.set = testing::Mask(0b11);  // {L1, L2}.
   spent.count = 5;
   ASSERT_TRUE(history.Append(spent).ok());
 
@@ -253,7 +254,7 @@ TEST(IssuanceServiceTest, CreateWithHistoryContinuesBudgets) {
   LogStore bad;
   LogRecord unknown;
   unknown.issued_license_id = "H2";
-  unknown.set = LicenseMask{1} << 60;
+  unknown.set = LicenseSet::Singleton(60);
   unknown.count = 1;
   ASSERT_TRUE(bad.Append(unknown).ok());
   EXPECT_FALSE(IssuanceService::CreateWithHistory(&licenses, {}, bad).ok());
@@ -261,7 +262,7 @@ TEST(IssuanceServiceTest, CreateWithHistoryContinuesBudgets) {
 
 TEST(IssuanceServiceTest, ExternalMetricsSinkIsUsed) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = ThreeGroupSet(schema, 10);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 10);
 
   IssuanceMetrics sink;
   OnlineValidatorOptions options;
@@ -278,10 +279,10 @@ TEST(IssuanceServiceTest, ExternalMetricsSinkIsUsed) {
   EXPECT_EQ(&(*service)->metrics(), &sink);
 }
 
-TEST(IssuanceServiceTest, RejectsEmptyLicenseSet) {
+TEST(IssuanceServiceTest, RejectsEmptyLicenseCatalog) {
   const ConstraintSchema schema = IntervalSchema(1);
   EXPECT_FALSE(IssuanceService::Create(nullptr).ok());
-  LicenseSet empty(&schema);
+  LicenseCatalog empty(&schema);
   EXPECT_FALSE(IssuanceService::Create(&empty).ok());
 }
 

@@ -22,8 +22,8 @@ using geolic::testing::IntervalSchema;
 using geolic::testing::MakeRedistribution;
 using geolic::testing::MakeUsage;
 
-LicenseSet TwoGroupSet(const ConstraintSchema& schema) {
-  LicenseSet licenses(&schema);
+LicenseCatalog TwoGroupSet(const ConstraintSchema& schema) {
+  LicenseCatalog licenses(&schema);
   EXPECT_TRUE(
       licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, 100)).ok());
   EXPECT_TRUE(
@@ -42,7 +42,7 @@ License RequestAt(const ConstraintSchema& schema, int i) {
 // The ground truth every recovery is held to: the same requests issued
 // one at a time on a fresh, journal-less service.
 std::unique_ptr<IssuanceService> SerialReplay(const ConstraintSchema& schema,
-                                              const LicenseSet& licenses,
+                                              const LicenseCatalog& licenses,
                                               int requests) {
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(&licenses);
@@ -65,7 +65,7 @@ void ExpectSameState(IssuanceService* recovered, IssuanceService* serial) {
 
 TEST(RecoveryEdgeTest, EmptyJournalNoCheckpointYieldsEmptyWorkingService) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = TwoGroupSet(schema);
+  const LicenseCatalog licenses = TwoGroupSet(schema);
   const std::string journal_path = ::testing::TempDir() + "edge_empty.gjl";
   {
     // A journal that was created (magic written) and then never used —
@@ -95,7 +95,7 @@ TEST(RecoveryEdgeTest, EmptyJournalNoCheckpointYieldsEmptyWorkingService) {
 
 TEST(RecoveryEdgeTest, EmptyJournalAfterCheckpointRecoversCheckpointExactly) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = TwoGroupSet(schema);
+  const LicenseCatalog licenses = TwoGroupSet(schema);
   const std::string checkpoint_path =
       ::testing::TempDir() + "edge_ckpt_then_empty.gck";
   const std::string rotated_path =
@@ -137,7 +137,7 @@ TEST(RecoveryEdgeTest, EmptyJournalAfterCheckpointRecoversCheckpointExactly) {
 
 TEST(RecoveryEdgeTest, CheckpointCoveringZeroFramesReplaysWholeJournal) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = TwoGroupSet(schema);
+  const LicenseCatalog licenses = TwoGroupSet(schema);
   const std::string checkpoint_path =
       ::testing::TempDir() + "edge_zero_cover.gck";
   const std::string journal_path =
@@ -176,7 +176,7 @@ TEST(RecoveryEdgeTest, CheckpointCoveringZeroFramesReplaysWholeJournal) {
 
 TEST(RecoveryEdgeTest, JournalFramesPredatingCheckpointCutAreSkippedNotDoubled) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = TwoGroupSet(schema);
+  const LicenseCatalog licenses = TwoGroupSet(schema);
   const std::string checkpoint_path =
       ::testing::TempDir() + "edge_predate.gck";
   const std::string journal_path = ::testing::TempDir() + "edge_predate.gjl";

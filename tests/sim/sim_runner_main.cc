@@ -6,6 +6,9 @@
 //                                      verify the harness CATCHES it within
 //                                      the seed budget (--seeds, default 200)
 //   sim_runner --start_seed=N          shift the sweep window
+//   sim_runner --wide_n=N               pin the license count to N and
+//                                      scatter licenses into ceil(N/8)
+//                                      disjoint slabs (multi-word sets)
 //
 // Every failure is reported with the one command that reproduces it.
 // Exit codes: 0 = pass, 1 = conformance failure (or, in mutation smoke
@@ -37,7 +40,7 @@ bool ParseUint(const char* arg, const char* name, uint64_t* out) {
 }
 
 void PrintFailure(const geolic::SimResult& result,
-                  const geolic::SimConfig& config) {
+                  const geolic::SimConfig& config, uint64_t wide_n) {
   std::printf("FAILED seed=%" PRIu64 "\n", result.seed);
   std::printf("  failure: %s\n", result.failure.c_str());
   std::printf("  ops executed: %zu\n", result.ops_executed);
@@ -51,7 +54,12 @@ void PrintFailure(const geolic::SimResult& result,
     std::printf("    %s\n", op.c_str());
   }
   std::printf("  minimal failure: %s\n", shrunk.failure.c_str());
-  std::printf("repro: sim_runner --seed=%" PRIu64 "\n", result.seed);
+  if (wide_n > 0) {
+    std::printf("repro: sim_runner --wide_n=%" PRIu64 " --seed=%" PRIu64 "\n",
+                wide_n, result.seed);
+  } else {
+    std::printf("repro: sim_runner --seed=%" PRIu64 "\n", result.seed);
+  }
 }
 
 }  // namespace
@@ -60,6 +68,7 @@ int main(int argc, char** argv) {
   uint64_t seeds = 0;
   uint64_t start_seed = 1;
   uint64_t single_seed = 0;
+  uint64_t wide_n = 0;
   bool have_single = false;
   bool mutation_smoke = false;
 
@@ -67,6 +76,9 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (ParseUint(arg, "--seeds", &seeds) ||
         ParseUint(arg, "--start_seed", &start_seed)) {
+      continue;
+    }
+    if (ParseUint(arg, "--wide_n", &wide_n)) {
       continue;
     }
     if (ParseUint(arg, "--seed", &single_seed)) {
@@ -80,13 +92,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sim_runner: unknown flag %s\n"
                  "usage: sim_runner [--seeds=N] [--seed=S] [--start_seed=B] "
-                 "[--mutation_smoke]\n",
+                 "[--wide_n=N] [--mutation_smoke]\n",
                  arg);
     return 2;
   }
 
   geolic::SimConfig config;
   config.inject_equation_skip = mutation_smoke;
+  if (wide_n > 0) {
+    config.min_licenses = static_cast<int>(wide_n);
+    config.max_licenses = static_cast<int>(wide_n);
+    config.cluster_slabs = static_cast<int>((wide_n + 7) / 8);
+  }
 
   if (have_single) {
     const geolic::SimResult result = geolic::RunSimulation(single_seed, config);
@@ -95,7 +112,7 @@ int main(int argc, char** argv) {
                   result.ops_executed);
       return 0;
     }
-    PrintFailure(result, config);
+    PrintFailure(result, config, wide_n);
     std::printf("  full trace:\n");
     for (const std::string& op : result.op_trace) {
       std::printf("    %s\n", op.c_str());
@@ -127,7 +144,7 @@ int main(int argc, char** argv) {
   for (uint64_t s = start_seed; s < start_seed + sweep; ++s) {
     const geolic::SimResult result = geolic::RunSimulation(s, config);
     if (!result.ok) {
-      PrintFailure(result, config);
+      PrintFailure(result, config, wide_n);
       return 1;
     }
     if ((s - start_seed + 1) % 100 == 0) {

@@ -108,7 +108,7 @@ TEST(FaultyFileTest, ScheduledSyncFailurePersistsTheAppend) {
 
 TEST(ReferenceModelTest, BruteForceMatchesHandComputedExample) {
   ConstraintSchema schema = geolic::testing::IntervalSchema(1);
-  LicenseSet licenses(&schema);
+  LicenseCatalog licenses(&schema);
   ASSERT_TRUE(licenses.Add(MakeRedistribution(schema, "L1", {{0, 10}}, 3)).ok());
   ASSERT_TRUE(licenses.Add(MakeRedistribution(schema, "L2", {{5, 15}}, 2)).ok());
   ReferenceModel model(&licenses);
@@ -118,7 +118,7 @@ TEST(ReferenceModelTest, BruteForceMatchesHandComputedExample) {
   const License both = MakeUsage(schema, "U1", {{6, 9}}, 2);
   ReferenceModel::Decision d = model.TryIssue(both);
   EXPECT_TRUE(d.instance_valid);
-  EXPECT_EQ(d.satisfying_set, 0b11u);
+  EXPECT_EQ(d.satisfying_set, testing::Mask(0b11));
   EXPECT_TRUE(d.aggregate_valid);
   model.Apply(d.satisfying_set, 2);
   d = model.TryIssue(both);
@@ -131,9 +131,9 @@ TEST(ReferenceModelTest, BruteForceMatchesHandComputedExample) {
   const License l2_only = MakeUsage(schema, "U2", {{12, 14}}, 3);
   d = model.TryIssue(l2_only);
   EXPECT_TRUE(d.instance_valid);
-  EXPECT_EQ(d.satisfying_set, 0b10u);
+  EXPECT_EQ(d.satisfying_set, testing::Mask(0b10));
   EXPECT_FALSE(d.aggregate_valid);
-  EXPECT_EQ(d.limiting_set, 0b10u);
+  EXPECT_EQ(d.limiting_set, testing::Mask(0b10));
   EXPECT_EQ(d.limiting_lhs, 3);
   EXPECT_EQ(d.limiting_rhs, 2);
 
@@ -142,7 +142,7 @@ TEST(ReferenceModelTest, BruteForceMatchesHandComputedExample) {
   const License l2_two = MakeUsage(schema, "U3", {{12, 14}}, 2);
   d = model.TryIssue(l2_two);
   EXPECT_FALSE(d.aggregate_valid);
-  EXPECT_EQ(d.limiting_set, 0b11u);
+  EXPECT_EQ(d.limiting_set, testing::Mask(0b11));
   EXPECT_EQ(d.limiting_lhs, 6);
   EXPECT_EQ(d.limiting_rhs, 5);
 

@@ -10,11 +10,15 @@
 #include "geometry/hyper_rect.h"
 #include "licensing/constraint_schema.h"
 #include "licensing/license.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "util/check.h"
+#include "util/license_set.h"
 #include "util/random.h"
 
 namespace geolic::testing {
+
+// Shorthand for a single-word LicenseSet literal: Mask(0b101) == {L1, L3}.
+inline LicenseSet Mask(uint64_t word) { return LicenseSet::FromWord(word); }
 
 // Seed for randomized tests: `default_seed` unless the GEOLIC_TEST_SEED
 // environment variable overrides it (parsed with base auto-detection, so

@@ -11,7 +11,7 @@
 
 #include "core/grouping.h"
 #include "core/instance_validator.h"
-#include "licensing/license_set.h"
+#include "licensing/license_catalog.h"
 #include "test_util.h"
 #include "validation/validation_tree.h"
 #include "workload/workload.h"
@@ -50,19 +50,19 @@ TEST_P(TheoremsPropertyTest, Theorem1NoCommonRegionMeansZeroCount) {
   Rng rng(testing::TestSeed(5) + static_cast<uint64_t>(n));
   const auto merged = generated.workload->log.MergedCounts();
   for (int trial = 0; trial < 500; ++trial) {
-    LicenseMask set = static_cast<LicenseMask>(rng.Next()) & FullMask(n);
-    if (set == 0) {
+    LicenseSet set = LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n);
+    if (set.Empty()) {
       continue;
     }
     std::vector<HyperRect> rects;
-    for (int index : MaskToIndexes(set)) {
+    for (int index : (set).ToIndexes()) {
       rects.push_back(generated.workload->licenses->at(index).rect());
     }
     const Result<HyperRect> region = HyperRect::CommonRegion(rects);
     ASSERT_TRUE(region.ok());
     if (region->IsEmpty()) {
       // Theorem 1: this exact set can never be logged.
-      EXPECT_EQ(merged.find(set), merged.end()) << MaskToString(set);
+      EXPECT_EQ(merged.find(set), merged.end()) << (set).ToString();
       EXPECT_EQ(generated.tree.CountOf(set), 0);
     } else if (merged.contains(set)) {
       EXPECT_GT(merged.at(set), 0);
@@ -78,9 +78,9 @@ TEST_P(TheoremsPropertyTest, Corollary11GroupMixingSetsNeverLogged) {
     GTEST_SKIP() << "workload produced a single group";
   }
   for (const auto& [set, count] : generated.workload->log.MergedCounts()) {
-    const int group = generated.grouping.GroupOf(LowestLicense(set));
-    EXPECT_TRUE(IsSubsetOf(set, generated.grouping.GroupMask(group)))
-        << "logged set " << MaskToString(set) << " mixes groups";
+    const int group = generated.grouping.GroupOf((set).Lowest());
+    EXPECT_TRUE(set.IsSubsetOf(generated.grouping.GroupMask(group)))
+        << "logged set " << (set).ToString() << " mixes groups";
   }
 }
 
@@ -91,24 +91,24 @@ TEST_P(TheoremsPropertyTest, Theorem2EquationDecomposesAcrossGroups) {
   const LicenseGrouping& grouping = generated.grouping;
   Rng rng(testing::TestSeed(17) + static_cast<uint64_t>(n));
   for (int trial = 0; trial < 300; ++trial) {
-    const LicenseMask s =
-        static_cast<LicenseMask>(rng.Next()) & FullMask(n);
-    if (s == 0) {
+    const LicenseSet s =
+        LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n);
+    if (s.Empty()) {
       continue;
     }
     // Split S into its per-group restrictions S_k = S ∩ G_k.
     int64_t lhs_sum = 0;
     int64_t rhs_sum = 0;
     for (int k = 0; k < grouping.group_count(); ++k) {
-      const LicenseMask restricted = s & grouping.GroupMask(k);
-      if (restricted == 0) {
+      const LicenseSet restricted = s & grouping.GroupMask(k);
+      if (restricted.Empty()) {
         continue;
       }
       lhs_sum += generated.tree.SumSubsets(restricted);
       rhs_sum += generated.workload->licenses->AggregateSum(restricted);
     }
     // Theorem 2: C⟨S⟩ = Σ C⟨S_k⟩ and A[S] = Σ A[S_k].
-    EXPECT_EQ(generated.tree.SumSubsets(s), lhs_sum) << MaskToString(s);
+    EXPECT_EQ(generated.tree.SumSubsets(s), lhs_sum) << (s).ToString();
     EXPECT_EQ(generated.workload->licenses->AggregateSum(s), rhs_sum);
   }
 }
@@ -121,11 +121,11 @@ TEST_P(TheoremsPropertyTest, Section41NoBranchCrossesGroups) {
   // Every node's path-set (reported by ForEachSet plus implied prefixes)
   // stays within one group. ForEachSet only reports counted nodes; prefix
   // sets are subsets of those, so checking counted sets suffices.
-  generated.tree.ForEachSet([&](LicenseMask set, int64_t count) {
+  generated.tree.ForEachSet([&](LicenseSet set, int64_t count) {
     EXPECT_GT(count, 0);
-    const int group = grouping.GroupOf(LowestLicense(set));
-    EXPECT_TRUE(IsSubsetOf(set, grouping.GroupMask(group)))
-        << MaskToString(set);
+    const int group = grouping.GroupOf((set).Lowest());
+    EXPECT_TRUE(set.IsSubsetOf(grouping.GroupMask(group)))
+        << (set).ToString();
   });
 }
 
@@ -145,8 +145,8 @@ TEST_P(TheoremsPropertyTest, SatisfyingSetsAreAlwaysPairwiseOverlapping) {
         rng.UniformInt(0, workload->licenses->size() - 1));
     const License usage =
         generator.DrawUsageLicense(*workload, parent, &rng, trial);
-    const LicenseMask set = validator.SatisfyingSet(usage);
-    const std::vector<int> members = MaskToIndexes(set);
+    const LicenseSet set = validator.SatisfyingSet(usage);
+    const std::vector<int> members = (set).ToIndexes();
     for (size_t i = 0; i < members.size(); ++i) {
       for (size_t j = i + 1; j < members.size(); ++j) {
         EXPECT_TRUE(workload->licenses->at(members[i])

@@ -1,80 +1,83 @@
-#include "util/bits.h"
+#include "util/license_set.h"
 
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 namespace geolic {
 namespace {
 
+LicenseSet M(uint64_t word) { return LicenseSet::FromWord(word); }
+
 TEST(BitsTest, MaskSizeCountsBits) {
-  EXPECT_EQ(MaskSize(0), 0);
-  EXPECT_EQ(MaskSize(0b1), 1);
-  EXPECT_EQ(MaskSize(0b1011), 3);
-  EXPECT_EQ(MaskSize(~LicenseMask{0}), 64);
+  EXPECT_EQ(M(0).Size(), 0);
+  EXPECT_EQ(M(0b1).Size(), 1);
+  EXPECT_EQ(M(0b1011).Size(), 3);
+  EXPECT_EQ(M(~uint64_t{0}).Size(), 64);
 }
 
 TEST(BitsTest, SingletonMask) {
-  EXPECT_EQ(SingletonMask(0), 1u);
-  EXPECT_EQ(SingletonMask(3), 8u);
-  EXPECT_EQ(SingletonMask(63), LicenseMask{1} << 63);
+  EXPECT_EQ(LicenseSet::Singleton(0), M(1));
+  EXPECT_EQ(LicenseSet::Singleton(3), M(8));
+  EXPECT_EQ(LicenseSet::Singleton(63), M(uint64_t{1} << 63));
 }
 
 TEST(BitsTest, FullMask) {
-  EXPECT_EQ(FullMask(0), 0u);
-  EXPECT_EQ(FullMask(1), 0b1u);
-  EXPECT_EQ(FullMask(5), 0b11111u);
-  EXPECT_EQ(FullMask(64), ~LicenseMask{0});
+  EXPECT_EQ(LicenseSet::Full(0), M(0));
+  EXPECT_EQ(LicenseSet::Full(1), M(0b1));
+  EXPECT_EQ(LicenseSet::Full(5), M(0b11111));
+  EXPECT_EQ(LicenseSet::Full(64), M(~uint64_t{0}));
 }
 
 TEST(BitsTest, SubsetRelation) {
-  EXPECT_TRUE(IsSubsetOf(0, 0));
-  EXPECT_TRUE(IsSubsetOf(0, 0b101));
-  EXPECT_TRUE(IsSubsetOf(0b100, 0b101));
-  EXPECT_TRUE(IsSubsetOf(0b101, 0b101));
-  EXPECT_FALSE(IsSubsetOf(0b10, 0b101));
-  EXPECT_FALSE(IsSubsetOf(0b111, 0b101));
+  EXPECT_TRUE(M(0).IsSubsetOf(M(0)));
+  EXPECT_TRUE(M(0).IsSubsetOf(M(0b101)));
+  EXPECT_TRUE(M(0b100).IsSubsetOf(M(0b101)));
+  EXPECT_TRUE(M(0b101).IsSubsetOf(M(0b101)));
+  EXPECT_FALSE(M(0b10).IsSubsetOf(M(0b101)));
+  EXPECT_FALSE(M(0b111).IsSubsetOf(M(0b101)));
 }
 
 TEST(BitsTest, MaskContains) {
-  EXPECT_TRUE(MaskContains(0b101, 0));
-  EXPECT_FALSE(MaskContains(0b101, 1));
-  EXPECT_TRUE(MaskContains(0b101, 2));
+  EXPECT_TRUE(M(0b101).Contains(0));
+  EXPECT_FALSE(M(0b101).Contains(1));
+  EXPECT_TRUE(M(0b101).Contains(2));
 }
 
 TEST(BitsTest, LowestAndHighest) {
-  EXPECT_EQ(LowestLicense(0b100), 2);
-  EXPECT_EQ(LowestLicense(0b101), 0);
-  EXPECT_EQ(HighestLicense(0b101), 2);
-  EXPECT_EQ(HighestLicense(SingletonMask(63)), 63);
+  EXPECT_EQ(M(0b100).Lowest(), 2);
+  EXPECT_EQ(M(0b101).Lowest(), 0);
+  EXPECT_EQ(M(0b101).Highest(), 2);
+  EXPECT_EQ(LicenseSet::Singleton(63).Highest(), 63);
 }
 
 TEST(BitsTest, MaskIndexRoundTrip) {
   const std::vector<int> indexes = {0, 3, 5, 41};
-  const LicenseMask mask = IndexesToMask(indexes);
-  EXPECT_EQ(MaskToIndexes(mask), indexes);
+  const LicenseSet mask = LicenseSet::FromIndexes(indexes);
+  EXPECT_EQ(mask.ToIndexes(), indexes);
 }
 
 TEST(BitsTest, MaskToIndexesIsAscending) {
-  const std::vector<int> indexes = MaskToIndexes(0b110101);
+  const std::vector<int> indexes = M(0b110101).ToIndexes();
   EXPECT_EQ(indexes, (std::vector<int>{0, 2, 4, 5}));
 }
 
 TEST(BitsTest, IndexesToMaskCollapsesDuplicates) {
-  EXPECT_EQ(IndexesToMask({1, 1, 1}), 0b10u);
+  EXPECT_EQ(LicenseSet::FromIndexes({1, 1, 1}), M(0b10));
 }
 
 TEST(SubsetIteratorTest, EmptySetHasNoSubsets) {
-  SubsetIterator it(0);
+  SubsetIterator it((LicenseSet()));
   EXPECT_TRUE(it.Done());
 }
 
 TEST(SubsetIteratorTest, EnumeratesAllNonEmptySubsets) {
-  const LicenseMask set = 0b10110;
-  std::set<LicenseMask> seen;
+  const LicenseSet set = M(0b10110);
+  std::set<LicenseSet> seen;
   for (SubsetIterator it(set); !it.Done(); it.Next()) {
-    EXPECT_TRUE(IsSubsetOf(it.subset(), set));
-    EXPECT_NE(it.subset(), 0u);
+    EXPECT_TRUE(it.subset().IsSubsetOf(set));
+    EXPECT_FALSE(it.subset().Empty());
     EXPECT_TRUE(seen.insert(it.subset()).second) << "duplicate subset";
   }
   // 2^3 - 1 = 7 non-empty subsets of a 3-element set.
@@ -82,9 +85,9 @@ TEST(SubsetIteratorTest, EnumeratesAllNonEmptySubsets) {
 }
 
 TEST(SubsetIteratorTest, SingletonSet) {
-  SubsetIterator it(0b100);
+  SubsetIterator it(M(0b100));
   ASSERT_FALSE(it.Done());
-  EXPECT_EQ(it.subset(), 0b100u);
+  EXPECT_EQ(it.subset(), M(0b100));
   it.Next();
   EXPECT_TRUE(it.Done());
 }
@@ -92,7 +95,7 @@ TEST(SubsetIteratorTest, SingletonSet) {
 TEST(SubsetIteratorTest, CountMatchesFormulaForVariousSizes) {
   for (int n = 1; n <= 10; ++n) {
     int count = 0;
-    for (SubsetIterator it(FullMask(n)); !it.Done(); it.Next()) {
+    for (SubsetIterator it(LicenseSet::Full(n)); !it.Done(); it.Next()) {
       ++count;
     }
     EXPECT_EQ(count, (1 << n) - 1) << "n=" << n;
@@ -100,10 +103,10 @@ TEST(SubsetIteratorTest, CountMatchesFormulaForVariousSizes) {
 }
 
 TEST(BitsTest, MaskToStringUsesPaperNotation) {
-  EXPECT_EQ(MaskToString(0), "{}");
-  EXPECT_EQ(MaskToString(0b1), "{L1}");
+  EXPECT_EQ(M(0).ToString(), "{}");
+  EXPECT_EQ(M(0b1).ToString(), "{L1}");
   // Bits 0,1,3 are the paper's L1, L2, L4.
-  EXPECT_EQ(MaskToString(0b1011), "{L1, L2, L4}");
+  EXPECT_EQ(M(0b1011).ToString(), "{L1, L2, L4}");
 }
 
 }  // namespace

@@ -12,16 +12,30 @@
 
 #include "graph/max_flow.h"
 #include "util/random.h"
-#include "validation/exhaustive_validator.h"
 #include "validation/validation_tree.h"
+#include "validation/validate.h"
+
+#include "test_util.h"
 
 namespace geolic {
 namespace {
 
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
 // Max-flow feasibility: can every merged set count be split among the
 // set's member licenses within the aggregate budgets?
 bool AssignmentFeasible(
-    const std::unordered_map<LicenseMask, int64_t>& merged_counts,
+    const std::unordered_map<LicenseSet, int64_t>& merged_counts,
     const std::vector<int64_t>& aggregates) {
   const int n = static_cast<int>(aggregates.size());
   const int num_sets = static_cast<int>(merged_counts.size());
@@ -34,7 +48,7 @@ bool AssignmentFeasible(
   for (const auto& [set, count] : merged_counts) {
     flow.AddEdge(0, set_node, count);
     total_demand += count;
-    for (int license : MaskToIndexes(set)) {
+    for (int license : (set).ToIndexes()) {
       flow.AddEdge(set_node, license_base + license, MaxFlow::kInfinity);
     }
     ++set_node;
@@ -61,9 +75,9 @@ TEST_P(FeasibilityEquivalenceTest, EquationsHoldIffAssignmentExists) {
     LogStore store;
     const int records = static_cast<int>(rng.UniformInt(5, 60));
     for (int r = 0; r < records; ++r) {
-      const LicenseMask set =
-          (static_cast<LicenseMask>(rng.Next()) & FullMask(n)) |
-          SingletonMask(static_cast<int>(rng.UniformInt(0, n - 1)));
+      const LicenseSet set =
+          (LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n)) |
+          LicenseSet::Singleton(static_cast<int>(rng.UniformInt(0, n - 1)));
       const int64_t count = rng.UniformInt(1, 60);
       ASSERT_TRUE(tree.Insert(set, count).ok());
       ASSERT_TRUE(store.Append(LogRecord{"", set, count}).ok());
@@ -75,7 +89,7 @@ TEST_P(FeasibilityEquivalenceTest, EquationsHoldIffAssignmentExists) {
       aggregates.push_back(rng.UniformInt(10, 1 + 2400 / n));
     }
     const Result<ValidationReport> report =
-        ValidateExhaustive(tree, aggregates);
+        RunExhaustive(tree, aggregates);
     ASSERT_TRUE(report.ok());
     const bool equations_hold = report->all_valid();
     const bool feasible =
@@ -97,9 +111,9 @@ INSTANTIATE_TEST_SUITE_P(LicenseCounts, FeasibilityEquivalenceTest,
                          ::testing::Values(2, 3, 5, 8, 11));
 
 TEST(FeasibilityTest, PaperTable2IsFeasible) {
-  std::unordered_map<LicenseMask, int64_t> merged = {
-      {0b00011, 840}, {0b00010, 400}, {0b01011, 30},
-      {0b10100, 800}, {0b10000, 20},
+  std::unordered_map<LicenseSet, int64_t> merged = {
+      {testing::Mask(0b00011), 840}, {testing::Mask(0b00010), 400}, {testing::Mask(0b01011), 30},
+      {testing::Mask(0b10100), 800}, {testing::Mask(0b10000), 20},
   };
   EXPECT_TRUE(
       AssignmentFeasible(merged, {2000, 1000, 3000, 4000, 2000}));
@@ -108,12 +122,12 @@ TEST(FeasibilityTest, PaperTable2IsFeasible) {
 TEST(FeasibilityTest, Example1GreedyTrapIsFeasible) {
   // LU1 (800, {L1,L2}) + LU2 (400, {L2}): feasible by assigning LU1 → L1 —
   // exactly the assignment the paper's random pick misses.
-  std::unordered_map<LicenseMask, int64_t> merged = {{0b01, 0},
-                                                     {0b11, 800},
-                                                     {0b10, 400}};
+  std::unordered_map<LicenseSet, int64_t> merged = {{testing::Mask(0b01), 0},
+                                                     {testing::Mask(0b11), 800},
+                                                     {testing::Mask(0b10), 400}};
   EXPECT_TRUE(AssignmentFeasible(merged, {2000, 1000}));
   // With A2 = 1000 and demands {L2}-only of 1100, infeasible.
-  merged = {{0b10, 1100}};
+  merged = {{testing::Mask(0b10), 1100}};
   EXPECT_FALSE(AssignmentFeasible(merged, {2000, 1000}));
 }
 

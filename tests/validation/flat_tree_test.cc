@@ -18,9 +18,9 @@ namespace {
 ValidationTree RandomTree(Rng* rng, int n, int records) {
   ValidationTree tree;
   for (int r = 0; r < records; ++r) {
-    const LicenseMask set =
-        (static_cast<LicenseMask>(rng->Next()) & FullMask(n));
-    if (set == 0) {
+    const LicenseSet set =
+        (LicenseSet::FromWord(rng->Next()) & LicenseSet::Full(n));
+    if (set.Empty()) {
       continue;
     }
     EXPECT_TRUE(tree.Insert(set, rng->UniformInt(1, 50)).ok());
@@ -33,36 +33,36 @@ TEST(FlatTreeTest, EmptyTree) {
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
   EXPECT_EQ(flat.NodeCount(), 0u);
   EXPECT_EQ(flat.TotalCount(), 0);
-  EXPECT_EQ(flat.PresentLicenses(), 0u);
-  EXPECT_EQ(flat.SumSubsets(FullMask(8)), 0);
-  EXPECT_EQ(flat.SumSubsetsNoAccel(FullMask(8)), 0);
-  EXPECT_EQ(flat.CountOf(0b101), 0);
+  EXPECT_TRUE(flat.PresentLicenses().Empty());
+  EXPECT_EQ(flat.SumSubsets(LicenseSet::Full(8)), 0);
+  EXPECT_EQ(flat.SumSubsetsNoAccel(LicenseSet::Full(8)), 0);
+  EXPECT_EQ(flat.CountOf(testing::Mask(0b101)), 0);
   int calls = 0;
-  flat.ForEachSet([&calls](LicenseMask, int64_t) { ++calls; });
+  flat.ForEachSet([&calls](LicenseSet, int64_t) { ++calls; });
   EXPECT_EQ(calls, 0);
 }
 
 TEST(FlatTreeTest, SingleLicense) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b1, 7).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b1), 7).ok());
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
   EXPECT_EQ(flat.NodeCount(), 1u);
   EXPECT_EQ(flat.TotalCount(), 7);
-  EXPECT_EQ(flat.PresentLicenses(), 0b1u);
-  EXPECT_EQ(flat.CountOf(0b1), 7);
-  EXPECT_EQ(flat.CountOf(0b10), 0);
-  EXPECT_EQ(flat.SumSubsets(0b1), 7);
-  EXPECT_EQ(flat.SumSubsets(0b10), 0);
-  EXPECT_EQ(flat.SumSubsets(0b11), 7);
+  EXPECT_EQ(flat.PresentLicenses(), testing::Mask(0b1));
+  EXPECT_EQ(flat.CountOf(testing::Mask(0b1)), 7);
+  EXPECT_EQ(flat.CountOf(testing::Mask(0b10)), 0);
+  EXPECT_EQ(flat.SumSubsets(testing::Mask(0b1)), 7);
+  EXPECT_EQ(flat.SumSubsets(testing::Mask(0b10)), 0);
+  EXPECT_EQ(flat.SumSubsets(testing::Mask(0b11)), 7);
   EXPECT_GT(flat.MemoryBytes(), 0u);
 }
 
 TEST(FlatTreeTest, PaperExampleMatchesPointerTree) {
   // The paper's running example log (table 1 shape).
   ValidationTree tree;
-  const std::vector<std::pair<LicenseMask, int64_t>> records = {
-      {0b0001, 100}, {0b0011, 50}, {0b0111, 25}, {0b0010, 80},
-      {0b0110, 40},  {0b0100, 60}, {0b1100, 30}, {0b1000, 90},
+  const std::vector<std::pair<LicenseSet, int64_t>> records = {
+      {testing::Mask(0b0001), 100}, {testing::Mask(0b0011), 50}, {testing::Mask(0b0111), 25}, {testing::Mask(0b0010), 80},
+      {testing::Mask(0b0110), 40},  {testing::Mask(0b0100), 60}, {testing::Mask(0b1100), 30}, {testing::Mask(0b1000), 90},
   };
   for (const auto& [set, count] : records) {
     ASSERT_TRUE(tree.Insert(set, count).ok());
@@ -71,7 +71,8 @@ TEST(FlatTreeTest, PaperExampleMatchesPointerTree) {
   EXPECT_EQ(flat.NodeCount(), tree.NodeCount());
   EXPECT_EQ(flat.TotalCount(), tree.TotalCount());
   EXPECT_EQ(flat.PresentLicenses(), tree.PresentLicenses());
-  for (LicenseMask set = 0; set <= FullMask(4); ++set) {
+  for (uint64_t word = 0; word <= 0b1111u; ++word) {
+    const LicenseSet set = LicenseSet::FromWord(word);
     EXPECT_EQ(flat.SumSubsets(set), tree.SumSubsets(set)) << set;
     EXPECT_EQ(flat.SumSubsetsNoAccel(set), tree.SumSubsets(set)) << set;
     EXPECT_EQ(flat.CountOf(set), tree.CountOf(set)) << set;
@@ -95,14 +96,14 @@ TEST(FlatTreeTest, FuzzMatchesPointerTree) {
     // Random query masks, deliberately allowed to spill beyond the n
     // licenses actually present.
     for (int q = 0; q < 16; ++q) {
-      const LicenseMask set =
-          static_cast<LicenseMask>(rng.Next()) & FullMask(std::min(n + 2, 16));
+      const LicenseSet set =
+          LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(std::min(n + 2, 16));
       ASSERT_EQ(flat.SumSubsets(set), tree.SumSubsets(set))
-          << "trial " << trial << " set " << MaskToString(set);
+          << "trial " << trial << " set " << (set).ToString();
       ASSERT_EQ(flat.SumSubsetsNoAccel(set), tree.SumSubsets(set))
-          << "trial " << trial << " set " << MaskToString(set);
+          << "trial " << trial << " set " << (set).ToString();
       ASSERT_EQ(flat.CountOf(set), tree.CountOf(set))
-          << "trial " << trial << " set " << MaskToString(set);
+          << "trial " << trial << " set " << (set).ToString();
     }
   }
 }
@@ -113,11 +114,11 @@ TEST(FlatTreeTest, FuzzMatchesMergedCountsReference) {
   for (int trial = 0; trial < 50; ++trial) {
     const int n = static_cast<int>(rng.UniformInt(1, 12));
     ValidationTree tree;
-    std::unordered_map<LicenseMask, int64_t> merged;
+    std::unordered_map<LicenseSet, int64_t> merged;
     for (int r = 0; r < 30; ++r) {
-      const LicenseMask set =
-          static_cast<LicenseMask>(rng.Next()) & FullMask(n);
-      if (set == 0) {
+      const LicenseSet set =
+          LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n);
+      if (set.Empty()) {
         continue;
       }
       const int64_t count = rng.UniformInt(1, 9);
@@ -126,8 +127,8 @@ TEST(FlatTreeTest, FuzzMatchesMergedCountsReference) {
     }
     const FlatValidationTree flat = FlatValidationTree::Compile(tree);
     for (int q = 0; q < 32; ++q) {
-      const LicenseMask set =
-          static_cast<LicenseMask>(rng.Next()) & FullMask(n);
+      const LicenseSet set =
+          LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n);
       ASSERT_EQ(flat.SumSubsets(set), LhsFromMergedCounts(merged, set));
     }
   }
@@ -137,9 +138,9 @@ TEST(FlatTreeTest, BatchMatchesScalar) {
   Rng rng(testing::TestSeed(11));
   const ValidationTree tree = RandomTree(&rng, 12, 200);
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
-  std::vector<LicenseMask> sets;
+  std::vector<LicenseSet> sets;
   for (int i = 0; i < 300; ++i) {
-    sets.push_back(static_cast<LicenseMask>(rng.Next()) & FullMask(12));
+    sets.push_back(LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(12));
   }
   std::vector<int64_t> sums(sets.size(), -1);
   uint64_t batch_nodes = 0;
@@ -155,12 +156,12 @@ TEST(FlatTreeTest, ForEachSetMatchesPointerTree) {
   Rng rng(testing::TestSeed(5));
   const ValidationTree tree = RandomTree(&rng, 14, 300);
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
-  std::vector<std::pair<LicenseMask, int64_t>> from_tree;
-  std::vector<std::pair<LicenseMask, int64_t>> from_flat;
-  tree.ForEachSet([&from_tree](LicenseMask set, int64_t count) {
+  std::vector<std::pair<LicenseSet, int64_t>> from_tree;
+  std::vector<std::pair<LicenseSet, int64_t>> from_flat;
+  tree.ForEachSet([&from_tree](LicenseSet set, int64_t count) {
     from_tree.emplace_back(set, count);
   });
-  flat.ForEachSet([&from_flat](LicenseMask set, int64_t count) {
+  flat.ForEachSet([&from_flat](LicenseSet set, int64_t count) {
     from_flat.emplace_back(set, count);
   });
   EXPECT_EQ(from_tree, from_flat);  // Same preorder, same values.
@@ -175,22 +176,22 @@ TEST(FlatTreeTest, CoveredSubtreePruningTouchesFewerNodes) {
   // descent visits every node — the figure-7 dense-overlap win.
   uint64_t full_pointer = 0;
   uint64_t full_flat = 0;
-  const int64_t pointer_sum = tree.SumSubsets(FullMask(16), &full_pointer);
-  const int64_t flat_sum = flat.SumSubsets(FullMask(16), &full_flat);
+  const int64_t pointer_sum = tree.SumSubsets(LicenseSet::Full(16), &full_pointer);
+  const int64_t flat_sum = flat.SumSubsets(LicenseSet::Full(16), &full_flat);
   EXPECT_EQ(flat_sum, pointer_sum);
   EXPECT_LT(full_flat, full_pointer);
   // And the no-accelerator scan touches at least one slot per node-skip
   // decision; it must agree on the sum regardless.
-  EXPECT_EQ(flat.SumSubsetsNoAccel(FullMask(16)), pointer_sum);
+  EXPECT_EQ(flat.SumSubsetsNoAccel(LicenseSet::Full(16)), pointer_sum);
 }
 
 TEST(FlatTreeTest, CompileIsASnapshot) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b11, 5).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b11), 5).ok());
   const FlatValidationTree flat = FlatValidationTree::Compile(tree);
-  ASSERT_TRUE(tree.Insert(0b11, 5).ok());  // Mutate after compile.
-  EXPECT_EQ(flat.SumSubsets(0b11), 5);     // Snapshot unchanged.
-  EXPECT_EQ(tree.SumSubsets(0b11), 10);
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b11), 5).ok());  // Mutate after compile.
+  EXPECT_EQ(flat.SumSubsets(testing::Mask(0b11)), 5);     // Snapshot unchanged.
+  EXPECT_EQ(tree.SumSubsets(testing::Mask(0b11)), 10);
 }
 
 }  // namespace

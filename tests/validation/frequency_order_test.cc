@@ -4,13 +4,26 @@
 
 #include <gtest/gtest.h>
 
-#include "validation/exhaustive_validator.h"
 #include "validation/validate.h"
 #include "util/random.h"
 #include "workload/workload.h"
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
 
 TEST(LicensePermutationTest, IdentityByDefault) {
   LicensePermutation permutation(5);
@@ -18,16 +31,16 @@ TEST(LicensePermutationTest, IdentityByDefault) {
     EXPECT_EQ(permutation.ToNew(i), i);
     EXPECT_EQ(permutation.ToOld(i), i);
   }
-  EXPECT_EQ(permutation.MapMask(0b10110), 0b10110u);
-  EXPECT_EQ(permutation.UnmapMask(0b10110), 0b10110u);
+  EXPECT_EQ(permutation.MapMask(testing::Mask(0b10110)), testing::Mask(0b10110));
+  EXPECT_EQ(permutation.UnmapMask(testing::Mask(0b10110)), testing::Mask(0b10110));
 }
 
 TEST(LicensePermutationTest, OrdersByFrequencyDescending) {
   LogStore log;
   // L3 appears 3×, L1 2×, L2 1×.
-  ASSERT_TRUE(log.Append(LogRecord{"a", 0b101, 1}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"b", 0b100, 1}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"c", 0b111, 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"a", testing::Mask(0b101), 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"b", testing::Mask(0b100), 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"c", testing::Mask(0b111), 1}).ok());
   const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
   ASSERT_TRUE(permutation.ok());
@@ -39,7 +52,7 @@ TEST(LicensePermutationTest, OrdersByFrequencyDescending) {
 
 TEST(LicensePermutationTest, TiesBreakByOriginalIndex) {
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"a", 0b11, 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"a", testing::Mask(0b11), 1}).ok());
   const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
   ASSERT_TRUE(permutation.ok());
@@ -53,8 +66,8 @@ TEST(LicensePermutationTest, RejectsOutOfRangeLogRecords) {
   // silently dropping it (the old behavior) would undercount frequencies
   // and send downstream MapMask into out-of-range array reads.
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"a", 0b011, 1}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"b", 0b10001, 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"a", testing::Mask(0b011), 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"b", testing::Mask(0b10001), 1}).ok());
   const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
   ASSERT_FALSE(permutation.ok());
@@ -70,21 +83,22 @@ TEST(LicensePermutationTest, RejectsOutOfRangeLogRecords) {
 
 TEST(LicensePermutationTest, MaskRoundTrip) {
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"a", 0b10000, 1}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"a", testing::Mask(0b10000), 1}).ok());
   const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 5);
   ASSERT_TRUE(permutation.ok());
   Rng rng(31);
   for (int trial = 0; trial < 200; ++trial) {
-    const LicenseMask mask = rng.Next() & FullMask(5);
+    const LicenseSet mask =
+        LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(5);
     EXPECT_EQ(permutation->UnmapMask(permutation->MapMask(mask)), mask);
-    EXPECT_EQ(MaskSize(permutation->MapMask(mask)), MaskSize(mask));
+    EXPECT_EQ(permutation->MapMask(mask).Size(), (mask).Size());
   }
 }
 
 TEST(LicensePermutationTest, MapValuesReorders) {
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"a", 0b100, 1}).ok());  // L3 hottest.
+  ASSERT_TRUE(log.Append(LogRecord{"a", testing::Mask(0b100), 1}).ok());  // L3 hottest.
   const Result<LicensePermutation> permutation =
       LicensePermutation::ByDescendingFrequency(log, 3);
   ASSERT_TRUE(permutation.ok());
@@ -109,7 +123,7 @@ TEST(FrequencyOrderedValidationTest, MatchesPlainOrdering) {
         ValidationTree::BuildFromLog(workload->log);
     ASSERT_TRUE(plain_tree.ok());
     const Result<ValidationReport> plain =
-        ValidateExhaustive(*plain_tree, aggregates);
+        RunExhaustive(*plain_tree, aggregates);
     ASSERT_TRUE(plain.ok());
 
     const Result<ValidationReport> ordered =
@@ -145,10 +159,10 @@ TEST(FrequencyOrderedValidationTest, TreeNeverLargerThanIndexOrder) {
     LogStore log;
     // Skewed: license n−1 (cold index, hot in reality) is in every set.
     for (int r = 0; r < 300; ++r) {
-      LicenseMask set = SingletonMask(n - 1);
+      LicenseSet set = LicenseSet::Singleton(n - 1);
       for (int j = 0; j + 1 < n; ++j) {
         if (rng.Bernoulli(0.15)) {
-          set |= SingletonMask(j);
+          set |= LicenseSet::Singleton(j);
         }
       }
       ASSERT_TRUE(log.Append(LogRecord{"", set, 1}).ok());

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
 
-LogRecord Record(const std::string& id, LicenseMask set, int64_t count) {
+LogRecord Record(const std::string& id, uint64_t mask, int64_t count) {
+  const LicenseSet set = LicenseSet::FromWord(mask);
   LogRecord record;
   record.issued_license_id = id;
   record.set = set;
@@ -55,11 +58,11 @@ TEST(LogStoreTest, MergedCountsAccumulatePerSet) {
 
   const auto merged = store.MergedCounts();
   EXPECT_EQ(merged.size(), 5u);
-  EXPECT_EQ(merged.at(0b00011), 840);
-  EXPECT_EQ(merged.at(0b00010), 400);
-  EXPECT_EQ(merged.at(0b01011), 30);
-  EXPECT_EQ(merged.at(0b10100), 800);
-  EXPECT_EQ(merged.at(0b10000), 20);
+  EXPECT_EQ(merged.at(testing::Mask(0b00011)), 840);
+  EXPECT_EQ(merged.at(testing::Mask(0b00010)), 400);
+  EXPECT_EQ(merged.at(testing::Mask(0b01011)), 30);
+  EXPECT_EQ(merged.at(testing::Mask(0b10100)), 800);
+  EXPECT_EQ(merged.at(testing::Mask(0b10000)), 20);
 }
 
 TEST(LogStoreTest, CompactedMergesAndOrders) {
@@ -70,11 +73,11 @@ TEST(LogStoreTest, CompactedMergesAndOrders) {
   ASSERT_TRUE(store.Append(Record("LU4", 0b001, 5)).ok());
   const LogStore compacted = store.Compacted();
   ASSERT_EQ(compacted.size(), 3u);
-  EXPECT_EQ(compacted.at(0).set, 0b001u);
+  EXPECT_EQ(compacted.at(0).set, testing::Mask(0b001));
   EXPECT_EQ(compacted.at(0).count, 5);
-  EXPECT_EQ(compacted.at(1).set, 0b011u);
+  EXPECT_EQ(compacted.at(1).set, testing::Mask(0b011));
   EXPECT_EQ(compacted.at(1).count, 840);
-  EXPECT_EQ(compacted.at(2).set, 0b100u);
+  EXPECT_EQ(compacted.at(2).set, testing::Mask(0b100));
   EXPECT_EQ(compacted.at(2).count, 20);
   EXPECT_EQ(compacted.TotalCount(), store.TotalCount());
   EXPECT_EQ(compacted.MergedCounts(), store.MergedCounts());
@@ -89,7 +92,7 @@ TEST(LogStoreTest, TextRoundTrip) {
   LogStore store;
   ASSERT_TRUE(store.Append(Record("LU1", 0b1011, 800)).ok());
   ASSERT_TRUE(store.Append(Record("", 0b0001, 25)).ok());
-  ASSERT_TRUE(store.Append(Record("LU3", ~LicenseMask{0}, 1)).ok());
+  ASSERT_TRUE(store.Append(Record("LU3", ~uint64_t{0}, 1)).ok());
 
   const std::string path = TempPath(".log");
   ASSERT_TRUE(store.SaveText(path).ok());
@@ -109,8 +112,8 @@ TEST(LogStoreTest, TextLoadSkipsCommentsAndBlankLines) {
   const Result<LogStore> loaded = LogStore::LoadText(path);
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded->size(), 2u);
-  EXPECT_EQ(loaded->at(0).set, 0b11u);
-  EXPECT_EQ(loaded->at(1).set, 0b10u);  // Decimal masks accepted too.
+  EXPECT_EQ(loaded->at(0).set, testing::Mask(0b11));
+  EXPECT_EQ(loaded->at(1).set, testing::Mask(0b10));  // Decimal masks accepted too.
   std::remove(path.c_str());
 }
 
@@ -146,7 +149,7 @@ TEST(LogStoreTest, BinaryRoundTrip) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(store
                     .Append(Record("LU" + std::to_string(i),
-                                   static_cast<LicenseMask>(i + 1),
+                                   static_cast<uint64_t>(i) + 1,
                                    (i % 30) + 1))
                     .ok());
   }

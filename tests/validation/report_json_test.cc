@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
 
@@ -17,7 +19,7 @@ TEST(ReportJsonTest, CleanReport) {
 TEST(ReportJsonTest, ViolationsSerialised) {
   ValidationReport report;
   report.equations_evaluated = 7;
-  report.violations.push_back(EquationResult{0b011, 1240, 1000});
+  report.violations.push_back(EquationResult{testing::Mask(0b011), 1240, 1000});
   const std::string json = ReportToJson(report);
   EXPECT_NE(json.find("\"valid\":false"), std::string::npos);
   EXPECT_NE(json.find("\"set_mask\":\"0x3\""), std::string::npos);
@@ -28,14 +30,14 @@ TEST(ReportJsonTest, ViolationsSerialised) {
 }
 
 TEST(ReportJsonTest, SingleEquationResult) {
-  EXPECT_EQ(EquationResultToJson(EquationResult{0b100, 60, 50}),
+  EXPECT_EQ(EquationResultToJson(EquationResult{testing::Mask(0b100), 60, 50}),
             "{\"set_mask\":\"0x4\",\"licenses\":[3],\"lhs\":60,"
             "\"rhs\":50,\"excess\":10}");
 }
 
 TEST(ReportJsonTest, HighLicenseIndexes) {
   const std::string json =
-      EquationResultToJson(EquationResult{SingletonMask(63), 1, 2});
+      EquationResultToJson(EquationResult{LicenseSet::Singleton(63), 1, 2});
   EXPECT_NE(json.find("\"licenses\":[64]"), std::string::npos);
   EXPECT_NE(json.find("\"set_mask\":\"0x8000000000000000\""),
             std::string::npos);

@@ -21,11 +21,11 @@ std::string TempPath(const std::string& suffix) {
 
 ValidationTree SampleTree() {
   ValidationTree tree;
-  GEOLIC_CHECK(tree.Insert(0b00011, 840).ok());
-  GEOLIC_CHECK(tree.Insert(0b00010, 400).ok());
-  GEOLIC_CHECK(tree.Insert(0b01011, 30).ok());
-  GEOLIC_CHECK(tree.Insert(0b10100, 800).ok());
-  GEOLIC_CHECK(tree.Insert(0b10000, 20).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b00011), 840).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b00010), 400).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b01011), 30).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b10100), 800).ok());
+  GEOLIC_CHECK(tree.Insert(testing::Mask(0b10000), 20).ok());
   return tree;
 }
 
@@ -107,8 +107,9 @@ TEST(TreeSerializationPropertyTest, RandomTreesRoundTrip) {
     ValidationTree tree;
     const int records = static_cast<int>(rng.UniformInt(1, 300));
     for (int r = 0; r < records; ++r) {
-      const LicenseMask set =
-          (static_cast<LicenseMask>(rng.Next()) & FullMask(20)) | 1u;
+      const LicenseSet set =
+          (LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(20)) |
+          LicenseSet::Singleton(0);
       ASSERT_TRUE(tree.Insert(set, rng.UniformInt(1, 100)).ok());
     }
     std::stringstream buffer;
@@ -117,12 +118,12 @@ TEST(TreeSerializationPropertyTest, RandomTreesRoundTrip) {
     ASSERT_TRUE(loaded.ok());
     ASSERT_TRUE(loaded->CheckInvariants().ok());
     // Compare the full set→count maps.
-    std::unordered_map<LicenseMask, int64_t> expected;
-    tree.ForEachSet([&expected](LicenseMask set, int64_t count) {
+    std::unordered_map<LicenseSet, int64_t> expected;
+    tree.ForEachSet([&expected](LicenseSet set, int64_t count) {
       expected[set] = count;
     });
     size_t seen = 0;
-    loaded->ForEachSet([&](LicenseMask set, int64_t count) {
+    loaded->ForEachSet([&](LicenseSet set, int64_t count) {
       ++seen;
       auto it = expected.find(set);
       ASSERT_NE(it, expected.end());
@@ -305,15 +306,15 @@ TEST(TreeSerializationTest, FuzzedInputNeverCrashes) {
 
 TEST(ValidationTreeTest, ForEachSetListsExactlyMergedCounts) {
   const ValidationTree tree = SampleTree();
-  std::unordered_map<LicenseMask, int64_t> sets;
-  tree.ForEachSet([&sets](LicenseMask set, int64_t count) {
+  std::unordered_map<LicenseSet, int64_t> sets;
+  tree.ForEachSet([&sets](LicenseSet set, int64_t count) {
     sets[set] = count;
   });
   EXPECT_EQ(sets.size(), 5u);
-  EXPECT_EQ(sets.at(0b00011), 840);
-  EXPECT_EQ(sets.at(0b10000), 20);
+  EXPECT_EQ(sets.at(testing::Mask(0b00011)), 840);
+  EXPECT_EQ(sets.at(testing::Mask(0b10000)), 20);
   // Prefix nodes with zero count (e.g. {L1}) are not reported.
-  EXPECT_EQ(sets.find(0b00001), sets.end());
+  EXPECT_EQ(sets.find(testing::Mask(0b00001)), sets.end());
 }
 
 }  // namespace

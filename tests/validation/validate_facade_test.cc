@@ -7,12 +7,44 @@
 #include "core/grouped_validator.h"
 #include "core/parallel_validator.h"
 #include "test_util.h"
-#include "validation/exhaustive_validator.h"
 #include "validation/frequency_order.h"
-#include "validation/zeta_validator.h"
 
 namespace geolic {
 namespace {
+
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+Result<ValidationReport> RunExhaustiveLimited(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates,
+    uint64_t max_equations) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  options.max_equations = max_equations;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+Result<ValidationReport> RunZeta(const ValidationTree& tree,
+                                 const std::vector<int64_t>& aggregates,
+                                 int max_dense_n = 26) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kZeta;
+  options.max_dense_n = max_dense_n;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
 
 using testing::IntervalSchema;
 using testing::MakeRedistribution;
@@ -33,8 +65,8 @@ void ExpectSameReport(const ValidationReport& a, const ValidationReport& b) {
 
 // Three overlap groups (sizes 3, 2, 1) with budgets tight enough that the
 // log below violates some equations — non-trivial reports on both paths.
-LicenseSet Licenses(const ConstraintSchema& schema) {
-  LicenseSet licenses(&schema);
+LicenseCatalog Licenses(const ConstraintSchema& schema) {
+  LicenseCatalog licenses(&schema);
   EXPECT_TRUE(
       licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, 30)).ok());
   EXPECT_TRUE(
@@ -52,10 +84,10 @@ LicenseSet Licenses(const ConstraintSchema& schema) {
 
 LogStore Log() {
   LogStore log;
-  const std::vector<std::pair<LicenseMask, int64_t>> records = {
-      {0b000001, 12}, {0b000011, 9},  {0b000010, 14}, {0b000110, 7},
-      {0b000100, 8},  {0b001000, 6},  {0b011000, 5},  {0b010000, 9},
-      {0b100000, 4},  {0b000011, 3},  {0b001000, 2},  {0b100000, 3},
+  const std::vector<std::pair<LicenseSet, int64_t>> records = {
+      {testing::Mask(0b000001), 12}, {testing::Mask(0b000011), 9},  {testing::Mask(0b000010), 14}, {testing::Mask(0b000110), 7},
+      {testing::Mask(0b000100), 8},  {testing::Mask(0b001000), 6},  {testing::Mask(0b011000), 5},  {testing::Mask(0b010000), 9},
+      {testing::Mask(0b100000), 4},  {testing::Mask(0b000011), 3},  {testing::Mask(0b001000), 2},  {testing::Mask(0b100000), 3},
   };
   int sequence = 0;
   for (const auto& [set, count] : records) {
@@ -81,7 +113,7 @@ TEST(ValidateFacadeTest, ExhaustiveWrapperIsByteIdentical) {
   const ValidationTree tree = Tree();
 
   const Result<ValidationReport> old_report =
-      ValidateExhaustive(tree, aggregates);
+      RunExhaustive(tree, aggregates);
   ValidateOptions options;
   options.mode = ValidationMode::kExhaustive;
   const Result<ValidationOutcome> outcome =
@@ -100,7 +132,7 @@ TEST(ValidateFacadeTest, LimitedWrapperIsByteIdentical) {
   const ValidationTree tree = Tree();
 
   const Result<ValidationReport> old_report =
-      ValidateExhaustiveLimited(tree, aggregates, 17);
+      RunExhaustiveLimited(tree, aggregates, 17);
   ValidateOptions options;
   options.mode = ValidationMode::kExhaustive;
   options.max_equations = 17;
@@ -118,7 +150,7 @@ TEST(ValidateFacadeTest, ZetaWrapperIsByteIdentical) {
       Licenses(schema).AggregateCounts();
   const ValidationTree tree = Tree();
 
-  const Result<ValidationReport> old_report = ValidateZeta(tree, aggregates);
+  const Result<ValidationReport> old_report = RunZeta(tree, aggregates);
   ValidateOptions options;
   options.mode = ValidationMode::kZeta;
   const Result<ValidationOutcome> outcome =
@@ -130,7 +162,7 @@ TEST(ValidateFacadeTest, ZetaWrapperIsByteIdentical) {
   // Zeta and exhaustive agree on violations (the library-wide invariant the
   // facade must not disturb).
   const Result<ValidationReport> exhaustive =
-      ValidateExhaustive(tree, aggregates);
+      RunExhaustive(tree, aggregates);
   ASSERT_TRUE(exhaustive.ok());
   ASSERT_EQ(old_report->violations.size(), exhaustive->violations.size());
 }
@@ -154,7 +186,7 @@ TEST(ValidateFacadeTest, FrequencyOrderedWrapperIsByteIdentical) {
 
 TEST(ValidateFacadeTest, GroupedWrappersAreByteIdentical) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = Licenses(schema);
+  const LicenseCatalog licenses = Licenses(schema);
 
   const Result<GroupedValidationResult> old_result =
       ValidateGrouped(licenses, Tree());
@@ -190,13 +222,13 @@ TEST(ValidateFacadeTest, GroupedWrappersAreByteIdentical) {
 
 TEST(ValidateFacadeTest, ParallelWrappersMatchSerialReports) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = Licenses(schema);
+  const LicenseCatalog licenses = Licenses(schema);
   const std::vector<int64_t> aggregates = licenses.AggregateCounts();
   const ValidationTree tree = Tree();
 
   const Result<ValidationReport> parallel =
       ValidateExhaustiveParallel(tree, aggregates, 4);
-  const Result<ValidationReport> serial = ValidateExhaustive(tree, aggregates);
+  const Result<ValidationReport> serial = RunExhaustive(tree, aggregates);
   ASSERT_TRUE(parallel.ok());
   ASSERT_TRUE(serial.ok());
   ExpectSameReport(*parallel, *serial);
@@ -220,7 +252,7 @@ TEST(ValidateFacadeTest, ParallelWrappersMatchSerialReports) {
 
 TEST(ValidateFacadeTest, AutoModeRoutesBySize) {
   const ConstraintSchema schema = IntervalSchema(1);
-  const LicenseSet licenses = Licenses(schema);
+  const LicenseCatalog licenses = Licenses(schema);
   const std::vector<int64_t> aggregates = licenses.AggregateCounts();
 
   // Tree overload: kAuto without geometry picks a dense ungrouped engine.
@@ -228,7 +260,7 @@ TEST(ValidateFacadeTest, AutoModeRoutesBySize) {
   ASSERT_TRUE(ungrouped.ok());
   EXPECT_EQ(ungrouped->group_count, 0);
 
-  // LicenseSet overload: kAuto runs the paper's grouped pipeline.
+  // LicenseCatalog overload: kAuto runs the paper's grouped pipeline.
   const Result<ValidationOutcome> grouped = Validate(licenses, Tree());
   ASSERT_TRUE(grouped.ok());
   EXPECT_EQ(grouped->group_count, 3);

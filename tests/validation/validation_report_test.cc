@@ -4,20 +4,22 @@
 
 #include "util/random.h"
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
 
 TEST(EquationResultTest, ValidIffLhsWithinRhs) {
-  EXPECT_TRUE((EquationResult{0b1, 10, 10}).valid());
-  EXPECT_TRUE((EquationResult{0b1, 9, 10}).valid());
-  EXPECT_FALSE((EquationResult{0b1, 11, 10}).valid());
+  EXPECT_TRUE((EquationResult{testing::Mask(0b1), 10, 10}).valid());
+  EXPECT_TRUE((EquationResult{testing::Mask(0b1), 9, 10}).valid());
+  EXPECT_FALSE((EquationResult{testing::Mask(0b1), 11, 10}).valid());
 }
 
 TEST(ValidationReportTest, ToStringListsEveryViolation) {
   ValidationReport report;
   report.equations_evaluated = 31;
-  report.violations.push_back(EquationResult{0b00011, 1240, 1000});
-  report.violations.push_back(EquationResult{0b10000, 60, 50});
+  report.violations.push_back(EquationResult{testing::Mask(0b00011), 1240, 1000});
+  report.violations.push_back(EquationResult{testing::Mask(0b10000), 60, 50});
   const std::string text = report.ToString();
   EXPECT_NE(text.find("2 violation(s) in 31 equations"), std::string::npos);
   EXPECT_NE(text.find("C<{L1, L2}> = 1240 > A[{L1, L2}] = 1000"),
@@ -28,21 +30,23 @@ TEST(ValidationReportTest, ToStringListsEveryViolation) {
 TEST(MinimalViolationsTest, ChainKeepsOnlyTheRoot) {
   // {L1} ⊂ {L1,L2} ⊂ {L1,L2,L3}: only the innermost survives.
   const std::vector<EquationResult> chain = {
-      {0b111, 30, 10}, {0b011, 25, 10}, {0b001, 20, 10}};
+      {testing::Mask(0b111), 30, 10},
+      {testing::Mask(0b011), 25, 10},
+      {testing::Mask(0b001), 20, 10}};
   const std::vector<EquationResult> minimal = MinimalViolations(chain);
   ASSERT_EQ(minimal.size(), 1u);
-  EXPECT_EQ(minimal[0].set, 0b001u);
+  EXPECT_EQ(minimal[0].set, testing::Mask(0b001));
 }
 
 TEST(MinimalViolationsTest, PreservesInputOrder) {
   const std::vector<EquationResult> violations = {
-      {0b100, 5, 1}, {0b010, 5, 1}, {0b001, 5, 1}};
+      {testing::Mask(0b100), 5, 1}, {testing::Mask(0b010), 5, 1}, {testing::Mask(0b001), 5, 1}};
   const std::vector<EquationResult> minimal =
       MinimalViolations(violations);
   ASSERT_EQ(minimal.size(), 3u);
-  EXPECT_EQ(minimal[0].set, 0b100u);
-  EXPECT_EQ(minimal[1].set, 0b010u);
-  EXPECT_EQ(minimal[2].set, 0b001u);
+  EXPECT_EQ(minimal[0].set, testing::Mask(0b100));
+  EXPECT_EQ(minimal[1].set, testing::Mask(0b010));
+  EXPECT_EQ(minimal[2].set, testing::Mask(0b001));
 }
 
 // Property: every minimal violation is in the input; every input violation
@@ -55,7 +59,8 @@ TEST(MinimalViolationsPropertyTest, SoundAndComplete) {
     const int count = static_cast<int>(rng.UniformInt(0, 20));
     for (int i = 0; i < count; ++i) {
       violations.push_back(EquationResult{
-          (rng.Next() & FullMask(8)) | 1u, rng.UniformInt(1, 100), 0});
+          (LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(8)) |
+              LicenseSet::Singleton(0), rng.UniformInt(1, 100), 0});
     }
     const std::vector<EquationResult> minimal =
         MinimalViolations(violations);
@@ -69,20 +74,20 @@ TEST(MinimalViolationsPropertyTest, SoundAndComplete) {
       EXPECT_TRUE(found);
       for (const EquationResult& other : minimal) {
         if (other.set != m.set) {
-          EXPECT_FALSE(IsSubsetOf(other.set, m.set) &&
-                       IsSubsetOf(m.set, other.set));
+          EXPECT_FALSE((other.set).IsSubsetOf(m.set) &&
+                       (m.set).IsSubsetOf(other.set));
         }
       }
     }
     for (const EquationResult& v : violations) {
       bool covered = false;
       for (const EquationResult& m : minimal) {
-        if (IsSubsetOf(m.set, v.set)) {
+        if ((m.set).IsSubsetOf(v.set)) {
           covered = true;
           break;
         }
       }
-      EXPECT_TRUE(covered) << MaskToString(v.set);
+      EXPECT_TRUE(covered) << (v.set).ToString();
     }
   }
 }

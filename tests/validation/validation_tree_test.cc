@@ -5,6 +5,8 @@
 #include "validation/exhaustive_validator.h"
 #include "util/random.h"
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
 
@@ -13,17 +15,17 @@ LogStore PaperLog() {
   LogStore store;
   struct Row {
     const char* id;
-    LicenseMask set;
+    uint64_t mask;
     int64_t count;
   };
-  constexpr Row kRows[] = {
+  const Row kRows[] = {
       {"LU1", 0b00011, 800}, {"LU2", 0b00010, 400}, {"LU3", 0b00011, 40},
       {"LU4", 0b01011, 30},  {"LU5", 0b10100, 800}, {"LU6", 0b10000, 20},
   };
   for (const Row& row : kRows) {
     LogRecord record;
     record.issued_license_id = row.id;
-    record.set = row.set;
+    record.set = LicenseSet::FromWord(row.mask);
     record.count = row.count;
     GEOLIC_CHECK(store.Append(std::move(record)).ok());
   }
@@ -34,25 +36,25 @@ TEST(ValidationTreeTest, EmptyTree) {
   ValidationTree tree;
   EXPECT_EQ(tree.NodeCount(), 0u);
   EXPECT_EQ(tree.TotalCount(), 0);
-  EXPECT_EQ(tree.SumSubsets(FullMask(10)), 0);
-  EXPECT_EQ(tree.PresentLicenses(), 0u);
+  EXPECT_EQ(tree.SumSubsets(LicenseSet::Full(10)), 0);
+  EXPECT_TRUE(tree.PresentLicenses().Empty());
   EXPECT_TRUE(tree.CheckInvariants().ok());
 }
 
 TEST(ValidationTreeTest, InsertRejectsEmptySetAndBadCount) {
   ValidationTree tree;
-  EXPECT_FALSE(tree.Insert(0, 10).ok());
-  EXPECT_FALSE(tree.Insert(0b1, 0).ok());
-  EXPECT_FALSE(tree.Insert(0b1, -3).ok());
+  EXPECT_FALSE(tree.Insert(testing::Mask(0), 10).ok());
+  EXPECT_FALSE(tree.Insert(testing::Mask(0b1), 0).ok());
+  EXPECT_FALSE(tree.Insert(testing::Mask(0b1), -3).ok());
 }
 
 TEST(ValidationTreeTest, InsertAccumulatesCounts) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b11, 800).ok());
-  ASSERT_TRUE(tree.Insert(0b11, 40).ok());
-  EXPECT_EQ(tree.CountOf(0b11), 840);
-  EXPECT_EQ(tree.CountOf(0b01), 0);   // Prefix node exists, count 0.
-  EXPECT_EQ(tree.CountOf(0b10), 0);   // Absent set.
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b11), 800).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b11), 40).ok());
+  EXPECT_EQ(tree.CountOf(testing::Mask(0b11)), 840);
+  EXPECT_EQ(tree.CountOf(testing::Mask(0b01)), 0);   // Prefix node exists, count 0.
+  EXPECT_EQ(tree.CountOf(testing::Mask(0b10)), 0);   // Absent set.
   EXPECT_EQ(tree.NodeCount(), 2u);    // L1 → L2 chain, no duplicates.
 }
 
@@ -63,20 +65,20 @@ TEST(ValidationTreeTest, BuildsPaperFigure1Tree) {
 
   // Figure 1: counts 840 ({L1,L2}), 400 ({L2}), 30 ({L1,L2,L4}),
   // 800 ({L3,L5}), 20 ({L5}).
-  EXPECT_EQ(tree->CountOf(0b00011), 840);
-  EXPECT_EQ(tree->CountOf(0b00010), 400);
-  EXPECT_EQ(tree->CountOf(0b01011), 30);
-  EXPECT_EQ(tree->CountOf(0b10100), 800);
-  EXPECT_EQ(tree->CountOf(0b10000), 20);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b00011)), 840);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b00010)), 400);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b01011)), 30);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b10100)), 800);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b10000)), 20);
   // Prefix nodes carry zero counts.
-  EXPECT_EQ(tree->CountOf(0b00001), 0);
-  EXPECT_EQ(tree->CountOf(0b00100), 0);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b00001)), 0);
+  EXPECT_EQ(tree->CountOf(testing::Mask(0b00100)), 0);
 
   // Tree shape: root children L1, L2, L3, L5; L1→L2→L4 chain; L3→L5.
   // Total nodes: L1, L1.L2, L1.L2.L4, L2, L3, L3.L5, L5 = 7.
   EXPECT_EQ(tree->NodeCount(), 7u);
   EXPECT_EQ(tree->TotalCount(), 2090);
-  EXPECT_EQ(tree->PresentLicenses(), 0b11111u);
+  EXPECT_EQ(tree->PresentLicenses(), testing::Mask(0b11111));
 }
 
 TEST(ValidationTreeTest, ToStringRendersFigure1) {
@@ -96,38 +98,38 @@ TEST(ValidationTreeTest, SumSubsetsMatchesPaperEquationExamples) {
   const Result<ValidationTree> tree = ValidationTree::BuildFromLog(PaperLog());
   ASSERT_TRUE(tree.ok());
   // C⟨{L1,L2}⟩ = C[{L1}] + C[{L2}] + C[{L1,L2}] = 0 + 400 + 840 = 1240.
-  EXPECT_EQ(tree->SumSubsets(0b00011), 1240);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b00011)), 1240);
   // C⟨{L2}⟩ = 400.
-  EXPECT_EQ(tree->SumSubsets(0b00010), 400);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b00010)), 400);
   // C⟨{L1,L2,L4}⟩ adds the 30.
-  EXPECT_EQ(tree->SumSubsets(0b01011), 1270);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b01011)), 1270);
   // C⟨{L3,L5}⟩ = 800 + 20.
-  EXPECT_EQ(tree->SumSubsets(0b10100), 820);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b10100)), 820);
   // Full set.
-  EXPECT_EQ(tree->SumSubsets(0b11111), 2090);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b11111)), 2090);
   // A set missing L2 sees nothing from the {L1,L2} branch.
-  EXPECT_EQ(tree->SumSubsets(0b00001), 0);
-  EXPECT_EQ(tree->SumSubsets(0b01001), 0);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b00001)), 0);
+  EXPECT_EQ(tree->SumSubsets(testing::Mask(0b01001)), 0);
 }
 
 TEST(ValidationTreeTest, SumSubsetsReportsNodesVisited) {
   const Result<ValidationTree> tree = ValidationTree::BuildFromLog(PaperLog());
   ASSERT_TRUE(tree.ok());
   uint64_t visited = 0;
-  tree->SumSubsets(0b00011, &visited);
+  tree->SumSubsets(testing::Mask(0b00011), &visited);
   // Visits L1, L1.L2, L2 (not L4, L3, L5 branches).
   EXPECT_EQ(visited, 3u);
   visited = 0;
-  tree->SumSubsets(0b11111, &visited);
+  tree->SumSubsets(testing::Mask(0b11111), &visited);
   EXPECT_EQ(visited, tree->NodeCount());
 }
 
 TEST(ValidationTreeTest, ChildrenStayOrderedRegardlessOfInsertOrder) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(SingletonMask(5), 1).ok());
-  ASSERT_TRUE(tree.Insert(SingletonMask(1), 1).ok());
-  ASSERT_TRUE(tree.Insert(SingletonMask(3), 1).ok());
-  ASSERT_TRUE(tree.Insert(SingletonMask(0), 1).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(5), 1).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(1), 1).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(3), 1).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(0), 1).ok());
   ASSERT_TRUE(tree.CheckInvariants().ok());
   const ValidationTreeNode& root = tree.root();
   ASSERT_EQ(root.children.size(), 4u);
@@ -139,19 +141,19 @@ TEST(ValidationTreeTest, ChildrenStayOrderedRegardlessOfInsertOrder) {
 
 TEST(ValidationTreeTest, HighIndexLicenses) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(SingletonMask(63), 7).ok());
-  ASSERT_TRUE(tree.Insert(SingletonMask(63) | SingletonMask(0), 5).ok());
-  EXPECT_EQ(tree.CountOf(SingletonMask(63)), 7);
-  EXPECT_EQ(tree.SumSubsets(~LicenseMask{0}), 12);
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(63), 7).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(63) | LicenseSet::Singleton(0), 5).ok());
+  EXPECT_EQ(tree.CountOf(LicenseSet::Singleton(63)), 7);
+  EXPECT_EQ(tree.SumSubsets(LicenseSet::FromWord(~uint64_t{0})), 12);
   EXPECT_TRUE(tree.CheckInvariants().ok());
 }
 
 TEST(ValidationTreeTest, MemoryBytesGrowsWithNodes) {
   ValidationTree small;
-  ASSERT_TRUE(small.Insert(0b1, 1).ok());
+  ASSERT_TRUE(small.Insert(testing::Mask(0b1), 1).ok());
   ValidationTree large;
   for (int i = 0; i < 30; ++i) {
-    ASSERT_TRUE(large.Insert(FullMask(i % 10 + 1), 1).ok());
+    ASSERT_TRUE(large.Insert(LicenseSet::Full(i % 10 + 1), 1).ok());
   }
   EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
 }
@@ -163,7 +165,7 @@ TEST(ValidationTreeTest, MemoryBytesIncludesRootNode) {
   const ValidationTree empty;
   EXPECT_EQ(empty.MemoryBytes(), sizeof(ValidationTreeNode));
   ValidationTree one;
-  ASSERT_TRUE(one.Insert(0b1, 1).ok());
+  ASSERT_TRUE(one.Insert(testing::Mask(0b1), 1).ok());
   EXPECT_GE(one.MemoryBytes(),
             2 * sizeof(ValidationTreeNode) +
                 sizeof(std::unique_ptr<ValidationTreeNode>));
@@ -180,7 +182,7 @@ TEST_P(TreeSumPropertyTest, TraversalMatchesBruteForce) {
   for (int r = 0; r < 500; ++r) {
     LogRecord record;
     record.set =
-        (static_cast<LicenseMask>(rng.Next()) & FullMask(n)) | SingletonMask(
+        (LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n)) | LicenseSet::Singleton(
             static_cast<int>(rng.UniformInt(0, n - 1)));
     record.count = rng.UniformInt(1, 50);
     ASSERT_TRUE(store.Append(std::move(record)).ok());
@@ -192,10 +194,10 @@ TEST_P(TreeSumPropertyTest, TraversalMatchesBruteForce) {
 
   const auto merged = store.MergedCounts();
   for (int trial = 0; trial < 300; ++trial) {
-    const LicenseMask set =
-        static_cast<LicenseMask>(rng.Next()) & FullMask(n);
+    const LicenseSet set =
+        LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n);
     EXPECT_EQ(tree->SumSubsets(set), LhsFromMergedCounts(merged, set))
-        << "set=" << MaskToString(set);
+        << "set=" << (set).ToString();
   }
   // Every stored set's exact count matches.
   for (const auto& [set, count] : merged) {

@@ -1,17 +1,41 @@
-#include "validation/zeta_validator.h"
 
 #include <gtest/gtest.h>
 
-#include "validation/exhaustive_validator.h"
+#include "validation/validate.h"
 #include "util/random.h"
 #include "workload/workload.h"
+
+#include "test_util.h"
 
 namespace geolic {
 namespace {
 
+// Adapters over the Validate facade (the pre-facade bare entry points
+// ValidateExhaustive/ValidateExhaustiveLimited/ValidateZeta were folded
+// into Validate; see validation/validate.h).
+Result<ValidationReport> RunExhaustive(
+    const ValidationTree& tree, const std::vector<int64_t>& aggregates) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kExhaustive;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
+Result<ValidationReport> RunZeta(const ValidationTree& tree,
+                                 const std::vector<int64_t>& aggregates,
+                                 int max_dense_n = 26) {
+  ValidateOptions options;
+  options.mode = ValidationMode::kZeta;
+  options.max_dense_n = max_dense_n;
+  Result<ValidationOutcome> outcome = Validate(tree, aggregates, options);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->report);
+}
+
 TEST(ZetaValidatorTest, EmptyInputsAreValid) {
   ValidationTree tree;
-  const Result<ValidationReport> report = ValidateZeta(tree, {});
+  const Result<ValidationReport> report = RunZeta(tree, {});
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->all_valid());
   EXPECT_EQ(report->equations_evaluated, 0u);
@@ -19,14 +43,14 @@ TEST(ZetaValidatorTest, EmptyInputsAreValid) {
 
 TEST(ZetaValidatorTest, MatchesHandComputedExample) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(0b01, 8).ok());
-  ASSERT_TRUE(tree.Insert(0b10, 7).ok());
-  ASSERT_TRUE(tree.Insert(0b11, 6).ok());
-  const Result<ValidationReport> report = ValidateZeta(tree, {10, 10});
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b01), 8).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b10), 7).ok());
+  ASSERT_TRUE(tree.Insert(testing::Mask(0b11), 6).ok());
+  const Result<ValidationReport> report = RunZeta(tree, {10, 10});
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->equations_evaluated, 3u);
   ASSERT_EQ(report->violations.size(), 1u);
-  EXPECT_EQ(report->violations[0].set, 0b11u);
+  EXPECT_EQ(report->violations[0].set, testing::Mask(0b11));
   EXPECT_EQ(report->violations[0].lhs, 21);
   EXPECT_EQ(report->violations[0].rhs, 20);
 }
@@ -34,15 +58,15 @@ TEST(ZetaValidatorTest, MatchesHandComputedExample) {
 TEST(ZetaValidatorTest, RespectsDenseCap) {
   ValidationTree tree;
   const Result<ValidationReport> report =
-      ValidateZeta(tree, std::vector<int64_t>(30, 10), /*max_dense_n=*/26);
+      RunZeta(tree, std::vector<int64_t>(30, 10), /*max_dense_n=*/26);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kCapacityExceeded);
 }
 
 TEST(ZetaValidatorTest, RejectsTreeBeyondAggregates) {
   ValidationTree tree;
-  ASSERT_TRUE(tree.Insert(SingletonMask(5), 1).ok());
-  EXPECT_FALSE(ValidateZeta(tree, {10, 10}).ok());
+  ASSERT_TRUE(tree.Insert(LicenseSet::Singleton(5), 1).ok());
+  EXPECT_FALSE(RunZeta(tree, {10, 10}).ok());
 }
 
 // Property: zeta validator reproduces the exhaustive validator exactly —
@@ -66,8 +90,8 @@ TEST_P(ZetaEquivalenceTest, MatchesExhaustive) {
         workload->licenses->AggregateCounts();
 
     const Result<ValidationReport> exhaustive =
-        ValidateExhaustive(*tree, aggregates);
-    const Result<ValidationReport> zeta = ValidateZeta(*tree, aggregates);
+        RunExhaustive(*tree, aggregates);
+    const Result<ValidationReport> zeta = RunZeta(*tree, aggregates);
     ASSERT_TRUE(exhaustive.ok());
     ASSERT_TRUE(zeta.ok());
     EXPECT_EQ(zeta->equations_evaluated, exhaustive->equations_evaluated);
@@ -90,9 +114,9 @@ TEST(ZetaValidatorPropertyTest, MatchesExhaustiveOnRandomLogs) {
     const int n = static_cast<int>(rng.UniformInt(1, 14));
     ValidationTree tree;
     for (int r = 0; r < 200; ++r) {
-      const LicenseMask set =
-          (static_cast<LicenseMask>(rng.Next()) & FullMask(n)) |
-          SingletonMask(static_cast<int>(rng.UniformInt(0, n - 1)));
+      const LicenseSet set =
+          (LicenseSet::FromWord(rng.Next()) & LicenseSet::Full(n)) |
+          LicenseSet::Singleton(static_cast<int>(rng.UniformInt(0, n - 1)));
       ASSERT_TRUE(tree.Insert(set, rng.UniformInt(1, 40)).ok());
     }
     std::vector<int64_t> aggregates;
@@ -100,8 +124,8 @@ TEST(ZetaValidatorPropertyTest, MatchesExhaustiveOnRandomLogs) {
       aggregates.push_back(rng.UniformInt(100, 2000));
     }
     const Result<ValidationReport> exhaustive =
-        ValidateExhaustive(tree, aggregates);
-    const Result<ValidationReport> zeta = ValidateZeta(tree, aggregates);
+        RunExhaustive(tree, aggregates);
+    const Result<ValidationReport> zeta = RunZeta(tree, aggregates);
     ASSERT_TRUE(exhaustive.ok());
     ASSERT_TRUE(zeta.ok());
     ASSERT_EQ(zeta->violations.size(), exhaustive->violations.size());

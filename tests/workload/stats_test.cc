@@ -34,10 +34,10 @@ TEST(SampleSummaryTest, SingleSample) {
 
 TEST(LogStatsTest, ComputesHistogramAndDistincts) {
   LogStore log;
-  ASSERT_TRUE(log.Append(LogRecord{"a", 0b001, 10}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"b", 0b011, 20}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"c", 0b011, 30}).ok());
-  ASSERT_TRUE(log.Append(LogRecord{"d", 0b111, 40}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"a", testing::Mask(0b001), 10}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"b", testing::Mask(0b011), 20}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"c", testing::Mask(0b011), 30}).ok());
+  ASSERT_TRUE(log.Append(LogRecord{"d", testing::Mask(0b111), 40}).ok());
   const LogStats stats = LogStats::Compute(log);
   EXPECT_EQ(stats.records, 4u);
   EXPECT_EQ(stats.distinct_sets, 3u);
@@ -61,7 +61,7 @@ TEST(LogStatsTest, EmptyLog) {
 
 TEST(LicensePortfolioStatsTest, PaperExampleNumbers) {
   const ConstraintSchema schema = IntervalSchema(2);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   // The figure-2 shape: (L1,L2,L4) and (L3,L5).
   ASSERT_TRUE(set.Add(MakeRedistribution(schema, "L1", {{0, 20}, {0, 20}},
                                          2000))
@@ -91,7 +91,7 @@ TEST(LicensePortfolioStatsTest, PaperExampleNumbers) {
 
 TEST(LicensePortfolioStatsTest, EmptyPortfolio) {
   const ConstraintSchema schema = IntervalSchema(1);
-  LicenseSet set(&schema);
+  LicenseCatalog set(&schema);
   const LicensePortfolioStats stats = LicensePortfolioStats::Compute(set);
   EXPECT_EQ(stats.licenses, 0);
   EXPECT_EQ(stats.groups, 0);

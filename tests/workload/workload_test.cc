@@ -5,6 +5,8 @@
 #include "core/grouping.h"
 #include "core/instance_validator.h"
 
+#include "test_util.h"
+
 namespace geolic {
 namespace {
 
@@ -20,7 +22,7 @@ TEST(WorkloadConfigTest, RejectsBadParameters) {
   }
   {
     WorkloadConfig config;
-    config.num_licenses = 65;
+    config.num_licenses = kMaxLicensesLarge + 1;
     EXPECT_FALSE(config.Validate().ok());
   }
   {
@@ -124,7 +126,7 @@ TEST(WorkloadGeneratorTest, UsageCountsWithinPaperRange) {
   for (const LogRecord& record : workload->log.records()) {
     EXPECT_GE(record.count, config.usage_count_min);
     EXPECT_LE(record.count, config.usage_count_max);
-    EXPECT_NE(record.set, 0u);
+    EXPECT_NE(record.set, testing::Mask(0));
   }
 }
 
@@ -141,7 +143,7 @@ TEST(WorkloadGeneratorTest, LogSetsMatchGeometry) {
   const Result<Workload> workload = generator.Generate();
   ASSERT_TRUE(workload.ok());
   for (const LogRecord& record : workload->log.records()) {
-    const std::vector<int> members = MaskToIndexes(record.set);
+    const std::vector<int> members = (record.set).ToIndexes();
     for (size_t i = 0; i < members.size(); ++i) {
       for (size_t j = i + 1; j < members.size(); ++j) {
         EXPECT_TRUE(workload->licenses->at(members[i])
