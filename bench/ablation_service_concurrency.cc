@@ -5,6 +5,7 @@
 // configuration (grouping off) serializes every admission and bounds what
 // a global lock would achieve. Also measures the batched admission API,
 // which sorts a batch by shard and locks each touched shard once.
+// Machine-readable: --json_out=<path>.
 //
 // Budgets are set far above the request volume so every instance-valid
 // request is accepted and the accepted set is identical across thread
@@ -100,7 +101,9 @@ double RunThreaded(IssuanceService* service,
 }  // namespace
 
 int main(int argc, char** argv) {
+  using geolic::JsonWriter;
   using geolic::bench::IntFlag;
+  using geolic::bench::JsonOut;
 
   const int groups = std::max(1, IntFlag(argc, argv, "groups", 8));
   const int request_count =
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
       std::max(1, IntFlag(argc, argv, "max_threads",
                           std::max(8, ThreadPool::DefaultThreadCount())));
   const int batch_size = std::max(1, IntFlag(argc, argv, "batch_size", 64));
+  JsonOut json(argc, argv, "ablation_service_concurrency");
 
   ConstraintSchema schema;
   GEOLIC_CHECK(schema.AddIntervalDimension("C1").ok());
@@ -147,6 +151,17 @@ int main(int argc, char** argv) {
                 (*service)->shard_count(), elapsed_ms,
                 static_cast<double>(request_count) / elapsed_ms,
                 elapsed_ms > 0 ? serial_ms / elapsed_ms : 0.0);
+    json.Row([&](JsonWriter& out) {
+      out.KeyValue("mode", "sharded");
+      out.KeyValue("threads", static_cast<int64_t>(threads));
+      out.KeyValue("shards",
+                   static_cast<int64_t>((*service)->shard_count()));
+      out.KeyValue("elapsed_ms", elapsed_ms);
+      out.KeyValue("kreq_per_s",
+                   static_cast<double>(request_count) / elapsed_ms);
+      out.KeyValue("speedup",
+                   elapsed_ms > 0 ? serial_ms / elapsed_ms : 0.0);
+    });
   }
 
   // Global-lock baseline: grouped equation scopes (same per-request work)
@@ -163,6 +178,13 @@ int main(int argc, char** argv) {
                 "(%.1f kreq/s) — the global-lock bound\n",
                 max_threads, elapsed_ms,
                 static_cast<double>(request_count) / elapsed_ms);
+    json.Row([&](JsonWriter& out) {
+      out.KeyValue("mode", "single_lock");
+      out.KeyValue("threads", static_cast<int64_t>(max_threads));
+      out.KeyValue("elapsed_ms", elapsed_ms);
+      out.KeyValue("kreq_per_s",
+                   static_cast<double>(request_count) / elapsed_ms);
+    });
   }
 
   // Batched admission, single caller thread.
@@ -189,6 +211,13 @@ int main(int argc, char** argv) {
                 static_cast<double>(request_count) / elapsed_ms);
     std::printf("# metrics: %s\n",
                 (*service)->metrics().Snap().ToString().c_str());
+    json.Row([&](JsonWriter& out) {
+      out.KeyValue("mode", "batched");
+      out.KeyValue("batch_size", static_cast<int64_t>(batch_size));
+      out.KeyValue("elapsed_ms", elapsed_ms);
+      out.KeyValue("kreq_per_s",
+                   static_cast<double>(request_count) / elapsed_ms);
+    });
   }
 
   // Tracing overhead: the same single-thread run with and without a Tracer
@@ -262,10 +291,20 @@ int main(int argc, char** argv) {
                 "%.2f%%)\n",
                 kReps, plain_ms, sampled_ms, overhead_pct, kSamplePeriod,
                 sampled_tracer.spans_recorded(), full_ms, full_pct);
+    json.Row([&](JsonWriter& out) {
+      out.KeyValue("mode", "tracing_overhead");
+      out.KeyValue("plain_ms", plain_ms);
+      out.KeyValue("sampled_ms", sampled_ms);
+      out.KeyValue("overhead_pct", overhead_pct);
+      out.KeyValue("full_ms", full_ms);
+      out.KeyValue("full_pct", full_pct);
+      out.KeyValue("spans_recorded", sampled_tracer.spans_recorded());
+    });
   }
 
   std::printf("# expected shape: throughput grows with threads until "
               "min(groups, cores); single-shard stays flat at the 1-thread "
               "rate; tracing overhead stays under 5%%\n");
+  json.Write();
   return 0;
 }

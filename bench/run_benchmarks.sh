@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting ablation benches and collects their outputs.
+#
+#   bench/run_benchmarks.sh [build_dir] [out_dir]
+#
+# build_dir defaults to ./build (must already contain compiled bench
+# binaries); out_dir defaults to ./bench_out. Produces:
+#   BENCH_simd.json         — ablation_flat_tree, incl. the SIMD-vs-scalar
+#                             batch A/B rows and the active kernel tier
+#   BENCH_concurrency.json  — ablation_service_concurrency thread sweep,
+#                             batched admission, tracing overhead
+# Sizes default to the CI smoke shape; override via FLAT_TREE_FLAGS /
+# CONCURRENCY_FLAGS. Every bench self-checks equivalence before timing and
+# exits nonzero on any mismatch, so a green run is also a correctness gate.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_out}"
+FLAT_TREE_FLAGS="${FLAT_TREE_FLAGS:---max_n=10 --records=1500 --max_wide_n=128}"
+CONCURRENCY_FLAGS="${CONCURRENCY_FLAGS:---groups=8 --requests=20000}"
+
+if [[ ! -x "${BUILD_DIR}/bench/ablation_flat_tree" ]]; then
+  echo "error: ${BUILD_DIR}/bench/ablation_flat_tree not built" >&2
+  echo "hint: cmake --build ${BUILD_DIR} --target" \
+       "ablation_flat_tree ablation_service_concurrency" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+echo "== ablation_flat_tree ${FLAT_TREE_FLAGS}"
+# shellcheck disable=SC2086
+"${BUILD_DIR}/bench/ablation_flat_tree" ${FLAT_TREE_FLAGS} \
+  "--json_out=${OUT_DIR}/BENCH_simd.json"
+
+echo "== ablation_service_concurrency ${CONCURRENCY_FLAGS}"
+# shellcheck disable=SC2086
+"${BUILD_DIR}/bench/ablation_service_concurrency" ${CONCURRENCY_FLAGS} \
+  "--json_out=${OUT_DIR}/BENCH_concurrency.json"
+
+echo "== wrote:"
+ls -l "${OUT_DIR}"/BENCH_*.json

@@ -1,6 +1,8 @@
 #include "core/instance_validator.h"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace geolic {
 
@@ -16,6 +18,32 @@ LicenseSet LinearInstanceValidator::SatisfyingSet(
     }
   }
   return set;
+}
+
+SoaInstanceValidator::SoaInstanceValidator(const LicenseCatalog* licenses)
+    : licenses_(licenses) {
+  std::vector<HyperRect> rects;
+  rects.reserve(static_cast<size_t>(licenses->size()));
+  for (const License& license : licenses->licenses()) {
+    rects.push_back(license.rect());
+  }
+  rects_ = SoaRects::Build(rects);
+}
+
+LicenseSet SoaInstanceValidator::SatisfyingSet(const License& issued) const {
+  if (licenses_->empty()) {
+    return LicenseSet();
+  }
+  // The catalog enforces uniform content key and permission, so one compare
+  // stands in for the per-license InstanceContains prechecks.
+  const License& first = licenses_->at(0);
+  if (first.content_key() != issued.content_key() ||
+      first.permission() != issued.permission()) {
+    return LicenseSet();
+  }
+  uint64_t out[kMaxLicenseWords];
+  rects_.Containing(issued.rect(), out);
+  return LicenseSet::FromWords({out, rects_.result_words()});
 }
 
 RtreeInstanceValidator::RtreeInstanceValidator(const LicenseCatalog* licenses,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geometry/rtree.h"
+#include "geometry/soa_rects.h"
 #include "licensing/license_catalog.h"
 #include "util/license_set.h"
 #include "util/status.h"
@@ -36,6 +37,23 @@ class LinearInstanceValidator : public InstanceValidator {
 
  private:
   const LicenseCatalog* licenses_;
+};
+
+// SoA column-sweep scan (geometry/soa_rects.h): the per-license rect loop
+// becomes contiguous per-dimension sweeps through the runtime-dispatched
+// SIMD kernels, with one scalar content/permission compare covering the
+// whole catalog (uniform by construction). Bit-identical results to
+// LinearInstanceValidator on every input.
+class SoaInstanceValidator : public InstanceValidator {
+ public:
+  // `licenses` must outlive the validator.
+  explicit SoaInstanceValidator(const LicenseCatalog* licenses);
+
+  LicenseSet SatisfyingSet(const License& issued) const override;
+
+ private:
+  const LicenseCatalog* licenses_;
+  SoaRects rects_;
 };
 
 // R-tree-backed lookup: candidate licenses come from a containment query on

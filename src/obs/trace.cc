@@ -26,6 +26,8 @@ const char* TraceStageName(TraceStage stage) {
       return "tree_division";
     case TraceStage::kOfflineValidation:
       return "offline_validation";
+    case TraceStage::kInstanceSoaScan:
+      return "instance_soa_scan";
   }
   return "unknown";
 }

@@ -30,9 +30,11 @@ enum class TraceStage : uint8_t {
   kRecoveryReplay,       // IssuanceService::Recover replay + verification.
   kTreeDivision,         // Offline D_T: tree build / arena compile.
   kOfflineValidation,    // Offline V_T: equation-engine run.
+  kInstanceSoaScan,      // SIMD SoA column sweep of the satisfying-set
+                         // lookup (IssuanceService's kInstanceCheck split).
 };
 
-inline constexpr int kTraceStageCount = 9;
+inline constexpr int kTraceStageCount = 10;
 
 // Stable snake_case name used in exposition labels ("instance_check", ...).
 const char* TraceStageName(TraceStage stage);

@@ -7,6 +7,7 @@
 
 #include "persist/checkpoint.h"
 #include "util/check.h"
+#include "util/request_arena.h"
 #include "util/stopwatch.h"
 
 namespace geolic {
@@ -64,6 +65,13 @@ IssuanceService::IssuanceService(const LicenseCatalog* licenses,
   for (int s = 0; s < shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  // Precompute every equation scope once: RouteSet hands out references
+  // into these, so the per-request path never copies a LicenseSet.
+  all_mask_ = licenses_->AllMask();
+  group_scopes_.reserve(static_cast<size_t>(grouping_.group_count()));
+  for (int g = 0; g < grouping_.group_count(); ++g) {
+    group_scopes_.push_back(grouping_.GroupMask(g));
+  }
 }
 
 Result<std::unique_ptr<IssuanceService>> IssuanceService::Create(
@@ -87,9 +95,8 @@ Result<std::unique_ptr<IssuanceService>> IssuanceService::CreateWithHistory(
       return Status::InvalidArgument(
           "history record references unknown license indexes");
     }
-    LicenseSet scope;
     size_t shard_index = 0;
-    service->RouteSet(record.set, &scope, &shard_index);
+    const LicenseSet& scope = service->RouteSet(record.set, &shard_index);
     if (!(record.set).IsSubsetOf(scope)) {
       // Satisfying sets always lie within one overlap group (every member
       // contains the issued rectangle, so they pairwise overlap); a record
@@ -109,20 +116,19 @@ size_t IssuanceService::ShardOf(int group) const {
   return static_cast<size_t>(group) % shards_.size();
 }
 
-void IssuanceService::RouteSet(LicenseSet s, LicenseSet* scope,
-                               size_t* shard) const {
+const LicenseSet& IssuanceService::RouteSet(const LicenseSet& s,
+                                            size_t* shard) const {
   if (options_.use_grouping) {
-    const int group = grouping_.GroupOf((s).Lowest());
-    *scope = grouping_.GroupMask(group);
+    const int group = grouping_.GroupOf(s.Lowest());
     *shard = ShardOf(group);
-  } else {
-    *scope = licenses_->AllMask();
-    *shard = 0;
+    return group_scopes_[static_cast<size_t>(group)];
   }
+  *shard = 0;
+  return all_mask_;
 }
 
 Status IssuanceService::AdmitLocked(Shard* shard, const License& issued,
-                                    LicenseSet scope,
+                                    const LicenseSet& scope,
                                     OnlineDecision* decision,
                                     RequestTrace* trace) {
   const LicenseSet s = decision->satisfying_set;
@@ -186,7 +192,7 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
   // Lock-free fast-reject: the geometry is immutable, so the satisfying-set
   // lookup needs no shard lock.
   {
-    ScopedStageTimer stage(&trace, TraceStage::kInstanceCheck);
+    ScopedStageTimer stage(&trace, TraceStage::kInstanceSoaScan);
     decision.satisfying_set = instance_validator_.SatisfyingSet(issued);
   }
   if (decision.satisfying_set.Empty()) {
@@ -197,9 +203,8 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
   decision.instance_valid = true;
   SimYield(options_, "instance_checked");
 
-  LicenseSet scope;
   size_t shard_index = 0;
-  RouteSet(decision.satisfying_set, &scope, &shard_index);
+  const LicenseSet& scope = RouteSet(decision.satisfying_set, &shard_index);
   Shard* shard = shards_[shard_index].get();
   SimYield(options_, "pre_shard_lock");
   {
@@ -228,27 +233,44 @@ Result<OnlineDecision> IssuanceService::TryIssue(const License& issued) {
 
 Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
     const std::vector<License>& batch) {
+  std::vector<OnlineDecision> decisions(batch.size());
+  GEOLIC_RETURN_IF_ERROR(TryIssueBatch(std::span<const License>(batch),
+                                       std::span<OnlineDecision>(decisions)));
+  return decisions;
+}
+
+Status IssuanceService::TryIssueBatch(std::span<const License> batch,
+                                      std::span<OnlineDecision> decisions) {
+  GEOLIC_DCHECK(decisions.size() >= batch.size());
   RequestTimer timer(options_.sim_hooks);
   metrics_->RecordBatch(batch.size());
-  std::vector<OnlineDecision> decisions(batch.size());
+
+  // Batch scratch lives in the calling thread's request arena and is
+  // released wholesale when the call returns — zero heap traffic after the
+  // arena's first-use warmup.
+  RequestArena& arena = ThreadLocalRequestArena();
+  const ArenaScope scratch(&arena);
 
   // Pass 1, lock-free: satisfying sets, instance rejects, shard routing.
+  // Scopes are routed per admission in pass 2 (a reference lookup, not a
+  // copy), so a pending entry stays a trivially-destructible POD the arena
+  // can drop without running destructors.
   struct Pending {
     size_t shard;
     size_t index;
-    LicenseSet scope;
   };
-  std::vector<Pending> pending;
-  pending.reserve(batch.size());
+  Pending* pending = arena.AllocateArray<Pending>(batch.size());
+  size_t pending_count = 0;
   {
     // One standalone span for the whole lock-free pass (request_id 0): the
     // per-request work here is too fine to time individually.
-    ScopedTracerSpan pass1(options_.tracer, TraceStage::kInstanceCheck);
+    ScopedTracerSpan pass1(options_.tracer, TraceStage::kInstanceSoaScan);
     for (size_t i = 0; i < batch.size(); ++i) {
       if (batch[i].aggregate_count() <= 0) {
         return Status::InvalidArgument(
             "issued license must carry a positive count");
       }
+      decisions[i] = OnlineDecision();
       decisions[i].satisfying_set =
           instance_validator_.SatisfyingSet(batch[i]);
       if (decisions[i].satisfying_set.Empty()) {
@@ -256,24 +278,26 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
         continue;
       }
       decisions[i].instance_valid = true;
-      Pending p;
-      p.index = i;
-      RouteSet(decisions[i].satisfying_set, &p.scope, &p.shard);
-      pending.push_back(p);
+      size_t shard_index = 0;
+      (void)RouteSet(decisions[i].satisfying_set, &shard_index);
+      pending[pending_count++] = Pending{shard_index, i};
     }
   }
 
   // Pass 2: group by shard so each touched shard is locked once per batch.
-  // Stable sort keeps the batch's relative order within a shard, so the
-  // decisions match a sequential TryIssue loop (cross-shard order cannot
-  // matter: different shards share no equations).
-  std::stable_sort(pending.begin(), pending.end(),
-                   [](const Pending& a, const Pending& b) {
-                     return a.shard < b.shard;
-                   });
+  // Sorting by (shard, index) keeps the batch's relative order within a
+  // shard — the same order a stable shard-only sort would give, without
+  // stable_sort's temporary buffer — so the decisions match a sequential
+  // TryIssue loop (cross-shard order cannot matter: different shards share
+  // no equations).
+  std::sort(pending, pending + pending_count,
+            [](const Pending& a, const Pending& b) {
+              return a.shard != b.shard ? a.shard < b.shard
+                                        : a.index < b.index;
+            });
   SimYield(options_, "batch_routed");
   size_t at = 0;
-  while (at < pending.size()) {
+  while (at < pending_count) {
     const size_t shard_index = pending[at].shard;
     Shard* shard = shards_[shard_index].get();
     SimYield(options_, "pre_shard_lock");
@@ -282,10 +306,13 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
       ScopedTracerSpan wait(options_.tracer, TraceStage::kShardLockWait);
       lock.lock();
     }
-    for (; at < pending.size() && pending[at].shard == shard_index; ++at) {
+    for (; at < pending_count && pending[at].shard == shard_index; ++at) {
       const Pending& p = pending[at];
       RequestTrace trace(options_.tracer);
-      const Status admitted = AdmitLocked(shard, batch[p.index], p.scope,
+      size_t routed_shard = 0;
+      const LicenseSet& scope =
+          RouteSet(decisions[p.index].satisfying_set, &routed_shard);
+      const Status admitted = AdmitLocked(shard, batch[p.index], scope,
                                           &decisions[p.index], &trace);
       if (!admitted.ok()) {
         trace.Finish(TraceOutcome::kError);
@@ -302,7 +329,14 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
       }
     }
   }
-  return decisions;
+  return Status::Ok();
+}
+
+void IssuanceService::ReserveLogCapacity(size_t records_per_shard) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->log.Reserve(records_per_shard);
+  }
 }
 
 LogStore IssuanceService::CollectLog() const {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/grouping.h"
@@ -102,6 +103,14 @@ class IssuanceService {
   Result<std::vector<OnlineDecision>> TryIssueBatch(
       const std::vector<License>& batch);
 
+  // Allocation-free variant: identical decision semantics, but the caller
+  // owns the decision storage (`decisions.size() >= batch.size()`; entries
+  // are overwritten) and all batch scratch comes from the calling thread's
+  // RequestArena — after warmup the steady state performs no heap
+  // allocation (see docs/DESIGN.md, "Arena lifetime rules").
+  Status TryIssueBatch(std::span<const License> batch,
+                       std::span<OnlineDecision> decisions);
+
   // Snapshot of all accepted issuances, shard by shard (within a shard:
   // admission order). Feedable to the offline validators; equal as a
   // multiset to any serial replay of the accepted set.
@@ -151,6 +160,11 @@ class IssuanceService {
   const OnlineValidatorOptions& options() const { return options_; }
   int shard_count() const { return static_cast<int>(shards_.size()); }
 
+  // Pre-sizes every shard's log record table for `records_per_shard`
+  // appends, so steady-state admission never regrows it. Call before
+  // issuance traffic starts (not synchronized against in-flight requests).
+  void ReserveLogCapacity(size_t records_per_shard);
+
   // Decision counters and latency histogram. Points at options.metrics
   // when that was set, else at a service-owned block.
   const IssuanceMetrics& metrics() const { return *metrics_; }
@@ -177,19 +191,27 @@ class IssuanceService {
   // Shard that owns license group `group` (groups striped over shards).
   size_t ShardOf(int group) const;
   // Equation scope for satisfying set `s` (its group's mask, or the full
-  // set without grouping), plus the owning shard index.
-  void RouteSet(LicenseSet s, LicenseSet* scope, size_t* shard) const;
+  // set without grouping), plus the owning shard index. The returned
+  // reference aliases a scope precomputed at construction (group_scopes_ /
+  // all_mask_) — no copy, valid for the service's lifetime.
+  const LicenseSet& RouteSet(const LicenseSet& s, size_t* shard) const;
   // Equation check + tree/log update for one request. Caller holds
   // `shard.mutex`. `decision` already carries the satisfying set; `trace`
   // collects the equation-scan and journal-append spans (never null — pass
   // a RequestTrace built from a null tracer to run untraced).
-  Status AdmitLocked(Shard* shard, const License& issued, LicenseSet scope,
-                     OnlineDecision* decision, RequestTrace* trace);
+  Status AdmitLocked(Shard* shard, const License& issued,
+                     const LicenseSet& scope, OnlineDecision* decision,
+                     RequestTrace* trace);
 
   const LicenseCatalog* licenses_;
   OnlineValidatorOptions options_;
   LicenseGrouping grouping_;
-  LinearInstanceValidator instance_validator_;  // Immutable ⇒ lock-free.
+  SoaInstanceValidator instance_validator_;  // Immutable ⇒ lock-free.
+  // Equation scopes, one per overlap group, plus the ungrouped full mask —
+  // built once so the hot path hands out references instead of copying a
+  // LicenseSet (which may heap-allocate) per request.
+  std::vector<LicenseSet> group_scopes_;
+  LicenseSet all_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
   IssuanceMetrics owned_metrics_;
   IssuanceMetrics* metrics_;  // == options_.metrics or &owned_metrics_.

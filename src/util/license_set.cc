@@ -1,8 +1,91 @@
 #include "util/license_set.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace geolic {
+namespace {
+
+#ifndef GEOLIC_LICENSE_SET_NO_POOL
+
+// Thread-local pool of heap word spans, bucketed by exact word count.
+// Spilled sets are the per-equation currency of wide-catalog request
+// traffic (every `s | subset` in the scan allocates one), so recycling
+// spans makes the steady-state admission path allocation-free. Free lists
+// are intrusive: a cached span's first 8 bytes hold the next pointer.
+// Spans may migrate between threads (allocated on one, freed into
+// another's pool) — they are plain new[] memory either way.
+struct SpanPool {
+  // Bounds per-thread retention to ~1 MiB at the widest bucket.
+  static constexpr uint32_t kMaxPerBucket = 1024;
+
+  void* head[kMaxLicenseWords + 1] = {};
+  uint32_t count[kMaxLicenseWords + 1] = {};
+
+  ~SpanPool();
+};
+
+// Guard against static-destruction-order races: a static LicenseSet that
+// outlives the thread_local pool must fall back to plain delete[], not
+// touch the destroyed pool.
+thread_local SpanPool* tls_pool = nullptr;
+thread_local bool tls_pool_dead = false;
+
+SpanPool::~SpanPool() {
+  for (uint32_t w = 2; w <= static_cast<uint32_t>(kMaxLicenseWords); ++w) {
+    void* span = head[w];
+    while (span != nullptr) {
+      void* next;
+      std::memcpy(&next, span, sizeof(next));
+      delete[] static_cast<uint64_t*>(span);
+      span = next;
+    }
+  }
+  tls_pool = nullptr;
+  tls_pool_dead = true;
+}
+
+SpanPool* GetPool() {
+  if (tls_pool != nullptr) {
+    return tls_pool;
+  }
+  if (tls_pool_dead) {
+    return nullptr;
+  }
+  thread_local SpanPool pool;
+  tls_pool = &pool;
+  return tls_pool;
+}
+
+#endif  // GEOLIC_LICENSE_SET_NO_POOL
+
+}  // namespace
+
+uint64_t* LicenseSet::AllocWords(uint32_t num_words) {
+#ifndef GEOLIC_LICENSE_SET_NO_POOL
+  SpanPool* pool = GetPool();
+  if (pool != nullptr && pool->head[num_words] != nullptr) {
+    uint64_t* span = static_cast<uint64_t*>(pool->head[num_words]);
+    std::memcpy(&pool->head[num_words], span, sizeof(void*));
+    --pool->count[num_words];
+    return span;
+  }
+#endif
+  return new uint64_t[num_words];
+}
+
+void LicenseSet::FreeWords(uint64_t* span, uint32_t num_words) {
+#ifndef GEOLIC_LICENSE_SET_NO_POOL
+  SpanPool* pool = GetPool();
+  if (pool != nullptr && pool->count[num_words] < SpanPool::kMaxPerBucket) {
+    std::memcpy(span, &pool->head[num_words], sizeof(void*));
+    pool->head[num_words] = span;
+    ++pool->count[num_words];
+    return;
+  }
+#endif
+  delete[] span;
+}
 
 LicenseSet LicenseSet::FromWords(std::span<const uint64_t> words) {
   size_t top = words.size();
@@ -16,7 +99,7 @@ LicenseSet LicenseSet::FromWords(std::span<const uint64_t> words) {
     return set;
   }
   set.num_words_ = static_cast<uint32_t>(top);
-  set.heap_ = new uint64_t[top];
+  set.heap_ = AllocWords(set.num_words_);
   std::copy_n(words.data(), top, set.heap_);
   return set;
 }
@@ -25,7 +108,8 @@ LicenseSet LicenseSet::SingletonSlow(int index) {
   const uint32_t w = static_cast<uint32_t>(index) / 64;
   LicenseSet set;
   set.num_words_ = w + 1;
-  set.heap_ = new uint64_t[w + 1]();
+  set.heap_ = AllocWords(w + 1);
+  std::fill_n(set.heap_, w, uint64_t{0});
   set.heap_[w] = uint64_t{1} << (static_cast<uint32_t>(index) % 64);
   return set;
 }
@@ -46,7 +130,7 @@ LicenseSet LicenseSet::Full(int n) {
   const uint32_t total = full_words + (spare_bits != 0 ? 1 : 0);
   LicenseSet set;
   set.num_words_ = total;
-  set.heap_ = new uint64_t[total];
+  set.heap_ = AllocWords(total);
   for (uint32_t w = 0; w < full_words; ++w) {
     set.heap_[w] = ~uint64_t{0};
   }
@@ -66,8 +150,9 @@ LicenseSet LicenseSet::FromIndexes(const std::vector<int>& indexes) {
 
 void LicenseSet::AddSlow(int index) {
   const uint32_t w = static_cast<uint32_t>(index) / 64;
-  uint64_t* grown = new uint64_t[w + 1]();
+  uint64_t* grown = AllocWords(w + 1);
   std::copy_n(words(), num_words_, grown);
+  std::fill_n(grown + num_words_, w + 1 - num_words_, uint64_t{0});
   grown[w] |= uint64_t{1} << (static_cast<uint32_t>(index) % 64);
   DestroyHeap();
   num_words_ = w + 1;
@@ -80,7 +165,7 @@ void LicenseSet::CopyFrom(const LicenseSet& other) {
     inline_word_ = other.inline_word_;
     return;
   }
-  heap_ = new uint64_t[num_words_];
+  heap_ = AllocWords(num_words_);
   std::copy_n(other.heap_, num_words_, heap_);
 }
 
@@ -97,16 +182,14 @@ void LicenseSet::Normalize() {
   }
   if (top == 1) {
     const uint64_t word = heap_[0];
-    delete[] heap_;
+    FreeWords(heap_, num_words_);
     num_words_ = 1;
     inline_word_ = word;
     return;
   }
-  // Keep the allocation; only the logical width shrinks. Canonical-form
-  // consumers read words() through num_words_ and never past it.
-  uint64_t* shrunk = new uint64_t[top];
+  uint64_t* shrunk = AllocWords(top);
   std::copy_n(heap_, top, shrunk);
-  delete[] heap_;
+  FreeWords(heap_, num_words_);
   num_words_ = top;
   heap_ = shrunk;
 }
@@ -120,7 +203,7 @@ LicenseSet& LicenseSet::operator|=(const LicenseSet& other) {
     }
     return *this;
   }
-  uint64_t* grown = new uint64_t[other.num_words_];
+  uint64_t* grown = AllocWords(other.num_words_);
   const uint64_t* a = words();
   const uint64_t* b = other.heap_;
   for (uint32_t w = 0; w < other.num_words_; ++w) {

@@ -382,6 +382,14 @@ class LicenseSet {
   static LicenseSet SingletonSlow(int index);
   void AddSlow(int index);
 
+  // All heap word spans go through these: a thread-local free-list pool
+  // (bucketed by exact word count) recycles spans so steady-state request
+  // traffic on wide catalogs performs no heap allocation. Compiled down to
+  // plain new[]/delete[] when GEOLIC_LICENSE_SET_NO_POOL is defined
+  // (sanitizer builds — the pool would mask use-after-free).
+  static uint64_t* AllocWords(uint32_t num_words);
+  static void FreeWords(uint64_t* span, uint32_t num_words);
+
   const uint64_t* words() const {
     return num_words_ == 1 ? &inline_word_ : heap_;
   }
@@ -389,7 +397,7 @@ class LicenseSet {
 
   void DestroyHeap() {
     if (num_words_ > 1) {
-      delete[] heap_;
+      FreeWords(heap_, num_words_);
     }
   }
   void CopyFrom(const LicenseSet& other);

@@ -1,0 +1,62 @@
+#include "util/request_arena.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace geolic {
+namespace {
+
+inline size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+RequestArena::RequestArena(size_t first_block_bytes) {
+  const size_t size = std::max<size_t>(first_block_bytes, 64);
+  blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+  capacity_bytes_ = size;
+}
+
+void* RequestArena::Allocate(size_t bytes, size_t align) {
+  GEOLIC_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  Block& block = blocks_[mark_.block];
+  const size_t offset = AlignUp(mark_.offset, align);
+  if (offset + bytes <= block.size) {
+    mark_.offset = offset + bytes;
+    return block.data.get() + offset;
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* RequestArena::AllocateSlow(size_t bytes, size_t align) {
+  // Block starts are operator-new[] storage, aligned to max_align_t —
+  // enough for every type the hot path allocates, so offset 0 satisfies
+  // any supported `align`.
+  (void)align;
+  // Move to the next retained block that fits; allocate a doubled block
+  // only when none does.
+  while (mark_.block + 1 < blocks_.size()) {
+    ++mark_.block;
+    mark_.offset = 0;
+    if (bytes <= blocks_[mark_.block].size) {
+      mark_.offset = bytes;
+      return blocks_[mark_.block].data.get();
+    }
+  }
+  const size_t last_size = blocks_.back().size;
+  const size_t size = std::max(bytes, last_size * 2);
+  blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+  capacity_bytes_ += size;
+  mark_.block = blocks_.size() - 1;
+  mark_.offset = bytes;
+  return blocks_.back().data.get();
+}
+
+RequestArena& ThreadLocalRequestArena() {
+  thread_local RequestArena arena;
+  return arena;
+}
+
+}  // namespace geolic

@@ -1,0 +1,92 @@
+#ifndef GEOLIC_UTIL_REQUEST_ARENA_H_
+#define GEOLIC_UTIL_REQUEST_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace geolic {
+
+// Monotonic bump allocator for per-request scratch on the admission hot
+// path. Blocks are retained across Reset(), so after the first request has
+// warmed a thread's arena to its high-water mark, steady-state requests
+// perform zero heap allocations: every AllocateArray is a pointer bump.
+//
+// Lifetime rules (see docs/DESIGN.md):
+//  * An arena is single-threaded; share via ThreadLocalRequestArena().
+//  * Allocations are valid until the enclosing ArenaScope rewinds (or
+//    Reset() is called) — never hand arena memory to anything that
+//    outlives the request.
+//  * Only trivially-destructible types: nothing runs destructors.
+class RequestArena {
+ public:
+  explicit RequestArena(size_t first_block_bytes = 4096);
+
+  RequestArena(const RequestArena&) = delete;
+  RequestArena& operator=(const RequestArena&) = delete;
+
+  // Uninitialized storage for `count` objects of T, aligned for T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Raw aligned storage. `align` must be a power of two.
+  void* Allocate(size_t bytes, size_t align);
+
+  // Rewinds everything; keeps every block for reuse.
+  void Reset() { mark_ = Mark{0, 0}; }
+
+  // Watermark for nested scopes (ArenaScope).
+  struct Mark {
+    size_t block;
+    size_t offset;
+  };
+  Mark mark() const { return mark_; }
+  void Rewind(Mark mark) { mark_ = mark; }
+
+  // Observers for the allocation tests.
+  size_t block_count() const { return blocks_.size(); }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  // Grows to a block that fits `bytes` and retries the bump.
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  std::vector<Block> blocks_;
+  Mark mark_{0, 0};
+  size_t capacity_bytes_ = 0;
+};
+
+// The calling thread's arena (created on first use, grows to the thread's
+// request high-water mark, lives until thread exit).
+RequestArena& ThreadLocalRequestArena();
+
+// RAII request scope: captures the arena watermark and rewinds on exit, so
+// nested users (a batch admission calling per-request helpers) stack.
+class ArenaScope {
+ public:
+  explicit ArenaScope(RequestArena* arena)
+      : arena_(arena), mark_(arena->mark()) {}
+  ~ArenaScope() { arena_->Rewind(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  RequestArena* arena_;
+  RequestArena::Mark mark_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_UTIL_REQUEST_ARENA_H_

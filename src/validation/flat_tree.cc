@@ -4,6 +4,10 @@
 #include <bit>
 #include <utility>
 
+#include "util/check.h"
+#include "util/cpu_dispatch.h"
+#include "validation/flat_tree_batch.h"
+
 namespace geolic {
 namespace {
 
@@ -65,6 +69,10 @@ FlatValidationTree FlatValidationTree::Compile(const ValidationTree& tree) {
   // them all; a tree confined to indexes < 64 keeps the stride at 1 and the
   // arena is exactly the historical u64 column.
   flat.mask_words_ = static_cast<uint32_t>(flat.present_.WordCount());
+  for (const int32_t idx : flat.index_) {
+    flat.member_span_ =
+        std::max(flat.member_span_, static_cast<uint32_t>(idx) + 1);
+  }
   flat.subtree_mask_words_.assign(masks.size() * flat.mask_words_, 0);
   for (size_t i = 0; i < masks.size(); ++i) {
     for (uint32_t w = 0; w < flat.mask_words_; ++w) {
@@ -164,21 +172,70 @@ int64_t FlatValidationTree::SumSubsetsNoAccel(const LicenseSet& set,
   return sum;
 }
 
+internal::FlatTreeBatchView FlatValidationTree::BatchView() const {
+  return internal::FlatTreeBatchView{
+      index_.data(),          count_.data(), subtree_end_.data(),
+      subtree_mask_words_.data(),            subtree_sum_.data(),
+      index_.size(),          mask_words_,   member_span_};
+}
+
+void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseSet> sets,
+                                         std::span<int64_t> sums,
+                                         uint64_t* nodes_visited) const {
+  GEOLIC_DCHECK(sums.size() >= sets.size());
+  // One tier pick per batch call; the chosen translation unit runs the
+  // whole chunked scan with its lane step inlined (flat_tree_batch.h).
+  const bool single_word = mask_words_ == 1;
+  uint64_t touched;
+  switch (simd::ActiveTier()) {
+    case simd::Tier::kAvx2:
+      touched = internal::SumSubsetsBatchAvx2Tier(BatchView(), single_word,
+                                                  sets, sums);
+      break;
+    case simd::Tier::kSse42:
+      touched = internal::SumSubsetsBatchSse42Tier(BatchView(), single_word,
+                                                   sets, sums);
+      break;
+    default:
+      touched = internal::SumSubsetsBatchScalarTier(BatchView(), single_word,
+                                                    sets, sums);
+      break;
+  }
+  if (nodes_visited != nullptr) {
+    *nodes_visited += touched;
+  }
+}
+
+void FlatValidationTree::SumSubsetsBatchScalar(std::span<const LicenseSet> sets,
+                                               std::span<int64_t> sums,
+                                               uint64_t* nodes_visited) const {
+  GEOLIC_DCHECK(sums.size() >= sets.size());
+  const uint64_t touched = internal::SumSubsetsBatchScalarTier(
+      BatchView(), mask_words_ == 1, sets, sums);
+  if (nodes_visited != nullptr) {
+    *nodes_visited += touched;
+  }
+}
+
+void FlatValidationTree::SumSubsetsBatchWideReference(
+    std::span<const LicenseSet> sets, std::span<int64_t> sums,
+    uint64_t* nodes_visited) const {
+  GEOLIC_DCHECK(sums.size() >= sets.size());
+  const uint64_t touched =
+      internal::SumSubsetsBatchGenericReference(BatchView(), sets, sums);
+  if (nodes_visited != nullptr) {
+    *nodes_visited += touched;
+  }
+}
+
 template <bool kSingleWord>
-void FlatValidationTree::SumSubsetsBatchImpl(std::span<const LicenseSet> sets,
-                                             std::span<int64_t> sums,
-                                             uint64_t* nodes_visited) const {
+void FlatValidationTree::SumSubsetsBatchWordSlicedImpl(
+    std::span<const LicenseSet> sets, std::span<int64_t> sums,
+    uint64_t* nodes_visited) const {
   GEOLIC_DCHECK(sums.size() >= sets.size());
   const size_t size = index_.size();
   const uint32_t words = kSingleWord ? 1 : mask_words_;
   uint64_t touched = 0;
-  // 64 queries share one pruned preorder pass: lane q of the `alive`
-  // bitset says query q still descends the current subtree, so each node
-  // is loaded once per chunk instead of once per query, and every pruning
-  // decision (off-set skip, Theorem-1 skip, covered-subtree summarize) is
-  // taken per lane. Sums and nodes-touched accounting are per (node,
-  // query) and therefore bit-identical to scalar SumSubsets calls,
-  // independent of how callers chunk their equations.
   for (size_t base = 0; base < sets.size(); base += 64) {
     const size_t chunk = std::min<size_t>(64, sets.size() - base);
     const LicenseSet* chunk_sets = sets.data() + base;
@@ -203,10 +260,6 @@ void FlatValidationTree::SumSubsetsBatchImpl(std::span<const LicenseSet> sets,
         member[static_cast<size_t>(idx)] |= uint64_t{1} << q;
       }
     }
-    // (subtree end, lanes to restore on leaving that subtree). Depth is
-    // bounded by kMaxLicensesLarge (path indexes strictly increase), so
-    // the frame array tops out at ~16 KiB of stack — fine for the worker
-    // threads this runs on; revisit before raising kMaxLicensesLarge.
     std::pair<uint32_t, uint64_t> stack[kMaxLicensesLarge + 1];
     size_t depth = 0;
     uint64_t alive = chunk == 64 ? ~uint64_t{0} : (uint64_t{1} << chunk) - 1;
@@ -258,20 +311,14 @@ void FlatValidationTree::SumSubsetsBatchImpl(std::span<const LicenseSet> sets,
   }
 }
 
-void FlatValidationTree::SumSubsetsBatch(std::span<const LicenseSet> sets,
-                                         std::span<int64_t> sums,
-                                         uint64_t* nodes_visited) const {
-  if (mask_words_ == 1) {
-    SumSubsetsBatchImpl<true>(sets, sums, nodes_visited);
-  } else {
-    SumSubsetsBatchImpl<false>(sets, sums, nodes_visited);
-  }
-}
-
-void FlatValidationTree::SumSubsetsBatchWideReference(
+void FlatValidationTree::SumSubsetsBatchWordSliced(
     std::span<const LicenseSet> sets, std::span<int64_t> sums,
     uint64_t* nodes_visited) const {
-  SumSubsetsBatchImpl<false>(sets, sums, nodes_visited);
+  if (mask_words_ == 1) {
+    SumSubsetsBatchWordSlicedImpl<true>(sets, sums, nodes_visited);
+  } else {
+    SumSubsetsBatchWordSlicedImpl<false>(sets, sums, nodes_visited);
+  }
 }
 
 int64_t FlatValidationTree::CountOf(const LicenseSet& set) const {

@@ -11,6 +11,10 @@
 
 namespace geolic {
 
+namespace internal {
+struct FlatTreeBatchView;
+}  // namespace internal
+
 // Read-only arena compile of a ValidationTree, built once per offline run
 // and queried for every validation equation. The pointer tree stays the
 // mutable build/admission structure; this is the equation hot path.
@@ -76,17 +80,42 @@ class FlatValidationTree {
   // sets[i])) with up to 64 equations sharing a single pruned pass over
   // the arena: each node is loaded once per 64-query chunk and pruning
   // decisions are taken per query via a 64-bit lane mask — the shape of
-  // the exhaustive and grouped validator loops. Results and nodes-visited
-  // accounting are bit-identical to per-query SumSubsets calls regardless
-  // of how callers chunk. `sums` must have at least sets.size() entries.
+  // the exhaustive and grouped validator loops. When enough lanes are on
+  // a node's path, the fused covered-test-and-accumulate lane step runs
+  // in vector registers. The whole scan is compiled once per ISA tier
+  // (validation/flat_tree_batch_*.cc) and dispatched per call via
+  // util/cpu_dispatch.h, so the hot loop never pays a per-node indirect
+  // call; results and nodes-visited accounting stay bit-identical to
+  // per-query SumSubsets calls regardless of tier or how callers chunk.
+  // `sums` must have at least sets.size() entries.
   void SumSubsetsBatch(std::span<const LicenseSet> sets,
                        std::span<int64_t> sums,
                        uint64_t* nodes_visited = nullptr) const;
 
+  // The same batch scan pinned to the scalar lane tier (the per-lane
+  // bitmask loop always runs — what GEOLIC_FORCE_SCALAR dispatches to).
+  // Shares this revision's scan-layer improvements (column-major query
+  // words, trimmed per-chunk zeroing); only the lane step differs.
+  void SumSubsetsBatchScalar(std::span<const LicenseSet> sets,
+                             std::span<int64_t> sums,
+                             uint64_t* nodes_visited = nullptr) const;
+
+  // Ablation baseline, preserved verbatim: the pre-SIMD word-sliced batch
+  // scan (row-major query words, per-lane bit-scan loop, untrimmed
+  // per-chunk zeroing) exactly as it shipped before the vectorized scan
+  // replaced it. Kept — like SumSubsetsNoAccel — so the ablation's A/B
+  // measures this revision's full delta rather than a baseline that
+  // silently inherited its scan-layer improvements. Bit-identical sums
+  // and visit accounting to SumSubsetsBatch.
+  void SumSubsetsBatchWordSliced(std::span<const LicenseSet> sets,
+                                 std::span<int64_t> sums,
+                                 uint64_t* nodes_visited = nullptr) const;
+
   // Equivalence-gating references: the generic word-sliced implementations,
-  // forced even when the compile is single-word. Bit-identical to
-  // SumSubsets/SumSubsetsBatch by construction; tests run both paths over
-  // the same equations to gate the inline fast path against the wide one.
+  // forced even when the compile is single-word (and, for the batch, pinned
+  // to the scalar kernel tier). Bit-identical to SumSubsets/SumSubsetsBatch
+  // by construction; tests run both paths over the same equations to gate
+  // the inline fast path against the wide one.
   int64_t SumSubsetsWideReference(const LicenseSet& set,
                                   uint64_t* nodes_visited = nullptr) const;
   void SumSubsetsBatchWideReference(std::span<const LicenseSet> sets,
@@ -121,9 +150,12 @@ class FlatValidationTree {
   template <bool kSingleWord>
   int64_t SumSubsetsImpl(const LicenseSet& set, uint64_t* nodes_visited) const;
   template <bool kSingleWord>
-  void SumSubsetsBatchImpl(std::span<const LicenseSet> sets,
-                           std::span<int64_t> sums,
-                           uint64_t* nodes_visited) const;
+  void SumSubsetsBatchWordSlicedImpl(std::span<const LicenseSet> sets,
+                                     std::span<int64_t> sums,
+                                     uint64_t* nodes_visited) const;
+
+  // Column-pointer view handed to the per-tier batch-scan entry points.
+  internal::FlatTreeBatchView BatchView() const;
 
   std::vector<int32_t> index_;
   std::vector<int64_t> count_;
@@ -131,6 +163,9 @@ class FlatValidationTree {
   std::vector<uint64_t> subtree_mask_words_;  // NodeCount() × mask_words_.
   std::vector<int64_t> subtree_sum_;
   uint32_t mask_words_ = 1;
+  // 1 + the highest license index present — the prefix of the batch
+  // scan's per-chunk membership table that actually needs zeroing.
+  uint32_t member_span_ = 0;
   int64_t total_count_ = 0;
   LicenseSet present_;
 };

@@ -1,0 +1,119 @@
+// SSE4.2 tier of the batched equation scan: 2 × int64 lanes per register
+// pass (PCMPEQQ/BLENDV arrived with SSE4.x). The mid tier for hosts
+// without AVX2; same bit-exactness contract as the other tiers. Only this
+// translation unit in the validation library is compiled with -msse4.2.
+
+#include "validation/flat_tree_batch.h"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <array>
+
+#include "validation/flat_tree_batch_scan.h"
+
+namespace geolic {
+namespace internal {
+namespace {
+
+// kPairMask[n] is the 2 × 64-bit lane mask spelled by the 2-bit group
+// pattern n — one aligned load replaces rebuilding the per-group on_path
+// mask from lane-bit compares.
+struct alignas(16) PairRow {
+  uint64_t lane[2];
+};
+constexpr std::array<PairRow, 4> kPairMask = [] {
+  std::array<PairRow, 4> rows{};
+  for (int n = 0; n < 4; ++n) {
+    for (int k = 0; k < 2; ++k) {
+      rows[static_cast<size_t>(n)].lane[static_cast<size_t>(k)] =
+          (n >> k) & 1 ? ~uint64_t{0} : 0;
+    }
+  }
+  return rows;
+}();
+
+struct Sse42LaneOps {
+  // Two lanes per register pay off later than AVX2's four; multi-word
+  // compiles still amortize the per-word loads sooner than single-word.
+  static constexpr int LaneThreshold(int kwords) {
+    return kwords == 1 ? 16 : 8;
+  }
+
+  template <int kWords>
+  static uint64_t LaneStep(const uint64_t* mask, uint32_t words,
+                           const uint64_t* qcol, uint64_t on_path,
+                           int64_t node_sum, int64_t node_count,
+                           int64_t* sums) {
+    const uint32_t nw = kWords == 0 ? words : kWords;
+    const __m128i v_zero = _mm_setzero_si128();
+    const __m128i v_sum = _mm_set1_epi64x(node_sum);
+    const __m128i v_count = _mm_set1_epi64x(node_count);
+    // The node's mask words broadcast once, outside the group loop.
+    __m128i v_mask[kWords == 0 ? kMaxLicenseWords
+                               : static_cast<size_t>(kWords)];
+    for (uint32_t w = 0; w < nw; ++w) {
+      v_mask[w] = _mm_set1_epi64x(static_cast<int64_t>(mask[w]));
+    }
+    uint64_t covered = 0;
+    // Fold each 2-bit group onto its low bit, giving one marker bit (at
+    // position 2k) per lane pair with any on_path lane; the loop then
+    // bit-scans straight to active pairs — no per-empty-pair branch to
+    // mispredict at mid densities.
+    uint64_t active = on_path | (on_path >> 1);
+    active &= 0x5555555555555555u;
+    // One register pass per active 2-lane group: mask words fold into a
+    // single stray accumulator and the covered test and the accumulate
+    // share its compare mask.
+    for (; active != 0; active &= active - 1) {
+      const size_t g = static_cast<size_t>(std::countr_zero(active));
+      const unsigned pair = (on_path >> g) & 0x3;
+      __m128i stray = v_zero;
+      for (uint32_t w = 0; w < nw; ++w) {
+        const __m128i v_q = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(qcol + w * 64 + g));
+        stray = _mm_or_si128(stray, _mm_andnot_si128(v_q, v_mask[w]));
+      }
+      const __m128i cov_m = _mm_cmpeq_epi64(stray, v_zero);
+      const __m128i path_m = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(kPairMask[pair].lane));
+      __m128i value = _mm_blendv_epi8(v_count, v_sum, cov_m);
+      value = _mm_and_si128(value, path_m);
+      __m128i* slot = reinterpret_cast<__m128i*>(sums + g);
+      _mm_storeu_si128(slot, _mm_add_epi64(_mm_loadu_si128(slot), value));
+      covered |= static_cast<uint64_t>(static_cast<unsigned>(
+                     _mm_movemask_pd(_mm_castsi128_pd(cov_m))))
+                 << g;
+    }
+    return on_path & ~covered;
+  }
+};
+
+}  // namespace
+
+uint64_t SumSubsetsBatchSse42Tier(const FlatTreeBatchView& view,
+                                  bool single_word,
+                                  std::span<const LicenseSet> sets,
+                                  std::span<int64_t> sums) {
+  return BatchScanTier<Sse42LaneOps>(view, single_word, sets, sums);
+}
+
+}  // namespace internal
+}  // namespace geolic
+
+#else  // !defined(__SSE4_2__)
+
+namespace geolic {
+namespace internal {
+uint64_t SumSubsetsBatchSse42Tier(const FlatTreeBatchView& view,
+                                  bool single_word,
+                                  std::span<const LicenseSet> sets,
+                                  std::span<int64_t> sums) {
+  return SumSubsetsBatchScalarTier(view, single_word, sets, sums);
+}
+}  // namespace internal
+}  // namespace geolic
+
+#endif  // defined(__SSE4_2__)

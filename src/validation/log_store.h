@@ -25,6 +25,10 @@ class LogStore {
   // invalid outright) or the count is not positive.
   Status Append(LogRecord record);
 
+  // Pre-sizes the record table so the next `capacity` appends never regrow
+  // it (the allocation-free admission path reserves up front).
+  void Reserve(size_t capacity) { records_.reserve(capacity); }
+
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   const std::vector<LogRecord>& records() const { return records_; }

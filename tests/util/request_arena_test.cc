@@ -1,0 +1,84 @@
+#include "util/request_arena.h"
+
+#include <cstdint>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace geolic {
+namespace {
+
+TEST(RequestArenaTest, AllocationsAreAlignedAndDisjoint) {
+  RequestArena arena(128);
+  char* a = arena.AllocateArray<char>(3);
+  uint64_t* b = arena.AllocateArray<uint64_t>(4);
+  char* c = arena.AllocateArray<char>(1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(uint64_t), 0u);
+  // Writes must not overlap.
+  a[0] = 'x';
+  a[2] = 'y';
+  for (int i = 0; i < 4; ++i) {
+    b[i] = ~uint64_t{0};
+  }
+  c[0] = 'z';
+  EXPECT_EQ(a[0], 'x');
+  EXPECT_EQ(a[2], 'y');
+  EXPECT_EQ(c[0], 'z');
+}
+
+TEST(RequestArenaTest, GrowsPastFirstBlockAndResetsToIt) {
+  RequestArena arena(64);
+  // Far past the first block: forces the doubling slow path.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(arena.AllocateArray<uint64_t>(8), nullptr);
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  const size_t grown_capacity = arena.capacity_bytes();
+  arena.Reset();
+  // Reset retains capacity; the same demand allocates no new blocks.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(arena.AllocateArray<uint64_t>(8), nullptr);
+  }
+  EXPECT_EQ(arena.capacity_bytes(), grown_capacity);
+}
+
+TEST(RequestArenaTest, MarkRewindReleasesSuffix) {
+  RequestArena arena(256);
+  (void)arena.AllocateArray<uint64_t>(4);
+  const RequestArena::Mark mark = arena.mark();
+  void* first_after_mark = arena.Allocate(64, 8);
+  (void)arena.AllocateArray<uint64_t>(16);
+  arena.Rewind(mark);
+  // The next allocation reuses the rewound space.
+  EXPECT_EQ(arena.Allocate(64, 8), first_after_mark);
+}
+
+TEST(RequestArenaTest, ArenaScopeRewindsOnExit) {
+  RequestArena arena(256);
+  void* base = arena.Allocate(16, 8);
+  ASSERT_NE(base, nullptr);
+  void* inner = nullptr;
+  {
+    const ArenaScope scope(&arena);
+    inner = arena.Allocate(32, 8);
+  }
+  // Scope exit rewound to the mark: same address comes back.
+  EXPECT_EQ(arena.Allocate(32, 8), inner);
+}
+
+TEST(RequestArenaTest, ThreadLocalArenasAreDistinct) {
+  RequestArena* main_arena = &ThreadLocalRequestArena();
+  ASSERT_NE(main_arena, nullptr);
+  RequestArena* worker_arena = nullptr;
+  std::thread worker(
+      [&worker_arena] { worker_arena = &ThreadLocalRequestArena(); });
+  worker.join();
+  EXPECT_NE(worker_arena, nullptr);
+  EXPECT_NE(worker_arena, main_arena);
+}
+
+}  // namespace
+}  // namespace geolic
