@@ -1,17 +1,23 @@
 // Ablation: incremental group maintenance (union-find DynamicGrouping)
 // versus full recomputation (overlap graph + DFS) on every license
-// acquisition — the maintenance question behind the paper's figure 6.
-#include <benchmark/benchmark.h>
-
+// acquisition — the maintenance question behind the paper's figure 6 —
+// plus the removal path (dense renumbering, Algorithm 5) under an
+// add/remove churn mix. Machine-readable: --json_out=<path>.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/dynamic_grouping.h"
 #include "core/overlap_graph.h"
 #include "geometry/hyper_rect.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
-namespace geolic {
 namespace {
+
+using namespace geolic;  // NOLINT
 
 std::vector<HyperRect> RandomRects(int n, uint64_t seed) {
   Rng rng(seed);
@@ -29,39 +35,105 @@ std::vector<HyperRect> RandomRects(int n, uint64_t seed) {
   return rects;
 }
 
-// Cost of maintaining groups across a full acquisition history of N
-// licenses, incrementally.
-void BM_GroupingIncremental(benchmark::State& state) {
-  const std::vector<HyperRect> rects =
-      RandomRects(static_cast<int>(state.range(0)), 99);
-  for (auto _ : state) {
-    DynamicGrouping grouping;
-    for (const HyperRect& rect : rects) {
-      GEOLIC_CHECK(grouping.AddLicense(rect).ok());
-      benchmark::DoNotOptimize(grouping.group_count());
-    }
+// Full acquisition history of `rects`, maintained incrementally. Returns
+// elapsed nanos; `sink` defeats dead-code elimination.
+int64_t RunIncremental(const std::vector<HyperRect>& rects, int* sink) {
+  Stopwatch timer;
+  DynamicGrouping grouping;
+  for (const HyperRect& rect : rects) {
+    GEOLIC_CHECK(grouping.AddLicense(rect).ok());
+    *sink += grouping.group_count();
   }
+  return timer.ElapsedNanos();
 }
-BENCHMARK(BM_GroupingIncremental)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
-// Same history, recomputing the overlap graph + DFS after every
-// acquisition (what a naive implementation of the paper does).
-void BM_GroupingRecompute(benchmark::State& state) {
-  const std::vector<HyperRect> rects =
-      RandomRects(static_cast<int>(state.range(0)), 99);
-  for (auto _ : state) {
-    std::vector<HyperRect> prefix;
-    for (const HyperRect& rect : rects) {
-      prefix.push_back(rect);
-      const ComponentSet components =
-          FindComponentsDfs(BuildOverlapGraphFromRects(prefix));
-      benchmark::DoNotOptimize(components.count());
-    }
+// Same history, recomputing overlap graph + DFS after every acquisition
+// (what a naive implementation of the paper does).
+int64_t RunRecompute(const std::vector<HyperRect>& rects, int* sink) {
+  Stopwatch timer;
+  std::vector<HyperRect> prefix;
+  for (const HyperRect& rect : rects) {
+    prefix.push_back(rect);
+    const ComponentSet components =
+        FindComponentsDfs(BuildOverlapGraphFromRects(prefix));
+    *sink += components.count();
   }
+  return timer.ElapsedNanos();
 }
-BENCHMARK(BM_GroupingRecompute)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Churn: keep the live set around n/2, alternating adds (from a rotating
+// pool) with removals — exercises the dense-renumbering removal path the
+// live lifecycle (revoke/expire) rides on.
+int64_t RunChurn(const std::vector<HyperRect>& rects, int steps, int* sink) {
+  Rng rng(4242);
+  Stopwatch timer;
+  DynamicGrouping grouping;
+  int live = 0;
+  size_t next = 0;
+  const int target = std::max(2, static_cast<int>(rects.size()) / 2);
+  for (int step = 0; step < steps; ++step) {
+    const bool add = live == 0 || (rng.Bernoulli(0.5) && live < 2 * target);
+    if (add) {
+      GEOLIC_CHECK(grouping.AddLicense(rects[next % rects.size()]).ok());
+      ++next;
+      ++live;
+    } else {
+      const int victim = static_cast<int>(rng.UniformIndex(
+          static_cast<size_t>(live)));
+      GEOLIC_CHECK(grouping.RemoveLicense(victim).ok());
+      --live;
+    }
+    *sink += grouping.group_count();
+  }
+  return timer.ElapsedNanos();
+}
 
 }  // namespace
-}  // namespace geolic
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using geolic::bench::IntFlag;
+  using geolic::bench::JsonOut;
+
+  const int reps = std::max(1, IntFlag(argc, argv, "reps", 5));
+  const int churn_steps = std::max(10, IntFlag(argc, argv, "churn_steps",
+                                               512));
+  JsonOut json(argc, argv, "ablation_dynamic_grouping");
+
+  std::printf("# Ablation: incremental grouping vs full recomputation "
+              "(4-D rects, best of %d reps)\n", reps);
+  std::printf("%6s  %16s  %16s  %16s\n", "n", "incremental_ns",
+              "recompute_ns", "churn_ns_per_op");
+
+  int sink = 0;
+  for (const int n : {8, 16, 32, 64}) {
+    const std::vector<HyperRect> rects = RandomRects(n, 99);
+    int64_t incremental_ns = std::numeric_limits<int64_t>::max();
+    int64_t recompute_ns = std::numeric_limits<int64_t>::max();
+    int64_t churn_ns = std::numeric_limits<int64_t>::max();
+    for (int rep = 0; rep < reps; ++rep) {
+      incremental_ns = std::min(incremental_ns, RunIncremental(rects, &sink));
+      recompute_ns = std::min(recompute_ns, RunRecompute(rects, &sink));
+      churn_ns = std::min(churn_ns, RunChurn(rects, churn_steps, &sink));
+    }
+    const double churn_per_op =
+        static_cast<double>(churn_ns) / churn_steps;
+    std::printf("%6d  %16ld  %16ld  %16.1f\n", n,
+                static_cast<long>(incremental_ns),
+                static_cast<long>(recompute_ns), churn_per_op);
+    json.Row([&](JsonWriter& out) {
+      out.KeyValue("n", static_cast<int64_t>(n));
+      out.KeyValue("incremental_ns", incremental_ns);
+      out.KeyValue("recompute_ns", recompute_ns);
+      out.KeyValue("churn_steps", static_cast<int64_t>(churn_steps));
+      out.KeyValue("churn_ns_per_op", churn_per_op);
+      out.KeyValue("speedup", incremental_ns > 0
+                                  ? static_cast<double>(recompute_ns) /
+                                        static_cast<double>(incremental_ns)
+                                  : 0.0);
+    });
+  }
+  std::printf("# expected shape: incremental stays near-linear in N while "
+              "recompute grows ~N^3 across the history; sink=%d\n", sink);
+  json.Write();
+  return 0;
+}

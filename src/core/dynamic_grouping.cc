@@ -2,21 +2,30 @@
 
 namespace geolic {
 
+DynamicGrouping::DynamicGrouping(int expected_dimensions)
+    : expected_dimensions_(expected_dimensions) {
+  GEOLIC_CHECK(expected_dimensions > 0);
+}
+
 Result<int> DynamicGrouping::AddLicense(const HyperRect& rect) {
   if (size() >= kMaxLicensesLarge) {
     return Status::CapacityExceeded(
         "dynamic grouping supports at most " +
         std::to_string(kMaxLicensesLarge) + " licenses");
   }
-  if (!rects_.empty() &&
-      rect.dimensions() != rects_.front().dimensions()) {
+  if (expected_dimensions_ < 0) {
+    expected_dimensions_ = rect.dimensions();
+  } else if (rect.dimensions() != expected_dimensions_) {
     return Status::InvalidArgument(
-        "license dimensionality disagrees with earlier licenses");
+        "license dimensionality disagrees with the grouping's dimensions");
   }
-  const int index = size();
+  const int index = union_find_.AddElement();
   ++groups_;  // The newcomer starts as its own group…
+  LicenseSet adjacent;
   for (int other = 0; other < index; ++other) {
     if (rect.Overlaps(rects_[static_cast<size_t>(other)])) {
+      adjacent.Add(other);
+      neighbors_[static_cast<size_t>(other)].Add(index);
       if (union_find_.Union(index, other)) {
         --groups_;  // …and loses one group per component it bridges.
         ++merges_;
@@ -24,31 +33,52 @@ Result<int> DynamicGrouping::AddLicense(const HyperRect& rect) {
     }
   }
   rects_.push_back(rect);
+  neighbors_.push_back(std::move(adjacent));
   return index;
+}
+
+Status DynamicGrouping::RemoveLicense(int index) {
+  if (index < 0 || index >= size()) {
+    return Status::InvalidArgument("license index out of range");
+  }
+  rects_.erase(rects_.begin() + index);
+  neighbors_.erase(neighbors_.begin() + index);
+  for (LicenseSet& mask : neighbors_) {
+    mask = mask.WithIndexErased(index);
+  }
+  // Union-find forests do not support deletion; rebuild from the cached
+  // adjacency masks. O(E α(N)) with no geometry retests.
+  UnionFind rebuilt(size());
+  for (int v = 0; v < size(); ++v) {
+    for (int u : neighbors_[static_cast<size_t>(v)].Indexes()) {
+      if (u < v) {
+        rebuilt.Union(u, v);
+      }
+    }
+  }
+  groups_ = rebuilt.SetCount();
+  union_find_ = std::move(rebuilt);
+  return Status::Ok();
 }
 
 LicenseSet DynamicGrouping::GroupMaskOf(int index) const {
   GEOLIC_CHECK(index >= 0 && index < size());
-  // UnionFind::Find is mutating (path compression); work on a copy for a
-  // const API. Cheap at N ≤ kMaxLicensesLarge.
-  UnionFind scratch = union_find_;
-  const int root = scratch.Find(index);
+  const int root = union_find_.FindRoot(index);
   LicenseSet mask;
   for (int v = 0; v < size(); ++v) {
-    if (scratch.Find(v) == root) {
-      mask |= LicenseSet::Singleton(v);
+    if (union_find_.FindRoot(v) == root) {
+      mask.Add(v);
     }
   }
   return mask;
 }
 
 ComponentSet DynamicGrouping::Components() const {
-  UnionFind scratch = union_find_;
   ComponentSet out;
   out.component_of.assign(static_cast<size_t>(size()), -1);
-  std::vector<int> component_of_root(kMaxLicensesLarge, -1);
+  std::vector<int> component_of_root(static_cast<size_t>(size()), -1);
   for (int v = 0; v < size(); ++v) {
-    const int root = scratch.Find(v);
+    const int root = union_find_.FindRoot(v);
     int& k = component_of_root[static_cast<size_t>(root)];
     if (k == -1) {
       k = static_cast<int>(out.components.size());

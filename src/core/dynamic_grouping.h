@@ -19,15 +19,28 @@ namespace geolic {
 // tests per new license. Ablated against full recomputation in
 // bench/ablation_dynamic_grouping.
 //
-// Licenses are append-only (licenses are acquired, not returned, within a
-// validation period; a period reset starts a fresh grouping).
+// Removal (revoke / expiry) renumbers the survivors densely — license
+// `index` disappears and every higher index shifts down by one, matching
+// the paper's Algorithm 5 index convention. The overlap edges discovered at
+// insertion time are cached per license, so a removal rebuilds the
+// union-find from the cached adjacency masks without re-running any
+// geometry tests.
 class DynamicGrouping {
  public:
-  DynamicGrouping() : union_find_(kMaxLicensesLarge) {}
+  // Dimensionality is fixed by the first license added.
+  DynamicGrouping() = default;
+
+  // Dimensionality is fixed up front; every AddLicense — including the
+  // first — is validated against it.
+  explicit DynamicGrouping(int expected_dimensions);
 
   // Registers the next license's hyper-rectangle; returns its index.
   // The number of overlap tests performed equals the current size.
   Result<int> AddLicense(const HyperRect& rect);
+
+  // Removes license `index`; indexes above it shift down by one. No
+  // geometry retests: components are rebuilt from cached adjacency.
+  Status RemoveLicense(int index);
 
   int size() const { return static_cast<int>(rects_.size()); }
 
@@ -47,7 +60,14 @@ class DynamicGrouping {
   const std::vector<HyperRect>& rects() const { return rects_; }
 
  private:
+  // -1 until fixed by the constructor argument or the first license.
+  int expected_dimensions_ = -1;
   std::vector<HyperRect> rects_;
+  // Overlap neighbours of each license (no self bit), maintained
+  // symmetrically by AddLicense and compacted by RemoveLicense.
+  std::vector<LicenseSet> neighbors_;
+  // Sized to `size()` — grown one element per AddLicense, rebuilt from
+  // `neighbors_` on removal.
   UnionFind union_find_;
   int groups_ = 0;
   int merges_ = 0;

@@ -33,6 +33,11 @@ struct OnlineDecision {
   // Equations checked for this issuance: 2^(N−k) in baseline mode,
   // 2^(N_g−k) with grouping (paper Section 2.1's complexity discussion).
   uint64_t equations_checked = 0;
+  // Service layer only: which catalog epoch this decision was made against
+  // (IssuanceService::catalog_epoch). A concurrent acquire/revoke/expire
+  // advances the epoch, so `satisfying_set` indexes are only meaningful in
+  // this epoch's index space. Always 0 for the plain OnlineValidator.
+  uint64_t catalog_epoch = 0;
 
   bool accepted() const { return instance_valid && aggregate_valid; }
 };
@@ -67,6 +72,11 @@ struct OnlineValidatorOptions {
   // over-issuance bug that sim_runner must catch. Never set outside
   // tests/sim — it breaks the paper's eq. 1 guarantee by construction.
   bool sim_skip_last_equation = false;
+  // Second planted bug, for the lifecycle mutation smoke: on revoke /
+  // expire the service drops cascaded records but skips the Algorithm 5
+  // index renumbering, leaving surviving records' sets at their stale bit
+  // positions. sim_runner --lifecycle must catch the resulting divergence.
+  bool sim_skip_renumbering = false;
 };
 
 // Validates licenses one at a time, as they are generated — the "online"

@@ -99,6 +99,22 @@ int UnionFind::Find(int x) {
   return root;
 }
 
+int UnionFind::FindRoot(int x) const {
+  int root = x;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  return root;
+}
+
+int UnionFind::AddElement() {
+  const int index = static_cast<int>(parent_.size());
+  parent_.push_back(index);
+  rank_.push_back(0);
+  ++set_count_;
+  return index;
+}
+
 bool UnionFind::Union(int a, int b) {
   int ra = Find(a);
   int rb = Find(b);

@@ -41,13 +41,25 @@ ComponentSet FindComponentsUnionFind(const AdjacencyMatrix& graph);
 // Disjoint-set forest over 0..n-1 with union by rank and path compression.
 class UnionFind {
  public:
+  UnionFind() : UnionFind(0) {}
   explicit UnionFind(int n);
 
   // Representative of x's set.
   int Find(int x);
 
+  // Representative of x's set without path compression — usable from const
+  // contexts. Union by rank bounds the walk to O(log n) even when no
+  // compressing Find has run.
+  int FindRoot(int x) const;
+
   // Merges the sets of a and b; returns true if they were distinct.
   bool Union(int a, int b);
+
+  // Appends a new element as a singleton set; returns its index.
+  int AddElement();
+
+  // Number of elements in the forest.
+  int ElementCount() const { return static_cast<int>(parent_.size()); }
 
   // Number of disjoint sets remaining.
   int SetCount() const { return set_count_; }

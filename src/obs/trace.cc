@@ -28,6 +28,8 @@ const char* TraceStageName(TraceStage stage) {
       return "offline_validation";
     case TraceStage::kInstanceSoaScan:
       return "instance_soa_scan";
+    case TraceStage::kShardSwap:
+      return "shard_swap";
   }
   return "unknown";
 }

@@ -32,9 +32,11 @@ enum class TraceStage : uint8_t {
   kOfflineValidation,    // Offline V_T: equation-engine run.
   kInstanceSoaScan,      // SIMD SoA column sweep of the satisfying-set
                          // lookup (IssuanceService's kInstanceCheck split).
+  kShardSwap,            // Catalog reconfiguration: build + publish of a
+                         // new epoch's shard map (acquire/revoke/expire).
 };
 
-inline constexpr int kTraceStageCount = 10;
+inline constexpr int kTraceStageCount = 11;
 
 // Stable snake_case name used in exposition labels ("instance_check", ...).
 const char* TraceStageName(TraceStage stage);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "licensing/license_serialization.h"
 #include "util/crc32c.h"
 
 namespace geolic {
@@ -13,8 +14,17 @@ constexpr size_t kFrameHeaderBytes = 4 + 8 + 4 + 4;  // len, seq, crcs.
 // Writer-side ids are capped like the log store's loader; with the header
 // CRC verified, any larger length is corruption, not a real frame.
 constexpr uint32_t kMaxIdBytes = 4096;
-constexpr uint32_t kMaxPayloadBytes =
-    8 + 4 + 8 * static_cast<uint32_t>(kMaxLicenseWords) + 8 + 4 + kMaxIdBytes;
+// Acquire frames embed a serialized license (ids, content key, per-
+// dimension ranges); 64 KiB bounds every writer-produced payload with
+// room to spare while still rejecting corrupt lengths early.
+constexpr uint32_t kMaxPayloadBytes = 64 * 1024;
+
+// Reconfig payload tags — disjoint from the wide-set word counts (2..16)
+// that share the zero-word escape. See the format comment in journal.h.
+constexpr uint32_t kReconfigTagBit = 0x80000000u;
+constexpr uint32_t kAcquireTag = kReconfigTagBit | 1;
+constexpr uint32_t kRevokeTag = kReconfigTagBit | 2;
+constexpr uint32_t kExpireTag = kReconfigTagBit | 3;
 
 template <typename T>
 void PutScalar(std::string* out, T value) {
@@ -109,6 +119,100 @@ Status DecodeLogRecord(std::string_view bytes, size_t* pos,
   return Status::Ok();
 }
 
+namespace {
+
+// Decodes one frame payload — an admission record or, behind the
+// zero-word/tag escape, a reconfiguration frame — into `entry`.
+Status DecodeJournalPayload(std::string_view payload, JournalEntry* entry) {
+  uint64_t first_word = 0;
+  uint32_t tag = 0;
+  size_t peek = 0;
+  const bool is_reconfig =
+      GetScalar(payload, &peek, &first_word) && first_word == 0 &&
+      GetScalar(payload, &peek, &tag) && (tag & kReconfigTagBit) != 0;
+  if (!is_reconfig) {
+    size_t pos = 0;
+    GEOLIC_RETURN_IF_ERROR(DecodeLogRecord(payload, &pos, &entry->record));
+    if (pos != payload.size()) {
+      return Status::ParseError("trailing bytes inside frame payload");
+    }
+    return Status::Ok();
+  }
+  size_t pos = peek;  // Past the escape word and the tag.
+  switch (tag) {
+    case kAcquireTag: {
+      entry->kind = JournalEntryKind::kAcquire;
+      std::istringstream in{std::string(payload.substr(pos))};
+      GEOLIC_ASSIGN_OR_RETURN(License license, ReadLicenseBinary(&in));
+      if (in.peek() != std::char_traits<char>::eof()) {
+        return Status::ParseError("trailing bytes inside acquire payload");
+      }
+      entry->acquired.emplace(std::move(license));
+      return Status::Ok();
+    }
+    case kRevokeTag: {
+      entry->kind = JournalEntryKind::kRevoke;
+      uint32_t index = 0;
+      uint32_t id_len = 0;
+      if (!GetScalar(payload, &pos, &index) ||
+          !GetScalar(payload, &pos, &id_len)) {
+        return Status::ParseError("revoke fields truncated");
+      }
+      if (index >= static_cast<uint32_t>(kMaxLicensesLarge)) {
+        return Status::ParseError("implausible revoked index");
+      }
+      if (id_len > kMaxIdBytes || payload.size() - pos < id_len) {
+        return Status::ParseError("implausible revoked id length");
+      }
+      entry->revoked_index = static_cast<int>(index);
+      entry->revoked_id.assign(payload.data() + pos, id_len);
+      pos += id_len;
+      if (pos != payload.size()) {
+        return Status::ParseError("trailing bytes inside revoke payload");
+      }
+      return Status::Ok();
+    }
+    case kExpireTag: {
+      entry->kind = JournalEntryKind::kExpire;
+      uint32_t dim = 0;
+      int64_t cutoff = 0;
+      uint32_t removed = 0;
+      if (!GetScalar(payload, &pos, &dim) ||
+          !GetScalar(payload, &pos, &cutoff) ||
+          !GetScalar(payload, &pos, &removed)) {
+        return Status::ParseError("expire fields truncated");
+      }
+      if (removed > static_cast<uint32_t>(kMaxLicensesLarge)) {
+        return Status::ParseError("implausible expired index count");
+      }
+      entry->expire_dim = static_cast<int>(dim);
+      entry->expire_cutoff = cutoff;
+      entry->expired_indexes.reserve(removed);
+      int previous = -1;
+      for (uint32_t i = 0; i < removed; ++i) {
+        uint32_t index = 0;
+        if (!GetScalar(payload, &pos, &index)) {
+          return Status::ParseError("expire fields truncated");
+        }
+        if (index >= static_cast<uint32_t>(kMaxLicensesLarge) ||
+            static_cast<int>(index) <= previous) {
+          return Status::ParseError("expired indexes not ascending");
+        }
+        previous = static_cast<int>(index);
+        entry->expired_indexes.push_back(previous);
+      }
+      if (pos != payload.size()) {
+        return Status::ParseError("trailing bytes inside expire payload");
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::ParseError("unknown reconfiguration tag");
+  }
+}
+
+}  // namespace
+
 Result<std::unique_ptr<JournalWriter>> JournalWriter::Create(
     std::unique_ptr<SyncFile> file, const JournalOptions& options) {
   if (file == nullptr) {
@@ -136,6 +240,56 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
 }
 
 Status JournalWriter::Append(uint64_t seq, const LogRecord& record) {
+  std::string payload;
+  EncodeLogRecord(record, &payload);
+  return AppendFrame(seq, payload);
+}
+
+Status JournalWriter::AppendAcquire(uint64_t seq, const License& license) {
+  std::ostringstream body;
+  GEOLIC_RETURN_IF_ERROR(WriteLicenseBinary(license, &body));
+  std::string payload;
+  PutScalar(&payload, uint64_t{0});
+  PutScalar(&payload, kAcquireTag);
+  payload.append(body.str());
+  return AppendFrame(seq, payload);
+}
+
+Status JournalWriter::AppendRevoke(uint64_t seq, int index,
+                                   std::string_view license_id) {
+  if (index < 0) {
+    return Status::InvalidArgument("revoked index must be non-negative");
+  }
+  std::string payload;
+  PutScalar(&payload, uint64_t{0});
+  PutScalar(&payload, kRevokeTag);
+  PutScalar(&payload, static_cast<uint32_t>(index));
+  PutScalar(&payload, static_cast<uint32_t>(license_id.size()));
+  payload.append(license_id);
+  return AppendFrame(seq, payload);
+}
+
+Status JournalWriter::AppendExpire(uint64_t seq, int dim, int64_t cutoff,
+                                   const std::vector<int>& removed_indexes) {
+  if (dim < 0) {
+    return Status::InvalidArgument("expire dimension must be non-negative");
+  }
+  std::string payload;
+  PutScalar(&payload, uint64_t{0});
+  PutScalar(&payload, kExpireTag);
+  PutScalar(&payload, static_cast<uint32_t>(dim));
+  PutScalar(&payload, cutoff);
+  PutScalar(&payload, static_cast<uint32_t>(removed_indexes.size()));
+  for (const int index : removed_indexes) {
+    if (index < 0) {
+      return Status::InvalidArgument("expired index must be non-negative");
+    }
+    PutScalar(&payload, static_cast<uint32_t>(index));
+  }
+  return AppendFrame(seq, payload);
+}
+
+Status JournalWriter::AppendFrame(uint64_t seq, std::string_view payload) {
   if (poisoned_) {
     return Status::FailedPrecondition(
         "journal writer poisoned by an earlier I/O error");
@@ -143,8 +297,6 @@ Status JournalWriter::Append(uint64_t seq, const LogRecord& record) {
   if (seq == 0) {
     return Status::InvalidArgument("journal sequence numbers start at 1");
   }
-  std::string payload;
-  EncodeLogRecord(record, &payload);
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
   PutScalar(&frame, static_cast<uint32_t>(payload.size()));
@@ -246,11 +398,9 @@ Result<JournalReplay> JournalReader::Parse(std::string_view bytes) {
     previous_seq = seq;
     JournalEntry entry;
     entry.seq = seq;
-    size_t payload_pos = 0;
-    GEOLIC_RETURN_IF_ERROR(DecodeLogRecord(payload, &payload_pos,
-                                           &entry.record));
-    if (payload_pos != payload.size()) {
-      return FrameError(frame_offset, "trailing bytes inside frame payload");
+    const Status decoded = DecodeJournalPayload(payload, &entry);
+    if (!decoded.ok()) {
+      return FrameError(frame_offset, decoded.message());
     }
     replay.entries.push_back(std::move(entry));
     pos = cursor;

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "licensing/license.h"
 #include "obs/trace.h"
 #include "persist/sync_file.h"
 #include "validation/log_record.h"
@@ -27,7 +29,20 @@ namespace geolic {
 //   magic "GLJRNL1\0" (8 bytes), then frames:
 //     payload_len u32 | seq u64 | header_crc u32 (CRC32C of the 12
 //     preceding bytes) | payload_crc u32 (CRC32C of the payload) | payload
-//   payload: set u64 | count i64 | id_len u32 | id bytes
+//   admission payload: set u64 | count i64 | id_len u32 | id bytes
+//
+// A leading set word of 0 cannot occur in a real admission (record sets
+// are never empty), so it escapes to a u32 tag. Tags 2..16 are the wide-set
+// word count (v3 multi-word admissions); tags with the high bit set are the
+// catalog-reconfiguration kinds introduced with the live license lifecycle:
+//   0x80000001 acquire: one license in license_serialization.h binary form
+//   0x80000002 revoke:  index u32 | id_len u32 | id bytes (the revoked
+//              license's catalog index and, as a cross-check, its id)
+//   0x80000003 expire:  dim u32 | cutoff i64 | removed_count u32 |
+//              removed indexes u32 ascending (licenses whose `dim` interval
+//              ends below `cutoff`, recomputed and cross-checked on replay)
+// Reconfig frames share the admission sequence space: replay applies them
+// in order, renumbering every earlier admission record past a removal.
 //
 // Recovery semantics (JournalReader):
 //  * A frame whose bytes end at EOF before completing (torn write /
@@ -71,6 +86,13 @@ class JournalWriter {
   // poisoned and every further append fails.
   Status Append(uint64_t seq, const LogRecord& record);
 
+  // Catalog-reconfiguration frames (see the format comment above). They
+  // share the admission sequence space and the same durability rules.
+  Status AppendAcquire(uint64_t seq, const License& license);
+  Status AppendRevoke(uint64_t seq, int index, std::string_view license_id);
+  Status AppendExpire(uint64_t seq, int dim, int64_t cutoff,
+                      const std::vector<int>& removed_indexes);
+
   // Forces every appended frame to stable storage.
   Status Sync();
 
@@ -87,6 +109,9 @@ class JournalWriter {
   JournalWriter(std::unique_ptr<SyncFile> file, const JournalOptions& options)
       : file_(std::move(file)), options_(options) {}
 
+  // Frames `payload` under `seq`: CRC header, append, batched fsync.
+  Status AppendFrame(uint64_t seq, std::string_view payload);
+
   std::unique_ptr<SyncFile> file_;
   JournalOptions options_;
   Tracer* tracer_ = nullptr;
@@ -96,9 +121,23 @@ class JournalWriter {
 };
 
 // One replayed frame.
+enum class JournalEntryKind : uint8_t {
+  kAdmission = 0,
+  kAcquire,
+  kRevoke,
+  kExpire,
+};
+
 struct JournalEntry {
   uint64_t seq = 0;
-  LogRecord record;
+  JournalEntryKind kind = JournalEntryKind::kAdmission;
+  LogRecord record;                   // kAdmission
+  std::optional<License> acquired;    // kAcquire
+  int revoked_index = 0;              // kRevoke
+  std::string revoked_id;             // kRevoke
+  int expire_dim = 0;                 // kExpire
+  int64_t expire_cutoff = 0;          // kExpire
+  std::vector<int> expired_indexes;   // kExpire, ascending
 };
 
 // Result of scanning a journal.

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/dynamic_grouping.h"
 #include "core/grouping.h"
 #include "core/instance_validator.h"
 #include "core/online_validator.h"
@@ -18,6 +19,7 @@
 #include "validation/flat_tree.h"
 #include "validation/log_store.h"
 #include "validation/validation_tree.h"
+#include "util/date.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -28,6 +30,12 @@ struct RecoveryStats {
   size_t checkpoint_records = 0;         // Records loaded from the checkpoint.
   size_t journal_records_replayed = 0;   // Journal frames past the checkpoint.
   size_t journal_records_skipped = 0;    // Frames the checkpoint already covers.
+  size_t reconfig_records_replayed = 0;  // Acquire/revoke/expire frames applied
+                                         // to the catalog evolution (covered or
+                                         // not — all are needed for indexes).
+  uint64_t recovered_catalog_epoch = 0;  // Final epoch in the journal's
+                                         // numbering (the recovered service
+                                         // itself restarts at epoch 0).
   bool journal_torn_tail = false;        // Journal ended in a torn write.
 };
 
@@ -42,21 +50,39 @@ struct RecoveryStats {
 // guarded by its own mutex; a request only ever locks the one shard its
 // satisfying set lives in.
 //
+// Live license lifecycle (paper Figure 6 + Algorithms 4–5): the catalog,
+// grouping, instance geometry and shard map together form one immutable
+// `CatalogEpoch`, published through an atomic shared_ptr. AcquireLicense /
+// RevokeLicense / ExpireBefore build the next epoch off to the side —
+// re-dividing the shard trees into the new overlap groups and renumbering
+// license indexes densely past a removal — then publish it with a single
+// atomic swap and mark the old epoch retired. Issuance never stops:
+// readers pin the current epoch (a shared_ptr ref, no lock) for the
+// instance fast-reject, and an admission that finds its pinned epoch
+// retired after taking the shard lock simply re-pins and retries against
+// the new shard map. The retired epoch is freed when its last in-flight
+// reader drains (the shared_ptr count).
+//
 // Concurrency contract:
-//  * TryIssue / TryIssueBatch are safe to call from any number of threads.
+//  * TryIssue / TryIssueBatch are safe to call from any number of threads,
+//    including concurrently with the lifecycle calls.
 //  * The instance-based fast-reject path is lock-free: the satisfying-set
-//    lookup reads only immutable state (the license geometry), so requests
-//    outside every license never contend.
+//    lookup reads only the pinned epoch's immutable geometry.
+//  * Lifecycle calls serialize against each other (one reconfiguration at
+//    a time) but never against the admission fast path.
 //  * CollectLog / CollectTree lock shards one at a time and return
 //    snapshots; they can run concurrently with issuance (the snapshot is a
 //    consistent prefix per shard, not a cross-shard instant).
-//  * Accessors (licenses, grouping, options, shard_count) touch immutable
-//    state only.
+//  * Accessors (licenses, grouping, shard_count) read the current epoch;
+//    the references they return are valid until the next reconfiguration.
 //
 // Admissions are linearized per shard, so for any interleaving the final
 // tree/log equal a serial replay of the accepted set (order within a shard
 // is the shard's admission order; cross-shard order is immaterial because
-// the shards share no equations).
+// the shards share no equations). A reconfiguration linearizes at its
+// publish point: admissions before it are carried into the new epoch
+// (renumbered, with records touching a removed license cascade-dropped),
+// admissions after it run against the new catalog.
 class IssuanceService {
  public:
   // `licenses` must be non-empty and outlive the service; so must
@@ -79,11 +105,23 @@ class IssuanceService {
   // checkpoint-only). Frames the checkpoint already covers are skipped; a
   // torn final frame (crash mid-append, never acknowledged as synced) is
   // dropped; any other journal or checkpoint corruption fails loudly with
-  // the bad frame's byte offset. The rebuilt state is verified against a
-  // serial replay of the combined record sequence before returning — the
-  // result is the exact pre-crash accepted set or an error, never silently
-  // wrong. The recovered service has no journal attached; call
-  // AttachJournal with a fresh journal file to resume durable admission.
+  // the bad frame's byte offset.
+  //
+  // Reconfiguration frames replay in sequence with admissions: `licenses`
+  // must be the catalog the journal started from (epoch 0), and each
+  // acquire/revoke/expire frame evolves it — renumbering and cascade-
+  // dropping the accumulated records exactly as the live service did — so
+  // recovery lands on the post-reconfiguration catalog. A v3 checkpoint
+  // carries the epoch it covers, which must match the journal's
+  // reconfiguration history up to the covered sequence. The recovered
+  // service owns its evolved catalog and restarts at epoch 0 (its catalog
+  // is the new baseline; RecoveryStats reports the journal-space epoch).
+  //
+  // The rebuilt state is verified against a serial replay of the combined
+  // record sequence before returning — the result is the exact pre-crash
+  // accepted set or an error, never silently wrong. The recovered service
+  // has no journal attached; call AttachJournal with a fresh journal file
+  // to resume durable admission.
   static Result<std::unique_ptr<IssuanceService>> Recover(
       const LicenseCatalog* licenses, const OnlineValidatorOptions& options,
       const std::string& checkpoint_path, const std::string& journal_path,
@@ -93,13 +131,16 @@ class IssuanceService {
   IssuanceService& operator=(const IssuanceService&) = delete;
 
   // Validates one issuance and records it when accepted. Identical
-  // decision semantics to OnlineValidator::TryIssue.
+  // decision semantics to OnlineValidator::TryIssue. The decision carries
+  // the catalog epoch it was made against.
   Result<OnlineDecision> TryIssue(const License& issued);
 
   // Admits a batch, returning decisions in input order. Requests are
   // processed shard-by-shard (one lock acquisition per shard touched, not
   // per request); within a shard the batch's relative order is preserved,
-  // so the decisions equal a sequential TryIssue loop over the batch.
+  // so the decisions equal a sequential TryIssue loop over the batch. If a
+  // reconfiguration lands mid-batch, the not-yet-admitted remainder
+  // retries against the new epoch — decisions then carry mixed epochs.
   Result<std::vector<OnlineDecision>> TryIssueBatch(
       const std::vector<License>& batch);
 
@@ -110,6 +151,46 @@ class IssuanceService {
   // allocation (see docs/DESIGN.md, "Arena lifetime rules").
   Status TryIssueBatch(std::span<const License> batch,
                        std::span<OnlineDecision> decisions);
+
+  // --- Live license lifecycle (one reconfiguration at a time) ---
+
+  // Adds `license` to the running catalog; returns its index in the new
+  // epoch (always the highest — existing indexes are unchanged by an
+  // acquisition). The license must match the catalog's content key,
+  // permission, type and dimensionality, and carry a unique id. The
+  // overlap grouping updates incrementally (DynamicGrouping); if the
+  // newcomer bridges groups, their shards merge in the new epoch.
+  Result<int> AcquireLicense(const License& license);
+
+  // Removes the license at `index` (current-epoch index). Cascade
+  // semantics: every recorded issuance whose satisfying set contains the
+  // revoked license is dropped from the validation state — usage granted
+  // under a revoked right is revoked with it. Surviving records renumber
+  // densely (indexes above `index` shift down, paper Algorithm 5).
+  // Rejects removing the last license.
+  Status RevokeLicense(int index);
+
+  // Id-addressed form: resolves `id` to its current-epoch index under the
+  // reconfiguration lock, so the caller cannot race a concurrent
+  // reconfiguration that renumbers indexes between lookup and revoke.
+  // Fails with NotFound when no license carries `id`.
+  Status RevokeLicenseById(const std::string& id);
+
+  // Revokes every license whose validity-period dimension ends strictly
+  // before `cutoff` — the schema's first date-formatted interval dimension
+  // — and returns how many were removed (0 = no-op, no epoch change).
+  // Fails if the schema has no date dimension or if every license would
+  // expire.
+  Result<int> ExpireBefore(Date cutoff);
+
+  // Generalized form: expires licenses whose interval in dimension `dim`
+  // ends strictly below `cutoff` (any ordered dimension, e.g. an integer
+  // version range).
+  Result<int> ExpireDimensionBelow(int dim, int64_t cutoff);
+
+  // Reconfigurations applied over this service's lifetime. 0 at
+  // construction; each successful acquire/revoke/expire increments it.
+  uint64_t catalog_epoch() const;
 
   // Snapshot of all accepted issuances, shard by shard (within a shard:
   // admission order). Feedable to the offline validators; equal as a
@@ -129,11 +210,14 @@ class IssuanceService {
   // Turns on write-ahead journaling: every subsequently accepted issuance
   // is framed and appended to `journal` before the shard's in-memory state
   // changes or the decision returns, so a crash can never have accepted an
-  // issuance the journal does not know. A journal append failure rejects
-  // the admission (error from TryIssue) and leaves all state unchanged.
+  // issuance the journal does not know. Reconfigurations journal the same
+  // way (frame first, publish second). A journal append failure rejects
+  // the admission or reconfiguration with all state unchanged.
   // Must be called before issuance traffic starts (it is not synchronized
-  // against in-flight TryIssue calls); fails if a journal is already
-  // attached or frames were already written to this journal.
+  // against in-flight TryIssue calls) and before any reconfiguration (the
+  // journal must cover the catalog's evolution from epoch 0); fails if a
+  // journal is already attached or frames were already written to this
+  // journal.
   Status AttachJournal(std::unique_ptr<JournalWriter> journal);
 
   // Forces every journaled frame to stable storage (for fsync_interval
@@ -144,25 +228,30 @@ class IssuanceService {
     return has_journal_.load(std::memory_order_acquire);
   }
 
-  // Sequence number of the last journaled admission (0 = none yet).
+  // Sequence number of the last journaled frame (0 = none yet).
   uint64_t journal_sequence() const;
 
   // Atomically snapshots the full accepted set plus the journal sequence
-  // it covers into a v2 checkpoint file (persist/checkpoint.h, kind =
-  // service-snapshot). Takes every shard lock (in index order) and the
-  // journal lock, so the cut is exact: recovery from this checkpoint plus
-  // the same journal's tail reproduces the state byte-for-byte. Safe to
-  // call while issuance traffic is running.
+  // and catalog epoch it covers into a v2 checkpoint file
+  // (persist/checkpoint.h, kind = service-snapshot, v3 payload). Takes
+  // every shard lock (in index order) and the journal lock, so the cut is
+  // exact: recovery from this checkpoint plus the same journal's tail
+  // reproduces the state byte-for-byte. Safe to call while issuance
+  // traffic and reconfigurations are running.
   Status WriteCheckpoint(const std::string& path) const;
 
-  const LicenseCatalog& licenses() const { return *licenses_; }
-  const LicenseGrouping& grouping() const { return grouping_; }
+  // Current-epoch views; the references stay valid until the next
+  // reconfiguration retires the epoch (plus reader drain).
+  const LicenseCatalog& licenses() const;
+  const LicenseGrouping& grouping() const;
   const OnlineValidatorOptions& options() const { return options_; }
-  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int shard_count() const;
 
-  // Pre-sizes every shard's log record table for `records_per_shard`
-  // appends, so steady-state admission never regrows it. Call before
-  // issuance traffic starts (not synchronized against in-flight requests).
+  // Pre-sizes every current shard's log record table for
+  // `records_per_shard` appends, so steady-state admission never regrows
+  // it. Call before issuance traffic starts (not synchronized against
+  // in-flight requests); shards built by a later reconfiguration size
+  // themselves from the records they inherit.
   void ReserveLogCapacity(size_t records_per_shard);
 
   // Decision counters and latency histogram. Points at options.metrics
@@ -180,39 +269,111 @@ class IssuanceService {
  private:
   struct Shard {
     std::mutex mutex;
-    ValidationTree tree;  // Masks in original license indexes.
+    ValidationTree tree;  // Masks in the owning epoch's license indexes.
     LogStore log;
+  };
+
+  // One immutable generation of the catalog + derived admission state.
+  // Everything here is fixed at build time except the shard contents
+  // (guarded by the shard mutexes) and the retirement flag.
+  struct CatalogEpoch {
+    CatalogEpoch(const LicenseCatalog* catalog_in,
+                 std::unique_ptr<LicenseCatalog> owned,
+                 LicenseGrouping grouping_in)
+        : owned_catalog(std::move(owned)),
+          catalog(catalog_in),
+          grouping(std::move(grouping_in)),
+          instance(catalog_in) {}
+
+    uint64_t epoch = 0;
+    // Epoch 0 borrows the caller's catalog (owned_catalog null); every
+    // later epoch owns the catalog it was built from.
+    std::unique_ptr<LicenseCatalog> owned_catalog;
+    const LicenseCatalog* catalog;
+    LicenseGrouping grouping;
+    SoaInstanceValidator instance;  // Immutable ⇒ lock-free.
+    // Equation scopes, one per overlap group, plus the ungrouped full
+    // mask — built once so the hot path hands out references instead of
+    // copying a LicenseSet (which may heap-allocate) per request.
+    std::vector<LicenseSet> group_scopes;
+    LicenseSet all_mask;
+    std::vector<std::unique_ptr<Shard>> shards;
+    // Set (under every shard lock) when a newer epoch replaces this one.
+    // An admission that observes it after locking re-pins and retries;
+    // the publish order (state_ first, retired second) guarantees the
+    // retry sees the new epoch.
+    mutable std::atomic<bool> retired{false};
+  };
+
+  // What one reconfiguration does, in current-epoch index space.
+  struct ReconfigPlan {
+    const License* acquire = nullptr;  // Non-null: acquisition.
+    LicenseSet removed;                // Revoke/expire: indexes to drop.
+    // Journal frame fields.
+    int revoke_index = -1;
+    std::string revoke_id;
+    int expire_dim = -1;
+    int64_t expire_cutoff = 0;
   };
 
   IssuanceService(const LicenseCatalog* licenses,
                   const OnlineValidatorOptions& options,
-                  LicenseGrouping grouping);
+                  std::shared_ptr<CatalogEpoch> epoch0);
 
-  // Shard that owns license group `group` (groups striped over shards).
-  size_t ShardOf(int group) const;
-  // Equation scope for satisfying set `s` (its group's mask, or the full
-  // set without grouping), plus the owning shard index. The returned
-  // reference aliases a scope precomputed at construction (group_scopes_ /
-  // all_mask_) — no copy, valid for the service's lifetime.
-  const LicenseSet& RouteSet(const LicenseSet& s, size_t* shard) const;
+  static Result<std::unique_ptr<IssuanceService>> CreateOwned(
+      const LicenseCatalog* licenses, std::unique_ptr<LicenseCatalog> owned,
+      const OnlineValidatorOptions& options, const LogStore& history);
+
+  // Assembles a fully-derived epoch (shards, scopes, instance geometry)
+  // around `catalog` — the publish step is the caller's.
+  static std::shared_ptr<CatalogEpoch> BuildEpoch(
+      const OnlineValidatorOptions& options, uint64_t epoch_number,
+      const LicenseCatalog* catalog, std::unique_ptr<LicenseCatalog> owned,
+      LicenseGrouping grouping);
+
+  // Routes one record into `epoch`'s shards (scope-checked tree + log
+  // insert). Caller owns exclusivity: history preload at construction,
+  // off-side epoch build, or the catch-up under every old shard lock.
+  Status ApplyRecordToEpoch(CatalogEpoch* epoch,
+                            const LogRecord& record) const;
+
+  // The shared reconfiguration path (caller holds reconfig_mutex_): builds
+  // the next epoch from `plan`, journals it, publishes, retires. Returns
+  // the acquired index or the removed count.
+  Result<int> ReconfigureLocked(const ReconfigPlan& plan);
+
+  // Validates and executes a single-index revocation. Caller holds
+  // reconfig_mutex_, so `index` is stable in the current epoch.
+  Status RevokeIndexLocked(int index);
+
+  std::shared_ptr<const CatalogEpoch> Pin() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  // Equation scope for satisfying set `s` within `epoch` (its group's
+  // mask, or the full set without grouping), plus the owning shard index.
+  // The returned reference aliases a scope precomputed at epoch build — no
+  // copy, valid for the epoch's lifetime.
+  const LicenseSet& RouteSet(const CatalogEpoch& epoch, const LicenseSet& s,
+                             size_t* shard) const;
   // Equation check + tree/log update for one request. Caller holds
-  // `shard.mutex`. `decision` already carries the satisfying set; `trace`
-  // collects the equation-scan and journal-append spans (never null — pass
-  // a RequestTrace built from a null tracer to run untraced).
-  Status AdmitLocked(Shard* shard, const License& issued,
-                     const LicenseSet& scope, OnlineDecision* decision,
-                     RequestTrace* trace);
+  // `shard.mutex` on a shard of `epoch`. `decision` already carries the
+  // satisfying set; `trace` collects the equation-scan and journal-append
+  // spans (never null — pass a RequestTrace built from a null tracer to
+  // run untraced).
+  Status AdmitLocked(const CatalogEpoch& epoch, Shard* shard,
+                     const License& issued, const LicenseSet& scope,
+                     OnlineDecision* decision, RequestTrace* trace);
 
-  const LicenseCatalog* licenses_;
   OnlineValidatorOptions options_;
-  LicenseGrouping grouping_;
-  SoaInstanceValidator instance_validator_;  // Immutable ⇒ lock-free.
-  // Equation scopes, one per overlap group, plus the ungrouped full mask —
-  // built once so the hot path hands out references instead of copying a
-  // LicenseSet (which may heap-allocate) per request.
-  std::vector<LicenseSet> group_scopes_;
-  LicenseSet all_mask_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // The current epoch. Readers pin with a plain atomic load (shared_ptr
+  // refcount = reader count); Reconfigure is the only writer.
+  std::atomic<std::shared_ptr<const CatalogEpoch>> state_;
+  // Serializes reconfigurations and guards dyn_grouping_. Lock order:
+  // reconfig_mutex_ → shard mutexes (index order) → journal_mutex_.
+  mutable std::mutex reconfig_mutex_;
+  // Incremental overlap components, mirrored into each epoch's grouping.
+  DynamicGrouping dyn_grouping_;
   IssuanceMetrics owned_metrics_;
   IssuanceMetrics* metrics_;  // == options_.metrics or &owned_metrics_.
   std::atomic<int64_t> issue_sequence_{0};
@@ -220,7 +381,8 @@ class IssuanceService {
   // Write-ahead journal. `has_journal_` gates the accept path so services
   // without a journal never touch `journal_mutex_` (the sharded fast path
   // stays lock-disjoint across groups). Lock order: shard mutex(es), then
-  // journal_mutex_ — AdmitLocked and WriteCheckpoint both follow it.
+  // journal_mutex_ — AdmitLocked, Reconfigure and WriteCheckpoint all
+  // follow it.
   std::atomic<bool> has_journal_{false};
   mutable std::mutex journal_mutex_;
   std::unique_ptr<JournalWriter> journal_;  // Guarded by journal_mutex_.

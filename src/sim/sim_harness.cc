@@ -49,9 +49,24 @@ std::string DescribeOp(const SimOp& op) {
       return "checkpoint";
     case SimOpKind::kSyncJournal:
       return "sync";
+    case SimOpKind::kAcquireLicense:
+      return "acquire " + op.requests[0].id();
+    case SimOpKind::kRevokeLicense:
+      return "revoke " + op.revoke_id;
+    case SimOpKind::kExpireBefore:
+      return "expire<" + std::to_string(op.expire_cutoff);
   }
   return "?";
 }
+
+// A reconfiguration whose journal frame append hit the scheduled fault:
+// the service aborted (nothing published), but the frame may still have
+// fully reached the platter, so recovery is allowed to replay it.
+struct PendingReconfig {
+  bool is_acquire = false;
+  License acquired;    // Valid when is_acquire.
+  LicenseSet removed;  // Old-epoch-space removal mask otherwise.
+};
 
 // Everything the cooperatively scheduled tasks share. No locking: the
 // scheduler guarantees exactly one task thread runs at a time, and every
@@ -60,7 +75,17 @@ std::string DescribeOp(const SimOp& op) {
 struct SimState {
   const SimWorkload* workload = nullptr;
   IssuanceService* service = nullptr;
-  ReferenceModel model;
+  // The reference model always tracks the service's CURRENT catalog
+  // epoch: each successful reconfiguration rebuilds it around an owned
+  // copy of the evolved catalog, replaying surviving counts through the
+  // same cascade-drop + dense renumbering the service performs.
+  const LicenseCatalog* model_catalog = nullptr;
+  std::unique_ptr<LicenseCatalog> model_catalog_owner;
+  std::unique_ptr<ReferenceModel> model;
+  uint64_t model_epoch = 0;
+  // One old→new index map per reconfiguration (-1 = removed), so batch
+  // decisions pinned to an older epoch can be translated forward.
+  std::vector<std::vector<int>> remap_chain;
   InMemorySyncFile* disk = nullptr;  // The journal's platter.
   SimScheduler* scheduler = nullptr;
   std::string scratch_dir;
@@ -75,6 +100,10 @@ struct SimState {
   bool have_maybe_persisted = false;
   LicenseSet maybe_persisted_set;
   int64_t maybe_persisted_count = 0;
+  // The reconfiguration whose frame append hit the fault (same ambiguity:
+  // recovery may or may not see one reconfig record beyond the model).
+  bool have_maybe_reconfig = false;
+  PendingReconfig maybe_reconfig;
   // A batch died on the fault: the in-flight admission is unknown, so the
   // recovery diff falls back to a bounded one-record allowance.
   bool batch_error = false;
@@ -84,12 +113,87 @@ struct SimState {
   std::vector<std::string> op_trace;
   size_t ops_executed = 0;
 
-  explicit SimState(const LicenseCatalog* licenses) : model(licenses) {}
+  explicit SimState(const LicenseCatalog* licenses)
+      : model_catalog(licenses),
+        model(std::make_unique<ReferenceModel>(licenses)) {}
 };
 
 void Fail(SimState* state, const std::string& what) {
   if (state->failure.empty()) {
     state->failure = what;
+  }
+}
+
+// Translates `set` from the index space of `from_epoch` into the current
+// model epoch's space by walking the remap chain. Returns false when any
+// member was removed along the way — the service cascade-drops such
+// records during the reconfiguration, so the model must too.
+bool TranslateSet(const SimState& state, uint64_t from_epoch,
+                  LicenseSet* set) {
+  for (uint64_t e = from_epoch; e < state.model_epoch; ++e) {
+    const std::vector<int>& map = state.remap_chain[static_cast<size_t>(e)];
+    LicenseSet out;
+    for (int i : set->Indexes()) {
+      if (i >= static_cast<int>(map.size()) ||
+          map[static_cast<size_t>(i)] < 0) {
+        return false;
+      }
+      out.Add(map[static_cast<size_t>(i)]);
+    }
+    *set = out;
+  }
+  return true;
+}
+
+// Rebuilds the reference model around the catalog that results from
+// `pending` — dropped licenses removed, surviving licenses renumbered
+// densely, an acquired license appended — and replays every surviving
+// count through the renumbering (records intersecting the removal are
+// cascade-dropped, exactly the live reconfiguration semantics).
+void ApplyReconfigToModel(SimState* state, const PendingReconfig& pending) {
+  const LicenseCatalog& old_catalog = *state->model_catalog;
+  auto next = std::make_unique<LicenseCatalog>(&old_catalog.schema());
+  std::vector<int> old_to_new;
+  old_to_new.reserve(static_cast<size_t>(old_catalog.size()));
+  int next_index = 0;
+  for (int i = 0; i < old_catalog.size(); ++i) {
+    if (pending.removed.Contains(i)) {
+      old_to_new.push_back(-1);
+      continue;
+    }
+    GEOLIC_CHECK(next->Add(old_catalog.at(i)).ok());
+    old_to_new.push_back(next_index++);
+  }
+  if (pending.is_acquire) {
+    GEOLIC_CHECK(next->Add(pending.acquired).ok());
+  }
+  auto fresh = std::make_unique<ReferenceModel>(next.get());
+  for (const auto& [set, count] : state->model->counts()) {
+    if (set.Intersects(pending.removed)) {
+      continue;
+    }
+    LicenseSet remapped;
+    for (int i : set.Indexes()) {
+      remapped.Add(old_to_new[static_cast<size_t>(i)]);
+    }
+    fresh->Apply(remapped, count);
+  }
+  state->remap_chain.push_back(std::move(old_to_new));
+  state->model = std::move(fresh);  // Old model dies before its catalog.
+  state->model_catalog_owner = std::move(next);
+  state->model_catalog = state->model_catalog_owner.get();
+  ++state->model_epoch;
+}
+
+// The service and the model must agree on the epoch number after every
+// lifecycle op — they advance in lockstep because the executor updates
+// the model without yielding after the service call returns.
+void CheckEpochLockstep(SimState* state, const char* when) {
+  const uint64_t service_epoch = state->service->catalog_epoch();
+  if (service_epoch != state->model_epoch) {
+    Fail(state, std::string(when) + ": service catalog epoch " +
+                    std::to_string(service_epoch) + " != model epoch " +
+                    std::to_string(state->model_epoch));
   }
 }
 
@@ -164,8 +268,27 @@ void NoteJournalError(SimState* state, const License& request) {
   }
   state->journal_error_seen = true;
   state->have_maybe_persisted = true;
-  state->maybe_persisted_set = state->model.TryIssue(request).satisfying_set;
+  state->maybe_persisted_set = state->model->TryIssue(request).satisfying_set;
   state->maybe_persisted_count = request.aggregate_count();
+}
+
+// A reconfiguration failed. Without a scheduled fault that is a service
+// bug; with one, the first failure is the faulted frame append — the
+// service aborted, but the frame itself may have reached the platter.
+void NoteReconfigFailure(SimState* state, PendingReconfig pending,
+                         const Status& status) {
+  if (state->workload->fault_kind == 0) {
+    Fail(state,
+         std::string("reconfiguration failed without a scheduled fault: ") +
+             status.message());
+    return;
+  }
+  if (state->journal_error_seen) {
+    return;  // Poisoned writer: the frame never reached the platter.
+  }
+  state->journal_error_seen = true;
+  state->have_maybe_reconfig = true;
+  state->maybe_reconfig = std::move(pending);
 }
 
 // Raises the model to the service's merged log counts after a mid-batch
@@ -175,7 +298,7 @@ void NoteJournalError(SimState* state, const License& request) {
 void ReconcileModelFromServiceLog(SimState* state) {
   const std::unordered_map<LicenseSet, int64_t> merged =
       state->service->CollectLog().MergedCounts();
-  for (const auto& [set, count] : state->model.counts()) {
+  for (const auto& [set, count] : state->model->counts()) {
     const auto it = merged.find(set);
     const int64_t service_count = it == merged.end() ? 0 : it->second;
     if (service_count < count) {
@@ -184,21 +307,21 @@ void ReconcileModelFromServiceLog(SimState* state) {
     }
   }
   for (const auto& [set, count] : merged) {
-    const auto it = state->model.counts().find(set);
+    const auto it = state->model->counts().find(set);
     const int64_t model_count =
-        it == state->model.counts().end() ? 0 : it->second;
+        it == state->model->counts().end() ? 0 : it->second;
     if (count > model_count) {
-      state->model.Apply(set, count - model_count);
+      state->model->Apply(set, count - model_count);
     }
   }
-  const Status invariant = state->model.CheckInvariant();
+  const Status invariant = state->model->CheckInvariant();
   if (!invariant.ok()) {
     Fail(state, std::string("after batch reconcile: ") + invariant.message());
   }
 }
 
 void RunInvariantSweep(SimState* state, const char* when) {
-  const Status invariant = state->model.CheckInvariant();
+  const Status invariant = state->model->CheckInvariant();
   if (!invariant.ok()) {
     Fail(state, std::string(when) + ": " + invariant.message());
   }
@@ -211,22 +334,32 @@ void ExecuteTryIssue(SimState* state, const SimOp& op) {
     NoteJournalError(state, request);
     return;
   }
+  // A single issue retries internally until it admits (or rejects) in the
+  // epoch that is current at return, and nothing can run between that and
+  // this comparison, so the decision is always in the model's space.
+  if (got->catalog_epoch != state->model_epoch) {
+    Fail(state, "issue " + request.id() + " decided in epoch " +
+                    std::to_string(got->catalog_epoch) + ", model at " +
+                    std::to_string(state->model_epoch));
+    return;
+  }
   const bool strong = state->batches_in_flight == 0;
   const std::string mismatch = CompareDecision(
-      *state->workload->licenses, state->model, request, *got, strong);
+      *state->model_catalog, *state->model, request, *got, strong);
   if (!mismatch.empty()) {
     Fail(state, mismatch);
     return;
   }
   if (got->accepted()) {
-    state->model.Apply(got->satisfying_set, request.aggregate_count());
+    state->model->Apply(got->satisfying_set, request.aggregate_count());
   }
   RunInvariantSweep(state, "after issue");
 }
 
 void ExecuteBatch(SimState* state, const SimOp& op) {
   ++state->batches_in_flight;
-  const uint64_t version_before = state->model.version();
+  const uint64_t version_before = state->model->version();
+  const uint64_t epoch_before = state->model_epoch;
   const Result<std::vector<OnlineDecision>> got =
       state->service->TryIssueBatch(op.requests);
   --state->batches_in_flight;
@@ -242,21 +375,41 @@ void ExecuteBatch(SimState* state, const SimOp& op) {
     return;
   }
   // Exact sequential semantics are checkable only when nothing else
-  // admitted during the batch: no model change, and no other batch still
-  // parked mid-flight with unobserved admissions.
-  const bool strong = state->model.version() == version_before &&
+  // admitted during the batch: no model change, no reconfiguration, and no
+  // other batch still parked mid-flight with unobserved admissions.
+  const bool strong = state->model->version() == version_before &&
+                      state->model_epoch == epoch_before &&
                       state->batches_in_flight == 0;
   for (size_t i = 0; i < op.requests.size(); ++i) {
+    const OnlineDecision& decision = (*got)[i];
+    if (decision.catalog_epoch > state->model_epoch) {
+      Fail(state, "batch[" + std::to_string(i) + "] decided in future epoch " +
+                      std::to_string(decision.catalog_epoch));
+      return;
+    }
+    if (decision.catalog_epoch < state->model_epoch) {
+      // Admitted before a reconfiguration that landed mid-batch: the
+      // satisfying set lives in an older index space. Translate it
+      // forward; a record the reconfiguration cascade-dropped must not be
+      // counted (the service dropped it too).
+      if (decision.accepted()) {
+        LicenseSet set = decision.satisfying_set;
+        if (TranslateSet(*state, decision.catalog_epoch, &set)) {
+          state->model->Apply(set, op.requests[i].aggregate_count());
+        }
+      }
+      continue;
+    }
     const std::string mismatch =
-        CompareDecision(*state->workload->licenses, state->model,
-                        op.requests[i], (*got)[i], strong);
+        CompareDecision(*state->model_catalog, *state->model, op.requests[i],
+                        decision, strong);
     if (!mismatch.empty()) {
       Fail(state, "batch[" + std::to_string(i) + "]: " + mismatch);
       return;
     }
-    if ((*got)[i].accepted()) {
-      state->model.Apply((*got)[i].satisfying_set,
-                         op.requests[i].aggregate_count());
+    if (decision.accepted()) {
+      state->model->Apply(decision.satisfying_set,
+                          op.requests[i].aggregate_count());
     }
   }
   RunInvariantSweep(state, "after batch");
@@ -282,6 +435,110 @@ void ExecuteSync(SimState* state) {
   }
 }
 
+void ExecuteAcquire(SimState* state, const SimOp& op) {
+  const License& license = op.requests[0];
+  PendingReconfig pending;
+  pending.is_acquire = true;
+  pending.acquired = license;
+  const Result<int> got = state->service->AcquireLicense(license);
+  if (!got.ok()) {
+    NoteReconfigFailure(state, std::move(pending), got.status());
+    CheckEpochLockstep(state, "after failed acquire");
+    return;
+  }
+  // Checked against the model catalog AFTER the call: reconfigurations by
+  // other tasks can land inside this call's yield, and the model tracks
+  // them — so at return the model size IS the service's pre-acquire size.
+  if (*got != state->model_catalog->size()) {
+    Fail(state, "acquire " + license.id() + " returned index " +
+                    std::to_string(*got) + ", expected " +
+                    std::to_string(state->model_catalog->size()));
+    return;
+  }
+  ApplyReconfigToModel(state, pending);
+  CheckEpochLockstep(state, "after acquire");
+  RunInvariantSweep(state, "after acquire");
+}
+
+void ExecuteRevoke(SimState* state, const SimOp& op) {
+  // Revoke by id: a reconfiguration by another task can renumber indexes
+  // inside this call's yield, so the service resolves the id under its
+  // own reconfiguration lock. The model resolves AFTER the call returns —
+  // nothing can run in between, so both resolve in the same epoch.
+  const Status got = state->service->RevokeLicenseById(op.revoke_id);
+  const Result<int> index = state->model_catalog->IndexOfId(op.revoke_id);
+  if (!index.ok()) {
+    // Never acquired, or already revoked/expired: the service must have
+    // refused without side effects.
+    if (got.ok()) {
+      Fail(state, "revoke of absent id " + op.revoke_id + " succeeded");
+    }
+    CheckEpochLockstep(state, "after refused revoke");
+    return;
+  }
+  if (state->model_catalog->size() == 1) {
+    if (got.ok()) {
+      Fail(state, "revoking the last license succeeded");
+    }
+    CheckEpochLockstep(state, "after refused revoke");
+    return;
+  }
+  PendingReconfig pending;
+  pending.removed.Add(*index);
+  if (!got.ok()) {
+    NoteReconfigFailure(state, std::move(pending), got);
+    CheckEpochLockstep(state, "after failed revoke");
+    return;
+  }
+  ApplyReconfigToModel(state, pending);
+  CheckEpochLockstep(state, "after revoke");
+  RunInvariantSweep(state, "after revoke");
+}
+
+void ExecuteExpire(SimState* state, const SimOp& op) {
+  const Result<int> got =
+      state->service->ExpireDimensionBelow(0, op.expire_cutoff);
+  // The expected removal is evaluated on the model catalog AFTER the call:
+  // the service computed against the epoch current at execution, no other
+  // task has run since, and the model has not applied yet — so both see
+  // the same pre-expiry catalog.
+  PendingReconfig pending;
+  for (int i = 0; i < state->model_catalog->size(); ++i) {
+    const Interval& range =
+        state->model_catalog->at(i).rect().dim(0).interval();
+    if (range.hi() < op.expire_cutoff) {
+      pending.removed.Add(i);
+    }
+  }
+  const int expected = pending.removed.Size();
+  if (expected == state->model_catalog->size()) {
+    // Expiring everything must be refused without side effects.
+    if (got.ok()) {
+      Fail(state, "expiring every license succeeded");
+    }
+    CheckEpochLockstep(state, "after refused expire");
+    return;
+  }
+  if (!got.ok()) {
+    NoteReconfigFailure(state, std::move(pending), got.status());
+    CheckEpochLockstep(state, "after failed expire");
+    return;
+  }
+  if (*got != expected) {
+    Fail(state, "expire<" + std::to_string(op.expire_cutoff) + " removed " +
+                    std::to_string(*got) + " licenses, brute force expects " +
+                    std::to_string(expected));
+    return;
+  }
+  if (expected == 0) {
+    CheckEpochLockstep(state, "after no-op expire");
+    return;  // No removal: no epoch change on either side.
+  }
+  ApplyReconfigToModel(state, pending);
+  CheckEpochLockstep(state, "after expire");
+  RunInvariantSweep(state, "after expire");
+}
+
 void ExecuteOp(SimState* state, const SimOp& op) {
   ++state->ops_executed;
   state->op_trace.push_back(DescribeOp(op));
@@ -298,17 +555,46 @@ void ExecuteOp(SimState* state, const SimOp& op) {
     case SimOpKind::kSyncJournal:
       ExecuteSync(state);
       return;
+    case SimOpKind::kAcquireLicense:
+      ExecuteAcquire(state, op);
+      return;
+    case SimOpKind::kRevokeLicense:
+      ExecuteRevoke(state, op);
+      return;
+    case SimOpKind::kExpireBefore:
+      ExecuteExpire(state, op);
+      return;
   }
 }
 
 // Recovered state may exceed the model by AT MOST the one in-flight
 // admission whose journal append hit the fault; anything else — a missing
 // acknowledged record, a phantom record, more than one extra — is a
-// durability bug. Adopts the allowed extra into the model.
+// durability bug. Adopts the allowed extra into the model. Reconfiguration
+// frames are checked first: recovery must have replayed exactly the
+// reconfigurations the model saw, plus at most the one whose own frame
+// append hit the fault (adopted into the model before diffing counts).
 void CheckRecoveredCounts(
-    SimState* state, const std::unordered_map<LicenseSet, int64_t>& recovered) {
+    SimState* state, const RecoveryStats& stats,
+    const std::unordered_map<LicenseSet, int64_t>& recovered) {
+  if (state->have_maybe_reconfig &&
+      stats.reconfig_records_replayed == state->model_epoch + 1) {
+    ApplyReconfigToModel(state, state->maybe_reconfig);
+  } else if (stats.reconfig_records_replayed != state->model_epoch) {
+    Fail(state, "recovery replayed " +
+                    std::to_string(stats.reconfig_records_replayed) +
+                    " reconfiguration records, model saw " +
+                    std::to_string(state->model_epoch));
+    return;
+  }
+  if (stats.recovered_catalog_epoch != state->model_epoch) {
+    Fail(state, "recovered catalog epoch " +
+                    std::to_string(stats.recovered_catalog_epoch) +
+                    " != model epoch " + std::to_string(state->model_epoch));
+    return;
+  }
   std::map<LicenseSet, int64_t> extras;
-  for (const auto& [set, count] : state->model.counts()) {
+  for (const auto& [set, count] : state->model->counts()) {
     const auto it = recovered.find(set);
     const int64_t have = it == recovered.end() ? 0 : it->second;
     if (have < count) {
@@ -319,9 +605,9 @@ void CheckRecoveredCounts(
     }
   }
   for (const auto& [set, count] : recovered) {
-    const auto it = state->model.counts().find(set);
+    const auto it = state->model->counts().find(set);
     const int64_t have =
-        it == state->model.counts().end() ? 0 : it->second;
+        it == state->model->counts().end() ? 0 : it->second;
     if (count > have) {
       extras[set] = count - have;
     }
@@ -357,7 +643,7 @@ void CheckRecoveredCounts(
                     " x" + std::to_string(extra_count));
     return;
   }
-  state->model.Apply(extra_set, extra_count);
+  state->model->Apply(extra_set, extra_count);
   RunInvariantSweep(state, "after adopting recovered in-flight record");
 }
 
@@ -367,16 +653,15 @@ void CheckRecoveredCounts(
 // the recovered service.
 void FinalChecks(SimState* state, const SimConfig& config,
                  const OnlineValidatorOptions& options) {
-  const LicenseCatalog& licenses = *state->workload->licenses;
   if (state->failure.empty() && !state->batch_error) {
     const std::unordered_map<LicenseSet, int64_t> merged =
         state->service->CollectLog().MergedCounts();
-    if (merged.size() != state->model.counts().size()) {
+    if (merged.size() != state->model->counts().size()) {
       Fail(state, "final log has " + std::to_string(merged.size()) +
                       " distinct sets, model has " +
-                      std::to_string(state->model.counts().size()));
+                      std::to_string(state->model->counts().size()));
     }
-    for (const auto& [set, count] : state->model.counts()) {
+    for (const auto& [set, count] : state->model->counts()) {
       const auto it = merged.find(set);
       if (it == merged.end() || it->second != count) {
         Fail(state, "final log count mismatch for set " + MaskText(set));
@@ -394,12 +679,12 @@ void FinalChecks(SimState* state, const SimConfig& config,
       // sets lie within one overlap component, so C<T> factors across
       // components; sweeping each component exhaustively covers every
       // distinct per-component sum (2^slab per slab instead of 2^N).
-      const std::vector<LicenseSet>& components = state->model.components();
+      const std::vector<LicenseSet>& components = state->model->components();
       for (const LicenseSet& component : components) {
         for (SubsetIterator it(component); !it.Done() && state->failure.empty();
              it.Next()) {
           const LicenseSet t = it.subset();
-          if (flat->SumSubsets(t) != state->model.SumSubsets(t)) {
+          if (flat->SumSubsets(t) != state->model->SumSubsets(t)) {
             Fail(state, "flat tree C<S> diverges from brute force at " +
                             MaskText(t));
           }
@@ -415,9 +700,9 @@ void FinalChecks(SimState* state, const SimConfig& config,
             spanning.push_back(components[a] | components[b]);
           }
         }
-        spanning.push_back(licenses.AllMask());
+        spanning.push_back(state->model_catalog->AllMask());
         for (const LicenseSet& t : spanning) {
-          if (flat->SumSubsets(t) != state->model.SumSubsets(t)) {
+          if (flat->SumSubsets(t) != state->model->SumSubsets(t)) {
             Fail(state, "flat tree C<S> diverges from brute force at " +
                             MaskText(t));
             break;
@@ -432,7 +717,9 @@ void FinalChecks(SimState* state, const SimConfig& config,
   }
 
   // Crash-recovery round trip: the platter contents are exactly what a
-  // recovery pass would find after the process died here.
+  // recovery pass would find after the process died here. Recovery always
+  // starts from the EPOCH-0 catalog — the journal's reconfiguration
+  // records must re-derive the final catalog on their own.
   const std::string journal_path = state->scratch_dir + "/journal.gjl";
   {
     std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
@@ -443,20 +730,22 @@ void FinalChecks(SimState* state, const SimConfig& config,
   }
   RecoveryStats stats;
   Result<std::unique_ptr<IssuanceService>> recovered = IssuanceService::Recover(
-      &licenses, options, state->checkpoint_path, journal_path, &stats);
+      state->workload->licenses.get(), options, state->checkpoint_path,
+      journal_path, &stats);
   if (!recovered.ok()) {
     Fail(state, std::string("recovery failed: ") +
                     recovered.status().message());
     return;
   }
-  CheckRecoveredCounts(state,
+  CheckRecoveredCounts(state, stats,
                        (*recovered)->CollectLog().MergedCounts());
   if (!state->failure.empty()) {
     return;
   }
 
   // Continuation: the recovered service must keep deciding exactly like
-  // the (now synchronized) model.
+  // the (now synchronized) model. Both sit in the final epoch's index
+  // space — the recovered service merely numbers it as its own epoch 0.
   IssuanceService* service = recovered->get();
   auto fresh = std::make_unique<InMemorySyncFile>();
   Result<std::unique_ptr<JournalWriter>> writer =
@@ -473,14 +762,14 @@ void FinalChecks(SimState* state, const SimConfig& config,
     }
     state->op_trace.push_back("post-recovery " + DescribeOp(op));
     ++state->ops_executed;
-    const std::string mismatch =
-        CompareDecision(licenses, state->model, request, *got, true);
+    const std::string mismatch = CompareDecision(
+        *state->model_catalog, *state->model, request, *got, true);
     if (!mismatch.empty()) {
       Fail(state, "post-recovery: " + mismatch);
       return;
     }
     if (got->accepted()) {
-      state->model.Apply(got->satisfying_set, request.aggregate_count());
+      state->model->Apply(got->satisfying_set, request.aggregate_count());
     }
   }
   (void)config;
@@ -521,10 +810,10 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
   // within one slab by construction.
   constexpr int64_t kSlabStride = 2 * kDomain;
   const int slabs = config.cluster_slabs < 1 ? 1 : config.cluster_slabs;
-  for (int i = 0; i < license_count; ++i) {
-    const int64_t slab_lo = (i % slabs) * kSlabStride;
+  const auto make_redistribution = [&](const std::string& id,
+                                       int64_t slab_lo) {
     LicenseBuilder builder(workload.schema.get());
-    builder.SetId("L" + std::to_string(i + 1))
+    builder.SetId(id)
         .SetContentKey("K")
         .SetType(LicenseType::kRedistribution)
         .SetPermission(Permission::kPlay)
@@ -536,7 +825,15 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
     }
     const Result<License> license = builder.Build();
     GEOLIC_CHECK(license.ok());
-    GEOLIC_CHECK(workload.licenses->Add(*license).ok());
+    return *license;
+  };
+  std::vector<std::string> known_ids;
+  for (int i = 0; i < license_count; ++i) {
+    const int64_t slab_lo = (i % slabs) * kSlabStride;
+    known_ids.push_back("L" + std::to_string(i + 1));
+    GEOLIC_CHECK(
+        workload.licenses->Add(make_redistribution(known_ids.back(), slab_lo))
+            .ok());
   }
 
   int request_counter = 0;
@@ -576,6 +873,7 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
     return *license;
   };
 
+  int acquire_counter = 0;
   const int clients = static_cast<int>(
       rng.UniformInt(config.min_clients, config.max_clients));
   workload.client_ops.resize(static_cast<size_t>(clients));
@@ -585,7 +883,36 @@ SimWorkload GenerateWorkload(uint64_t seed, const SimConfig& config) {
     for (int i = 0; i < ops; ++i) {
       SimOp op;
       const double kind = rng.UniformDouble();
-      if (kind < 0.72) {
+      if (config.lifecycle_ops) {
+        if (kind < 0.58) {
+          op.kind = SimOpKind::kTryIssue;
+          op.requests.push_back(make_request());
+        } else if (kind < 0.70) {
+          op.kind = SimOpKind::kTryIssueBatch;
+          const int batch = static_cast<int>(rng.UniformInt(2, 4));
+          for (int b = 0; b < batch; ++b) {
+            op.requests.push_back(make_request());
+          }
+        } else if (kind < 0.76) {
+          op.kind = SimOpKind::kWriteCheckpoint;
+        } else if (kind < 0.82) {
+          op.kind = SimOpKind::kSyncJournal;
+        } else if (kind < 0.90) {
+          op.kind = SimOpKind::kAcquireLicense;
+          const int64_t slab_lo =
+              rng.UniformInt(0, static_cast<int64_t>(slabs) - 1) *
+              kSlabStride;
+          const std::string id = "A" + std::to_string(++acquire_counter);
+          op.requests.push_back(make_redistribution(id, slab_lo));
+          known_ids.push_back(id);
+        } else if (kind < 0.96) {
+          op.kind = SimOpKind::kRevokeLicense;
+          op.revoke_id = known_ids[rng.UniformIndex(known_ids.size())];
+        } else {
+          op.kind = SimOpKind::kExpireBefore;
+          op.expire_cutoff = rng.UniformInt(1, kDomain);
+        }
+      } else if (kind < 0.72) {
         op.kind = SimOpKind::kTryIssue;
         op.requests.push_back(make_request());
       } else if (kind < 0.84) {
@@ -631,6 +958,7 @@ SimResult RunWorkload(const SimWorkload& workload, uint64_t seed,
   options.use_grouping = true;
   options.sim_hooks = &scheduler;
   options.sim_skip_last_equation = config.inject_equation_skip;
+  options.sim_skip_renumbering = config.inject_skip_renumbering;
 
   Result<std::unique_ptr<IssuanceService>> service =
       IssuanceService::Create(workload.licenses.get(), options);

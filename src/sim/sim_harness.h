@@ -29,6 +29,15 @@ struct SimConfig {
   // service under test (OnlineValidatorOptions::sim_skip_last_equation).
   // The harness itself is unchanged — a correct harness must now FAIL.
   bool inject_equation_skip = false;
+  // Lifecycle mode: mix live acquire/revoke/expire reconfigurations into
+  // the client op streams, racing them against issuance, batches,
+  // checkpoints and journal faults.
+  bool lifecycle_ops = false;
+  // Second mutation smoke: plant the skipped-renumbering reconfiguration
+  // bug (OnlineValidatorOptions::sim_skip_renumbering). Only meaningful
+  // together with lifecycle_ops — without revocations the mutated code
+  // never runs.
+  bool inject_skip_renumbering = false;
   // Wide-N mode: scatter licenses round-robin into this many disjoint
   // domain slabs (1 = the legacy single-arena shape). Overlap components
   // then stay slab-sized, which keeps the brute-force reference feasible
@@ -42,11 +51,16 @@ enum class SimOpKind {
   kTryIssueBatch,
   kWriteCheckpoint,
   kSyncJournal,
+  kAcquireLicense,  // requests[0] carries the new redistribution license.
+  kRevokeLicense,   // revoke_id names the target; an absent id is a no-op.
+  kExpireBefore,    // Expire dimension 0 strictly below expire_cutoff.
 };
 
 struct SimOp {
   SimOpKind kind = SimOpKind::kTryIssue;
   std::vector<License> requests;  // 1 for kTryIssue, ≥ 1 for a batch.
+  std::string revoke_id;          // kRevokeLicense only.
+  int64_t expire_cutoff = 0;      // kExpireBefore only.
 };
 
 // A fully materialized workload: the license geometry plus every client's

@@ -74,7 +74,8 @@ uint64_t* LicenseSet::AllocWords(uint32_t num_words) {
   return new uint64_t[num_words];
 }
 
-void LicenseSet::FreeWords(uint64_t* span, uint32_t num_words) {
+void LicenseSet::FreeWords(uint64_t* span,
+                           [[maybe_unused]] uint32_t num_words) {
 #ifndef GEOLIC_LICENSE_SET_NO_POOL
   SpanPool* pool = GetPool();
   if (pool != nullptr && pool->count[num_words] < SpanPool::kMaxPerBucket) {
@@ -239,6 +240,18 @@ LicenseSet& LicenseSet::operator-=(const LicenseSet& other) {
   }
   Normalize();
   return *this;
+}
+
+LicenseSet LicenseSet::WithIndexErased(int index) const {
+  GEOLIC_DCHECK(index >= 0 && index < kMaxLicensesLarge);
+  LicenseSet out;
+  for (int i : Indexes()) {
+    if (i == index) {
+      continue;
+    }
+    out.Add(i > index ? i - 1 : i);
+  }
+  return out;
 }
 
 std::vector<int> LicenseSet::ToIndexes() const {

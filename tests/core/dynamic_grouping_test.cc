@@ -78,6 +78,126 @@ TEST(DynamicGroupingTest, RejectsDimensionMismatchAndOverflow) {
             StatusCode::kCapacityExceeded);
 }
 
+TEST(DynamicGroupingTest, ExpectedDimensionsCtorValidatesFirstLicense) {
+  // Regression: the dimensionality check used to compare against the
+  // previous license, so the FIRST insertion was never validated. With the
+  // expected-dimensions constructor even license #1 must conform.
+  DynamicGrouping grouping(2);
+  EXPECT_FALSE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  EXPECT_EQ(grouping.size(), 0);
+  EXPECT_EQ(grouping.group_count(), 0);
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}, {0, 10}})).ok());
+  EXPECT_EQ(grouping.size(), 1);
+}
+
+TEST(DynamicGroupingTest, DefaultCtorLocksDimensionsOnFirstLicense) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}, {0, 10}})).ok());
+  EXPECT_FALSE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  EXPECT_EQ(grouping.size(), 1);
+}
+
+TEST(DynamicGroupingTest, RemoveRenumbersDensely) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());     // 0
+  ASSERT_TRUE(grouping.AddLicense(Rect({{5, 15}})).ok());     // 1: joins 0.
+  ASSERT_TRUE(grouping.AddLicense(Rect({{100, 110}})).ok());  // 2: alone.
+  ASSERT_TRUE(grouping.AddLicense(Rect({{200, 210}})).ok());  // 3
+  ASSERT_TRUE(grouping.AddLicense(Rect({{205, 215}})).ok());  // 4: joins 3.
+  ASSERT_EQ(grouping.group_count(), 3);
+  ASSERT_TRUE(grouping.RemoveLicense(1).ok());
+  // Survivors renumber densely (paper Algorithm 5): old 2→1, 3→2, 4→3.
+  EXPECT_EQ(grouping.size(), 4);
+  EXPECT_EQ(grouping.group_count(), 3);
+  EXPECT_EQ(grouping.GroupMaskOf(0), testing::Mask(0b0001));
+  EXPECT_EQ(grouping.GroupMaskOf(1), testing::Mask(0b0010));
+  EXPECT_EQ(grouping.GroupMaskOf(2), testing::Mask(0b1100));
+  EXPECT_EQ(grouping.GroupMaskOf(3), testing::Mask(0b1100));
+}
+
+TEST(DynamicGroupingTest, RemoveSplitsBridgedGroup) {
+  // Inverse of the figure 6 merge: removing the bridge splits the group.
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{8, 20}})).ok());   // The bridge.
+  ASSERT_TRUE(grouping.AddLicense(Rect({{18, 30}})).ok());
+  ASSERT_EQ(grouping.group_count(), 1);
+  ASSERT_TRUE(grouping.RemoveLicense(1).ok());
+  EXPECT_EQ(grouping.size(), 2);
+  EXPECT_EQ(grouping.group_count(), 2);
+  EXPECT_EQ(grouping.GroupMaskOf(0), testing::Mask(0b01));
+  EXPECT_EQ(grouping.GroupMaskOf(1), testing::Mask(0b10));
+}
+
+TEST(DynamicGroupingTest, RemoveRejectsOutOfRange) {
+  DynamicGrouping grouping;
+  EXPECT_FALSE(grouping.RemoveLicense(0).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  EXPECT_FALSE(grouping.RemoveLicense(-1).ok());
+  EXPECT_FALSE(grouping.RemoveLicense(1).ok());
+  EXPECT_EQ(grouping.size(), 1);
+}
+
+TEST(DynamicGroupingTest, RemoveToEmptyAndReuse) {
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{5, 15}})).ok());
+  ASSERT_TRUE(grouping.RemoveLicense(1).ok());
+  ASSERT_TRUE(grouping.RemoveLicense(0).ok());
+  EXPECT_EQ(grouping.size(), 0);
+  EXPECT_EQ(grouping.group_count(), 0);
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  EXPECT_EQ(grouping.size(), 1);
+  EXPECT_EQ(grouping.group_count(), 1);
+}
+
+TEST(DynamicGroupingTest, QueriesDoNotMutate) {
+  // Regression: read-side queries used to pay (and accumulate) per-call
+  // work; repeated reads must return identical answers and leave the
+  // structure untouched.
+  DynamicGrouping grouping;
+  ASSERT_TRUE(grouping.AddLicense(Rect({{0, 10}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{5, 15}})).ok());
+  ASSERT_TRUE(grouping.AddLicense(Rect({{100, 110}})).ok());
+  const ComponentSet first = grouping.Components();
+  const LicenseSet mask0 = grouping.GroupMaskOf(0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(grouping.Components().components, first.components);
+    ASSERT_EQ(grouping.GroupMaskOf(0), mask0);
+    ASSERT_EQ(grouping.group_count(), 2);
+    ASSERT_EQ(grouping.size(), 3);
+  }
+}
+
+TEST(DynamicGroupingTest, AddRemoveMatchesStaticRecomputation) {
+  // Property: under random interleaved insertions and removals, the
+  // incremental structure always equals a from-scratch recomputation.
+  Rng rng(626262);
+  for (int trial = 0; trial < 10; ++trial) {
+    DynamicGrouping dynamic;
+    std::vector<HyperRect> rects;
+    for (int step = 0; step < 60; ++step) {
+      if (rects.empty() || rng.Bernoulli(0.65)) {
+        const HyperRect rect = RandomRect(&rng, 3, 60);
+        ASSERT_TRUE(dynamic.AddLicense(rect).ok());
+        rects.push_back(rect);
+      } else {
+        const int victim =
+            static_cast<int>(rng.UniformIndex(rects.size()));
+        ASSERT_TRUE(dynamic.RemoveLicense(victim).ok());
+        rects.erase(rects.begin() + victim);
+      }
+      const ComponentSet expected =
+          FindComponentsDfs(BuildOverlapGraphFromRects(rects));
+      const ComponentSet actual = dynamic.Components();
+      ASSERT_EQ(actual.components, expected.components)
+          << "trial " << trial << " step " << step;
+      ASSERT_EQ(actual.component_of, expected.component_of);
+      ASSERT_EQ(dynamic.group_count(), expected.count());
+    }
+  }
+}
+
 TEST(DynamicGroupingTest, ComponentsMatchesStaticRecomputation) {
   // Property: after every insertion, Components() equals what a full
   // overlap-graph + DFS recomputation would produce.

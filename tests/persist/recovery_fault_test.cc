@@ -88,6 +88,39 @@ std::string JournalBytes(int n, std::vector<size_t>* boundaries = nullptr) {
   return disk->contents();
 }
 
+// Journal bytes mixing admissions with every reconfiguration frame kind
+// (acquire, revoke, expire), plus the per-frame boundaries.
+std::string LifecycleJournalBytes(const ConstraintSchema& schema,
+                                  std::vector<size_t>* boundaries = nullptr) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file));
+  EXPECT_TRUE(writer.ok());
+  const auto mark = [&] {
+    if (boundaries != nullptr) {
+      boundaries->push_back(disk->contents().size());
+    }
+  };
+  mark();
+  EXPECT_TRUE((*writer)->Append(1, Record("LU1", 0x1, 1)).ok());
+  mark();
+  EXPECT_TRUE((*writer)
+                  ->AppendAcquire(
+                      2, MakeRedistribution(schema, "L6", {{300, 320}}, 9))
+                  .ok());
+  mark();
+  EXPECT_TRUE((*writer)->Append(3, Record("LU2", 0x2, 1)).ok());
+  mark();
+  EXPECT_TRUE((*writer)->AppendRevoke(4, 1, "L2").ok());
+  mark();
+  EXPECT_TRUE((*writer)->AppendExpire(5, 0, 25, {0, 2}).ok());
+  mark();
+  EXPECT_TRUE((*writer)->Append(6, Record("LU3", 0x4, 1)).ok());
+  mark();
+  return disk->contents();
+}
+
 // --- Torn writes -----------------------------------------------------------
 
 TEST(RecoveryFaultTest, TornWriteDropsOnlyTheTornFrame) {
@@ -167,6 +200,107 @@ TEST(RecoveryFaultTest, TruncatedTailAlwaysRecoversAPrefix) {
   }
 }
 
+TEST(RecoveryFaultTest, TornFinalReconfigFrameDropsOnlyThatFrame) {
+  // For each reconfiguration kind: two durable admissions, then the
+  // reconfig frame tears at every possible byte count. The torn frame is
+  // always dropped cleanly; the admissions always survive.
+  const ConstraintSchema schema = IntervalSchema(1);
+  const License acquired = MakeRedistribution(schema, "L6", {{300, 320}}, 9);
+  const std::vector<int> expired = {0, 2};
+  for (int kind = 0; kind < 3; ++kind) {
+    // Probe the reconfig frame's on-disk size.
+    size_t frame_size = 0;
+    {
+      auto probe = std::make_unique<InMemorySyncFile>();
+      InMemorySyncFile* probe_disk = probe.get();
+      Result<std::unique_ptr<JournalWriter>> writer =
+          JournalWriter::Create(std::move(probe));
+      ASSERT_TRUE(writer.ok());
+      ASSERT_TRUE((*writer)->Append(1, Record("LU1", 0x1, 1)).ok());
+      ASSERT_TRUE((*writer)->Append(2, Record("LU2", 0x2, 1)).ok());
+      const size_t before = probe_disk->contents().size();
+      switch (kind) {
+        case 0:
+          ASSERT_TRUE((*writer)->AppendAcquire(3, acquired).ok());
+          break;
+        case 1:
+          ASSERT_TRUE((*writer)->AppendRevoke(3, 1, "L2").ok());
+          break;
+        default:
+          ASSERT_TRUE((*writer)->AppendExpire(3, 0, 25, expired).ok());
+          break;
+      }
+      frame_size = probe_disk->contents().size() - before;
+    }
+    ASSERT_GT(frame_size, 0u);
+
+    for (size_t keep = 0; keep < frame_size; ++keep) {
+      auto file = std::make_unique<InMemorySyncFile>();
+      InMemorySyncFile* disk = file.get();
+      auto faulty = std::make_unique<FaultyFile>(std::move(file));
+      FaultyFile* faults = faulty.get();
+      Result<std::unique_ptr<JournalWriter>> writer =
+          JournalWriter::Create(std::move(faulty));
+      ASSERT_TRUE(writer.ok());
+      ASSERT_TRUE((*writer)->Append(1, Record("LU1", 0x1, 1)).ok());
+      ASSERT_TRUE((*writer)->Append(2, Record("LU2", 0x2, 1)).ok());
+      faults->TearNextAppend(keep);
+      Status torn = Status::Ok();
+      switch (kind) {
+        case 0:
+          torn = (*writer)->AppendAcquire(3, acquired);
+          break;
+        case 1:
+          torn = (*writer)->AppendRevoke(3, 1, "L2");
+          break;
+        default:
+          torn = (*writer)->AppendExpire(3, 0, 25, expired);
+          break;
+      }
+      EXPECT_FALSE(torn.ok()) << "kind=" << kind << " keep=" << keep;
+
+      const Result<JournalReplay> replay =
+          JournalReader::Parse(disk->contents());
+      ASSERT_TRUE(replay.ok()) << "kind=" << kind << " keep=" << keep << ": "
+                               << replay.status().message();
+      EXPECT_EQ(replay->entries.size(), 2u)
+          << "kind=" << kind << " keep=" << keep;
+      EXPECT_EQ(replay->torn_tail, keep != 0)
+          << "kind=" << kind << " keep=" << keep;
+    }
+  }
+}
+
+TEST(RecoveryFaultTest, TruncatedLifecycleTailAlwaysRecoversAPrefix) {
+  // The mixed-kind analogue of TruncatedTailAlwaysRecoversAPrefix: cutting
+  // a journal with reconfiguration frames at every byte yields a clean
+  // prefix (torn iff mid-frame), never a different history.
+  const ConstraintSchema schema = IntervalSchema(1);
+  std::vector<size_t> boundaries;
+  const std::string full = LifecycleJournalBytes(schema, &boundaries);
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    const Result<JournalReplay> replay =
+        JournalReader::Parse(full.substr(0, cut));
+    if (cut < sizeof(kJournalMagic)) {
+      EXPECT_FALSE(replay.ok()) << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << "cut=" << cut << ": "
+                             << replay.status().message();
+    size_t whole_frames = 0;
+    while (whole_frames + 1 < boundaries.size() &&
+           boundaries[whole_frames + 1] <= cut) {
+      ++whole_frames;
+    }
+    EXPECT_EQ(replay->entries.size(), whole_frames) << "cut=" << cut;
+    for (size_t i = 0; i < replay->entries.size(); ++i) {
+      EXPECT_EQ(replay->entries[i].seq, i + 1) << "cut=" << cut;
+    }
+    EXPECT_EQ(replay->torn_tail, cut != boundaries[whole_frames])
+        << "cut=" << cut;
+  }
+}
+
 // --- Bit flips -------------------------------------------------------------
 
 TEST(RecoveryFaultTest, EveryBitFlipFailsLoudlyWithAnOffset) {
@@ -178,6 +312,42 @@ TEST(RecoveryFaultTest, EveryBitFlipFailsLoudlyWithAnOffset) {
       const Result<JournalReplay> replay = JournalReader::Parse(mutated);
       // A flip is never silently absorbed: the parse fails, and when it is
       // past the magic the error names the bad frame's byte offset.
+      ASSERT_FALSE(replay.ok())
+          << "byte " << i << " bit " << bit << " slipped through";
+      if (i >= sizeof(kJournalMagic)) {
+        EXPECT_NE(replay.status().message().find("offset"), std::string::npos)
+            << replay.status().message();
+      }
+    }
+  }
+}
+
+TEST(RecoveryFaultTest, EveryBitFlipOnReconfigFramesFailsLoudly) {
+  // The corruption matrix over a journal carrying the v3 reconfiguration
+  // kinds: no flip anywhere — admission, acquire (with its embedded
+  // serialized license), revoke or expire frame — may parse cleanly.
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::string full = LifecycleJournalBytes(schema);
+  // Sanity: the clean bytes round-trip with the expected kind sequence.
+  const Result<JournalReplay> clean = JournalReader::Parse(full);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->entries.size(), 6u);
+  EXPECT_EQ(clean->entries[1].kind, JournalEntryKind::kAcquire);
+  ASSERT_TRUE(clean->entries[1].acquired.has_value());
+  EXPECT_EQ(clean->entries[1].acquired->id(), "L6");
+  EXPECT_EQ(clean->entries[3].kind, JournalEntryKind::kRevoke);
+  EXPECT_EQ(clean->entries[3].revoked_index, 1);
+  EXPECT_EQ(clean->entries[3].revoked_id, "L2");
+  EXPECT_EQ(clean->entries[4].kind, JournalEntryKind::kExpire);
+  EXPECT_EQ(clean->entries[4].expire_dim, 0);
+  EXPECT_EQ(clean->entries[4].expire_cutoff, 25);
+  EXPECT_EQ(clean->entries[4].expired_indexes, (std::vector<int>{0, 2}));
+
+  for (size_t i = 0; i < full.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = full;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      const Result<JournalReplay> replay = JournalReader::Parse(mutated);
       ASSERT_FALSE(replay.ok())
           << "byte " << i << " bit " << bit << " slipped through";
       if (i >= sizeof(kJournalMagic)) {

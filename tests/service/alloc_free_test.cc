@@ -24,12 +24,21 @@
 // which is exactly the property under test — with the pool compiled out
 // (GEOLIC_LICENSE_SET_NO_POOL, the sanitizer builds) the guarantee does
 // not hold and the steady-state assertions are skipped.
+//
+// The replacements must stay out of the inliner: if GCC inlines a delete
+// body (sees the free) without the paired new body, -Wmismatched-new-delete
+// misfires on perfectly matched replacement pairs.
+#if defined(__GNUC__) || defined(__clang__)
+#define GEOLIC_TEST_NOINLINE __attribute__((noinline))
+#else
+#define GEOLIC_TEST_NOINLINE
+#endif
 
 namespace {
 std::atomic<uint64_t> g_news{0};
 }  // namespace
 
-void* operator new(std::size_t size) {
+GEOLIC_TEST_NOINLINE void* operator new(std::size_t size) {
   g_news.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) {
@@ -38,25 +47,37 @@ void* operator new(std::size_t size) {
   return p;
 }
 
-void* operator new[](std::size_t size) { return ::operator new(size); }
+GEOLIC_TEST_NOINLINE void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
 
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+GEOLIC_TEST_NOINLINE void* operator new(std::size_t size,
+                                        const std::nothrow_t&) noexcept {
   g_news.fetch_add(1, std::memory_order_relaxed);
   return std::malloc(size);
 }
 
-void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+GEOLIC_TEST_NOINLINE void* operator new[](std::size_t size,
+                                          const std::nothrow_t& tag) noexcept {
   return ::operator new(size, tag);
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
+GEOLIC_TEST_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+GEOLIC_TEST_NOINLINE void operator delete[](void* p) noexcept {
   std::free(p);
 }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
+GEOLIC_TEST_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+GEOLIC_TEST_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+GEOLIC_TEST_NOINLINE void operator delete(void* p,
+                                          const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+GEOLIC_TEST_NOINLINE void operator delete[](void* p,
+                                            const std::nothrow_t&) noexcept {
   std::free(p);
 }
 

@@ -1,0 +1,552 @@
+// Live license lifecycle on a running IssuanceService: acquire/revoke/
+// expire reconfigurations, epoch bumps, shard merge/split, cascade
+// revocation, journaled reconfiguration recovery, and the epoch-tagged
+// checkpoint format.
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/faulty_file.h"
+#include "persist/journal.h"
+#include "persist/sync_file.h"
+#include "service/issuance_service.h"
+#include "test_util.h"
+#include "util/date.h"
+
+namespace geolic {
+namespace {
+
+using testing::IntervalSchema;
+using testing::MakeRedistribution;
+using testing::MakeUsage;
+
+// Three overlap groups: {L1, L2}, {L3, L4}, {L5}.
+LicenseCatalog ThreeGroupSet(const ConstraintSchema& schema, int64_t budget) {
+  LicenseCatalog licenses(&schema);
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, budget)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L2", {{10, 30}}, budget)).ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L3", {{100, 120}}, budget))
+          .ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L4", {{110, 130}}, budget))
+          .ok());
+  EXPECT_TRUE(
+      licenses.Add(MakeRedistribution(schema, "L5", {{200, 220}}, budget))
+          .ok());
+  return licenses;
+}
+
+TEST(LifecycleTest, AcquireAppendsBumpsEpochAndAdmits) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 5);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->catalog_epoch(), 0u);
+  ASSERT_EQ((*service)->shard_count(), 3);
+
+  const Result<int> index = (*service)->AcquireLicense(
+      MakeRedistribution(schema, "L6", {{300, 320}}, 5));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(*index, 5);  // Appended: existing indexes unchanged.
+  EXPECT_EQ((*service)->catalog_epoch(), 1u);
+  EXPECT_EQ((*service)->licenses().size(), 6);
+  EXPECT_EQ((*service)->shard_count(), 4);  // New isolated group.
+
+  // The acquired license admits immediately.
+  const Result<OnlineDecision> got =
+      (*service)->TryIssue(MakeUsage(schema, "U1", {{305, 315}}, 1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->accepted());
+  EXPECT_EQ(got->satisfying_set, testing::Mask(0b100000));
+  EXPECT_EQ(got->catalog_epoch, 1u);
+}
+
+TEST(LifecycleTest, AcquireBridgeMergesShardsWithoutLosingRecords) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 2)).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U2", {{111, 119}}, 3)).ok());
+
+  // {15, 115} overlaps L1..L4: figure 6's merge, live — groups {L1,L2} and
+  // {L3,L4} collapse into one shard.
+  const Result<int> index = (*service)->AcquireLicense(
+      MakeRedistribution(schema, "B", {{15, 115}}, 100));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(*index, 5);
+  EXPECT_EQ((*service)->grouping().group_count(), 2);
+  EXPECT_EQ((*service)->shard_count(), 2);
+
+  // Both pre-merge records survived the shard merge, untouched (an acquire
+  // never renumbers).
+  const auto merged = (*service)->CollectLog().MergedCounts();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.at(testing::Mask(0b00011)), 2);
+  EXPECT_EQ(merged.at(testing::Mask(0b01100)), 3);
+}
+
+TEST(LifecycleTest, AcquireRejectsDuplicateIdAndBadShape) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 5);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  EXPECT_FALSE((*service)
+                   ->AcquireLicense(
+                       MakeRedistribution(schema, "L1", {{300, 320}}, 5))
+                   .ok());
+  const ConstraintSchema two_dims = IntervalSchema(2);
+  EXPECT_FALSE(
+      (*service)
+          ->AcquireLicense(MakeRedistribution(two_dims, "L9",
+                                              {{300, 320}, {0, 10}}, 5))
+          .ok());
+  // Failed acquisitions change nothing.
+  EXPECT_EQ((*service)->catalog_epoch(), 0u);
+  EXPECT_EQ((*service)->licenses().size(), 5);
+}
+
+TEST(LifecycleTest, RevokeCascadesAndRenumbersDensely) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 1)).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U2", {{111, 119}}, 1)).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U3", {{205, 215}}, 1)).ok());
+
+  ASSERT_TRUE((*service)->RevokeLicense(0).ok());  // L1.
+  EXPECT_EQ((*service)->catalog_epoch(), 1u);
+  EXPECT_EQ((*service)->licenses().size(), 4);
+  EXPECT_EQ(*(*service)->licenses().IndexOfId("L2"), 0);
+  EXPECT_EQ(*(*service)->licenses().IndexOfId("L5"), 3);
+
+  // U1's record contained the revoked license: cascade-dropped. The other
+  // two renumber densely ({L3,L4}: 2,3 → 1,2; {L5}: 4 → 3).
+  const auto merged = (*service)->CollectLog().MergedCounts();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.at(testing::Mask(0b0110)), 1);
+  EXPECT_EQ(merged.at(testing::Mask(0b1000)), 1);
+  EXPECT_EQ((*service)->CollectTree()->TotalCount(), 2);
+
+  // Admission keeps working in the renumbered space: {12,18} now only
+  // lies inside L2 (new index 0).
+  const Result<OnlineDecision> got =
+      (*service)->TryIssue(MakeUsage(schema, "U4", {{12, 18}}, 1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->accepted());
+  EXPECT_EQ(got->satisfying_set, testing::Mask(0b0001));
+  EXPECT_EQ(got->catalog_epoch, 1u);
+}
+
+TEST(LifecycleTest, RevokeGuards) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  LicenseCatalog one(&schema);
+  ASSERT_TRUE(one.Add(MakeRedistribution(schema, "L1", {{0, 20}}, 5)).ok());
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&one);
+  ASSERT_TRUE(service.ok());
+
+  EXPECT_FALSE((*service)->RevokeLicense(-1).ok());
+  EXPECT_FALSE((*service)->RevokeLicense(1).ok());
+  EXPECT_FALSE((*service)->RevokeLicense(0).ok());  // Last license.
+  EXPECT_FALSE((*service)->RevokeLicenseById("nope").ok());
+  EXPECT_EQ((*service)->catalog_epoch(), 0u);
+}
+
+TEST(LifecycleTest, RevokeByIdMatchesIndexForm) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->RevokeLicenseById("L3").ok());
+  EXPECT_EQ((*service)->catalog_epoch(), 1u);
+  EXPECT_EQ((*service)->licenses().size(), 4);
+  EXPECT_FALSE((*service)->licenses().IndexOfId("L3").ok());
+}
+
+TEST(LifecycleTest, ExpireDimensionBelowRemovesByIntervalEnd) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  // Nothing ends below 0: a no-op, no epoch change.
+  Result<int> removed = (*service)->ExpireDimensionBelow(0, 0);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+  EXPECT_EQ((*service)->catalog_epoch(), 0u);
+
+  // Only L1 ({0,20}) ends strictly below 25.
+  removed = (*service)->ExpireDimensionBelow(0, 25);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_EQ((*service)->catalog_epoch(), 1u);
+  EXPECT_EQ((*service)->licenses().size(), 4);
+  EXPECT_FALSE((*service)->licenses().IndexOfId("L1").ok());
+
+  // Expiring everything is refused (the catalog may never become empty).
+  EXPECT_FALSE((*service)->ExpireDimensionBelow(0, 1000).ok());
+  EXPECT_EQ((*service)->catalog_epoch(), 1u);
+  // And an unordered/bad dimension is an error, not a removal.
+  EXPECT_FALSE((*service)->ExpireDimensionBelow(7, 25).ok());
+}
+
+TEST(LifecycleTest, ExpireBeforeFindsTheDateDimension) {
+  ConstraintSchema schema;
+  ASSERT_TRUE(schema.AddIntervalDimension("C1").ok());
+  ASSERT_TRUE(
+      schema.AddIntervalDimension("valid", IntervalFormat::kDate).ok());
+  const Date jan1 = *Date::FromCivil(2026, 1, 1);
+  const auto make = [&](const std::string& id, int64_t last_valid_day) {
+    LicenseBuilder builder(&schema);
+    builder.SetId(id)
+        .SetContentKey("K")
+        .SetType(LicenseType::kRedistribution)
+        .SetPermission(Permission::kPlay)
+        .SetAggregateCount(10);
+    builder.SetInterval("C1", 0, 100);
+    builder.SetInterval("valid", 0, last_valid_day);
+    const Result<License> license = builder.Build();
+    EXPECT_TRUE(license.ok());
+    return *license;
+  };
+  LicenseCatalog licenses(&schema);
+  ASSERT_TRUE(licenses.Add(make("old", jan1.day_number() - 10)).ok());
+  ASSERT_TRUE(licenses.Add(make("fresh", jan1.day_number() + 90)).ok());
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  const Result<int> removed = (*service)->ExpireBefore(jan1);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_EQ((*service)->licenses().size(), 1);
+  EXPECT_EQ((*service)->licenses().at(0).id(), "fresh");
+
+  // A schema without any date dimension cannot expire by date.
+  const ConstraintSchema plain = IntervalSchema(1);
+  const LicenseCatalog no_dates = ThreeGroupSet(plain, 5);
+  Result<std::unique_ptr<IssuanceService>> undated =
+      IssuanceService::Create(&no_dates);
+  ASSERT_TRUE(undated.ok());
+  EXPECT_FALSE((*undated)->ExpireBefore(jan1).ok());
+}
+
+TEST(LifecycleTest, JournaledLifecycleRecoversToLiveState) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::move(file));
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 1)).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U2", {{111, 119}}, 2)).ok());
+  ASSERT_TRUE((*service)
+                  ->AcquireLicense(
+                      MakeRedistribution(schema, "L6", {{300, 320}}, 9))
+                  .ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U3", {{305, 315}}, 1)).ok());
+  ASSERT_TRUE((*service)->RevokeLicenseById("L3").ok());
+  ASSERT_TRUE((*service)->ExpireDimensionBelow(0, 25).ok());  // Drops L1.
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U4", {{205, 215}}, 1)).ok());
+  ASSERT_EQ((*service)->catalog_epoch(), 3u);
+
+  const std::string journal_path =
+      ::testing::TempDir() + "lifecycle_recover.gjl";
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out.write(disk->contents().data(),
+              static_cast<std::streamsize>(disk->contents().size()));
+  }
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, /*checkpoint_path=*/"",
+                               journal_path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(stats.reconfig_records_replayed, 3u);
+  EXPECT_EQ(stats.recovered_catalog_epoch, 3u);
+  // The recovered service is a fresh baseline: its own epoch restarts.
+  EXPECT_EQ((*recovered)->catalog_epoch(), 0u);
+  // Catalog and validation state equal the live service's, record for
+  // record, in the final epoch's dense index space.
+  ASSERT_EQ((*recovered)->licenses().size(), (*service)->licenses().size());
+  for (int i = 0; i < (*service)->licenses().size(); ++i) {
+    EXPECT_EQ((*recovered)->licenses().at(i).id(),
+              (*service)->licenses().at(i).id());
+  }
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(),
+            (*service)->CollectTree()->ToString());
+  EXPECT_EQ((*recovered)->CollectLog().MergedCounts(),
+            (*service)->CollectLog().MergedCounts());
+}
+
+TEST(LifecycleTest, CheckpointAfterReconfigCoversAndTagsTheEpoch) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "lifecycle_epoch_ckpt.gck";
+  const std::string journal_path =
+      ::testing::TempDir() + "lifecycle_epoch_ckpt.gjl";
+
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Open(journal_path);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 1)).ok());
+  ASSERT_TRUE((*service)->RevokeLicenseById("L5").ok());
+  ASSERT_TRUE((*service)
+                  ->AcquireLicense(
+                      MakeRedistribution(schema, "L6", {{300, 320}}, 9))
+                  .ok());
+  ASSERT_TRUE((*service)->WriteCheckpoint(checkpoint_path).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U2", {{305, 315}}, 1)).ok());
+  ASSERT_TRUE((*service)->SyncJournal().ok());
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, checkpoint_path, journal_path,
+                               &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(stats.reconfig_records_replayed, 2u);
+  EXPECT_EQ(stats.recovered_catalog_epoch, 2u);
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(),
+            (*service)->CollectTree()->ToString());
+  EXPECT_EQ((*recovered)->CollectLog().MergedCounts(),
+            (*service)->CollectLog().MergedCounts());
+}
+
+TEST(LifecycleTest, CheckpointPredatingReconfigsStillRecovers) {
+  // The checkpoint covers only epoch-0 admissions; every reconfiguration
+  // lives in the journal tail and must replay on top of it.
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "lifecycle_predate_ckpt.gck";
+  const std::string journal_path =
+      ::testing::TempDir() + "lifecycle_predate_ckpt.gjl";
+
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Open(journal_path);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 1)).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U2", {{111, 119}}, 1)).ok());
+  ASSERT_TRUE((*service)->WriteCheckpoint(checkpoint_path).ok());  // Epoch 0.
+  ASSERT_TRUE((*service)->RevokeLicense(0).ok());
+  ASSERT_TRUE((*service)->ExpireDimensionBelow(0, 35).ok());  // Drops L2.
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U3", {{205, 215}}, 1)).ok());
+  ASSERT_TRUE((*service)->SyncJournal().ok());
+  ASSERT_EQ((*service)->catalog_epoch(), 2u);
+
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, checkpoint_path, journal_path,
+                               &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(stats.reconfig_records_replayed, 2u);
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(),
+            (*service)->CollectTree()->ToString());
+  EXPECT_EQ((*recovered)->CollectLog().MergedCounts(),
+            (*service)->CollectLog().MergedCounts());
+}
+
+TEST(LifecycleTest, CheckpointEpochDisagreementFailsLoudly) {
+  // A checkpoint tagged epoch 1 whose journal prefix contains no
+  // reconfiguration frame is inconsistent — recovery must refuse rather
+  // than load records into the wrong index space.
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  const std::string checkpoint_path =
+      ::testing::TempDir() + "lifecycle_mismatch_ckpt.gck";
+  const std::string journal_path =
+      ::testing::TempDir() + "lifecycle_mismatch_ckpt.gjl";
+
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::move(file));
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 1)).ok());
+  const std::string journal_before_reconfig = disk->contents();
+  ASSERT_TRUE((*service)->RevokeLicenseById("L5").ok());
+  ASSERT_TRUE((*service)->WriteCheckpoint(checkpoint_path).ok());  // Epoch 1.
+
+  // Crash variant where only the PRE-reconfiguration journal survived.
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out.write(journal_before_reconfig.data(),
+              static_cast<std::streamsize>(journal_before_reconfig.size()));
+  }
+  const Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, checkpoint_path, journal_path);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("epoch"), std::string::npos)
+      << recovered.status().message();
+}
+
+TEST(LifecycleTest, AttachJournalRequiresEpochZero) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  // An unjournaled reconfiguration is legal, but afterwards a journal can
+  // no longer be attached: it would miss the reconfiguration record that
+  // recovery needs to rebuild the index space.
+  ASSERT_TRUE((*service)->RevokeLicenseById("L5").ok());
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::make_unique<InMemorySyncFile>());
+  ASSERT_TRUE(journal.ok());
+  EXPECT_FALSE((*service)->AttachJournal(std::move(*journal)).ok());
+}
+
+TEST(LifecycleTest, TornReconfigFrameAbortsAndRecoversPreReconfigState) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 100);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  auto faulty = std::make_unique<FaultyFile>(std::move(file));
+  FaultyFile* faults = faulty.get();
+  Result<std::unique_ptr<JournalWriter>> journal =
+      JournalWriter::Create(std::move(faulty));
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*service)->AttachJournal(std::move(*journal)).ok());
+
+  ASSERT_TRUE((*service)->TryIssue(MakeUsage(schema, "U1", {{12, 18}}, 1)).ok());
+  ASSERT_TRUE(
+      (*service)->TryIssue(MakeUsage(schema, "U2", {{111, 119}}, 1)).ok());
+  const std::string tree_before = (*service)->CollectTree()->ToString();
+
+  // The revoke's journal frame tears mid-write: WAL contract — the
+  // reconfiguration reports failure and NOTHING changed in memory.
+  faults->TearNextAppend(9);
+  EXPECT_FALSE((*service)->RevokeLicense(0).ok());
+  EXPECT_EQ((*service)->catalog_epoch(), 0u);
+  EXPECT_EQ((*service)->licenses().size(), 5);
+  EXPECT_EQ((*service)->CollectTree()->ToString(), tree_before);
+
+  // And recovery from the torn platter lands on the pre-reconfig state.
+  const std::string journal_path =
+      ::testing::TempDir() + "lifecycle_torn_reconfig.gjl";
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out.write(disk->contents().data(),
+              static_cast<std::streamsize>(disk->contents().size()));
+  }
+  RecoveryStats stats;
+  Result<std::unique_ptr<IssuanceService>> recovered =
+      IssuanceService::Recover(&licenses, {}, "", journal_path, &stats);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(stats.journal_torn_tail);
+  EXPECT_EQ(stats.reconfig_records_replayed, 0u);
+  EXPECT_EQ((*recovered)->CollectTree()->ToString(), tree_before);
+}
+
+TEST(LifecycleTest, ReconfigStormRacesConcurrentIssuance) {
+  const ConstraintSchema schema = IntervalSchema(1);
+  const LicenseCatalog licenses = ThreeGroupSet(schema, 1000000);
+  Result<std::unique_ptr<IssuanceService>> service =
+      IssuanceService::Create(&licenses);
+  ASSERT_TRUE(service.ok());
+  IssuanceService* s = service->get();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> issuers;
+  issuers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    issuers.emplace_back([&schema, s, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string id =
+            "U" + std::to_string(t) + "_" + std::to_string(i);
+        const License request =
+            i % 3 == 0 ? MakeUsage(schema, id, {{12, 18}}, 1)
+            : i % 3 == 1 ? MakeUsage(schema, id, {{111, 119}}, 1)
+                         : MakeUsage(schema, id, {{205, 215}}, 1);
+        const Result<OnlineDecision> got = s->TryIssue(request);
+        if (!got.ok() || !got->instance_valid) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // The storm: repeated acquire+revoke of a bridge license that merges the
+  // {L1,L2} and {L3,L4} shards on the way in and splits them on the way
+  // out, while issuance keeps running.
+  for (int round = 0; round < 20; ++round) {
+    const std::string id = "X" + std::to_string(round);
+    const Result<int> acquired = s->AcquireLicense(
+        MakeRedistribution(schema, id, {{15, 115}}, 1000000));
+    ASSERT_TRUE(acquired.ok()) << acquired.status().message();
+    ASSERT_TRUE(s->RevokeLicenseById(id).ok());
+  }
+  for (std::thread& thread : issuers) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(s->catalog_epoch(), 40u);
+  EXPECT_EQ(s->licenses().size(), 5);
+  EXPECT_EQ(s->shard_count(), 3);
+
+  // Requests admitted under the transient bridge epochs were recorded with
+  // the bridge in scope; after its revocation their sets cascade or remap
+  // back into the stable three-group space. The merged tree must replay
+  // serially: every record routes inside one overlap group.
+  const Result<ValidationTree> tree = s->CollectTree();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->TotalCount(), s->CollectLog().TotalCount());
+}
+
+}  // namespace
+}  // namespace geolic

@@ -2,9 +2,14 @@
 //
 //   sim_runner --seeds=1000            sweep seeds 1..1000, fail on first bug
 //   sim_runner --seed=42               replay exactly one seed (the repro)
+//   sim_runner --lifecycle             mix live acquire/revoke/expire
+//                                      reconfigurations into the workload
 //   sim_runner --mutation_smoke        plant the equation-skip bug and
 //                                      verify the harness CATCHES it within
-//                                      the seed budget (--seeds, default 200)
+//                                      the seed budget (--seeds, default 200);
+//                                      with --lifecycle, plants the
+//                                      skipped-renumbering reconfig bug
+//                                      instead
 //   sim_runner --start_seed=N          shift the sweep window
 //   sim_runner --wide_n=N               pin the license count to N and
 //                                      scatter licenses into ceil(N/8)
@@ -54,11 +59,13 @@ void PrintFailure(const geolic::SimResult& result,
     std::printf("    %s\n", op.c_str());
   }
   std::printf("  minimal failure: %s\n", shrunk.failure.c_str());
+  const char* mode = config.lifecycle_ops ? " --lifecycle" : "";
   if (wide_n > 0) {
-    std::printf("repro: sim_runner --wide_n=%" PRIu64 " --seed=%" PRIu64 "\n",
-                wide_n, result.seed);
+    std::printf("repro: sim_runner%s --wide_n=%" PRIu64 " --seed=%" PRIu64
+                "\n",
+                mode, wide_n, result.seed);
   } else {
-    std::printf("repro: sim_runner --seed=%" PRIu64 "\n", result.seed);
+    std::printf("repro: sim_runner%s --seed=%" PRIu64 "\n", mode, result.seed);
   }
 }
 
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   uint64_t wide_n = 0;
   bool have_single = false;
   bool mutation_smoke = false;
+  bool lifecycle = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -89,16 +97,25 @@ int main(int argc, char** argv) {
       mutation_smoke = true;
       continue;
     }
+    if (std::strcmp(arg, "--lifecycle") == 0) {
+      lifecycle = true;
+      continue;
+    }
     std::fprintf(stderr,
                  "sim_runner: unknown flag %s\n"
                  "usage: sim_runner [--seeds=N] [--seed=S] [--start_seed=B] "
-                 "[--wide_n=N] [--mutation_smoke]\n",
+                 "[--wide_n=N] [--lifecycle] [--mutation_smoke]\n",
                  arg);
     return 2;
   }
 
   geolic::SimConfig config;
-  config.inject_equation_skip = mutation_smoke;
+  config.lifecycle_ops = lifecycle;
+  // The planted bug under --mutation_smoke depends on the mode: the
+  // equation-skip accounting bug for plain sweeps, the skipped-renumbering
+  // reconfiguration bug when lifecycle ops are in play.
+  config.inject_equation_skip = mutation_smoke && !lifecycle;
+  config.inject_skip_renumbering = mutation_smoke && lifecycle;
   if (wide_n > 0) {
     config.min_licenses = static_cast<int>(wide_n);
     config.max_licenses = static_cast<int>(wide_n);
@@ -124,12 +141,14 @@ int main(int argc, char** argv) {
     // The harness is on trial: a correct harness must catch the planted
     // accounting bug within the budget.
     const uint64_t budget = seeds == 0 ? 200 : seeds;
+    const char* planted =
+        lifecycle ? "skipped-renumbering" : "equation-skip";
     for (uint64_t s = start_seed; s < start_seed + budget; ++s) {
       const geolic::SimResult result = geolic::RunSimulation(s, config);
       if (!result.ok) {
-        std::printf("mutation smoke OK: planted equation-skip bug caught at "
+        std::printf("mutation smoke OK: planted %s bug caught at "
                     "seed %" PRIu64 " (%" PRIu64 " seeds tried)\n",
-                    s, s - start_seed + 1);
+                    planted, s, s - start_seed + 1);
         std::printf("  failure: %s\n", result.failure.c_str());
         return 0;
       }
