@@ -91,13 +91,14 @@ int64_t RunChurn(const std::vector<HyperRect>& rects, int steps, int* sink) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using geolic::bench::IntFlag;
+  using geolic::bench::Flags;
   using geolic::bench::JsonOut;
 
-  const int reps = std::max(1, IntFlag(argc, argv, "reps", 5));
-  const int churn_steps = std::max(10, IntFlag(argc, argv, "churn_steps",
-                                               512));
-  JsonOut json(argc, argv, "ablation_dynamic_grouping");
+  Flags flags(argc, argv);
+  const int reps = std::max(1, flags.Int("reps", 5));
+  const int churn_steps = std::max(10, flags.Int("churn_steps", 512));
+  JsonOut json(flags, "ablation_dynamic_grouping");
+  flags.Finish();
 
   std::printf("# Ablation: incremental grouping vs full recomputation "
               "(4-D rects, best of %d reps)\n", reps);

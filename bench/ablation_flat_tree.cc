@@ -294,10 +294,12 @@ RowResult RunRow(const char* label, int n, const LogStore& log,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int max_n = IntFlag(argc, argv, "max_n", 16);
-  const int records = IntFlag(argc, argv, "records", 0);
-  const int max_wide_n = IntFlag(argc, argv, "max_wide_n", 1024);
-  JsonOut json(argc, argv, "ablation_flat_tree");
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 16);
+  const int records = flags.Int("records", 0);
+  const int max_wide_n = flags.Int("max_wide_n", 1024);
+  JsonOut json(flags, "ablation_flat_tree");
+  flags.Finish();
 
   std::printf("# Ablation: pointer vs flat vs flat+pruned equation "
               "evaluation (dense 2^N-1 for N<=20, per-group beyond)\n");

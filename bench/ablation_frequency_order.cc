@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int max_n = IntFlag(argc, argv, "max_n", 22);
-  const int step = IntFlag(argc, argv, "step", 4);
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 22);
+  const int step = flags.Int("step", 4);
+  flags.Finish();
 
   std::printf("# Ablation: index-ordered vs frequency-ordered validation "
               "tree\n");

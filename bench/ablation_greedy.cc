@@ -12,8 +12,10 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int n = IntFlag(argc, argv, "n", 12);
-  const int issues = IntFlag(argc, argv, "issues", 4000);
+  Flags flags(argc, argv);
+  const int n = flags.Int("n", 12);
+  const int issues = flags.Int("issues", 4000);
+  flags.Finish();
 
   std::printf("# Ablation: greedy single-license charging vs equation-based "
               "validation (N=%d, %d issuance attempts)\n", n, issues);

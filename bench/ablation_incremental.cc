@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int n = IntFlag(argc, argv, "n", 20);
-  const int batches = IntFlag(argc, argv, "batches", 50);
+  Flags flags(argc, argv);
+  const int n = flags.Int("n", 20);
+  const int batches = flags.Int("batches", 50);
+  flags.Finish();
 
   Workload workload = PaperWorkload(n);
   const auto& records = workload.log.records();

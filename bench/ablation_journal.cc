@@ -74,17 +74,17 @@ LogRecord RecordFor(int i) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using geolic::bench::IntFlag;
+  using geolic::bench::Flags;
   using geolic::bench::JsonOut;
-  using geolic::bench::StringFlag;
 
-  const int records = std::max(1, IntFlag(argc, argv, "records", 20000));
-  const int groups = std::max(1, IntFlag(argc, argv, "groups", 8));
+  Flags flags(argc, argv);
+  const int records = std::max(1, flags.Int("records", 20000));
+  const int groups = std::max(1, flags.Int("groups", 8));
   const int fsync_records =
-      std::max(1, IntFlag(argc, argv, "fsync_records",
-                          std::min(records, 2000)));
-  const std::string dir = StringFlag(argc, argv, "tmp_dir", "/tmp");
-  JsonOut json(argc, argv, "ablation_journal");
+      std::max(1, flags.Int("fsync_records", std::min(records, 2000)));
+  const std::string dir = flags.Str("tmp_dir", "/tmp");
+  JsonOut json(flags, "ablation_journal");
+  flags.Finish();
 
   std::printf("# Ablation: journal append throughput and recovery time "
               "(%d records)\n", records);

@@ -147,14 +147,15 @@ PhaseResult RunPhase(const LicenseCatalog& licenses,
 }  // namespace
 
 int main(int argc, char** argv) {
-  using geolic::bench::IntFlag;
+  using geolic::bench::Flags;
   using geolic::bench::JsonOut;
 
-  const int groups = std::max(2, IntFlag(argc, argv, "groups", 8));
-  const int request_count =
-      std::max(100, IntFlag(argc, argv, "requests", 20000));
-  const int reps = std::max(1, IntFlag(argc, argv, "reps", 3));
-  JsonOut json(argc, argv, "ablation_lifecycle");
+  Flags flags(argc, argv);
+  const int groups = std::max(2, flags.Int("groups", 8));
+  const int request_count = std::max(100, flags.Int("requests", 20000));
+  const int reps = std::max(1, flags.Int("reps", 3));
+  JsonOut json(flags, "ablation_lifecycle");
+  flags.Finish();
 
   ConstraintSchema schema;
   GEOLIC_CHECK(schema.AddIntervalDimension("C1").ok());

@@ -73,12 +73,14 @@ IssueLoopResult RunIssueLoop(int n, bool use_grouping, int issues) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using geolic::bench::IntFlag;
+  using geolic::bench::Flags;
   using geolic::bench::JsonOut;
 
-  const int issues = std::max(1, IntFlag(argc, argv, "issues", 2000));
-  const int reps = std::max(1, IntFlag(argc, argv, "reps", 3));
-  JsonOut json(argc, argv, "ablation_online");
+  Flags flags(argc, argv);
+  const int issues = std::max(1, flags.Int("issues", 2000));
+  const int reps = std::max(1, flags.Int("reps", 3));
+  JsonOut json(flags, "ablation_online");
+  flags.Finish();
 
   std::printf("# Ablation: per-issuance validation cost, grouped vs full "
               "equation scope (%d issues, best of %d reps)\n", issues, reps);

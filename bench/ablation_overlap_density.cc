@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int n = IntFlag(argc, argv, "n", 18);
+  Flags flags(argc, argv);
+  const int n = flags.Int("n", 18);
+  flags.Finish();
 
   std::printf("# Ablation: overlap density (license extent) vs groups and "
               "gain, N=%d\n", n);

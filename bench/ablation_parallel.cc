@@ -35,10 +35,12 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int max_n = IntFlag(argc, argv, "max_n", 22);
-  const int step = IntFlag(argc, argv, "step", 2);
-  const int threads = IntFlag(argc, argv, "threads",
-                              ThreadPool::DefaultThreadCount());
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 22);
+  const int step = flags.Int("step", 2);
+  const int threads = flags.Int("threads",
+                                ThreadPool::DefaultThreadCount());
+  flags.Finish();
 
   std::printf("# Ablation: sequential vs parallel validation (%d threads)\n",
               threads);

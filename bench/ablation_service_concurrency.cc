@@ -102,17 +102,19 @@ double RunThreaded(IssuanceService* service,
 
 int main(int argc, char** argv) {
   using geolic::JsonWriter;
-  using geolic::bench::IntFlag;
+  using geolic::bench::Flags;
   using geolic::bench::JsonOut;
 
-  const int groups = std::max(1, IntFlag(argc, argv, "groups", 8));
-  const int request_count =
-      std::max(1, IntFlag(argc, argv, "requests", 40000));
+  Flags flags(argc, argv);
+  const int groups = std::max(1, flags.Int("groups", 8));
+  const int request_count = std::max(1, flags.Int("requests", 40000));
   const int max_threads =
-      std::max(1, IntFlag(argc, argv, "max_threads",
-                          std::max(8, ThreadPool::DefaultThreadCount())));
-  const int batch_size = std::max(1, IntFlag(argc, argv, "batch_size", 64));
-  JsonOut json(argc, argv, "ablation_service_concurrency");
+      std::max(1, flags.Int("max_threads",
+                            std::max(8, ThreadPool::DefaultThreadCount())));
+  const int batch_size = std::max(1, flags.Int("batch_size", 64));
+  const std::string metrics_out = flags.Str("metrics_out", "");
+  JsonOut json(flags, "ablation_service_concurrency");
+  flags.Finish();
 
   ConstraintSchema schema;
   GEOLIC_CHECK(schema.AddIntervalDimension("C1").ok());
@@ -265,8 +267,6 @@ int main(int argc, char** argv) {
       }
 
       if (rep == kReps - 1) {
-        const std::string metrics_out =
-            geolic::bench::StringFlag(argc, argv, "metrics_out", "");
         if (!metrics_out.empty()) {
           const ExpositionInput exposition = (*sampled)->Snap();
           GEOLIC_CHECK(WriteMetricsFile(exposition, metrics_out).ok());

@@ -1,7 +1,10 @@
 #ifndef GEOLIC_BENCH_BENCH_UTIL_H_
 #define GEOLIC_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -44,32 +47,79 @@ inline std::string SizesToString(const std::vector<int>& sizes) {
   return out;
 }
 
-// Parses "--max_n=30"-style int flags from argv; returns fallback when the
-// flag is absent or malformed.
-inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      return std::atoi(arg.c_str() + prefix.size());
+// Declarative "--name=value" parser for benches. Construct from argv,
+// read each flag the bench understands with Int/Str, then call Finish().
+// A flag given twice, an int flag with a non-numeric value, or (at
+// Finish) an argv entry no flag claimed all exit non-zero — a typo'd CI
+// invocation must fail the job, not silently benchmark the defaults.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      args_.emplace_back(argv[i]);
     }
+    claimed_.assign(args_.size(), false);
   }
-  return fallback;
-}
 
-// Parses "--json_out=path"-style string flags; returns fallback when the
-// flag is absent.
-inline std::string StringFlag(int argc, char** argv, const char* name,
-                              const char* fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      return arg.substr(prefix.size());
+  // Integer flag; `fallback` when absent.
+  int Int(const char* name, int fallback) {
+    std::string value;
+    if (!Claim(name, &value)) {
+      return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+      Fail(std::string("--") + name + " expects an integer, got \"" +
+           value + "\"");
+    }
+    return static_cast<int>(parsed);
+  }
+
+  // String flag; `fallback` when absent.
+  std::string Str(const char* name, const char* fallback) {
+    std::string value;
+    return Claim(name, &value) ? value : std::string(fallback);
+  }
+
+  // Call once after every flag has been read: leftover argv entries are
+  // unknown flags.
+  void Finish() {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!claimed_[i]) {
+        Fail("unknown flag \"" + args_[i] + "\"");
+      }
     }
   }
-  return fallback;
-}
+
+ private:
+  bool Claim(const char* name, std::string* value) {
+    const std::string prefix = std::string("--") + name + "=";
+    bool found = false;
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind(prefix, 0) != 0) {
+        continue;
+      }
+      if (found) {
+        Fail(std::string("duplicate flag --") + name);
+      }
+      claimed_[i] = true;
+      *value = args_[i].substr(prefix.size());
+      found = true;
+    }
+    return found;
+  }
+
+  [[noreturn]] static void Fail(const std::string& message) {
+    std::fprintf(stderr, "bench: %s\n", message.c_str());
+    std::exit(2);
+  }
+
+  std::vector<std::string> args_;
+  std::vector<bool> claimed_;
+};
 
 // Machine-readable bench output behind the common `--json_out=<path>` flag
 // (CI archives the file; absent flag = no-op). The document is one object:
@@ -77,8 +127,8 @@ inline std::string StringFlag(int argc, char** argv, const char* name,
 // Each Row callback fills one object's key/value pairs via JsonWriter.
 class JsonOut {
  public:
-  JsonOut(int argc, char** argv, const char* bench_name)
-      : path_(StringFlag(argc, argv, "json_out", "")) {
+  JsonOut(Flags& flags, const char* bench_name)
+      : path_(flags.Str("json_out", "")) {
     if (!enabled()) {
       return;
     }

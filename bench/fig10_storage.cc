@@ -18,8 +18,10 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int max_n = IntFlag(argc, argv, "max_n", 35);
-  const int step = IntFlag(argc, argv, "step", 2);
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 35);
+  const int step = flags.Int("step", 2);
+  flags.Finish();
 
   std::printf("# Figure 10: storage of the original validation tree vs the "
               "divided validation trees vs the flat arena compile\n");

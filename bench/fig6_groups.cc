@@ -16,8 +16,10 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int max_n = IntFlag(argc, argv, "max_n", 35);
-  const int seed = IntFlag(argc, argv, "seed", 2010);
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 35);
+  const int seed = flags.Int("seed", 2010);
+  flags.Finish();
 
   std::printf("# Figure 6: number of groups vs number of redistribution "
               "licenses\n");

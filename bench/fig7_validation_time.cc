@@ -36,9 +36,11 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int max_n = IntFlag(argc, argv, "max_n", 30);
-  const int max_baseline_n = IntFlag(argc, argv, "max_baseline_n", 24);
-  const int step = IntFlag(argc, argv, "step", 2);
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 30);
+  const int max_baseline_n = flags.Int("max_baseline_n", 24);
+  const int step = flags.Int("step", 2);
+  flags.Finish();
 
   std::printf("# Figure 7: validation time vs number of redistribution "
               "licenses\n");

@@ -36,9 +36,11 @@ int main(int argc, char** argv) {
   using namespace geolic;         // NOLINT
   using namespace geolic::bench;  // NOLINT
 
-  const int max_n = IntFlag(argc, argv, "max_n", 22);
-  const int step = IntFlag(argc, argv, "step", 2);
-  const int repeats = IntFlag(argc, argv, "repeats", 3);
+  Flags flags(argc, argv);
+  const int max_n = flags.Int("max_n", 22);
+  const int step = flags.Int("step", 2);
+  const int repeats = flags.Int("repeats", 3);
+  flags.Finish();
 
   std::printf("# Figure 8: theoretical vs experimental gain\n");
   std::printf("%4s  %7s  %12s  %16s  %18s\n", "N", "groups",

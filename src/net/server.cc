@@ -1,0 +1,705 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace geolic::net {
+namespace {
+
+// epoll user-data ids for the two non-connection descriptors.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = 1;
+
+// Per-wake recv budget: with level-triggered epoll the remaining bytes
+// re-arm immediately, so a firehose client cannot starve its neighbours
+// or balloon one read ring inside a single loop turn.
+constexpr size_t kMaxReadPerWake = 64 * 1024;
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Server::Server(IssuanceService* service, const ServerOptions& options)
+    : service_(service), options_(options) {
+  if (options_.max_batch == 0) {
+    options_.max_batch = 1;
+  }
+}
+
+Result<std::unique_ptr<Server>> Server::Start(IssuanceService* service,
+                                              const ServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("server needs a service");
+  }
+  auto server = std::unique_ptr<Server>(new Server(service, options));
+  GEOLIC_RETURN_IF_ERROR(server->Listen());
+  server->io_thread_ = std::thread(&Server::IoLoop, server.get());
+  server->worker_thread_ = std::thread(&Server::WorkerLoop, server.get());
+  return server;
+}
+
+Status Server::Listen() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Errno("epoll_create1");
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Errno("eventfd");
+  }
+  listen_fd_ =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  const int enable = 1;
+  if (setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable)) < 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("unparseable bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("bind " + options_.bind_address + ":" +
+                 std::to_string(options_.port));
+  }
+  if (listen(listen_fd_, options_.listen_backlog) < 0) {
+    return Errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) < 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = kListenId;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  event.events = EPOLLIN;
+  event.data.u64 = kWakeId;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) < 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+  return Status::Ok();
+}
+
+Server::~Server() {
+  Drain();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+  }
+  if (wake_fd_ >= 0) {
+    close(wake_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+void Server::Drain() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (drained_) {
+    return;
+  }
+  drained_ = true;
+  // Phase 1: stop intake. The I/O thread sees the flag on its next turn,
+  // closes the listener and parks every connection's read side, so the
+  // admission queue can only shrink from here.
+  draining_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+  // Phase 2: flush in-flight batches. The worker keeps dispatching until
+  // the queue is empty, then exits; joining it guarantees no TryIssueBatch
+  // call — and therefore no pinned catalog epoch — is still in flight.
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    stop_worker_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_thread_.joinable()) {
+    worker_thread_.join();
+  }
+  // Stragglers that slipped into the queue after the worker's final empty
+  // check (the I/O thread may briefly see a stale draining flag) still get
+  // an explicit answer instead of a silent hang.
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    std::lock_guard<std::mutex> completion_lock(completion_mutex_);
+    for (PendingRequest& request : queue_) {
+      std::string encoded;
+      EncodeFrame(FrameKind::kError, request.request_id, "server draining",
+                  &encoded);
+      completions_.push_back(Completion{request.conn_id, std::move(encoded)});
+    }
+    queue_.clear();
+    stats_.queue_depth.store(0, std::memory_order_relaxed);
+  }
+  worker_done_.store(true, std::memory_order_release);
+  (void)!write(wake_fd_, &one, sizeof(one));
+  // Phase 3: the I/O thread pushes the last responses out (bounded by
+  // drain_timeout_ms against clients that stopped reading) and exits.
+  if (io_thread_.joinable()) {
+    io_thread_.join();
+  }
+  // Phase 4: make the drained state durable before reporting done.
+  (void)service_->SyncJournal();
+}
+
+bool Server::IoDone() const {
+  if (!draining_.load(std::memory_order_acquire) ||
+      !worker_done_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    if (!completions_.empty()) {
+      return false;
+    }
+  }
+  for (const auto& entry : conns_) {
+    if (!entry.second->write_buf.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::IoLoop() {
+  epoll_event events[64];
+  bool accepting = true;
+  uint64_t drain_deadline_ms = 0;
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining) {
+      if (accepting) {
+        // Stop accepting and stop reading: intake ends, outflow continues.
+        accepting = false;
+        listening_.store(false, std::memory_order_release);
+        close(listen_fd_);
+        listen_fd_ = -1;
+        for (auto& entry : conns_) {
+          entry.second->paused = true;
+          UpdateInterest(entry.second.get());
+        }
+        drain_deadline_ms =
+            NowMillis() +
+            static_cast<uint64_t>(std::max(options_.drain_timeout_ms, 0));
+      }
+      if (IoDone() || NowMillis() >= drain_deadline_ms) {
+        break;
+      }
+    }
+    const int timeout_ms = draining ? 20 : -1;
+    const int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // epoll itself failed; nothing recoverable remains.
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      const uint32_t mask = events[i].events;
+      if (id == kListenId) {
+        if (accepting) {
+          AcceptReady();
+        }
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drained_count = 0;
+        (void)!read(wake_fd_, &drained_count, sizeof(drained_count));
+        DrainCompletions();
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) {
+        continue;  // Closed earlier in this batch of events.
+      }
+      Connection* conn = it->second.get();
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(id);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+      if (conns_.find(id) == conns_.end()) {
+        continue;  // HandleReadable closed it.
+      }
+      if ((mask & EPOLLOUT) != 0) {
+        FlushWrites(conn);
+      }
+    }
+  }
+  // Teardown: whatever is still connected gets a hard close (drain either
+  // finished flushing or timed out on an unreading peer).
+  for (auto& entry : conns_) {
+    close(entry.second->fd);
+    stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptReady() {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN or a transient accept error: try next wake.
+    }
+    if (conns_.size() >= options_.max_connections) {
+      close(fd);  // At capacity: refuse before the handshake.
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+      close(fd);
+      continue;
+    }
+    stats_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+#ifndef GEOLIC_DISABLE_TRACING
+  const uint64_t read_start =
+      options_.tracer != nullptr ? TraceNowNanos() : 0;
+#endif
+  bool peer_closed = false;
+  char buf[16384];
+  size_t read_this_wake = 0;
+  while (read_this_wake < kMaxReadPerWake) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->read_buf.Append(std::string_view(buf, static_cast<size_t>(n)));
+      stats_.bytes_read.fetch_add(static_cast<uint64_t>(n),
+                                  std::memory_order_relaxed);
+      read_this_wake += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    CloseConnection(conn->id);  // Unrecoverable socket error.
+    return;
+  }
+
+  if (!conn->saw_magic) {
+    if (conn->read_buf.size() < sizeof(kWireMagic)) {
+      if (peer_closed) {
+        CloseConnection(conn->id);
+      }
+      return;
+    }
+    if (std::memcmp(conn->read_buf.data().data(), kWireMagic,
+                    sizeof(kWireMagic)) != 0) {
+      ProtocolError(conn, "bad connection magic");
+      return;
+    }
+    conn->read_buf.Consume(sizeof(kWireMagic));
+    conn->saw_magic = true;
+  }
+
+  uint64_t frames_this_wake = 0;
+  while (!conn->closing) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeResult decoded =
+        TryDecodeFrame(conn->read_buf.data(), &frame, &consumed, &error);
+    if (decoded == DecodeResult::kNeedMore) {
+      break;
+    }
+    if (decoded == DecodeResult::kBad) {
+      ProtocolError(conn, error);
+      return;
+    }
+    conn->read_buf.Consume(consumed);
+    ++frames_this_wake;
+    stats_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(conn, frame);
+    if (conns_.find(conn->id) == conns_.end()) {
+      return;  // A fatal send error closed the connection mid-frame.
+    }
+  }
+#ifndef GEOLIC_DISABLE_TRACING
+  if (options_.tracer != nullptr && frames_this_wake > 0) {
+    // One span per loop turn that completed frames: recv + ring append +
+    // incremental decode for everything this wake delivered.
+    TraceSpan span;
+    span.request_id = 0;
+    span.stage = TraceStage::kNetRead;
+    span.outcome = TraceOutcome::kOk;
+    span.start_nanos = read_start;
+    span.duration_nanos = TraceNowNanos() - read_start;
+    options_.tracer->Record(span);
+  }
+#else
+  (void)frames_this_wake;
+#endif
+  if (peer_closed) {
+    // The peer half-closed its write side; flush what we owe, then close.
+    conn->closing = true;
+    FlushWrites(conn);
+  }
+}
+
+void Server::HandleFrame(Connection* conn, const Frame& frame) {
+  if (!IsRequestKind(frame.kind)) {
+    ProtocolError(conn, "response kind from client");
+    return;
+  }
+  if (frame.kind == FrameKind::kPing) {
+    SendFrame(conn, FrameKind::kPong, frame.request_id, {});
+    return;
+  }
+  // kIssueRequest. Semantic failures answer kError but keep the
+  // connection: the framing was sound, only this request was bad.
+  Result<License> license = DecodeIssueRequest(frame.payload);
+  if (!license.ok()) {
+    SendFrame(conn, FrameKind::kError, frame.request_id,
+              license.status().message());
+    return;
+  }
+  if (license->aggregate_count() <= 0) {
+    // Pre-checked here because the service fails a whole batch on it —
+    // one hostile request must not poison its batchmates' admissions.
+    SendFrame(conn, FrameKind::kError, frame.request_id,
+              "issued license must carry a positive count");
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    SendFrame(conn, FrameKind::kError, frame.request_id, "server draining");
+    return;
+  }
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_capacity) {
+      shed = true;
+    } else {
+      queue_.push_back(PendingRequest{conn->id, frame.request_id,
+                                      TraceNowNanos(),
+                                      *std::move(license)});
+      const uint64_t depth = queue_.size();
+      stats_.queue_depth.store(depth, std::memory_order_relaxed);
+      uint64_t peak = stats_.queue_depth_peak.load(std::memory_order_relaxed);
+      while (depth > peak && !stats_.queue_depth_peak.compare_exchange_weak(
+                                 peak, depth, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  if (shed) {
+    stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    SendFrame(conn, FrameKind::kShed, frame.request_id, {});
+  } else {
+    stats_.requests_enqueued.fetch_add(1, std::memory_order_relaxed);
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::SendFrame(Connection* conn, FrameKind kind, uint64_t request_id,
+                       std::string_view payload) {
+  std::string encoded;
+  EncodeFrame(kind, request_id, payload, &encoded);
+  conn->write_buf.Append(encoded);
+  FlushWrites(conn);
+}
+
+void Server::ProtocolError(Connection* conn, const std::string& message) {
+  stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  // Stream-level error (request_id 0): the connection cannot resync, so
+  // the error frame is the last thing it will ever receive.
+  std::string encoded;
+  EncodeFrame(FrameKind::kError, 0, message, &encoded);
+  conn->write_buf.Append(encoded);
+  conn->closing = true;
+  FlushWrites(conn);
+}
+
+void Server::FlushWrites(Connection* conn) {
+#ifndef GEOLIC_DISABLE_TRACING
+  const uint64_t write_start =
+      options_.tracer != nullptr ? TraceNowNanos() : 0;
+#endif
+  uint64_t sent_total = 0;
+  while (!conn->write_buf.empty()) {
+    const std::string_view chunk = conn->write_buf.data();
+    const ssize_t sent =
+        send(conn->fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;  // Kernel buffer full; EPOLLOUT will resume the flush.
+      }
+      CloseConnection(conn->id);  // Peer is gone; drop the backlog.
+      return;
+    }
+    conn->write_buf.Consume(static_cast<size_t>(sent));
+    sent_total += static_cast<uint64_t>(sent);
+  }
+  if (sent_total > 0) {
+    stats_.bytes_written.fetch_add(sent_total, std::memory_order_relaxed);
+#ifndef GEOLIC_DISABLE_TRACING
+    if (options_.tracer != nullptr) {
+      TraceSpan span;
+      span.request_id = 0;
+      span.stage = TraceStage::kNetWrite;
+      span.outcome = TraceOutcome::kOk;
+      span.start_nanos = write_start;
+      span.duration_nanos = TraceNowNanos() - write_start;
+      options_.tracer->Record(span);
+    }
+#endif
+  }
+  if (conn->closing && conn->write_buf.empty()) {
+    CloseConnection(conn->id);
+    return;
+  }
+  // Backpressure: a swollen write buffer parks the read side; a
+  // half-drained one un-parks it (hysteresis so one borderline send does
+  // not flap the epoll interest).
+  if (!conn->paused && conn->write_buf.size() > options_.max_write_buffer) {
+    conn->paused = true;
+  } else if (conn->paused && !conn->closing &&
+             !draining_.load(std::memory_order_acquire) &&
+             conn->write_buf.size() < options_.max_write_buffer / 2) {
+    conn->paused = false;
+  }
+  conn->want_write = !conn->write_buf.empty();
+  UpdateInterest(conn);
+}
+
+void Server::UpdateInterest(Connection* conn) {
+  epoll_event event{};
+  event.events = 0;
+  if (!conn->paused && !conn->closing) {
+    event.events |= EPOLLIN;
+  }
+  if (conn->want_write) {
+    event.events |= EPOLLOUT;
+  }
+  event.data.u64 = conn->id;
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event);
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  close(it->second->fd);  // Also deregisters from epoll.
+  conns_.erase(it);
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::DrainCompletions() {
+  std::deque<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& completion : ready) {
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) {
+      continue;  // The connection died while its batch was in flight.
+    }
+    it->second->write_buf.Append(completion.bytes);
+    FlushWrites(it->second.get());
+  }
+}
+
+void Server::WorkerLoop() {
+  std::vector<PendingRequest> batch;
+  std::vector<const License*> requests;
+  std::vector<OnlineDecision> decisions;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_worker_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_worker_) {
+          return;  // Drained: every enqueued request was dispatched.
+        }
+        continue;
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+    }
+
+#ifndef GEOLIC_DISABLE_TRACING
+    if (options_.tracer != nullptr) {
+      // The coalescing window each request sat through, stamped with the
+      // client's correlation id (diagnostic, not a tracer request id).
+      const uint64_t now = TraceNowNanos();
+      for (const PendingRequest& request : batch) {
+        TraceSpan span;
+        span.request_id = request.request_id;
+        span.stage = TraceStage::kNetBatchWait;
+        span.outcome = TraceOutcome::kOk;
+        span.start_nanos = request.enqueue_nanos;
+        span.duration_nanos = now - request.enqueue_nanos;
+        options_.tracer->Record(span);
+      }
+    }
+#endif
+
+    requests.clear();
+    for (const PendingRequest& request : batch) {
+      requests.push_back(&request.license);
+    }
+    decisions.assign(batch.size(), OnlineDecision());
+    const Status admitted = service_->TryIssueBatch(
+        std::span<const License* const>(requests.data(), requests.size()),
+        std::span<OnlineDecision>(decisions.data(), decisions.size()));
+    stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+    stats_.batch_requests_dispatched.fetch_add(batch.size(),
+                                               std::memory_order_relaxed);
+
+    // Encode responses, coalescing consecutive same-connection entries
+    // into one completion (pipelined clients get one write burst).
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        std::string encoded;
+        if (admitted.ok()) {
+          IssueResult result;
+          const OnlineDecision& decision = decisions[i];
+          result.outcome = decision.accepted()
+                               ? IssueResult::Outcome::kAccepted
+                               : (decision.instance_valid
+                                      ? IssueResult::Outcome::kRejectedAggregate
+                                      : IssueResult::Outcome::kRejectedInstance);
+          result.catalog_epoch = decision.catalog_epoch;
+          result.equations_checked =
+              static_cast<uint64_t>(decision.equations_checked);
+          std::string payload;
+          EncodeIssueResult(result, &payload);
+          EncodeFrame(FrameKind::kIssueResult, batch[i].request_id, payload,
+                      &encoded);
+        } else {
+          // A batch-level failure (journal I/O) fails every member loudly;
+          // nothing was silently half-admitted on the wire's watch.
+          EncodeFrame(FrameKind::kError, batch[i].request_id,
+                      admitted.message(), &encoded);
+        }
+        if (!completions_.empty() &&
+            completions_.back().conn_id == batch[i].conn_id) {
+          completions_.back().bytes.append(encoded);
+        } else {
+          completions_.push_back(
+              Completion{batch[i].conn_id, std::move(encoded)});
+        }
+      }
+    }
+    uint64_t one = 1;
+    (void)!write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+NetStats Server::Stats() const {
+  NetStats stats;
+  stats.connections_opened =
+      stats_.connections_opened.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      stats_.connections_closed.load(std::memory_order_relaxed);
+  stats.frames_decoded =
+      stats_.frames_decoded.load(std::memory_order_relaxed);
+  stats.requests_enqueued =
+      stats_.requests_enqueued.load(std::memory_order_relaxed);
+  stats.requests_shed = stats_.requests_shed.load(std::memory_order_relaxed);
+  stats.protocol_errors =
+      stats_.protocol_errors.load(std::memory_order_relaxed);
+  stats.batches_dispatched =
+      stats_.batches_dispatched.load(std::memory_order_relaxed);
+  stats.batch_requests_dispatched =
+      stats_.batch_requests_dispatched.load(std::memory_order_relaxed);
+  stats.queue_depth = stats_.queue_depth.load(std::memory_order_relaxed);
+  stats.queue_depth_peak =
+      stats_.queue_depth_peak.load(std::memory_order_relaxed);
+  stats.bytes_read = stats_.bytes_read.load(std::memory_order_relaxed);
+  stats.bytes_written = stats_.bytes_written.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ExpositionInput Server::Snap() const {
+  ExpositionInput input = service_->Snap();
+  input.has_net = true;
+  const NetStats stats = Stats();
+  input.net.connections_opened = stats.connections_opened;
+  input.net.connections_closed = stats.connections_closed;
+  input.net.frames_decoded = stats.frames_decoded;
+  input.net.requests_enqueued = stats.requests_enqueued;
+  input.net.requests_shed = stats.requests_shed;
+  input.net.protocol_errors = stats.protocol_errors;
+  input.net.batches_dispatched = stats.batches_dispatched;
+  input.net.batch_requests_dispatched = stats.batch_requests_dispatched;
+  input.net.queue_depth = stats.queue_depth;
+  input.net.queue_depth_peak = stats.queue_depth_peak;
+  input.net.bytes_read = stats.bytes_read;
+  input.net.bytes_written = stats.bytes_written;
+  return input;
+}
+
+}  // namespace geolic::net

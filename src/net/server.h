@@ -1,0 +1,202 @@
+#ifndef GEOLIC_NET_SERVER_H_
+#define GEOLIC_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/byte_queue.h"
+#include "net/wire.h"
+#include "obs/exposition.h"
+#include "obs/trace.h"
+#include "service/issuance_service.h"
+#include "util/status.h"
+
+namespace geolic::net {
+
+// Epoll-based TCP front-end for one IssuanceService (ROADMAP item 1,
+// docs/WIRE.md). Two threads:
+//
+//  * The I/O thread owns every socket: it accepts, reads, decodes frames
+//    incrementally off per-connection byte queues, answers pings inline,
+//    and pushes issue requests into a bounded admission queue. A request
+//    arriving on a full queue is shed with an explicit kShed response —
+//    overload degrades to fast rejections, never to unbounded memory.
+//    It also drains the completion queue back into per-connection write
+//    buffers, with non-blocking sends (MSG_NOSIGNAL, EINTR/EAGAIN and
+//    partial writes handled) and EPOLLOUT re-arming.
+//  * The batch worker pops up to max_batch queued requests at a time and
+//    admits them through one TryIssueBatch call — the wire-level
+//    realization of the per-shard lock coalescing: requests from many
+//    connections that landed in the same epoll turn share one lock
+//    acquisition per shard touched.
+//
+// Backpressure: a connection whose write buffer exceeds max_write_buffer
+// stops being read until the backlog half-drains, so a client that will
+// not read its responses throttles itself, not the server.
+//
+// Graceful drain (Drain(), also run by the destructor): stop accepting
+// and reading, let the worker flush every queued request, push the last
+// responses out (bounded by drain_timeout_ms), sync the journal, join
+// both threads. Joining the worker guarantees no in-flight batch still
+// pins a catalog epoch, so a checkpoint cutover after Drain sees fully
+// quiesced shards.
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; Server::port() reports the choice.
+  int listen_backlog = 128;
+  size_t max_connections = 1024;
+  // Bounded admission queue (requests decoded but not yet batched).
+  size_t queue_capacity = 1024;
+  // Batch window: closes at this size or when the queue runs dry.
+  size_t max_batch = 64;
+  // Per-connection write-buffer cap before reads pause (backpressure).
+  size_t max_write_buffer = 256 * 1024;
+  // How long Drain waits for unread responses before force-closing.
+  int drain_timeout_ms = 5000;
+  // Optional span sink for the net_read / net_batch_wait / net_write
+  // stages; must outlive the server.
+  Tracer* tracer = nullptr;
+};
+
+// Monotonic counters, snapshot by value. All grow except queue_depth.
+struct NetStats {
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_decoded = 0;
+  uint64_t requests_enqueued = 0;
+  uint64_t requests_shed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t batches_dispatched = 0;
+  uint64_t batch_requests_dispatched = 0;
+  uint64_t queue_depth = 0;
+  uint64_t queue_depth_peak = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+class Server {
+ public:
+  // Binds, listens, and starts both threads. `service` (and
+  // options.tracer, when set) must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(IssuanceService* service,
+                                               const ServerOptions& options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  ~Server();  // Runs Drain().
+
+  // The bound TCP port (resolves port 0 to the kernel's pick).
+  uint16_t port() const { return port_; }
+
+  // Graceful shutdown; see the class comment. Idempotent, thread-safe.
+  void Drain();
+
+  NetStats Stats() const;
+
+  // The service's observability snapshot with the net section filled in.
+  ExpositionInput Snap() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    bool saw_magic = false;
+    bool closing = false;  // Flush the write buffer, then close.
+    bool paused = false;   // EPOLLIN parked for backpressure.
+    bool want_write = false;  // EPOLLOUT armed.
+    ByteQueue read_buf;
+    ByteQueue write_buf;
+  };
+
+  struct PendingRequest {
+    uint64_t conn_id;
+    uint64_t request_id;
+    uint64_t enqueue_nanos;
+    License license;
+  };
+
+  struct Completion {
+    uint64_t conn_id;
+    std::string bytes;  // Encoded response frames.
+  };
+
+  Server(IssuanceService* service, const ServerOptions& options);
+
+  Status Listen();
+  void IoLoop();
+  void WorkerLoop();
+
+  // --- I/O-thread only ---
+  void AcceptReady();
+  void HandleReadable(Connection* conn);
+  void HandleFrame(Connection* conn, const Frame& frame);
+  void FlushWrites(Connection* conn);
+  void SendFrame(Connection* conn, FrameKind kind, uint64_t request_id,
+                 std::string_view payload);
+  void ProtocolError(Connection* conn, const std::string& message);
+  void CloseConnection(uint64_t conn_id);
+  void DrainCompletions();
+  void UpdateInterest(Connection* conn);
+  bool IoDone() const;
+
+  IssuanceService* service_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: worker -> I/O thread.
+
+  std::thread io_thread_;
+  std::thread worker_thread_;
+
+  // Drain protocol flags. draining_: no new accepts/reads/enqueues.
+  // worker_done_: every queued request has been dispatched and completed.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> worker_done_{false};
+  std::atomic<bool> listening_{true};
+  std::mutex drain_mutex_;  // Serializes Drain() callers.
+  bool drained_ = false;    // Guarded by drain_mutex_.
+
+  // Admission queue: I/O thread pushes, worker pops.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;  // Guarded by queue_mutex_.
+  bool stop_worker_ = false;          // Guarded by queue_mutex_.
+
+  // Completion queue: worker pushes + wakes wake_fd_, I/O thread pops.
+  mutable std::mutex completion_mutex_;
+  std::deque<Completion> completions_;  // Guarded by completion_mutex_.
+
+  // I/O-thread-owned connection table (id -> state).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd.
+
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_opened{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> frames_decoded{0};
+    std::atomic<uint64_t> requests_enqueued{0};
+    std::atomic<uint64_t> requests_shed{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> batches_dispatched{0};
+    std::atomic<uint64_t> batch_requests_dispatched{0};
+    std::atomic<uint64_t> queue_depth{0};
+    std::atomic<uint64_t> queue_depth_peak{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> bytes_written{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace geolic::net
+
+#endif  // GEOLIC_NET_SERVER_H_

@@ -1,0 +1,106 @@
+#ifndef GEOLIC_NET_WIRE_H_
+#define GEOLIC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "licensing/license.h"
+#include "util/status.h"
+
+namespace geolic::net {
+
+// The wire protocol of the network front-end (docs/WIRE.md): the journal's
+// framing discipline (persist/journal.h) applied to a socket. A stream is
+// an 8-byte magic preamble from the client, then CRC32C-framed messages in
+// both directions (little-endian):
+//
+//   payload_len u32 | kind u32 | request_id u64 |
+//   header_crc u32 (CRC32C of the 16 preceding bytes) |
+//   payload_crc u32 (CRC32C of the payload) | payload
+//
+// The header CRC means a flipped length or kind can never masquerade as a
+// short frame: any single corrupted bit fails one of the two checksums and
+// the connection dies with an explicit error frame, exactly like a corrupt
+// journal frame fails recovery loudly. request_id is a client-chosen
+// correlation token echoed verbatim on the response, so clients may
+// pipeline: responses to admitted requests can arrive batch-reordered.
+
+inline constexpr char kWireMagic[8] = {'G', 'L', 'W', 'I', 'R', 'E', '1',
+                                       '\0'};
+inline constexpr size_t kWireHeaderBytes = 4 + 4 + 8 + 4 + 4;
+// Issue payloads are one serialized license; 64 KiB bounds every sane
+// payload (same cap as the journal) and rejects corrupt lengths early.
+inline constexpr uint32_t kWireMaxPayloadBytes = 64 * 1024;
+
+// Message kinds. Requests flow client -> server; responses (high bit set)
+// flow back. An unknown kind is a protocol error (the header CRC proves
+// the peer really sent it, so the peer speaks a different dialect).
+enum class FrameKind : uint32_t {
+  // Requests.
+  kIssueRequest = 1,  // Payload: one license (license_serialization.h).
+  kPing = 2,          // Empty payload; answered inline with kPong.
+  // Responses.
+  kIssueResult = 0x80000001,  // Payload: EncodeIssueResult.
+  kPong = 0x80000002,         // Empty payload.
+  kShed = 0x80000003,  // Admission queue full — explicit overload reject,
+                       // empty payload; the client should back off.
+  kError = 0x80000004,  // Payload: UTF-8 message. request_id 0 = stream-
+                        // level (connection closes after the flush).
+};
+
+// True for the kinds a client may send.
+bool IsRequestKind(FrameKind kind);
+// True for any kind defined above.
+bool IsKnownKind(FrameKind kind);
+
+// One decoded message.
+struct Frame {
+  FrameKind kind = FrameKind::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Appends one encoded frame to `out`.
+void EncodeFrame(FrameKind kind, uint64_t request_id,
+                 std::string_view payload, std::string* out);
+
+enum class DecodeResult {
+  kFrame,     // One complete frame decoded; *consumed bytes were used.
+  kNeedMore,  // `bytes` is a valid proper prefix — read more and retry.
+  kBad,       // Corrupt or alien bytes; `*error` says why. The connection
+              // cannot resynchronize and must close.
+};
+
+// Incremental decode of the next frame from the front of `bytes`. On
+// kFrame, `*frame` and `*consumed` are set; on kBad, `*error`. Truncation
+// is never an error here — a split recv() is indistinguishable from a
+// frame still in flight.
+DecodeResult TryDecodeFrame(std::string_view bytes, Frame* frame,
+                            size_t* consumed, std::string* error);
+
+// --- Issue payloads ---
+
+// Request payload: one license in the shared binary form.
+Status EncodeIssueRequest(const License& license, std::string* out);
+Result<License> DecodeIssueRequest(std::string_view payload);
+
+// Response payload: the decision, compressed to what a client acts on.
+struct IssueResult {
+  enum class Outcome : uint8_t {
+    kAccepted = 0,
+    kRejectedInstance = 1,
+    kRejectedAggregate = 2,
+  };
+  Outcome outcome = Outcome::kRejectedInstance;
+  uint64_t catalog_epoch = 0;
+  uint64_t equations_checked = 0;
+};
+
+void EncodeIssueResult(const IssueResult& result, std::string* out);
+Status DecodeIssueResult(std::string_view payload, IssueResult* result);
+
+}  // namespace geolic::net
+
+#endif  // GEOLIC_NET_WIRE_H_

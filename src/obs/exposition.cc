@@ -29,6 +29,33 @@ std::string EscapeLabel(const std::string& value) {
   return out;
 }
 
+// Prometheus HELP-text escaping: only backslash and newline — double
+// quotes are legal verbatim in help text, unlike in label values.
+std::string EscapeHelp(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// `# HELP` + `# TYPE` pair announcing one family.
+void AppendFamilyHeader(const char* name, const char* type,
+                        const std::string& help, std::string* out) {
+  *out += std::string("# HELP ") + name + " " + EscapeHelp(help) + "\n";
+  *out += std::string("# TYPE ") + name + " " + type + "\n";
+}
+
 // Index of the last non-empty bucket, or -1 when all are empty.
 int LastUsedBucket(const LatencyHistogram::Snapshot& histogram) {
   int last = -1;
@@ -105,7 +132,8 @@ std::string RenderPrometheusText(const ExpositionInput& input) {
   const std::string svc = "service=\"" + EscapeLabel(input.service) + "\"";
   std::string out;
 
-  out += "# TYPE geolic_requests_total counter\n";
+  AppendFamilyHeader("geolic_requests_total", "counter",
+                     "Admission decisions by outcome.", &out);
   out += "geolic_requests_total{" + svc + ",outcome=\"accepted\"} " +
          std::to_string(input.metrics.accepted) + "\n";
   out += "geolic_requests_total{" + svc + ",outcome=\"rejected_instance\"} " +
@@ -114,27 +142,33 @@ std::string RenderPrometheusText(const ExpositionInput& input) {
          ",outcome=\"rejected_aggregate\"} " +
          std::to_string(input.metrics.rejected_aggregate) + "\n";
 
-  out += "# TYPE geolic_equations_checked_total counter\n";
+  AppendFamilyHeader("geolic_equations_checked_total", "counter",
+                     "Validation equations evaluated.", &out);
   out += "geolic_equations_checked_total{" + svc + "} " +
          std::to_string(input.metrics.equations_checked) + "\n";
 
-  out += "# TYPE geolic_batches_total counter\n";
+  AppendFamilyHeader("geolic_batches_total", "counter",
+                     "TryIssueBatch calls.", &out);
   out += "geolic_batches_total{" + svc + "} " +
          std::to_string(input.metrics.batches) + "\n";
-  out += "# TYPE geolic_batched_requests_total counter\n";
+  AppendFamilyHeader("geolic_batched_requests_total", "counter",
+                     "Requests admitted through batches.", &out);
   out += "geolic_batched_requests_total{" + svc + "} " +
          std::to_string(input.metrics.batched_requests) + "\n";
 
-  out += "# TYPE geolic_latency_clamped_negative_total counter\n";
+  AppendFamilyHeader("geolic_latency_clamped_negative_total", "counter",
+                     "Latency samples clamped at zero.", &out);
   out += "geolic_latency_clamped_negative_total{" + svc + "} " +
          std::to_string(input.metrics.latency.clamped_negative) + "\n";
 
-  out += "# TYPE geolic_request_latency_nanos histogram\n";
+  AppendFamilyHeader("geolic_request_latency_nanos", "histogram",
+                     "End-to-end admission latency.", &out);
   AppendTextHistogram("geolic_request_latency_nanos", svc,
                       input.metrics.latency, &out);
 
   if (input.has_stages) {
-    out += "# TYPE geolic_stage_duration_nanos histogram\n";
+    AppendFamilyHeader("geolic_stage_duration_nanos", "histogram",
+                       "Per-stage request pipeline latency.", &out);
     for (int s = 0; s < kTraceStageCount; ++s) {
       const std::string labels =
           svc + ",stage=\"" +
@@ -145,24 +179,78 @@ std::string RenderPrometheusText(const ExpositionInput& input) {
   }
 
   if (input.has_journal) {
-    out += "# TYPE geolic_journal_sequence gauge\n";
+    AppendFamilyHeader("geolic_journal_sequence", "gauge",
+                       "Sequence of the last journaled frame.", &out);
     out += "geolic_journal_sequence{" + svc + "} " +
            std::to_string(input.journal_sequence) + "\n";
   }
 
   if (input.has_recovery) {
-    out += "# TYPE geolic_recovery_checkpoint_records gauge\n";
+    AppendFamilyHeader("geolic_recovery_checkpoint_records", "gauge",
+                       "Records loaded from the checkpoint.", &out);
     out += "geolic_recovery_checkpoint_records{" + svc + "} " +
            std::to_string(input.recovery_checkpoint_records) + "\n";
-    out += "# TYPE geolic_recovery_journal_replayed gauge\n";
+    AppendFamilyHeader("geolic_recovery_journal_replayed", "gauge",
+                       "Journal frames replayed past the checkpoint.", &out);
     out += "geolic_recovery_journal_replayed{" + svc + "} " +
            std::to_string(input.recovery_journal_replayed) + "\n";
-    out += "# TYPE geolic_recovery_journal_skipped gauge\n";
+    AppendFamilyHeader("geolic_recovery_journal_skipped", "gauge",
+                       "Journal frames the checkpoint already covered.",
+                       &out);
     out += "geolic_recovery_journal_skipped{" + svc + "} " +
            std::to_string(input.recovery_journal_skipped) + "\n";
-    out += "# TYPE geolic_recovery_torn_tail gauge\n";
+    AppendFamilyHeader("geolic_recovery_torn_tail", "gauge",
+                       "1 when the journal ended in a torn write.", &out);
     out += "geolic_recovery_torn_tail{" + svc + "} " +
            std::string(input.recovery_torn_tail ? "1" : "0") + "\n";
+  }
+
+  if (input.has_net) {
+    const ExpositionInput::NetSection& net = input.net;
+    AppendFamilyHeader("geolic_net_connections_total", "counter",
+                       "TCP connections by lifecycle event.", &out);
+    out += "geolic_net_connections_total{" + svc + ",event=\"opened\"} " +
+           std::to_string(net.connections_opened) + "\n";
+    out += "geolic_net_connections_total{" + svc + ",event=\"closed\"} " +
+           std::to_string(net.connections_closed) + "\n";
+    AppendFamilyHeader("geolic_net_frames_decoded_total", "counter",
+                       "Wire frames decoded from client connections.", &out);
+    out += "geolic_net_frames_decoded_total{" + svc + "} " +
+           std::to_string(net.frames_decoded) + "\n";
+    AppendFamilyHeader("geolic_net_requests_total", "counter",
+                       "Issue requests by admission-queue outcome.", &out);
+    out += "geolic_net_requests_total{" + svc + ",event=\"enqueued\"} " +
+           std::to_string(net.requests_enqueued) + "\n";
+    out += "geolic_net_requests_total{" + svc + ",event=\"shed\"} " +
+           std::to_string(net.requests_shed) + "\n";
+    AppendFamilyHeader("geolic_net_protocol_errors_total", "counter",
+                       "Framing/CRC failures that dropped a connection.",
+                       &out);
+    out += "geolic_net_protocol_errors_total{" + svc + "} " +
+           std::to_string(net.protocol_errors) + "\n";
+    AppendFamilyHeader("geolic_net_batches_dispatched_total", "counter",
+                       "Coalesced batches handed to the service.", &out);
+    out += "geolic_net_batches_dispatched_total{" + svc + "} " +
+           std::to_string(net.batches_dispatched) + "\n";
+    AppendFamilyHeader("geolic_net_batch_requests_dispatched_total",
+                       "counter", "Requests carried by those batches.",
+                       &out);
+    out += "geolic_net_batch_requests_dispatched_total{" + svc + "} " +
+           std::to_string(net.batch_requests_dispatched) + "\n";
+    AppendFamilyHeader("geolic_net_queue_depth", "gauge",
+                       "Requests waiting in the admission queue.", &out);
+    out += "geolic_net_queue_depth{" + svc + "} " +
+           std::to_string(net.queue_depth) + "\n";
+    AppendFamilyHeader("geolic_net_queue_depth_peak", "gauge",
+                       "Admission-queue high-water mark.", &out);
+    out += "geolic_net_queue_depth_peak{" + svc + "} " +
+           std::to_string(net.queue_depth_peak) + "\n";
+    AppendFamilyHeader("geolic_net_bytes_total", "counter",
+                       "Socket bytes by direction.", &out);
+    out += "geolic_net_bytes_total{" + svc + ",direction=\"read\"} " +
+           std::to_string(net.bytes_read) + "\n";
+    out += "geolic_net_bytes_total{" + svc + ",direction=\"written\"} " +
+           std::to_string(net.bytes_written) + "\n";
   }
 
   return out;
@@ -217,6 +305,37 @@ std::string RenderJson(const ExpositionInput& input) {
     json.KeyValue("journal_replayed", input.recovery_journal_replayed);
     json.KeyValue("journal_skipped", input.recovery_journal_skipped);
     json.KeyValue("torn_tail", input.recovery_torn_tail);
+    json.EndObject();
+  }
+
+  if (input.has_net) {
+    const ExpositionInput::NetSection& net = input.net;
+    json.Key("net");
+    json.BeginObject();
+    json.Key("connections");
+    json.BeginObject();
+    json.KeyValue("opened", net.connections_opened);
+    json.KeyValue("closed", net.connections_closed);
+    json.EndObject();
+    json.KeyValue("frames_decoded", net.frames_decoded);
+    json.Key("requests");
+    json.BeginObject();
+    json.KeyValue("enqueued", net.requests_enqueued);
+    json.KeyValue("shed", net.requests_shed);
+    json.EndObject();
+    json.KeyValue("protocol_errors", net.protocol_errors);
+    json.Key("batches");
+    json.BeginObject();
+    json.KeyValue("dispatched", net.batches_dispatched);
+    json.KeyValue("requests", net.batch_requests_dispatched);
+    json.EndObject();
+    json.KeyValue("queue_depth", net.queue_depth);
+    json.KeyValue("queue_depth_peak", net.queue_depth_peak);
+    json.Key("bytes");
+    json.BeginObject();
+    json.KeyValue("read", net.bytes_read);
+    json.KeyValue("written", net.bytes_written);
+    json.EndObject();
     json.EndObject();
   }
 

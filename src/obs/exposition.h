@@ -31,6 +31,23 @@ struct ExpositionInput {
   uint64_t recovery_journal_replayed = 0;
   uint64_t recovery_journal_skipped = 0;
   bool recovery_torn_tail = false;
+
+  // Network front-end counters (src/net/server.h). Counters unless noted.
+  bool has_net = false;
+  struct NetSection {
+    uint64_t connections_opened = 0;
+    uint64_t connections_closed = 0;
+    uint64_t frames_decoded = 0;
+    uint64_t requests_enqueued = 0;
+    uint64_t requests_shed = 0;     // Admission-queue overflow responses.
+    uint64_t protocol_errors = 0;   // CRC/framing failures (connection drop).
+    uint64_t batches_dispatched = 0;
+    uint64_t batch_requests_dispatched = 0;
+    uint64_t queue_depth = 0;       // Gauge: requests waiting right now.
+    uint64_t queue_depth_peak = 0;  // Gauge: high-water mark.
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  } net;
 };
 
 // Prometheus text exposition (one `# TYPE` comment per family, then the

@@ -30,6 +30,12 @@ const char* TraceStageName(TraceStage stage) {
       return "instance_soa_scan";
     case TraceStage::kShardSwap:
       return "shard_swap";
+    case TraceStage::kNetRead:
+      return "net_read";
+    case TraceStage::kNetBatchWait:
+      return "net_batch_wait";
+    case TraceStage::kNetWrite:
+      return "net_write";
   }
   return "unknown";
 }

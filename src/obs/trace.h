@@ -34,9 +34,16 @@ enum class TraceStage : uint8_t {
                          // lookup (IssuanceService's kInstanceCheck split).
   kShardSwap,            // Catalog reconfiguration: build + publish of a
                          // new epoch's shard map (acquire/revoke/expire).
+  kNetRead,              // Socket readable to a complete decoded frame
+                         // (recv + ring append + incremental decode).
+  kNetBatchWait,         // Admission-queue dwell: frame decoded to batch
+                         // dispatch (the coalescing window a request waits
+                         // through before its TryIssueBatch call).
+  kNetWrite,             // Response encode + send, including any EAGAIN
+                         // re-arm time until the last byte leaves the ring.
 };
 
-inline constexpr int kTraceStageCount = 11;
+inline constexpr int kTraceStageCount = 14;
 
 // Stable snake_case name used in exposition labels ("instance_check", ...).
 const char* TraceStageName(TraceStage stage);

@@ -5,9 +5,14 @@
 #include <sstream>
 
 #include "licensing/license_serialization.h"
+#include "persist/framing.h"
 #include "util/crc32c.h"
 
 namespace geolic {
+
+using framing::GetScalar;
+using framing::PutScalar;
+
 namespace {
 
 constexpr size_t kFrameHeaderBytes = 4 + 8 + 4 + 4;  // len, seq, crcs.
@@ -25,23 +30,6 @@ constexpr uint32_t kReconfigTagBit = 0x80000000u;
 constexpr uint32_t kAcquireTag = kReconfigTagBit | 1;
 constexpr uint32_t kRevokeTag = kReconfigTagBit | 2;
 constexpr uint32_t kExpireTag = kReconfigTagBit | 3;
-
-template <typename T>
-void PutScalar(std::string* out, T value) {
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &value, sizeof(T));
-  out->append(bytes, sizeof(T));
-}
-
-template <typename T>
-bool GetScalar(std::string_view bytes, size_t* pos, T* value) {
-  if (bytes.size() - *pos < sizeof(T)) {
-    return false;
-  }
-  std::memcpy(value, bytes.data() + *pos, sizeof(T));
-  *pos += sizeof(T);
-  return true;
-}
 
 Status FrameError(uint64_t offset, const std::string& what) {
   return Status::ParseError("journal frame at offset " +
@@ -294,6 +282,9 @@ Status JournalWriter::AppendFrame(uint64_t seq, std::string_view payload) {
     return Status::FailedPrecondition(
         "journal writer poisoned by an earlier I/O error");
   }
+  if (closed_) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
   if (seq == 0) {
     return Status::InvalidArgument("journal sequence numbers start at 1");
   }
@@ -310,8 +301,11 @@ Status JournalWriter::AppendFrame(uint64_t seq, std::string_view payload) {
     return appended;
   }
   ++frames_appended_;
+  // Tracked even with fsync_interval == 0 (no automatic syncs): Close()
+  // must know whether an acknowledged-unsynced tail exists to flush.
+  ++frames_since_sync_;
   if (options_.fsync_interval > 0 &&
-      ++frames_since_sync_ >= options_.fsync_interval) {
+      frames_since_sync_ >= options_.fsync_interval) {
     return Sync();
   }
   return Status::Ok();
@@ -322,6 +316,9 @@ Status JournalWriter::Sync() {
     return Status::FailedPrecondition(
         "journal writer poisoned by an earlier I/O error");
   }
+  if (closed_) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
   ScopedTracerSpan span(tracer_, TraceStage::kJournalFsync);
   const Status synced = file_->Sync();
   if (!synced.ok()) {
@@ -331,6 +328,36 @@ Status JournalWriter::Sync() {
   }
   frames_since_sync_ = 0;
   return Status::Ok();
+}
+
+Status JournalWriter::Close() {
+  if (closed_) {
+    return Status::Ok();
+  }
+  if (poisoned_) {
+    closed_ = true;
+    return Status::FailedPrecondition(
+        "journal writer poisoned by an earlier I/O error");
+  }
+  if (frames_since_sync_ > 0) {
+    const Status synced = Sync();
+    if (!synced.ok()) {
+      closed_ = true;  // Sync poisoned the writer; Close stays terminal.
+      return synced;
+    }
+  }
+  closed_ = true;
+  const Status status = file_->Close();
+  if (!status.ok()) {
+    poisoned_ = true;
+  }
+  return status;
+}
+
+JournalWriter::~JournalWriter() {
+  if (!closed_ && !poisoned_ && frames_since_sync_ > 0) {
+    (void)Close();
+  }
 }
 
 Result<JournalReplay> JournalReader::Parse(std::string_view bytes) {

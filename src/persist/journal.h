@@ -96,6 +96,19 @@ class JournalWriter {
   // Forces every appended frame to stable storage.
   Status Sync();
 
+  // Flushes the batched-fsync tail, then closes the file. With
+  // fsync_interval != 1, frames appended since the last batch boundary
+  // are acknowledged but not yet durable; without this final sync a clean
+  // shutdown would silently lose them — the one case the torn-tail rules
+  // cannot excuse, because every one of those appends returned OK.
+  // Idempotent; every later Append/Sync fails. A Close after an I/O error
+  // (poisoned writer) fails loudly instead of pretending durability.
+  Status Close();
+
+  // Best-effort Close() when the caller did not: a destructor cannot
+  // report, so code that needs the sync outcome calls Close() itself.
+  ~JournalWriter();
+
   uint64_t frames_appended() const { return frames_appended_; }
 
   // Optional span sink: every fsync (explicit Sync or the batched one
@@ -116,8 +129,9 @@ class JournalWriter {
   JournalOptions options_;
   Tracer* tracer_ = nullptr;
   uint64_t frames_appended_ = 0;
-  int frames_since_sync_ = 0;
+  int frames_since_sync_ = 0;  // Appended, not yet covered by a sync.
   bool poisoned_ = false;
+  bool closed_ = false;
 };
 
 // One replayed frame.

@@ -426,11 +426,26 @@ Result<std::vector<OnlineDecision>> IssuanceService::TryIssueBatch(
 
 Status IssuanceService::TryIssueBatch(std::span<const License> batch,
                                       std::span<OnlineDecision> decisions) {
+  // Thin shim over the pointer form: the pointer array is arena scratch,
+  // so this stays allocation-free after warmup.
+  RequestArena& arena = ThreadLocalRequestArena();
+  const ArenaScope scratch(&arena);
+  const License** pointers =
+      arena.AllocateArray<const License*>(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    pointers[i] = &batch[i];
+  }
+  return TryIssueBatch(
+      std::span<const License* const>(pointers, batch.size()), decisions);
+}
+
+Status IssuanceService::TryIssueBatch(std::span<const License* const> batch,
+                                      std::span<OnlineDecision> decisions) {
   GEOLIC_DCHECK(decisions.size() >= batch.size());
   RequestTimer timer(options_.sim_hooks);
   metrics_->RecordBatch(batch.size());
-  for (const License& issued : batch) {
-    if (issued.aggregate_count() <= 0) {
+  for (const License* issued : batch) {
+    if (issued->aggregate_count() <= 0) {
       return Status::InvalidArgument(
           "issued license must carry a positive count");
     }
@@ -472,7 +487,8 @@ Status IssuanceService::TryIssueBatch(std::span<const License> batch,
         const size_t i = todo[k];
         decisions[i] = OnlineDecision();
         decisions[i].catalog_epoch = epoch->epoch;
-        decisions[i].satisfying_set = epoch->instance.SatisfyingSet(batch[i]);
+        decisions[i].satisfying_set =
+            epoch->instance.SatisfyingSet(*batch[i]);
         if (decisions[i].satisfying_set.Empty()) {
           metrics_->RecordRejectedInstance(timer.ElapsedNanos());
           continue;
@@ -517,7 +533,7 @@ Status IssuanceService::TryIssueBatch(std::span<const License> batch,
         size_t routed_shard = 0;
         const LicenseSet& scope =
             RouteSet(*epoch, decisions[p.index].satisfying_set, &routed_shard);
-        const Status admitted = AdmitLocked(*epoch, shard, batch[p.index],
+        const Status admitted = AdmitLocked(*epoch, shard, *batch[p.index],
                                             scope, &decisions[p.index],
                                             &trace);
         if (!admitted.ok()) {

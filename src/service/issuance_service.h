@@ -152,6 +152,13 @@ class IssuanceService {
   Status TryIssueBatch(std::span<const License> batch,
                        std::span<OnlineDecision> decisions);
 
+  // Pointer-batch intake for callers whose requests are not contiguous —
+  // the network front-end (net/server.h) batches requests popped from its
+  // admission queue without copying the licenses into a dense array.
+  // Same semantics and arena discipline as the span form above.
+  Status TryIssueBatch(std::span<const License* const> batch,
+                       std::span<OnlineDecision> decisions);
+
   // --- Live license lifecycle (one reconfiguration at a time) ---
 
   // Adds `license` to the running catalog; returns its index in the new

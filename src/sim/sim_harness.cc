@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/wire.h"
 #include "persist/faulty_file.h"
 #include "persist/journal.h"
 #include "persist/sync_file.h"
@@ -327,8 +328,37 @@ void RunInvariantSweep(SimState* state, const char* when) {
   }
 }
 
+// Cross-checks the wire codec against the request the harness is about to
+// admit: every generated license must survive encode -> decode -> encode
+// byte-identically, so the sim sweep exercises the network payload format
+// on every admission path, not just in the dedicated wire tests.
+bool CheckWireRoundTrip(SimState* state, const License& request) {
+  std::string payload;
+  const Status encoded = net::EncodeIssueRequest(request, &payload);
+  if (!encoded.ok()) {
+    Fail(state, "wire encode failed for " + request.id() + ": " +
+                    std::string(encoded.message()));
+    return false;
+  }
+  const Result<License> decoded = net::DecodeIssueRequest(payload);
+  if (!decoded.ok()) {
+    Fail(state, "wire decode failed for " + request.id() + ": " +
+                    std::string(decoded.status().message()));
+    return false;
+  }
+  std::string again;
+  if (!net::EncodeIssueRequest(*decoded, &again).ok() || again != payload) {
+    Fail(state, "wire round-trip not byte-identical for " + request.id());
+    return false;
+  }
+  return true;
+}
+
 void ExecuteTryIssue(SimState* state, const SimOp& op) {
   const License& request = op.requests[0];
+  if (!CheckWireRoundTrip(state, request)) {
+    return;
+  }
   const Result<OnlineDecision> got = state->service->TryIssue(request);
   if (!got.ok()) {
     NoteJournalError(state, request);
@@ -357,6 +387,11 @@ void ExecuteTryIssue(SimState* state, const SimOp& op) {
 }
 
 void ExecuteBatch(SimState* state, const SimOp& op) {
+  for (const License& request : op.requests) {
+    if (!CheckWireRoundTrip(state, request)) {
+      return;
+    }
+  }
   ++state->batches_in_flight;
   const uint64_t version_before = state->model->version();
   const uint64_t epoch_before = state->model_epoch;

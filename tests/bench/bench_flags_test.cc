@@ -1,0 +1,82 @@
+#include "bench_util.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace geolic::bench {
+namespace {
+
+// Builds a Flags parser over a literal argv (argv[0] is the bench name).
+Flags Make(const std::vector<const char*>& args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("bench"));
+  for (const char* arg : args) {
+    argv.push_back(const_cast<char*>(arg));
+  }
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchFlagsTest, ParsesRegisteredFlags) {
+  Flags flags = Make({"--max_n=12", "--json_out=/tmp/x.json", "--step=-3"});
+  EXPECT_EQ(flags.Int("max_n", 30), 12);
+  EXPECT_EQ(flags.Int("step", 2), -3);
+  EXPECT_EQ(flags.Str("json_out", ""), "/tmp/x.json");
+  EXPECT_EQ(flags.Int("absent", 7), 7);
+  EXPECT_EQ(flags.Str("also_absent", "dflt"), "dflt");
+  flags.Finish();  // Everything claimed: must not exit.
+}
+
+TEST(BenchFlagsTest, EmptyArgvFinishesCleanly) {
+  Flags flags = Make({});
+  EXPECT_EQ(flags.Int("max_n", 30), 30);
+  flags.Finish();
+}
+
+TEST(BenchFlagsTest, UnknownFlagExitsNonZero) {
+  Flags flags = Make({"--max_n=12", "--bogus=1"});
+  EXPECT_EQ(flags.Int("max_n", 30), 12);
+  EXPECT_EXIT(flags.Finish(), ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchFlagsTest, MistypedFlagWithoutValueExitsNonZero) {
+  // "--json_out" without "=" never matches the registered prefix, so it
+  // must surface as unknown instead of silently disabling the output.
+  Flags flags = Make({"--json_out"});
+  EXPECT_EQ(flags.Str("json_out", ""), "");
+  EXPECT_EXIT(flags.Finish(), ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchFlagsTest, DuplicateFlagExitsNonZero) {
+  Flags flags = Make({"--max_n=12", "--max_n=14"});
+  EXPECT_EXIT(flags.Int("max_n", 30), ::testing::ExitedWithCode(2),
+              "duplicate flag --max_n");
+}
+
+TEST(BenchFlagsTest, NonNumericIntExitsNonZero) {
+  Flags flags = Make({"--max_n=twelve"});
+  EXPECT_EXIT(flags.Int("max_n", 30), ::testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+TEST(BenchFlagsTest, EmptyIntValueExitsNonZero) {
+  Flags flags = Make({"--max_n="});
+  EXPECT_EXIT(flags.Int("max_n", 30), ::testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+TEST(BenchFlagsTest, OutOfRangeIntExitsNonZero) {
+  Flags flags = Make({"--max_n=99999999999999999999"});
+  EXPECT_EXIT(flags.Int("max_n", 30), ::testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+TEST(BenchFlagsTest, TrailingGarbageIntExitsNonZero) {
+  Flags flags = Make({"--max_n=12abc"});
+  EXPECT_EXIT(flags.Int("max_n", 30), ::testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+}  // namespace
+}  // namespace geolic::bench

@@ -1,0 +1,399 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "obs/exposition.h"
+#include "test_util.h"
+#include "util/check.h"
+
+namespace geolic::net {
+namespace {
+
+using geolic::testing::IntervalSchema;
+using geolic::testing::MakeRedistribution;
+using geolic::testing::MakeUsage;
+
+// Minimal blocking client for loopback tests: connect, push bytes,
+// decode response frames off a local ring.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    GEOLIC_CHECK(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    GEOLIC_CHECK(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1);
+    GEOLIC_CHECK(connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0);
+    timeval timeout{};
+    timeout.tv_sec = 20;  // Bounds every recv so a server bug cannot hang.
+    (void)setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+  }
+
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void SendMagic() {
+    SendRaw(std::string_view(kWireMagic, sizeof(kWireMagic)));
+  }
+
+  void SendRaw(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      GEOLIC_CHECK(n > 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  void SendFrame(FrameKind kind, uint64_t request_id,
+                 std::string_view payload) {
+    std::string bytes;
+    EncodeFrame(kind, request_id, payload, &bytes);
+    SendRaw(bytes);
+  }
+
+  // Blocks until one frame decodes; false on clean EOF.
+  bool ReadFrame(Frame* frame) {
+    for (;;) {
+      size_t consumed = 0;
+      std::string error;
+      const DecodeResult result =
+          TryDecodeFrame(buffer_, frame, &consumed, &error);
+      if (result == DecodeResult::kFrame) {
+        buffer_.erase(0, consumed);
+        return true;
+      }
+      GEOLIC_CHECK(result == DecodeResult::kNeedMore);
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        return false;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      GEOLIC_CHECK(n > 0);
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // True once the server closes the connection (drains any last frames).
+  bool ReadEof() {
+    for (;;) {
+      char chunk[256];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        return true;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n < 0) {
+        return false;  // Timeout or error: the peer never closed.
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// One redistribution license [0,20] with the given budget; requests
+// inside it share the single satisfying set {L1}.
+struct Fixture {
+  explicit Fixture(int64_t budget,
+                   const ServerOptions& options = ServerOptions())
+      : schema(IntervalSchema(1)), licenses(&schema) {
+    GEOLIC_CHECK(
+        licenses.Add(MakeRedistribution(schema, "L1", {{0, 20}}, budget))
+            .ok());
+    Result<std::unique_ptr<IssuanceService>> created =
+        IssuanceService::Create(&licenses);
+    GEOLIC_CHECK(created.ok());
+    service = *std::move(created);
+    Result<std::unique_ptr<Server>> started =
+        Server::Start(service.get(), options);
+    GEOLIC_CHECK(started.ok());
+    server = *std::move(started);
+  }
+
+  License Inside(int i, int64_t count = 1) const {
+    return MakeUsage(schema, "U" + std::to_string(i), {{5, 10}}, count);
+  }
+
+  License Outside(int i) const {
+    return MakeUsage(schema, "U" + std::to_string(i), {{500, 510}}, 1);
+  }
+
+  std::string IssuePayload(const License& license) const {
+    std::string payload;
+    GEOLIC_CHECK(EncodeIssueRequest(license, &payload).ok());
+    return payload;
+  }
+
+  ConstraintSchema schema;
+  LicenseCatalog licenses;
+  std::unique_ptr<IssuanceService> service;
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerTest, PingPongEchoesRequestId) {
+  Fixture fx(5);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  client.SendFrame(FrameKind::kPing, 77, {});
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kPong);
+  EXPECT_EQ(frame.request_id, 77u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(ServerTest, IssueAcceptsThenRejectsOnBudgetAndGeometry) {
+  Fixture fx(2);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+
+  const auto issue = [&](uint64_t id, const License& license) {
+    client.SendFrame(FrameKind::kIssueRequest, id, fx.IssuePayload(license));
+    Frame frame;
+    GEOLIC_CHECK(client.ReadFrame(&frame));
+    EXPECT_EQ(frame.kind, FrameKind::kIssueResult);
+    EXPECT_EQ(frame.request_id, id);
+    IssueResult result;
+    GEOLIC_CHECK(DecodeIssueResult(frame.payload, &result).ok());
+    return result;
+  };
+
+  EXPECT_EQ(issue(1, fx.Inside(1)).outcome, IssueResult::Outcome::kAccepted);
+  EXPECT_EQ(issue(2, fx.Inside(2)).outcome, IssueResult::Outcome::kAccepted);
+  // Budget of 2 exhausted: aggregate reject, with the work receipt.
+  const IssueResult third = issue(3, fx.Inside(3));
+  EXPECT_EQ(third.outcome, IssueResult::Outcome::kRejectedAggregate);
+  EXPECT_GT(third.equations_checked, 0u);
+  // Outside every license: instance reject.
+  EXPECT_EQ(issue(4, fx.Outside(4)).outcome,
+            IssueResult::Outcome::kRejectedInstance);
+}
+
+TEST(ServerTest, PipelinedBurstAnswersEveryRequest) {
+  Fixture fx(1000);
+  TestClient client(fx.server->port());
+
+  // Magic + 48 requests in a single write: the server must decode them
+  // incrementally and answer each one exactly once.
+  std::string burst(kWireMagic, sizeof(kWireMagic));
+  constexpr uint64_t kRequests = 48;
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    EncodeFrame(FrameKind::kIssueRequest, id,
+                fx.IssuePayload(fx.Inside(static_cast<int>(id))), &burst);
+  }
+  client.SendRaw(burst);
+
+  std::set<uint64_t> answered;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    Frame frame;
+    ASSERT_TRUE(client.ReadFrame(&frame));
+    ASSERT_EQ(frame.kind, FrameKind::kIssueResult);
+    IssueResult result;
+    ASSERT_TRUE(DecodeIssueResult(frame.payload, &result).ok());
+    EXPECT_EQ(result.outcome, IssueResult::Outcome::kAccepted);
+    EXPECT_TRUE(answered.insert(frame.request_id).second)
+        << "duplicate response for " << frame.request_id;
+  }
+  EXPECT_EQ(answered.size(), kRequests);
+  EXPECT_EQ(*answered.begin(), 1u);
+  EXPECT_EQ(*answered.rbegin(), kRequests);
+
+  const NetStats stats = fx.server->Stats();
+  EXPECT_EQ(stats.requests_enqueued, kRequests);
+  EXPECT_EQ(stats.batch_requests_dispatched, kRequests);
+  EXPECT_GE(stats.batches_dispatched, 1u);
+  EXPECT_LE(stats.batches_dispatched, kRequests);
+  EXPECT_EQ(stats.requests_shed, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServerTest, BadMagicGetsStreamErrorAndClose) {
+  Fixture fx(5);
+  TestClient client(fx.server->port());
+  client.SendRaw("NOTMAGIC");
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_EQ(frame.request_id, 0u);  // Stream-level: no request to blame.
+  EXPECT_NE(frame.payload.find("magic"), std::string::npos);
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(fx.server->Stats().protocol_errors, 1u);
+}
+
+TEST(ServerTest, CorruptFrameGetsStreamErrorAndClose) {
+  Fixture fx(5);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  std::string bytes;
+  EncodeFrame(FrameKind::kPing, 5, {}, &bytes);
+  bytes[2] = static_cast<char>(bytes[2] ^ 0x10);  // Flip a length bit.
+  client.SendRaw(bytes);
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_EQ(frame.request_id, 0u);
+  EXPECT_NE(frame.payload.find("crc"), std::string::npos);
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(fx.server->Stats().protocol_errors, 1u);
+}
+
+TEST(ServerTest, MalformedLicensePayloadKeepsConnectionAlive) {
+  Fixture fx(5);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  // The framing is sound, only the payload is garbage: a request-scoped
+  // kError, and the connection keeps serving.
+  client.SendFrame(FrameKind::kIssueRequest, 9, "not a license");
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_EQ(frame.request_id, 9u);
+
+  client.SendFrame(FrameKind::kPing, 10, {});
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kPong);
+  EXPECT_EQ(frame.request_id, 10u);
+  EXPECT_EQ(fx.server->Stats().protocol_errors, 0u);
+}
+
+TEST(ServerTest, ResponseKindFromClientIsAProtocolError) {
+  Fixture fx(5);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  client.SendFrame(FrameKind::kPong, 3, {});
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kError);
+  EXPECT_EQ(frame.request_id, 0u);
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST(ServerTest, FullAdmissionQueueShedsExplicitly) {
+  ServerOptions options;
+  options.queue_capacity = 0;  // Every issue request finds a full queue.
+  Fixture fx(5, options);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  for (uint64_t id = 1; id <= 3; ++id) {
+    client.SendFrame(FrameKind::kIssueRequest, id,
+                     fx.IssuePayload(fx.Inside(static_cast<int>(id))));
+    Frame frame;
+    ASSERT_TRUE(client.ReadFrame(&frame));
+    EXPECT_EQ(frame.kind, FrameKind::kShed);
+    EXPECT_EQ(frame.request_id, id);
+  }
+  // Shed is an explicit response, not a drop: the connection still works.
+  client.SendFrame(FrameKind::kPing, 99, {});
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kPong);
+
+  const NetStats stats = fx.server->Stats();
+  EXPECT_EQ(stats.requests_shed, 3u);
+  EXPECT_EQ(stats.requests_enqueued, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServerTest, DrainFlushesAndStopsAcceptingIdempotently) {
+  Fixture fx(100);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  client.SendFrame(FrameKind::kIssueRequest, 1,
+                   fx.IssuePayload(fx.Inside(1)));
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kIssueResult);
+
+  fx.server->Drain();
+  fx.server->Drain();  // Idempotent.
+  EXPECT_TRUE(client.ReadEof());  // Outstanding connections are closed.
+
+  const NetStats stats = fx.server->Stats();
+  EXPECT_EQ(stats.connections_closed, stats.connections_opened);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServerTest, SnapExposesTheNetSectionInBothFormats) {
+  Tracer tracer(TracerOptions{.slow_request_nanos = 0});
+  ServerOptions options;
+  options.tracer = &tracer;
+  Fixture fx(100, options);
+  TestClient client(fx.server->port());
+  client.SendMagic();
+  for (uint64_t id = 1; id <= 8; ++id) {
+    client.SendFrame(FrameKind::kIssueRequest, id,
+                     fx.IssuePayload(fx.Inside(static_cast<int>(id))));
+    Frame frame;
+    ASSERT_TRUE(client.ReadFrame(&frame));
+    ASSERT_EQ(frame.kind, FrameKind::kIssueResult);
+  }
+
+  ExpositionInput input = fx.server->Snap();
+  ASSERT_TRUE(input.has_net);
+  EXPECT_EQ(input.net.requests_enqueued, 8u);
+  input.has_stages = true;
+  input.stages = tracer.ProfileSnapshot();
+
+  const std::string text = RenderPrometheusText(input);
+  EXPECT_NE(text.find("geolic_net_requests_total{service=\"geolic\","
+                      "event=\"enqueued\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("geolic_net_connections_total"), std::string::npos);
+  EXPECT_NE(text.find("stage=\"net_read\""), std::string::npos);
+  EXPECT_NE(text.find("stage=\"net_batch_wait\""), std::string::npos);
+  EXPECT_NE(text.find("stage=\"net_write\""), std::string::npos);
+
+  const std::string json = RenderJson(input);
+  EXPECT_NE(json.find("\"net\":{\"connections\""), std::string::npos);
+  EXPECT_NE(json.find("\"net_read\""), std::string::npos);
+  EXPECT_NE(json.find("\"net_batch_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"net_write\""), std::string::npos);
+
+#ifndef GEOLIC_DISABLE_TRACING
+  // The three wire stages must have recorded real spans, not just exist
+  // as empty families.
+  const auto stage_count = [&input](TraceStage stage) {
+    return input.stages.stage(stage).total_count;
+  };
+  EXPECT_GT(stage_count(TraceStage::kNetRead), 0u);
+  EXPECT_GT(stage_count(TraceStage::kNetBatchWait), 0u);
+  EXPECT_GT(stage_count(TraceStage::kNetWrite), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace geolic::net

@@ -49,20 +49,29 @@ ExpositionInput GoldenInput() {
 
 TEST(ExpositionTest, GoldenPrometheusText) {
   const std::string expected =
+      "# HELP geolic_requests_total Admission decisions by outcome.\n"
       "# TYPE geolic_requests_total counter\n"
       "geolic_requests_total{service=\"geolic\",outcome=\"accepted\"} 5\n"
       "geolic_requests_total{service=\"geolic\","
       "outcome=\"rejected_instance\"} 2\n"
       "geolic_requests_total{service=\"geolic\","
       "outcome=\"rejected_aggregate\"} 1\n"
+      "# HELP geolic_equations_checked_total Validation equations "
+      "evaluated.\n"
       "# TYPE geolic_equations_checked_total counter\n"
       "geolic_equations_checked_total{service=\"geolic\"} 37\n"
+      "# HELP geolic_batches_total TryIssueBatch calls.\n"
       "# TYPE geolic_batches_total counter\n"
       "geolic_batches_total{service=\"geolic\"} 2\n"
+      "# HELP geolic_batched_requests_total Requests admitted through "
+      "batches.\n"
       "# TYPE geolic_batched_requests_total counter\n"
       "geolic_batched_requests_total{service=\"geolic\"} 6\n"
+      "# HELP geolic_latency_clamped_negative_total Latency samples "
+      "clamped at zero.\n"
       "# TYPE geolic_latency_clamped_negative_total counter\n"
       "geolic_latency_clamped_negative_total{service=\"geolic\"} 1\n"
+      "# HELP geolic_request_latency_nanos End-to-end admission latency.\n"
       "# TYPE geolic_request_latency_nanos histogram\n"
       "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"2\"} 0\n"
       "geolic_request_latency_nanos_bucket{service=\"geolic\",le=\"4\"} 0\n"
@@ -76,14 +85,24 @@ TEST(ExpositionTest, GoldenPrometheusText) {
       "8\n"
       "geolic_request_latency_nanos_sum{service=\"geolic\"} 1234\n"
       "geolic_request_latency_nanos_count{service=\"geolic\"} 8\n"
+      "# HELP geolic_journal_sequence Sequence of the last journaled "
+      "frame.\n"
       "# TYPE geolic_journal_sequence gauge\n"
       "geolic_journal_sequence{service=\"geolic\"} 8\n"
+      "# HELP geolic_recovery_checkpoint_records Records loaded from the "
+      "checkpoint.\n"
       "# TYPE geolic_recovery_checkpoint_records gauge\n"
       "geolic_recovery_checkpoint_records{service=\"geolic\"} 3\n"
+      "# HELP geolic_recovery_journal_replayed Journal frames replayed "
+      "past the checkpoint.\n"
       "# TYPE geolic_recovery_journal_replayed gauge\n"
       "geolic_recovery_journal_replayed{service=\"geolic\"} 5\n"
+      "# HELP geolic_recovery_journal_skipped Journal frames the "
+      "checkpoint already covered.\n"
       "# TYPE geolic_recovery_journal_skipped gauge\n"
       "geolic_recovery_journal_skipped{service=\"geolic\"} 1\n"
+      "# HELP geolic_recovery_torn_tail 1 when the journal ended in a "
+      "torn write.\n"
       "# TYPE geolic_recovery_torn_tail gauge\n"
       "geolic_recovery_torn_tail{service=\"geolic\"} 1\n";
   EXPECT_EQ(RenderPrometheusText(GoldenInput()), expected);
@@ -158,6 +177,155 @@ TEST(ExpositionTest, ServiceLabelIsEscapedAndRoundTrips) {
   const Result<JsonValue> doc = ParseJson(RenderJson(input));
   ASSERT_TRUE(doc.ok()) << doc.status().message();
   EXPECT_EQ(doc->Find("service")->string, input.service);
+}
+
+// Hostile-name input shared by the byte-exact escaping goldens: the
+// service label carries a backslash, a double quote, and a newline, and
+// the net section is on so the newest families render too.
+ExpositionInput HostileInput() {
+  ExpositionInput input;
+  input.service = "drm\\co\"rp\nx";
+  input.has_net = true;
+  input.net.connections_opened = 1;
+  input.net.connections_closed = 2;
+  input.net.frames_decoded = 3;
+  input.net.requests_enqueued = 4;
+  input.net.requests_shed = 5;
+  input.net.protocol_errors = 6;
+  input.net.batches_dispatched = 7;
+  input.net.batch_requests_dispatched = 8;
+  input.net.queue_depth = 9;
+  input.net.queue_depth_peak = 10;
+  input.net.bytes_read = 11;
+  input.net.bytes_written = 12;
+  return input;
+}
+
+TEST(ExpositionTest, GoldenPrometheusTextHostileName) {
+  const std::string svc = "service=\"drm\\\\co\\\"rp\\nx\"";
+  const std::string expected =
+      "# HELP geolic_requests_total Admission decisions by outcome.\n"
+      "# TYPE geolic_requests_total counter\n"
+      "geolic_requests_total{" + svc + ",outcome=\"accepted\"} 0\n"
+      "geolic_requests_total{" + svc + ",outcome=\"rejected_instance\"} 0\n"
+      "geolic_requests_total{" + svc +
+      ",outcome=\"rejected_aggregate\"} 0\n"
+      "# HELP geolic_equations_checked_total Validation equations "
+      "evaluated.\n"
+      "# TYPE geolic_equations_checked_total counter\n"
+      "geolic_equations_checked_total{" + svc + "} 0\n"
+      "# HELP geolic_batches_total TryIssueBatch calls.\n"
+      "# TYPE geolic_batches_total counter\n"
+      "geolic_batches_total{" + svc + "} 0\n"
+      "# HELP geolic_batched_requests_total Requests admitted through "
+      "batches.\n"
+      "# TYPE geolic_batched_requests_total counter\n"
+      "geolic_batched_requests_total{" + svc + "} 0\n"
+      "# HELP geolic_latency_clamped_negative_total Latency samples "
+      "clamped at zero.\n"
+      "# TYPE geolic_latency_clamped_negative_total counter\n"
+      "geolic_latency_clamped_negative_total{" + svc + "} 0\n"
+      "# HELP geolic_request_latency_nanos End-to-end admission latency.\n"
+      "# TYPE geolic_request_latency_nanos histogram\n"
+      "geolic_request_latency_nanos_bucket{" + svc + ",le=\"+Inf\"} 0\n"
+      "geolic_request_latency_nanos_sum{" + svc + "} 0\n"
+      "geolic_request_latency_nanos_count{" + svc + "} 0\n"
+      "# HELP geolic_net_connections_total TCP connections by lifecycle "
+      "event.\n"
+      "# TYPE geolic_net_connections_total counter\n"
+      "geolic_net_connections_total{" + svc + ",event=\"opened\"} 1\n"
+      "geolic_net_connections_total{" + svc + ",event=\"closed\"} 2\n"
+      "# HELP geolic_net_frames_decoded_total Wire frames decoded from "
+      "client connections.\n"
+      "# TYPE geolic_net_frames_decoded_total counter\n"
+      "geolic_net_frames_decoded_total{" + svc + "} 3\n"
+      "# HELP geolic_net_requests_total Issue requests by admission-queue "
+      "outcome.\n"
+      "# TYPE geolic_net_requests_total counter\n"
+      "geolic_net_requests_total{" + svc + ",event=\"enqueued\"} 4\n"
+      "geolic_net_requests_total{" + svc + ",event=\"shed\"} 5\n"
+      "# HELP geolic_net_protocol_errors_total Framing/CRC failures that "
+      "dropped a connection.\n"
+      "# TYPE geolic_net_protocol_errors_total counter\n"
+      "geolic_net_protocol_errors_total{" + svc + "} 6\n"
+      "# HELP geolic_net_batches_dispatched_total Coalesced batches "
+      "handed to the service.\n"
+      "# TYPE geolic_net_batches_dispatched_total counter\n"
+      "geolic_net_batches_dispatched_total{" + svc + "} 7\n"
+      "# HELP geolic_net_batch_requests_dispatched_total Requests carried "
+      "by those batches.\n"
+      "# TYPE geolic_net_batch_requests_dispatched_total counter\n"
+      "geolic_net_batch_requests_dispatched_total{" + svc + "} 8\n"
+      "# HELP geolic_net_queue_depth Requests waiting in the admission "
+      "queue.\n"
+      "# TYPE geolic_net_queue_depth gauge\n"
+      "geolic_net_queue_depth{" + svc + "} 9\n"
+      "# HELP geolic_net_queue_depth_peak Admission-queue high-water "
+      "mark.\n"
+      "# TYPE geolic_net_queue_depth_peak gauge\n"
+      "geolic_net_queue_depth_peak{" + svc + "} 10\n"
+      "# HELP geolic_net_bytes_total Socket bytes by direction.\n"
+      "# TYPE geolic_net_bytes_total counter\n"
+      "geolic_net_bytes_total{" + svc + ",direction=\"read\"} 11\n"
+      "geolic_net_bytes_total{" + svc + ",direction=\"written\"} 12\n";
+  EXPECT_EQ(RenderPrometheusText(HostileInput()), expected);
+}
+
+TEST(ExpositionTest, GoldenJsonHostileName) {
+  const std::string expected =
+      "{\"service\":\"drm\\\\co\\\"rp\\nx\","
+      "\"requests\":{\"accepted\":0,\"rejected_instance\":0,"
+      "\"rejected_aggregate\":0,\"total\":0},"
+      "\"equations_checked\":0,"
+      "\"batches\":{\"count\":0,\"requests\":0},"
+      "\"latency\":{\"count\":0,\"sum_nanos\":0,\"clamped_negative\":0,"
+      "\"p50_le_nanos\":0,\"p99_le_nanos\":0,\"buckets\":[]},"
+      "\"net\":{\"connections\":{\"opened\":1,\"closed\":2},"
+      "\"frames_decoded\":3,"
+      "\"requests\":{\"enqueued\":4,\"shed\":5},"
+      "\"protocol_errors\":6,"
+      "\"batches\":{\"dispatched\":7,\"requests\":8},"
+      "\"queue_depth\":9,\"queue_depth_peak\":10,"
+      "\"bytes\":{\"read\":11,\"written\":12}}}";
+  EXPECT_EQ(RenderJson(HostileInput()), expected);
+}
+
+// Escaping audit: with every section on and a hostile service name, every
+// physical line of the text exposition must be a well-formed HELP/TYPE
+// comment or a `name{labels} value` sample — an unescaped newline or
+// quote anywhere would split or malform a line.
+TEST(ExpositionTest, PrometheusLinesStayWellFormedWithHostileName) {
+  ExpositionInput input = HostileInput();
+  input.metrics = GoldenInput().metrics;
+  input.has_stages = true;
+  input.has_journal = true;
+  input.has_recovery = true;
+  std::istringstream lines(RenderPrometheusText(input));
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    // Series line: metric name, then a brace-delimited label set whose
+    // quotes are balanced once escapes are honoured, then the value.
+    const size_t open = line.find('{');
+    ASSERT_NE(open, std::string::npos) << line;
+    EXPECT_NE(line.find("service=\"", open), std::string::npos) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 2u) << line;
+    EXPECT_EQ(line[space - 1], '}') << line;
+    for (size_t i = space + 1; i < line.size(); ++i) {
+      EXPECT_TRUE((line[i] >= '0' && line[i] <= '9') || line[i] == '+' ||
+                  line[i] == '.' || line[i] == 'I' || line[i] == 'n' ||
+                  line[i] == 'f')
+          << line;
+    }
+    ++samples;
+  }
+  EXPECT_GT(samples, 20u);
 }
 
 TEST(ExpositionTest, WriteMetricsFileDispatchesOnSuffix) {

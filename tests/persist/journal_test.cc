@@ -13,6 +13,22 @@
 namespace geolic {
 namespace {
 
+// Forwards to a test-owned file so the disk outlives the JournalWriter —
+// lets a test destroy the writer and then inspect what a crash right
+// after shutdown would leave behind.
+class ForwardingSyncFile : public SyncFile {
+ public:
+  explicit ForwardingSyncFile(SyncFile* target) : target_(target) {}
+  Status Append(std::string_view data) override {
+    return target_->Append(data);
+  }
+  Status Sync() override { return target_->Sync(); }
+  Status Close() override { return target_->Close(); }
+
+ private:
+  SyncFile* target_;
+};
+
 LogRecord Record(const std::string& id, uint64_t mask, int64_t count) {
   const LicenseSet set = LicenseSet::FromWord(mask);
   LogRecord record;
@@ -118,6 +134,58 @@ TEST(JournalTest, ManualSyncFlushesWithIntervalZero) {
   EXPECT_LT(disk->synced_size(), disk->contents().size());
   ASSERT_TRUE((*writer)->Sync().ok());
   EXPECT_EQ(disk->synced_size(), disk->contents().size());
+}
+
+// Satellite regression: with batched fsync (interval > 1) the writer used
+// to leave the tail of appends unsynced on shutdown, so a clean close
+// behaved like a crash and dropped acknowledged records. Close must flush
+// whatever the interval is still holding back.
+TEST(JournalTest, CloseFlushesTheBatchedFsyncTail) {
+  InMemorySyncFile disk;
+  JournalOptions options;
+  options.fsync_interval = 4;
+  Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::Create(
+      std::make_unique<ForwardingSyncFile>(&disk), options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE((*writer)->Append(seq, Record("LU", 0x1, 1)).ok());
+  }
+  // Below the interval: the tail is not yet acknowledged durable.
+  ASSERT_LT(disk.synced_size(), disk.contents().size());
+
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ(disk.synced_size(), disk.contents().size());
+  const Result<JournalReplay> replay =
+      JournalReader::Parse(disk.synced_contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->entries.size(), 3u);
+  EXPECT_FALSE(replay->torn_tail);
+
+  // A closed writer refuses further work; Close stays idempotent.
+  EXPECT_FALSE((*writer)->Append(4, Record("LU", 0x1, 1)).ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
+  EXPECT_TRUE((*writer)->Close().ok());
+}
+
+// Destroying the writer without an explicit Close must flush the same
+// tail — RAII teardown is the common shutdown path in the service.
+TEST(JournalTest, DestructionFlushesTheBatchedFsyncTail) {
+  InMemorySyncFile disk;
+  JournalOptions options;
+  options.fsync_interval = 8;
+  {
+    Result<std::unique_ptr<JournalWriter>> writer = JournalWriter::Create(
+        std::make_unique<ForwardingSyncFile>(&disk), options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(1, Record("LU1", 0x3, 10)).ok());
+    ASSERT_TRUE((*writer)->Append(2, Record("LU2", 0x5, 1)).ok());
+    ASSERT_LT(disk.synced_size(), disk.contents().size());
+  }
+  const Result<JournalReplay> replay =
+      JournalReader::Parse(disk.synced_contents());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->entries.size(), 2u);
+  EXPECT_FALSE(replay->torn_tail);
 }
 
 TEST(JournalTest, RejectsSequenceZero) {
