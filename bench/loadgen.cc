@@ -11,6 +11,13 @@
 // --overload=1 shrinks the admission queue so the run demonstrates load
 // shedding: sheds become nonzero, protocol errors must stay zero, and
 // every shed is an explicit kShed response the client observes.
+//
+// --tenants=T switches to the multi-tenant catalog path: the server fronts
+// a CatalogService over T Zipf(--zipf)-popular contents with an LRU budget
+// of --budget_mb, clients send kTenantIssueRequest frames, and the report
+// adds the catalog's hit rate, compiles, evictions and resident gauges —
+// a healthy run at --tenants=100000 keeps well under 10% of tenants
+// resident while sustaining steady-state throughput.
 // Machine-readable: --json_out=<path>.
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -23,6 +30,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -30,7 +38,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <filesystem>
+#include <list>
+
 #include "bench/bench_util.h"
+#include "catalog/catalog_service.h"
+#include "catalog/tenant_source.h"
 #include "licensing/constraint_schema.h"
 #include "licensing/license.h"
 #include "licensing/license_catalog.h"
@@ -38,7 +51,9 @@
 #include "net/wire.h"
 #include "service/issuance_service.h"
 #include "util/check.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
+#include "workload/multi_tenant.h"
 
 namespace {
 
@@ -82,8 +97,10 @@ struct ClientResult {
 
 // One closed-loop connection: keeps up to `pipeline` requests in flight,
 // stamping send time per request id and classifying every response.
-void RunClient(uint16_t port, const std::vector<std::string>& payloads,
-               int requests, int pipeline, ClientResult* result) {
+// `make_frame(id, out)` appends the complete wire frame for request `id`.
+template <typename MakeFrame>
+void RunClientLoop(uint16_t port, MakeFrame&& make_frame, int requests,
+                   int pipeline, ClientResult* result) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   GEOLIC_CHECK(fd >= 0);
   sockaddr_in addr{};
@@ -115,9 +132,7 @@ void RunClient(uint16_t port, const std::vector<std::string>& payloads,
   uint64_t next_id = 1;
   const auto send_one = [&] {
     std::string bytes;
-    net::EncodeFrame(net::FrameKind::kIssueRequest, next_id,
-                     payloads[static_cast<size_t>(next_id) % payloads.size()],
-                     &bytes);
+    make_frame(next_id, &bytes);
     sent_nanos[next_id] = NowNanos();
     ++next_id;
     send_all(bytes);
@@ -181,6 +196,58 @@ void RunClient(uint16_t port, const std::vector<std::string>& payloads,
   close(fd);
 }
 
+// Single-service client: cycles the pre-encoded group payloads.
+void RunClient(uint16_t port, const std::vector<std::string>& payloads,
+               int requests, int pipeline, ClientResult* result) {
+  RunClientLoop(
+      port,
+      [&payloads](uint64_t id, std::string* bytes) {
+        net::EncodeFrame(net::FrameKind::kIssueRequest, id,
+                         payloads[static_cast<size_t>(id) % payloads.size()],
+                         bytes);
+      },
+      requests, pipeline, result);
+}
+
+// Catalog-mode client: draws a Zipf tenant per request and a usage license
+// inside that tenant's baseline. Baselines are materialized client-side on
+// demand behind a small generational cache — the Zipf head dominates the
+// draws, so a few dozen entries absorb almost all of them while the tail
+// stays cold, mirroring what real per-content traffic looks like to the
+// server's LRU.
+void RunTenantClient(uint16_t port, const MultiTenantWorkload* workload,
+                     int requests, int pipeline, uint64_t seed,
+                     ClientResult* result) {
+  constexpr size_t kBaselineCacheCap = 64;
+  Rng rng(seed);
+  std::unordered_map<uint64_t, std::unique_ptr<Workload>> baselines;
+  RunClientLoop(
+      port,
+      [&](uint64_t id, std::string* bytes) {
+        const uint64_t tenant = workload->DrawTenant(&rng);
+        auto it = baselines.find(tenant);
+        if (it == baselines.end()) {
+          if (baselines.size() >= kBaselineCacheCap) {
+            baselines.clear();
+          }
+          Result<Workload> made = workload->MakeTenant(tenant);
+          GEOLIC_CHECK(made.ok());
+          it = baselines
+                   .emplace(tenant,
+                            std::make_unique<Workload>(std::move(*made)))
+                   .first;
+        }
+        const License request = workload->DrawRequest(
+            *it->second, &rng, static_cast<int64_t>(id));
+        std::string payload;
+        GEOLIC_CHECK(
+            net::EncodeTenantIssueRequest(tenant, request, &payload).ok());
+        net::EncodeFrame(net::FrameKind::kTenantIssueRequest, id, payload,
+                         bytes);
+      },
+      requests, pipeline, result);
+}
+
 uint64_t Percentile(const std::vector<uint64_t>& sorted, double q) {
   if (sorted.empty()) {
     return 0;
@@ -203,15 +270,20 @@ int main(int argc, char** argv) {
   const int groups = std::max(1, flags.Int("groups", 8));
   const bool overload = flags.Int("overload", 0) != 0;
   const int max_batch = std::max(1, flags.Int("max_batch", 64));
+  // Multi-tenant catalog mode (0 = classic single-service run).
+  const int tenants = std::max(0, flags.Int("tenants", 0));
+  const double zipf_s = std::strtod(flags.Str("zipf", "1.1").c_str(), nullptr);
+  const int budget_mb = std::max(1, flags.Int("budget_mb", 64));
+  const int fsync_interval = std::max(0, flags.Int("fsync", 0));
+  const int journal_writers = std::max(1, flags.Int("journal_writers", 4));
   JsonOut json(flags, "loadgen");
   flags.Finish();
+  const bool catalog_mode = tenants > 0;
+  GEOLIC_CHECK(!catalog_mode || zipf_s > 0);
 
   ConstraintSchema schema;
   GEOLIC_CHECK(schema.AddIntervalDimension("C1").ok());
   const LicenseCatalog licenses = MakeCatalog(schema, groups);
-  Result<std::unique_ptr<IssuanceService>> service =
-      IssuanceService::Create(&licenses);
-  GEOLIC_CHECK(service.ok());
 
   net::ServerOptions options;
   options.max_batch = static_cast<size_t>(max_batch);
@@ -220,12 +292,52 @@ int main(int argc, char** argv) {
     // to explicit sheds, never to protocol errors or unbounded latency.
     options.queue_capacity = 2;
   }
-  Result<std::unique_ptr<net::Server>> server =
-      net::Server::Start(service->get(), options);
-  GEOLIC_CHECK(server.ok());
+
+  std::unique_ptr<IssuanceService> service;
+  std::unique_ptr<MultiTenantWorkload> tenant_workload;
+  std::unique_ptr<WorkloadTenantSource> tenant_source;
+  std::unique_ptr<CatalogService> catalog;
+  std::filesystem::path catalog_dir;
+  std::unique_ptr<net::Server> server;
+  if (catalog_mode) {
+    MultiTenantConfig config;
+    config.num_tenants = static_cast<uint64_t>(tenants);
+    config.zipf_s = zipf_s;
+    tenant_workload = std::make_unique<MultiTenantWorkload>(config);
+    tenant_source =
+        std::make_unique<WorkloadTenantSource>(tenant_workload.get());
+    catalog_dir = std::filesystem::temp_directory_path() /
+                  ("geolic-loadgen-" + std::to_string(getpid()));
+    std::error_code ec;
+    std::filesystem::remove_all(catalog_dir, ec);
+    CatalogOptions catalog_options;
+    catalog_options.dir = catalog_dir.string();
+    catalog_options.memory_budget_bytes =
+        static_cast<size_t>(budget_mb) << 20;
+    catalog_options.journal_writers = journal_writers;
+    catalog_options.fsync_interval = fsync_interval;
+    Result<std::unique_ptr<CatalogService>> made =
+        CatalogService::Create(tenant_source.get(), catalog_options);
+    GEOLIC_CHECK(made.ok());
+    catalog = std::move(*made);
+    Result<std::unique_ptr<net::Server>> started =
+        net::Server::StartWithCatalog(catalog.get(), options);
+    GEOLIC_CHECK(started.ok());
+    server = std::move(*started);
+  } else {
+    Result<std::unique_ptr<IssuanceService>> made =
+        IssuanceService::Create(&licenses);
+    GEOLIC_CHECK(made.ok());
+    service = std::move(*made);
+    Result<std::unique_ptr<net::Server>> started =
+        net::Server::Start(service.get(), options);
+    GEOLIC_CHECK(started.ok());
+    server = std::move(*started);
+  }
 
   // Pre-encoded request payloads cycling the groups; every request is
-  // instance-valid.
+  // instance-valid. (Single-service mode only; catalog clients generate
+  // per-tenant requests on the fly.)
   std::vector<std::string> payloads;
   payloads.reserve(static_cast<size_t>(groups));
   for (int g = 0; g < groups; ++g) {
@@ -241,10 +353,17 @@ int main(int argc, char** argv) {
     payloads.push_back(std::move(payload));
   }
 
-  std::printf("# loadgen: %d connections x %d requests, pipeline %d, "
-              "max_batch %d%s\n",
-              connections, requests, pipeline, max_batch,
-              overload ? ", OVERLOAD (queue_capacity=2)" : "");
+  if (catalog_mode) {
+    std::printf("# loadgen: %d connections x %d requests, pipeline %d, "
+                "max_batch %d, %d tenants (zipf %.2f, budget %d MB)%s\n",
+                connections, requests, pipeline, max_batch, tenants, zipf_s,
+                budget_mb, overload ? ", OVERLOAD (queue_capacity=2)" : "");
+  } else {
+    std::printf("# loadgen: %d connections x %d requests, pipeline %d, "
+                "max_batch %d%s\n",
+                connections, requests, pipeline, max_batch,
+                overload ? ", OVERLOAD (queue_capacity=2)" : "");
+  }
 
   std::vector<ClientResult> results(static_cast<size_t>(connections));
   Stopwatch timer;
@@ -252,9 +371,16 @@ int main(int argc, char** argv) {
     std::vector<std::thread> clients;
     clients.reserve(static_cast<size_t>(connections));
     for (int c = 0; c < connections; ++c) {
-      clients.emplace_back(RunClient, (*server)->port(), std::cref(payloads),
-                           requests, pipeline,
-                           &results[static_cast<size_t>(c)]);
+      if (catalog_mode) {
+        clients.emplace_back(RunTenantClient, server->port(),
+                             tenant_workload.get(), requests, pipeline,
+                             /*seed=*/0x10ad6e0u + static_cast<uint64_t>(c),
+                             &results[static_cast<size_t>(c)]);
+      } else {
+        clients.emplace_back(RunClient, server->port(), std::cref(payloads),
+                             requests, pipeline,
+                             &results[static_cast<size_t>(c)]);
+      }
     }
     for (std::thread& client : clients) {
       client.join();
@@ -277,7 +403,7 @@ int main(int argc, char** argv) {
   const uint64_t p99 = Percentile(total.latency_nanos, 0.99);
   const uint64_t p999 = Percentile(total.latency_nanos, 0.999);
 
-  const net::NetStats stats = (*server)->Stats();
+  const net::NetStats stats = server->Stats();
   const double mean_batch =
       stats.batches_dispatched > 0
           ? static_cast<double>(stats.batch_requests_dispatched) /
@@ -301,6 +427,30 @@ int main(int argc, char** argv) {
               stats.batches_dispatched, stats.batch_requests_dispatched,
               mean_batch, stats.queue_depth_peak, stats.protocol_errors);
 
+  CatalogStats catalog_stats;
+  double hit_rate = 0.0;
+  double resident_fraction = 0.0;
+  if (catalog_mode) {
+    catalog_stats = catalog->stats();
+    const uint64_t lookups = catalog_stats.hits + catalog_stats.misses;
+    hit_rate = lookups > 0 ? static_cast<double>(catalog_stats.hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0;
+    resident_fraction = static_cast<double>(catalog_stats.resident_tenants) /
+                        static_cast<double>(tenants);
+    std::printf("# catalog: hit rate %.3f (%" PRIu64 " hits, %" PRIu64
+                " misses), %" PRIu64 " compiles, %" PRIu64 " spill loads, "
+                "%" PRIu64 " evictions\n",
+                hit_rate, catalog_stats.hits, catalog_stats.misses,
+                catalog_stats.compiles, catalog_stats.loads,
+                catalog_stats.evictions);
+    std::printf("# catalog: %" PRIu64 " of %d tenants resident (%.1f%%), "
+                "%" PRIu64 " resident bytes, %" PRIu64 " journal frames\n",
+                catalog_stats.resident_tenants, tenants,
+                100.0 * resident_fraction, catalog_stats.resident_bytes,
+                catalog_stats.journal_frames);
+  }
+
   json.Row([&](JsonWriter& out) {
     out.KeyValue("connections", static_cast<int64_t>(connections));
     out.KeyValue("requests_per_connection", static_cast<int64_t>(requests));
@@ -323,10 +473,35 @@ int main(int argc, char** argv) {
     out.KeyValue("protocol_errors", stats.protocol_errors);
     out.KeyValue("bytes_read", stats.bytes_read);
     out.KeyValue("bytes_written", stats.bytes_written);
+    if (catalog_mode) {
+      out.KeyValue("tenants", static_cast<int64_t>(tenants));
+      out.KeyValue("zipf_s", zipf_s);
+      out.KeyValue("budget_mb", static_cast<int64_t>(budget_mb));
+      out.KeyValue("catalog_hit_rate", hit_rate);
+      out.KeyValue("catalog_hits", catalog_stats.hits);
+      out.KeyValue("catalog_misses", catalog_stats.misses);
+      out.KeyValue("catalog_compiles", catalog_stats.compiles);
+      out.KeyValue("catalog_spill_loads", catalog_stats.loads);
+      out.KeyValue("catalog_evictions", catalog_stats.evictions);
+      out.KeyValue("catalog_spills", catalog_stats.spills);
+      out.KeyValue("catalog_resident_tenants",
+                   catalog_stats.resident_tenants);
+      out.KeyValue("catalog_resident_bytes", catalog_stats.resident_bytes);
+      out.KeyValue("catalog_resident_fraction", resident_fraction);
+      out.KeyValue("catalog_journal_frames", catalog_stats.journal_frames);
+    }
   });
   json.Write();
 
-  (*server)->Drain();
+  server->Drain();
   GEOLIC_CHECK(stats.protocol_errors == 0);
+  if (catalog_mode) {
+    // Every request must round-trip as a real decision: shedding is fine
+    // under --overload, hard errors are not.
+    GEOLIC_CHECK(total.errors == 0);
+    GEOLIC_CHECK(catalog->Close().ok());
+    std::error_code ec;
+    std::filesystem::remove_all(catalog_dir, ec);
+  }
   return 0;
 }

@@ -38,8 +38,9 @@ uint64_t NowMillis() {
 
 }  // namespace
 
-Server::Server(IssuanceService* service, const ServerOptions& options)
-    : service_(service), options_(options) {
+Server::Server(IssuanceService* service, CatalogService* catalog,
+               const ServerOptions& options)
+    : service_(service), catalog_(catalog), options_(options) {
   if (options_.max_batch == 0) {
     options_.max_batch = 1;
   }
@@ -50,7 +51,21 @@ Result<std::unique_ptr<Server>> Server::Start(IssuanceService* service,
   if (service == nullptr) {
     return Status::InvalidArgument("server needs a service");
   }
-  auto server = std::unique_ptr<Server>(new Server(service, options));
+  auto server =
+      std::unique_ptr<Server>(new Server(service, nullptr, options));
+  GEOLIC_RETURN_IF_ERROR(server->Listen());
+  server->io_thread_ = std::thread(&Server::IoLoop, server.get());
+  server->worker_thread_ = std::thread(&Server::WorkerLoop, server.get());
+  return server;
+}
+
+Result<std::unique_ptr<Server>> Server::StartWithCatalog(
+    CatalogService* catalog, const ServerOptions& options) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("server needs a catalog");
+  }
+  auto server =
+      std::unique_ptr<Server>(new Server(nullptr, catalog, options));
   GEOLIC_RETURN_IF_ERROR(server->Listen());
   server->io_thread_ = std::thread(&Server::IoLoop, server.get());
   server->worker_thread_ = std::thread(&Server::WorkerLoop, server.get());
@@ -173,7 +188,12 @@ void Server::Drain() {
     io_thread_.join();
   }
   // Phase 4: make the drained state durable before reporting done.
-  (void)service_->SyncJournal();
+  if (service_ != nullptr) {
+    (void)service_->SyncJournal();
+  }
+  if (catalog_ != nullptr) {
+    (void)catalog_->SyncJournals();
+  }
 }
 
 bool Server::IoDone() const {
@@ -405,9 +425,26 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
     SendFrame(conn, FrameKind::kPong, frame.request_id, {});
     return;
   }
-  // kIssueRequest. Semantic failures answer kError but keep the
+  // Issue requests. Semantic failures answer kError but keep the
   // connection: the framing was sound, only this request was bad.
-  Result<License> license = DecodeIssueRequest(frame.payload);
+  uint64_t tenant_id = 0;
+  Result<License> license = [&]() -> Result<License> {
+    if (frame.kind == FrameKind::kTenantIssueRequest) {
+      if (catalog_ == nullptr) {
+        return Status::FailedPrecondition(
+            "tenant-addressed request on a single-service server");
+      }
+      GEOLIC_ASSIGN_OR_RETURN(TenantIssueRequest request,
+                              DecodeTenantIssueRequest(frame.payload));
+      tenant_id = request.tenant_id;
+      return std::move(request.license);
+    }
+    if (catalog_ != nullptr) {
+      return Status::FailedPrecondition(
+          "catalog server requires tenant-addressed requests");
+    }
+    return DecodeIssueRequest(frame.payload);
+  }();
   if (!license.ok()) {
     SendFrame(conn, FrameKind::kError, frame.request_id,
               license.status().message());
@@ -431,7 +468,7 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
       shed = true;
     } else {
       queue_.push_back(PendingRequest{conn->id, frame.request_id,
-                                      TraceNowNanos(),
+                                      TraceNowNanos(), tenant_id,
                                       *std::move(license)});
       const uint64_t depth = queue_.size();
       stats_.queue_depth.store(depth, std::memory_order_relaxed);
@@ -605,6 +642,16 @@ void Server::WorkerLoop() {
     }
 #endif
 
+    if (catalog_ != nullptr) {
+      DispatchCatalogBatch(batch);
+      stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+      stats_.batch_requests_dispatched.fetch_add(batch.size(),
+                                                 std::memory_order_relaxed);
+      uint64_t wake = 1;
+      (void)!write(wake_fd_, &wake, sizeof(wake));
+      continue;
+    }
+
     requests.clear();
     for (const PendingRequest& request : batch) {
       requests.push_back(&request.license);
@@ -658,6 +705,47 @@ void Server::WorkerLoop() {
   }
 }
 
+void Server::DispatchCatalogBatch(const std::vector<PendingRequest>& batch) {
+  // Per-request routing: each request may hit a different tenant (and may
+  // compile or evict one), so the shared-lock coalescing the single-service
+  // batch path exploits does not apply across tenants. Responses are still
+  // coalesced per connection below.
+  std::vector<std::string> encoded(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const PendingRequest& request = batch[i];
+    Result<OnlineDecision> decision =
+        catalog_->TryIssue(request.tenant_id, request.license);
+    if (!decision.ok()) {
+      EncodeFrame(FrameKind::kError, request.request_id,
+                  decision.status().message(), &encoded[i]);
+      continue;
+    }
+    IssueResult result;
+    result.outcome = decision->accepted()
+                         ? IssueResult::Outcome::kAccepted
+                         : (decision->instance_valid
+                                ? IssueResult::Outcome::kRejectedAggregate
+                                : IssueResult::Outcome::kRejectedInstance);
+    result.catalog_epoch = decision->catalog_epoch;
+    result.equations_checked =
+        static_cast<uint64_t>(decision->equations_checked);
+    std::string payload;
+    EncodeIssueResult(result, &payload);
+    EncodeFrame(FrameKind::kIssueResult, request.request_id, payload,
+                &encoded[i]);
+  }
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!completions_.empty() &&
+        completions_.back().conn_id == batch[i].conn_id) {
+      completions_.back().bytes.append(encoded[i]);
+    } else {
+      completions_.push_back(
+          Completion{batch[i].conn_id, std::move(encoded[i])});
+    }
+  }
+}
+
 NetStats Server::Stats() const {
   NetStats stats;
   stats.connections_opened =
@@ -684,7 +772,8 @@ NetStats Server::Stats() const {
 }
 
 ExpositionInput Server::Snap() const {
-  ExpositionInput input = service_->Snap();
+  ExpositionInput input =
+      catalog_ != nullptr ? catalog_->Snap() : service_->Snap();
   input.has_net = true;
   const NetStats stats = Stats();
   input.net.connections_opened = stats.connections_opened;

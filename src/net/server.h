@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/catalog_service.h"
 #include "net/byte_queue.h"
 #include "net/wire.h"
 #include "obs/exposition.h"
@@ -85,9 +86,18 @@ struct NetStats {
 class Server {
  public:
   // Binds, listens, and starts both threads. `service` (and
-  // options.tracer, when set) must outlive the server.
+  // options.tracer, when set) must outlive the server. A single-service
+  // server answers kIssueRequest; tenant-addressed requests are semantic
+  // errors.
   static Result<std::unique_ptr<Server>> Start(IssuanceService* service,
                                                const ServerOptions& options);
+
+  // Multi-tenant front-end: the server routes kTenantIssueRequest frames
+  // through `catalog` (content_id → lazy per-tenant service). Plain
+  // kIssueRequest frames are semantic errors on this server. `catalog`
+  // must outlive the server.
+  static Result<std::unique_ptr<Server>> StartWithCatalog(
+      CatalogService* catalog, const ServerOptions& options);
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -121,6 +131,7 @@ class Server {
     uint64_t conn_id;
     uint64_t request_id;
     uint64_t enqueue_nanos;
+    uint64_t tenant_id;  // Catalog mode only.
     License license;
   };
 
@@ -129,11 +140,15 @@ class Server {
     std::string bytes;  // Encoded response frames.
   };
 
-  Server(IssuanceService* service, const ServerOptions& options);
+  Server(IssuanceService* service, CatalogService* catalog,
+         const ServerOptions& options);
 
   Status Listen();
   void IoLoop();
   void WorkerLoop();
+  // Catalog-mode dispatch of one popped batch (per-request routing; the
+  // per-tenant services still coalesce within themselves).
+  void DispatchCatalogBatch(const std::vector<PendingRequest>& batch);
 
   // --- I/O-thread only ---
   void AcceptReady();
@@ -148,7 +163,8 @@ class Server {
   void UpdateInterest(Connection* conn);
   bool IoDone() const;
 
-  IssuanceService* service_;
+  IssuanceService* service_;   // Null in catalog mode.
+  CatalogService* catalog_;    // Null in single-service mode.
   ServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;

@@ -12,13 +12,15 @@ using framing::GetScalar;
 using framing::PutScalar;
 
 bool IsRequestKind(FrameKind kind) {
-  return kind == FrameKind::kIssueRequest || kind == FrameKind::kPing;
+  return kind == FrameKind::kIssueRequest || kind == FrameKind::kPing ||
+         kind == FrameKind::kTenantIssueRequest;
 }
 
 bool IsKnownKind(FrameKind kind) {
   switch (kind) {
     case FrameKind::kIssueRequest:
     case FrameKind::kPing:
+    case FrameKind::kTenantIssueRequest:
     case FrameKind::kIssueResult:
     case FrameKind::kPong:
     case FrameKind::kShed:
@@ -98,6 +100,23 @@ Result<License> DecodeIssueRequest(std::string_view payload) {
     return Status::ParseError("trailing bytes after issue request license");
   }
   return license;
+}
+
+Status EncodeTenantIssueRequest(uint64_t tenant_id, const License& license,
+                                std::string* out) {
+  PutScalar(out, tenant_id);
+  return EncodeIssueRequest(license, out);
+}
+
+Result<TenantIssueRequest> DecodeTenantIssueRequest(std::string_view payload) {
+  size_t pos = 0;
+  TenantIssueRequest request;
+  if (!GetScalar(payload, &pos, &request.tenant_id)) {
+    return Status::ParseError("tenant issue request payload truncated");
+  }
+  GEOLIC_ASSIGN_OR_RETURN(request.license,
+                          DecodeIssueRequest(payload.substr(pos)));
+  return request;
 }
 
 void EncodeIssueResult(const IssueResult& result, std::string* out) {

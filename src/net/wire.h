@@ -41,6 +41,9 @@ enum class FrameKind : uint32_t {
   // Requests.
   kIssueRequest = 1,  // Payload: one license (license_serialization.h).
   kPing = 2,          // Empty payload; answered inline with kPong.
+  kTenantIssueRequest = 3,  // Payload: content_id u64, then one license —
+                            // the multi-tenant catalog route (the server
+                            // must be fronting a CatalogService).
   // Responses.
   kIssueResult = 0x80000001,  // Payload: EncodeIssueResult.
   kPong = 0x80000002,         // Empty payload.
@@ -85,6 +88,16 @@ DecodeResult TryDecodeFrame(std::string_view bytes, Frame* frame,
 // Request payload: one license in the shared binary form.
 Status EncodeIssueRequest(const License& license, std::string* out);
 Result<License> DecodeIssueRequest(std::string_view payload);
+
+// Tenant-addressed request payload: the content id the license should be
+// validated against, then the license itself.
+Status EncodeTenantIssueRequest(uint64_t tenant_id, const License& license,
+                                std::string* out);
+struct TenantIssueRequest {
+  uint64_t tenant_id = 0;
+  License license;
+};
+Result<TenantIssueRequest> DecodeTenantIssueRequest(std::string_view payload);
 
 // Response payload: the decision, compressed to what a client acts on.
 struct IssueResult {

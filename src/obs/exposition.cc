@@ -253,6 +253,51 @@ std::string RenderPrometheusText(const ExpositionInput& input) {
            std::to_string(net.bytes_written) + "\n";
   }
 
+  if (input.has_catalog) {
+    const ExpositionInput::CatalogSection& cat = input.catalog;
+    AppendFamilyHeader("geolic_catalog_requests_total", "counter",
+                       "Tenant lookups by cache outcome.", &out);
+    out += "geolic_catalog_requests_total{" + svc + ",outcome=\"hit\"} " +
+           std::to_string(cat.hits) + "\n";
+    out += "geolic_catalog_requests_total{" + svc + ",outcome=\"miss\"} " +
+           std::to_string(cat.misses) + "\n";
+    AppendFamilyHeader("geolic_catalog_compiles_total", "counter",
+                       "Tenant services compiled from the source.", &out);
+    out += "geolic_catalog_compiles_total{" + svc + "} " +
+           std::to_string(cat.compiles) + "\n";
+    AppendFamilyHeader("geolic_catalog_loads_total", "counter",
+                       "Tenant services reloaded from spill checkpoints.",
+                       &out);
+    out += "geolic_catalog_loads_total{" + svc + "} " +
+           std::to_string(cat.loads) + "\n";
+    AppendFamilyHeader("geolic_catalog_evictions_total", "counter",
+                       "Tenants evicted by the memory budget.", &out);
+    out += "geolic_catalog_evictions_total{" + svc + "} " +
+           std::to_string(cat.evictions) + "\n";
+    AppendFamilyHeader("geolic_catalog_spills_total", "counter",
+                       "Tenant spill checkpoints written.", &out);
+    out += "geolic_catalog_spills_total{" + svc + "} " +
+           std::to_string(cat.spills) + "\n";
+    AppendFamilyHeader("geolic_catalog_recovered_tenants_total", "counter",
+                       "Tenants rebuilt by catalog-wide recovery.", &out);
+    out += "geolic_catalog_recovered_tenants_total{" + svc + "} " +
+           std::to_string(cat.recovered_tenants) + "\n";
+    AppendFamilyHeader("geolic_catalog_journal_frames_total", "counter",
+                       "Tenant-tagged frames appended to the shared "
+                       "journal pool.",
+                       &out);
+    out += "geolic_catalog_journal_frames_total{" + svc + "} " +
+           std::to_string(cat.journal_frames) + "\n";
+    AppendFamilyHeader("geolic_catalog_resident_tenants", "gauge",
+                       "Tenant services resident right now.", &out);
+    out += "geolic_catalog_resident_tenants{" + svc + "} " +
+           std::to_string(cat.resident_tenants) + "\n";
+    AppendFamilyHeader("geolic_catalog_resident_bytes", "gauge",
+                       "Approximate bytes of resident tenant state.", &out);
+    out += "geolic_catalog_resident_bytes{" + svc + "} " +
+           std::to_string(cat.resident_bytes) + "\n";
+  }
+
   return out;
 }
 
@@ -336,6 +381,23 @@ std::string RenderJson(const ExpositionInput& input) {
     json.KeyValue("read", net.bytes_read);
     json.KeyValue("written", net.bytes_written);
     json.EndObject();
+    json.EndObject();
+  }
+
+  if (input.has_catalog) {
+    const ExpositionInput::CatalogSection& cat = input.catalog;
+    json.Key("catalog");
+    json.BeginObject();
+    json.KeyValue("hits", cat.hits);
+    json.KeyValue("misses", cat.misses);
+    json.KeyValue("compiles", cat.compiles);
+    json.KeyValue("loads", cat.loads);
+    json.KeyValue("evictions", cat.evictions);
+    json.KeyValue("spills", cat.spills);
+    json.KeyValue("recovered_tenants", cat.recovered_tenants);
+    json.KeyValue("journal_frames", cat.journal_frames);
+    json.KeyValue("resident_tenants", cat.resident_tenants);
+    json.KeyValue("resident_bytes", cat.resident_bytes);
     json.EndObject();
   }
 

@@ -48,6 +48,22 @@ struct ExpositionInput {
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
   } net;
+
+  // Multi-tenant catalog counters (src/catalog/catalog_service.h).
+  // Counters unless noted.
+  bool has_catalog = false;
+  struct CatalogSection {
+    uint64_t hits = 0;        // Requests served by a resident tenant.
+    uint64_t misses = 0;      // Requests that had to materialize the tenant.
+    uint64_t compiles = 0;    // First-touch compiles from the tenant source.
+    uint64_t loads = 0;       // Reloads from a spill checkpoint.
+    uint64_t evictions = 0;   // Tenants pushed out by the memory budget.
+    uint64_t spills = 0;      // Spill checkpoints written (evict + recover).
+    uint64_t recovered_tenants = 0;  // Tenants rebuilt by catalog Recover.
+    uint64_t journal_frames = 0;     // Tenant frames appended to the pool.
+    uint64_t resident_tenants = 0;   // Gauge: tenants resident right now.
+    uint64_t resident_bytes = 0;     // Gauge: approx bytes they occupy.
+  } catalog;
 };
 
 // Prometheus text exposition (one `# TYPE` comment per family, then the

@@ -36,6 +36,10 @@ const char* TraceStageName(TraceStage stage) {
       return "net_batch_wait";
     case TraceStage::kNetWrite:
       return "net_write";
+    case TraceStage::kCatalogCompile:
+      return "catalog_compile";
+    case TraceStage::kCatalogEvict:
+      return "catalog_evict";
   }
   return "unknown";
 }

@@ -41,9 +41,15 @@ enum class TraceStage : uint8_t {
                          // through before its TryIssueBatch call).
   kNetWrite,             // Response encode + send, including any EAGAIN
                          // re-arm time until the last byte leaves the ring.
+  kCatalogCompile,       // Multi-tenant catalog: materializing a tenant's
+                         // IssuanceService (first-touch compile from the
+                         // tenant source, or reload from a spill
+                         // checkpoint on re-access after eviction).
+  kCatalogEvict,         // Multi-tenant catalog: spilling a cold tenant to
+                         // its checkpoint and freeing its resident state.
 };
 
-inline constexpr int kTraceStageCount = 14;
+inline constexpr int kTraceStageCount = 16;
 
 // Stable snake_case name used in exposition labels ("instance_check", ...).
 const char* TraceStageName(TraceStage stage);

@@ -40,6 +40,8 @@ const char* CheckpointKindName(CheckpointKind kind) {
       return "log-store";
     case CheckpointKind::kServiceSnapshot:
       return "service-snapshot";
+    case CheckpointKind::kTenantSnapshot:
+      return "tenant-snapshot";
   }
   return "unknown";
 }
@@ -89,7 +91,8 @@ Result<std::string> ReadCheckpointPayloadAfterMagic(
                                    sizeof(kCheckpointMagic));
   computed = Crc32cExtend(computed, rest, sizeof(rest));
   if (computed != header_crc) {
-    return Status::ParseError("checkpoint header crc mismatch");
+    return Status::ParseError(
+        "checkpoint header crc mismatch (header at offset 0)");
   }
   uint32_t version = 0;
   uint32_t kind = 0;
@@ -130,7 +133,9 @@ Result<std::string> ReadCheckpointPayloadAfterMagic(
     return Status::ParseError("truncated checkpoint footer");
   }
   if (Crc32c(payload) != payload_crc) {
-    return Status::ParseError("checkpoint payload crc mismatch");
+    return Status::ParseError(
+        "checkpoint payload crc mismatch (payload at offset " +
+        std::to_string(kCoveredHeaderBytes + sizeof(uint32_t)) + ")");
   }
   return payload;
 }

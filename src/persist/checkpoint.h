@@ -37,6 +37,7 @@ enum class CheckpointKind : uint32_t {
   kValidationTree = 1,   // validation/tree_serialization.h body.
   kLogStore = 2,         // validation/log_store.h record table.
   kServiceSnapshot = 3,  // service/issuance_service.h checkpoint.
+  kTenantSnapshot = 4,   // catalog/catalog_service.h per-tenant spill.
 };
 
 const char* CheckpointKindName(CheckpointKind kind);

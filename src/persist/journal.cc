@@ -30,6 +30,7 @@ constexpr uint32_t kReconfigTagBit = 0x80000000u;
 constexpr uint32_t kAcquireTag = kReconfigTagBit | 1;
 constexpr uint32_t kRevokeTag = kReconfigTagBit | 2;
 constexpr uint32_t kExpireTag = kReconfigTagBit | 3;
+constexpr uint32_t kTenantTag = kReconfigTagBit | 4;
 
 Status FrameError(uint64_t offset, const std::string& what) {
   return Status::ParseError("journal frame at offset " +
@@ -194,6 +195,63 @@ Status DecodeJournalPayload(std::string_view payload, JournalEntry* entry) {
       }
       return Status::Ok();
     }
+    case kTenantTag: {
+      entry->kind = JournalEntryKind::kTenantOp;
+      TenantOpFrame& op = entry->tenant;
+      uint8_t op_byte = 0;
+      if (!GetScalar(payload, &pos, &op.tenant_id) ||
+          !GetScalar(payload, &pos, &op.tenant_seq) ||
+          !GetScalar(payload, &pos, &op_byte)) {
+        return Status::ParseError("tenant op fields truncated");
+      }
+      if (op.tenant_seq == 0) {
+        return Status::ParseError("tenant op sequence 0");
+      }
+      op.op = static_cast<TenantOpKind>(op_byte);
+      switch (op.op) {
+        case TenantOpKind::kIssue:
+        case TenantOpKind::kAcquire: {
+          std::istringstream in{std::string(payload.substr(pos))};
+          GEOLIC_ASSIGN_OR_RETURN(License license, ReadLicenseBinary(&in));
+          if (in.peek() != std::char_traits<char>::eof()) {
+            return Status::ParseError(
+                "trailing bytes inside tenant op payload");
+          }
+          op.license.emplace(std::move(license));
+          return Status::Ok();
+        }
+        case TenantOpKind::kRevoke: {
+          uint32_t id_len = 0;
+          if (!GetScalar(payload, &pos, &id_len)) {
+            return Status::ParseError("tenant op fields truncated");
+          }
+          if (id_len > kMaxIdBytes || payload.size() - pos < id_len) {
+            return Status::ParseError("implausible tenant revoke id length");
+          }
+          op.revoke_id.assign(payload.data() + pos, id_len);
+          pos += id_len;
+          if (pos != payload.size()) {
+            return Status::ParseError(
+                "trailing bytes inside tenant op payload");
+          }
+          return Status::Ok();
+        }
+        case TenantOpKind::kExpire: {
+          uint32_t dim = 0;
+          if (!GetScalar(payload, &pos, &dim) ||
+              !GetScalar(payload, &pos, &op.expire_cutoff)) {
+            return Status::ParseError("tenant op fields truncated");
+          }
+          op.expire_dim = static_cast<int>(dim);
+          if (pos != payload.size()) {
+            return Status::ParseError(
+                "trailing bytes inside tenant op payload");
+          }
+          return Status::Ok();
+        }
+      }
+      return Status::ParseError("unknown tenant op kind");
+    }
     default:
       return Status::ParseError("unknown reconfiguration tag");
   }
@@ -273,6 +331,45 @@ Status JournalWriter::AppendExpire(uint64_t seq, int dim, int64_t cutoff,
       return Status::InvalidArgument("expired index must be non-negative");
     }
     PutScalar(&payload, static_cast<uint32_t>(index));
+  }
+  return AppendFrame(seq, payload);
+}
+
+Status JournalWriter::AppendTenantOp(uint64_t seq, const TenantOpFrame& op) {
+  if (op.tenant_seq == 0) {
+    return Status::InvalidArgument("tenant op sequence numbers start at 1");
+  }
+  std::string payload;
+  PutScalar(&payload, uint64_t{0});
+  PutScalar(&payload, kTenantTag);
+  PutScalar(&payload, op.tenant_id);
+  PutScalar(&payload, op.tenant_seq);
+  PutScalar(&payload, static_cast<uint8_t>(op.op));
+  switch (op.op) {
+    case TenantOpKind::kIssue:
+    case TenantOpKind::kAcquire: {
+      if (!op.license.has_value()) {
+        return Status::InvalidArgument("tenant issue/acquire needs a license");
+      }
+      std::ostringstream body;
+      GEOLIC_RETURN_IF_ERROR(WriteLicenseBinary(*op.license, &body));
+      payload.append(body.str());
+      break;
+    }
+    case TenantOpKind::kRevoke:
+      PutScalar(&payload, static_cast<uint32_t>(op.revoke_id.size()));
+      payload.append(op.revoke_id);
+      break;
+    case TenantOpKind::kExpire:
+      if (op.expire_dim < 0) {
+        return Status::InvalidArgument(
+            "tenant expire dimension must be non-negative");
+      }
+      PutScalar(&payload, static_cast<uint32_t>(op.expire_dim));
+      PutScalar(&payload, op.expire_cutoff);
+      break;
+    default:
+      return Status::InvalidArgument("unknown tenant op kind");
   }
   return AppendFrame(seq, payload);
 }

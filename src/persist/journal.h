@@ -41,6 +41,18 @@ namespace geolic {
 //   0x80000003 expire:  dim u32 | cutoff i64 | removed_count u32 |
 //              removed indexes u32 ascending (licenses whose `dim` interval
 //              ends below `cutoff`, recomputed and cross-checked on replay)
+//   0x80000004 tenant op (the multi-tenant catalog's v3 frame — many
+//              tenants multiplexed onto one shared writer):
+//              tenant_id u64 | tenant_seq u64 | op u8 | op body —
+//              op 1 issue-intent / 2 acquire: one license in
+//              license_serialization.h binary form; op 3 revoke:
+//              id_len u32 | id bytes; op 4 expire: dim u32 | cutoff i64.
+//              tenant_seq is the tenant's own contiguous op counter
+//              (1, 2, ...): catalog recovery groups frames by tenant_id and
+//              rejects per-tenant gaps or reordering, so a misrouted frame
+//              can never silently replay into the wrong tenant. Tenant
+//              frames are intent records (logged before the op executes);
+//              replay re-executes them deterministically.
 // Reconfig frames share the admission sequence space: replay applies them
 // in order, renumbering every earlier admission record past a removal.
 //
@@ -93,6 +105,12 @@ class JournalWriter {
   Status AppendExpire(uint64_t seq, int dim, int64_t cutoff,
                       const std::vector<int>& removed_indexes);
 
+  // Tenant-tagged catalog frame (see the format comment above): one
+  // multi-tenant op, routed onto this shared writer by the catalog layer.
+  // `seq` is this writer's frame sequence; `op.tenant_seq` is the tenant's
+  // own contiguous counter.
+  Status AppendTenantOp(uint64_t seq, const struct TenantOpFrame& op);
+
   // Forces every appended frame to stable storage.
   Status Sync();
 
@@ -140,6 +158,26 @@ enum class JournalEntryKind : uint8_t {
   kAcquire,
   kRevoke,
   kExpire,
+  kTenantOp,
+};
+
+// The op inside a tenant-tagged frame.
+enum class TenantOpKind : uint8_t {
+  kIssue = 1,    // Issue intent: re-run TryIssue with the carried license.
+  kAcquire = 2,  // AcquireLicense with the carried license.
+  kRevoke = 3,   // RevokeLicenseById.
+  kExpire = 4,   // ExpireDimensionBelow.
+};
+
+// One multi-tenant catalog op, as framed onto a shared writer.
+struct TenantOpFrame {
+  uint64_t tenant_id = 0;
+  uint64_t tenant_seq = 0;  // Per-tenant contiguous counter, starts at 1.
+  TenantOpKind op = TenantOpKind::kIssue;
+  std::optional<License> license;  // kIssue / kAcquire.
+  std::string revoke_id;           // kRevoke.
+  int expire_dim = 0;              // kExpire.
+  int64_t expire_cutoff = 0;       // kExpire.
 };
 
 struct JournalEntry {
@@ -152,6 +190,7 @@ struct JournalEntry {
   int expire_dim = 0;                 // kExpire
   int64_t expire_cutoff = 0;          // kExpire
   std::vector<int> expired_indexes;   // kExpire, ascending
+  TenantOpFrame tenant;               // kTenantOp
 };
 
 // Result of scanning a journal.

@@ -121,6 +121,12 @@ Status EvolveCatalog(const JournalEntry& entry, std::vector<License>* active,
   switch (entry.kind) {
     case JournalEntryKind::kAdmission:
       return Status::Internal("admission frame is not a reconfiguration");
+    case JournalEntryKind::kTenantOp:
+      // Tenant-tagged frames belong to the multi-tenant catalog's shared
+      // journals (catalog/catalog_service.h), never to a single service's
+      // own WAL.
+      return Status::ParseError(
+          "tenant-tagged frame in a single-service journal");
     case JournalEntryKind::kAcquire:
       evolution->old_to_new.reserve(static_cast<size_t>(old_size));
       for (int i = 0; i < old_size; ++i) {

@@ -1,0 +1,76 @@
+#ifndef GEOLIC_SIM_CATALOG_SIM_H_
+#define GEOLIC_SIM_CATALOG_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geolic {
+
+// Deterministic simulation of the multi-tenant catalog layer
+// (catalog/catalog_service.h): a seed-driven stream of tenant-addressed
+// issues, forced spills and journal syncs runs against a CatalogService
+// squeezed under a tiny memory budget (so eviction/reload churns
+// constantly), with every decision checked against a per-tenant
+// ReferenceModel. A scheduled FaultyFile fault kills one of the shared
+// pool journals mid-run — torn append or failing fsync — after which the
+// run crashes the catalog and drives CatalogService::Recover, then checks
+// per-tenant recovery conformance:
+//
+//  * every tenant's recovered accepted-log length matches the model,
+//    modulo the one maybe-persisted op the faulted append is allowed to
+//    contribute (intent logging's documented allowance);
+//  * a reference model rebuilt from the recovered log still satisfies
+//    eq. 1 for every subset — recovery never over-issues;
+//  * post-recovery issues keep agreeing with the rebuilt model, decision
+//    for decision.
+//
+// Mutation mode (inject_misroute) plants the cross-tenant frame
+// misrouting bug (CatalogOptions::sim_misroute_frames): every few ops a
+// journal frame is stamped with a sibling tenant's id. A correct harness
+// must FAIL such runs — recovery either rejects the pool loudly (routing
+// or per-tenant sequence check) or the replayed-into-the-wrong-tenant
+// state trips the conformance checks.
+struct CatalogSimConfig {
+  // Tenant population for the run (inclusive draw). sim_runner --tenants=T
+  // pins both to T.
+  int min_tenants = 3;
+  int max_tenants = 6;
+  // Total tenant-addressed ops (inclusive draw).
+  int min_ops = 24;
+  int max_ops = 80;
+  // Per-op chance the op is a forced SpillTenant / SyncJournals instead of
+  // an issue.
+  double spill_probability = 0.10;
+  double sync_probability = 0.05;
+  // Chance a journal fault is scheduled for the run; force_fault pins 1.
+  double fault_probability = 0.5;
+  bool force_fault = false;
+  // Shared-journal pool shape. Two writers is the smallest pool where
+  // misrouting across journals is possible at all.
+  int journal_writers = 2;
+  int lru_shards = 2;
+  // Tiny budget = constant eviction pressure (the per-shard floor keeps
+  // one tenant resident per shard).
+  size_t memory_budget_bytes = 1;
+  // Plant the cross-tenant misrouting bug; see above.
+  bool inject_misroute = false;
+};
+
+struct CatalogSimResult {
+  bool ok = true;
+  uint64_t seed = 0;
+  std::string failure;  // First conformance violation, empty when ok.
+  // Human-readable record of every executed op, for failure traces.
+  std::vector<std::string> op_trace;
+  size_t ops_executed = 0;
+};
+
+// Generate + execute one seed. Single-threaded and deterministic in
+// (seed, config): same inputs, same trace, same verdict.
+CatalogSimResult RunCatalogSimulation(uint64_t seed,
+                                      const CatalogSimConfig& config);
+
+}  // namespace geolic
+
+#endif  // GEOLIC_SIM_CATALOG_SIM_H_

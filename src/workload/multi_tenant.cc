@@ -1,0 +1,132 @@
+#include "workload/multi_tenant.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geolic {
+
+namespace {
+
+// SplitMix64 finalizer — mixes the tenant id into the global seed so
+// neighbouring tenants get uncorrelated per-tenant streams.
+uint64_t MixSeed(uint64_t seed, uint64_t tenant_id) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (tenant_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+// --- ZipfSampler (Hörmann & Derflinger rejection-inversion) ---
+
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  if (s_ == 1.0) {
+    return log_x;
+  }
+  return std::expm1((1.0 - s_) * log_x) / (1.0 - s_);
+}
+
+double ZipfSampler::HIntegralInverse(double u) const {
+  if (s_ == 1.0) {
+    return std::exp(u);
+  }
+  double t = u * (1.0 - s_);
+  if (t < -1.0) {
+    t = -1.0;  // Guard the rounding edge at the left end of the range.
+  }
+  return std::exp(std::log1p(t) / (1.0 - s_));
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  GEOLIC_CHECK(n >= 1);
+  GEOLIC_CHECK(s > 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5) - std::pow(2.0, -s));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  while (true) {
+    const double u = h_integral_n_ +
+                     rng->UniformDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= threshold_ ||
+        u >= HIntegral(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+double ZipfSampler::Harmonic(uint64_t k, double s) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= k; ++i) {
+    sum += std::pow(static_cast<double>(i), -s);
+  }
+  return sum;
+}
+
+// --- MultiTenantWorkload ---
+
+Status MultiTenantConfig::Validate() const {
+  if (num_tenants < 1) {
+    return Status::InvalidArgument("num_tenants must be >= 1");
+  }
+  if (!(zipf_s > 0.0)) {
+    return Status::InvalidArgument("zipf_s must be > 0");
+  }
+  if (min_licenses < 1 || min_licenses > max_licenses ||
+      max_licenses > kMaxLicensesLarge) {
+    return Status::InvalidArgument("bad per-tenant license count range");
+  }
+  WorkloadConfig probe = base;
+  probe.num_licenses = max_licenses;
+  probe.num_records = 0;
+  return probe.Validate();
+}
+
+MultiTenantWorkload::MultiTenantWorkload(const MultiTenantConfig& config)
+    : config_(config), zipf_(config.num_tenants, config.zipf_s) {}
+
+WorkloadConfig MultiTenantWorkload::TenantConfig(uint64_t tenant_id) const {
+  WorkloadConfig tenant = config_.base;
+  tenant.seed = MixSeed(config_.seed, tenant_id);
+  tenant.num_records = 0;
+  Rng rng(tenant.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  tenant.num_licenses = static_cast<int>(
+      rng.UniformInt(config_.min_licenses, config_.max_licenses));
+  return tenant;
+}
+
+Result<Workload> MultiTenantWorkload::MakeTenant(uint64_t tenant_id) const {
+  if (tenant_id >= config_.num_tenants) {
+    return Status::InvalidArgument("tenant id " + std::to_string(tenant_id) +
+                                   " out of range (num_tenants " +
+                                   std::to_string(config_.num_tenants) + ")");
+  }
+  WorkloadGenerator generator(TenantConfig(tenant_id));
+  return generator.GenerateLicensesOnly();
+}
+
+License MultiTenantWorkload::DrawRequest(const Workload& tenant, Rng* rng,
+                                         int64_t sequence) const {
+  GEOLIC_CHECK(!tenant.licenses->empty());
+  WorkloadGenerator generator(config_.base);
+  const int index =
+      static_cast<int>(rng->UniformIndex(
+          static_cast<size_t>(tenant.licenses->size())));
+  return generator.DrawUsageLicense(tenant, index, rng, sequence);
+}
+
+}  // namespace geolic

@@ -1,0 +1,101 @@
+#ifndef GEOLIC_WORKLOAD_MULTI_TENANT_H_
+#define GEOLIC_WORKLOAD_MULTI_TENANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace geolic {
+
+// Bounded Zipf(s) sampler over ranks {0, ..., n-1} via Hörmann &
+// Derflinger rejection-inversion: O(1) per draw with no table, so it
+// scales to millions of tenants. P(rank = r) ∝ (r + 1)^{-s}. Deterministic
+// given the Rng stream.
+class ZipfSampler {
+ public:
+  // n >= 1, s > 0.
+  ZipfSampler(uint64_t n, double s);
+
+  // Draws a 0-based rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // Generalized harmonic number H_{k,s} = sum_{i=1..k} i^{-s} — the
+  // closed-form normalizer; exposed so statistics tests can compare
+  // empirical rank masses against exact expectations.
+  static double Harmonic(uint64_t k, double s);
+
+ private:
+  double HIntegral(double x) const;
+  double HIntegralInverse(double u) const;
+
+  uint64_t n_;
+  double s_;
+  double h_integral_x1_;       // H(1.5) - 1.
+  double h_integral_n_;        // H(n + 0.5).
+  double threshold_;           // 2 - HInverse(H(2.5) - 2^{-s}).
+};
+
+// Parameters of a multi-tenant catalog workload: T tenants ("contents"),
+// each with its own small license set generated from `base`, request
+// traffic distributed over tenants by Zipf(s) popularity (tenant id 0 is
+// the most popular rank). The per-tenant license count is drawn uniformly
+// from [min_licenses, max_licenses] so catalogs differ in shape as well as
+// geometry.
+struct MultiTenantConfig {
+  uint64_t num_tenants = 1000;
+  double zipf_s = 1.1;
+  // Per-tenant template. num_licenses is overridden per tenant by the
+  // [min_licenses, max_licenses] draw; num_records is ignored (tenant
+  // baselines are licenses-only — traffic comes from DrawRequest).
+  WorkloadConfig base;
+  int min_licenses = 2;
+  int max_licenses = 6;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+// Deterministic multi-tenant workload: per-tenant configs, lazily
+// materialized per-tenant license catalogs, and the Zipf-popularity
+// request stream. Everything is a pure function of (config, tenant_id) or
+// of the caller's Rng stream, so two instances with the same config agree
+// tenant-for-tenant — the property the catalog layer's lazy compilation
+// and crash recovery both lean on.
+class MultiTenantWorkload {
+ public:
+  explicit MultiTenantWorkload(const MultiTenantConfig& config);
+
+  const MultiTenantConfig& config() const { return config_; }
+
+  // The derived WorkloadConfig for one tenant (seed mixed from the global
+  // seed and the tenant id; license count from the per-tenant draw).
+  WorkloadConfig TenantConfig(uint64_t tenant_id) const;
+
+  // Materializes tenant `tenant_id`'s baseline: schema + licenses, no log.
+  // Deterministic: same (config, tenant_id) ⇒ identical licenses.
+  Result<Workload> MakeTenant(uint64_t tenant_id) const;
+
+  // Draws the tenant of the next request by Zipf popularity.
+  uint64_t DrawTenant(Rng* rng) const { return zipf_.Sample(rng); }
+
+  // Draws one usage request against a materialized tenant baseline: a
+  // random sub-rectangle of one of its redistribution licenses.
+  License DrawRequest(const Workload& tenant, Rng* rng,
+                      int64_t sequence) const;
+
+  const ZipfSampler& zipf() const { return zipf_; }
+
+ private:
+  MultiTenantConfig config_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace geolic
+
+#endif  // GEOLIC_WORKLOAD_MULTI_TENANT_H_

@@ -1,0 +1,195 @@
+// Unit coverage for the multi-tenant catalog front door
+// (catalog/catalog_service.h): lazy compilation and hit accounting, LRU
+// eviction under a tiny budget, explicit spill/reload transparency, and
+// journal-backed crash recovery of an evolved tenant.
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog_service.h"
+#include "catalog/tenant_source.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/multi_tenant.h"
+
+namespace geolic {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CatalogServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.num_tenants = 8;
+    config_.base.dimensions = 2;
+    config_.min_licenses = 2;
+    config_.max_licenses = 3;
+    workload_ = std::make_unique<MultiTenantWorkload>(config_);
+    source_ = std::make_unique<WorkloadTenantSource>(workload_.get());
+    dir_ = (fs::temp_directory_path() /
+            ("geolic-catalog-unit-" + std::to_string(getpid())))
+               .string();
+    fs::remove_all(dir_);
+    options_.dir = dir_;
+    options_.journal_writers = 2;
+    options_.lru_shards = 1;
+    options_.fsync_interval = 0;
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // One on-policy usage request for `tenant` (deterministic per call
+  // sequence — the Rng is owned by the fixture).
+  License Request(uint64_t tenant) {
+    Result<Workload> baseline = workload_->MakeTenant(tenant);
+    EXPECT_TRUE(baseline.ok());
+    return workload_->DrawRequest(*baseline, &rng_, ++sequence_);
+  }
+
+  MultiTenantConfig config_;
+  std::unique_ptr<MultiTenantWorkload> workload_;
+  std::unique_ptr<WorkloadTenantSource> source_;
+  CatalogOptions options_;
+  std::string dir_;
+  Rng rng_{testing::TestSeed(0xCA7A)};
+  int64_t sequence_ = 0;
+};
+
+TEST_F(CatalogServiceTest, RejectsBadOptions) {
+  CatalogOptions bad = options_;
+  bad.dir.clear();
+  EXPECT_FALSE(CatalogService::Create(source_.get(), bad).ok());
+  bad = options_;
+  bad.journal_writers = 0;
+  EXPECT_FALSE(CatalogService::Create(source_.get(), bad).ok());
+  bad = options_;
+  bad.lru_shards = 0;
+  EXPECT_FALSE(CatalogService::Create(source_.get(), bad).ok());
+}
+
+TEST_F(CatalogServiceTest, LazyCompileThenCacheHit) {
+  Result<std::unique_ptr<CatalogService>> catalog =
+      CatalogService::Create(source_.get(), options_);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+
+  Result<OnlineDecision> first = (*catalog)->TryIssue(3, Request(3));
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_TRUE(first->instance_valid);
+  CatalogStats stats = (*catalog)->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.resident_tenants, 1u);
+
+  Result<OnlineDecision> second = (*catalog)->TryIssue(3, Request(3));
+  ASSERT_TRUE(second.ok());
+  stats = (*catalog)->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.journal_frames, 2u);
+
+  // Unknown tenants fail without poisoning the catalog.
+  EXPECT_FALSE(
+      (*catalog)->TryIssue(config_.num_tenants + 5, Request(3)).ok());
+  EXPECT_TRUE((*catalog)->TryIssue(3, Request(3)).ok());
+  EXPECT_TRUE((*catalog)->Close().ok());
+}
+
+TEST_F(CatalogServiceTest, TinyBudgetEvictsColdTenants) {
+  options_.memory_budget_bytes = 1;  // Floor: one resident tenant/shard.
+  Result<std::unique_ptr<CatalogService>> catalog =
+      CatalogService::Create(source_.get(), options_);
+  ASSERT_TRUE(catalog.ok());
+
+  for (uint64_t tenant = 0; tenant < 4; ++tenant) {
+    ASSERT_TRUE((*catalog)->TryIssue(tenant, Request(tenant)).ok());
+  }
+  const CatalogStats stats = (*catalog)->stats();
+  EXPECT_GE(stats.evictions, 3u);
+  EXPECT_EQ(stats.resident_tenants, 1u);
+
+  // Evicted tenants come back transparently from their spills.
+  ASSERT_TRUE((*catalog)->TryIssue(0, Request(0)).ok());
+  EXPECT_GE((*catalog)->stats().loads, 1u);
+  EXPECT_TRUE((*catalog)->Close().ok());
+}
+
+TEST_F(CatalogServiceTest, ExplicitSpillIsTransparent) {
+  Result<std::unique_ptr<CatalogService>> catalog =
+      CatalogService::Create(source_.get(), options_);
+  ASSERT_TRUE(catalog.ok());
+
+  const License usage = Request(2);
+  Result<OnlineDecision> before = (*catalog)->TryIssue(2, usage);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*catalog)->SpillTenant(2).ok());
+  EXPECT_TRUE(fs::exists((*catalog)->SpillPath(2)));
+  // Spilling a cold tenant is a no-op.
+  EXPECT_TRUE((*catalog)->SpillTenant(2).ok());
+
+  // The reloaded tenant remembers the accepted record and keeps deciding.
+  Result<CatalogService::TenantSnapshot> snapshot =
+      (*catalog)->SnapshotTenant(2);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->log.size(), before->accepted() ? 1u : 0u);
+  Result<OnlineDecision> after = (*catalog)->TryIssue(2, usage);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->instance_valid, before->instance_valid);
+  EXPECT_TRUE((*catalog)->Close().ok());
+}
+
+TEST_F(CatalogServiceTest, RecoverReplaysTheJournaledTail) {
+  uint64_t accepted = 0;
+  {
+    options_.fsync_interval = 1;
+    Result<std::unique_ptr<CatalogService>> catalog =
+        CatalogService::Create(source_.get(), options_);
+    ASSERT_TRUE(catalog.ok());
+    for (int i = 0; i < 6; ++i) {
+      const uint64_t tenant = static_cast<uint64_t>(i % 2);
+      Result<OnlineDecision> decision =
+          (*catalog)->TryIssue(tenant, Request(tenant));
+      ASSERT_TRUE(decision.ok());
+      if (tenant == 1 && decision->accepted()) {
+        ++accepted;
+      }
+    }
+    // Crash: destroy without Close. The journal pool has every frame.
+    catalog->reset();
+  }
+
+  CatalogRecoveryStats rstats;
+  Result<std::unique_ptr<CatalogService>> recovered =
+      CatalogService::Recover(source_.get(), options_, &rstats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ(rstats.journal_frames, 6u);
+  EXPECT_EQ(rstats.tenants_recovered, 2u);
+
+  Result<CatalogService::TenantSnapshot> snapshot =
+      (*recovered)->SnapshotTenant(1);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->log.size(), accepted);
+  EXPECT_EQ(snapshot->tenant_seq, 3u);
+  EXPECT_TRUE((*recovered)->Close().ok());
+}
+
+TEST_F(CatalogServiceTest, WriterRoutingIsStablePerTenant) {
+  Result<std::unique_ptr<CatalogService>> catalog =
+      CatalogService::Create(source_.get(), options_);
+  ASSERT_TRUE(catalog.ok());
+  for (uint64_t tenant = 0; tenant < 8; ++tenant) {
+    const int writer = (*catalog)->WriterIndexForTenant(tenant);
+    EXPECT_GE(writer, 0);
+    EXPECT_LT(writer, options_.journal_writers);
+    EXPECT_EQ(writer, (*catalog)->WriterIndexForTenant(tenant));
+  }
+  EXPECT_TRUE((*catalog)->Close().ok());
+}
+
+}  // namespace
+}  // namespace geolic

@@ -168,6 +168,63 @@ TEST(ExpositionTest, JsonRoundTripsThroughParser) {
   EXPECT_TRUE(recovery->Find("torn_tail")->boolean);
 }
 
+TEST(ExpositionTest, CatalogSectionRendersEveryFamily) {
+  // The catalog layer added two trace stages (catalog_compile /
+  // catalog_evict) — the profile array is now 16 wide — and a
+  // geolic_catalog_* metric section. Pin both so a stage or family can
+  // never silently drop out of the exposition.
+  EXPECT_EQ(kTraceStageCount, 16);
+
+  ExpositionInput input = GoldenInput();
+  input.has_catalog = true;
+  input.catalog.hits = 90;
+  input.catalog.misses = 10;
+  input.catalog.compiles = 7;
+  input.catalog.loads = 3;
+  input.catalog.evictions = 4;
+  input.catalog.spills = 5;
+  input.catalog.recovered_tenants = 2;
+  input.catalog.journal_frames = 100;
+  input.catalog.resident_tenants = 6;
+  input.catalog.resident_bytes = 98304;
+
+  const std::string text = RenderPrometheusText(input);
+  const std::string kExpectedLines[] = {
+      "geolic_catalog_requests_total{service=\"geolic\",outcome=\"hit\"} 90",
+      "geolic_catalog_requests_total{service=\"geolic\",outcome=\"miss\"} "
+      "10",
+      "geolic_catalog_compiles_total{service=\"geolic\"} 7",
+      "geolic_catalog_loads_total{service=\"geolic\"} 3",
+      "geolic_catalog_evictions_total{service=\"geolic\"} 4",
+      "geolic_catalog_spills_total{service=\"geolic\"} 5",
+      "geolic_catalog_recovered_tenants_total{service=\"geolic\"} 2",
+      "geolic_catalog_journal_frames_total{service=\"geolic\"} 100",
+      "geolic_catalog_resident_tenants{service=\"geolic\"} 6",
+      "geolic_catalog_resident_bytes{service=\"geolic\"} 98304",
+  };
+  for (const std::string& line : kExpectedLines) {
+    EXPECT_NE(text.find(line + "\n"), std::string::npos) << line;
+  }
+
+  input.has_stages = true;
+  input.stages.stages[static_cast<size_t>(TraceStage::kCatalogCompile)]
+      .counts[2] = 7;
+  const Result<JsonValue> doc = ParseJson(RenderJson(input));
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  const JsonValue* catalog = doc->Find("catalog");
+  ASSERT_NE(catalog, nullptr);
+  EXPECT_EQ(catalog->Find("hits")->AsUInt(), 90u);
+  EXPECT_EQ(catalog->Find("misses")->AsUInt(), 10u);
+  EXPECT_EQ(catalog->Find("evictions")->AsUInt(), 4u);
+  EXPECT_EQ(catalog->Find("resident_bytes")->AsUInt(), 98304u);
+  const JsonValue* stages = doc->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->object.size(), 16u);
+  EXPECT_EQ(stages->Find("catalog_compile")->Find("count")->AsUInt(), 7u);
+  ASSERT_NE(stages->Find("catalog_evict"), nullptr);
+  EXPECT_EQ(stages->Find("catalog_evict")->Find("count")->AsUInt(), 0u);
+}
+
 TEST(ExpositionTest, ServiceLabelIsEscapedAndRoundTrips) {
   ExpositionInput input;
   input.service = "we\"ird\\svc\nline";

@@ -1,4 +1,7 @@
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -8,12 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/catalog_service.h"
+#include "catalog/tenant_source.h"
 #include "persist/faulty_file.h"
 #include "persist/journal.h"
 #include "persist/sync_file.h"
 #include "service/issuance_service.h"
 #include "test_util.h"
 #include "util/random.h"
+#include "workload/multi_tenant.h"
 
 namespace geolic {
 namespace {
@@ -675,6 +681,229 @@ TEST(RecoveryFaultTest, AttachJournalGuards) {
   EXPECT_FALSE((*service)->AttachJournal(std::move(*second)).ok());
 
   EXPECT_TRUE((*service)->SyncJournal().ok());
+}
+
+// --- Tenant-tagged frames & per-tenant spill containers --------------------
+
+// Journal bytes carrying the multi-tenant catalog's v3 tenant-tagged frame
+// in every TenantOpKind, interleaved across two tenants the way a shared
+// pool writer interleaves them.
+std::string TenantJournalBytes(const ConstraintSchema& schema,
+                               std::vector<size_t>* boundaries = nullptr) {
+  auto file = std::make_unique<InMemorySyncFile>();
+  InMemorySyncFile* disk = file.get();
+  Result<std::unique_ptr<JournalWriter>> writer =
+      JournalWriter::Create(std::move(file));
+  EXPECT_TRUE(writer.ok());
+  const auto mark = [&] {
+    if (boundaries != nullptr) {
+      boundaries->push_back(disk->contents().size());
+    }
+  };
+  mark();
+  TenantOpFrame issue;
+  issue.tenant_id = 7;
+  issue.tenant_seq = 1;
+  issue.op = TenantOpKind::kIssue;
+  issue.license = MakeUsage(schema, "U1", {{12, 18}}, 1);
+  EXPECT_TRUE((*writer)->AppendTenantOp(1, issue).ok());
+  mark();
+  TenantOpFrame acquire;
+  acquire.tenant_id = 9;
+  acquire.tenant_seq = 1;
+  acquire.op = TenantOpKind::kAcquire;
+  acquire.license = MakeRedistribution(schema, "L9", {{300, 320}}, 9);
+  EXPECT_TRUE((*writer)->AppendTenantOp(2, acquire).ok());
+  mark();
+  TenantOpFrame revoke;
+  revoke.tenant_id = 7;
+  revoke.tenant_seq = 2;
+  revoke.op = TenantOpKind::kRevoke;
+  revoke.revoke_id = "L2";
+  EXPECT_TRUE((*writer)->AppendTenantOp(3, revoke).ok());
+  mark();
+  TenantOpFrame expire;
+  expire.tenant_id = 9;
+  expire.tenant_seq = 2;
+  expire.op = TenantOpKind::kExpire;
+  expire.expire_dim = 0;
+  expire.expire_cutoff = 25;
+  EXPECT_TRUE((*writer)->AppendTenantOp(4, expire).ok());
+  mark();
+  return disk->contents();
+}
+
+TEST(RecoveryFaultTest, EveryBitFlipOnTenantFramesFailsLoudly) {
+  // The corruption matrix over tenant-tagged frames: no flip anywhere —
+  // tenant id, per-tenant sequence, op kind, or the embedded license — may
+  // parse cleanly.
+  const ConstraintSchema schema = IntervalSchema(1);
+  const std::string full = TenantJournalBytes(schema);
+  // Sanity: the clean bytes round-trip with all four op kinds and both
+  // tenants' tags intact.
+  const Result<JournalReplay> clean = JournalReader::Parse(full);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(clean->entries.size(), 4u);
+  for (const JournalEntry& entry : clean->entries) {
+    EXPECT_EQ(entry.kind, JournalEntryKind::kTenantOp);
+  }
+  EXPECT_EQ(clean->entries[0].tenant.tenant_id, 7u);
+  EXPECT_EQ(clean->entries[0].tenant.tenant_seq, 1u);
+  EXPECT_EQ(clean->entries[0].tenant.op, TenantOpKind::kIssue);
+  ASSERT_TRUE(clean->entries[0].tenant.license.has_value());
+  EXPECT_EQ(clean->entries[0].tenant.license->id(), "U1");
+  EXPECT_EQ(clean->entries[1].tenant.tenant_id, 9u);
+  EXPECT_EQ(clean->entries[1].tenant.op, TenantOpKind::kAcquire);
+  ASSERT_TRUE(clean->entries[1].tenant.license.has_value());
+  EXPECT_EQ(clean->entries[1].tenant.license->id(), "L9");
+  EXPECT_EQ(clean->entries[2].tenant.tenant_id, 7u);
+  EXPECT_EQ(clean->entries[2].tenant.tenant_seq, 2u);
+  EXPECT_EQ(clean->entries[2].tenant.op, TenantOpKind::kRevoke);
+  EXPECT_EQ(clean->entries[2].tenant.revoke_id, "L2");
+  EXPECT_EQ(clean->entries[3].tenant.op, TenantOpKind::kExpire);
+  EXPECT_EQ(clean->entries[3].tenant.expire_dim, 0);
+  EXPECT_EQ(clean->entries[3].tenant.expire_cutoff, 25);
+
+  for (size_t i = 0; i < full.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = full;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      const Result<JournalReplay> replay = JournalReader::Parse(mutated);
+      ASSERT_FALSE(replay.ok())
+          << "byte " << i << " bit " << bit << " slipped through";
+      if (i >= sizeof(kJournalMagic)) {
+        EXPECT_NE(replay.status().message().find("offset"), std::string::npos)
+            << replay.status().message();
+      }
+    }
+  }
+}
+
+TEST(RecoveryFaultTest, TruncatedTenantTailAlwaysRecoversAPrefix) {
+  // Cut the tenant-tagged journal at EVERY byte length: clean prefix of
+  // whole frames, torn tail iff the cut is mid-frame — same contract as
+  // the single-service frames, so catalog recovery can apply the same
+  // torn-tail allowance.
+  const ConstraintSchema schema = IntervalSchema(1);
+  std::vector<size_t> boundaries;
+  const std::string full = TenantJournalBytes(schema, &boundaries);
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    const Result<JournalReplay> replay =
+        JournalReader::Parse(full.substr(0, cut));
+    if (cut < sizeof(kJournalMagic)) {
+      EXPECT_FALSE(replay.ok()) << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << "cut=" << cut << ": "
+                             << replay.status().message();
+    size_t whole_frames = 0;
+    while (whole_frames + 1 < boundaries.size() &&
+           boundaries[whole_frames + 1] <= cut) {
+      ++whole_frames;
+    }
+    ASSERT_EQ(replay->entries.size(), whole_frames) << "cut=" << cut;
+    for (size_t i = 0; i < replay->entries.size(); ++i) {
+      EXPECT_EQ(replay->entries[i].kind, JournalEntryKind::kTenantOp)
+          << "cut=" << cut;
+      EXPECT_EQ(replay->entries[i].tenant.tenant_id, i % 2 == 0 ? 7u : 9u)
+          << "cut=" << cut;
+    }
+    EXPECT_EQ(replay->torn_tail, cut != boundaries[whole_frames])
+        << "cut=" << cut;
+  }
+}
+
+TEST(RecoveryFaultTest, SpillBitFlipsFailTheirOwnTenantOnlyWithAnOffset) {
+  // Corrupting one cold tenant's spill checkpoint must fail exactly that
+  // tenant's reload — loudly, naming a byte offset once the damage is past
+  // the magic — while its siblings keep serving untouched.
+  MultiTenantConfig config;
+  config.num_tenants = 2;
+  config.base.dimensions = 2;
+  config.min_licenses = 2;
+  config.max_licenses = 3;
+  const MultiTenantWorkload workload(config);
+  WorkloadTenantSource source(&workload);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("geolic-spill-matrix-" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  CatalogOptions options;
+  options.dir = dir.string();
+  options.fsync_interval = 0;  // Throughput: the matrix is I/O-bound.
+  Result<std::unique_ptr<CatalogService>> catalog =
+      CatalogService::Create(&source, options);
+  ASSERT_TRUE(catalog.ok());
+
+  // Materialize and spill tenant 0; keep tenant 1 live as the sibling.
+  ASSERT_TRUE((*catalog)->TenantEpoch(0).ok());
+  ASSERT_TRUE((*catalog)->SpillTenant(0).ok());
+  Result<Workload> tenant0 = workload.MakeTenant(0);
+  ASSERT_TRUE(tenant0.ok());
+  Result<Workload> tenant1 = workload.MakeTenant(1);
+  ASSERT_TRUE(tenant1.ok());
+  Rng rng(20260808);
+
+  const std::string spill_path = (*catalog)->SpillPath(0);
+  std::string clean;
+  {
+    std::ifstream in(spill_path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    clean = buf.str();
+  }
+  ASSERT_GT(clean.size(), 32u);
+
+  const auto rewrite = [&](const std::string& bytes) {
+    std::ofstream out(spill_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  };
+
+  // One flipped bit per byte position (bit rotates with the offset): the
+  // reload must fail every time, and never disturb the sibling.
+  for (size_t i = 0; i < clean.size(); ++i) {
+    std::string mutated = clean;
+    mutated[i] = static_cast<char>(mutated[i] ^ (1 << (i % 8)));
+    rewrite(mutated);
+    const Result<OnlineDecision> broken = (*catalog)->TryIssue(
+        0, workload.DrawRequest(*tenant0, &rng, static_cast<int64_t>(i)));
+    ASSERT_FALSE(broken.ok()) << "byte " << i << " slipped through";
+    if (i >= 8) {  // Past the checkpoint magic.
+      EXPECT_NE(broken.status().message().find("offset"), std::string::npos)
+          << broken.status().message();
+    }
+    if (i % 64 == 0) {
+      const Result<OnlineDecision> sibling = (*catalog)->TryIssue(
+          1, workload.DrawRequest(*tenant1, &rng, static_cast<int64_t>(i)));
+      EXPECT_TRUE(sibling.ok()) << "sibling poisoned at byte " << i << ": "
+                                << sibling.status().message();
+    }
+  }
+
+  // Truncation sweep: every cut of the container fails the reload too.
+  for (size_t cut = 0; cut < clean.size(); cut += 7) {
+    rewrite(clean.substr(0, cut));
+    const Result<OnlineDecision> broken = (*catalog)->TryIssue(
+        0, workload.DrawRequest(*tenant0, &rng, static_cast<int64_t>(cut)));
+    ASSERT_FALSE(broken.ok()) << "cut " << cut << " slipped through";
+  }
+
+  // Restoring the clean container heals the tenant in place: the failed
+  // reloads cached nothing.
+  rewrite(clean);
+  const Result<OnlineDecision> healed =
+      (*catalog)->TryIssue(0, workload.DrawRequest(*tenant0, &rng, 999));
+  EXPECT_TRUE(healed.ok()) << healed.status().message();
+  const Result<OnlineDecision> sibling =
+      (*catalog)->TryIssue(1, workload.DrawRequest(*tenant1, &rng, 999));
+  EXPECT_TRUE(sibling.ok());
+
+  ASSERT_TRUE((*catalog)->Close().ok());
+  catalog->reset();
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

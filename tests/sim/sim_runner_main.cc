@@ -14,6 +14,14 @@
 //   sim_runner --wide_n=N               pin the license count to N and
 //                                      scatter licenses into ceil(N/8)
 //                                      disjoint slabs (multi-word sets)
+//   sim_runner --tenants=T             multi-tenant catalog mode: T tenants
+//                                      behind a CatalogService under a tiny
+//                                      LRU budget, per-tenant reference
+//                                      models, FaultyFile faults on the
+//                                      shared journal pool, crash-recovery
+//                                      conformance; with --mutation_smoke,
+//                                      plants the cross-tenant frame
+//                                      misrouting bug instead
 //
 // Every failure is reported with the one command that reproduces it.
 // Exit codes: 0 = pass, 1 = conformance failure (or, in mutation smoke
@@ -25,6 +33,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/catalog_sim.h"
 #include "sim/sim_harness.h"
 
 namespace {
@@ -69,6 +78,82 @@ void PrintFailure(const geolic::SimResult& result,
   }
 }
 
+void PrintCatalogFailure(const geolic::CatalogSimResult& result,
+                         uint64_t tenants) {
+  std::printf("FAILED seed=%" PRIu64 " (catalog mode)\n", result.seed);
+  std::printf("  failure: %s\n", result.failure.c_str());
+  std::printf("  ops executed: %zu\n", result.ops_executed);
+  std::printf("  trace:\n");
+  for (const std::string& op : result.op_trace) {
+    std::printf("    %s\n", op.c_str());
+  }
+  std::printf("repro: sim_runner --tenants=%" PRIu64 " --seed=%" PRIu64 "\n",
+              tenants, result.seed);
+}
+
+// The multi-tenant catalog sweep: same driver contract as the
+// single-service modes (single seed / mutation smoke / sweep), but over
+// RunCatalogSimulation.
+int RunCatalogMode(uint64_t tenants, uint64_t seeds, uint64_t start_seed,
+                   uint64_t single_seed, bool have_single,
+                   bool mutation_smoke) {
+  geolic::CatalogSimConfig config;
+  config.min_tenants = static_cast<int>(tenants);
+  config.max_tenants = static_cast<int>(tenants);
+  config.inject_misroute = mutation_smoke;
+
+  if (have_single) {
+    const geolic::CatalogSimResult result =
+        geolic::RunCatalogSimulation(single_seed, config);
+    if (result.ok) {
+      std::printf("seed %" PRIu64 " OK (%zu ops, catalog mode)\n",
+                  result.seed, result.ops_executed);
+      return 0;
+    }
+    PrintCatalogFailure(result, tenants);
+    return 1;
+  }
+
+  if (mutation_smoke) {
+    const uint64_t budget = seeds == 0 ? 200 : seeds;
+    for (uint64_t s = start_seed; s < start_seed + budget; ++s) {
+      const geolic::CatalogSimResult result =
+          geolic::RunCatalogSimulation(s, config);
+      if (!result.ok) {
+        std::printf("mutation smoke OK: planted cross-tenant misrouting "
+                    "bug caught at seed %" PRIu64 " (%" PRIu64
+                    " seeds tried)\n",
+                    s, s - start_seed + 1);
+        std::printf("  failure: %s\n", result.failure.c_str());
+        return 0;
+      }
+    }
+    std::printf("mutation smoke FAILED: planted misrouting bug not caught "
+                "in %" PRIu64 " seeds — the harness has lost its teeth\n",
+                budget);
+    return 1;
+  }
+
+  const uint64_t sweep = seeds == 0 ? 100 : seeds;
+  for (uint64_t s = start_seed; s < start_seed + sweep; ++s) {
+    const geolic::CatalogSimResult result =
+        geolic::RunCatalogSimulation(s, config);
+    if (!result.ok) {
+      PrintCatalogFailure(result, tenants);
+      return 1;
+    }
+    if ((s - start_seed + 1) % 100 == 0) {
+      std::printf("  ... %" PRIu64 "/%" PRIu64 " seeds clean\n",
+                  s - start_seed + 1, sweep);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("OK: %" PRIu64 " seeds clean (catalog mode, tenants=%" PRIu64
+              ", start_seed=%" PRIu64 ")\n",
+              sweep, tenants, start_seed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +161,7 @@ int main(int argc, char** argv) {
   uint64_t start_seed = 1;
   uint64_t single_seed = 0;
   uint64_t wide_n = 0;
+  uint64_t tenants = 0;
   bool have_single = false;
   bool mutation_smoke = false;
   bool lifecycle = false;
@@ -87,6 +173,9 @@ int main(int argc, char** argv) {
       continue;
     }
     if (ParseUint(arg, "--wide_n", &wide_n)) {
+      continue;
+    }
+    if (ParseUint(arg, "--tenants", &tenants)) {
       continue;
     }
     if (ParseUint(arg, "--seed", &single_seed)) {
@@ -104,9 +193,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sim_runner: unknown flag %s\n"
                  "usage: sim_runner [--seeds=N] [--seed=S] [--start_seed=B] "
-                 "[--wide_n=N] [--lifecycle] [--mutation_smoke]\n",
+                 "[--wide_n=N] [--tenants=T] [--lifecycle] "
+                 "[--mutation_smoke]\n",
                  arg);
     return 2;
+  }
+
+  if (tenants > 0) {
+    if (lifecycle || wide_n > 0) {
+      std::fprintf(stderr,
+                   "sim_runner: --tenants is incompatible with --lifecycle "
+                   "and --wide_n\n");
+      return 2;
+    }
+    return RunCatalogMode(tenants, seeds, start_seed, single_seed,
+                          have_single, mutation_smoke);
   }
 
   geolic::SimConfig config;

@@ -1,0 +1,172 @@
+// Statistical validation of the bounded Zipf(s) sampler behind the
+// multi-tenant workload (workload/multi_tenant.h): the rejection-inversion
+// sampler must actually produce Zipf-distributed ranks, since every
+// catalog-layer claim about hit rates and resident fractions rides on the
+// popularity head being the right size.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/multi_tenant.h"
+
+namespace geolic {
+namespace {
+
+std::vector<uint64_t> SampleCounts(const ZipfSampler& zipf, uint64_t draws,
+                                   uint64_t seed) {
+  std::vector<uint64_t> counts(zipf.n(), 0);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < draws; ++i) {
+    const uint64_t rank = zipf.Sample(&rng);
+    EXPECT_LT(rank, zipf.n());
+    ++counts[rank];
+  }
+  return counts;
+}
+
+TEST(ZipfStatsTest, HarmonicMatchesDirectSummation) {
+  for (const double s : {0.8, 1.0, 1.1, 1.5}) {
+    double direct = 0.0;
+    for (uint64_t i = 1; i <= 100; ++i) {
+      direct += std::pow(static_cast<double>(i), -s);
+    }
+    EXPECT_NEAR(ZipfSampler::Harmonic(100, s), direct, 1e-9) << "s=" << s;
+  }
+  EXPECT_NEAR(ZipfSampler::Harmonic(1, 2.0), 1.0, 1e-12);
+}
+
+TEST(ZipfStatsTest, PerRankMassMatchesClosedForm) {
+  // Empirical P(rank = r) vs the exact (r+1)^{-s} / H_{n,s} for the head
+  // ranks, where each expected count is large enough for a tight relative
+  // tolerance.
+  const double s = 1.1;
+  const ZipfSampler zipf(1000, s);
+  const uint64_t draws = 200000;
+  const std::vector<uint64_t> counts =
+      SampleCounts(zipf, draws, testing::TestSeed(20260808));
+  const double h_n = ZipfSampler::Harmonic(zipf.n(), s);
+  for (uint64_t r = 0; r < 20; ++r) {
+    const double want =
+        std::pow(static_cast<double>(r + 1), -s) / h_n;
+    const double got =
+        static_cast<double>(counts[r]) / static_cast<double>(draws);
+    // ~5 sigma for a binomial with p = want (head ranks have p >= 2e-3, so
+    // the absolute band stays narrow relative to p).
+    const double sigma =
+        std::sqrt(want * (1.0 - want) / static_cast<double>(draws));
+    EXPECT_NEAR(got, want, 5.0 * sigma + 1e-4) << "rank " << r;
+  }
+}
+
+TEST(ZipfStatsTest, TopKMassMatchesClosedForm) {
+  // The popularity head: the top-k ranks' combined share must equal
+  // H_{k,s} / H_{n,s}. This is exactly the quantity the catalog LRU's
+  // hit-rate claims lean on.
+  const double s = 1.1;
+  const ZipfSampler zipf(100000, s);
+  const uint64_t draws = 300000;
+  const std::vector<uint64_t> counts =
+      SampleCounts(zipf, draws, testing::TestSeed(20260809));
+  const double h_n = ZipfSampler::Harmonic(zipf.n(), s);
+  for (const uint64_t k : {10u, 100u, 1000u}) {
+    uint64_t head = 0;
+    for (uint64_t r = 0; r < k; ++r) {
+      head += counts[r];
+    }
+    const double want = ZipfSampler::Harmonic(k, s) / h_n;
+    const double got =
+        static_cast<double>(head) / static_cast<double>(draws);
+    EXPECT_NEAR(got, want, 0.01) << "k=" << k;
+  }
+}
+
+TEST(ZipfStatsTest, LogLogSlopeRecoversTheExponent) {
+  // Least-squares slope of log(frequency) vs log(rank) over the head must
+  // recover -s: the defining rank-frequency law, checked for two distinct
+  // exponents so a constant-slope bug cannot pass.
+  for (const double s : {0.9, 1.3}) {
+    const ZipfSampler zipf(2000, s);
+    const uint64_t draws = 400000;
+    const std::vector<uint64_t> counts =
+        SampleCounts(zipf, draws, testing::TestSeed(20260810));
+    // Head ranks only: each must have enough mass that sampling noise does
+    // not dominate the regression.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int n = 0;
+    for (uint64_t r = 0; r < 50; ++r) {
+      ASSERT_GT(counts[r], 50u) << "rank " << r << " too thin at s=" << s;
+      const double x = std::log(static_cast<double>(r + 1));
+      const double y = std::log(static_cast<double>(counts[r]));
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      ++n;
+    }
+    const double slope =
+        (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    EXPECT_NEAR(slope, -s, 0.05) << "s=" << s;
+  }
+}
+
+TEST(ZipfStatsTest, DeterministicGivenTheRngStream) {
+  const ZipfSampler zipf(5000, 1.1);
+  Rng a(12345);
+  Rng b(12345);
+  Rng c(54321);
+  bool diverged = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t from_a = zipf.Sample(&a);
+    ASSERT_EQ(from_a, zipf.Sample(&b)) << "draw " << i;
+    diverged = diverged || (from_a != zipf.Sample(&c));
+  }
+  EXPECT_TRUE(diverged) << "distinct seeds produced identical streams";
+}
+
+TEST(ZipfStatsTest, DegenerateSingleRank) {
+  const ZipfSampler zipf(1, 1.1);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(&rng), 0u);
+  }
+}
+
+TEST(ZipfStatsTest, TenantBaselinesAreDeterministicPerTenant) {
+  // The catalog layer's lazy compile + crash recovery both assume
+  // MakeTenant is a pure function of (config, tenant_id).
+  MultiTenantConfig config;
+  config.num_tenants = 64;
+  config.base.dimensions = 2;
+  const MultiTenantWorkload one(config);
+  const MultiTenantWorkload two(config);
+  for (const uint64_t tenant : {0ull, 13ull, 63ull}) {
+    Result<Workload> a = one.MakeTenant(tenant);
+    Result<Workload> b = two.MakeTenant(tenant);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->licenses->size(), b->licenses->size());
+    for (size_t i = 0; i < static_cast<size_t>(a->licenses->size()); ++i) {
+      const License& la = a->licenses->licenses()[i];
+      const License& lb = b->licenses->licenses()[i];
+      EXPECT_EQ(la.id(), lb.id());
+      EXPECT_EQ(la.aggregate_count(), lb.aggregate_count());
+    }
+  }
+  // Distinct tenants must not share a geometry wholesale.
+  Result<Workload> t0 = one.MakeTenant(0);
+  Result<Workload> t1 = one.MakeTenant(1);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  const bool distinct =
+      t0->licenses->size() != t1->licenses->size() ||
+      t0->licenses->licenses()[0].aggregate_count() !=
+          t1->licenses->licenses()[0].aggregate_count();
+  EXPECT_TRUE(distinct);
+}
+
+}  // namespace
+}  // namespace geolic
