@@ -88,10 +88,45 @@ Result<std::unique_ptr<CatalogService>> CatalogService::Create(
     return Status::IoError("cannot create catalog dir " + options.dir + ": " +
                            ec.message());
   }
+  // Fresh means fresh: a reused directory may hold spills (and interrupted
+  // spill temp files) from an earlier catalog generation, and lazy
+  // materialization would transparently resurrect that evolved state. Purge
+  // them before the journals truncate so Create never mixes old tenant
+  // state with an empty journal pool.
+  GEOLIC_RETURN_IF_ERROR(RemoveSpillFiles(options.dir));
   auto service =
       std::unique_ptr<CatalogService>(new CatalogService(source, options));
   GEOLIC_RETURN_IF_ERROR(service->OpenJournals());
   return service;
+}
+
+Status CatalogService::RemoveSpillFiles(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list catalog dir " + dir + ": " +
+                           ec.message());
+  }
+  const auto has_suffix = [](const std::string& name,
+                             std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("tenant-", 0) != 0 ||
+        (!has_suffix(name, ".spill") && !has_suffix(name, ".spill.tmp"))) {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (!std::filesystem::remove(entry.path(), remove_ec) || remove_ec) {
+      return Status::IoError("cannot delete stale spill " +
+                             entry.path().string() + ": " +
+                             remove_ec.message());
+    }
+  }
+  return Status::Ok();
 }
 
 Status CatalogService::OpenJournals() {
@@ -339,9 +374,13 @@ Status CatalogService::SpillLocked(Tenant* tenant, bool evicting) {
   }
   ScopedTracerSpan span(options_.tracer, TraceStage::kCatalogEvict);
   GEOLIC_ASSIGN_OR_RETURN(std::string payload, EncodeSpillLocked(*tenant));
-  GEOLIC_RETURN_IF_ERROR(WriteCheckpointFile(CheckpointKind::kTenantSnapshot,
-                                             payload,
-                                             SpillPath(tenant->tenant_id)));
+  // Durable atomic publish (temp + fsync + rename + dir fsync): recovery
+  // truncates the journal pool on the strength of these files, and live
+  // eviction replaces the previous good spill — a torn or page-cache-only
+  // in-place overwrite would silently lose the tenant.
+  GEOLIC_RETURN_IF_ERROR(WriteCheckpointFileDurable(
+      CheckpointKind::kTenantSnapshot, payload,
+      SpillPath(tenant->tenant_id)));
   tenant->service.reset();
   tenant->licenses.reset();
   tenant->schema.reset();
@@ -420,6 +459,24 @@ void CatalogService::MaybeEvict(LruShard& shard) {
   }
 }
 
+Status CatalogService::CheckAcceptingOps() const {
+  if (failed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "catalog fail-stopped: a pool journal writer was poisoned by an "
+        "I/O error; mutating ops are rejected until a restart through "
+        "CatalogService::Recover");
+  }
+  return Status::Ok();
+}
+
+void CatalogService::NotePoisonedWriterLocked(PoolWriter& pool) {
+  if (!pool.counted_poisoned) {
+    pool.counted_poisoned = true;
+    poisoned_writers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  failed_.store(true, std::memory_order_release);
+}
+
 Status CatalogService::JournalOpLocked(Tenant* tenant, TenantOpFrame* frame) {
   frame->tenant_id = tenant->tenant_id;
   frame->tenant_seq = tenant->tenant_seq + 1;
@@ -441,7 +498,14 @@ Status CatalogService::JournalOpLocked(Tenant* tenant, TenantOpFrame* frame) {
   if (!appended.ok()) {
     // Maybe-persisted: the frame may or may not have reached the disk.
     // The op is rejected with tenant state unchanged; recovery is allowed
-    // to replay at most this one extra frame.
+    // to replay at most this one extra frame. An I/O error poisons the
+    // writer for good, and a catalog that keeps serving tenants it can no
+    // longer journal is a silent durability hole — fail-stop the whole
+    // catalog instead. (Argument rejections do not poison and stay
+    // per-op.)
+    if (pool.writer->poisoned()) {
+      NotePoisonedWriterLocked(pool);
+    }
     return appended;
   }
   ++pool.next_seq;
@@ -452,6 +516,7 @@ Status CatalogService::JournalOpLocked(Tenant* tenant, TenantOpFrame* frame) {
 
 Result<OnlineDecision> CatalogService::TryIssue(uint64_t tenant_id,
                                                 const License& usage) {
+  GEOLIC_RETURN_IF_ERROR(CheckAcceptingOps());
   std::shared_ptr<Tenant> tenant = GetTenant(tenant_id);
   Result<OnlineDecision> result = [&]() -> Result<OnlineDecision> {
     std::lock_guard<std::mutex> lock(tenant->mutex);
@@ -476,6 +541,7 @@ Result<OnlineDecision> CatalogService::TryIssue(uint64_t tenant_id,
 
 Result<int> CatalogService::AcquireLicense(uint64_t tenant_id,
                                            const License& license) {
+  GEOLIC_RETURN_IF_ERROR(CheckAcceptingOps());
   std::shared_ptr<Tenant> tenant = GetTenant(tenant_id);
   Result<int> result = [&]() -> Result<int> {
     std::lock_guard<std::mutex> lock(tenant->mutex);
@@ -497,6 +563,7 @@ Result<int> CatalogService::AcquireLicense(uint64_t tenant_id,
 
 Status CatalogService::RevokeLicenseById(uint64_t tenant_id,
                                          const std::string& id) {
+  GEOLIC_RETURN_IF_ERROR(CheckAcceptingOps());
   std::shared_ptr<Tenant> tenant = GetTenant(tenant_id);
   Status result = [&]() -> Status {
     std::lock_guard<std::mutex> lock(tenant->mutex);
@@ -513,6 +580,7 @@ Status CatalogService::RevokeLicenseById(uint64_t tenant_id,
 
 Result<int> CatalogService::ExpireDimensionBelow(uint64_t tenant_id, int dim,
                                                  int64_t cutoff) {
+  GEOLIC_RETURN_IF_ERROR(CheckAcceptingOps());
   std::shared_ptr<Tenant> tenant = GetTenant(tenant_id);
   Result<int> result = [&]() -> Result<int> {
     std::lock_guard<std::mutex> lock(tenant->mutex);
@@ -575,7 +643,15 @@ Status CatalogService::SyncJournals() {
   for (auto& pool : writers_) {
     std::lock_guard<std::mutex> lock(pool->mutex);
     if (pool->writer != nullptr) {
-      GEOLIC_RETURN_IF_ERROR(pool->writer->Sync());
+      Status synced = pool->writer->Sync();
+      if (!synced.ok()) {
+        // A failed fsync may have lost acknowledged frames; the writer is
+        // poisoned, so the catalog fail-stops just as on an append error.
+        if (pool->writer->poisoned()) {
+          NotePoisonedWriterLocked(*pool);
+        }
+        return synced;
+      }
     }
   }
   return Status::Ok();
@@ -607,6 +683,7 @@ CatalogStats CatalogService::stats() const {
   stats.recovered_tenants = recovered_tenants_.load(std::memory_order_relaxed);
   stats.journal_frames = journal_frames_.load(std::memory_order_relaxed);
   stats.resident_tenants = resident_tenants_.load(std::memory_order_relaxed);
+  stats.poisoned_writers = poisoned_writers_.load(std::memory_order_relaxed);
   size_t resident_bytes = 0;
   for (const auto& shard : shards_) {
     resident_bytes += shard->resident_bytes.load(std::memory_order_relaxed);

@@ -122,8 +122,10 @@ struct CatalogRecoveryStats {
 
 class CatalogService {
  public:
-  // Fresh catalog: empty LRU, truncated journal pool. `source` must
-  // outlive the service.
+  // Fresh catalog: empty LRU, truncated journal pool, and any tenant
+  // spill files left in a reused directory deleted — Create never
+  // resurrects an earlier generation's evolved tenant state (use Recover
+  // after a crash). `source` must outlive the service.
   static Result<std::unique_ptr<CatalogService>> Create(
       TenantSource* source, const CatalogOptions& options);
 
@@ -146,7 +148,14 @@ class CatalogService {
   // Each op materializes the tenant if needed, journals the intent frame,
   // executes, and may evict colder tenants afterwards. A journal append
   // failure rejects the op with tenant state unchanged (the frame is
-  // maybe-persisted; recovery may replay it — the documented allowance).
+  // maybe-persisted; recovery may replay it — the documented allowance),
+  // and if the failure poisoned the pool writer the catalog *fail-stops*:
+  // every subsequent mutating op on every tenant is rejected with
+  // FailedPrecondition until the process restarts via Recover. Limping on
+  // with one dead writer would silently stop journaling the tenants that
+  // hash to it — a sticky partial outage — so the whole catalog goes
+  // loudly read-only instead (spills/snapshots still work; they do not
+  // journal). The `poisoned_writers` stat counts poisoned writers.
 
   // Online admission for tenant `tenant_id`. The decision's catalog_epoch
   // is in the tenant's cumulative numbering (spill/reload-invariant).
@@ -238,9 +247,14 @@ class CatalogService {
     std::mutex mutex;
     std::unique_ptr<JournalWriter> writer;  // Guarded by mutex.
     uint64_t next_seq = 0;                  // Frames appended; guarded.
+    bool counted_poisoned = false;          // Health counter dedup; guarded.
   };
 
   CatalogService(TenantSource* source, const CatalogOptions& options);
+
+  // Deletes every tenant-*.spill (and interrupted .spill.tmp) in `dir` —
+  // Create's fresh-catalog guarantee for reused directories.
+  static Status RemoveSpillFiles(const std::string& dir);
 
   // Truncates and opens the journal pool; flips journaling on.
   Status OpenJournals();
@@ -265,8 +279,17 @@ class CatalogService {
 
   // Appends the intent frame for the op about to execute; advances
   // tenant->tenant_seq on success. Caller holds tenant->mutex and fills
-  // every frame field except tenant_id / tenant_seq.
+  // every frame field except tenant_id / tenant_seq. A failure that
+  // poisoned the pool writer fail-stops the catalog.
   Status JournalOpLocked(Tenant* tenant, TenantOpFrame* frame);
+
+  // Non-OK once the catalog has fail-stopped (a pool writer poisoned);
+  // mutating ops check it on entry.
+  Status CheckAcceptingOps() const;
+
+  // Records `pool`'s writer as poisoned (once) and fail-stops the
+  // catalog. Caller holds pool.mutex.
+  void NotePoisonedWriterLocked(PoolWriter& pool);
 
   // Writes the spill checkpoint and frees the tenant's in-memory state.
   // Caller holds tenant->mutex. `evicting` selects the evict vs explicit
@@ -294,6 +317,9 @@ class CatalogService {
   CatalogOptions options_;
   size_t shard_budget_bytes_ = 0;  // memory_budget_bytes / lru_shards.
   bool journaling_enabled_ = false;
+  // Fail-stop latch: set when any pool writer poisons, never cleared —
+  // recovery builds a new service.
+  std::atomic<bool> failed_{false};
   std::vector<std::unique_ptr<LruShard>> shards_;
   std::vector<std::unique_ptr<PoolWriter>> writers_;
 
@@ -307,6 +333,7 @@ class CatalogService {
   std::atomic<uint64_t> recovered_tenants_{0};
   std::atomic<uint64_t> journal_frames_{0};
   std::atomic<uint64_t> resident_tenants_{0};
+  std::atomic<uint64_t> poisoned_writers_{0};
 };
 
 }  // namespace geolic

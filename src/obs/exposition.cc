@@ -296,6 +296,12 @@ std::string RenderPrometheusText(const ExpositionInput& input) {
                        "Approximate bytes of resident tenant state.", &out);
     out += "geolic_catalog_resident_bytes{" + svc + "} " +
            std::to_string(cat.resident_bytes) + "\n";
+    AppendFamilyHeader("geolic_catalog_poisoned_writers", "gauge",
+                       "Pool journal writers poisoned by an I/O error "
+                       "(nonzero: the catalog has fail-stopped).",
+                       &out);
+    out += "geolic_catalog_poisoned_writers{" + svc + "} " +
+           std::to_string(cat.poisoned_writers) + "\n";
   }
 
   return out;
@@ -398,6 +404,7 @@ std::string RenderJson(const ExpositionInput& input) {
     json.KeyValue("journal_frames", cat.journal_frames);
     json.KeyValue("resident_tenants", cat.resident_tenants);
     json.KeyValue("resident_bytes", cat.resident_bytes);
+    json.KeyValue("poisoned_writers", cat.poisoned_writers);
     json.EndObject();
   }
 

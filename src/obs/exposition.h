@@ -63,6 +63,9 @@ struct ExpositionInput {
     uint64_t journal_frames = 0;     // Tenant frames appended to the pool.
     uint64_t resident_tenants = 0;   // Gauge: tenants resident right now.
     uint64_t resident_bytes = 0;     // Gauge: approx bytes they occupy.
+    uint64_t poisoned_writers = 0;   // Gauge: pool journal writers dead
+                                     // after an I/O error (nonzero means
+                                     // the catalog has fail-stopped).
   } catalog;
 };
 

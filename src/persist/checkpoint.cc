@@ -1,10 +1,17 @@
 #include "persist/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "persist/sync_file.h"
 #include "util/crc32c.h"
 
 namespace geolic {
@@ -147,6 +154,58 @@ Status WriteCheckpointFile(CheckpointKind kind, std::string_view payload,
     return Status::IoError("cannot open for writing: " + path);
   }
   return WriteCheckpoint(kind, payload, &out);
+}
+
+Status WriteCheckpointFileDurable(CheckpointKind kind,
+                                  std::string_view payload,
+                                  const std::string& path) {
+  std::ostringstream framed;
+  GEOLIC_RETURN_IF_ERROR(WriteCheckpoint(kind, payload, &framed));
+  const std::string bytes = framed.str();
+
+  const std::string tmp_path = path + ".tmp";
+  GEOLIC_ASSIGN_OR_RETURN(std::unique_ptr<PosixSyncFile> tmp,
+                          PosixSyncFile::Create(tmp_path));
+  Status written = tmp->Append(bytes);
+  if (written.ok()) {
+    written = tmp->Sync();
+  }
+  const Status closed = tmp->Close();
+  if (written.ok() && !closed.ok()) {
+    written = closed;
+  }
+  if (!written.ok()) {
+    ::unlink(tmp_path.c_str());  // Best-effort; the target is untouched.
+    return written;
+  }
+
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::unlink(tmp_path.c_str());
+    return Status::IoError("rename " + tmp_path + " -> " + path +
+                           " failed: " + reason);
+  }
+
+  // Durability of the rename itself: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::IoError("open directory " + dir +
+                           " failed: " + std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(dir_fd);
+    return Status::IoError("fsync directory " + dir + " failed: " + reason);
+  }
+  if (::close(dir_fd) != 0) {
+    return Status::IoError("close directory " + dir +
+                           " failed: " + std::strerror(errno));
+  }
+  return Status::Ok();
 }
 
 Result<std::string> ReadCheckpointFile(CheckpointKind expected_kind,

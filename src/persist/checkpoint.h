@@ -62,6 +62,19 @@ Result<std::string> ReadCheckpointPayloadAfterMagic(
 // File variants.
 Status WriteCheckpointFile(CheckpointKind kind, std::string_view payload,
                            const std::string& path);
+
+// Crash-safe publish: writes the framed checkpoint to `path + ".tmp"`,
+// fsyncs it, renames it over `path`, and fsyncs the parent directory.
+// After a crash at any point either the previous file or the complete new
+// one is found — never a torn mix, and never a page-cache-only write that
+// power loss can drop. Required wherever dependent state is discarded once
+// the checkpoint "exists" (the catalog's checkpoint-then-truncate cutover
+// truncates the journal pool on the strength of the spill files). Callers
+// must serialize concurrent writes to the same `path` (the temp name is
+// derived from it).
+Status WriteCheckpointFileDurable(CheckpointKind kind,
+                                  std::string_view payload,
+                                  const std::string& path);
 Result<std::string> ReadCheckpointFile(CheckpointKind expected_kind,
                                        const std::string& path);
 

@@ -129,6 +129,12 @@ class JournalWriter {
 
   uint64_t frames_appended() const { return frames_appended_; }
 
+  // True once an I/O error has poisoned the writer: every further
+  // Append/Sync fails and Close refuses to pretend durability. Callers
+  // that must not keep serving past a dead journal (the catalog pool)
+  // check this to fail-stop instead of limping per-op.
+  bool poisoned() const { return poisoned_; }
+
   // Optional span sink: every fsync (explicit Sync or the batched one
   // inside Append) records a kJournalFsync span. Must outlive the writer.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }

@@ -25,8 +25,9 @@ namespace {
 
 // Live per-tenant oracle: the tenant's immutable baseline plus a
 // ReferenceModel mirroring every accepted issuance. One maybe-persisted op
-// at most — the journal writer poisons itself after its first I/O error,
-// so only the faulted append itself can have reached the platter.
+// at most — the journal writer poisons itself after its first I/O error
+// and the catalog fail-stops, so only the faulted append itself can have
+// reached the platter.
 struct TenantOracle {
   std::unique_ptr<Workload> baseline;
   std::unique_ptr<ReferenceModel> model;
@@ -162,8 +163,9 @@ CatalogSimResult RunCatalogSimulation(uint64_t seed,
   }
 
   std::map<uint64_t, TenantOracle> oracles;
-  std::vector<bool> writer_failed(
-      static_cast<size_t>(config.journal_writers), false);
+  // Set at the first op failure: the faulted append poisons its writer and
+  // the catalog fail-stops, so every later mutating op must be rejected.
+  bool catalog_failed = false;
 
   const auto oracle_for = [&](uint64_t tenant) -> Result<TenantOracle*> {
     auto it = oracles.find(tenant);
@@ -212,17 +214,16 @@ CatalogSimResult RunCatalogSimulation(uint64_t seed,
     Result<OnlineDecision> got = catalog->TryIssue(tenant, request);
     ++result.ops_executed;
     if (!got.ok()) {
-      // Only the faulted append itself is maybe-persisted; the writer is
-      // poisoned afterwards, so later failures never reached the file.
       if (fault_kind == 0) {
         return fail(TenantTag(tenant) + " issue failed with no fault "
                     "scheduled: " + got.status().message());
       }
-      const int writer =
-          catalog->WriterIndexForTenant(tenant);
-      const size_t w = static_cast<size_t>(writer);
-      if (!writer_failed[w]) {
-        writer_failed[w] = true;
+      if (!catalog_failed) {
+        // The first failure is the faulted append itself — only it is
+        // maybe-persisted, and it must have hit the scheduled writer. It
+        // poisons that writer, so the catalog fail-stops.
+        catalog_failed = true;
+        const int writer = catalog->WriterIndexForTenant(tenant);
         if (writer != fault_writer) {
           return fail(TenantTag(tenant) + " issue failed on writer " +
                       std::to_string(writer) + " but the fault was " +
@@ -231,10 +232,20 @@ CatalogSimResult RunCatalogSimulation(uint64_t seed,
         }
         oracle.maybe_pending = true;
         oracle.maybe_would_accept = want.accepted();
+        result.op_trace.push_back(TenantTag(tenant) +
+                                  " issue FAIL (writer " +
+                                  std::to_string(writer) +
+                                  " dead, catalog fail-stopped)");
+      } else {
+        result.op_trace.push_back(TenantTag(tenant) +
+                                  " issue FAIL (fail-stopped)");
       }
-      result.op_trace.push_back(TenantTag(tenant) + " issue FAIL (writer " +
-                                std::to_string(writer) + " dead)");
       continue;
+    }
+    if (catalog_failed) {
+      return fail(TenantTag(tenant) + " op " + std::to_string(op) +
+                  " succeeded after the catalog fail-stopped — mutations "
+                  "must be rejected once a pool writer is poisoned");
     }
     const std::string mismatch =
         CompareDecision(*got, want, TenantTag(tenant) + " op " +

@@ -6,13 +6,17 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "catalog/catalog_service.h"
 #include "catalog/tenant_source.h"
+#include "persist/faulty_file.h"
+#include "persist/sync_file.h"
 #include "test_util.h"
 #include "util/random.h"
 #include "workload/multi_tenant.h"
@@ -175,6 +179,112 @@ TEST_F(CatalogServiceTest, RecoverReplaysTheJournaledTail) {
   ASSERT_TRUE(snapshot.ok());
   EXPECT_EQ(snapshot->log.size(), accepted);
   EXPECT_EQ(snapshot->tenant_seq, 3u);
+  EXPECT_TRUE((*recovered)->Close().ok());
+}
+
+TEST_F(CatalogServiceTest, FreshCreateRemovesStaleSpills) {
+  // Evolve a tenant, spill it, and shut down cleanly so nothing is left
+  // in the journals.
+  {
+    Result<std::unique_ptr<CatalogService>> catalog =
+        CatalogService::Create(source_.get(), options_);
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE((*catalog)->TryIssue(2, Request(2)).ok());
+    ASSERT_TRUE((*catalog)->SpillTenant(2).ok());
+    ASSERT_TRUE(fs::exists((*catalog)->SpillPath(2)));
+    EXPECT_TRUE((*catalog)->Close().ok());
+  }
+  // Plant an interrupted temp spill too — Create must sweep both.
+  {
+    std::ofstream stale(dir_ + "/tenant-5.spill.tmp", std::ios::binary);
+    stale << "torn spill write";
+  }
+
+  // A *fresh* catalog over the same directory must not resurrect the old
+  // generation's evolved tenant state.
+  Result<std::unique_ptr<CatalogService>> fresh =
+      CatalogService::Create(source_.get(), options_);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().message();
+  EXPECT_FALSE(fs::exists((*fresh)->SpillPath(2)));
+  EXPECT_FALSE(fs::exists(dir_ + "/tenant-5.spill.tmp"));
+
+  // First touch compiles from the baseline — no spill load, no history.
+  Result<CatalogService::TenantSnapshot> snapshot =
+      (*fresh)->SnapshotTenant(2);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->log.size(), 0u);
+  const CatalogStats stats = (*fresh)->stats();
+  EXPECT_EQ(stats.loads, 0u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_TRUE((*fresh)->Close().ok());
+}
+
+TEST_F(CatalogServiceTest, PoisonedWriterFailStopsTheCatalog) {
+  // Route journal I/O through fault injectors so one writer can die
+  // mid-run.
+  options_.fsync_interval = 1;
+  std::vector<FaultyFile*> faulty(
+      static_cast<size_t>(options_.journal_writers), nullptr);
+  options_.journal_file_factory =
+      [&faulty](const std::string& path,
+                int writer_index) -> Result<std::unique_ptr<SyncFile>> {
+    GEOLIC_ASSIGN_OR_RETURN(std::unique_ptr<PosixSyncFile> base,
+                            PosixSyncFile::Create(path));
+    auto file = std::make_unique<FaultyFile>(std::move(base));
+    faulty[static_cast<size_t>(writer_index)] = file.get();
+    return std::unique_ptr<SyncFile>(std::move(file));
+  };
+  Result<std::unique_ptr<CatalogService>> catalog =
+      CatalogService::Create(source_.get(), options_);
+  ASSERT_TRUE(catalog.ok());
+
+  // Two tenants routing to different pool writers.
+  uint64_t victim = 0;
+  uint64_t bystander = 1;
+  while ((*catalog)->WriterIndexForTenant(bystander) ==
+         (*catalog)->WriterIndexForTenant(victim)) {
+    ++bystander;
+  }
+  ASSERT_LT(bystander, config_.num_tenants);
+  ASSERT_TRUE((*catalog)->TryIssue(victim, Request(victim)).ok());
+  ASSERT_TRUE((*catalog)->TryIssue(bystander, Request(bystander)).ok());
+
+  // Kill the victim's writer: the faulted op fails with the I/O error...
+  faulty[static_cast<size_t>((*catalog)->WriterIndexForTenant(victim))]
+      ->CrashNow();
+  Result<OnlineDecision> faulted =
+      (*catalog)->TryIssue(victim, Request(victim));
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kIoError);
+
+  // ...and the whole catalog fail-stops: tenants on the healthy writer
+  // are rejected too (no silent partial outage), with the health counter
+  // exposed.
+  Result<OnlineDecision> rejected =
+      (*catalog)->TryIssue(bystander, Request(bystander));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status().message().find("fail-stopped"),
+            std::string::npos)
+      << rejected.status().message();
+  EXPECT_FALSE((*catalog)->RevokeLicenseById(bystander, "nope").ok());
+  EXPECT_EQ((*catalog)->stats().poisoned_writers, 1u);
+
+  // Read-side maintenance still works: spilling journals nothing.
+  EXPECT_TRUE((*catalog)->SpillTenant(bystander).ok());
+
+  // Recovery over the same directory restores service; the maybe-persisted
+  // faulted frame is allowed to replay.
+  catalog->reset();
+  CatalogOptions recover_options = options_;
+  recover_options.journal_file_factory = nullptr;
+  CatalogRecoveryStats rstats;
+  Result<std::unique_ptr<CatalogService>> recovered =
+      CatalogService::Recover(source_.get(), recover_options, &rstats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_TRUE((*recovered)->TryIssue(victim, Request(victim)).ok());
+  EXPECT_TRUE((*recovered)->TryIssue(bystander, Request(bystander)).ok());
+  EXPECT_EQ((*recovered)->stats().poisoned_writers, 0u);
   EXPECT_TRUE((*recovered)->Close().ok());
 }
 

@@ -187,6 +187,7 @@ TEST(ExpositionTest, CatalogSectionRendersEveryFamily) {
   input.catalog.journal_frames = 100;
   input.catalog.resident_tenants = 6;
   input.catalog.resident_bytes = 98304;
+  input.catalog.poisoned_writers = 1;
 
   const std::string text = RenderPrometheusText(input);
   const std::string kExpectedLines[] = {
@@ -201,6 +202,7 @@ TEST(ExpositionTest, CatalogSectionRendersEveryFamily) {
       "geolic_catalog_journal_frames_total{service=\"geolic\"} 100",
       "geolic_catalog_resident_tenants{service=\"geolic\"} 6",
       "geolic_catalog_resident_bytes{service=\"geolic\"} 98304",
+      "geolic_catalog_poisoned_writers{service=\"geolic\"} 1",
   };
   for (const std::string& line : kExpectedLines) {
     EXPECT_NE(text.find(line + "\n"), std::string::npos) << line;
@@ -217,6 +219,7 @@ TEST(ExpositionTest, CatalogSectionRendersEveryFamily) {
   EXPECT_EQ(catalog->Find("misses")->AsUInt(), 10u);
   EXPECT_EQ(catalog->Find("evictions")->AsUInt(), 4u);
   EXPECT_EQ(catalog->Find("resident_bytes")->AsUInt(), 98304u);
+  EXPECT_EQ(catalog->Find("poisoned_writers")->AsUInt(), 1u);
   const JsonValue* stages = doc->Find("stages");
   ASSERT_NE(stages, nullptr);
   EXPECT_EQ(stages->object.size(), 16u);

@@ -1,5 +1,7 @@
 #include "persist/checkpoint.h"
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -105,6 +107,51 @@ TEST(CheckpointTest, FileRoundTrip) {
       ReadCheckpointFile(CheckpointKind::kLogStore, path);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, "file payload");
+}
+
+TEST(CheckpointTest, DurableFileWritePublishesAtomically) {
+  const std::string path = ::testing::TempDir() + "checkpoint_durable.gck";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+
+  ASSERT_TRUE(WriteCheckpointFileDurable(CheckpointKind::kTenantSnapshot,
+                                         "generation one", path)
+                  .ok());
+  Result<std::string> read =
+      ReadCheckpointFile(CheckpointKind::kTenantSnapshot, path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "generation one");
+  // The rename consumed the temp file — nothing left to confuse a reused
+  // directory.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwrite: the new generation replaces the old in one rename.
+  ASSERT_TRUE(WriteCheckpointFileDurable(CheckpointKind::kTenantSnapshot,
+                                         "generation two", path)
+                  .ok());
+  read = ReadCheckpointFile(CheckpointKind::kTenantSnapshot, path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "generation two");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(CheckpointTest, DurableFileWriteIgnoresStaleTemp) {
+  // A crash between the temp write and the rename leaves `path.tmp`
+  // behind; the next durable write must truncate it and publish cleanly.
+  const std::string path = ::testing::TempDir() + "checkpoint_stale.gck";
+  std::filesystem::remove(path);
+  {
+    std::ofstream stale(path + ".tmp", std::ios::binary);
+    stale << "torn earlier generation";
+  }
+  ASSERT_TRUE(WriteCheckpointFileDurable(CheckpointKind::kTenantSnapshot,
+                                         "fresh", path)
+                  .ok());
+  const Result<std::string> read =
+      ReadCheckpointFile(CheckpointKind::kTenantSnapshot, path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "fresh");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 TEST(CheckpointTest, KindNames) {
